@@ -1,0 +1,69 @@
+"""ABL-A — Eq. 3 weighting variants (documented adaptation).
+
+The paper weights kNN votes with alpha = [cos]_+ in a 470K-host space
+where the ambient cosine is near zero.  Our smaller spaces have high
+ambient similarity, so the default recentres alpha by the ambient mean
+(see SessionProfiler).  This bench justifies that adaptation by comparing
+the two variants — and the neighbourhood-locality cap — head to head.
+"""
+
+from repro.analysis.fidelity import profile_fidelity
+from repro.core.pipeline import NetworkObserverProfiler, PipelineConfig
+from repro.core.skipgram import SkipGramConfig
+
+
+def _evaluate(world, recentre, fraction):
+    config = PipelineConfig(
+        skipgram=SkipGramConfig(epochs=10, seed=0),
+        max_neighbourhood_fraction=fraction,
+    )
+    profiler = NetworkObserverProfiler(
+        world.labelled, config=config, tracker_filter=world.tracker_filter
+    )
+    profiler.train_on_day(world.trace, 0)
+    profiler.profiler.recentre_alpha = recentre
+    return profile_fidelity(
+        profiler.profiler, world.trace, 1, world.web,
+        tracker_filter=world.tracker_filter, max_windows=250,
+    )
+
+
+def test_ablation_alpha_weighting(
+    benchmark, ablation_runner, report_sink
+):
+    world = ablation_runner.build()
+    variants = {
+        "paper alpha, local N (2%)": (False, 0.02),
+        "recentred alpha, local N (2%)": (True, 0.02),
+        "paper alpha, wide N (50%)": (False, 0.50),
+        "recentred alpha, wide N (50%)": (True, 0.50),
+    }
+
+    def sweep():
+        return {
+            name: _evaluate(world, recentre, fraction)
+            for name, (recentre, fraction) in variants.items()
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [
+        "Ablation — Eq. 3 alpha weighting and neighbourhood locality",
+        f"{'variant':<32} {'fidelity':>10}",
+    ]
+    for name, report in results.items():
+        lines.append(f"{name:<32} {report.mean_affinity:>10.3f}")
+    report_sink("ablation_alpha", "\n".join(lines))
+
+    local_plain = results["paper alpha, local N (2%)"].mean_affinity
+    local_recentred = results["recentred alpha, local N (2%)"].mean_affinity
+    wide_plain = results["paper alpha, wide N (50%)"].mean_affinity
+    wide_recentred = results["recentred alpha, wide N (50%)"].mean_affinity
+
+    # Locality is the first-order effect: a neighbourhood spanning half
+    # the vocabulary averages the vote into mush.
+    assert local_plain > wide_plain
+    # Recentring rescues some of the wide-neighbourhood damage...
+    assert wide_recentred > wide_plain
+    # ...and never hurts at the proper locality.
+    assert local_recentred >= local_plain - 0.02

@@ -1,0 +1,93 @@
+"""ABL-M — model hyperparameter ablations: dimension, negatives, g.
+
+The paper fixes d = 100, K = 5 and g = mean "to demonstrate the usability
+of the whole system and not the fine tuning of the model".  These sweeps
+show how much head-room (or robustness) those defaults leave.
+"""
+
+from repro.core.pipeline import PipelineConfig
+from repro.core.skipgram import SkipGramConfig
+
+DIMENSIONS = (10, 50, 100, 200)
+NEGATIVES = (1, 5, 15)
+AGGREGATIONS = ("mean", "sum", "max")
+
+
+def test_ablation_dimension(benchmark, fidelity_evaluator, report_sink):
+    def sweep():
+        return {
+            dim: fidelity_evaluator(
+                PipelineConfig(
+                    skipgram=SkipGramConfig(epochs=10, seed=0, dim=dim)
+                )
+            )
+            for dim in DIMENSIONS
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        "Ablation — embedding dimension d (paper default 100)",
+        f"{'d':>5} {'fidelity':>10}",
+    ]
+    for dim, report in results.items():
+        lines.append(f"{dim:>5} {report.mean_affinity:>10.3f}")
+    report_sink("ablation_dimension", "\n".join(lines))
+
+    fidelities = {d: r.mean_affinity for d, r in results.items()}
+    # tiny spaces underfit...
+    assert fidelities[100] > fidelities[10]
+    # ...and the paper's default is within 10% of the sweep's best.
+    assert fidelities[100] > max(fidelities.values()) * 0.9
+
+
+def test_ablation_negatives(benchmark, fidelity_evaluator, report_sink):
+    def sweep():
+        return {
+            k: fidelity_evaluator(
+                PipelineConfig(
+                    skipgram=SkipGramConfig(epochs=10, seed=0, negatives=k)
+                )
+            )
+            for k in NEGATIVES
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        "Ablation — negative samples K (paper default 5)",
+        f"{'K':>5} {'fidelity':>10}",
+    ]
+    for k, report in results.items():
+        lines.append(f"{k:>5} {report.mean_affinity:>10.3f}")
+    report_sink("ablation_negatives", "\n".join(lines))
+
+    fidelities = {k: r.mean_affinity for k, r in results.items()}
+    assert all(f > 0.3 for f in fidelities.values())
+    assert fidelities[5] > max(fidelities.values()) * 0.85
+
+
+def test_ablation_aggregation(benchmark, fidelity_evaluator, report_sink):
+    def sweep():
+        return {
+            how: fidelity_evaluator(
+                PipelineConfig(
+                    aggregation=how,
+                    skipgram=SkipGramConfig(epochs=10, seed=0),
+                )
+            )
+            for how in AGGREGATIONS
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        "Ablation — session aggregation g (paper uses the mean)",
+        f"{'g':>6} {'fidelity':>10}",
+    ]
+    for how, report in results.items():
+        lines.append(f"{how:>6} {report.mean_affinity:>10.3f}")
+    report_sink("ablation_aggregation", "\n".join(lines))
+
+    fidelities = {how: r.mean_affinity for how, r in results.items()}
+    # sum only rescales the mean (cosine-invariant up to kNN truncation),
+    # so they must be close; max is the odd one out.
+    assert abs(fidelities["mean"] - fidelities["sum"]) < 0.05
+    assert fidelities["mean"] > max(fidelities.values()) * 0.85

@@ -1,0 +1,47 @@
+"""ABL-W — skip-gram window size ablation (paper Section 5.4).
+
+The paper uses the gensim default window (m = 2, a 5-host window) and
+remarks that other deployments may need other sizes ("we expect the need
+of a bigger window size in a fixed network ... compared to a mobile
+network").  We sweep m and measure profile fidelity.
+"""
+
+import copy
+
+from repro.core.pipeline import PipelineConfig
+from repro.core.skipgram import SkipGramConfig
+
+WINDOWS = (1, 2, 4, 8)
+
+
+def test_ablation_window(benchmark, fidelity_evaluator, report_sink):
+    def sweep():
+        results = {}
+        for window in WINDOWS:
+            config = PipelineConfig(
+                skipgram=SkipGramConfig(epochs=10, seed=0, window=window)
+            )
+            results[window] = fidelity_evaluator(config)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [
+        "Ablation — skip-gram window size m (paper default m=2)",
+        f"{'m':>4} {'2m+1':>6} {'fidelity':>10} {'sessions':>10}",
+    ]
+    for window, report in results.items():
+        lines.append(
+            f"{window:>4} {2 * window + 1:>6} "
+            f"{report.mean_affinity:>10.3f} "
+            f"{report.sessions_profiled:>10}"
+        )
+    report_sink("ablation_window", "\n".join(lines))
+
+    fidelities = {w: r.mean_affinity for w, r in results.items()}
+    assert all(f > 0.25 for f in fidelities.values()), (
+        "profiling must work at every window size"
+    )
+    # The paper's default must be competitive: within 15% of the best.
+    best = max(fidelities.values())
+    assert fidelities[2] > best * 0.85

@@ -1,0 +1,62 @@
+"""FIG2 — user diversity over hostnames (paper Figure 2).
+
+Regenerates the CCDF of the number of distinct hostnames each user visits
+outside the Core 80/60/40/20 sets, plus the core sizes.  Paper reference
+points: core sizes 30/120/271/639; 75 % of users visit >= 217 hostnames,
+25 % visit >= 1015.
+
+Shape targets (asserted): cores are nested and grow as the threshold
+drops; per-user diversity is heavy-tailed; almost every user visits many
+hostnames outside the tightest core.
+"""
+
+from repro.analysis.diversity import diversity_report
+
+PAPER_CORE_SIZES = {80: 30, 60: 120, 40: 271, 20: 639}
+PAPER_P75_HOSTNAMES = 217
+PAPER_P25_HOSTNAMES = 1015
+
+
+def test_fig2_diversity_hostnames(benchmark, paper_world, report_sink):
+    per_user = paper_world.trace.per_user_hostnames()
+
+    report = benchmark.pedantic(
+        diversity_report, args=(per_user,), rounds=1, iterations=1
+    )
+
+    lines = ["Figure 2 — user diversity (hostnames)"]
+    lines.append(
+        f"{'core':>6} {'size (ours)':>12} {'size (paper)':>13}"
+    )
+    for level in (80, 60, 40, 20):
+        lines.append(
+            f"{level:>6} {report.core_sizes[level]:>12} "
+            f"{PAPER_CORE_SIZES[level]:>13}"
+        )
+    p75 = report.overall.quantile_count(75)
+    p25 = report.overall.quantile_count(25)
+    lines.append(
+        f"75% of users visit >= {p75:.0f} hostnames "
+        f"(paper: {PAPER_P75_HOSTNAMES})"
+    )
+    lines.append(
+        f"25% of users visit >= {p25:.0f} hostnames "
+        f"(paper: {PAPER_P25_HOSTNAMES})"
+    )
+    for level in (80, 20):
+        ccdf = report.outside_core[level]
+        lines.append(
+            f"outside Core {level}: 75% of users >= "
+            f"{ccdf.quantile_count(75):.0f}, 25% >= "
+            f"{ccdf.quantile_count(25):.0f} hostnames"
+        )
+    report_sink("fig2_diversity_hostnames", "\n".join(lines))
+
+    # Shape assertions.
+    sizes = [report.core_sizes[level] for level in (80, 60, 40, 20)]
+    assert sizes == sorted(sizes), "cores must grow as threshold drops"
+    assert sizes[0] >= 1, "a shared hostname core must exist"
+    assert p25 > p75, "heavy tail: top quartile sees more hostnames"
+    assert report.outside_core[80].quantile_count(75) > 20, (
+        "most users must be distinguishable outside the tightest core"
+    )

@@ -1,0 +1,77 @@
+"""FIG3 — user diversity over categories (paper Figure 3).
+
+Same core analysis as Figure 2 but after mapping hostnames to the 328
+truncated categories (only ontology-covered hostnames contribute, like the
+paper's Adwords-answered set).  Paper reference points: category core
+sizes 47/80/124/177; all users share the same 14 categories; 1.5/5.2/11.1/
+23.2 % of users have no category outside cores 80/60/40/20.
+"""
+
+import numpy as np
+
+from repro.analysis.diversity import (
+    categories_per_user,
+    compute_cores,
+    diversity_report,
+)
+
+PAPER_CORE_SIZES = {80: 47, 60: 80, 40: 124, 20: 177}
+PAPER_SHARED_BY_ALL = 14
+PAPER_ZERO_OUTSIDE = {80: 1.5, 60: 5.2, 40: 11.1, 20: 23.2}
+
+
+def _category_indices(labelled):
+    return {
+        host: {int(i) for i in np.flatnonzero(vector)}
+        for host, vector in labelled.items()
+    }
+
+
+def test_fig3_diversity_categories(benchmark, paper_world, report_sink):
+    hostnames_per_user = paper_world.trace.per_user_hostnames()
+    label_indices = _category_indices(paper_world.labelled)
+
+    def compute():
+        per_user = categories_per_user(hostnames_per_user, label_indices)
+        return per_user, diversity_report(per_user)
+
+    per_user, report = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    shared_by_all = compute_cores(per_user, levels=(100,))[100]
+
+    lines = ["Figure 3 — user diversity (categories)"]
+    lines.append(f"{'core':>6} {'size (ours)':>12} {'size (paper)':>13}")
+    for level in (80, 60, 40, 20):
+        lines.append(
+            f"{level:>6} {report.core_sizes[level]:>12} "
+            f"{PAPER_CORE_SIZES[level]:>13}"
+        )
+    lines.append(
+        f"categories shared by ALL users: {len(shared_by_all)} "
+        f"(paper: {PAPER_SHARED_BY_ALL})"
+    )
+    lines.append(
+        f"{'core':>6} {'% users w/ 0 outside (ours)':>28} {'(paper)':>8}"
+    )
+    for level in (80, 60, 40, 20):
+        lines.append(
+            f"{level:>6} {report.users_with_nothing_outside[level]:>28.1f} "
+            f"{PAPER_ZERO_OUTSIDE[level]:>8.1f}"
+        )
+    report_sink("fig3_diversity_categories", "\n".join(lines))
+
+    # Shape assertions.
+    sizes = [report.core_sizes[level] for level in (80, 60, 40, 20)]
+    assert sizes == sorted(sizes)
+    assert len(shared_by_all) >= 1, (
+        "popular sites force some categories onto every user"
+    )
+    zero_fracs = [
+        report.users_with_nothing_outside[level]
+        for level in (80, 60, 40, 20)
+    ]
+    # Shrinking cores leave fewer users fully inside.
+    assert zero_fracs == sorted(zero_fracs)
+    # Unlike hostname cores, a visible user fraction sits fully inside
+    # the loosest category core (paper: 23.2%).
+    assert zero_fracs[-1] > 0.0

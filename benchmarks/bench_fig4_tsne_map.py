@@ -1,0 +1,91 @@
+"""FIG4 — t-SNE map of hostname embeddings (paper Figure 4).
+
+The paper trains on one day of data, collapses hostnames to second-level
+domains (~3K points) and projects the d=100 embeddings to 2-D with t-SNE.
+The qualitative claim is that topical neighbourhoods form.  We quantify it
+on the 2-D map: same-vertical site pairs must be closer than random pairs
+(silhouette-style contrast), which is exactly what the paper's magnified
+clusters show.
+"""
+
+import numpy as np
+
+from repro.analysis.clusters import collapse_to_slds
+from repro.analysis.tsne import TSNE, TSNEConfig
+from repro.core import SkipGramConfig, SkipGramModel, day_corpus
+from repro.utils.randomness import derive_rng
+
+
+def test_fig4_tsne_map(benchmark, paper_world, report_sink):
+    # One-day corpus, SLD-collapsed — the paper's exact preprocessing.
+    corpus = collapse_to_slds(day_corpus(paper_world.trace, 0))
+    full_vocab = {h for s in day_corpus(paper_world.trace, 0) for h in s}
+    sld_vocab = {h for s in corpus for h in s}
+
+    model = SkipGramModel(SkipGramConfig(epochs=25, seed=0))
+    embeddings = model.fit(corpus)
+
+    # Project the most frequent SLDs (keeps the bench fast; the paper
+    # plots everything because it runs t-SNE offline).
+    hosts = embeddings.vocabulary.hosts[:400]
+    matrix = np.vstack([embeddings.vector(h) for h in hosts])
+
+    tsne = TSNE(TSNEConfig(perplexity=25, n_iter=500, seed=0))
+    projected = benchmark.pedantic(
+        tsne.fit_transform, args=(matrix,), rounds=1, iterations=1
+    )
+
+    # Ground-truth verticals for the projected content sites.
+    web = paper_world.web
+    vertical_of = {}
+    for site in web.sites:
+        vertical_of[site.domain] = site.vertical
+    labels = [vertical_of.get(h) for h in hosts]
+
+    rng = derive_rng(0, "fig4")
+    unit = embeddings.unit_vectors
+    same_2d, cross_2d, same_cos, cross_cos = [], [], [], []
+    labelled_points = [
+        (i, label) for i, label in enumerate(labels) if label
+    ]
+    for _ in range(6000):
+        a, b = rng.integers(len(labelled_points), size=2)
+        if a == b:
+            continue
+        (i, la), (j, lb) = labelled_points[int(a)], labelled_points[int(b)]
+        distance = float(np.linalg.norm(projected[i] - projected[j]))
+        cosine = float(
+            unit[embeddings.vocabulary.id_of(hosts[i])]
+            @ unit[embeddings.vocabulary.id_of(hosts[j])]
+        )
+        if la == lb:
+            same_2d.append(distance)
+            same_cos.append(cosine)
+        else:
+            cross_2d.append(distance)
+            cross_cos.append(cosine)
+
+    same_mean, cross_mean = float(np.mean(same_2d)), float(np.mean(cross_2d))
+    lines = [
+        "Figure 4 — t-SNE map of SLD embeddings (1 day of traffic)",
+        f"hostnames before SLD collapse : {len(full_vocab)}",
+        f"SLDs after collapse           : {len(sld_vocab)} "
+        "(paper: 470K -> <3K)",
+        f"points projected              : {len(hosts)} (d=100 -> 2)",
+        f"final KL divergence           : {tsne.kl_history[-1]:.3f}",
+        f"cosine, same vertical (100-d)    : {np.mean(same_cos):.3f}",
+        f"cosine, cross vertical (100-d)   : {np.mean(cross_cos):.3f}",
+        f"mean 2-D distance, same vertical : {same_mean:.2f}",
+        f"mean 2-D distance, cross vertical: {cross_mean:.2f}",
+        f"2-D contrast (cross/same)        : {cross_mean / same_mean:.2f}x",
+    ]
+    report_sink("fig4_tsne_map", "\n".join(lines))
+
+    assert len(sld_vocab) < len(full_vocab), "SLD collapse must shrink space"
+    assert np.isfinite(projected).all()
+    # Topical structure must exist in the full space and survive, at
+    # least directionally, the projection to 2-D.
+    assert float(np.mean(same_cos)) > float(np.mean(cross_cos)) + 0.02
+    assert same_mean < cross_mean, (
+        "topical clusters must be visible in the 2-D map"
+    )

@@ -1,0 +1,167 @@
+"""OBS — observer vantage comparison (paper Section 7.2).
+
+The paper discusses what different real-world observers can see:
+
+* HTTPS/QUIC SNI (ISP / WiFi) — the full per-user hostname stream;
+* a DNS resolver — only hostnames that trigger queries;
+* a landline ISP behind NAT — several users merged into one stream.
+
+This bench runs the byte-level packet pipeline for each vantage.  Profile
+fidelity is judged against each *individual real user's* current browsing
+content — so when NAT merges five users into one stream, the profile the
+observer can compute is polluted by the other four, and the metric shows
+exactly the degradation the paper predicts.
+"""
+
+import numpy as np
+
+from repro.ads.clicks import affinity
+from repro.core import (
+    NetworkObserverProfiler,
+    PipelineConfig,
+    SkipGramConfig,
+    sequences_from_requests,
+)
+from repro.netobs import (
+    CaptureConfig,
+    NatBox,
+    NetworkObserver,
+    ObserverConfig,
+    TrafficSynthesizer,
+)
+from repro.utils.timeutils import minutes
+
+
+def _observe(world, vantage, nat_group_size=None, dns_fraction=0.85):
+    """Two days of traffic -> packets -> observer; returns user->client."""
+    config = CaptureConfig(dns_fraction=dns_fraction)
+    synthesizer = TrafficSynthesizer(seed=21, config=config)
+    observer = NetworkObserver(ObserverConfig(vantage=vantage))
+    nats = {}
+    user_to_client = {}
+    for user in world.population:
+        if nat_group_size:
+            group = user.user_id // nat_group_size
+            user_to_client[user.user_id] = f"203.0.113.{group + 1}"
+        else:
+            user_to_client[user.user_id] = synthesizer.client_ip(
+                user.user_id
+            )
+    for day in (0, 1):
+        for request in world.trace.day(day):
+            for packet in synthesizer.packets_for_request(request):
+                if nat_group_size:
+                    group = request.user_id // nat_group_size
+                    nat = nats.setdefault(
+                        group, NatBox(public_ip=f"203.0.113.{group + 1}")
+                    )
+                    packet = nat.translate(packet)
+                observer.ingest(packet)
+    return observer, user_to_client
+
+
+def _fidelity(world, observer, user_to_client, max_users=40,
+              labelled=None):
+    """Per-user fidelity: observer's profile vs the USER's own content."""
+    client_events = observer.client_sequences()
+    corpus = []
+    for _, stream in sorted(observer.as_requests().items()):
+        corpus.extend(sequences_from_requests(stream))
+    profiler = NetworkObserverProfiler(
+        labelled if labelled is not None else world.labelled,
+        config=PipelineConfig(skipgram=SkipGramConfig(epochs=8, seed=0)),
+    )
+    profiler.train_on_sequences(corpus)
+
+    day1 = world.trace.user_sequences(1)
+    scores = []
+    for user in list(world.population)[:max_users]:
+        own_requests = day1.get(user.user_id)
+        if not own_requests or len(own_requests) < 5:
+            continue
+        now = own_requests[len(own_requests) // 2].timestamp
+        truth_vectors = [
+            world.web.true_category_vector(r.hostname)
+            for r in own_requests
+            if now - minutes(20) < r.timestamp <= now
+        ]
+        truth_vectors = [v for v in truth_vectors if v is not None]
+        if not truth_vectors:
+            continue
+        client = user_to_client[user.user_id]
+        observed_window = [
+            hostname
+            for t, hostname in client_events.get(client, [])
+            if now - minutes(20) < t <= now
+        ]
+        profile = profiler.profile_session(observed_window)
+        if profile.is_empty:
+            continue
+        scores.append(
+            affinity(np.mean(truth_vectors, axis=0), profile.categories)
+        )
+    return (float(np.mean(scores)) if scores else 0.0), len(scores)
+
+
+def test_observer_vantage(benchmark, ablation_runner, report_sink):
+    world = ablation_runner.build()
+
+    def sweep():
+        rows = {}
+        sni, map_sni = _observe(world, "sni")
+        rows["SNI (per-user, ISP/WiFi)"] = (
+            _fidelity(world, sni, map_sni), len(sni.clients)
+        )
+        dns, map_dns = _observe(world, "dns")
+        rows["DNS resolver (85% of requests)"] = (
+            _fidelity(world, dns, map_dns), len(dns.clients)
+        )
+        nat, map_nat = _observe(world, "sni", nat_group_size=5)
+        rows["SNI behind NAT (5 users merged)"] = (
+            _fidelity(world, nat, map_nat), len(nat.clients)
+        )
+        # Encrypted-SNI world: only destination addresses leak.  The
+        # observer maps the labelled set onto addresses by resolving the
+        # labelled hostnames itself; CDN traffic collapses into shared
+        # front-end pools and loses its topical signal.
+        synthesizer = TrafficSynthesizer(seed=21)
+        labelled_ip = {
+            f"ip:{synthesizer.server_ip(host)}": vector
+            for host, vector in world.labelled.items()
+        }
+        ip_obs, map_ip = _observe(world, "ip")
+        rows["Encrypted SNI (IPs only)"] = (
+            _fidelity(world, ip_obs, map_ip, labelled=labelled_ip),
+            len(ip_obs.clients),
+        )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [
+        "Observer vantage comparison (Section 7.2)",
+        "(fidelity vs each real user's own current browsing content)",
+        f"{'vantage':<34} {'fidelity':>9} {'users':>7} {'clients':>8}",
+    ]
+    for name, ((fidelity, users), clients) in rows.items():
+        lines.append(
+            f"{name:<34} {fidelity:>9.3f} {users:>7} {clients:>8}"
+        )
+    report_sink("observer_vantage", "\n".join(lines))
+
+    sni_f = rows["SNI (per-user, ISP/WiFi)"][0][0]
+    dns_f = rows["DNS resolver (85% of requests)"][0][0]
+    nat_f = rows["SNI behind NAT (5 users merged)"][0][0]
+    ip_f = rows["Encrypted SNI (IPs only)"][0][0]
+    assert sni_f > 0.4, "the SNI observer must profile well"
+    # DNS loses little: it sees (most of) the same hostnames.
+    assert dns_f > sni_f * 0.7
+    # NAT merging pollutes sessions with other users' topics.  The hit is
+    # visible but modest at household scale (often only one of the five
+    # merged users is browsing in any given 20-minute window).
+    assert nat_f < sni_f - 0.02
+    # Encrypted SNI degrades but does not stop profiling (Section 7.2:
+    # "upcoming patches like encrypted SNI are not likely to solve the
+    # issue") — per-site addresses still leak; CDN pools blur the rest.
+    assert ip_f < sni_f
+    assert ip_f > 0.25

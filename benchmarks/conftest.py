@@ -1,0 +1,101 @@
+"""Shared benchmark fixtures.
+
+The heavy artefacts (paper-scaled world, the full profiling-month result)
+are built once per benchmark session and shared.  Every bench writes its
+paper-style rows to ``benchmarks/out/<name>.txt`` and prints them, so the
+reproduction numbers survive pytest's output capturing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiment import ExperimentConfig, ExperimentRunner
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def paper_runner():
+    """The paper-scaled experiment runner with its world built."""
+    runner = ExperimentRunner(ExperimentConfig.paper_scaled())
+    runner.build()
+    return runner
+
+
+@pytest.fixture(scope="session")
+def paper_world(paper_runner):
+    return paper_runner.build()
+
+
+@pytest.fixture(scope="session")
+def paper_result(paper_runner):
+    """The full profiling month (expensive: ~2 minutes, built once)."""
+    return paper_runner.run()
+
+
+@pytest.fixture(scope="session")
+def ablation_runner():
+    """A smaller world for ablation sweeps (several retrains each)."""
+    config = ExperimentConfig.small(seed=7)
+    runner = ExperimentRunner(config)
+    runner.build()
+    return runner
+
+
+@pytest.fixture(scope="session")
+def fidelity_evaluator(ablation_runner):
+    """Callable: (pipeline_config, tracker_filter?) -> FidelityReport.
+
+    Trains a fresh model on day 0 of the ablation world and scores
+    profiles against ground truth on day 1.  Shared by every ablation
+    bench so the sweeps are directly comparable.
+    """
+    from repro.analysis.fidelity import profile_fidelity
+    from repro.core.pipeline import NetworkObserverProfiler
+
+    world = ablation_runner.build()
+
+    def evaluate(
+        pipeline_config,
+        tracker_filter=world.tracker_filter,
+        labelled=None,
+        session_minutes=None,
+        max_windows=250,
+        target_minutes=None,
+    ):
+        profiler = NetworkObserverProfiler(
+            labelled if labelled is not None else world.labelled,
+            config=pipeline_config,
+            tracker_filter=tracker_filter,
+        )
+        profiler.train_on_day(world.trace, 0)
+        return profile_fidelity(
+            profiler.profiler,
+            world.trace,
+            1,
+            world.web,
+            session_minutes=(
+                session_minutes
+                if session_minutes is not None
+                else pipeline_config.session_minutes
+            ),
+            tracker_filter=tracker_filter,
+            max_windows=max_windows,
+            target_minutes=target_minutes,
+        )
+
+    return evaluate
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n===== {name} =====\n{text}\n")
+
+    return write

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Countermeasure evaluation: what actually stops a network observer?
+
+The paper's Section 7.4 argues ad-blockers are useless against an on-path
+eavesdropper, VPNs just move the problem, and only TOR-grade measures
+work.  This example measures three client-side defenses against the
+hostname profiler and prints the protection-vs-cost trade-off:
+
+* decoy injection ("popular" and adversarial "chaff" flavours);
+* a selective tunnel hiding everything but the most popular hostnames;
+* full aggregation through a shared tunnel (the TOR-like bound).
+
+Fidelity is *centered*: background categories every user shares are
+removed, so the number measures how much of the user's distinguishing
+interests the observer still recovers.
+
+Run:  python examples/defense_evaluation.py     (~2 min)
+"""
+
+from repro.core.pipeline import PipelineConfig
+from repro.core.skipgram import SkipGramConfig
+from repro.defense import (
+    DecoyConfig,
+    DecoyInjector,
+    PopularOnlyFilter,
+    TunnelAggregator,
+    evaluate_defense,
+    observed_fidelity,
+)
+from repro.ontology import OntologyLabeler, build_default_taxonomy
+from repro.traffic import (
+    PopulationConfig,
+    SyntheticWeb,
+    TraceGenerator,
+    TrackerFilter,
+    UserPopulation,
+    WebConfig,
+    build_blocklists,
+)
+from repro.utils.randomness import derive_rng
+
+SEED = 11
+
+
+def main() -> None:
+    taxonomy = build_default_taxonomy()
+    web = SyntheticWeb.generate(
+        taxonomy, derive_rng(SEED, "web"),
+        WebConfig(num_sites=400, num_trackers=50),
+    )
+    population = UserPopulation.generate(
+        web, derive_rng(SEED, "users"), PopulationConfig(num_users=50)
+    )
+    trace = TraceGenerator(web, population, seed=SEED).generate(2)
+    tracker_filter = TrackerFilter(
+        build_blocklists(web, derive_rng(SEED, "bl"))
+    )
+    labeler = OntologyLabeler(taxonomy, coverage=0.106)
+    labelled = labeler.build_labelled_set(
+        web.ground_truth(), len(web.all_hostnames()),
+        derive_rng(SEED, "labels"), popularity=web.popularity(),
+    )
+    pipeline = PipelineConfig(skipgram=SkipGramConfig(epochs=8, seed=SEED))
+
+    def effective(report):
+        return report.mean_centered_affinity * (1 - report.empty_fraction)
+
+    baseline = observed_fidelity(
+        web, trace, trace, labelled,
+        pipeline_config=pipeline, tracker_filter=tracker_filter,
+    )
+    print(f"undefended observer: effective fidelity "
+          f"{effective(baseline):.3f}\n")
+    print(f"{'defense':<30} {'fidelity':>9} {'protection':>11} {'cost':>18}")
+
+    rows = []
+    for strategy, rate in (("popular", 1.0), ("chaff", 1.0), ("chaff", 3.0)):
+        injector = DecoyInjector(
+            web, DecoyConfig(decoy_rate=rate, strategy=strategy)
+        )
+        report = evaluate_defense(
+            web, trace, labelled, injector,
+            derive_rng(SEED, f"def.{strategy}.{rate}"),
+            pipeline_config=pipeline, tracker_filter=tracker_filter,
+        )
+        rows.append((
+            f"decoys ({strategy} x{rate:g})",
+            effective(report.fidelity),
+            f"+{report.overhead * 100:.0f}% bandwidth",
+        ))
+
+    tunnel = PopularOnlyFilter(trace, visible_top=50)
+    tunnelled = tunnel.apply(trace)
+    report = observed_fidelity(
+        web, trace, tunnelled, labelled,
+        pipeline_config=pipeline, tracker_filter=tracker_filter,
+    )
+    rows.append((
+        "tunnel all but top-50 hosts",
+        effective(report),
+        f"{tunnel.stats.hidden_fraction * 100:.0f}% of traffic tunnelled",
+    ))
+
+    aggregator = TunnelAggregator(group_size=None)
+    merged = aggregator.apply(trace)
+    report = observed_fidelity(
+        web, trace, merged, labelled,
+        pipeline_config=pipeline, tracker_filter=tracker_filter,
+    )
+    rows.append((
+        "shared tunnel (all users mixed)",
+        effective(report),
+        "full TOR-like mixing",
+    ))
+
+    base = effective(baseline)
+    for name, fidelity, cost in rows:
+        protection = (1 - fidelity / base) * 100 if base else 0.0
+        print(f"{name:<30} {fidelity:>9.3f} {protection:>10.0f}% {cost:>18}")
+
+    print("\nreading: 'protection' is the share of discriminative profile")
+    print("fidelity the defense removes. Partial measures leak; mixing")
+    print("everyone's traffic is what actually works — the paper's TOR")
+    print("conclusion, at the price the paper also names.")
+
+
+if __name__ == "__main__":
+    main()

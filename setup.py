@@ -1,0 +1,5 @@
+"""Setup shim: enables legacy editable installs where the `wheel` package
+(needed by PEP 517 editable builds) is unavailable, e.g. offline boxes."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,48 @@
+"""repro — reproduction of "User Profiling by Network Observers" (CoNEXT '21).
+
+A network eavesdropper that sees only TLS SNI hostnames can still build
+accurate user profiles: SGNS embeddings learned from hostname request
+sequences propagate the labels of a sparse ontology to the whole hostname
+universe, and session profiles built from them select ads whose CTR
+matches the ad-networks'.
+
+Package map
+-----------
+``repro.core``        the profiling algorithm (SGNS, kNN profiler, pipeline)
+``repro.ontology``    Adwords-like category taxonomy + coverage-limited labeler
+``repro.traffic``     synthetic web / users / browsing traces / blocklists
+``repro.netobs``      wire formats (TLS, QUIC, DNS), flows, NAT, observer
+``repro.ads``         ad inventory, ad-network baseline, click model
+``repro.experiment``  the Section 5 experiment harness
+``repro.analysis``    CCDFs/cores, topic shares, t-SNE, statistics
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (
+    HostnameEmbeddings,
+    NetworkObserverProfiler,
+    PipelineConfig,
+    SessionProfile,
+    SessionProfiler,
+    SkipGramConfig,
+    SkipGramModel,
+)
+from repro.experiment import ExperimentConfig, ExperimentResult, ExperimentRunner
+from repro.world import World, make_world
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "HostnameEmbeddings",
+    "NetworkObserverProfiler",
+    "PipelineConfig",
+    "SessionProfile",
+    "SessionProfiler",
+    "SkipGramConfig",
+    "SkipGramModel",
+    "World",
+    "__version__",
+    "make_world",
+]

@@ -1,0 +1,52 @@
+"""Advertising ecosystem substrate.
+
+The paper measures profile quality through a live ad experiment: an ad
+database harvested during data collection, an ad-network baseline serving
+its usual premium/contextual/targeted/retargeted mix, size-matched creative
+replacement, and CTR as the figure of merit.  This package rebuilds each of
+those moving parts with a click model in which click probability grows
+with the affinity between an ad and the user's latent interests — making
+CTR an honest, emergent proxy of profiling accuracy rather than a
+hard-coded outcome.
+"""
+
+from repro.ads.adnetwork import AdNetwork, AdNetworkConfig, ServedAd
+from repro.ads.clicks import (
+    ClickModel,
+    ClickModelConfig,
+    ImpressionLog,
+    IntentTracker,
+    affinity,
+)
+from repro.ads.inventory import (
+    Ad,
+    AdDatabase,
+    AdDatabaseConfig,
+    IAB_SIZES,
+)
+from repro.ads.replacement import (
+    ReplacementPolicy,
+    ReplacementStats,
+    size_compatible,
+)
+from repro.ads.selection import EavesdropperSelector, SelectorConfig
+
+__all__ = [
+    "Ad",
+    "AdDatabase",
+    "AdDatabaseConfig",
+    "AdNetwork",
+    "AdNetworkConfig",
+    "ClickModel",
+    "ClickModelConfig",
+    "EavesdropperSelector",
+    "IAB_SIZES",
+    "ImpressionLog",
+    "IntentTracker",
+    "ReplacementPolicy",
+    "ReplacementStats",
+    "SelectorConfig",
+    "ServedAd",
+    "affinity",
+    "size_compatible",
+]

@@ -1,0 +1,190 @@
+"""The ad-network baseline: who the eavesdropper is compared against.
+
+Section 5.3: users saw "Original" ads served by ad-networks, whose
+algorithms are unknown but whose inventory mixes premium campaigns,
+contextual placements, behaviourally targeted ads and retargeting
+(Section 3, "Ad types").  This module implements that stakeholder:
+
+* it **tracks** users only where its pixels fire (the experiment wires
+  ``observe_visit`` to site visits that actually triggered a tracker
+  request — ad-blockable visibility, unlike the eavesdropper's);
+* it serves a **mix** of ad types with realistic proportions;
+* its creative pool is **ever-fresh** ("the set of ads served by
+  ad-networks is ever-changing and up-to-date" — a limitation the paper
+  notes about its own static database), modelled by re-stamping the
+  creation day of every ad it serves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ads.inventory import Ad, AdDatabase
+from repro.utils.randomness import derive_rng
+
+
+@dataclass
+class AdNetworkConfig:
+    """Serving mix and tracking behaviour."""
+
+    premium_weight: float = 0.30
+    contextual_weight: float = 0.25
+    targeted_weight: float = 0.30
+    retarget_weight: float = 0.15
+    # EWMA step for the behavioural profile built from tracked visits.
+    profile_alpha: float = 0.08
+    # How many distinct premium campaigns run on any given day.
+    premium_campaigns_per_day: int = 5
+    # How many recently seen shopping targets are kept for retargeting.
+    retarget_memory: int = 10
+    candidate_ads: int = 20
+
+    def validate(self) -> None:
+        weights = (
+            self.premium_weight, self.contextual_weight,
+            self.targeted_weight, self.retarget_weight,
+        )
+        if any(w < 0 for w in weights) or sum(weights) <= 0:
+            raise ValueError("mix weights must be non-negative, sum > 0")
+        if not 0 < self.profile_alpha <= 1:
+            raise ValueError("profile_alpha must be in (0, 1]")
+        if self.premium_campaigns_per_day < 1:
+            raise ValueError("premium_campaigns_per_day must be >= 1")
+
+
+@dataclass
+class ServedAd:
+    """What the network put on the page."""
+
+    ad: Ad
+    ad_type: str          # "premium" | "contextual" | "targeted" | "retargeted"
+    retargeted: bool
+
+
+class AdNetwork:
+    """Tracking + serving baseline with partial (blockable) visibility."""
+
+    def __init__(
+        self,
+        database: AdDatabase,
+        num_categories: int,
+        seed: int = 0,
+        config: AdNetworkConfig | None = None,
+    ):
+        self.database = database
+        self.num_categories = num_categories
+        self.config = config or AdNetworkConfig()
+        self.config.validate()
+        self.seed = int(seed)
+        self._rng = derive_rng(self.seed, "adnetwork")
+        self._profiles: dict[int, np.ndarray] = {}
+        self._retarget: dict[int, list[str]] = {}
+        self._mix_types = ["premium", "contextual", "targeted", "retargeted"]
+        weights = np.array([
+            self.config.premium_weight,
+            self.config.contextual_weight,
+            self.config.targeted_weight,
+            self.config.retarget_weight,
+        ])
+        self._mix_probs = weights / weights.sum()
+
+    # -- tracking ---------------------------------------------------------------
+
+    def observe_visit(
+        self, user_id: int, site_category_vector: np.ndarray, domain: str
+    ) -> None:
+        """A tracking pixel fired on a page visit: update the profile."""
+        alpha = self.config.profile_alpha
+        vector = np.asarray(site_category_vector, dtype=np.float64)
+        if user_id not in self._profiles:
+            self._profiles[user_id] = vector.copy()
+        else:
+            self._profiles[user_id] = (
+                (1 - alpha) * self._profiles[user_id] + alpha * vector
+            )
+        if self.database.ads_for_landing(domain):
+            recent = self._retarget.setdefault(user_id, [])
+            if domain in recent:
+                recent.remove(domain)
+            recent.append(domain)
+            del recent[: -self.config.retarget_memory]
+
+    def profile_of(self, user_id: int) -> np.ndarray | None:
+        """The behavioural profile the network holds for a user."""
+        profile = self._profiles.get(user_id)
+        return None if profile is None else profile.copy()
+
+    # -- serving ----------------------------------------------------------------
+
+    def _premium_ad(self, day: int) -> Ad:
+        """One of today's premium campaigns (same pool for every user)."""
+        day_rng = derive_rng(self.seed, f"adnetwork.campaigns.day{day}")
+        campaign_ids = day_rng.choice(
+            len(self.database),
+            size=min(
+                self.config.premium_campaigns_per_day, len(self.database)
+            ),
+            replace=False,
+        )
+        pick = int(self._rng.integers(len(campaign_ids)))
+        return self.database.ads[int(campaign_ids[pick])]
+
+    def _fresh(self, ad: Ad, day: int) -> Ad:
+        """Ad networks serve current creatives: remove staleness."""
+        if ad.created_day == day:
+            return ad
+        return dataclasses.replace(ad, created_day=day)
+
+    def serve(
+        self,
+        user_id: int,
+        day: int,
+        context_vector: np.ndarray | None = None,
+    ) -> ServedAd:
+        """Pick one ad for an impression opportunity."""
+        ad_type = self._mix_types[
+            int(self._rng.choice(len(self._mix_types), p=self._mix_probs))
+        ]
+        ad: Ad | None = None
+        retargeted = False
+
+        if ad_type == "retargeted":
+            recent = self._retarget.get(user_id)
+            if recent:
+                domain = recent[int(self._rng.integers(len(recent)))]
+                candidates = self.database.ads_for_landing(domain)
+                if candidates:
+                    ad = candidates[int(self._rng.integers(len(candidates)))]
+                    retargeted = True
+            if ad is None:
+                ad_type = "targeted"  # fall through
+
+        if ad is None and ad_type == "targeted":
+            profile = self._profiles.get(user_id)
+            if profile is not None:
+                candidates = self.database.nearest_by_category(
+                    profile, self.config.candidate_ads
+                )
+                ad = candidates[int(self._rng.integers(len(candidates)))]
+            else:
+                ad_type = "contextual"  # untracked user
+
+        if ad is None and ad_type == "contextual":
+            if context_vector is not None:
+                candidates = self.database.nearest_by_category(
+                    context_vector, self.config.candidate_ads
+                )
+                ad = candidates[int(self._rng.integers(len(candidates)))]
+            else:
+                ad_type = "premium"
+
+        if ad is None:
+            ad_type = "premium"
+            ad = self._premium_ad(day)
+
+        return ServedAd(
+            ad=self._fresh(ad, day), ad_type=ad_type, retargeted=retargeted
+        )

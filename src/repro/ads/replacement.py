@@ -1,0 +1,70 @@
+"""Size-matched creative replacement (paper Section 5.3).
+
+"For each ad detected, the extension replaced it with an eavesdropper ad
+only if one of the ads in the replacement list had a size similar to the
+size of the original ad.  If no ad had similar size, the original creative
+would not be replaced."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ads.inventory import Ad
+
+Size = tuple[int, int]
+
+
+def size_compatible(
+    original: Size, candidate: Size, rel_tolerance: float = 0.25
+) -> bool:
+    """True when both dimensions are within a relative tolerance.
+
+    An exact-size swap is invisible to the page layout; a small relative
+    difference is absorbed by responsive slots.  Anything larger would
+    break the page and the extension refused it.
+    """
+    if rel_tolerance < 0:
+        raise ValueError("rel_tolerance must be >= 0")
+    (ow, oh), (cw, ch) = original, candidate
+    if ow <= 0 or oh <= 0 or cw <= 0 or ch <= 0:
+        raise ValueError("sizes must be positive")
+    return (
+        abs(cw - ow) <= rel_tolerance * ow
+        and abs(ch - oh) <= rel_tolerance * oh
+    )
+
+
+@dataclass
+class ReplacementStats:
+    attempted: int = 0
+    replaced: int = 0
+
+    @property
+    def replacement_rate(self) -> float:
+        if self.attempted == 0:
+            return 0.0
+        return self.replaced / self.attempted
+
+
+class ReplacementPolicy:
+    """Chooses which replacement-list ad substitutes a detected ad."""
+
+    def __init__(self, rel_tolerance: float = 0.25):
+        if rel_tolerance < 0:
+            raise ValueError("rel_tolerance must be >= 0")
+        self.rel_tolerance = rel_tolerance
+        self.stats = ReplacementStats()
+
+    def choose(
+        self, original_size: Size, candidates: list[Ad]
+    ) -> Ad | None:
+        """First size-compatible candidate, in relevance order, or None."""
+        self.stats.attempted += 1
+        for candidate in candidates:
+            if size_compatible(
+                original_size, candidate.size, self.rel_tolerance
+            ):
+                self.stats.replaced += 1
+                return candidate
+        return None

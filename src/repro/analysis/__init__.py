@@ -1,0 +1,62 @@
+"""Evaluation tooling: CCDFs/cores, topic shares, t-SNE, cluster quality,
+and the statistical tests behind the paper's figures and CTR table."""
+
+from repro.analysis.ccdf import CCDF, ccdf_of_counts
+from repro.analysis.clusters import (
+    PurityReport,
+    SatelliteReport,
+    collapse_to_slds,
+    neighbourhood_purity,
+    satellite_attachment,
+)
+from repro.analysis.fidelity import FidelityReport, profile_fidelity
+from repro.analysis.diversity import (
+    DEFAULT_CORE_LEVELS,
+    DiversityReport,
+    categories_per_user,
+    compute_cores,
+    diversity_report,
+)
+from repro.analysis.stats import (
+    PairedTTestResult,
+    ProportionTestResult,
+    bootstrap_mean_ci,
+    paired_t_test,
+    two_proportion_z_test,
+)
+from repro.analysis.topics import TopicShareSeries
+from repro.analysis.uniqueness import (
+    ReidentificationReport,
+    jaccard,
+    reidentify,
+)
+from repro.analysis.tsne import TSNE, TSNEConfig, joint_probabilities
+
+__all__ = [
+    "CCDF",
+    "DEFAULT_CORE_LEVELS",
+    "DiversityReport",
+    "FidelityReport",
+    "PairedTTestResult",
+    "ProportionTestResult",
+    "PurityReport",
+    "ReidentificationReport",
+    "SatelliteReport",
+    "TSNE",
+    "TSNEConfig",
+    "TopicShareSeries",
+    "bootstrap_mean_ci",
+    "categories_per_user",
+    "ccdf_of_counts",
+    "collapse_to_slds",
+    "compute_cores",
+    "diversity_report",
+    "jaccard",
+    "joint_probabilities",
+    "neighbourhood_purity",
+    "paired_t_test",
+    "profile_fidelity",
+    "reidentify",
+    "satellite_attachment",
+    "two_proportion_z_test",
+]

@@ -1,0 +1,56 @@
+"""Survival functions (CCDFs) as used by the paper's Figures 2 and 3.
+
+Both figures plot "% of users visiting at least N hostnames/categories":
+for a value x on the X axis, the Y value is the percentage of users whose
+count is >= x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CCDF:
+    """An empirical survival function over non-negative counts."""
+
+    values: np.ndarray      # sorted unique observed counts
+    survival: np.ndarray    # % of population with count >= value
+
+    def at(self, threshold: float) -> float:
+        """% of the population with count >= threshold."""
+        # survival is non-increasing in values; find the first value >=
+        # threshold and report its survival.
+        index = np.searchsorted(self.values, threshold, side="left")
+        if index >= len(self.values):
+            return 0.0
+        return float(self.survival[index])
+
+    def quantile_count(self, population_percent: float) -> float:
+        """Largest count reached by at least ``population_percent``% users.
+
+        e.g. ``quantile_count(75)`` answers the paper's "75 % of the users
+        visit at least 217 hostnames".
+        """
+        if not 0 < population_percent <= 100:
+            raise ValueError("population_percent must be in (0, 100]")
+        eligible = self.values[self.survival >= population_percent]
+        if len(eligible) == 0:
+            return float(self.values[0]) if len(self.values) else 0.0
+        return float(eligible[-1])
+
+
+def ccdf_of_counts(counts) -> CCDF:
+    """Build the survival function of a list of per-user counts."""
+    counts = np.asarray(list(counts), dtype=np.float64)
+    if counts.size == 0:
+        raise ValueError("cannot build a CCDF from no observations")
+    if (counts < 0).any():
+        raise ValueError("counts must be non-negative")
+    values = np.unique(counts)
+    survival = np.array(
+        [(counts >= v).mean() * 100.0 for v in values]
+    )
+    return CCDF(values=values, survival=survival)

@@ -1,0 +1,117 @@
+"""User-diversity analysis — the paper's Figures 2 and 3.
+
+The question: do visited hostnames discriminate users at all, or does
+everyone visit the same things?  The paper's device is the *core*:
+"Core XX" is the set of items (hostnames in Fig. 2, categories in Fig. 3)
+seen by at least XX % of users.  Items inside a core are background noise;
+what identifies a user is what she does *outside* the cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.ccdf import CCDF, ccdf_of_counts
+
+DEFAULT_CORE_LEVELS = (80, 60, 40, 20)
+
+
+@dataclass(frozen=True)
+class DiversityReport:
+    """Everything Figures 2/3 plot, for one item universe."""
+
+    core_levels: tuple[int, ...]
+    core_sizes: dict[int, int]                # level -> |Core level|
+    overall: CCDF                             # dashed "all items" line
+    outside_core: dict[int, CCDF]             # level -> CCDF outside core
+    users_with_nothing_outside: dict[int, float]  # level -> % of users
+
+    def summary_rows(self) -> list[tuple[str, float]]:
+        """Flat (metric, value) rows for benchmark output."""
+        rows: list[tuple[str, float]] = []
+        for level in self.core_levels:
+            rows.append((f"core{level}_size", float(self.core_sizes[level])))
+        rows.append(("p75_items", self.overall.quantile_count(75)))
+        rows.append(("p25_items", self.overall.quantile_count(25)))
+        for level in self.core_levels:
+            rows.append(
+                (
+                    f"pct_users_zero_outside_core{level}",
+                    self.users_with_nothing_outside[level],
+                )
+            )
+        return rows
+
+
+def compute_cores(
+    items_per_user: dict[int, set],
+    levels: tuple[int, ...] = DEFAULT_CORE_LEVELS,
+) -> dict[int, set]:
+    """Core XX = items seen by at least XX% of users, per level."""
+    if not items_per_user:
+        raise ValueError("no users")
+    for level in levels:
+        if not 0 < level <= 100:
+            raise ValueError(f"core level must be in (0, 100], got {level}")
+    num_users = len(items_per_user)
+    counts: dict = {}
+    for items in items_per_user.values():
+        for item in items:
+            counts[item] = counts.get(item, 0) + 1
+    cores: dict[int, set] = {}
+    for level in levels:
+        threshold = level / 100.0 * num_users
+        cores[level] = {
+            item for item, count in counts.items() if count >= threshold
+        }
+    return cores
+
+
+def diversity_report(
+    items_per_user: dict[int, set],
+    levels: tuple[int, ...] = DEFAULT_CORE_LEVELS,
+) -> DiversityReport:
+    """Compute core sizes and the inside/outside-core CCDFs."""
+    cores = compute_cores(items_per_user, levels)
+    overall = ccdf_of_counts(
+        [len(items) for items in items_per_user.values()]
+    )
+    outside: dict[int, CCDF] = {}
+    nothing_outside: dict[int, float] = {}
+    for level in levels:
+        core = cores[level]
+        counts = [
+            len(items - core) for items in items_per_user.values()
+        ]
+        outside[level] = ccdf_of_counts(counts)
+        nothing_outside[level] = (
+            100.0 * sum(1 for c in counts if c == 0) / len(counts)
+        )
+    return DiversityReport(
+        core_levels=tuple(levels),
+        core_sizes={level: len(cores[level]) for level in levels},
+        overall=overall,
+        outside_core=outside,
+        users_with_nothing_outside=nothing_outside,
+    )
+
+
+def categories_per_user(
+    hostnames_per_user: dict[int, set],
+    labelled: dict[int, set] | dict,
+) -> dict[int, set]:
+    """Map each user's hostnames to the set of category indices they touch.
+
+    ``labelled`` maps hostname -> iterable of category indices (only
+    ontology-covered hostnames contribute, matching the paper's Figure 3
+    which works on Adwords-answered hostnames).
+    """
+    result: dict[int, set] = {}
+    for user, hostnames in hostnames_per_user.items():
+        cats: set = set()
+        for hostname in hostnames:
+            indices = labelled.get(hostname)
+            if indices:
+                cats.update(indices)
+        result[user] = cats
+    return result

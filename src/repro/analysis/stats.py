@@ -1,0 +1,122 @@
+"""Statistical tests for the CTR comparison (paper Section 6.4).
+
+"As our study participants received both types of ads ... we used a
+two-tailed paired t-test with p < .05 to assess the mean difference of
+CTRs.  Resulting p-value was .11333 so we conclude that there is no
+statistical difference."
+
+The paired t-test is implemented from first principles (with scipy's
+Student-t CDF for the p-value) so its mechanics are testable, plus
+bootstrap confidence intervals for CTR differences.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+
+@dataclass(frozen=True)
+class PairedTTestResult:
+    statistic: float
+    p_value: float
+    dof: int
+    mean_difference: float
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        return self.p_value < alpha
+
+
+def paired_t_test(sample_a, sample_b) -> PairedTTestResult:
+    """Two-tailed paired t-test on matched samples.
+
+    Matches the paper's setup: each user contributes one CTR under each
+    arm; the test asks whether the mean per-user difference is zero.
+    """
+    a = np.asarray(list(sample_a), dtype=np.float64)
+    b = np.asarray(list(sample_b), dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError("paired samples must have equal length")
+    if len(a) < 2:
+        raise ValueError("need at least two pairs")
+    differences = a - b
+    n = len(differences)
+    mean = float(differences.mean())
+    std = float(differences.std(ddof=1))
+    if std == 0.0:
+        # All differences identical: either exactly zero (p = 1) or a
+        # deterministic shift (p = 0).
+        p = 1.0 if mean == 0.0 else 0.0
+        statistic = 0.0 if mean == 0.0 else math.inf * np.sign(mean)
+        return PairedTTestResult(
+            statistic=float(statistic), p_value=p, dof=n - 1,
+            mean_difference=mean,
+        )
+    statistic = mean / (std / math.sqrt(n))
+    dof = n - 1
+    p_value = float(2.0 * scipy_stats.t.sf(abs(statistic), dof))
+    return PairedTTestResult(
+        statistic=float(statistic),
+        p_value=p_value,
+        dof=dof,
+        mean_difference=mean,
+    )
+
+
+@dataclass(frozen=True)
+class ProportionTestResult:
+    statistic: float
+    p_value: float
+    rate_a: float
+    rate_b: float
+
+
+def two_proportion_z_test(
+    clicks_a: int, impressions_a: int, clicks_b: int, impressions_b: int
+) -> ProportionTestResult:
+    """Two-tailed z-test comparing two aggregate CTRs.
+
+    Complements the paired test: it weighs impressions rather than users.
+    """
+    for name, value in (
+        ("impressions_a", impressions_a), ("impressions_b", impressions_b),
+    ):
+        if value < 1:
+            raise ValueError(f"{name} must be >= 1")
+    if not 0 <= clicks_a <= impressions_a or not 0 <= clicks_b <= impressions_b:
+        raise ValueError("clicks must be within [0, impressions]")
+    p_a = clicks_a / impressions_a
+    p_b = clicks_b / impressions_b
+    pooled = (clicks_a + clicks_b) / (impressions_a + impressions_b)
+    se = math.sqrt(
+        pooled * (1 - pooled) * (1 / impressions_a + 1 / impressions_b)
+    )
+    if se == 0.0:
+        return ProportionTestResult(0.0, 1.0, p_a, p_b)
+    z = (p_a - p_b) / se
+    p_value = float(2.0 * scipy_stats.norm.sf(abs(z)))
+    return ProportionTestResult(float(z), p_value, p_a, p_b)
+
+
+def bootstrap_mean_ci(
+    sample,
+    rng: np.random.Generator,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+) -> tuple[float, float]:
+    """Percentile bootstrap CI for a sample mean."""
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    values = np.asarray(list(sample), dtype=np.float64)
+    if len(values) < 2:
+        raise ValueError("need at least two observations")
+    indices = rng.integers(0, len(values), size=(n_resamples, len(values)))
+    means = values[indices].mean(axis=1)
+    lower = (1 - confidence) / 2 * 100
+    return (
+        float(np.percentile(means, lower)),
+        float(np.percentile(means, 100 - lower)),
+    )

@@ -1,0 +1,171 @@
+"""Exact t-SNE (van der Maaten & Hinton 2008), in numpy.
+
+Used for the paper's Figure 4: a 2-D map of hostname embeddings where
+topical clusters (porn, sports streaming, travel, ...) become visible.
+Exact (non-Barnes-Hut) t-SNE is O(N^2) per iteration, fine for the few
+thousand second-level domains the figure plots.
+
+Implements the standard recipe: perplexity calibration by per-point
+bisection on Gaussian bandwidths, symmetrized affinities, early
+exaggeration, momentum gradient descent with per-parameter gains, and PCA
+initialization for reproducibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.randomness import derive_rng
+
+
+@dataclass
+class TSNEConfig:
+    perplexity: float = 30.0
+    n_iter: int = 500
+    learning_rate: float = 200.0
+    early_exaggeration: float = 12.0
+    exaggeration_iters: int = 100
+    initial_momentum: float = 0.5
+    final_momentum: float = 0.8
+    momentum_switch_iter: int = 250
+    min_gain: float = 0.01
+    seed: int = 0
+    init: str = "pca"   # "pca" or "random"
+
+    def validate(self) -> None:
+        if self.perplexity <= 1:
+            raise ValueError("perplexity must be > 1")
+        if self.n_iter < 1:
+            raise ValueError("n_iter must be >= 1")
+        if self.init not in ("pca", "random"):
+            raise ValueError("init must be 'pca' or 'random'")
+
+
+def _pairwise_sq_distances(X: np.ndarray) -> np.ndarray:
+    sq_norms = np.einsum("ij,ij->i", X, X)
+    D = sq_norms[:, None] + sq_norms[None, :] - 2.0 * (X @ X.T)
+    np.fill_diagonal(D, 0.0)
+    return np.maximum(D, 0.0)
+
+
+def _row_affinities(
+    distances_row: np.ndarray, target_entropy: float, tol: float = 1e-5
+) -> np.ndarray:
+    """Bisection on beta = 1/(2 sigma^2) so H(P_row) = log(perplexity)."""
+    beta, beta_min, beta_max = 1.0, -np.inf, np.inf
+    p = np.zeros_like(distances_row)
+    for _ in range(64):
+        p = np.exp(-distances_row * beta)
+        total = p.sum()
+        if total <= 0:
+            entropy = 0.0
+            p = np.zeros_like(p)
+        else:
+            p = p / total
+            with np.errstate(divide="ignore", invalid="ignore"):
+                logs = np.where(p > 0, np.log(p), 0.0)
+            entropy = float(-(p * logs).sum())
+        diff = entropy - target_entropy
+        if abs(diff) < tol:
+            break
+        if diff > 0:             # too spread out: sharpen
+            beta_min = beta
+            beta = beta * 2.0 if beta_max == np.inf else (beta + beta_max) / 2
+        else:
+            beta_max = beta
+            beta = beta / 2.0 if beta_min == -np.inf else (beta + beta_min) / 2
+    return p
+
+
+def joint_probabilities(
+    X: np.ndarray, perplexity: float
+) -> np.ndarray:
+    """Symmetrized input-space affinity matrix P."""
+    n = X.shape[0]
+    if perplexity >= n:
+        raise ValueError(
+            f"perplexity {perplexity} must be < number of points {n}"
+        )
+    D = _pairwise_sq_distances(X)
+    target_entropy = float(np.log(perplexity))
+    P = np.zeros((n, n))
+    for i in range(n):
+        row = np.delete(D[i], i)
+        p_row = _row_affinities(row, target_entropy)
+        P[i, np.arange(n) != i] = p_row
+    P = (P + P.T) / (2.0 * n)
+    return np.maximum(P, 1e-12)
+
+
+def _pca_init(X: np.ndarray, dims: int) -> np.ndarray:
+    centered = X - X.mean(axis=0)
+    _u, _s, vt = np.linalg.svd(centered, full_matrices=False)
+    Y = centered @ vt[:dims].T
+    # Scale to small variance, as reference implementations do.
+    return Y / max(np.std(Y[:, 0]), 1e-12) * 1e-4
+
+
+class TSNE:
+    """Fit-transform interface over the exact algorithm."""
+
+    def __init__(self, config: TSNEConfig | None = None, dims: int = 2):
+        self.config = config or TSNEConfig()
+        self.config.validate()
+        if dims < 1:
+            raise ValueError("dims must be >= 1")
+        self.dims = dims
+        self.kl_history: list[float] = []
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        cfg = self.config
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[0] < 3:
+            raise ValueError("X must be (n >= 3, d)")
+        n = X.shape[0]
+        P = joint_probabilities(X, cfg.perplexity)
+
+        rng = derive_rng(cfg.seed, "tsne")
+        if cfg.init == "pca" and X.shape[1] >= self.dims:
+            Y = _pca_init(X, self.dims)
+        else:
+            Y = rng.normal(0.0, 1e-4, size=(n, self.dims))
+
+        velocity = np.zeros_like(Y)
+        gains = np.ones_like(Y)
+        self.kl_history = []
+
+        for iteration in range(cfg.n_iter):
+            exaggeration = (
+                cfg.early_exaggeration
+                if iteration < cfg.exaggeration_iters
+                else 1.0
+            )
+            momentum = (
+                cfg.initial_momentum
+                if iteration < cfg.momentum_switch_iter
+                else cfg.final_momentum
+            )
+
+            Dy = _pairwise_sq_distances(Y)
+            num = 1.0 / (1.0 + Dy)
+            np.fill_diagonal(num, 0.0)
+            Q = np.maximum(num / num.sum(), 1e-12)
+
+            PQ = (exaggeration * P - Q) * num
+            grad = 4.0 * (
+                np.diag(PQ.sum(axis=1)) - PQ
+            ) @ Y
+
+            flips = np.sign(grad) != np.sign(velocity)
+            gains = np.where(flips, gains + 0.2, gains * 0.8)
+            gains = np.maximum(gains, cfg.min_gain)
+            velocity = momentum * velocity - cfg.learning_rate * gains * grad
+            Y = Y + velocity
+            Y = Y - Y.mean(axis=0)
+
+            if iteration % 50 == 0 or iteration == cfg.n_iter - 1:
+                kl = float((P * np.log(P / Q)).sum())
+                self.kl_history.append(kl)
+        return Y

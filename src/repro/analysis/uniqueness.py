@@ -1,0 +1,92 @@
+"""User re-identification from hostname fingerprints.
+
+Figures 2/3 of the paper establish that what lies *outside* the shared
+cores is what distinguishes users.  This module turns that observation
+into an attack metric: can an observer who profiled users in one period
+re-identify the same users in a later period purely from the sets of
+hostnames they visit?  (A direct measure of how identifying browsing
+habits are — and of why the paper's privacy concern extends beyond ads.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ReidentificationReport:
+    users_matched: int
+    top1_accuracy: float
+    mean_reciprocal_rank: float
+    chance_accuracy: float
+
+    @property
+    def lift_over_chance(self) -> float:
+        if self.chance_accuracy == 0:
+            return float("inf")
+        return self.top1_accuracy / self.chance_accuracy
+
+
+def jaccard(a: set, b: set) -> float:
+    """Jaccard similarity of two sets (1.0 for two empty sets)."""
+    if not a and not b:
+        return 1.0
+    union = len(a | b)
+    return len(a & b) / union if union else 0.0
+
+
+def reidentify(
+    enrollment: dict[int, set],
+    observation: dict[int, set],
+    exclude: set | None = None,
+    min_items: int = 3,
+) -> ReidentificationReport:
+    """Match each observed fingerprint to the most similar enrolled one.
+
+    ``enrollment`` maps user -> hostname set from the first period,
+    ``observation`` from the second.  ``exclude`` (typically a core of
+    universally visited hostnames) is stripped from both sides first.
+    Users with fewer than ``min_items`` remaining items are skipped —
+    there is nothing to match on.
+    """
+    exclude = exclude or set()
+    enrolled = {
+        user: items - exclude
+        for user, items in enrollment.items()
+        if len(items - exclude) >= min_items
+    }
+    if not enrolled:
+        raise ValueError("no enrollable users after exclusion")
+    enrolled_users = sorted(enrolled)
+
+    hits = 0
+    reciprocal_ranks: list[float] = []
+    matched = 0
+    for user, items in sorted(observation.items()):
+        fingerprint = items - exclude
+        if len(fingerprint) < min_items or user not in enrolled:
+            continue
+        matched += 1
+        scores = [
+            (jaccard(fingerprint, enrolled[candidate]), candidate)
+            for candidate in enrolled_users
+        ]
+        # sort by similarity desc; candidate id breaks ties deterministically
+        scores.sort(key=lambda sc: (-sc[0], sc[1]))
+        rank = next(
+            i for i, (_, candidate) in enumerate(scores)
+            if candidate == user
+        ) + 1
+        hits += int(rank == 1)
+        reciprocal_ranks.append(1.0 / rank)
+
+    if matched == 0:
+        raise ValueError("no users observable in both periods")
+    return ReidentificationReport(
+        users_matched=matched,
+        top1_accuracy=hits / matched,
+        mean_reciprocal_rank=float(np.mean(reciprocal_ranks)),
+        chance_accuracy=1.0 / len(enrolled_users),
+    )

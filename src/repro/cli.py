@@ -1,0 +1,256 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Exposes the reproduction's main entry points without writing any code:
+
+* ``experiment``   — run the Section-5 ad experiment, print the CTR table;
+* ``diversity``    — the Figure 2/3 core/CCDF analysis;
+* ``train``        — generate traffic, train embeddings, save them
+                     (``.npz`` or word2vec text format);
+* ``neighbours``   — query a saved embedding file for similar hostnames;
+* ``synthesize``   — write a synthetic browsing capture as a pcap file;
+* ``observe``      — read a pcap, extract SNI hostnames per client.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def _build_world(seed: int, num_sites: int, num_users: int, days: int):
+    from repro.ontology import build_default_taxonomy
+    from repro.traffic import (
+        PopulationConfig,
+        SyntheticWeb,
+        TraceGenerator,
+        UserPopulation,
+        WebConfig,
+    )
+    from repro.utils.randomness import derive_rng
+
+    taxonomy = build_default_taxonomy()
+    web = SyntheticWeb.generate(
+        taxonomy, derive_rng(seed, "web"), WebConfig(num_sites=num_sites)
+    )
+    population = UserPopulation.generate(
+        web, derive_rng(seed, "users"),
+        PopulationConfig(num_users=num_users),
+    )
+    trace = TraceGenerator(web, population, seed=seed).generate(days)
+    return taxonomy, web, population, trace
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiment import ExperimentConfig, ExperimentRunner
+
+    if args.scale == "small":
+        config = ExperimentConfig.small(seed=args.seed)
+    else:
+        config = ExperimentConfig.paper_scaled(seed=args.seed)
+    if args.profiling_days is not None:
+        config.profiling_days = args.profiling_days
+    print(
+        f"running {args.scale} experiment "
+        f"(seed {args.seed}, {config.profiling_days} profiling days)..."
+    )
+    result = ExperimentRunner(config).run()
+    print()
+    print(result.summary())
+    return 0
+
+
+def cmd_diversity(args: argparse.Namespace) -> int:
+    from repro.analysis.diversity import diversity_report
+
+    _, _, _, trace = _build_world(
+        args.seed, args.sites, args.users, args.days
+    )
+    report = diversity_report(trace.per_user_hostnames())
+    print("core sizes (hostnames visited by >= X% of users):")
+    for level in report.core_levels:
+        print(f"  Core {level}: {report.core_sizes[level]}")
+    print(
+        f"75% of users visit >= "
+        f"{report.overall.quantile_count(75):.0f} hostnames; "
+        f"25% visit >= {report.overall.quantile_count(25):.0f}"
+    )
+    for level in report.core_levels:
+        print(
+            f"  users with nothing outside Core {level}: "
+            f"{report.users_with_nothing_outside[level]:.1f}%"
+        )
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    from repro.core import SkipGramConfig, SkipGramModel, day_corpus
+
+    _, _, _, trace = _build_world(
+        args.seed, args.sites, args.users, args.days
+    )
+    corpus = []
+    for day in range(args.days):
+        corpus.extend(day_corpus(trace, day))
+    model = SkipGramModel(
+        SkipGramConfig(epochs=args.epochs, seed=args.seed)
+    )
+    print(
+        f"training on {sum(len(s) for s in corpus)} tokens "
+        f"({args.epochs} epochs)..."
+    )
+    embeddings = model.fit(corpus)
+    stats = model.stats
+    print(
+        f"vocab {stats.vocabulary_size}, loss "
+        f"{stats.mean_loss_per_epoch[0]:.2f} -> "
+        f"{stats.mean_loss_per_epoch[-1]:.2f}"
+    )
+    output = Path(args.output)
+    if output.suffix == ".txt":
+        embeddings.save_word2vec_format(output)
+    else:
+        embeddings.save(output)
+    print(f"saved {len(embeddings)} vectors to {output}")
+    return 0
+
+
+def _load_embeddings(path: Path):
+    from repro.core import HostnameEmbeddings
+
+    if path.suffix == ".txt":
+        return HostnameEmbeddings.load_word2vec_format(path)
+    return HostnameEmbeddings.load(path)
+
+
+def cmd_neighbours(args: argparse.Namespace) -> int:
+    embeddings = _load_embeddings(Path(args.vectors))
+    if args.hostname not in embeddings:
+        print(
+            f"error: {args.hostname!r} not in the vocabulary "
+            f"({len(embeddings)} hostnames)",
+            file=sys.stderr,
+        )
+        return 1
+    for hostname, similarity in embeddings.most_similar(
+        args.hostname, args.n
+    ):
+        print(f"{similarity:.3f}  {hostname}")
+    return 0
+
+
+def cmd_synthesize(args: argparse.Namespace) -> int:
+    from repro.netobs import TrafficSynthesizer
+    from repro.netobs.pcap import LINKTYPE_ETHERNET, write_pcap
+
+    _, _, _, trace = _build_world(
+        args.seed, args.sites, args.users, args.days
+    )
+    synthesizer = TrafficSynthesizer(seed=args.seed)
+    packets = sorted(
+        (
+            packet
+            for request in trace.all_requests()
+            for packet in synthesizer.packets_for_request(request)
+        ),
+        key=lambda p: p.timestamp,
+    )
+    count = write_pcap(args.output, packets, linktype=LINKTYPE_ETHERNET)
+    print(f"wrote {count} packets to {args.output}")
+    return 0
+
+
+def cmd_observe(args: argparse.Namespace) -> int:
+    from repro.netobs import NetworkObserver, ObserverConfig
+    from repro.netobs.pcap import read_pcap
+
+    observer = NetworkObserver(ObserverConfig(vantage=args.vantage))
+    for packet in read_pcap(args.pcap):
+        observer.ingest(packet)
+    stats = observer.flow_table.stats
+    print(
+        f"{stats.packets_seen} packets, {stats.flows_tracked} flows, "
+        f"{stats.events_emitted} hostname events"
+    )
+    for client in observer.clients:
+        events = observer.events_for(client)
+        hostnames = [e.hostname for e in events[: args.max_hosts]]
+        print(f"{client} ({len(events)} events): {', '.join(hostnames)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'User Profiling by Network Observers' "
+            "(CoNEXT '21)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_world_args(p):
+        p.add_argument("--seed", type=int, default=42)
+        p.add_argument("--sites", type=int, default=500)
+        p.add_argument("--users", type=int, default=60)
+        p.add_argument("--days", type=int, default=2)
+
+    p = sub.add_parser(
+        "experiment", help="run the Section-5 ad experiment"
+    )
+    p.add_argument(
+        "--scale", choices=("small", "paper"), default="small"
+    )
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--profiling-days", type=int, default=None)
+    p.set_defaults(func=cmd_experiment)
+
+    p = sub.add_parser("diversity", help="Figure 2 core/CCDF analysis")
+    add_world_args(p)
+    p.set_defaults(func=cmd_diversity)
+
+    p = sub.add_parser("train", help="train hostname embeddings")
+    add_world_args(p)
+    p.add_argument("--epochs", type=int, default=20)
+    p.add_argument(
+        "--output", default="embeddings.npz",
+        help=".npz archive or .txt (word2vec text format)",
+    )
+    p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser(
+        "neighbours", help="query similar hostnames from saved vectors"
+    )
+    p.add_argument("vectors", help="embeddings file (.npz or .txt)")
+    p.add_argument("hostname")
+    p.add_argument("-n", type=int, default=10)
+    p.set_defaults(func=cmd_neighbours)
+
+    p = sub.add_parser(
+        "synthesize", help="write a synthetic browsing capture as pcap"
+    )
+    add_world_args(p)
+    p.add_argument("--output", default="capture.pcap")
+    p.set_defaults(func=cmd_synthesize)
+
+    p = sub.add_parser(
+        "observe", help="extract per-client hostnames from a pcap"
+    )
+    p.add_argument("pcap")
+    p.add_argument(
+        "--vantage", choices=("sni", "dns", "all", "ip"), default="sni"
+    )
+    p.add_argument("--max-hosts", type=int, default=8)
+    p.set_defaults(func=cmd_observe)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

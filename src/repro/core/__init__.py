@@ -1,0 +1,47 @@
+"""The paper's primary contribution: hostname-embedding user profiling.
+
+Train SGNS embeddings on per-user hostname request sequences (daily), then
+profile each browsing session by aggregating its hostname vectors and
+taking a cosine-kNN weighted vote among ontology-labelled hostnames
+(Equations 3-4 of the paper).
+"""
+
+from repro.core.corpus import (
+    CorpusConfig,
+    corpus_token_count,
+    day_corpus,
+    sequences_from_requests,
+)
+from repro.core.embeddings import HostnameEmbeddings
+from repro.core.pipeline import NetworkObserverProfiler, PipelineConfig
+from repro.core.profiler import SessionProfile, SessionProfiler
+from repro.core.session import SessionExtractor, SessionWindow, first_visits
+from repro.core.streaming import (
+    ProfileEmission,
+    StreamingConfig,
+    StreamingProfiler,
+)
+from repro.core.skipgram import SkipGramConfig, SkipGramModel, TrainStats
+from repro.core.vocabulary import Vocabulary
+
+__all__ = [
+    "CorpusConfig",
+    "HostnameEmbeddings",
+    "NetworkObserverProfiler",
+    "PipelineConfig",
+    "ProfileEmission",
+    "SessionExtractor",
+    "SessionProfile",
+    "SessionProfiler",
+    "SessionWindow",
+    "SkipGramConfig",
+    "StreamingConfig",
+    "StreamingProfiler",
+    "SkipGramModel",
+    "TrainStats",
+    "Vocabulary",
+    "corpus_token_count",
+    "day_corpus",
+    "first_visits",
+    "sequences_from_requests",
+]

@@ -1,0 +1,96 @@
+"""From raw request streams to SGNS training sequences.
+
+The paper trains on "the sequence of hosts visited by all the users during
+the whole previous day".  A user's day is not one long sentence: long idle
+gaps separate browsing sessions, and co-occurrence across a multi-hour gap
+carries no topical signal.  We therefore split each user's day into
+gap-delimited sequences, optionally dropping blocklisted tracker hostnames
+first (Section 5.4, "Filtering hostnames") and collapsing immediate repeats
+(interactive services reconnect to the same host many times; the paper's
+profiling step likewise keeps only first visits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.traffic.blocklists import TrackerFilter
+from repro.traffic.events import Request
+from repro.traffic.generator import Trace
+from repro.utils.timeutils import minutes
+
+
+@dataclass
+class CorpusConfig:
+    """How request streams become training sequences."""
+
+    # A silence longer than this starts a new sequence.
+    session_gap_seconds: float = minutes(30)
+    # Collapse back-to-back repeats of the same hostname.
+    collapse_repeats: bool = True
+    # Discard sequences shorter than this (no context to learn from).
+    min_sequence_length: int = 2
+
+    def validate(self) -> None:
+        if self.session_gap_seconds <= 0:
+            raise ValueError("session_gap_seconds must be positive")
+        if self.min_sequence_length < 1:
+            raise ValueError("min_sequence_length must be >= 1")
+
+
+def sequences_from_requests(
+    requests: list[Request],
+    config: CorpusConfig | None = None,
+) -> list[list[str]]:
+    """Split ONE user's time-ordered requests into hostname sequences."""
+    config = config or CorpusConfig()
+    config.validate()
+    sequences: list[list[str]] = []
+    current: list[str] = []
+    last_time: float | None = None
+    for request in requests:
+        if last_time is not None and request.timestamp < last_time:
+            raise ValueError("requests must be sorted by timestamp")
+        gap_break = (
+            last_time is not None
+            and request.timestamp - last_time > config.session_gap_seconds
+        )
+        if gap_break and current:
+            sequences.append(current)
+            current = []
+        if not (
+            config.collapse_repeats
+            and current
+            and current[-1] == request.hostname
+        ):
+            current.append(request.hostname)
+        last_time = request.timestamp
+    if current:
+        sequences.append(current)
+    return [s for s in sequences if len(s) >= config.min_sequence_length]
+
+
+def day_corpus(
+    trace: Trace,
+    day: int,
+    tracker_filter: TrackerFilter | None = None,
+    config: CorpusConfig | None = None,
+) -> list[list[str]]:
+    """Training corpus for one day: every user's gap-split sequences.
+
+    This is the paper's daily-retraining input ("we obtain from our database
+    the sequence of hosts visited by all the users during the whole previous
+    day"); the tracker filter implements its hostname filtering step.
+    """
+    corpus: list[list[str]] = []
+    for _, user_requests in sorted(trace.user_sequences(day).items()):
+        if tracker_filter is not None:
+            user_requests = tracker_filter.filter_requests(user_requests)
+        corpus.extend(sequences_from_requests(user_requests, config))
+    return corpus
+
+
+def corpus_token_count(corpus: Iterable[list[str]]) -> int:
+    """Total number of tokens (hostname occurrences) in a corpus."""
+    return sum(len(sequence) for sequence in corpus)

@@ -1,0 +1,142 @@
+"""End-to-end network-observer profiling pipeline.
+
+Glues the pieces into the deployment loop of the paper's Section 5.4:
+
+* **daily retraining** — "We update our model every day ... we obtain from
+  our database the sequence of hosts visited by all the users during the
+  whole previous day [and] train a new model that we immediately start
+  using to calculate profiles";
+* **session profiling** — profiles are computed from the hosts each user
+  requested in the last T = 20 minutes, tracker hostnames filtered out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.corpus import CorpusConfig, day_corpus
+from repro.core.embeddings import HostnameEmbeddings
+from repro.core.profiler import SessionProfile, SessionProfiler
+from repro.core.session import SessionExtractor, SessionWindow
+from repro.core.skipgram import SkipGramConfig, SkipGramModel, TrainStats
+from repro.traffic.blocklists import TrackerFilter
+from repro.traffic.events import Request
+from repro.traffic.generator import Trace
+from repro.utils.timeutils import minutes
+
+
+@dataclass
+class PipelineConfig:
+    """All paper constants in one place."""
+
+    session_minutes: float = 20.0       # T
+    report_interval_minutes: float = 10.0
+    neighbourhood_size: int = 1000      # N
+    # Effective N is capped at this fraction of the vocabulary (see
+    # SessionProfiler): the paper's N=1000 spans only ~0.2% of its space.
+    max_neighbourhood_fraction: float = 0.02
+    aggregation: str = "mean"           # g
+    skipgram: SkipGramConfig = field(default_factory=SkipGramConfig)
+    corpus: CorpusConfig = field(default_factory=CorpusConfig)
+
+    def validate(self) -> None:
+        if self.session_minutes <= 0:
+            raise ValueError("session_minutes must be positive")
+        if self.report_interval_minutes <= 0:
+            raise ValueError("report_interval_minutes must be positive")
+        self.skipgram.validate()
+        self.corpus.validate()
+
+
+class NetworkObserverProfiler:
+    """The complete eavesdropper: train daily, profile sessions on demand."""
+
+    def __init__(
+        self,
+        labelled: dict[str, np.ndarray],
+        config: PipelineConfig | None = None,
+        tracker_filter: TrackerFilter | None = None,
+    ):
+        if not labelled:
+            raise ValueError("labelled set H_L is empty")
+        self.labelled = labelled
+        self.config = config or PipelineConfig()
+        self.config.validate()
+        self.tracker_filter = tracker_filter
+        self.extractor = SessionExtractor(
+            window_seconds=minutes(self.config.session_minutes),
+            tracker_filter=tracker_filter,
+        )
+        self._profiler: SessionProfiler | None = None
+        self._embeddings: HostnameEmbeddings | None = None
+        self.last_train_stats: TrainStats | None = None
+        self.trained_days: list[int] = []
+
+    # -- state -----------------------------------------------------------------
+
+    @property
+    def is_trained(self) -> bool:
+        return self._profiler is not None
+
+    @property
+    def embeddings(self) -> HostnameEmbeddings:
+        if self._embeddings is None:
+            raise RuntimeError("pipeline has not been trained yet")
+        return self._embeddings
+
+    @property
+    def profiler(self) -> SessionProfiler:
+        if self._profiler is None:
+            raise RuntimeError("pipeline has not been trained yet")
+        return self._profiler
+
+    # -- training ---------------------------------------------------------------
+
+    def train_on_sequences(self, sequences: list[list[str]]) -> TrainStats:
+        """Train a fresh model on arbitrary hostname sequences."""
+        model = SkipGramModel(self.config.skipgram)
+        self._embeddings = model.fit(sequences)
+        self._profiler = SessionProfiler(
+            self._embeddings,
+            self.labelled,
+            neighbourhood_size=self.config.neighbourhood_size,
+            aggregation=self.config.aggregation,
+            max_neighbourhood_fraction=self.config.max_neighbourhood_fraction,
+        )
+        self.last_train_stats = model.stats
+        return model.stats
+
+    def train_on_day(self, trace: Trace, day: int) -> TrainStats:
+        """The daily retrain: replace the model with one trained on ``day``."""
+        corpus = day_corpus(
+            trace, day,
+            tracker_filter=self.tracker_filter,
+            config=self.config.corpus,
+        )
+        stats = self.train_on_sequences(corpus)
+        self.trained_days.append(day)
+        return stats
+
+    # -- profiling ---------------------------------------------------------------
+
+    def profile_session(self, hostnames) -> SessionProfile:
+        """Profile an explicit hostname list (already a session window)."""
+        if self.tracker_filter is not None:
+            hostnames = self.tracker_filter.filter_hostnames(list(hostnames))
+        return self.profiler.profile(hostnames)
+
+    def profile_window(self, window: SessionWindow) -> SessionProfile:
+        return self.profile_session(list(window.hostnames))
+
+    def profile_user(
+        self, user_requests: list[Request], now: float
+    ) -> SessionProfile:
+        """Profile a user from her raw request stream at time ``now``.
+
+        Extracts the last-T-minutes session window (tracker-filtered,
+        first-visit deduplicated) and profiles it.
+        """
+        window = self.extractor.extract(user_requests, end_time=now)
+        return self.profiler.profile(list(window.hostnames))

@@ -1,0 +1,300 @@
+"""SKIPGRAM with negative sampling (SGNS), from scratch in numpy.
+
+This is the representation-learning algorithm of the paper's Section 4.1:
+for every window of size 2m+1 over a hostname sequence it minimizes the
+negative-sampling log loss
+
+    sum_j [ log sigma(h_c . h'_ctx)  +  K * E_{h_k ~ P_D} log sigma(-h_c . h'_k) ]
+
+where P_D is the unigram distribution raised to ``ns_exponent`` (0.75).
+Defaults mirror the gensim configuration the paper says it used: d = 100,
+window m = 2 (a 5-host window), K = 5 negatives, initial learning rate
+0.025 with linear decay, frequent-host subsampling at 1e-3, min_count 5 on
+gensim's side (we default lower because our corpora are smaller).
+
+Training is mini-batched: (center, context) pairs are buffered and each
+batch update is fully vectorized, with ``np.add.at`` scatter-adds playing
+the role of word2vec's lock-free (Hogwild) updates — gradient collisions
+within a batch are tolerated exactly as they are in the reference C
+implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.embeddings import HostnameEmbeddings
+from repro.core.vocabulary import Vocabulary
+from repro.utils.randomness import derive_rng
+
+_SIGMOID_CLAMP = 30.0
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -_SIGMOID_CLAMP, _SIGMOID_CLAMP)))
+
+
+def _scatter_add(
+    target: np.ndarray, indices: np.ndarray, updates: np.ndarray
+) -> None:
+    """``target[indices] += updates`` with duplicate indices accumulated.
+
+    Equivalent to ``np.add.at`` but implemented with a sort +
+    ``np.add.reduceat``, which is several times faster for the dense row
+    updates SGNS performs.
+    """
+    if len(indices) == 0:
+        return
+    order = np.argsort(indices, kind="stable")
+    sorted_idx = indices[order]
+    sorted_upd = updates[order]
+    starts = np.concatenate(
+        ([0], np.flatnonzero(np.diff(sorted_idx)) + 1)
+    )
+    sums = np.add.reduceat(sorted_upd, starts, axis=0)
+    target[sorted_idx[starts]] += sums
+
+
+@dataclass
+class SkipGramConfig:
+    """Hyperparameters; defaults are the paper's / gensim's."""
+
+    dim: int = 100
+    window: int = 2          # the paper's m: 2m+1 = 5-host windows
+    negatives: int = 5       # the paper's K
+    # The paper uses gensim defaults (epochs=5, lr=0.025) on a corpus with
+    # millions of daily connections; our synthetic days are 100-1000x
+    # smaller, so the defaults compensate with more passes and a higher
+    # initial rate.  Tests and ablations may pin the gensim values.
+    epochs: int = 25
+    learning_rate: float = 0.05
+    min_learning_rate: float = 1e-4
+    sample: float = 1e-3     # frequent-host subsampling threshold
+    min_count: int = 2
+    ns_exponent: float = 0.75
+    shrink_windows: bool = True  # word2vec's uniform(1..window) trick
+    batch_pairs: int = 512
+    seed: int = 1
+    dtype: str = "float32"   # training precision (word2vec also uses fp32)
+
+    def validate(self) -> None:
+        if self.dim < 1:
+            raise ValueError("dim must be >= 1")
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if self.negatives < 0:
+            raise ValueError("negatives must be >= 0")
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if self.min_learning_rate <= 0:
+            raise ValueError("min_learning_rate must be positive")
+        if self.batch_pairs < 1:
+            raise ValueError("batch_pairs must be >= 1")
+
+
+@dataclass
+class TrainStats:
+    """What happened during one ``fit`` call."""
+
+    vocabulary_size: int = 0
+    tokens_seen: int = 0
+    pairs_trained: int = 0
+    epochs: int = 0
+    mean_loss_per_epoch: list[float] = field(default_factory=list)
+
+
+class SkipGramModel:
+    """Trainer producing :class:`HostnameEmbeddings` from sequences."""
+
+    def __init__(self, config: SkipGramConfig | None = None):
+        self.config = config or SkipGramConfig()
+        self.config.validate()
+        self.stats = TrainStats()
+
+    # -- training ------------------------------------------------------------
+
+    def fit(
+        self,
+        sequences: list[list[str]],
+        vocabulary: Vocabulary | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> HostnameEmbeddings:
+        """Train fresh embeddings on ``sequences`` (one daily corpus)."""
+        cfg = self.config
+        if vocabulary is None:
+            vocabulary = Vocabulary.from_sequences(
+                sequences, min_count=cfg.min_count
+            )
+        if len(vocabulary) < 2:
+            raise ValueError(
+                "vocabulary too small to train on "
+                f"({len(vocabulary)} hosts after min_count={cfg.min_count})"
+            )
+        rng = rng or derive_rng(cfg.seed, "skipgram")
+
+        encoded = [vocabulary.encode(s) for s in sequences]
+        encoded = [e for e in encoded if len(e) >= 2]
+        if not encoded:
+            raise ValueError("no trainable sequences after vocabulary encoding")
+
+        V, d = len(vocabulary), cfg.dim
+        dtype = np.dtype(cfg.dtype)
+        # word2vec init: small uniform input vectors, zero context vectors.
+        W = ((rng.random((V, d)) - 0.5) / d).astype(dtype)
+        C = np.zeros((V, d), dtype=dtype)
+
+        neg_cumprobs = np.cumsum(
+            vocabulary.negative_sampling_probs(cfg.ns_exponent)
+        )
+        keep_probs = vocabulary.keep_probs(cfg.sample)
+
+        total_tokens = sum(len(e) for e in encoded) * cfg.epochs
+        self.stats = TrainStats(vocabulary_size=V)
+
+        processed = 0
+        order = np.arange(len(encoded))
+        for epoch in range(cfg.epochs):
+            rng.shuffle(order)
+            epoch_losses: list[float] = []
+            buffer_centers: list[np.ndarray] = []
+            buffer_contexts: list[np.ndarray] = []
+            buffered = 0
+            for seq_index in order:
+                ids = encoded[seq_index]
+                processed += len(ids)
+                kept = ids[rng.random(len(ids)) < keep_probs[ids]]
+                if len(kept) < 2:
+                    continue
+                centers, contexts = self._window_pairs(kept, rng)
+                if len(centers) == 0:
+                    continue
+                buffer_centers.append(centers)
+                buffer_contexts.append(contexts)
+                buffered += len(centers)
+                if buffered >= cfg.batch_pairs:
+                    lr = self._lr(processed, total_tokens)
+                    loss = self._update(
+                        W, C,
+                        np.concatenate(buffer_centers),
+                        np.concatenate(buffer_contexts),
+                        neg_cumprobs, lr, rng,
+                    )
+                    epoch_losses.append(loss)
+                    self.stats.pairs_trained += buffered
+                    buffer_centers, buffer_contexts, buffered = [], [], 0
+            if buffered:
+                lr = self._lr(processed, total_tokens)
+                loss = self._update(
+                    W, C,
+                    np.concatenate(buffer_centers),
+                    np.concatenate(buffer_contexts),
+                    neg_cumprobs, lr, rng,
+                )
+                epoch_losses.append(loss)
+                self.stats.pairs_trained += buffered
+            self.stats.epochs += 1
+            self.stats.mean_loss_per_epoch.append(
+                float(np.mean(epoch_losses)) if epoch_losses else float("nan")
+            )
+        self.stats.tokens_seen = processed
+        return HostnameEmbeddings(W, vocabulary, context_vectors=C)
+
+    # -- internals -------------------------------------------------------------
+
+    def _lr(self, processed: int, total: int) -> float:
+        cfg = self.config
+        fraction = min(processed / max(total, 1), 1.0)
+        return max(
+            cfg.min_learning_rate, cfg.learning_rate * (1.0 - fraction)
+        )
+
+    def _window_pairs(
+        self, ids: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Enumerate (center, context) pairs for one subsampled sequence.
+
+        Vectorized over window offsets: for each delta = 1..window, a center
+        at position i pairs with i+delta and i-delta whenever its (possibly
+        shrunk) span covers that delta.
+        """
+        cfg = self.config
+        n = len(ids)
+        if cfg.shrink_windows:
+            spans = rng.integers(1, cfg.window + 1, size=n)
+        else:
+            spans = np.full(n, cfg.window)
+        centers: list[np.ndarray] = []
+        contexts: list[np.ndarray] = []
+        for delta in range(1, cfg.window + 1):
+            if delta >= n:
+                break  # window wider than the whole sequence
+            forward = spans[:n - delta] >= delta   # context to the right
+            if forward.any():
+                centers.append(ids[:n - delta][forward])
+                contexts.append(ids[delta:][forward])
+            backward = spans[delta:] >= delta      # context to the left
+            if backward.any():
+                centers.append(ids[delta:][backward])
+                contexts.append(ids[:n - delta][backward])
+        if not centers:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        return (
+            np.concatenate(centers).astype(np.int64),
+            np.concatenate(contexts).astype(np.int64),
+        )
+
+    def _update(
+        self,
+        W: np.ndarray,
+        C: np.ndarray,
+        centers: np.ndarray,
+        contexts: np.ndarray,
+        neg_cumprobs: np.ndarray,
+        lr: float,
+        rng: np.random.Generator,
+    ) -> float:
+        """One vectorized SGD step over a batch of pairs; returns mean loss."""
+        K = self.config.negatives
+        h = W[centers]                     # (B, d)
+        c = C[contexts]                    # (B, d)
+        pos_score = _sigmoid(np.einsum("bd,bd->b", h, c))
+        g_pos = 1.0 - pos_score            # gradient coefficient, positives
+
+        if K > 0:
+            draws = rng.random((len(centers), K))
+            negatives = np.searchsorted(neg_cumprobs, draws)  # (B, K)
+            nv = C[negatives]              # (B, K, d)
+            neg_score = _sigmoid(np.einsum("bd,bkd->bk", h, nv))
+            grad_h = g_pos[:, None] * c - np.einsum(
+                "bk,bkd->bd", neg_score, nv
+            )
+            grad_neg = -neg_score[..., None] * h[:, None, :]
+        else:
+            neg_score = None
+            grad_h = g_pos[:, None] * c
+        grad_c = g_pos[:, None] * h
+
+        _scatter_add(W, centers, lr * grad_h)
+        if K > 0:
+            # contexts and negatives both update C; one combined scatter.
+            d = grad_neg.shape[-1]
+            _scatter_add(
+                C,
+                np.concatenate((contexts, negatives.ravel())),
+                np.concatenate(
+                    (lr * grad_c, lr * grad_neg.reshape(-1, d)), axis=0
+                ),
+            )
+        else:
+            _scatter_add(C, contexts, lr * grad_c)
+
+        eps = 1e-10
+        loss = -np.log(pos_score + eps).mean()
+        if neg_score is not None:
+            loss += -np.log(1.0 - neg_score + eps).sum(axis=1).mean()
+        return float(loss)

@@ -1,0 +1,168 @@
+"""Streaming profiler: the deployable, line-rate shape of the pipeline.
+
+The batch pipeline (train on yesterday, profile a given window) is what
+the paper evaluates; a real network observer runs *continuously*.  This
+module provides that deployment shape:
+
+* events arrive one at a time (from the packet observer, a pcap replay,
+  or any source of (client, time, hostname) facts);
+* per-client sliding windows of the last T minutes are maintained
+  incrementally, with first-visit dedup and tracker filtering;
+* profiles are emitted on each client's report grid (every 10 minutes of
+  activity), matching the experiment's cadence;
+* the embedding model is swapped atomically whenever the daily retrain
+  finishes — exactly the paper's "train a new model that we immediately
+  start using".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.profiler import SessionProfile, SessionProfiler
+from repro.core.session import first_visits
+from repro.netobs.flows import HostnameEvent
+from repro.traffic.blocklists import TrackerFilter
+from repro.utils.timeutils import minutes
+
+
+@dataclass(frozen=True)
+class ProfileEmission:
+    """One profile produced by the stream."""
+
+    client: str
+    timestamp: float
+    profile: SessionProfile
+    window_hosts: tuple[str, ...]
+
+
+@dataclass
+class StreamingConfig:
+    session_minutes: float = 20.0
+    report_interval_minutes: float = 10.0
+    # Forget clients silent for this long (state bound, like a flow table).
+    client_idle_timeout_minutes: float = 24 * 60.0
+
+    def validate(self) -> None:
+        if self.session_minutes <= 0:
+            raise ValueError("session_minutes must be positive")
+        if self.report_interval_minutes <= 0:
+            raise ValueError("report_interval_minutes must be positive")
+        if self.client_idle_timeout_minutes <= 0:
+            raise ValueError("client_idle_timeout_minutes must be positive")
+
+
+@dataclass
+class _ClientState:
+    events: deque = field(default_factory=deque)   # (timestamp, hostname)
+    next_report: float | None = None
+    last_seen: float = 0.0
+
+
+class StreamingProfiler:
+    """Consumes hostname events; emits profiles on each client's grid."""
+
+    def __init__(
+        self,
+        config: StreamingConfig | None = None,
+        tracker_filter: TrackerFilter | None = None,
+    ):
+        self.config = config or StreamingConfig()
+        self.config.validate()
+        self.tracker_filter = tracker_filter
+        self._profiler: SessionProfiler | None = None
+        self._clients: dict[str, _ClientState] = {}
+        self.events_seen = 0
+        self.profiles_emitted = 0
+        self.model_swaps = 0
+
+    # -- model management ---------------------------------------------------
+
+    @property
+    def has_model(self) -> bool:
+        return self._profiler is not None
+
+    def swap_model(self, profiler: SessionProfiler) -> None:
+        """Atomically replace the profiling model (the daily retrain)."""
+        self._profiler = profiler
+        self.model_swaps += 1
+
+    # -- event ingestion -------------------------------------------------------
+
+    def _window(self, state: _ClientState, now: float) -> tuple[str, ...]:
+        horizon = now - minutes(self.config.session_minutes)
+        while state.events and state.events[0][0] <= horizon:
+            state.events.popleft()
+        # Events after the tick stay buffered for the next window.
+        return first_visits(h for t, h in state.events if t <= now)
+
+    def ingest(self, event: HostnameEvent) -> ProfileEmission | None:
+        """Feed one event; returns a profile if a report tick fired.
+
+        Events must arrive in (per-client) non-decreasing time order, as
+        they do off a wire.
+        """
+        self.events_seen += 1
+        if self.tracker_filter is not None and self.tracker_filter.blocks(
+            event.hostname
+        ):
+            return None
+        state = self._clients.setdefault(event.client_ip, _ClientState())
+        if state.events and event.timestamp < state.events[-1][0]:
+            raise ValueError(
+                f"events for {event.client_ip} must be time-ordered"
+            )
+        state.events.append((event.timestamp, event.hostname))
+        state.last_seen = event.timestamp
+        if state.next_report is None:
+            # first activity anchors this client's report grid
+            state.next_report = event.timestamp + minutes(
+                self.config.report_interval_minutes
+            )
+            return None
+        if event.timestamp < state.next_report or self._profiler is None:
+            return None
+        # A tick elapsed; profile at the tick time, then advance the grid
+        # past "now" (idle ticks need no work — nothing browsed).
+        tick = state.next_report
+        interval = minutes(self.config.report_interval_minutes)
+        while state.next_report <= event.timestamp:
+            state.next_report += interval
+        window_hosts = self._window(state, tick)
+        if not window_hosts:
+            return None
+        profile = self._profiler.profile(list(window_hosts))
+        self.profiles_emitted += 1
+        return ProfileEmission(
+            client=event.client_ip,
+            timestamp=tick,
+            profile=profile,
+            window_hosts=window_hosts,
+        )
+
+    def ingest_many(self, events) -> list[ProfileEmission]:
+        emissions = []
+        for event in events:
+            emission = self.ingest(event)
+            if emission is not None:
+                emissions.append(emission)
+        return emissions
+
+    # -- housekeeping ---------------------------------------------------------
+
+    def evict_idle(self, now: float) -> int:
+        """Drop clients idle past the timeout; returns how many."""
+        horizon = now - minutes(self.config.client_idle_timeout_minutes)
+        idle = [
+            client
+            for client, state in self._clients.items()
+            if state.last_seen < horizon
+        ]
+        for client in idle:
+            del self._clients[client]
+        return len(idle)
+
+    @property
+    def active_clients(self) -> int:
+        return len(self._clients)

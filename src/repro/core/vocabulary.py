@@ -1,0 +1,112 @@
+"""Hostname vocabulary for the embedding model.
+
+Maps hostnames to dense integer ids, tracks occurrence counts, and derives
+the two distributions SGNS training needs: the negative-sampling
+distribution (unigram ^ ns_exponent, Mikolov et al.'s 3/4 trick) and the
+frequent-host subsampling keep-probabilities (gensim's ``sample``
+parameter) — the paper trains with gensim defaults, which we mirror.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator
+
+import numpy as np
+
+
+class Vocabulary:
+    """Hostname <-> id mapping with counts, built from request sequences."""
+
+    def __init__(self, counts: Counter | None = None, min_count: int = 1):
+        if min_count < 1:
+            raise ValueError("min_count must be >= 1")
+        self.min_count = min_count
+        self._hosts: list[str] = []
+        self._ids: dict[str, int] = {}
+        self._counts: list[int] = []
+        if counts:
+            # Most-frequent-first ordering (stable tie-break on the name)
+            # so id 0 is the most common hostname, as in word2vec.
+            for host, count in sorted(
+                counts.items(), key=lambda kv: (-kv[1], kv[0])
+            ):
+                if count >= min_count:
+                    self._ids[host] = len(self._hosts)
+                    self._hosts.append(host)
+                    self._counts.append(count)
+
+    @classmethod
+    def from_sequences(
+        cls, sequences: Iterable[list[str]], min_count: int = 1
+    ) -> "Vocabulary":
+        counts: Counter = Counter()
+        for sequence in sequences:
+            counts.update(sequence)
+        return cls(counts, min_count=min_count)
+
+    # -- mapping -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._hosts)
+
+    def __contains__(self, hostname: str) -> bool:
+        return hostname in self._ids
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._hosts)
+
+    def id_of(self, hostname: str) -> int:
+        try:
+            return self._ids[hostname]
+        except KeyError:
+            raise KeyError(f"hostname not in vocabulary: {hostname!r}") from None
+
+    def get_id(self, hostname: str) -> int | None:
+        return self._ids.get(hostname)
+
+    def host_of(self, host_id: int) -> str:
+        return self._hosts[host_id]
+
+    def count_of(self, hostname: str) -> int:
+        return self._counts[self.id_of(hostname)]
+
+    @property
+    def hosts(self) -> list[str]:
+        return list(self._hosts)
+
+    @property
+    def counts(self) -> np.ndarray:
+        return np.asarray(self._counts, dtype=np.float64)
+
+    @property
+    def total_count(self) -> float:
+        return float(sum(self._counts))
+
+    # -- training distributions ----------------------------------------------
+
+    def encode(self, sequence: list[str]) -> np.ndarray:
+        """Map a hostname sequence to ids, dropping out-of-vocab hosts."""
+        ids = [self._ids[h] for h in sequence if h in self._ids]
+        return np.asarray(ids, dtype=np.int64)
+
+    def negative_sampling_probs(self, ns_exponent: float = 0.75) -> np.ndarray:
+        """P_D of the paper's Eq. 2: unigram distribution ^ ns_exponent."""
+        if len(self) == 0:
+            raise ValueError("empty vocabulary")
+        weights = self.counts ** ns_exponent
+        return weights / weights.sum()
+
+    def keep_probs(self, sample: float = 1e-3) -> np.ndarray:
+        """Subsampling keep-probability per host id (word2vec formula).
+
+        Hosts whose corpus frequency f exceeds ``sample`` are randomly
+        dropped with probability 1 - (sqrt(sample/f) + sample/f); everything
+        else is always kept.  With sample=0 all hosts are kept.
+        """
+        if sample <= 0:
+            return np.ones(len(self), dtype=np.float64)
+        freqs = self.counts / self.total_count
+        ratio = sample / np.maximum(freqs, 1e-300)
+        keep = np.sqrt(ratio) + ratio
+        return np.minimum(keep, 1.0)

@@ -1,0 +1,28 @@
+"""Countermeasures against hostname-based profiling (paper Section 7.4).
+
+The paper argues that ad-blockers cannot stop a network observer, that
+VPNs merely move the observer, and that only TOR-grade measures work — at
+a usability cost.  This package makes those claims measurable: client-side
+defenses transform a user's request stream, and the profile-fidelity
+oracle quantifies how much profiling power each defense removes and at
+what bandwidth overhead.
+"""
+
+from repro.defense.decoys import (
+    DecoyConfig,
+    DecoyInjector,
+    DefenseReport,
+    evaluate_defense,
+    observed_fidelity,
+)
+from repro.defense.tunnel import PopularOnlyFilter, TunnelAggregator
+
+__all__ = [
+    "DecoyConfig",
+    "DecoyInjector",
+    "DefenseReport",
+    "PopularOnlyFilter",
+    "TunnelAggregator",
+    "evaluate_defense",
+    "observed_fidelity",
+]

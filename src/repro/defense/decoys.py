@@ -1,0 +1,253 @@
+"""Decoy-injection defense: drown the signal in plausible noise.
+
+A client-side agent (browser extension, OS service) can fetch hostnames
+the user never asked for, so the observer's sessions mix genuine interests
+with decoys.  Unlike ad-blocking — which the paper notes is useless
+against a network observer — this attacks the observer's *input*.
+
+The injector draws decoys from the popular web (an attacker-visible
+crawl), optionally steering them towards categories the user does NOT
+browse ("chaff mode"), and the evaluation harness reports the
+fidelity-vs-overhead trade-off curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.fidelity import FidelityReport, build_report
+from repro.core.pipeline import NetworkObserverProfiler, PipelineConfig
+from repro.traffic.events import HostKind, Request
+from repro.traffic.generator import Trace
+from repro.traffic.web import SyntheticWeb
+
+
+@dataclass
+class DecoyConfig:
+    """Shape of the injected cover traffic."""
+
+    # Decoy requests added per genuine request.
+    decoy_rate: float = 1.0
+    # Steer decoys away from what the user actually browses ("chaff") or
+    # sample them by global popularity ("popular").
+    strategy: str = "popular"
+    # Decoys are spread uniformly within this many seconds of the genuine
+    # request that triggered them.
+    jitter_seconds: float = 30.0
+
+    def validate(self) -> None:
+        if self.decoy_rate < 0:
+            raise ValueError("decoy_rate must be >= 0")
+        if self.strategy not in ("popular", "chaff"):
+            raise ValueError("strategy must be 'popular' or 'chaff'")
+        if self.jitter_seconds <= 0:
+            raise ValueError("jitter_seconds must be positive")
+
+
+class DecoyInjector:
+    """Adds decoy hostname requests to a user's stream."""
+
+    def __init__(
+        self,
+        web: SyntheticWeb,
+        config: DecoyConfig | None = None,
+    ):
+        self.web = web
+        self.config = config or DecoyConfig()
+        self.config.validate()
+        sites = web.content_sites
+        self._domains = [site.domain for site in sites]
+        weights = np.array([site.popularity for site in sites])
+        self._popular_probs = weights / weights.sum()
+        self._site_vertical = {s.domain: s.vertical for s in sites}
+
+    def _decoy_pool(
+        self, genuine: list[Request], rng: np.random.Generator
+    ) -> tuple[list[str], np.ndarray]:
+        if self.config.strategy == "popular":
+            return self._domains, self._popular_probs
+        # chaff: exclude the verticals the user genuinely browses, so the
+        # injected interests are maximally misleading.
+        browsed = {
+            self._site_vertical.get(r.site_domain)
+            for r in genuine
+            if r.is_content()
+        }
+        pool = [
+            d for d in self._domains
+            if self._site_vertical[d] not in browsed
+        ]
+        if not pool:                      # user browses everything: fall back
+            return self._domains, self._popular_probs
+        weights = np.array(
+            [self.web.site(d).popularity for d in pool]
+        )
+        return pool, weights / weights.sum()
+
+    def protect(
+        self, requests: list[Request], rng: np.random.Generator
+    ) -> list[Request]:
+        """Return the user's stream with decoys merged in (time-sorted)."""
+        if not requests:
+            return []
+        pool, probs = self._decoy_pool(requests, rng)
+        user_id = requests[0].user_id
+        protected = list(requests)
+        n_decoys = int(
+            rng.poisson(self.config.decoy_rate * len(requests))
+        )
+        anchors = rng.integers(0, len(requests), size=n_decoys)
+        picks = rng.choice(len(pool), size=n_decoys, p=probs)
+        for anchor, pick in zip(anchors, picks):
+            base_time = requests[int(anchor)].timestamp
+            domain = pool[int(pick)]
+            protected.append(
+                Request(
+                    user_id=user_id,
+                    timestamp=base_time + float(
+                        rng.uniform(0, self.config.jitter_seconds)
+                    ),
+                    hostname=domain,
+                    kind=self.web.site(domain).kind,
+                    site_domain=domain,
+                )
+            )
+        protected.sort(key=lambda r: r.timestamp)
+        return protected
+
+    def protect_trace(self, trace: Trace, rng: np.random.Generator) -> Trace:
+        """Apply the defense to every user's stream, day by day."""
+        days: list[list[Request]] = []
+        for offset in range(len(trace)):
+            day = trace.start_day + offset
+            merged: list[Request] = []
+            for _, requests in sorted(trace.user_sequences(day).items()):
+                merged.extend(self.protect(requests, rng))
+            merged.sort(key=lambda r: (r.timestamp, r.user_id))
+            days.append(merged)
+        return Trace(days=days, start_day=trace.start_day)
+
+
+@dataclass(frozen=True)
+class DefenseReport:
+    """What a defense run cost and bought."""
+
+    fidelity: FidelityReport
+    baseline_fidelity: FidelityReport
+    overhead: float          # extra requests / genuine requests
+
+    @property
+    def fidelity_drop(self) -> float:
+        """Absolute drop in mean profile fidelity."""
+        return (
+            self.baseline_fidelity.mean_affinity
+            - self.fidelity.mean_affinity
+        )
+
+
+def observed_fidelity(
+    web: SyntheticWeb,
+    genuine: Trace,
+    observed: Trace,
+    labelled: dict[str, np.ndarray],
+    pipeline_config: PipelineConfig | None = None,
+    tracker_filter=None,
+    max_windows: int = 200,
+) -> FidelityReport:
+    """What an observer of ``observed`` learns about ``genuine`` users.
+
+    The observer trains and profiles on the (possibly defended) observed
+    stream; profiles are scored against the user's *genuine* content in
+    the same time window — the defended stream must never be its own
+    yardstick, or a defense that merely rewrites reality looks perfect.
+    """
+    from repro.core.session import SessionExtractor
+    from repro.utils.timeutils import minutes
+
+    pipeline_config = pipeline_config or PipelineConfig()
+    profiler = NetworkObserverProfiler(
+        labelled, config=pipeline_config, tracker_filter=tracker_filter
+    )
+    profiler.train_on_day(observed, observed.start_day)
+
+    # Session windows are enumerated on the GENUINE trace: a defense that
+    # makes a session invisible must be credited for it (an unprofilable
+    # session counts against the observer), not silently dropped.
+    extractor = SessionExtractor(
+        window_seconds=minutes(pipeline_config.session_minutes),
+        tracker_filter=tracker_filter,
+    )
+    day = observed.start_day + 1
+    windows = extractor.windows_for_day(genuine, day)[:max_windows]
+    observed_day = observed.user_sequences(day)
+    pairs, sizes, empty = [], [], 0
+    for window in windows:
+        start = window.end_time - minutes(pipeline_config.session_minutes)
+        # The oracle is the user's TOPICAL content: core sites (google,
+        # facebook, ...) are excluded because, as the paper's Figure 3
+        # argues, their categories "have no profiling value" — and a
+        # defense must be judged on what it hides of the user's
+        # interests, not on whether the observer can echo back the
+        # universally visible background.
+        truth = []
+        for hostname in window.hostnames:
+            site = web.site_of(hostname)
+            if site is None or site.kind is HostKind.CORE:
+                continue
+            truth.append(web.taxonomy.vector(site.categories))
+        if not truth:
+            continue
+        observed_hosts = [
+            r.hostname
+            for r in observed_day.get(window.user_id, [])
+            if start < r.timestamp <= window.end_time
+        ]
+        profile = profiler.profile_session(observed_hosts)
+        if profile.is_empty:
+            empty += 1
+            continue
+        pairs.append((np.mean(truth, axis=0), profile.categories))
+        sizes.append(profile.session_size)
+    return build_report(pairs, sizes, empty)
+
+
+def evaluate_defense(
+    web: SyntheticWeb,
+    trace: Trace,
+    labelled: dict[str, np.ndarray],
+    injector: DecoyInjector,
+    rng: np.random.Generator,
+    pipeline_config: PipelineConfig | None = None,
+    tracker_filter=None,
+    max_windows: int = 200,
+) -> DefenseReport:
+    """Train the observer on protected traffic; measure what it learns.
+
+    The observer is given the *protected* stream for both training and
+    profiling (it cannot tell decoys apart), while the fidelity oracle
+    scores profiles against the user's genuine content only.
+    """
+    pipeline_config = pipeline_config or PipelineConfig()
+    protected = injector.protect_trace(trace, rng)
+    protected_report = observed_fidelity(
+        web, trace, protected, labelled,
+        pipeline_config=pipeline_config,
+        tracker_filter=tracker_filter,
+        max_windows=max_windows,
+    )
+    baseline_report = observed_fidelity(
+        web, trace, trace, labelled,
+        pipeline_config=pipeline_config,
+        tracker_filter=tracker_filter,
+        max_windows=max_windows,
+    )
+    overhead = (
+        protected.num_requests - trace.num_requests
+    ) / max(trace.num_requests, 1)
+    return DefenseReport(
+        fidelity=protected_report,
+        baseline_fidelity=baseline_report,
+        overhead=overhead,
+    )

@@ -1,0 +1,101 @@
+"""Tunnel-style defenses (the paper's VPN / TOR discussion, Section 7.4).
+
+Two transforms on what the observer can attribute to a user:
+
+* :class:`TunnelAggregator` — a shared VPN/TOR entry: many users' streams
+  are re-attributed to one pseudo-client, like NAT but network-wide.  The
+  paper's point that a VPN "simply shifts the threat" corresponds to
+  evaluating the *VPN operator's* vantage (no aggregation) vs the ISP's
+  (full aggregation).
+* :class:`PopularOnlyFilter` — a selective tunnel that routes only
+  long-tail (identifying) hostnames through a protected channel, leaving
+  popular core traffic visible.  It bounds how much of the stream needs
+  protection: the Figure 2/3 analysis says the core carries no profiling
+  value, so hiding *only the outside-core tail* should destroy profiles.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.traffic.events import Request
+from repro.traffic.generator import Trace
+
+
+class TunnelAggregator:
+    """Re-attributes all (or groups of) users to shared pseudo-users."""
+
+    def __init__(self, group_size: int | None = None):
+        """``group_size=None`` merges everyone into one pseudo-user (a
+        single shared tunnel); otherwise users are pooled in groups."""
+        if group_size is not None and group_size < 1:
+            raise ValueError("group_size must be >= 1 or None")
+        self.group_size = group_size
+
+    def pseudo_user(self, user_id: int) -> int:
+        if self.group_size is None:
+            return 0
+        return user_id // self.group_size
+
+    def apply(self, trace: Trace) -> Trace:
+        days = []
+        for day_requests in trace.days:
+            merged = [
+                Request(
+                    user_id=self.pseudo_user(r.user_id),
+                    timestamp=r.timestamp,
+                    hostname=r.hostname,
+                    kind=r.kind,
+                    site_domain=r.site_domain,
+                )
+                for r in day_requests
+            ]
+            merged.sort(key=lambda r: (r.timestamp, r.user_id))
+            days.append(merged)
+        return Trace(days=days, start_day=trace.start_day)
+
+
+@dataclass
+class FilterStats:
+    hidden_requests: int = 0
+    visible_requests: int = 0
+
+    @property
+    def hidden_fraction(self) -> float:
+        total = self.hidden_requests + self.visible_requests
+        return self.hidden_requests / total if total else 0.0
+
+
+class PopularOnlyFilter:
+    """Hides everything except the most popular hostnames.
+
+    ``visible_top`` hostnames (by global request count over the reference
+    trace) stay observable; the rest — the outside-core tail that actually
+    identifies users — go through the tunnel and disappear from the
+    observer's view.
+    """
+
+    def __init__(self, reference: Trace, visible_top: int = 100):
+        if visible_top < 0:
+            raise ValueError("visible_top must be >= 0")
+        counts: Counter = Counter()
+        for request in reference.all_requests():
+            counts[request.hostname] += 1
+        self.visible_hostnames = frozenset(
+            h for h, _ in counts.most_common(visible_top)
+        )
+        self.stats = FilterStats()
+
+    def apply(self, trace: Trace) -> Trace:
+        days = []
+        for day_requests in trace.days:
+            visible = []
+            for request in day_requests:
+                if request.hostname in self.visible_hostnames:
+                    visible.append(request)
+                    self.stats.visible_requests += 1
+                else:
+                    self.stats.hidden_requests += 1
+            days.append(visible)
+        return Trace(days=days, start_day=trace.start_day)

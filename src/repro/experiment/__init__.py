@@ -1,0 +1,28 @@
+"""End-to-end experiment harness (the paper's Section 5 protocol).
+
+Simulated Chrome extensions report 10-minute hostname batches to a
+back-end that retrains embeddings daily, profiles the last 20 minutes of
+each user, returns 20 relevant ads, and replaces size-compatible
+ad-network creatives; CTRs of both arms are compared with the paper's
+paired t-test.
+"""
+
+from repro.experiment.backend import Backend, BackendStats
+from repro.experiment.config import ExperimentConfig
+from repro.experiment.extension import ExtensionStats, SimulatedExtension
+from repro.experiment.runner import (
+    ExperimentResult,
+    ExperimentRunner,
+    ExperimentWorld,
+)
+
+__all__ = [
+    "Backend",
+    "BackendStats",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "ExperimentWorld",
+    "ExtensionStats",
+    "SimulatedExtension",
+]

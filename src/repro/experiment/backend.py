@@ -1,0 +1,80 @@
+"""The experiment back-end (paper Section 5.2, "User Profiling" phase).
+
+"During the last phase, the extensions periodically reported to the
+back-end the sequence of hosts visited by the user during the last 10
+minutes.  The back-end generated a profile with the sequence of hostnames
+visited by that user in the past 20 minutes, and used our ad database to
+create a list of the most relevant ads for that profile."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ads.inventory import Ad
+from repro.ads.selection import EavesdropperSelector
+from repro.core.pipeline import NetworkObserverProfiler
+from repro.core.profiler import SessionProfile
+from repro.core.session import first_visits
+from repro.utils.timeutils import DAY_SECONDS, minutes
+
+
+@dataclass
+class BackendStats:
+    reports_received: int = 0
+    profiles_computed: int = 0
+    empty_profiles: int = 0
+
+
+class Backend:
+    """Receives host reports, profiles the last T minutes, returns ads."""
+
+    def __init__(
+        self,
+        profiler: NetworkObserverProfiler,
+        selector: EavesdropperSelector,
+        history_horizon_seconds: float = DAY_SECONDS,
+    ):
+        self.profiler = profiler
+        self.selector = selector
+        self.history_horizon = float(history_horizon_seconds)
+        # user -> [(timestamp, hostname)], what the extension has reported
+        self._history: dict[int, list[tuple[float, str]]] = {}
+        self.stats = BackendStats()
+        self.last_profile: SessionProfile | None = None
+
+    def _session_hosts(self, user_id: int, now: float) -> list[str]:
+        window = minutes(self.profiler.config.session_minutes)
+        history = self._history.get(user_id, [])
+        recent = [
+            hostname
+            for timestamp, hostname in history
+            if now - window < timestamp <= now
+        ]
+        return list(first_visits(recent))
+
+    def handle_report(
+        self,
+        user_id: int,
+        reported: list[tuple[float, str]],
+        now: float,
+    ) -> list[Ad]:
+        """One extension report in, one replacement list out."""
+        self.stats.reports_received += 1
+        history = self._history.setdefault(user_id, [])
+        history.extend(reported)
+        # Drop history beyond the horizon so memory stays bounded.
+        cutoff = now - self.history_horizon
+        if history and history[0][0] < cutoff:
+            self._history[user_id] = [
+                entry for entry in history if entry[0] >= cutoff
+            ]
+
+        session_hosts = self._session_hosts(user_id, now)
+        profile = self.profiler.profile_session(session_hosts)
+        self.stats.profiles_computed += 1
+        self.last_profile = profile
+        if profile.is_empty:
+            self.stats.empty_profiles += 1
+            return []
+        return self.selector.select(profile)

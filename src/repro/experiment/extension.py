@@ -1,0 +1,127 @@
+"""The simulated Chrome extension (paper Sections 5.1-5.3).
+
+The extension monitors the browsing session, batches visited hostnames
+into 10-minute reports to the back-end, keeps the replacement list the
+back-end returns, and — when an ad-network ad is detected on a page —
+replaces it with a size-compatible eavesdropper ad from the current list
+("during the following 10 minutes").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ads.inventory import Ad
+from repro.ads.replacement import ReplacementPolicy
+from repro.experiment.backend import Backend
+from repro.traffic.events import Request
+from repro.utils.timeutils import minutes
+
+
+@dataclass
+class ExtensionStats:
+    reports_sent: int = 0
+    ads_detected: int = 0
+    ads_replaced: int = 0
+
+
+class SimulatedExtension:
+    """Per-user extension state machine."""
+
+    def __init__(
+        self,
+        user_id: int,
+        backend: Backend,
+        policy: ReplacementPolicy,
+        report_interval_seconds: float = minutes(10),
+        list_ttl_seconds: float = minutes(10),
+        attempt_prob: float = 1.0,
+        rng: np.random.Generator | None = None,
+    ):
+        if report_interval_seconds <= 0 or list_ttl_seconds <= 0:
+            raise ValueError("intervals must be positive")
+        if not 0 <= attempt_prob <= 1:
+            raise ValueError("attempt_prob must be in [0, 1]")
+        self.user_id = user_id
+        self.backend = backend
+        self.policy = policy
+        self.report_interval = float(report_interval_seconds)
+        self.list_ttl = float(list_ttl_seconds)
+        self.attempt_prob = float(attempt_prob)
+        self._rng = rng or np.random.default_rng(user_id)
+        self._pending: list[tuple[float, str]] = []
+        self._last_report_time: float | None = None
+        self._active_list: list[Ad] = []
+        self._list_received_at: float = -np.inf
+        self.stats = ExtensionStats()
+
+    # -- browsing observation -----------------------------------------------
+
+    def on_request(self, request: Request) -> None:
+        """The extension sees every request of its browser."""
+        if request.user_id != self.user_id:
+            raise ValueError(
+                f"extension of user {self.user_id} fed request of "
+                f"user {request.user_id}"
+            )
+        self._maybe_report(request.timestamp)
+        self._pending.append((request.timestamp, request.hostname))
+
+    def _maybe_report(self, now: float) -> None:
+        """Catch up wall-clock report ticks that elapsed before ``now``.
+
+        The real extension reports on a 10-minute timer regardless of
+        activity; we replay the missed ticks lazily when the next request
+        arrives.  Ticks with nothing to report are skipped — the paper's
+        profiler "is only executed for users that are currently browsing".
+        """
+        if self._last_report_time is None:
+            # First activity: anchor the report grid, no data to send yet.
+            self._last_report_time = now
+            return
+        while now - self._last_report_time >= self.report_interval:
+            tick = self._last_report_time + self.report_interval
+            if any(t <= tick for t, _ in self._pending):
+                self.flush_report(tick)
+            else:
+                self._last_report_time = tick
+
+    def flush_report(self, now: float) -> None:
+        """Send hostnames seen up to ``now``; install the returned list."""
+        reported = [entry for entry in self._pending if entry[0] <= now]
+        self._pending = [entry for entry in self._pending if entry[0] > now]
+        self._last_report_time = now
+        self.stats.reports_sent += 1
+        ads = self.backend.handle_report(self.user_id, reported, now)
+        if ads:
+            self._active_list = ads
+            self._list_received_at = now
+
+    # -- ad manipulation -------------------------------------------------------
+
+    def has_fresh_list(self, now: float) -> bool:
+        return (
+            bool(self._active_list)
+            and now - self._list_received_at <= self.list_ttl
+        )
+
+    def on_ad_detected(
+        self, now: float, original_size: tuple[int, int]
+    ) -> Ad | None:
+        """An ad-network ad appeared; maybe replace it.
+
+        Returns the eavesdropper ad that took the slot, or None when the
+        original creative stays (no fresh list, capture failure, or no
+        size-compatible candidate).
+        """
+        self.stats.ads_detected += 1
+        if not self.has_fresh_list(now):
+            return None
+        if self._rng.random() >= self.attempt_prob:
+            return None  # creative capture/substitution failed
+        replacement = self.policy.choose(original_size, self._active_list)
+        if replacement is not None:
+            self.stats.ads_replaced += 1
+        return replacement

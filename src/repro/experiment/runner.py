@@ -1,0 +1,435 @@
+"""The full Section 5 experiment, end to end.
+
+Phases:
+
+1. **Data collection** (paper: 3 months) — browsing traces accumulate; the
+   ad database is harvested; the ad-network's trackers build behavioural
+   profiles wherever its pixels fire.
+2. **Profiling month** (paper: 1 month) — each day the embedding model is
+   retrained on the previous day's traffic; extensions report visited
+   hostnames every 10 minutes; the back-end profiles the last 20 minutes
+   and returns 20 relevant ads; size-compatible ad-network ads get
+   replaced; clicks on both ad streams are logged.
+
+The output contains the paper's CTR table (Section 6.4) — overall CTR per
+arm, the two-tailed paired t-test over per-user CTRs — plus the Figure 6
+daily topic-share series for visited sites and both ad streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ads.adnetwork import AdNetwork
+from repro.ads.clicks import ClickModel, ImpressionLog, IntentTracker
+from repro.ads.inventory import AdDatabase
+from repro.ads.replacement import ReplacementPolicy
+from repro.ads.selection import EavesdropperSelector
+from repro.analysis.stats import (
+    PairedTTestResult,
+    ProportionTestResult,
+    paired_t_test,
+    two_proportion_z_test,
+)
+from repro.analysis.topics import TopicShareSeries
+from repro.core.pipeline import NetworkObserverProfiler
+from repro.core.skipgram import TrainStats
+from repro.experiment.backend import Backend
+from repro.experiment.config import ExperimentConfig
+from repro.experiment.extension import SimulatedExtension
+from repro.ontology import OntologyLabeler, Taxonomy, build_default_taxonomy
+from repro.traffic import (
+    HostKind,
+    Request,
+    SyntheticWeb,
+    Trace,
+    TraceGenerator,
+    TrackerFilter,
+    UserPopulation,
+    build_blocklists,
+)
+from repro.utils.randomness import derive_rng
+from repro.utils.timeutils import minutes
+
+
+@dataclass
+class ExperimentWorld:
+    """Everything the experiment is made of (built once, inspectable)."""
+
+    taxonomy: Taxonomy
+    web: SyntheticWeb
+    population: UserPopulation
+    trace: Trace
+    labelled: dict[str, np.ndarray]
+    tracker_filter: TrackerFilter
+    database: AdDatabase
+    ad_network: AdNetwork
+    click_model: ClickModel
+    profiler: NetworkObserverProfiler
+    selector: EavesdropperSelector
+    backend: Backend
+    extensions: dict[int, SimulatedExtension]
+
+
+@dataclass
+class ExperimentResult:
+    """The paper's Section 6.4 numbers plus the Figure 6 series.
+
+    ``shadow_random`` and ``shadow_oracle`` are counterfactual arms the
+    live experiment could not have: for every impression opportunity they
+    log what a uniformly random database ad and the best-possible
+    (ground-truth-intent-matched) ad would have earned.  They bound the
+    two real arms from below and above.
+    """
+
+    eavesdropper: ImpressionLog
+    ad_network: ImpressionLog
+    paired: PairedTTestResult | None
+    proportions: ProportionTestResult | None
+    topics_visited: TopicShareSeries
+    topics_ad_network: TopicShareSeries
+    topics_eavesdropper: TopicShareSeries
+    ads_detected: int
+    ads_replaced: int
+    reports_sent: int
+    train_stats: list[TrainStats] = field(default_factory=list)
+    shadow_random: ImpressionLog = field(default_factory=ImpressionLog)
+    shadow_oracle: ImpressionLog = field(default_factory=ImpressionLog)
+
+    @property
+    def ctr_eavesdropper(self) -> float:
+        return self.eavesdropper.ctr
+
+    @property
+    def ctr_ad_network(self) -> float:
+        return self.ad_network.ctr
+
+    def summary(self) -> str:
+        """The CTR table as the paper reports it."""
+        lines = [
+            "CTR comparison (Section 6.4)",
+            f"  eavesdropper ads : {self.ctr_eavesdropper * 100:.3f}% "
+            f"({self.eavesdropper.clicks}/{self.eavesdropper.impressions}, "
+            f"expected {self.eavesdropper.expected_ctr * 100:.3f}%)",
+            f"  ad-network ads   : {self.ctr_ad_network * 100:.3f}% "
+            f"({self.ad_network.clicks}/{self.ad_network.impressions}, "
+            f"expected {self.ad_network.expected_ctr * 100:.3f}%)",
+        ]
+        if self.paired is not None:
+            verdict = (
+                "significant" if self.paired.significant() else
+                "NOT significant"
+            )
+            lines.append(
+                f"  paired t-test    : t={self.paired.statistic:.3f}, "
+                f"p={self.paired.p_value:.4f} ({verdict} at p<.05)"
+            )
+        lines.append(
+            f"  ads replaced     : {self.ads_replaced}/{self.ads_detected}"
+        )
+        if self.shadow_random.impressions:
+            lines.append(
+                "  counterfactual bounds (expected CTR): random "
+                f"{self.shadow_random.expected_ctr * 100:.3f}% <= arms <= "
+                f"oracle {self.shadow_oracle.expected_ctr * 100:.3f}%"
+            )
+        return "\n".join(lines)
+
+
+class ExperimentRunner:
+    """Builds the world and runs the profiling month."""
+
+    def __init__(self, config: ExperimentConfig | None = None):
+        self.config = config or ExperimentConfig()
+        self.config.validate()
+        self._world: ExperimentWorld | None = None
+
+    # -- world construction ------------------------------------------------------
+
+    def build(self) -> ExperimentWorld:
+        """Construct (once) the web, users, trace, ads and the profiler."""
+        if self._world is not None:
+            return self._world
+        cfg = self.config
+        seed = cfg.seed
+        taxonomy = build_default_taxonomy()
+        web = SyntheticWeb.generate(
+            taxonomy, derive_rng(seed, "web"), cfg.web
+        )
+        population = UserPopulation.generate(
+            web, derive_rng(seed, "population"), cfg.population
+        )
+        generator = TraceGenerator(
+            web, population, seed=seed, session_config=cfg.session
+        )
+        trace = generator.generate(cfg.total_days)
+
+        tracker_filter = TrackerFilter(
+            build_blocklists(web, derive_rng(seed, "blocklists"))
+        )
+        labeler = OntologyLabeler(taxonomy, coverage=cfg.ontology_coverage)
+        labelled = labeler.build_labelled_set(
+            web.ground_truth(),
+            universe_size=len(web.all_hostnames()),
+            rng=derive_rng(seed, "labeler"),
+            popularity=web.popularity(),
+        )
+
+        database = AdDatabase.harvest(
+            web,
+            derive_rng(seed, "ads"),
+            cfg.ad_database,
+            created_day_range=(0, max(cfg.collection_days - 1, 0)),
+        )
+        ad_network = AdNetwork(
+            database,
+            num_categories=taxonomy.num_truncated,
+            seed=seed,
+            config=cfg.ad_network,
+        )
+        click_model = ClickModel(cfg.clicks)
+
+        profiler = NetworkObserverProfiler(
+            labelled, config=cfg.pipeline, tracker_filter=tracker_filter
+        )
+        selector = EavesdropperSelector(labelled, database, cfg.selector)
+        backend = Backend(profiler, selector)
+        extensions = {
+            user.user_id: SimulatedExtension(
+                user_id=user.user_id,
+                backend=backend,
+                policy=ReplacementPolicy(cfg.replacement_tolerance),
+                report_interval_seconds=minutes(
+                    cfg.pipeline.report_interval_minutes
+                ),
+                list_ttl_seconds=minutes(cfg.replacement_list_ttl_minutes),
+                attempt_prob=cfg.replacement_attempt_prob,
+                rng=derive_rng(seed, f"extension.{user.user_id}"),
+            )
+            for user in population
+        }
+        self._world = ExperimentWorld(
+            taxonomy=taxonomy,
+            web=web,
+            population=population,
+            trace=trace,
+            labelled=labelled,
+            tracker_filter=tracker_filter,
+            database=database,
+            ad_network=ad_network,
+            click_model=click_model,
+            profiler=profiler,
+            selector=selector,
+            backend=backend,
+            extensions=extensions,
+        )
+        return self._world
+
+    # -- helpers ----------------------------------------------------------------
+
+    @staticmethod
+    def _visit_fired_tracker(
+        requests: list[Request], index: int, horizon: float = 8.0
+    ) -> bool:
+        """Did the site visit starting at ``index`` fire a tracker?"""
+        visit = requests[index]
+        for request in requests[index + 1:]:
+            if request.timestamp - visit.timestamp > horizon:
+                break
+            if (
+                request.kind is HostKind.TRACKER
+                and request.site_domain == visit.site_domain
+            ):
+                return True
+        return False
+
+    def _run_collection_tracking(self, world: ExperimentWorld) -> None:
+        """Ad-network trackers observe users during data collection."""
+        for day in range(self.config.collection_days):
+            for user_id, requests in sorted(
+                world.trace.user_sequences(day).items()
+            ):
+                for index, request in enumerate(requests):
+                    if not request.is_content():
+                        continue
+                    if self._visit_fired_tracker(requests, index):
+                        vector = world.web.true_category_vector(
+                            request.hostname
+                        )
+                        if vector is not None:
+                            world.ad_network.observe_visit(
+                                user_id, vector, request.hostname
+                            )
+
+    # -- the profiling month -------------------------------------------------------
+
+    def run(self) -> ExperimentResult:
+        cfg = self.config
+        world = self.build()
+        self._run_collection_tracking(world)
+
+        eavesdropper_log = ImpressionLog()
+        ad_network_log = ImpressionLog()
+        shadow_random_log = ImpressionLog()
+        shadow_oracle_log = ImpressionLog()
+        topics_visited = TopicShareSeries(world.taxonomy)
+        topics_adn = TopicShareSeries(world.taxonomy)
+        topics_eav = TopicShareSeries(world.taxonomy)
+        train_stats: list[TrainStats] = []
+        interests = {
+            user.user_id: user.interest_vector(world.taxonomy.num_truncated)
+            for user in world.population
+        }
+        intent_tracker = IntentTracker(
+            world.taxonomy.num_truncated,
+            window_seconds=minutes(cfg.pipeline.session_minutes),
+        )
+
+        first = cfg.first_profiling_day
+        for day in range(first, first + cfg.profiling_days):
+            # Daily retrain on the whole previous day (paper Section 5.4).
+            train_stats.append(world.profiler.train_on_day(world.trace, day - 1))
+            for user_id, requests in sorted(
+                world.trace.user_sequences(day).items()
+            ):
+                extension = world.extensions[user_id]
+                day_rng = derive_rng(cfg.seed, f"run.day{day}.user{user_id}")
+                # Separate stream for the counterfactual arms so they can
+                # never perturb the real experiment's randomness.
+                shadow_rng = derive_rng(
+                    cfg.seed, f"shadow.day{day}.user{user_id}"
+                )
+                for index, request in enumerate(requests):
+                    extension.on_request(request)
+                    label_vector = world.labelled.get(request.hostname)
+                    if label_vector is not None:
+                        topics_visited.record_vector(day, label_vector)
+                    if not request.is_content():
+                        continue
+                    context = world.web.true_category_vector(
+                        request.hostname
+                    )
+                    if context is not None:
+                        intent_tracker.observe(
+                            user_id, request.timestamp, context
+                        )
+                    # Tracking pixel (ad-blockable visibility).
+                    if self._visit_fired_tracker(requests, index):
+                        if context is not None:
+                            world.ad_network.observe_visit(
+                                user_id, context, request.hostname
+                            )
+                    # Ad slots on this page.
+                    n_slots = int(
+                        day_rng.poisson(cfg.slots_per_visit_mean)
+                    )
+                    if not n_slots:
+                        continue
+                    intent = intent_tracker.intent(
+                        user_id, request.timestamp
+                    )
+                    # Counterfactual bounds, one sample per opportunity:
+                    # a uniformly random database ad (floor) and the best
+                    # ad for the user's true blended interests (ceiling).
+                    random_ad = world.database.ads[
+                        int(shadow_rng.integers(len(world.database)))
+                    ]
+                    p_random = world.click_model.click_probability(
+                        interests[user_id], random_ad, day, intent=intent
+                    )
+                    shadow_random_log.record(
+                        user_id, day,
+                        bool(shadow_rng.random() < p_random), p_random,
+                    )
+                    effective = world.click_model.effective_interests(
+                        interests[user_id], intent
+                    )
+                    oracle_ad = world.database.nearest_by_category(
+                        effective, 1
+                    )[0]
+                    p_oracle = world.click_model.click_probability(
+                        interests[user_id], oracle_ad, day, intent=intent
+                    )
+                    shadow_oracle_log.record(
+                        user_id, day,
+                        bool(shadow_rng.random() < p_oracle), p_oracle,
+                    )
+                    for _ in range(n_slots):
+                        served = world.ad_network.serve(
+                            user_id, day, context_vector=context
+                        )
+                        replacement = extension.on_ad_detected(
+                            request.timestamp, served.ad.size
+                        )
+                        if replacement is not None:
+                            probability = world.click_model.click_probability(
+                                interests[user_id], replacement, day,
+                                retargeted=False, intent=intent,
+                            )
+                            clicked = bool(day_rng.random() < probability)
+                            eavesdropper_log.record(
+                                user_id, day, clicked, probability
+                            )
+                            topics_eav.record_vector(
+                                day, replacement.categories
+                            )
+                        else:
+                            probability = world.click_model.click_probability(
+                                interests[user_id], served.ad, day,
+                                retargeted=served.retargeted, intent=intent,
+                            )
+                            clicked = bool(day_rng.random() < probability)
+                            ad_network_log.record(
+                                user_id, day, clicked, probability
+                            )
+                            topics_adn.record_vector(
+                                day, served.ad.categories
+                            )
+
+        paired = self._paired_test(eavesdropper_log, ad_network_log)
+        proportions = None
+        if eavesdropper_log.impressions and ad_network_log.impressions:
+            proportions = two_proportion_z_test(
+                eavesdropper_log.clicks, eavesdropper_log.impressions,
+                ad_network_log.clicks, ad_network_log.impressions,
+            )
+        detected = sum(
+            ext.stats.ads_detected for ext in world.extensions.values()
+        )
+        replaced = sum(
+            ext.stats.ads_replaced for ext in world.extensions.values()
+        )
+        reports = sum(
+            ext.stats.reports_sent for ext in world.extensions.values()
+        )
+        return ExperimentResult(
+            eavesdropper=eavesdropper_log,
+            ad_network=ad_network_log,
+            paired=paired,
+            proportions=proportions,
+            topics_visited=topics_visited,
+            topics_ad_network=topics_adn,
+            topics_eavesdropper=topics_eav,
+            ads_detected=detected,
+            ads_replaced=replaced,
+            reports_sent=reports,
+            train_stats=train_stats,
+            shadow_random=shadow_random_log,
+            shadow_oracle=shadow_oracle_log,
+        )
+
+    @staticmethod
+    def _paired_test(
+        log_a: ImpressionLog, log_b: ImpressionLog
+    ) -> PairedTTestResult | None:
+        """Per-user paired t-test over users present in both arms."""
+        ctr_a = log_a.per_user_ctr()
+        ctr_b = log_b.per_user_ctr()
+        common = sorted(set(ctr_a) & set(ctr_b))
+        if len(common) < 2:
+            return None
+        return paired_t_test(
+            [ctr_a[u] for u in common], [ctr_b[u] for u in common]
+        )

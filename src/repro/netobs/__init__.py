@@ -1,0 +1,87 @@
+"""Network-observer substrate: wire formats, flow tracking, vantages.
+
+What a passive eavesdropper actually runs: IPv4/TCP/UDP codecs, TLS
+ClientHello SNI extraction (RFC 6066), QUIC Initial parsing (RFC 9000),
+DNS query parsing (RFC 1035), per-flow hostname deduplication, NAT-merged
+clients, and a synthesizer that turns abstract browsing traces into the
+byte-accurate packets these parsers consume.
+"""
+
+from repro.netobs.capture import CaptureConfig, RESOLVER_IP, TrafficSynthesizer
+from repro.netobs.dnswire import (
+    DNSParseError,
+    build_query,
+    decode_qname,
+    encode_qname,
+    parse_query,
+)
+from repro.netobs.flows import FlowStats, FlowTable, HostnameEvent
+from repro.netobs.nat import NatBox, NatExhaustionError, NatStats
+from repro.netobs.observer import NetworkObserver, ObserverConfig
+from repro.netobs.pcap import (
+    LINKTYPE_ETHERNET,
+    LINKTYPE_RAW,
+    PcapError,
+    PcapWriter,
+    read_pcap,
+    write_pcap,
+)
+from repro.netobs.packets import (
+    IP_PROTO_TCP,
+    IP_PROTO_UDP,
+    Packet,
+    PacketError,
+    checksum16,
+)
+from repro.netobs.quic import (
+    QUICParseError,
+    build_initial_packet,
+    decode_varint,
+    encode_varint,
+    parse_initial_sni,
+)
+from repro.netobs.tls import (
+    TLSParseError,
+    build_client_hello,
+    build_sni_extension,
+    parse_client_hello_sni,
+)
+
+__all__ = [
+    "CaptureConfig",
+    "DNSParseError",
+    "FlowStats",
+    "FlowTable",
+    "HostnameEvent",
+    "IP_PROTO_TCP",
+    "IP_PROTO_UDP",
+    "LINKTYPE_ETHERNET",
+    "LINKTYPE_RAW",
+    "NatBox",
+    "NatExhaustionError",
+    "NatStats",
+    "NetworkObserver",
+    "ObserverConfig",
+    "Packet",
+    "PacketError",
+    "PcapError",
+    "PcapWriter",
+    "QUICParseError",
+    "RESOLVER_IP",
+    "TLSParseError",
+    "TrafficSynthesizer",
+    "build_client_hello",
+    "build_initial_packet",
+    "build_query",
+    "build_sni_extension",
+    "checksum16",
+    "decode_qname",
+    "decode_varint",
+    "encode_qname",
+    "encode_varint",
+    "parse_client_hello_sni",
+    "parse_initial_sni",
+    "parse_query",
+    "read_pcap",
+    "write_pcap",
+]

@@ -1,0 +1,176 @@
+"""Traffic synthesis: what the wire would carry for a browsing trace.
+
+Bridges the traffic substrate and the observer substrate: every abstract
+:class:`Request` becomes the packets a real client would emit — usually a
+DNS query, then a TLS ClientHello over TCP 443 (or a QUIC Initial over UDP
+443), then follow-up packets of the same flow that carry no SNI and must
+not produce duplicate events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.netobs.packets import IP_PROTO_TCP, IP_PROTO_UDP, Packet
+from repro.netobs.quic import build_initial_packet
+from repro.netobs.tls import build_client_hello
+from repro.netobs.dnswire import build_query
+from repro.traffic.events import Request
+from repro.utils.randomness import derive_rng
+
+RESOLVER_IP = "9.9.9.9"
+
+
+@dataclass
+class CaptureConfig:
+    """Mix of protocols the synthetic clients speak."""
+
+    quic_fraction: float = 0.25   # share of requests using QUIC, not TCP
+    dns_fraction: float = 0.8     # share of requests preceded by a query
+    # Extra same-flow packets after the handshake (application data the
+    # observer must ignore).
+    followup_packets: int = 2
+    client_subnet: str = "10.0"   # clients live in 10.0.0.0/16
+
+    def validate(self) -> None:
+        for name in ("quic_fraction", "dns_fraction"):
+            if not 0 <= getattr(self, name) <= 1:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if self.followup_packets < 0:
+            raise ValueError("followup_packets must be >= 0")
+
+
+class TrafficSynthesizer:
+    """Deterministically turns requests into byte-accurate packets."""
+
+    def __init__(self, seed: int = 0, config: CaptureConfig | None = None):
+        self.seed = int(seed)
+        self.config = config or CaptureConfig()
+        self.config.validate()
+        self._rng = derive_rng(self.seed, "capture")
+        self._next_port: dict[int, int] = {}
+        self._server_ips: dict[str, str] = {}
+
+    def client_ip(self, user_id: int) -> str:
+        """Stable per-user client address in the configured subnet."""
+        if not 0 <= user_id < 65536:
+            raise ValueError("user_id must fit the /16 client subnet")
+        return f"{self.config.client_subnet}.{user_id // 256}.{user_id % 256}"
+
+    def server_ip(self, hostname: str) -> str:
+        """Stable fake server address per hostname (hash-derived).
+
+        Hostnames under a shared-CDN second-level domain resolve into a
+        small per-CDN address pool — as real CDNs do — so an IP-only
+        observer cannot tell which site's content a CDN connection
+        fetched.  Other hostnames get their own address.
+        """
+        if hostname not in self._server_ips:
+            import hashlib
+
+            from repro.traffic.categories import SHARED_CDN_SLDS
+            from repro.utils.hostnames import registrable_domain
+
+            sld = registrable_domain(hostname)
+            if sld in SHARED_CDN_SLDS:
+                # one of 8 front-end addresses per CDN
+                pool_slot = int.from_bytes(
+                    hashlib.sha256(hostname.encode()).digest()[:2], "little"
+                ) % 8
+                cdn_index = SHARED_CDN_SLDS.index(sld)
+                address = f"203.0.{cdn_index + 1}.{pool_slot + 1}"
+            else:
+                digest = int.from_bytes(
+                    hashlib.sha256(hostname.encode()).digest()[:4], "little"
+                )
+                address = (
+                    f"198.{digest % 64 + 18}.{digest // 64 % 256}"
+                    f".{digest // 16384 % 254 + 1}"
+                )
+            self._server_ips[hostname] = address
+        return self._server_ips[hostname]
+
+    def _ephemeral_port(self, user_id: int) -> int:
+        port = self._next_port.get(user_id, 49152)
+        self._next_port[user_id] = 49152 + (port - 49152 + 1) % 16000
+        return port
+
+    def packets_for_request(self, request: Request) -> list[Packet]:
+        """All packets one hostname request puts on the wire."""
+        cfg = self.config
+        client = self.client_ip(request.user_id)
+        server = self.server_ip(request.hostname)
+        packets: list[Packet] = []
+        t = request.timestamp
+
+        if self._rng.random() < cfg.dns_fraction:
+            packets.append(
+                Packet(
+                    src_ip=client,
+                    dst_ip=RESOLVER_IP,
+                    protocol=IP_PROTO_UDP,
+                    src_port=self._ephemeral_port(request.user_id),
+                    dst_port=53,
+                    payload=build_query(
+                        request.hostname,
+                        query_id=int(self._rng.integers(0, 65536)),
+                    ),
+                    timestamp=t,
+                )
+            )
+            t += 0.02
+
+        src_port = self._ephemeral_port(request.user_id)
+        use_quic = self._rng.random() < cfg.quic_fraction
+        if use_quic:
+            packets.append(
+                Packet(
+                    src_ip=client,
+                    dst_ip=server,
+                    protocol=IP_PROTO_UDP,
+                    src_port=src_port,
+                    dst_port=443,
+                    payload=build_initial_packet(request.hostname),
+                    timestamp=t,
+                )
+            )
+        else:
+            random_bytes = self._rng.bytes(32)
+            packets.append(
+                Packet(
+                    src_ip=client,
+                    dst_ip=server,
+                    protocol=IP_PROTO_TCP,
+                    src_port=src_port,
+                    dst_port=443,
+                    payload=build_client_hello(
+                        request.hostname, random_bytes=random_bytes
+                    ),
+                    timestamp=t,
+                )
+            )
+        # Follow-up application data on the same flow: protected records
+        # the observer cannot read and must not double-count.
+        for i in range(cfg.followup_packets):
+            packets.append(
+                Packet(
+                    src_ip=client,
+                    dst_ip=server,
+                    protocol=IP_PROTO_UDP if use_quic else IP_PROTO_TCP,
+                    src_port=src_port,
+                    dst_port=443,
+                    payload=(
+                        b"\x17\x03\x03\x00\x10" + bytes(16)
+                        if not use_quic
+                        else b"\x40" + bytes(24)  # short-header QUIC
+                    ),
+                    timestamp=t + 0.05 * (i + 1),
+                )
+            )
+        return packets
+
+    def synthesize(self, requests: Iterable[Request]) -> Iterator[Packet]:
+        """Packet stream for a request stream (per-request time order)."""
+        for request in requests:
+            yield from self.packets_for_request(request)

@@ -1,0 +1,101 @@
+"""DNS query codec (RFC 1035 wire format, question section only).
+
+Section 7.2 of the paper: "A DNS provider may actually act as a profiler
+since it learns the hostnames requested by a user via DNS requests."  The
+DNS vantage benchmark compares that observer against the SNI observer, so
+we need to build and parse plain DNS queries.
+"""
+
+from __future__ import annotations
+
+import struct
+
+QTYPE_A = 1
+QTYPE_AAAA = 28
+QCLASS_IN = 1
+_HEADER = struct.Struct("!HHHHHH")
+_FLAGS_QUERY_RD = 0x0100          # standard query, recursion desired
+MAX_LABEL_LENGTH = 63
+MAX_NAME_LENGTH = 253
+
+
+class DNSParseError(ValueError):
+    """Raised when bytes are not a parseable DNS query."""
+
+
+def encode_qname(hostname: str) -> bytes:
+    """Encode a hostname as DNS labels; validates label lengths."""
+    hostname = hostname.rstrip(".")
+    if not hostname or len(hostname) > MAX_NAME_LENGTH:
+        raise ValueError(f"invalid hostname length: {hostname!r}")
+    out = bytearray()
+    for label in hostname.split("."):
+        raw = label.encode("ascii")
+        if not 1 <= len(raw) <= MAX_LABEL_LENGTH:
+            raise ValueError(f"invalid DNS label: {label!r}")
+        out.append(len(raw))
+        out.extend(raw)
+    out.append(0)
+    return bytes(out)
+
+
+def decode_qname(data: bytes, offset: int = 0) -> tuple[str, int]:
+    """Decode labels at ``offset``; returns (hostname, bytes consumed).
+
+    Compression pointers are rejected: they never occur in the question
+    section of a query.
+    """
+    labels: list[str] = []
+    pos = offset
+    while True:
+        if pos >= len(data):
+            raise DNSParseError("truncated qname")
+        length = data[pos]
+        if length & 0xC0:
+            raise DNSParseError("compression pointer in question section")
+        pos += 1
+        if length == 0:
+            break
+        if pos + length > len(data):
+            raise DNSParseError("truncated label")
+        try:
+            labels.append(data[pos:pos + length].decode("ascii"))
+        except UnicodeDecodeError:
+            raise DNSParseError("non-ASCII label") from None
+        pos += length
+    if not labels:
+        raise DNSParseError("empty qname")
+    return ".".join(labels), pos - offset
+
+
+def build_query(
+    hostname: str, query_id: int = 0, qtype: int = QTYPE_A
+) -> bytes:
+    """A standard recursive query for ``hostname``."""
+    if not 0 <= query_id <= 0xFFFF:
+        raise ValueError("query_id must fit in 16 bits")
+    header = _HEADER.pack(query_id, _FLAGS_QUERY_RD, 1, 0, 0, 0)
+    question = encode_qname(hostname) + struct.pack("!HH", qtype, QCLASS_IN)
+    return header + question
+
+
+def parse_query(data: bytes) -> tuple[str, int]:
+    """Parse a DNS query; returns (hostname, qtype).
+
+    Raises :class:`DNSParseError` for responses (QR=1) or malformed bytes.
+    """
+    if len(data) < _HEADER.size:
+        raise DNSParseError("truncated DNS header")
+    _id, flags, qdcount, _an, _ns, _ar = _HEADER.unpack_from(data)
+    if flags & 0x8000:
+        raise DNSParseError("not a query (QR=1)")
+    if qdcount < 1:
+        raise DNSParseError("no question section")
+    hostname, consumed = decode_qname(data, _HEADER.size)
+    tail = _HEADER.size + consumed
+    if tail + 4 > len(data):
+        raise DNSParseError("truncated question")
+    qtype, qclass = struct.unpack_from("!HH", data, tail)
+    if qclass != QCLASS_IN:
+        raise DNSParseError(f"unexpected qclass {qclass}")
+    return hostname, qtype

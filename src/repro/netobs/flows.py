@@ -1,0 +1,137 @@
+"""Flow tracking: from packets to at-most-one hostname event per flow.
+
+The paper: "Even if the SNI field is sent during the handshake and the
+connection may be long lasting, an eavesdropper may obtain the hostname of
+the server (by tracking the TCP flow in HTTPS or checking the UDP
+datagrams of QUIC)."  The flow table implements exactly that: the first
+parseable ClientHello of a flow emits one hostname event; every later
+packet of the same flow is attributed to the known flow and emits nothing.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.netobs import dnswire, quic, tls
+from repro.netobs.packets import IP_PROTO_TCP, IP_PROTO_UDP, Packet
+
+PORT_HTTPS = 443
+PORT_DNS = 53
+
+
+@dataclass(frozen=True)
+class HostnameEvent:
+    """One observed (client, time, hostname) fact."""
+
+    client_ip: str
+    timestamp: float
+    hostname: str
+    source: str  # "tls-sni" | "quic-sni" | "dns"
+
+
+@dataclass
+class FlowStats:
+    packets_seen: int = 0
+    flows_tracked: int = 0
+    events_emitted: int = 0
+    parse_failures: int = 0
+    sni_absent: int = 0
+    evictions: int = 0
+
+
+class FlowTable:
+    """Tracks 5-tuple flows and extracts one hostname per flow.
+
+    ``max_flows`` bounds state like a real middlebox: the oldest flow is
+    evicted first (FIFO), which can re-emit a hostname if a very old flow
+    resumes — the same failure mode a real observer has.
+
+    ``ip_only`` models the encrypted-SNI world of the paper's Section 7.2
+    ("TLS 1.3 may use encrypted SNI but do not hide the IP address that
+    may be used by the profiling algorithm"): instead of parsing
+    ClientHellos, the first packet of every TLS/QUIC flow emits the
+    *destination address* as an ``ip:A.B.C.D`` token.
+    """
+
+    def __init__(self, max_flows: int = 1_000_000, ip_only: bool = False):
+        if max_flows < 1:
+            raise ValueError("max_flows must be >= 1")
+        self.max_flows = max_flows
+        self.ip_only = ip_only
+        self._flows: OrderedDict[tuple, bool] = OrderedDict()
+        self.stats = FlowStats()
+
+    def _remember(self, key: tuple, emitted: bool) -> None:
+        if key not in self._flows:
+            self.stats.flows_tracked += 1
+            if len(self._flows) >= self.max_flows:
+                self._flows.popitem(last=False)
+                self.stats.evictions += 1
+        self._flows[key] = emitted
+
+    def observe(self, packet: Packet) -> HostnameEvent | None:
+        """Feed one packet; returns a new hostname event or None."""
+        self.stats.packets_seen += 1
+        key = packet.flow_key
+        if key in self._flows:
+            return None  # flow already classified (or known empty)
+
+        hostname: str | None = None
+        source: str | None = None
+        if (
+            self.ip_only
+            and packet.dst_port == PORT_HTTPS
+            and packet.protocol in (IP_PROTO_TCP, IP_PROTO_UDP)
+        ):
+            self._remember(key, True)
+            self.stats.events_emitted += 1
+            return HostnameEvent(
+                client_ip=packet.src_ip,
+                timestamp=packet.timestamp,
+                hostname=f"ip:{packet.dst_ip}",
+                source="ip",
+            )
+        if packet.protocol == IP_PROTO_TCP and packet.dst_port == PORT_HTTPS:
+            source = "tls-sni"
+            if packet.payload[:1] == bytes([tls.CONTENT_TYPE_HANDSHAKE]):
+                try:
+                    hostname = tls.parse_client_hello_sni(packet.payload)
+                except tls.TLSParseError:
+                    self.stats.parse_failures += 1
+            else:
+                return None  # not the handshake yet; keep waiting
+        elif packet.protocol == IP_PROTO_UDP and packet.dst_port == PORT_HTTPS:
+            source = "quic-sni"
+            try:
+                hostname = quic.parse_initial_sni(packet.payload)
+            except quic.QUICParseError:
+                self.stats.parse_failures += 1
+        elif packet.protocol == IP_PROTO_UDP and packet.dst_port == PORT_DNS:
+            # DNS is per-query, not per-flow: don't remember the key.
+            try:
+                qname, _qtype = dnswire.parse_query(packet.payload)
+            except dnswire.DNSParseError:
+                self.stats.parse_failures += 1
+                return None
+            self.stats.events_emitted += 1
+            return HostnameEvent(
+                client_ip=packet.src_ip,
+                timestamp=packet.timestamp,
+                hostname=qname,
+                source="dns",
+            )
+        else:
+            return None
+
+        self._remember(key, hostname is not None)
+        if hostname is None:
+            self.stats.sni_absent += 1
+            return None
+        self.stats.events_emitted += 1
+        return HostnameEvent(
+            client_ip=packet.src_ip,
+            timestamp=packet.timestamp,
+            hostname=hostname,
+            source=source,
+        )

@@ -1,0 +1,125 @@
+"""The network observer: packets in, per-client hostname sequences out.
+
+This is the eavesdropper's front-end.  It demultiplexes packets through a
+:class:`FlowTable`, keeps per-client time-ordered hostname sequences, and
+exports them in the representation the profiling core consumes.  The
+``vantage`` setting selects what kind of observer is simulated:
+
+* ``"sni"``   — an on-path ISP/WiFi observer reading TLS and QUIC SNI;
+* ``"dns"``   — a DNS resolver operator seeing only queries;
+* ``"all"``   — both signals (an ISP that also runs the resolver).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.netobs.flows import FlowTable, HostnameEvent
+from repro.netobs.packets import Packet
+from repro.traffic.events import HostKind, Request
+
+_VANTAGE_SOURCES = {
+    "sni": {"tls-sni", "quic-sni"},
+    "dns": {"dns"},
+    "all": {"tls-sni", "quic-sni", "dns"},
+    # Encrypted-SNI world (Section 7.2): only destination addresses leak.
+    "ip": {"ip"},
+}
+
+
+@dataclass
+class ObserverConfig:
+    vantage: str = "sni"
+    max_flows: int = 1_000_000
+
+    def validate(self) -> None:
+        if self.vantage not in _VANTAGE_SOURCES:
+            raise ValueError(
+                f"vantage must be one of {sorted(_VANTAGE_SOURCES)}, "
+                f"got {self.vantage!r}"
+            )
+
+
+class NetworkObserver:
+    """Accumulates hostname events per client from a packet stream."""
+
+    def __init__(self, config: ObserverConfig | None = None):
+        self.config = config or ObserverConfig()
+        self.config.validate()
+        self._accepted_sources = _VANTAGE_SOURCES[self.config.vantage]
+        self.flow_table = FlowTable(
+            max_flows=self.config.max_flows,
+            ip_only=self.config.vantage == "ip",
+        )
+        self._events: dict[str, list[HostnameEvent]] = defaultdict(list)
+
+    def ingest(self, packet: Packet) -> HostnameEvent | None:
+        """Feed one packet; store and return its event, if any."""
+        event = self.flow_table.observe(packet)
+        if event is None or event.source not in self._accepted_sources:
+            return None
+        self._events[event.client_ip].append(event)
+        return event
+
+    def ingest_bytes(
+        self, data: bytes, timestamp: float = 0.0
+    ) -> HostnameEvent | None:
+        """Feed one raw IPv4 packet (as captured off the wire)."""
+        return self.ingest(Packet.from_bytes(data, timestamp=timestamp))
+
+    def ingest_many(self, packets) -> list[HostnameEvent]:
+        events = []
+        for packet in packets:
+            event = self.ingest(packet)
+            if event is not None:
+                events.append(event)
+        return events
+
+    # -- exports ---------------------------------------------------------------
+
+    @property
+    def clients(self) -> list[str]:
+        return sorted(self._events)
+
+    def events_for(self, client_ip: str) -> list[HostnameEvent]:
+        return list(self._events.get(client_ip, []))
+
+    def client_sequences(self) -> dict[str, list[tuple[float, str]]]:
+        """Per-client time-ordered (timestamp, hostname) sequences."""
+        return {
+            client: [(e.timestamp, e.hostname) for e in events]
+            for client, events in self._events.items()
+        }
+
+    def as_requests(
+        self, user_of_client: dict[str, int] | None = None
+    ) -> dict[int, list[Request]]:
+        """Convert observations into the profiling core's request streams.
+
+        Without a mapping, clients get dense pseudo user ids in sorted-IP
+        order — which is all a real eavesdropper has anyway.  Host kind is
+        unknown to an observer, so every request is marked SITE.
+        """
+        if user_of_client is None:
+            user_of_client = {
+                ip: index for index, ip in enumerate(self.clients)
+            }
+        streams: dict[int, list[Request]] = defaultdict(list)
+        for client, events in self._events.items():
+            if client not in user_of_client:
+                continue
+            user_id = user_of_client[client]
+            for event in events:
+                streams[user_id].append(
+                    Request(
+                        user_id=user_id,
+                        timestamp=event.timestamp,
+                        hostname=event.hostname,
+                        kind=HostKind.SITE,
+                        site_domain=event.hostname,
+                    )
+                )
+        for stream in streams.values():
+            stream.sort(key=lambda r: r.timestamp)
+        return dict(streams)

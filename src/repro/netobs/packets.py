@@ -1,0 +1,190 @@
+"""Minimal IPv4/TCP/UDP packet codecs.
+
+The observer substrate works on real byte layouts so that the SNI
+extraction path is the one an actual on-path eavesdropper runs: parse IP,
+demultiplex the transport, find the TLS/QUIC/DNS payload.  Only the fields
+an observer needs are modelled; options, fragmentation and IPv6 are out of
+scope (documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+IP_PROTO_TCP = 6
+IP_PROTO_UDP = 17
+
+_IPV4_HEADER = struct.Struct("!BBHHHBBH4s4s")
+_TCP_HEADER = struct.Struct("!HHIIBBHHH")
+_UDP_HEADER = struct.Struct("!HHHH")
+
+
+class PacketError(ValueError):
+    """Raised when bytes cannot be parsed as the expected packet layout."""
+
+
+def ip_to_bytes(address: str) -> bytes:
+    parts = address.split(".")
+    if len(parts) != 4:
+        raise PacketError(f"not an IPv4 address: {address!r}")
+    try:
+        octets = [int(p) for p in parts]
+    except ValueError:
+        raise PacketError(f"not an IPv4 address: {address!r}") from None
+    if any(not 0 <= o <= 255 for o in octets):
+        raise PacketError(f"not an IPv4 address: {address!r}")
+    return bytes(octets)
+
+
+def bytes_to_ip(raw: bytes) -> str:
+    if len(raw) != 4:
+        raise PacketError("IPv4 address must be 4 bytes")
+    return ".".join(str(b) for b in raw)
+
+
+def checksum16(data: bytes) -> int:
+    """RFC 1071 ones-complement checksum over 16-bit words."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = sum(struct.unpack(f"!{len(data) // 2}H", data))
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A parsed (or to-be-serialized) IPv4 packet with TCP or UDP payload."""
+
+    src_ip: str
+    dst_ip: str
+    protocol: int          # IP_PROTO_TCP or IP_PROTO_UDP
+    src_port: int
+    dst_port: int
+    payload: bytes
+    timestamp: float = 0.0
+
+    def __post_init__(self):
+        if self.protocol not in (IP_PROTO_TCP, IP_PROTO_UDP):
+            raise PacketError(f"unsupported protocol {self.protocol}")
+        for port in (self.src_port, self.dst_port):
+            if not 0 <= port <= 0xFFFF:
+                raise PacketError(f"invalid port {port}")
+
+    @property
+    def flow_key(self) -> tuple[str, str, int, int, int]:
+        """5-tuple identifying the flow this packet belongs to."""
+        return (
+            self.src_ip, self.dst_ip, self.protocol,
+            self.src_port, self.dst_port,
+        )
+
+    def reversed_flow_key(self) -> tuple[str, str, int, int, int]:
+        return (
+            self.dst_ip, self.src_ip, self.protocol,
+            self.dst_port, self.src_port,
+        )
+
+    # -- wire format -----------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize to an IPv4 packet with a valid header checksum."""
+        if self.protocol == IP_PROTO_TCP:
+            transport = self._tcp_segment()
+        else:
+            transport = self._udp_datagram()
+        total_length = _IPV4_HEADER.size + len(transport)
+        header_wo_checksum = _IPV4_HEADER.pack(
+            0x45,                   # version 4, IHL 5
+            0,                      # DSCP/ECN
+            total_length,
+            0,                      # identification
+            0x4000,                 # flags: don't fragment
+            64,                     # TTL
+            self.protocol,
+            0,                      # checksum placeholder
+            ip_to_bytes(self.src_ip),
+            ip_to_bytes(self.dst_ip),
+        )
+        check = checksum16(header_wo_checksum)
+        header = header_wo_checksum[:10] + struct.pack("!H", check) \
+            + header_wo_checksum[12:]
+        return header + transport
+
+    def _pseudo_header(self, transport_length: int) -> bytes:
+        return (
+            ip_to_bytes(self.src_ip)
+            + ip_to_bytes(self.dst_ip)
+            + struct.pack("!BBH", 0, self.protocol, transport_length)
+        )
+
+    def _tcp_segment(self) -> bytes:
+        header_wo_checksum = _TCP_HEADER.pack(
+            self.src_port, self.dst_port,
+            1,                      # sequence number
+            0,                      # ack number
+            5 << 4,                 # data offset 5 words
+            0x18,                   # PSH|ACK
+            0xFFFF,                 # window
+            0,                      # checksum placeholder
+            0,                      # urgent pointer
+        )
+        segment = header_wo_checksum + self.payload
+        check = checksum16(self._pseudo_header(len(segment)) + segment)
+        return segment[:16] + struct.pack("!H", check) + segment[18:]
+
+    def _udp_datagram(self) -> bytes:
+        length = _UDP_HEADER.size + len(self.payload)
+        header_wo_checksum = _UDP_HEADER.pack(
+            self.src_port, self.dst_port, length, 0
+        )
+        datagram = header_wo_checksum + self.payload
+        check = checksum16(self._pseudo_header(length) + datagram)
+        if check == 0:
+            check = 0xFFFF          # RFC 768: 0 means "no checksum"
+        return datagram[:6] + struct.pack("!H", check) + datagram[8:]
+
+    @classmethod
+    def from_bytes(cls, data: bytes, timestamp: float = 0.0) -> "Packet":
+        """Parse an IPv4/TCP or IPv4/UDP packet; verifies the IP checksum."""
+        if len(data) < _IPV4_HEADER.size:
+            raise PacketError("truncated IPv4 header")
+        (
+            version_ihl, _dscp, total_length, _ident, _flags, _ttl,
+            protocol, _checksum, src_raw, dst_raw,
+        ) = _IPV4_HEADER.unpack_from(data)
+        if version_ihl >> 4 != 4:
+            raise PacketError("not IPv4")
+        ihl_bytes = (version_ihl & 0x0F) * 4
+        if ihl_bytes < _IPV4_HEADER.size or len(data) < ihl_bytes:
+            raise PacketError("bad IHL")
+        if checksum16(data[:ihl_bytes]) != 0:
+            raise PacketError("IPv4 header checksum mismatch")
+        if total_length > len(data):
+            raise PacketError("truncated packet body")
+        body = data[ihl_bytes:total_length]
+        if protocol == IP_PROTO_TCP:
+            if len(body) < _TCP_HEADER.size:
+                raise PacketError("truncated TCP header")
+            src_port, dst_port = struct.unpack_from("!HH", body)
+            offset_words = body[12] >> 4
+            payload = body[offset_words * 4:]
+        elif protocol == IP_PROTO_UDP:
+            if len(body) < _UDP_HEADER.size:
+                raise PacketError("truncated UDP header")
+            src_port, dst_port, udp_len, _ = _UDP_HEADER.unpack_from(body)
+            if udp_len < _UDP_HEADER.size or udp_len > len(body):
+                raise PacketError("bad UDP length")
+            payload = body[_UDP_HEADER.size:udp_len]
+        else:
+            raise PacketError(f"unsupported protocol {protocol}")
+        return cls(
+            src_ip=bytes_to_ip(src_raw),
+            dst_ip=bytes_to_ip(dst_raw),
+            protocol=protocol,
+            src_port=src_port,
+            dst_port=dst_port,
+            payload=payload,
+            timestamp=timestamp,
+        )

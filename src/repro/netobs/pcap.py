@@ -1,0 +1,156 @@
+"""PCAP file reading and writing (libpcap classic format).
+
+Lets the observer consume real ``tcpdump``/Wireshark captures and lets the
+traffic synthesizer export captures other tools can open.  Implements the
+classic pcap container from scratch: 24-byte global header (magic
+0xA1B2C3D4, microsecond timestamps, both endiannesses accepted on read)
+followed by 16-byte per-packet record headers.  Two link types are
+supported — LINKTYPE_RAW (IPv4 directly) and LINKTYPE_ETHERNET (a 14-byte
+Ethernet header is synthesized/stripped).
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.netobs.packets import Packet, PacketError
+
+PCAP_MAGIC = 0xA1B2C3D4
+LINKTYPE_ETHERNET = 1
+LINKTYPE_RAW = 101
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_RECORD_HEADER = struct.Struct("<IIII")
+_ETHERTYPE_IPV4 = 0x0800
+
+
+class PcapError(ValueError):
+    """Raised for malformed pcap containers."""
+
+
+def _ethernet_frame(ip_packet: bytes) -> bytes:
+    # Locally administered, stable dummy addresses.
+    dst = b"\x02\x00\x00\x00\x00\x01"
+    src = b"\x02\x00\x00\x00\x00\x02"
+    return dst + src + struct.pack("!H", _ETHERTYPE_IPV4) + ip_packet
+
+
+def _strip_ethernet(frame: bytes) -> bytes | None:
+    if len(frame) < 14:
+        raise PcapError("truncated Ethernet frame")
+    ethertype = struct.unpack_from("!H", frame, 12)[0]
+    if ethertype != _ETHERTYPE_IPV4:
+        return None  # ARP, IPv6, VLAN... not ours
+    return frame[14:]
+
+
+class PcapWriter:
+    """Writes packets into a classic pcap file."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        linktype: int = LINKTYPE_RAW,
+        snaplen: int = 65535,
+    ):
+        if linktype not in (LINKTYPE_RAW, LINKTYPE_ETHERNET):
+            raise ValueError(f"unsupported linktype {linktype}")
+        self.path = Path(path)
+        self.linktype = linktype
+        self._handle = self.path.open("wb")
+        self._handle.write(
+            _GLOBAL_HEADER.pack(
+                PCAP_MAGIC, 2, 4, 0, 0, snaplen, linktype
+            )
+        )
+        self.packets_written = 0
+
+    def write(self, packet: Packet) -> None:
+        payload = packet.to_bytes()
+        if self.linktype == LINKTYPE_ETHERNET:
+            payload = _ethernet_frame(payload)
+        seconds = int(packet.timestamp)
+        micros = int(round((packet.timestamp - seconds) * 1_000_000))
+        if micros >= 1_000_000:      # rounding can carry into the seconds
+            seconds += 1
+            micros -= 1_000_000
+        self._handle.write(
+            _RECORD_HEADER.pack(seconds, micros, len(payload), len(payload))
+        )
+        self._handle.write(payload)
+        self.packets_written += 1
+
+    def write_all(self, packets: Iterable[Packet]) -> int:
+        for packet in packets:
+            self.write(packet)
+        return self.packets_written
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def __enter__(self) -> "PcapWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_pcap(path: str | Path) -> Iterator[Packet]:
+    """Yield the IPv4 TCP/UDP packets of a pcap file.
+
+    Non-IPv4 frames and packets our codec cannot parse (ICMP, fragments)
+    are skipped — an SNI-extracting observer does the same.
+    """
+    data = Path(path).read_bytes()
+    if len(data) < _GLOBAL_HEADER.size:
+        raise PcapError("truncated global header")
+    magic_le = struct.unpack_from("<I", data)[0]
+    magic_be = struct.unpack_from(">I", data)[0]
+    if magic_le == PCAP_MAGIC:
+        endian = "<"
+    elif magic_be == PCAP_MAGIC:
+        endian = ">"
+    else:
+        raise PcapError(f"bad magic 0x{magic_le:08x}")
+    header = struct.Struct(endian + "IHHiIII")
+    record = struct.Struct(endian + "IIII")
+    (_magic, major, _minor, _tz, _sig, _snaplen, linktype) = (
+        header.unpack_from(data)
+    )
+    if major != 2:
+        raise PcapError(f"unsupported pcap version {major}")
+    if linktype not in (LINKTYPE_RAW, LINKTYPE_ETHERNET):
+        raise PcapError(f"unsupported linktype {linktype}")
+
+    offset = header.size
+    while offset + record.size <= len(data):
+        seconds, micros, caplen, origlen = record.unpack_from(data, offset)
+        offset += record.size
+        if offset + caplen > len(data):
+            raise PcapError("truncated packet record")
+        frame = data[offset:offset + caplen]
+        offset += caplen
+        if caplen < origlen:
+            continue  # snapped packet: the payload is incomplete
+        if linktype == LINKTYPE_ETHERNET:
+            stripped = _strip_ethernet(frame)
+            if stripped is None:
+                continue
+            frame = stripped
+        try:
+            yield Packet.from_bytes(
+                frame, timestamp=seconds + micros / 1_000_000
+            )
+        except PacketError:
+            continue
+
+
+def write_pcap(
+    path: str | Path,
+    packets: Iterable[Packet],
+    linktype: int = LINKTYPE_RAW,
+) -> int:
+    """Convenience: write ``packets`` to ``path``; returns the count."""
+    with PcapWriter(path, linktype=linktype) as writer:
+        return writer.write_all(packets)

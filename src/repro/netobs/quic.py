@@ -1,0 +1,177 @@
+"""QUIC Initial packets carrying a ClientHello (RFC 9000 framing).
+
+The paper (Section 7.2): "Both HTTPS and QUIC leak to a network observer
+the hostname requested by the user in the SNI field ... [by] checking the
+UDP datagrams of QUIC".  We model the part of QUIC an SNI-extracting
+observer interacts with: the long-header Initial packet layout, variable-
+length integers, and CRYPTO frames whose payload is the TLS ClientHello.
+
+Simplification (documented in DESIGN.md): real Initial payloads are
+protected with keys derived from the destination connection id; since that
+protection is removable by any observer (the derivation is public, by
+design), we transport the CRYPTO frames unprotected.  The parsing logic an
+observer needs — header walk, varints, frame walk, ClientHello reassembly —
+is identical.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.netobs.tls import TLSParseError, parse_client_hello_sni
+
+QUIC_VERSION_1 = 0x00000001
+FRAME_PADDING = 0x00
+FRAME_PING = 0x01
+FRAME_CRYPTO = 0x06
+_LONG_HEADER_BIT = 0x80
+_FIXED_BIT = 0x40
+_INITIAL_TYPE = 0x00
+
+
+class QUICParseError(ValueError):
+    """Raised when bytes are not a parseable QUIC Initial."""
+
+
+def encode_varint(value: int) -> bytes:
+    """RFC 9000 variable-length integer (2-bit length prefix)."""
+    if value < 0:
+        raise ValueError("varint cannot be negative")
+    if value < 1 << 6:
+        return bytes([value])
+    if value < 1 << 14:
+        return struct.pack("!H", value | 0x4000)
+    if value < 1 << 30:
+        return struct.pack("!I", value | 0x80000000)
+    if value < 1 << 62:
+        return struct.pack("!Q", value | 0xC000000000000000)
+    raise ValueError("varint out of range (max 2^62 - 1)")
+
+
+def decode_varint(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode a varint at ``offset``; returns (value, bytes consumed)."""
+    if offset >= len(data):
+        raise QUICParseError("truncated varint")
+    prefix = data[offset] >> 6
+    length = 1 << prefix
+    if offset + length > len(data):
+        raise QUICParseError("truncated varint body")
+    value = data[offset] & 0x3F
+    for i in range(1, length):
+        value = (value << 8) | data[offset + i]
+    return value, length
+
+
+def build_initial_packet(
+    hostname: str | None,
+    dcid: bytes = b"\x01\x02\x03\x04\x05\x06\x07\x08",
+    scid: bytes = b"\xaa\xbb\xcc\xdd",
+    pad_to: int = 1200,
+) -> bytes:
+    """A QUIC v1 Initial whose CRYPTO frame carries a ClientHello.
+
+    Padded to ``pad_to`` bytes as RFC 9000 requires of client Initials.
+    """
+    if len(dcid) > 20 or len(scid) > 20:
+        raise ValueError("connection ids must be <= 20 bytes")
+    from repro.netobs.tls import build_client_hello
+
+    client_hello_record = build_client_hello(hostname)
+    # CRYPTO frames carry the handshake *without* the 5-byte record layer.
+    crypto_payload = client_hello_record[5:]
+    frame = (
+        bytes([FRAME_CRYPTO])
+        + encode_varint(0)                       # offset
+        + encode_varint(len(crypto_payload))
+        + crypto_payload
+    )
+    packet_number = b"\x00"
+    payload = frame
+    header = (
+        bytes([_LONG_HEADER_BIT | _FIXED_BIT | (_INITIAL_TYPE << 4)])
+        + struct.pack("!I", QUIC_VERSION_1)
+        + bytes([len(dcid)]) + dcid
+        + bytes([len(scid)]) + scid
+        + encode_varint(0)                       # token length
+    )
+    body = packet_number + payload
+    packet = header + encode_varint(len(body)) + body
+    if len(packet) < pad_to:
+        packet += bytes(pad_to - len(packet))    # PADDING frames (0x00)
+    return packet
+
+
+def parse_initial_sni(datagram: bytes) -> str | None:
+    """Walk a QUIC Initial datagram and extract the SNI, if any.
+
+    Returns None for Initials without SNI; raises :class:`QUICParseError`
+    for malformed or non-Initial datagrams.
+    """
+    if not datagram:
+        raise QUICParseError("empty datagram")
+    first = datagram[0]
+    if not first & _LONG_HEADER_BIT:
+        raise QUICParseError("not a long-header packet")
+    if (first & 0x30) >> 4 != _INITIAL_TYPE:
+        raise QUICParseError("not an Initial packet")
+    pos = 1
+    if pos + 4 > len(datagram):
+        raise QUICParseError("truncated version")
+    version = struct.unpack_from("!I", datagram, pos)[0]
+    if version != QUIC_VERSION_1:
+        raise QUICParseError(f"unsupported QUIC version 0x{version:08x}")
+    pos += 4
+
+    for _ in range(2):                           # DCID then SCID
+        if pos >= len(datagram):
+            raise QUICParseError("truncated connection id length")
+        cid_length = datagram[pos]
+        pos += 1 + cid_length
+        if pos > len(datagram):
+            raise QUICParseError("truncated connection id")
+
+    token_length, consumed = decode_varint(datagram, pos)
+    pos += consumed + token_length
+    length, consumed = decode_varint(datagram, pos)
+    pos += consumed
+    if pos + length > len(datagram):
+        raise QUICParseError("truncated packet body")
+    body = datagram[pos:pos + length]
+
+    # Skip the (1-byte, in our builder) packet number, then walk frames.
+    frames = body[1:]
+    fpos = 0
+    crypto_chunks: list[tuple[int, bytes]] = []
+    while fpos < len(frames):
+        frame_type = frames[fpos]
+        if frame_type == FRAME_PADDING or frame_type == FRAME_PING:
+            fpos += 1
+            continue
+        if frame_type == FRAME_CRYPTO:
+            fpos += 1
+            offset, consumed = decode_varint(frames, fpos)
+            fpos += consumed
+            data_length, consumed = decode_varint(frames, fpos)
+            fpos += consumed
+            if fpos + data_length > len(frames):
+                raise QUICParseError("truncated CRYPTO frame")
+            crypto_chunks.append(
+                (offset, frames[fpos:fpos + data_length])
+            )
+            fpos += data_length
+            continue
+        # Unknown frame: an Initial from our builder never contains one,
+        # and a real observer would need the full frame grammar; stop.
+        break
+
+    if not crypto_chunks:
+        return None
+    crypto_chunks.sort(key=lambda c: c[0])
+    handshake = b"".join(chunk for _, chunk in crypto_chunks)
+    # Re-wrap as a TLS record for the shared ClientHello parser.
+    record = bytes([22]) + b"\x03\x01" + struct.pack("!H", len(handshake)) \
+        + handshake
+    try:
+        return parse_client_hello_sni(record)
+    except TLSParseError as exc:
+        raise QUICParseError(f"bad ClientHello in CRYPTO frame: {exc}") from exc

@@ -1,0 +1,178 @@
+"""TLS ClientHello construction and SNI extraction (RFC 8446 / RFC 6066).
+
+"TLS does leak some information": the hostname the client wants travels in
+clear text inside the server_name extension of the ClientHello.  This
+module builds byte-accurate ClientHello messages (as a test vector source
+and traffic synthesizer) and parses the SNI back out the way a passive
+eavesdropper would — tolerant of unknown extensions, GREASE values and
+arbitrary cipher lists, strict about structure.
+"""
+
+from __future__ import annotations
+
+import struct
+
+CONTENT_TYPE_HANDSHAKE = 22
+HANDSHAKE_CLIENT_HELLO = 1
+EXTENSION_SERVER_NAME = 0
+SNI_TYPE_HOST_NAME = 0
+
+# A plausible modern cipher list; contents are irrelevant to SNI parsing
+# but give the records realistic sizes.
+_DEFAULT_CIPHERS = (
+    0x1301, 0x1302, 0x1303,          # TLS 1.3 suites
+    0xC02B, 0xC02F, 0xC02C, 0xC030,  # ECDHE suites
+    0x009E, 0x009F,
+)
+
+
+class TLSParseError(ValueError):
+    """Raised when bytes are not a parseable TLS record/handshake."""
+
+
+def _u16(value: int) -> bytes:
+    return struct.pack("!H", value)
+
+
+def _u24(value: int) -> bytes:
+    return struct.pack("!I", value)[1:]
+
+
+def build_sni_extension(hostname: str) -> bytes:
+    """The server_name extension body (RFC 6066 Section 3)."""
+    name = hostname.encode("ascii")
+    entry = bytes([SNI_TYPE_HOST_NAME]) + _u16(len(name)) + name
+    server_name_list = _u16(len(entry)) + entry
+    return _u16(EXTENSION_SERVER_NAME) + _u16(len(server_name_list)) \
+        + server_name_list
+
+
+def build_client_hello(
+    hostname: str | None,
+    random_bytes: bytes | None = None,
+    session_id: bytes = b"",
+    extra_extensions: bytes = b"",
+) -> bytes:
+    """A full TLS record containing a ClientHello.
+
+    ``hostname=None`` builds a hello *without* SNI (what an observer sees
+    from clients using encrypted SNI or literal-IP connections).
+    """
+    if random_bytes is None:
+        random_bytes = bytes(32)
+    if len(random_bytes) != 32:
+        raise ValueError("ClientHello random must be 32 bytes")
+    if len(session_id) > 32:
+        raise ValueError("session_id must be <= 32 bytes")
+
+    ciphers = b"".join(_u16(c) for c in _DEFAULT_CIPHERS)
+    extensions = b""
+    if hostname is not None:
+        extensions += build_sni_extension(hostname)
+    # supported_versions (43) offering TLS 1.3 + 1.2; realistic padding.
+    extensions += _u16(43) + _u16(5) + bytes([4]) + _u16(0x0304) + _u16(0x0303)
+    extensions += extra_extensions
+
+    body = (
+        _u16(0x0303)                      # legacy_version TLS 1.2
+        + random_bytes
+        + bytes([len(session_id)]) + session_id
+        + _u16(len(ciphers)) + ciphers
+        + bytes([1, 0])                   # compression: null only
+        + _u16(len(extensions)) + extensions
+    )
+    handshake = bytes([HANDSHAKE_CLIENT_HELLO]) + _u24(len(body)) + body
+    record = (
+        bytes([CONTENT_TYPE_HANDSHAKE])
+        + _u16(0x0301)                    # record version (as in the wild)
+        + _u16(len(handshake))
+        + handshake
+    )
+    return record
+
+
+class _Reader:
+    """Bounds-checked cursor over immutable bytes."""
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+
+    def remaining(self) -> int:
+        return len(self.data) - self.pos
+
+    def take(self, n: int) -> bytes:
+        if n < 0 or self.remaining() < n:
+            raise TLSParseError(
+                f"truncated: wanted {n} bytes, have {self.remaining()}"
+            )
+        chunk = self.data[self.pos:self.pos + n]
+        self.pos += n
+        return chunk
+
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def u16(self) -> int:
+        return struct.unpack("!H", self.take(2))[0]
+
+    def u24(self) -> int:
+        high, low = struct.unpack("!BH", self.take(3))
+        return (high << 16) | low
+
+
+def parse_client_hello_sni(record: bytes) -> str | None:
+    """Extract the SNI hostname from a TLS record, if present.
+
+    Returns None when the record is a ClientHello without a server_name
+    extension.  Raises :class:`TLSParseError` when the bytes are not a
+    handshake/ClientHello at all.
+    """
+    reader = _Reader(record)
+    content_type = reader.u8()
+    if content_type != CONTENT_TYPE_HANDSHAKE:
+        raise TLSParseError(f"not a handshake record (type {content_type})")
+    reader.u16()                            # record version, ignored
+    record_length = reader.u16()
+    body = _Reader(reader.take(record_length))
+
+    handshake_type = body.u8()
+    if handshake_type != HANDSHAKE_CLIENT_HELLO:
+        raise TLSParseError(
+            f"not a ClientHello (handshake type {handshake_type})"
+        )
+    hello_length = body.u24()
+    hello = _Reader(body.take(hello_length))
+
+    hello.u16()                             # legacy_version
+    hello.take(32)                          # random
+    session_id_length = hello.u8()
+    hello.take(session_id_length)
+    cipher_length = hello.u16()
+    hello.take(cipher_length)
+    compression_length = hello.u8()
+    hello.take(compression_length)
+    if hello.remaining() == 0:
+        return None                         # no extensions at all
+    extensions_length = hello.u16()
+    extensions = _Reader(hello.take(extensions_length))
+
+    while extensions.remaining() >= 4:
+        ext_type = extensions.u16()
+        ext_length = extensions.u16()
+        ext_body = _Reader(extensions.take(ext_length))
+        if ext_type != EXTENSION_SERVER_NAME:
+            continue
+        list_length = ext_body.u16()
+        names = _Reader(ext_body.take(list_length))
+        while names.remaining() >= 3:
+            name_type = names.u8()
+            name_length = names.u16()
+            name = names.take(name_length)
+            if name_type == SNI_TYPE_HOST_NAME:
+                try:
+                    return name.decode("ascii")
+                except UnicodeDecodeError:
+                    raise TLSParseError("non-ASCII SNI hostname") from None
+        return None
+    return None

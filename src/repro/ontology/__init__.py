@@ -1,0 +1,33 @@
+"""Category ontology substrate (synthetic Adwords-like taxonomy + labeler).
+
+The paper maps hostnames to interest categories via the Google Adwords
+Display Planner: 1397 raw categories truncated at hierarchy level 2 into the
+C = 328 categories used for profiling, with only ~10.6 % hostname coverage.
+This package rebuilds that machinery: :class:`Taxonomy` (the hierarchy and
+its truncation), :func:`build_default_taxonomy` (a reference instance with
+the paper's exact counts) and :class:`OntologyLabeler` (the coverage-limited
+hostname -> category-vector oracle).
+"""
+
+from repro.ontology.catalog import (
+    EXPECTED_RAW_CATEGORIES,
+    EXPECTED_TOP_LEVEL,
+    EXPECTED_TRUNCATED_CATEGORIES,
+    VERTICALS,
+    build_default_taxonomy,
+)
+from repro.ontology.labeler import GroundTruth, LabelerStats, OntologyLabeler
+from repro.ontology.taxonomy import Category, Taxonomy
+
+__all__ = [
+    "Category",
+    "EXPECTED_RAW_CATEGORIES",
+    "EXPECTED_TOP_LEVEL",
+    "EXPECTED_TRUNCATED_CATEGORIES",
+    "GroundTruth",
+    "LabelerStats",
+    "OntologyLabeler",
+    "Taxonomy",
+    "VERTICALS",
+    "build_default_taxonomy",
+]

@@ -1,0 +1,417 @@
+"""Synthetic Adwords-like category catalog.
+
+The paper's ontology (Google Adwords Display Planner, 2018) had 1397 raw
+categories under 34 top-level verticals; truncating at hierarchy level 2
+yields the 328 categories used for profiling.  Google never published that
+taxonomy, so we reconstruct one with the same *shape*:
+
+* 34 top-level verticals (names taken from Figure 6 of the paper);
+* 294 hand-written level-2 subcategories (34 + 294 = 328 truncated);
+* 1069 procedurally generated level-3..5 categories (total 1397);
+* per-vertical depth mirrors the paper's remarks: "Internet & Telecom" has
+  exactly two subcategories, "Computers & Electronics" has 123 subcategories
+  in a 5-level hierarchy.
+
+Level-2 names are written as ``"<Vertical> / <Sub>"`` so that names are
+globally unique (several verticals would otherwise both contain e.g.
+"History").
+"""
+
+from __future__ import annotations
+
+from repro.ontology.taxonomy import Category, Taxonomy
+
+# Each entry: (vertical name, [level-2 subcategory names],
+#              deeper-node budget, max depth of the subtree).
+# The budgets are chosen so that the totals match the paper exactly:
+# sum(len(subs)) = 294, sum(budget) = 1069, total = 34 + 294 + 1069 = 1397.
+VERTICALS: list[tuple[str, list[str], int, int]] = [
+    (
+        "Arts & Entertainment",
+        [
+            "Celebrities & Entertainment News", "Comics & Animation",
+            "Concerts & Music Festivals", "Movies", "Music & Audio",
+            "Performing Arts", "TV Shows & Programs", "Visual Art & Design",
+            "Humor", "Events & Listings", "Fun Tests & Quizzes",
+            "Online Video", "Radio", "Entertainment Industry",
+            "Anime & Manga", "Photography",
+        ],
+        95, 4,
+    ),
+    (
+        "Autos & Vehicles",
+        [
+            "Motor Vehicles (New)", "Motor Vehicles (Used)", "Motorcycles",
+            "Auto Parts & Accessories", "Vehicle Repair & Maintenance",
+            "Commercial Vehicles", "Classic Vehicles", "Vehicle Shopping",
+            "Boats & Watercraft", "Vehicle Licensing & Registration",
+        ],
+        50, 4,
+    ),
+    (
+        "Beauty & Fitness",
+        [
+            "Face & Body Care", "Fashion & Style", "Fitness", "Hair Care",
+            "Spas & Beauty Services", "Weight Loss", "Cosmetic Procedures",
+            "Beauty Pageants", "Perfumes & Fragrances",
+        ],
+        35, 3,
+    ),
+    (
+        "Books & Literature",
+        [
+            "Children's Literature", "E-Books", "Fan Fiction & Writing",
+            "Literary Classics", "Poetry", "Book Retailers", "Magazines",
+            "Audiobooks",
+        ],
+        25, 3,
+    ),
+    (
+        "Business & Industrial",
+        [
+            "Advertising & Marketing", "Aerospace & Defense",
+            "Agriculture & Forestry", "Business Services",
+            "Chemicals Industry", "Construction & Maintenance", "Energy",
+            "Hospitality Industry", "Industrial Materials & Equipment",
+            "Manufacturing", "Metals & Mining", "Pharmaceuticals & Biotech",
+            "Printing & Publishing", "Retail Trade", "Textiles & Nonwovens",
+            "Transportation & Logistics",
+        ],
+        80, 4,
+    ),
+    (
+        "Computers & Electronics",
+        [
+            "CAD & CAM", "Computer Hardware", "Computer Security",
+            "Consumer Electronics", "Electronics & Electrical",
+            "Enterprise Technology", "Networking", "Programming",
+            "Software", "Gadgets & Portable Electronics",
+            "Game Systems & Consoles", "Laptops & Notebooks",
+            "Mobile Phones", "Audio Equipment", "Camera & Photo Equipment",
+            "Cloud Storage", "Operating Systems", "Printers & Scanners",
+            "TV & Video Equipment", "Wearable Technology",
+        ],
+        103, 5,
+    ),
+    (
+        "Finance",
+        [
+            "Accounting & Auditing", "Banking", "Credit & Lending",
+            "Financial Planning & Management", "Grants & Financial Assistance",
+            "Insurance", "Investing", "Retirement & Pension",
+            "Currencies & Foreign Exchange", "Crypto Assets",
+            "Tax Preparation & Planning", "Stock Brokerages",
+        ],
+        45, 4,
+    ),
+    (
+        "Food & Drink",
+        [
+            "Beverages", "Cooking & Recipes", "Food & Grocery Retailers",
+            "Restaurants", "Baked Goods", "Meat & Seafood",
+            "Vegetarian & Vegan Cuisine", "World Cuisines", "Wine & Spirits",
+        ],
+        30, 3,
+    ),
+    (
+        "Games",
+        [
+            "Arcade & Coin-Op Games", "Board Games", "Card Games",
+            "Computer & Video Games", "Gambling", "Online Games",
+            "Puzzles & Brainteasers", "Roleplaying Games",
+            "Massively Multiplayer Games", "Game Cheats & Hints",
+        ],
+        51, 4,
+    ),
+    (
+        "Health",
+        [
+            "Aging & Geriatrics", "Health Conditions", "Medical Devices",
+            "Medical Facilities & Services", "Men's Health", "Mental Health",
+            "Nursing", "Nutrition", "Oral & Dental Care", "Pediatrics",
+            "Pharmacy", "Public Health", "Reproductive Health",
+            "Women's Health",
+        ],
+        55, 4,
+    ),
+    (
+        "Hobbies & Leisure",
+        [
+            "Antiques & Collectibles", "Clubs & Organizations", "Crafts",
+            "Merit Prizes & Contests", "Outdoors", "Paintball",
+            "Radio Control & Modeling", "Recreational Aviation",
+            "Water Activities", "Bowling",
+        ],
+        40, 3,
+    ),
+    (
+        "Home & Garden",
+        [
+            "Bed & Bath", "Domestic Services", "Gardening & Landscaping",
+            "Home Appliances", "Home Furnishings", "Home Improvement",
+            "Home Safety & Security", "Homemaking & Interior Decor",
+            "Kitchen & Dining", "Laundry",
+        ],
+        35, 3,
+    ),
+    (
+        "Internet & Telecom",
+        # The paper singles this vertical out: "category Telecom only has two
+        # subcategories".
+        ["Service Providers", "Web Services"],
+        0, 2,
+    ),
+    (
+        "Jobs & Education",
+        [
+            "Education", "Jobs", "Internships", "Job Listings",
+            "Resumes & Portfolios", "Vocational & Continuing Education",
+            "Distance Learning", "Training & Certification",
+        ],
+        25, 3,
+    ),
+    (
+        "Law & Government",
+        [
+            "Government", "Legal", "Military", "Public Safety",
+            "Social Services", "Courts & Judiciary", "Visa & Immigration",
+            "Elections & Politics",
+        ],
+        25, 3,
+    ),
+    (
+        "News",
+        [
+            "Business News", "Gossip & Tabloid News", "Health News",
+            "Local News", "Politics News", "Sports News", "Technology News",
+            "Weather",
+        ],
+        20, 3,
+    ),
+    (
+        "Online Communities",
+        [
+            "Blogging Resources & Services", "Dating & Personals",
+            "File Sharing & Hosting", "Forum & Chat Providers",
+            "Online Goodies", "Photo & Video Sharing", "Social Networks",
+            "Virtual Worlds", "Microblogging",
+        ],
+        25, 3,
+    ),
+    (
+        "People & Society",
+        [
+            "Family & Relationships", "Kids & Teens", "Religion & Belief",
+            "Seniors & Retirement", "Social Issues & Advocacy",
+            "Social Sciences", "Subcultures & Niche Interests",
+            "Ethnic & Identity Groups", "Genealogy", "Self-Help & Motivation",
+        ],
+        30, 3,
+    ),
+    (
+        "Pets & Animals",
+        [
+            "Animal Products & Services", "Birds", "Cats", "Dogs",
+            "Fish & Aquaria", "Horses", "Wildlife",
+        ],
+        15, 3,
+    ),
+    (
+        "Real Estate",
+        [
+            "Apartments & Residential Rentals", "Commercial Properties",
+            "Property Development", "Property Inspections & Appraisals",
+            "Property Management", "Residential Sales",
+        ],
+        12, 3,
+    ),
+    (
+        "Reference",
+        [
+            "Dictionaries & Encyclopedias", "Educational Resources",
+            "Foreign Language Resources", "General Reference",
+            "Geographic Reference", "How-To, DIY & Expert Content",
+            "Libraries & Museums",
+        ],
+        15, 3,
+    ),
+    (
+        "Science",
+        [
+            "Astronomy", "Biological Sciences", "Chemistry",
+            "Computer Science", "Earth Sciences", "Engineering & Technology",
+            "Mathematics", "Physics", "Scientific Institutions",
+        ],
+        25, 3,
+    ),
+    (
+        "Shopping",
+        [
+            "Antiques & Collectibles Shopping", "Apparel", "Auctions",
+            "Classifieds", "Consumer Resources", "Coupons & Discount Offers",
+            "Gifts & Special Event Items", "Luxury Goods",
+            "Mass Merchants & Department Stores", "Shopping Portals",
+            "Sporting Goods Shopping", "Toys", "Jewelry", "Flowers",
+            "Price Comparison Services", "Online Marketplaces",
+        ],
+        60, 4,
+    ),
+    (
+        "Sports",
+        [
+            "American Football", "Baseball", "Basketball", "Combat Sports",
+            "Cycling", "Fantasy Sports", "Golf", "Gymnastics",
+            "Ice Hockey", "Motor Sports", "Soccer", "Tennis",
+            "Water Sports", "Winter Sports", "Running & Walking",
+            "Extreme Sports",
+        ],
+        75, 4,
+    ),
+    (
+        "Travel",
+        [
+            "Air Travel", "Bus & Rail", "Car Rental & Taxi Services",
+            "Cruises & Charters", "Hotels & Accommodations",
+            "Luggage & Travel Accessories", "Specialty Travel",
+            "Tourist Destinations", "Travel Agencies & Services",
+            "Travel Guides & Travelogues", "Vacation Offers",
+            "Honeymoons & Romantic Getaways",
+        ],
+        58, 4,
+    ),
+    (
+        "Adult",
+        [
+            "Adult Entertainment", "Adult Dating", "Adult Webcams",
+            "Adult Games", "Adult Literature",
+        ],
+        10, 3,
+    ),
+    (
+        "Reviews & Comparisons",
+        [
+            "Product Reviews", "Service Reviews", "Comparison Shopping",
+            "Consumer Advocacy",
+        ],
+        6, 3,
+    ),
+    (
+        "DIY & Expert Content",
+        [
+            "DIY Projects", "Expert Q&A", "Tutorials", "Maker Communities",
+        ],
+        6, 3,
+    ),
+    (
+        "Clubs & Nightlife",
+        ["Bars & Pubs", "Dance Clubs", "Live Music Venues", "Nightlife Guides"],
+        6, 3,
+    ),
+    (
+        "Awards & Prizes",
+        ["Contests & Sweepstakes", "Film & TV Awards", "Raffles & Lotteries"],
+        3, 3,
+    ),
+    (
+        "Scholarships & Financial Aid",
+        ["Scholarships", "Student Loans", "Study Grants"],
+        3, 3,
+    ),
+    (
+        "Sororities & Student Societies",
+        ["Fraternities & Sororities", "Student Associations", "Honor Societies"],
+        2, 3,
+    ),
+    (
+        "Crime & Mystery Films",
+        ["Crime Films", "Mystery Films", "Film Noir"],
+        2, 3,
+    ),
+    (
+        "Telescopes & Optical Devices",
+        ["Telescopes", "Binoculars", "Microscopes"],
+        2, 3,
+    ),
+]
+
+# Facet names used when procedurally generating the level-3..5 categories.
+# Only the *count and depth* of those deep categories matter to the
+# algorithms (they all truncate to their level-2 ancestor), so systematic
+# names are appropriate here.
+_FACETS: tuple[str, ...] = (
+    "Accessories", "Brands", "Beginners", "Professional", "Equipment",
+    "Events", "Guides", "History", "Local", "Online", "Pricing", "Rentals",
+    "Repair", "Reviews", "Used & Refurbished", "Vintage", "Wholesale",
+    "Communities", "Training", "Suppliers", "Comparisons", "Premium",
+    "Budget", "Regional", "International", "Seasonal", "Kids", "Luxury",
+    "Software", "Hardware", "Services", "Parts", "Maintenance", "News",
+    "Research", "Standards", "Trends", "Careers", "Safety", "Regulations",
+)
+
+EXPECTED_RAW_CATEGORIES = 1397
+EXPECTED_TRUNCATED_CATEGORIES = 328
+EXPECTED_TOP_LEVEL = 34
+
+
+def _expand_subtree(
+    taxonomy: Taxonomy,
+    level2: list[Category],
+    budget: int,
+    max_depth: int,
+) -> None:
+    """Attach ``budget`` procedurally named descendants below ``level2``.
+
+    To honour the per-vertical depth (e.g. the 5-level Computers &
+    Electronics subtree), a single spine chain down to ``max_depth`` is built
+    first; remaining budget is spent breadth-first so the subtree looks like
+    a realistic bushy taxonomy rather than a linked list.
+    """
+    if budget <= 0 or not level2:
+        return
+    facet_cursor: dict[int, int] = {}
+
+    def next_child(parent: Category) -> Category:
+        cursor = facet_cursor.get(parent.cat_id, 0)
+        facet_cursor[parent.cat_id] = cursor + 1
+        facet = _FACETS[cursor % len(_FACETS)]
+        suffix = "" if cursor < len(_FACETS) else f" {cursor // len(_FACETS) + 1}"
+        return taxonomy.add(f"{parent.name} / {facet}{suffix}", parent=parent)
+
+    remaining = budget
+    # Spine: one chain from the first level-2 node down to max_depth.
+    node = level2[0]
+    while node.level < max_depth and remaining > 0:
+        node = next_child(node)
+        remaining -= 1
+    # Breadth-first fill over the whole subtree.
+    queue: list[Category] = list(level2)
+    while remaining > 0:
+        parent = queue.pop(0)
+        if parent.level < max_depth:
+            child = next_child(parent)
+            remaining -= 1
+            queue.append(child)
+        queue.append(parent)
+
+
+def build_default_taxonomy() -> Taxonomy:
+    """Build the full 1397-category / 328-truncated reference taxonomy."""
+    taxonomy = Taxonomy()
+    for vertical_name, sub_names, budget, max_depth in VERTICALS:
+        vertical = taxonomy.add(vertical_name)
+        level2 = [
+            taxonomy.add(f"{vertical_name} / {sub}", parent=vertical)
+            for sub in sub_names
+        ]
+        _expand_subtree(taxonomy, level2, budget, max_depth)
+    if len(taxonomy) != EXPECTED_RAW_CATEGORIES:
+        raise AssertionError(
+            f"catalog drifted: built {len(taxonomy)} raw categories, "
+            f"expected {EXPECTED_RAW_CATEGORIES}"
+        )
+    if taxonomy.num_truncated != EXPECTED_TRUNCATED_CATEGORIES:
+        raise AssertionError(
+            f"catalog drifted: {taxonomy.num_truncated} truncated categories, "
+            f"expected {EXPECTED_TRUNCATED_CATEGORIES}"
+        )
+    return taxonomy

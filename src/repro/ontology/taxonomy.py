@@ -1,0 +1,173 @@
+"""Hierarchical category taxonomy (the "Google Adwords ontology" substrate).
+
+The paper obtained 1397 categories from the Adwords Display Planner, arranged
+in a hierarchy of uneven depth (Telecom has two subcategories, Computers &
+Electronics has 123 spread over five levels), and truncated it at the second
+level to obtain the C = 328 categories actually used for profiling.
+
+This module implements the hierarchy itself plus the truncation: every raw
+category maps to its unique level-<=2 ancestor, and category vectors are
+expressed over the truncated set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Category:
+    """One node of the taxonomy.
+
+    ``cat_id`` is a stable integer id assigned in insertion order over the
+    *whole* raw hierarchy.  ``level`` is 1 for top-level verticals.
+    """
+
+    cat_id: int
+    name: str
+    level: int
+    parent_id: int | None
+
+    @property
+    def is_top_level(self) -> bool:
+        return self.level == 1
+
+
+class Taxonomy:
+    """A rooted forest of categories with level-2 truncation support.
+
+    The truncated categories (level <= 2) get dense *truncated indices*
+    ``0..C-1`` used as vector coordinates everywhere else in the library.
+    """
+
+    def __init__(self) -> None:
+        self._categories: list[Category] = []
+        self._by_name: dict[str, int] = {}
+        self._children: dict[int | None, list[int]] = {}
+        self._truncated_index: dict[int, int] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add(self, name: str, parent: Category | None = None) -> Category:
+        """Add a category under ``parent`` (or as a top-level vertical)."""
+        if name in self._by_name:
+            raise ValueError(f"duplicate category name: {name!r}")
+        if parent is not None and parent.cat_id >= len(self._categories):
+            raise ValueError(f"unknown parent: {parent!r}")
+        level = 1 if parent is None else parent.level + 1
+        category = Category(
+            cat_id=len(self._categories),
+            name=name,
+            level=level,
+            parent_id=None if parent is None else parent.cat_id,
+        )
+        self._categories.append(category)
+        self._by_name[name] = category.cat_id
+        self._children.setdefault(category.parent_id, []).append(category.cat_id)
+        if level <= 2:
+            self._truncated_index[category.cat_id] = len(self._truncated_index)
+        return category
+
+    # -- lookup ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._categories)
+
+    def __iter__(self) -> Iterator[Category]:
+        return iter(self._categories)
+
+    def by_id(self, cat_id: int) -> Category:
+        return self._categories[cat_id]
+
+    def by_name(self, name: str) -> Category:
+        try:
+            return self._categories[self._by_name[name]]
+        except KeyError:
+            raise KeyError(f"no category named {name!r}") from None
+
+    def children(self, category: Category) -> list[Category]:
+        return [self._categories[i] for i in self._children.get(category.cat_id, [])]
+
+    def top_level(self) -> list[Category]:
+        return [self._categories[i] for i in self._children.get(None, [])]
+
+    def path(self, category: Category) -> list[Category]:
+        """Root-to-node path, e.g. [Travel, Air Travel, Budget Airlines]."""
+        chain: list[Category] = [category]
+        while chain[-1].parent_id is not None:
+            chain.append(self._categories[chain[-1].parent_id])
+        return list(reversed(chain))
+
+    def descendants(self, category: Category) -> list[Category]:
+        """All strict descendants, depth-first."""
+        out: list[Category] = []
+        stack = list(self._children.get(category.cat_id, []))
+        while stack:
+            cat_id = stack.pop()
+            out.append(self._categories[cat_id])
+            stack.extend(self._children.get(cat_id, []))
+        return out
+
+    def max_depth(self, category: Category) -> int:
+        """Depth of the subtree rooted at ``category`` (1 = leaf)."""
+        kids = self.children(category)
+        if not kids:
+            return 1
+        return 1 + max(self.max_depth(child) for child in kids)
+
+    # -- level-2 truncation (the paper's C = 328 category space) ------------
+
+    @property
+    def num_truncated(self) -> int:
+        """Number of level-<=2 categories; the paper's ``C``."""
+        return len(self._truncated_index)
+
+    def truncated_categories(self) -> list[Category]:
+        """The level-<=2 categories in truncated-index order."""
+        ordered = sorted(self._truncated_index.items(), key=lambda kv: kv[1])
+        return [self._categories[cat_id] for cat_id, _ in ordered]
+
+    def truncate(self, category: Category) -> Category:
+        """Map a raw category to its unique level-<=2 ancestor."""
+        node = category
+        while node.level > 2:
+            assert node.parent_id is not None
+            node = self._categories[node.parent_id]
+        return node
+
+    def truncated_index(self, category: Category) -> int:
+        """Dense coordinate (0..C-1) of ``category``'s level-<=2 ancestor."""
+        return self._truncated_index[self.truncate(category).cat_id]
+
+    def top_level_index_of(self, truncated_idx: int) -> int:
+        """Map a truncated coordinate to the index of its top-level vertical.
+
+        Used by the Figure 6 analysis, which reports only the 34 top-level
+        topics "to ease readability".
+        """
+        category = self.truncated_categories()[truncated_idx]
+        root = self.path(category)[0]
+        return self._children[None].index(root.cat_id)
+
+    def vector(
+        self, weighted_categories: Iterable[tuple[Category, float]]
+    ) -> np.ndarray:
+        """Build a category vector c^h over the truncated space.
+
+        Each (category, importance) pair contributes its importance to the
+        coordinate of the category's level-<=2 ancestor; coordinates are
+        capped at 1 so that, as in the paper, every component lies in [0, 1]
+        without the vector being a probability distribution.
+        """
+        vec = np.zeros(self.num_truncated, dtype=np.float64)
+        for category, importance in weighted_categories:
+            if not 0.0 <= importance <= 1.0:
+                raise ValueError(
+                    f"importance must be in [0, 1], got {importance!r}"
+                )
+            idx = self.truncated_index(category)
+            vec[idx] = min(1.0, vec[idx] + importance)
+        return vec

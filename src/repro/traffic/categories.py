@@ -1,0 +1,209 @@
+"""Vertical-flavoured vocabulary for synthetic hostname generation.
+
+Hostnames in the synthetic web are built from topical stems so that the
+generated corpus *looks* like the one in the paper's Figure 4 (Spanish /
+Latin-American consumer web), and so that debugging sessions read naturally
+("hotelmundo.com" is obviously Travel).  The profiling algorithms never look
+inside hostnames — topical structure reaches them only through request
+co-occurrence — so these stems are cosmetic, but good cosmetics make the
+qualitative analyses (Figure 5 clusters) legible.
+"""
+
+from __future__ import annotations
+
+# Stems per top-level vertical.  Keys must match VERTICALS in
+# repro.ontology.catalog.
+VERTICAL_STEMS: dict[str, list[str]] = {
+    "Arts & Entertainment": [
+        "cine", "series", "musica", "estrenos", "famosos", "teatro",
+        "conciertos", "pelis", "anime", "foto",
+    ],
+    "Autos & Vehicles": [
+        "autos", "coches", "motor", "motos", "ruedas", "garaje", "turbo",
+        "carros",
+    ],
+    "Beauty & Fitness": [
+        "belleza", "moda", "fitness", "gym", "estilo", "cosmetica", "pelo",
+    ],
+    "Books & Literature": [
+        "libros", "lectura", "novelas", "poesia", "cuentos", "ebooks",
+    ],
+    "Business & Industrial": [
+        "empresa", "negocios", "industria", "logistica", "oficina", "pymes",
+        "fabrica",
+    ],
+    "Computers & Electronics": [
+        "tech", "pc", "gadget", "android", "software", "hardware", "movil",
+        "electro", "geek",
+    ],
+    "Finance": [
+        "banco", "finanzas", "bolsa", "credito", "dinero", "inversion",
+        "seguros", "divisas",
+    ],
+    "Food & Drink": [
+        "recetas", "cocina", "comida", "sabor", "gourmet", "vinos", "cafe",
+    ],
+    "Games": [
+        "juegos", "gamer", "arcade", "consola", "partida", "gaming", "play",
+    ],
+    "Health": [
+        "salud", "medico", "clinica", "farmacia", "bienestar", "nutricion",
+        "fisio",
+    ],
+    "Hobbies & Leisure": [
+        "hobby", "manualidades", "pesca", "coleccion", "aventura", "ocio",
+    ],
+    "Home & Garden": [
+        "hogar", "casa", "jardin", "decoracion", "muebles", "bricolaje",
+    ],
+    "Internet & Telecom": [
+        "telecom", "fibra", "hosting", "correo", "red", "wifi",
+    ],
+    "Jobs & Education": [
+        "empleo", "cursos", "trabajo", "academia", "universidad", "beca",
+        "oposiciones",
+    ],
+    "Law & Government": [
+        "gobierno", "tramites", "leyes", "justicia", "ministerio", "registro",
+    ],
+    "News": [
+        "noticias", "diario", "prensa", "actualidad", "portada", "informe",
+    ],
+    "Online Communities": [
+        "foro", "social", "chat", "comunidad", "amigos", "red",
+    ],
+    "People & Society": [
+        "familia", "sociedad", "religion", "pareja", "cultura", "gente",
+    ],
+    "Pets & Animals": [
+        "mascotas", "perros", "gatos", "animales", "veterinario",
+    ],
+    "Real Estate": [
+        "pisos", "inmobiliaria", "alquiler", "viviendas", "casas",
+    ],
+    "Reference": [
+        "wiki", "diccionario", "apuntes", "significados", "biografias",
+    ],
+    "Science": [
+        "ciencia", "fisica", "quimica", "astro", "investigacion", "lab",
+    ],
+    "Shopping": [
+        "tienda", "ofertas", "compras", "chollos", "outlet", "rebajas",
+        "mercado",
+    ],
+    "Sports": [
+        "futbol", "deporte", "liga", "baloncesto", "tenis", "marcador",
+        "goles",
+    ],
+    "Travel": [
+        "viajes", "vuelos", "hotel", "turismo", "playa", "destinos",
+        "maletas",
+    ],
+    "Adult": [
+        "adulto", "citasx", "webcamx", "pasion",
+    ],
+    "Reviews & Comparisons": [
+        "opiniones", "comparador", "resenas", "analisis",
+    ],
+    "DIY & Expert Content": [
+        "tutoriales", "comohacer", "expertos", "trucos",
+    ],
+    "Clubs & Nightlife": [
+        "fiesta", "discoteca", "copas", "nocturno",
+    ],
+    "Awards & Prizes": [
+        "premios", "sorteos", "concursos",
+    ],
+    "Scholarships & Financial Aid": [
+        "becas", "ayudas", "matricula",
+    ],
+    "Sororities & Student Societies": [
+        "estudiantes", "campus", "asociacion",
+    ],
+    "Crime & Mystery Films": [
+        "misterio", "crimen", "thriller",
+    ],
+    "Telescopes & Optical Devices": [
+        "telescopios", "optica", "prismaticos",
+    ],
+}
+
+# Second-token vocabulary, combined with a stem to form a site name.
+SITE_SUFFIX_WORDS: list[str] = [
+    "online", "hoy", "web", "plus", "express", "total", "hub", "zone",
+    "mania", "libre", "24", "digital", "now", "point", "box", "city",
+    "top", "pro", "land", "life", "mundo", "ya", "net", "star", "casa",
+    "max", "uno", "sur", "norte", "real", "gran", "mini", "mega", "ideal",
+]
+
+# TLD mix roughly matching the paper's Figure 4 population (Spain + LatAm).
+SITE_TLDS: list[tuple[str, float]] = [
+    ("com", 0.46), ("es", 0.16), ("net", 0.07), ("org", 0.06),
+    ("com.ve", 0.05), ("com.co", 0.04), ("com.mx", 0.04), ("com.ar", 0.04),
+    ("com.pe", 0.03), ("gob.ve", 0.01), ("cl", 0.01), ("io", 0.01),
+    ("tv", 0.01), ("co", 0.01),
+]
+
+# Hostnames everyone visits regardless of interests (the paper's "core":
+# google.com, facebook.com, youtube.com, ...).  Their categories carry no
+# profiling value ("all users in our experiment are assigned the same 14
+# categories").  Each entry: (hostname, [(vertical, level-2 sub), ...]).
+CORE_SITES: list[tuple[str, list[tuple[str, str]]]] = [
+    ("google.com", [("Internet & Telecom", "Web Services"),
+                    ("Reference", "General Reference")]),
+    ("youtube.com", [("Arts & Entertainment", "Online Video"),
+                     ("Online Communities", "Photo & Video Sharing")]),
+    ("facebook.com", [("Online Communities", "Social Networks")]),
+    ("instagram.com", [("Online Communities", "Photo & Video Sharing"),
+                       ("Online Communities", "Social Networks")]),
+    ("twitter.com", [("Online Communities", "Microblogging"),
+                     ("News", "Politics News")]),
+    ("whatsapp.com", [("Online Communities", "Forum & Chat Providers"),
+                      ("Internet & Telecom", "Web Services")]),
+    ("wikipedia.org", [("Reference", "Dictionaries & Encyclopedias")]),
+    ("live.com", [("Internet & Telecom", "Web Services")]),
+    ("msn.com", [("News", "Local News"),
+                 ("Internet & Telecom", "Web Services")]),
+    ("amazon.com", [("Shopping", "Mass Merchants & Department Stores")]),
+    ("netflix.com", [("Arts & Entertainment", "TV Shows & Programs"),
+                     ("Arts & Entertainment", "Online Video")]),
+    ("outlook.com", [("Internet & Telecom", "Web Services")]),
+    ("yahoo.com", [("Internet & Telecom", "Web Services"),
+                   ("News", "Local News")]),
+    ("bing.com", [("Internet & Telecom", "Web Services")]),
+    ("microsoft.com", [("Computers & Electronics", "Software")]),
+    ("apple.com", [("Computers & Electronics", "Consumer Electronics")]),
+    ("mercadolibre.com", [("Shopping", "Online Marketplaces")]),
+    ("blogspot.com", [("Online Communities",
+                       "Blogging Resources & Services")]),
+    ("t.co", [("Online Communities", "Microblogging")]),
+    ("pinterest.com", [("Online Communities", "Photo & Video Sharing")]),
+]
+
+# Shared infrastructure providers: many sites embed hostnames under these
+# SLDs (the "ds-aksb-a.akamaihd.net" phenomenon).  Never labelled by the
+# ontology.
+SHARED_CDN_SLDS: list[str] = [
+    "akamaihd.net", "cloudfront.net", "fbcdn.net", "gstatic.com",
+    "googleusercontent.com", "googlevideo.com", "amazonaws.com",
+    "akamaized.net", "cdninstagram.com", "edgekey.net", "fastly.net",
+    "cloudflare.net", "azureedge.net", "llnwd.net", "cdn77.org",
+]
+
+# Cloud SLDs under which site-specific API endpoints live
+# (api.bkng.azure.com in the paper's running example).
+CLOUD_API_SLDS: list[str] = [
+    "azure.com", "amazonaws.com", "googleapis.com", "cloudapp.net",
+    "herokuapp.com", "appspot.com", "digitaloceanspaces.com",
+]
+
+# Tracker / ad-tech SLD stems ("roughly 50 of the top 100 hostnames belong
+# to advertisers or tracking companies").
+TRACKER_STEMS: list[str] = [
+    "doubleclick", "adservice", "analytics", "pixel", "adnxs", "criteo",
+    "taboola", "outbrain", "scorecard", "quantserve", "adsafeprotected",
+    "moatads", "rubicon", "pubmatic", "openx", "smartad", "admeta",
+    "tracksys", "beacon", "metrics", "telemetry", "audience", "retarget",
+    "bidswitch", "adform", "exoclick", "popads", "propeller", "zedo",
+    "chartbeat",
+]

@@ -1,0 +1,46 @@
+"""Typed request events — the atoms of a browsing trace.
+
+A network observer ultimately sees a stream of (client, time, hostname)
+triples; :class:`Request` is that triple plus ground-truth annotations
+(which *kind* of hostname it is and which site visit produced it) that the
+profiling algorithms never see but the evaluation harness needs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class HostKind(enum.Enum):
+    """Ground-truth role of a hostname in the synthetic web."""
+
+    SITE = "site"            # a content website (labelable by the ontology)
+    CORE = "core"            # a universally popular site (google-like)
+    SATELLITE = "satellite"  # CDN / API endpoint tied to one site
+    TRACKER = "tracker"      # ad-tech / tracking host
+
+
+@dataclass(frozen=True, slots=True)
+class Request:
+    """One observed hostname request.
+
+    ``site_domain`` is the content site whose visit triggered this request
+    (equal to ``hostname`` for SITE/CORE requests); it is ground truth used
+    only for evaluation.
+    """
+
+    user_id: int
+    timestamp: float
+    hostname: str
+    kind: HostKind
+    site_domain: str
+
+    def is_content(self) -> bool:
+        """True for requests to content sites (SITE or CORE)."""
+        return self.kind in (HostKind.SITE, HostKind.CORE)
+
+
+def hostnames_of(requests: list[Request]) -> list[str]:
+    """Project a request list onto its hostname sequence (order-preserving)."""
+    return [request.hostname for request in requests]

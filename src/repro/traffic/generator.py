@@ -1,0 +1,152 @@
+"""Multi-day, multi-user trace generation.
+
+``TraceGenerator`` assembles the browsing model into the artefact every
+other subsystem consumes: a :class:`Trace`, i.e. per-day lists of requests
+across the whole population.  Day/user randomness is derived independently
+(``derive_rng(seed, "day{d}.user{u}")``) so any day can be regenerated in
+isolation and in any order — which is how the daily-retraining pipeline and
+the benchmarks slice the timeline.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.traffic.events import Request
+from repro.traffic.sessions import BrowsingModel, SessionConfig
+from repro.traffic.users import UserPopulation, UserProfile
+from repro.traffic.web import SyntheticWeb
+from repro.utils.randomness import derive_rng
+from repro.utils.timeutils import DAY_SECONDS, HOUR_SECONDS
+
+
+@dataclass
+class Trace:
+    """Requests grouped by day, each day sorted by timestamp."""
+
+    days: list[list[Request]]
+    start_day: int = 0
+
+    def __len__(self) -> int:
+        return len(self.days)
+
+    def day(self, day: int) -> list[Request]:
+        """Requests of absolute day index ``day``."""
+        return self.days[day - self.start_day]
+
+    def all_requests(self) -> Iterator[Request]:
+        for day_requests in self.days:
+            yield from day_requests
+
+    @property
+    def num_requests(self) -> int:
+        return sum(len(day) for day in self.days)
+
+    def distinct_hostnames(self) -> set[str]:
+        return {r.hostname for r in self.all_requests()}
+
+    def user_ids(self) -> set[int]:
+        return {r.user_id for r in self.all_requests()}
+
+    def user_sequences(self, day: int) -> dict[int, list[Request]]:
+        """Per-user request lists for one day (each sorted by time)."""
+        sequences: dict[int, list[Request]] = defaultdict(list)
+        for request in self.day(day):
+            sequences[request.user_id].append(request)
+        return dict(sequences)
+
+    def per_user_hostnames(self) -> dict[int, set[str]]:
+        """Which hostnames each user touched over the whole trace."""
+        seen: dict[int, set[str]] = defaultdict(set)
+        for request in self.all_requests():
+            seen[request.user_id].add(request.hostname)
+        return dict(seen)
+
+    def counts_by_kind(self) -> Counter:
+        return Counter(r.kind for r in self.all_requests())
+
+    def hostname_counts(self) -> Counter:
+        return Counter(r.hostname for r in self.all_requests())
+
+    def filter(self, keep) -> "Trace":
+        """A new trace containing only requests for which ``keep(r)``."""
+        return Trace(
+            days=[[r for r in day if keep(r)] for day in self.days],
+            start_day=self.start_day,
+        )
+
+
+@dataclass
+class DiurnalModel:
+    """When during the day sessions start.
+
+    A two-peak mixture (lunchtime + evening) wrapped into [0, 24h); crude
+    but sufficient to make "last 20 minutes" sessions realistic and to
+    spread load across each simulated day.
+    """
+
+    peaks_hours: tuple[float, ...] = (13.0, 21.0)
+    peak_weights: tuple[float, ...] = (0.4, 0.6)
+    spread_hours: float = 3.0
+
+    def sample_start(self, day: int, rng: np.random.Generator) -> float:
+        peak = self.peaks_hours[
+            int(rng.choice(len(self.peaks_hours), p=self.peak_weights))
+        ]
+        hour = float(rng.normal(peak, self.spread_hours)) % 24.0
+        return day * DAY_SECONDS + hour * HOUR_SECONDS
+
+
+class TraceGenerator:
+    """Turns (web, population, seed) into reproducible daily traces."""
+
+    def __init__(
+        self,
+        web: SyntheticWeb,
+        population: UserPopulation,
+        seed: int,
+        session_config: SessionConfig | None = None,
+        diurnal: DiurnalModel | None = None,
+    ):
+        self.web = web
+        self.population = population
+        self.seed = int(seed)
+        self.model = BrowsingModel(web, session_config)
+        self.diurnal = diurnal or DiurnalModel()
+
+    def _user_day_requests(
+        self, user: UserProfile, day: int
+    ) -> list[Request]:
+        rng = derive_rng(self.seed, f"day{day}.user{user.user_id}")
+        n_sessions = int(rng.poisson(user.sessions_per_day))
+        requests: list[Request] = []
+        for _ in range(n_sessions):
+            start = self.diurnal.sample_start(day, rng)
+            requests.extend(self.model.session_requests(user, start, rng))
+        return requests
+
+    def day_requests(self, day: int) -> list[Request]:
+        """All requests of one absolute day, sorted by timestamp."""
+        if day < 0:
+            raise ValueError("day must be >= 0")
+        requests: list[Request] = []
+        for user in self.population:
+            requests.extend(self._user_day_requests(user, day))
+        requests.sort(key=lambda r: (r.timestamp, r.user_id))
+        return requests
+
+    def generate(self, num_days: int, start_day: int = 0) -> Trace:
+        """Generate ``num_days`` consecutive days starting at ``start_day``."""
+        if num_days < 1:
+            raise ValueError("num_days must be >= 1")
+        return Trace(
+            days=[
+                self.day_requests(day)
+                for day in range(start_day, start_day + num_days)
+            ],
+            start_day=start_day,
+        )

@@ -1,0 +1,216 @@
+"""The browsing model: how a user's interests become hostname requests.
+
+A browsing session is a topic-coherent Markov walk: the user picks one of
+her interests, visits a few sites about it, maybe drifts to another
+interest, occasionally detours to a core site (checking mail / social
+feeds) or explores something random.  Every site visit fans out into the
+requests a network observer would actually see: the site itself, its
+satellite CDN/API hostnames, and tracker hostnames.
+
+This co-occurrence structure — same-topic sites adjacent in time, satellites
+glued to their parent site — is exactly the signal the paper's SKIPGRAM
+model learns from, so the fidelity of this module is what makes the
+reproduction meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.traffic.events import HostKind, Request
+from repro.traffic.users import UserProfile
+from repro.traffic.web import Site, SyntheticWeb
+
+
+@dataclass
+class SessionConfig:
+    """Knobs of the within-session behaviour."""
+
+    # Number of site visits per session ~ 1 + Poisson(mean_visits - 1).
+    # ~12 visits x ~50 s think time gives ~10-minute sessions, so the
+    # extension's 10-minute report grid usually ticks mid-session.
+    mean_visits: float = 12.0
+    # Probability of staying on the current interest topic between visits.
+    topic_stay_prob: float = 0.7
+    # Probability that each satellite of a visited site is requested.
+    satellite_prob: float = 0.8
+    # Mean number of tracker requests fired per site visit.
+    tracker_mean: float = 0.45
+    # Zipf exponent over the tracker list.  Real ad-tech is broad as well
+    # as deep: ~50 of the paper's top-100 hostnames were trackers, so the
+    # distribution is only mildly peaked.
+    tracker_zipf: float = 0.7
+    # Mean think time between consecutive site visits, seconds.
+    gap_mean_seconds: float = 50.0
+    # Sub-requests (satellites/trackers) land within this many seconds.
+    fanout_spread_seconds: float = 4.0
+
+    def validate(self) -> None:
+        if self.mean_visits < 1:
+            raise ValueError("mean_visits must be >= 1")
+        for name in ("topic_stay_prob", "satellite_prob"):
+            value = getattr(self, name)
+            if not 0 <= value <= 1:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if self.tracker_mean < 0:
+            raise ValueError("tracker_mean must be >= 0")
+        if self.gap_mean_seconds <= 0 or self.fanout_spread_seconds <= 0:
+            raise ValueError("timing parameters must be positive")
+
+
+class BrowsingModel:
+    """Samples sessions of :class:`Request` events for a user."""
+
+    def __init__(self, web: SyntheticWeb, config: SessionConfig | None = None):
+        self.web = web
+        self.config = config or SessionConfig()
+        self.config.validate()
+
+        self._core_indices = [
+            i for i, site in enumerate(web.sites) if site.kind is HostKind.CORE
+        ]
+        self._core_probs = self._popularity_probs(self._core_indices)
+        self._all_indices = list(range(len(web.sites)))
+        self._all_probs = self._popularity_probs(self._all_indices)
+        self._category_probs: dict[int, tuple[list[int], np.ndarray]] = {}
+        if web.trackers:
+            ranks = np.arange(1, len(web.trackers) + 1, dtype=np.float64)
+            weights = ranks ** (-self.config.tracker_zipf)
+            self._tracker_probs = weights / weights.sum()
+        else:
+            self._tracker_probs = None
+
+    def _popularity_probs(self, indices: list[int]) -> np.ndarray:
+        weights = np.array(
+            [self.web.sites[i].popularity for i in indices], dtype=np.float64
+        )
+        if weights.sum() == 0:
+            return np.full(len(indices), 1.0 / max(len(indices), 1))
+        return weights / weights.sum()
+
+    def _sites_for_category(
+        self, truncated_idx: int
+    ) -> tuple[list[int], np.ndarray]:
+        if truncated_idx not in self._category_probs:
+            indices = self.web.sites_in_category(truncated_idx)
+            self._category_probs[truncated_idx] = (
+                indices,
+                self._popularity_probs(indices),
+            )
+        return self._category_probs[truncated_idx]
+
+    # -- site selection ----------------------------------------------------
+
+    def _pick_site(
+        self,
+        user: UserProfile,
+        current_topic: int,
+        rng: np.random.Generator,
+    ) -> Site:
+        roll = rng.random()
+        if roll < user.core_affinity and self._core_indices:
+            indices, probs = self._core_indices, self._core_probs
+        elif roll < user.core_affinity + user.explore_prob:
+            indices, probs = self._all_indices, self._all_probs
+        else:
+            indices, probs = self._sites_for_category(current_topic)
+            if not indices:  # interest category with no sites: explore
+                indices, probs = self._all_indices, self._all_probs
+        return self.web.sites[indices[int(rng.choice(len(indices), p=probs))]]
+
+    # -- request fan-out ---------------------------------------------------
+
+    def _visit_requests(
+        self,
+        user: UserProfile,
+        site: Site,
+        timestamp: float,
+        rng: np.random.Generator,
+    ) -> list[Request]:
+        requests = [
+            Request(
+                user_id=user.user_id,
+                timestamp=timestamp,
+                hostname=site.domain,
+                kind=site.kind,
+                site_domain=site.domain,
+            )
+        ]
+        spread = self.config.fanout_spread_seconds
+        for satellite in site.satellites:
+            if rng.random() < self.config.satellite_prob:
+                requests.append(
+                    Request(
+                        user_id=user.user_id,
+                        timestamp=timestamp + float(rng.uniform(0.1, spread)),
+                        hostname=satellite,
+                        kind=HostKind.SATELLITE,
+                        site_domain=site.domain,
+                    )
+                )
+        day = int(timestamp // 86400.0)
+        for sld in site.shard_slds:
+            if rng.random() < self.config.satellite_prob:
+                requests.append(
+                    Request(
+                        user_id=user.user_id,
+                        timestamp=timestamp + float(rng.uniform(0.1, spread)),
+                        hostname=self.web.shard_hostname(
+                            site, sld, user.user_id, day
+                        ),
+                        kind=HostKind.SATELLITE,
+                        site_domain=site.domain,
+                    )
+                )
+        if self._tracker_probs is not None:
+            n_trackers = int(rng.poisson(self.config.tracker_mean))
+            n_trackers = min(n_trackers, len(self.web.trackers))
+            if n_trackers:
+                picks = rng.choice(
+                    len(self.web.trackers),
+                    size=n_trackers,
+                    replace=False,
+                    p=self._tracker_probs,
+                )
+                for pick in np.atleast_1d(picks):
+                    requests.append(
+                        Request(
+                            user_id=user.user_id,
+                            timestamp=timestamp
+                            + float(rng.uniform(0.1, spread)),
+                            hostname=self.web.trackers[int(pick)],
+                            kind=HostKind.TRACKER,
+                            site_domain=site.domain,
+                        )
+                    )
+        return requests
+
+    # -- the public entry point ---------------------------------------------
+
+    def session_requests(
+        self,
+        user: UserProfile,
+        start_time: float,
+        rng: np.random.Generator,
+        num_visits: int | None = None,
+    ) -> list[Request]:
+        """Sample one browsing session starting at ``start_time``.
+
+        Returns requests sorted by timestamp.  ``num_visits`` overrides the
+        sampled session length (used by tests and ablations).
+        """
+        if num_visits is None:
+            num_visits = 1 + int(rng.poisson(self.config.mean_visits - 1))
+        topic = user.sample_interest(rng)
+        clock = float(start_time)
+        requests: list[Request] = []
+        for _ in range(num_visits):
+            site = self._pick_site(user, topic, rng)
+            requests.extend(self._visit_requests(user, site, clock, rng))
+            clock += float(rng.exponential(self.config.gap_mean_seconds))
+            if rng.random() > self.config.topic_stay_prob:
+                topic = user.sample_interest(rng)
+        requests.sort(key=lambda r: r.timestamp)
+        return requests

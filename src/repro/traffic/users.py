@@ -1,0 +1,174 @@
+"""Synthetic user population with latent interest profiles.
+
+Each user carries a *latent* interest distribution over the truncated
+category space.  That distribution drives which sites the browsing model
+visits and — crucially — it is the ground truth against which profiling
+accuracy and ad clicks are evaluated: the paper's CTR experiment works
+precisely because real users click more on ads matching their real
+interests, and our click model does the same against these latent vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ontology.taxonomy import Taxonomy
+from repro.traffic.web import VERTICAL_POPULARITY, SyntheticWeb
+
+
+@dataclass
+class PopulationConfig:
+    """Shape of the synthetic user population."""
+
+    num_users: int = 200
+    min_interests: int = 3
+    max_interests: int = 8
+    # Dirichlet concentration across a user's interests: < 1 gives users a
+    # dominant passion plus minor interests.
+    interest_concentration: float = 0.7
+    # Probability range that any given visit targets a core site
+    # (google/facebook-style background noise shared by everyone).
+    core_affinity_range: tuple[float, float] = (0.25, 0.5)
+    # Probability that a visit "explores" outside the user's interests.
+    explore_prob_range: tuple[float, float] = (0.05, 0.2)
+    # Lognormal parameters for sessions per day.
+    sessions_per_day_mu: float = 1.0   # exp(1.0) ~ 2.7 sessions/day median
+    # High variance: the paper's population mixes heavy and light users
+    # (25% of users visited >= 1015 hostnames, 75% only >= 217).
+    sessions_per_day_sigma: float = 0.8
+
+    def validate(self) -> None:
+        if self.num_users < 1:
+            raise ValueError("num_users must be >= 1")
+        if not 1 <= self.min_interests <= self.max_interests:
+            raise ValueError("need 1 <= min_interests <= max_interests")
+        lo, hi = self.core_affinity_range
+        if not 0 <= lo <= hi <= 1:
+            raise ValueError("core_affinity_range must be ordered in [0, 1]")
+        lo, hi = self.explore_prob_range
+        if not 0 <= lo <= hi <= 1:
+            raise ValueError("explore_prob_range must be ordered in [0, 1]")
+
+
+@dataclass(frozen=True)
+class UserProfile:
+    """One synthetic user.
+
+    ``interests`` maps truncated category indices to weights summing to 1.
+    """
+
+    user_id: int
+    interests: dict[int, float]
+    core_affinity: float
+    explore_prob: float
+    sessions_per_day: float
+
+    def interest_vector(self, num_categories: int) -> np.ndarray:
+        """Dense latent interest vector over the truncated category space."""
+        vec = np.zeros(num_categories, dtype=np.float64)
+        for idx, weight in self.interests.items():
+            vec[idx] = weight
+        return vec
+
+    def sample_interest(self, rng: np.random.Generator) -> int:
+        """Draw one interest category index ~ the interest distribution."""
+        indices = list(self.interests)
+        probs = np.array([self.interests[i] for i in indices])
+        return indices[int(rng.choice(len(indices), p=probs))]
+
+
+class UserPopulation:
+    """Generates and holds the synthetic user base."""
+
+    def __init__(self, users: list[UserProfile], taxonomy: Taxonomy):
+        self.users = users
+        self.taxonomy = taxonomy
+
+    def __len__(self) -> int:
+        return len(self.users)
+
+    def __iter__(self):
+        return iter(self.users)
+
+    def by_id(self, user_id: int) -> UserProfile:
+        return self.users[user_id]
+
+    @classmethod
+    def generate(
+        cls,
+        web: SyntheticWeb,
+        rng: np.random.Generator,
+        config: PopulationConfig | None = None,
+    ) -> "UserPopulation":
+        config = config or PopulationConfig()
+        config.validate()
+        taxonomy = web.taxonomy
+
+        # Interests may only land on categories that actually contain sites,
+        # otherwise the browsing model would have nothing to visit.
+        populated = sorted(
+            idx
+            for idx in range(taxonomy.num_truncated)
+            if web.sites_in_category(idx)
+        )
+        if not populated:
+            raise ValueError("synthetic web has no categorized sites")
+        vertical_of = {
+            idx: taxonomy.path(taxonomy.truncated_categories()[idx])[0].name
+            for idx in populated
+        }
+        weights = np.array(
+            [VERTICAL_POPULARITY.get(vertical_of[idx], 0.5) for idx in populated]
+        )
+        category_probs = weights / weights.sum()
+
+        users: list[UserProfile] = []
+        for user_id in range(config.num_users):
+            k = int(
+                rng.integers(config.min_interests, config.max_interests + 1)
+            )
+            k = min(k, len(populated))
+            chosen = rng.choice(
+                len(populated), size=k, replace=False, p=category_probs
+            )
+            shares = rng.dirichlet(
+                np.full(k, config.interest_concentration)
+            )
+            interests = {
+                populated[int(c)]: float(s)
+                for c, s in zip(chosen, shares)
+                if s > 0
+            }
+            # Degenerate Dirichlet draws can zero out everything but one
+            # component; re-normalize whatever survived.
+            total = sum(interests.values())
+            interests = {i: w / total for i, w in interests.items()}
+            users.append(
+                UserProfile(
+                    user_id=user_id,
+                    interests=interests,
+                    core_affinity=float(
+                        rng.uniform(*config.core_affinity_range)
+                    ),
+                    explore_prob=float(
+                        rng.uniform(*config.explore_prob_range)
+                    ),
+                    sessions_per_day=float(
+                        rng.lognormal(
+                            config.sessions_per_day_mu,
+                            config.sessions_per_day_sigma,
+                        )
+                    ),
+                )
+            )
+        return cls(users, taxonomy)
+
+    def interest_matrix(self) -> np.ndarray:
+        """|users| x C matrix of latent interests (evaluation ground truth)."""
+        C = self.taxonomy.num_truncated
+        matrix = np.zeros((len(self.users), C), dtype=np.float64)
+        for row, user in enumerate(self.users):
+            matrix[row] = user.interest_vector(C)
+        return matrix

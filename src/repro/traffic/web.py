@@ -1,0 +1,477 @@
+"""The synthetic web: sites, satellites, trackers and their ground truth.
+
+This is the substitute for the paper's real-world hostname universe (470K
+hostnames across 17 countries).  It preserves the statistics the profiling
+algorithm exploits:
+
+* **Topical sites** with heavy-tailed (Zipf) popularity, each carrying one
+  primary and possibly secondary ground-truth categories;
+* **Core sites** (google.com, facebook.com, ...) visited by essentially all
+  users — the paper's "background noise" whose categories carry no
+  profiling value;
+* **Satellite hostnames** (shared-CDN subdomains, cloud API endpoints)
+  deterministically tied to a single parent site but bearing opaque names —
+  the ``api.bkng.azure.com`` phenomenon the embeddings must resolve;
+* **Tracker hostnames** requested alongside visits to many unrelated sites
+  — pure co-occurrence noise that the blocklist filter removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ontology.taxonomy import Category, Taxonomy
+from repro.traffic.categories import (
+    CLOUD_API_SLDS,
+    CORE_SITES,
+    SHARED_CDN_SLDS,
+    SITE_SUFFIX_WORDS,
+    SITE_TLDS,
+    TRACKER_STEMS,
+    VERTICAL_STEMS,
+)
+from repro.traffic.events import HostKind
+
+# Relative attractiveness of each vertical when assigning site categories
+# and user interests.  Mirrors Figure 6a: Online Communities, Arts &
+# Entertainment, People & Society and Jobs & Education dominate.
+VERTICAL_POPULARITY: dict[str, float] = {
+    "Online Communities": 5.5,
+    "Arts & Entertainment": 5.0,
+    "People & Society": 3.6,
+    "Jobs & Education": 3.2,
+    "Games": 3.0,
+    "Internet & Telecom": 2.8,
+    "Computers & Electronics": 2.7,
+    "Shopping": 2.5,
+    "News": 2.4,
+    "Business & Industrial": 2.0,
+    "Reference": 1.9,
+    "Books & Literature": 1.6,
+    "Sports": 1.6,
+    "Travel": 1.5,
+    "Finance": 1.4,
+    "Health": 1.3,
+    "Real Estate": 1.0,
+    "Beauty & Fitness": 1.0,
+    "Autos & Vehicles": 0.9,
+    "Science": 0.9,
+    "Hobbies & Leisure": 0.8,
+    "Food & Drink": 0.8,
+    "Law & Government": 0.7,
+    "Pets & Animals": 0.6,
+    "Home & Garden": 0.6,
+    "Adult": 0.6,
+    "Sororities & Student Societies": 0.2,
+    "Crime & Mystery Films": 0.2,
+    "Awards & Prizes": 0.2,
+    "Reviews & Comparisons": 0.2,
+    "DIY & Expert Content": 0.2,
+    "Clubs & Nightlife": 0.15,
+    "Scholarships & Financial Aid": 0.15,
+    "Telescopes & Optical Devices": 0.1,
+}
+
+
+@dataclass(frozen=True)
+class Site:
+    """A content website with ground-truth categories and infrastructure.
+
+    ``satellites`` are *stable* infrastructure hostnames (cloud API
+    endpoints like ``api.bkng.azure.com``).  ``shard_slds`` are shared-CDN
+    second-level domains the site serves assets from; the actual hostname
+    a client contacts is a per-user *shard* (``ds-aksb-a.akamaihd.net``)
+    minted by :meth:`SyntheticWeb.shard_hostname` and rotated every few
+    days — which is why the paper saw 470K distinct hostnames, most of
+    them transient CDN names nobody can label.
+    """
+
+    domain: str
+    kind: HostKind  # SITE or CORE
+    vertical: str
+    categories: tuple[tuple[Category, float], ...]
+    popularity: float
+    satellites: tuple[str, ...]
+    shard_slds: tuple[str, ...] = ()
+
+    @property
+    def hostnames(self) -> tuple[str, ...]:
+        """Every *stable* hostname of this site (shards are dynamic)."""
+        return (self.domain, *self.satellites)
+
+
+@dataclass
+class WebConfig:
+    """Scale and shape knobs for the synthetic web."""
+
+    num_sites: int = 1500
+    zipf_exponent: float = 1.05
+    num_trackers: int = 120
+    # Mean number of satellite hostnames per site; popular sites get more.
+    mean_satellites: float = 1.6
+    max_satellites: int = 6
+    secondary_category_prob: float = 0.45
+    # Multiple of the median site weight given to each core site, so core
+    # sites sit far above the Zipf head.
+    core_boost: float = 400.0
+    # Per-user CDN shard hostnames rotate every this many days.
+    shard_rotation_days: int = 7
+
+    def validate(self) -> None:
+        if self.num_sites < 1:
+            raise ValueError("num_sites must be >= 1")
+        if self.zipf_exponent <= 0:
+            raise ValueError("zipf_exponent must be > 0")
+        if not 0 <= self.secondary_category_prob <= 1:
+            raise ValueError("secondary_category_prob must be in [0, 1]")
+        if self.max_satellites < 0 or self.mean_satellites < 0:
+            raise ValueError("satellite counts must be non-negative")
+        if self.shard_rotation_days < 1:
+            raise ValueError("shard_rotation_days must be >= 1")
+
+
+class HostnameForge:
+    """Generates unique, plausible hostnames from topical stems."""
+
+    def __init__(self, rng: np.random.Generator):
+        self._rng = rng
+        self._taken: set[str] = set()
+        tlds, weights = zip(*SITE_TLDS)
+        self._tlds = list(tlds)
+        self._tld_probs = np.array(weights) / sum(weights)
+
+    def claim(self, hostname: str) -> str:
+        """Register an externally chosen hostname (e.g. a core site)."""
+        if hostname in self._taken:
+            raise ValueError(f"hostname already taken: {hostname}")
+        self._taken.add(hostname)
+        return hostname
+
+    def site_domain(self, vertical: str) -> str:
+        """Mint a fresh registrable domain flavoured by ``vertical``."""
+        stems = VERTICAL_STEMS[vertical]
+        for attempt in range(64):
+            stem = stems[int(self._rng.integers(len(stems)))]
+            word = SITE_SUFFIX_WORDS[
+                int(self._rng.integers(len(SITE_SUFFIX_WORDS)))
+            ]
+            tld = self._rng.choice(self._tlds, p=self._tld_probs)
+            disambiguator = (
+                "" if attempt < 8 else str(int(self._rng.integers(10, 99)))
+            )
+            domain = f"{stem}{word}{disambiguator}.{tld}"
+            if domain not in self._taken:
+                self._taken.add(domain)
+                return domain
+        raise RuntimeError("hostname space exhausted; increase vocabulary")
+
+    def _token(self, length: int) -> str:
+        alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+        return "".join(
+            alphabet[int(i)]
+            for i in self._rng.integers(len(alphabet), size=length)
+        )
+
+    def cdn_hostname(self) -> str:
+        """Mint a shared-CDN subdomain, e.g. ``ds-aksb-a.akamaihd.net``."""
+        while True:
+            sld = SHARED_CDN_SLDS[int(self._rng.integers(len(SHARED_CDN_SLDS)))]
+            host = f"{self._token(2)}-{self._token(4)}.{sld}"
+            if host not in self._taken:
+                self._taken.add(host)
+                return host
+
+    def api_hostname(self, site_domain: str) -> str:
+        """Mint a cloud API endpoint, e.g. ``api.bkng.azure.com``."""
+        stem = site_domain.split(".")[0]
+        abbrev = (
+            "".join(ch for ch in stem if ch not in "aeiou")[:4] or stem[:4]
+        )
+        while True:
+            sld = CLOUD_API_SLDS[int(self._rng.integers(len(CLOUD_API_SLDS)))]
+            prefix = ["api", "svc", "static", "img", "cdn"][
+                int(self._rng.integers(5))
+            ]
+            host = f"{prefix}.{abbrev}{self._token(2)}.{sld}"
+            if host not in self._taken:
+                self._taken.add(host)
+                return host
+
+    def tracker_hostname(self, index: int) -> str:
+        stem = TRACKER_STEMS[index % len(TRACKER_STEMS)]
+        generation = index // len(TRACKER_STEMS)
+        suffix = "" if generation == 0 else str(generation + 1)
+        tld = ["com", "net", "io", "biz"][index % 4]
+        host = f"{stem}{suffix}.{tld}"
+        if host in self._taken:
+            host = f"{stem}{suffix}-{self._token(3)}.{tld}"
+        self._taken.add(host)
+        return host
+
+
+class SyntheticWeb:
+    """The full hostname universe plus ground truth.
+
+    Build with :meth:`generate`; afterwards the object is immutable in
+    practice and shared by the traffic generator, the labeler and the
+    evaluation harness.
+    """
+
+    def __init__(
+        self,
+        taxonomy: Taxonomy,
+        sites: list[Site],
+        trackers: list[str],
+        config: WebConfig,
+    ):
+        self.taxonomy = taxonomy
+        self.sites = sites
+        self.trackers = trackers
+        self.config = config
+        self._tracker_set = set(trackers)
+        self._site_by_domain = {site.domain: site for site in sites}
+        self._site_index = {site.domain: i for i, site in enumerate(sites)}
+        self._shard_slds = set(SHARED_CDN_SLDS)
+        self._site_of_hostname: dict[str, Site] = {}
+        for site in sites:
+            for hostname in site.hostnames:
+                self._site_of_hostname[hostname] = site
+        self._sites_by_truncated: dict[int, list[int]] = {}
+        for index, site in enumerate(sites):
+            primary = site.categories[0][0]
+            t_idx = taxonomy.truncated_index(primary)
+            self._sites_by_truncated.setdefault(t_idx, []).append(index)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def generate(
+        cls,
+        taxonomy: Taxonomy,
+        rng: np.random.Generator,
+        config: WebConfig | None = None,
+    ) -> "SyntheticWeb":
+        config = config or WebConfig()
+        config.validate()
+        forge = HostnameForge(rng)
+
+        vertical_names = [name for name, _, _, _ in _catalog_verticals()]
+        vertical_weights = np.array(
+            [VERTICAL_POPULARITY.get(name, 0.5) for name in vertical_names]
+        )
+        vertical_probs = vertical_weights / vertical_weights.sum()
+
+        # Zipf weights over site ranks; the head of the distribution is
+        # taken by ordinary popular sites, core sites are added on top.
+        ranks = np.arange(1, config.num_sites + 1, dtype=np.float64)
+        zipf_weights = ranks ** (-config.zipf_exponent)
+        median_weight = float(np.median(zipf_weights))
+
+        sites: list[Site] = []
+        for hostname, raw_categories in CORE_SITES:
+            categories = tuple(
+                (taxonomy.by_name(f"{vertical} / {sub}"), 1.0 if i == 0 else 0.6)
+                for i, (vertical, sub) in enumerate(raw_categories)
+            )
+            forge.claim(hostname)
+            # Core sites serve everything through sharded CDNs: each user
+            # sees her own transient hostnames under these SLDs.
+            n_slds = int(rng.integers(2, 6))
+            shard_slds = tuple(
+                str(sld)
+                for sld in rng.choice(
+                    SHARED_CDN_SLDS, size=n_slds, replace=False
+                )
+            )
+            sites.append(
+                Site(
+                    domain=hostname,
+                    kind=HostKind.CORE,
+                    vertical=raw_categories[0][0],
+                    categories=categories,
+                    popularity=median_weight * config.core_boost,
+                    satellites=(),
+                    shard_slds=shard_slds,
+                )
+            )
+
+        for rank in range(config.num_sites):
+            vertical = vertical_names[
+                int(rng.choice(len(vertical_names), p=vertical_probs))
+            ]
+            domain = forge.site_domain(vertical)
+            categories = _sample_categories(
+                taxonomy, vertical, vertical_names, vertical_probs, rng,
+                config.secondary_category_prob,
+            )
+            n_satellites = min(
+                config.max_satellites,
+                int(rng.poisson(config.mean_satellites)),
+            )
+            satellites: list[str] = []
+            shard_slds: list[str] = []
+            for _ in range(n_satellites):
+                if rng.random() < 0.5:
+                    sld = SHARED_CDN_SLDS[
+                        int(rng.integers(len(SHARED_CDN_SLDS)))
+                    ]
+                    if sld not in shard_slds:
+                        shard_slds.append(sld)
+                else:
+                    satellites.append(forge.api_hostname(domain))
+            sites.append(
+                Site(
+                    domain=domain,
+                    kind=HostKind.SITE,
+                    vertical=vertical,
+                    categories=categories,
+                    popularity=float(zipf_weights[rank]),
+                    satellites=tuple(satellites),
+                    shard_slds=tuple(shard_slds),
+                )
+            )
+
+        trackers = [
+            forge.tracker_hostname(i) for i in range(config.num_trackers)
+        ]
+        return cls(taxonomy, sites, trackers, config)
+
+    # -- lookup ------------------------------------------------------------
+
+    @property
+    def core_sites(self) -> list[Site]:
+        return [site for site in self.sites if site.kind is HostKind.CORE]
+
+    @property
+    def content_sites(self) -> list[Site]:
+        return [site for site in self.sites if site.kind is HostKind.SITE]
+
+    def site(self, domain: str) -> Site:
+        return self._site_by_domain[domain]
+
+    # -- CDN shard hostnames -------------------------------------------------
+
+    def shard_hostname(self, site: Site, sld: str, user_id: int, day: int) -> str:
+        """The CDN shard hostname ``user_id`` contacts for ``site`` today.
+
+        Stable within a rotation period, different across users — which is
+        what makes these hostnames useless to an ontology yet learnable by
+        co-occurrence.  The site index is encoded in the final label token
+        purely as *ground truth* for the evaluation oracle (a real observer
+        sees an opaque name).
+        """
+        import hashlib
+
+        epoch = day // self.config.shard_rotation_days
+        site_index = self._site_index[site.domain]
+        digest = hashlib.sha1(
+            f"{site_index}:{sld}:{user_id}:{epoch}".encode()
+        ).hexdigest()
+        return f"{digest[:2]}-{digest[2:6]}-{site_index:x}.{sld}"
+
+    def _parse_shard(self, hostname: str) -> Site | None:
+        label, _, rest = hostname.partition(".")
+        if rest not in self._shard_slds:
+            return None
+        tokens = label.rsplit("-", 1)
+        if len(tokens) != 2:
+            return None
+        try:
+            site_index = int(tokens[1], 16)
+        except ValueError:
+            return None
+        if not 0 <= site_index < len(self.sites):
+            return None
+        return self.sites[site_index]
+
+    def site_of(self, hostname: str) -> Site | None:
+        """Ground truth: which site does this (satellite) hostname serve?"""
+        site = self._site_of_hostname.get(hostname)
+        if site is not None:
+            return site
+        return self._parse_shard(hostname)
+
+    def sites_in_category(self, truncated_idx: int) -> list[int]:
+        """Indices of sites whose primary category truncates to this index."""
+        return list(self._sites_by_truncated.get(truncated_idx, []))
+
+    def all_hostnames(self) -> set[str]:
+        hostnames = set(self.trackers)
+        for site in self.sites:
+            hostnames.update(site.hostnames)
+        return hostnames
+
+    def kind_of(self, hostname: str) -> HostKind:
+        if hostname in self._site_by_domain:
+            return self._site_by_domain[hostname].kind
+        if hostname in self._tracker_set:
+            return HostKind.TRACKER
+        if self.site_of(hostname) is not None:
+            return HostKind.SATELLITE
+        raise KeyError(f"unknown hostname: {hostname}")
+
+    def ground_truth(self) -> dict[str, list[tuple[Category, float]]]:
+        """Labelable hosts -> true categories (sites only, never satellites)."""
+        return {
+            site.domain: list(site.categories) for site in self.sites
+        }
+
+    def true_category_vector(self, hostname: str) -> np.ndarray | None:
+        """Evaluation oracle: category vector of the site behind a hostname.
+
+        Satellites (fixed or CDN shards) resolve to their parent site's
+        vector; trackers and unknown hostnames resolve to None.
+        """
+        site = self.site_of(hostname)
+        if site is None:
+            return None
+        return self.taxonomy.vector(site.categories)
+
+    def popularity(self) -> dict[str, float]:
+        """Per-hostname popularity weights (satellites inherit the site's)."""
+        weights: dict[str, float] = {}
+        for site in self.sites:
+            for hostname in site.hostnames:
+                weights[hostname] = site.popularity
+        total = sum(site.popularity for site in self.sites)
+        for tracker in self.trackers:
+            weights[tracker] = total / max(len(self.trackers), 1) * 0.05
+        return weights
+
+
+def _catalog_verticals():
+    # Imported lazily to avoid a hard module-load-order dependency.
+    from repro.ontology.catalog import VERTICALS
+
+    return VERTICALS
+
+
+def _sample_categories(
+    taxonomy: Taxonomy,
+    vertical: str,
+    vertical_names: list[str],
+    vertical_probs: np.ndarray,
+    rng: np.random.Generator,
+    secondary_prob: float,
+) -> tuple[tuple[Category, float], ...]:
+    """Pick a primary (and maybe secondary) level-2 category for a site."""
+    def pick_level2(vertical_name: str) -> Category:
+        root = taxonomy.by_name(vertical_name)
+        kids = taxonomy.children(root)
+        return kids[int(rng.integers(len(kids)))]
+
+    primary = pick_level2(vertical)
+    categories: list[tuple[Category, float]] = [(primary, 1.0)]
+    if rng.random() < secondary_prob:
+        if rng.random() < 0.6:
+            secondary_vertical = vertical
+        else:
+            secondary_vertical = vertical_names[
+                int(rng.choice(len(vertical_names), p=vertical_probs))
+            ]
+        secondary = pick_level2(secondary_vertical)
+        if secondary.cat_id != primary.cat_id:
+            categories.append((secondary, float(rng.uniform(0.3, 0.7))))
+    return tuple(categories)

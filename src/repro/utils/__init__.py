@@ -1,0 +1,34 @@
+"""Shared utilities: hostname handling, seeded randomness, simulated time."""
+
+from repro.utils.hostnames import (
+    is_valid_hostname,
+    normalize_hostname,
+    registrable_domain,
+    second_level_domain,
+)
+from repro.utils.randomness import RandomSource, derive_rng
+from repro.utils.timeutils import (
+    DAY_SECONDS,
+    HOUR_SECONDS,
+    MINUTE_SECONDS,
+    SimulatedClock,
+    day_index,
+    day_label,
+    minutes,
+)
+
+__all__ = [
+    "DAY_SECONDS",
+    "HOUR_SECONDS",
+    "MINUTE_SECONDS",
+    "RandomSource",
+    "SimulatedClock",
+    "day_index",
+    "day_label",
+    "derive_rng",
+    "is_valid_hostname",
+    "minutes",
+    "normalize_hostname",
+    "registrable_domain",
+    "second_level_domain",
+]

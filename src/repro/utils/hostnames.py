@@ -1,0 +1,141 @@
+"""Hostname parsing helpers.
+
+The paper's qualitative analysis (Section 6.2) collapses full hostnames such
+as ``mail.google.com`` or ``ds-aksb-a.akamaihd.net`` to their second-level
+domains (``google.com``, ``akamaihd.net``).  Doing that correctly requires
+knowing which suffixes are *public* (``co.uk``, ``com.ve``, ``gob.es``, ...)
+so that ``www.bbc.co.uk`` collapses to ``bbc.co.uk`` and not ``co.uk``.
+
+We ship a compact public-suffix table covering the country-code suffixes that
+actually appear in the paper's dataset (Figure 4 is full of ``.com.ve``,
+``.gob.ve``, ``.com.co``, ``.es`` hosts) plus the generic TLDs.  This is a
+deliberately small, auditable subset of the Mozilla Public Suffix List, not a
+replacement for it.
+"""
+
+from __future__ import annotations
+
+import re
+
+# Generic TLDs treated as single-label public suffixes.  Anything not listed
+# here and not matching a two-part suffix below is still treated as a
+# single-label suffix; the table only needs to enumerate *multi-label*
+# suffixes explicitly.
+_TWO_PART_SUFFIXES = frozenset(
+    {
+        # Latin America / Spain (dominant in the paper's user base)
+        "com.ve", "gob.ve", "org.ve", "net.ve", "edu.ve", "co.ve", "info.ve",
+        "com.co", "gov.co", "org.co", "edu.co", "net.co",
+        "com.pe", "gob.pe", "org.pe", "edu.pe", "net.pe",
+        "com.mx", "gob.mx", "org.mx", "edu.mx", "net.mx",
+        "com.ar", "gob.ar", "org.ar", "edu.ar", "net.ar", "gov.ar",
+        "com.ec", "gob.ec", "org.ec", "edu.ec", "gov.ec",
+        "com.cl", "gob.cl", "org.cl",
+        "com.py", "org.py", "edu.py",
+        "com.ni", "gob.ni", "org.ni",
+        "com.uy", "gub.uy", "org.uy", "edu.uy",
+        "com.bo", "gob.bo", "org.bo",
+        "com.br", "gov.br", "org.br", "net.br", "edu.br",
+        "com.es", "org.es", "gob.es", "edu.es", "nom.es",
+        # Anglosphere and misc
+        "co.uk", "org.uk", "gov.uk", "ac.uk", "net.uk", "me.uk",
+        "com.au", "net.au", "org.au", "gov.au", "edu.au",
+        "co.nz", "org.nz", "govt.nz",
+        "co.jp", "ne.jp", "or.jp", "ac.jp", "go.jp",
+        "com.cn", "net.cn", "org.cn", "gov.cn", "edu.cn",
+        "co.in", "net.in", "org.in", "gov.in",
+        "co.za", "org.za", "gov.za",
+        "com.tr", "gov.tr", "org.tr",
+        "com.sg", "gov.sg", "edu.sg",
+        "co.kr", "or.kr", "go.kr",
+        "com.hk", "org.hk", "gov.hk",
+        "com.tw", "org.tw", "gov.tw",
+        "co.il", "org.il", "gov.il",
+        "com.mt", "org.mt",
+        "ac.cy", "com.cy", "gov.cy",
+        "com.do", "gob.do",
+        "com.gt", "gob.gt",
+        "com.pa", "gob.pa",
+        "com.sv", "gob.sv",
+        "com.hn", "gob.hn",
+        "co.cr", "ac.cr", "go.cr", "or.cr",
+        "com.pr", "gov.pr",
+        "edu.cu", "gob.cu",
+        "com.my", "gov.my", "edu.my",
+        "com.ph", "gov.ph",
+        "co.th", "go.th", "or.th",
+        "com.vn", "gov.vn",
+        "com.eg", "gov.eg",
+        "com.sa", "gov.sa",
+        "com.ae", "gov.ae",
+        "com.pk", "gov.pk",
+        "com.bd", "gov.bd",
+        "com.ng", "gov.ng",
+        "co.ke", "go.ke",
+    }
+)
+
+_LABEL_RE = re.compile(r"^(?!-)[a-z0-9_-]{1,63}(?<!-)$")
+
+MAX_HOSTNAME_LENGTH = 253
+
+
+def normalize_hostname(hostname: str) -> str:
+    """Lower-case a hostname and strip surrounding dots and whitespace.
+
+    >>> normalize_hostname(" WWW.Example.COM. ")
+    'www.example.com'
+    """
+    return hostname.strip().strip(".").lower()
+
+
+def is_valid_hostname(hostname: str) -> bool:
+    """Check DNS-name syntactic validity (RFC 1123 letter-digit-hyphen).
+
+    Accepts underscores, which occur in the wild (e.g. service records and
+    some CDN hostnames) and which a network observer must cope with.
+    """
+    hostname = normalize_hostname(hostname)
+    if not hostname or len(hostname) > MAX_HOSTNAME_LENGTH:
+        return False
+    labels = hostname.split(".")
+    if len(labels) < 2:
+        return False
+    if labels[-1].isdigit():  # looks like a trailing IPv4 octet, not a TLD
+        return False
+    return all(_LABEL_RE.match(label) for label in labels)
+
+
+def public_suffix(hostname: str) -> str:
+    """Return the public suffix of ``hostname`` (``com``, ``co.uk``, ...)."""
+    hostname = normalize_hostname(hostname)
+    labels = hostname.split(".")
+    if len(labels) >= 2 and ".".join(labels[-2:]) in _TWO_PART_SUFFIXES:
+        return ".".join(labels[-2:])
+    return labels[-1]
+
+
+def registrable_domain(hostname: str) -> str:
+    """Return the registrable domain: the public suffix plus one label.
+
+    >>> registrable_domain("mail.google.com")
+    'google.com'
+    >>> registrable_domain("api.seniat.gob.ve")
+    'seniat.gob.ve'
+    """
+    hostname = normalize_hostname(hostname)
+    suffix = public_suffix(hostname)
+    suffix_labels = suffix.count(".") + 1
+    labels = hostname.split(".")
+    if len(labels) <= suffix_labels:
+        return hostname
+    return ".".join(labels[-(suffix_labels + 1):])
+
+
+def second_level_domain(hostname: str) -> str:
+    """Alias used throughout the paper's Section 6.2 ("second-level domain").
+
+    The paper collapses ``ds-aksb-a.akamaihd.net`` to ``akamaihd.net``; that
+    is the registrable domain, so this is a readability alias.
+    """
+    return registrable_domain(hostname)

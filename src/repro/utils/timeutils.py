@@ -1,0 +1,76 @@
+"""Simulated time.
+
+The whole reproduction runs on a synthetic timeline measured in seconds from
+an experiment epoch (t = 0).  Nothing reads the wall clock: the paper's
+"update the model every day" and "sequence of hosts visited in the last T
+minutes" become pure arithmetic over these timestamps, which keeps every
+experiment replayable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+MINUTE_SECONDS = 60.0
+HOUR_SECONDS = 3600.0
+DAY_SECONDS = 86400.0
+
+
+def minutes(count: float) -> float:
+    """Convert minutes to seconds (the unit of all timestamps)."""
+    return float(count) * MINUTE_SECONDS
+
+
+def day_index(timestamp: float) -> int:
+    """Return the 0-based day bucket a timestamp falls into."""
+    if timestamp < 0:
+        raise ValueError(f"negative timestamp: {timestamp!r}")
+    return int(timestamp // DAY_SECONDS)
+
+
+def day_label(day: int) -> str:
+    """Human-readable label for a day bucket, e.g. ``'day 03'``."""
+    return f"day {day:02d}"
+
+
+def hour_of_day(timestamp: float) -> float:
+    """Fractional hour-of-day in [0, 24) for diurnal activity models."""
+    return (timestamp % DAY_SECONDS) / HOUR_SECONDS
+
+
+@dataclass
+class SimulatedClock:
+    """A monotonically advancing simulated clock.
+
+    Components that need "now" (the back-end deciding which sessions are
+    recent, the extension batching its 10-minute reports) share one clock so
+    the simulation has a single timeline.
+    """
+
+    now: float = 0.0
+    _epoch: float = field(default=0.0, repr=False)
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; rejects negative steps."""
+        if seconds < 0:
+            raise ValueError("clock cannot move backwards")
+        self.now += float(seconds)
+        return self.now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Jump to an absolute timestamp, which must not be in the past."""
+        if timestamp < self.now:
+            raise ValueError(
+                f"cannot rewind clock from {self.now} to {timestamp}"
+            )
+        self.now = float(timestamp)
+        return self.now
+
+    @property
+    def day(self) -> int:
+        """Current day bucket."""
+        return day_index(self.now)
+
+    def elapsed(self) -> float:
+        """Seconds since the experiment epoch."""
+        return self.now - self._epoch

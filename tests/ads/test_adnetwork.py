@@ -1,0 +1,119 @@
+"""Tests for the ad-network baseline."""
+
+import numpy as np
+import pytest
+
+from repro.ads.adnetwork import AdNetwork, AdNetworkConfig
+from repro.ads.inventory import Ad, AdDatabase
+
+
+def _db(num_categories=4):
+    ads = []
+    for i in range(num_categories):
+        for j in range(3):
+            cats = np.zeros(num_categories)
+            cats[i] = 1.0
+            ads.append(
+                Ad(
+                    ad_id=len(ads), landing_domain=f"site{i}.com",
+                    categories=cats, width=300, height=250, created_day=0,
+                )
+            )
+    return AdDatabase(ads)
+
+
+@pytest.fixture()
+def network():
+    return AdNetwork(_db(), num_categories=4, seed=7)
+
+
+class TestTracking:
+    def test_profile_starts_empty(self, network):
+        assert network.profile_of(0) is None
+
+    def test_profile_ewma(self, network):
+        network.observe_visit(0, np.array([1.0, 0, 0, 0]), "site0.com")
+        network.observe_visit(0, np.array([0, 1.0, 0, 0]), "site1.com")
+        profile = network.profile_of(0)
+        assert profile[0] > profile[1] > 0
+
+    def test_profile_copy_returned(self, network):
+        network.observe_visit(0, np.array([1.0, 0, 0, 0]), "site0.com")
+        network.profile_of(0)[:] = 9
+        assert network.profile_of(0).max() <= 1.0
+
+    def test_retarget_memory_bounded(self):
+        config = AdNetworkConfig(retarget_memory=2)
+        network = AdNetwork(_db(), 4, seed=7, config=config)
+        for i in range(4):
+            network.observe_visit(
+                0, np.zeros(4), f"site{i % 4}.com"
+            )
+        assert len(network._retarget[0]) <= 2
+
+
+class TestServing:
+    def test_serves_valid_types(self, network, rng):
+        network.observe_visit(0, np.array([1.0, 0, 0, 0]), "site0.com")
+        types = set()
+        for _ in range(200):
+            served = network.serve(0, day=3, context_vector=np.ones(4))
+            types.add(served.ad_type)
+        assert types <= {"premium", "contextual", "targeted", "retargeted"}
+        assert len(types) >= 3
+
+    def test_served_ads_are_fresh(self, network):
+        served = network.serve(0, day=5)
+        assert served.ad.created_day == 5
+
+    def test_untracked_user_never_retargeted(self, network):
+        for _ in range(100):
+            served = network.serve(42, day=0)
+            assert not served.retargeted
+            assert served.ad_type in ("premium", "contextual")
+
+    def test_untracked_no_context_premium_only(self, network):
+        types = {
+            network.serve(42, day=0).ad_type for _ in range(100)
+        }
+        assert types == {"premium"}
+
+    def test_targeted_matches_profile(self):
+        # candidate pool of 3 over a 12-ad db keeps the pick topical
+        network = AdNetwork(
+            _db(), 4, seed=7, config=AdNetworkConfig(candidate_ads=3)
+        )
+        network.observe_visit(0, np.array([0, 0, 1.0, 0]), "site2.com")
+        targeted = [
+            s for s in (network.serve(0, day=0) for _ in range(300))
+            if s.ad_type == "targeted"
+        ]
+        assert targeted
+        match = sum(
+            1 for s in targeted if s.ad.categories[2] == 1.0
+        )
+        assert match / len(targeted) > 0.9
+
+    def test_retargeted_ad_lands_on_visited_site(self, network):
+        network.observe_visit(0, np.array([1.0, 0, 0, 0]), "site0.com")
+        retargeted = [
+            s for s in (network.serve(0, day=0) for _ in range(300))
+            if s.retargeted
+        ]
+        assert retargeted
+        assert all(
+            s.ad.landing_domain == "site0.com" for s in retargeted
+        )
+
+    def test_premium_pool_is_daily(self, network):
+        # same day -> limited campaign pool; different days differ
+        day3 = {network._premium_ad(3).ad_id for _ in range(100)}
+        assert len(day3) <= network.config.premium_campaigns_per_day
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            AdNetworkConfig(premium_weight=-1).validate()
+        with pytest.raises(ValueError):
+            AdNetworkConfig(profile_alpha=0).validate()
+        with pytest.raises(ValueError):
+            AdNetworkConfig(premium_campaigns_per_day=0).validate()

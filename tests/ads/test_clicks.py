@@ -1,0 +1,184 @@
+"""Tests for the click model, intent tracking and impression logging."""
+
+import numpy as np
+import pytest
+
+from repro.ads.clicks import (
+    ClickModel,
+    ClickModelConfig,
+    ImpressionLog,
+    IntentTracker,
+    affinity,
+)
+from repro.ads.inventory import Ad
+
+
+def _ad(cats, day=0):
+    return Ad(
+        ad_id=0, landing_domain="x.com",
+        categories=np.asarray(cats, dtype=float),
+        width=300, height=250, created_day=day,
+    )
+
+
+class TestAffinity:
+    def test_identical_vectors(self):
+        v = np.array([0.5, 0.5, 0.0])
+        assert affinity(v, v) == pytest.approx(1.0)
+
+    def test_orthogonal(self):
+        assert affinity(np.array([1.0, 0]), np.array([0, 1.0])) == 0.0
+
+    def test_negative_clipped(self):
+        assert affinity(np.array([1.0, -1.0]), np.array([0.0, 1.0])) == 0.0
+
+    def test_zero_vector(self):
+        assert affinity(np.zeros(3), np.ones(3)) == 0.0
+
+
+class TestClickModel:
+    def test_matching_ad_clicks_more(self):
+        model = ClickModel(ClickModelConfig(intent_weight=0.0))
+        interests = np.array([1.0, 0.0, 0.0])
+        p_match = model.click_probability(interests, _ad([1, 0, 0]), 0)
+        p_miss = model.click_probability(interests, _ad([0, 1, 0]), 0)
+        assert p_match > p_miss
+        assert p_miss == pytest.approx(model.config.base_rate)
+
+    def test_retarget_boost(self):
+        model = ClickModel()
+        interests = np.array([1.0, 0.0])
+        p = model.click_probability(interests, _ad([1, 0]), 0)
+        p_rt = model.click_probability(
+            interests, _ad([1, 0]), 0, retargeted=True
+        )
+        assert p_rt == pytest.approx(p * model.config.retarget_boost)
+
+    def test_staleness_decay(self):
+        model = ClickModel()
+        interests = np.array([1.0, 0.0])
+        fresh = model.click_probability(interests, _ad([1, 0], day=10), 10)
+        stale = model.click_probability(interests, _ad([1, 0], day=0), 10)
+        assert stale < fresh
+        assert stale == pytest.approx(fresh * 0.99 ** 10)
+
+    def test_probability_capped(self):
+        config = ClickModelConfig(
+            base_rate=0.9, affinity_slope=0, max_probability=0.05,
+            intent_weight=0,
+        )
+        model = ClickModel(config)
+        p = model.click_probability(np.array([1.0]), _ad([1.0]), 0)
+        assert p == 0.05
+
+    def test_intent_shifts_probability(self):
+        model = ClickModel(ClickModelConfig(intent_weight=0.75))
+        interests = np.array([1.0, 0.0])   # stable interest: category 0
+        intent = np.array([0.0, 1.0])      # browsing category 1 right now
+        ad = _ad([0, 1])                   # ad matches intent
+        p_with = model.click_probability(interests, ad, 0, intent=intent)
+        p_without = model.click_probability(interests, ad, 0)
+        assert p_with > p_without
+
+    def test_effective_interests_blend(self):
+        model = ClickModel(ClickModelConfig(intent_weight=0.5))
+        interests = np.array([1.0, 0.0])
+        intent = np.array([0.0, 2.0])
+        blended = model.effective_interests(interests, intent)
+        assert blended == pytest.approx(np.array([0.5, 0.5]))
+
+    def test_effective_interests_no_intent(self):
+        model = ClickModel()
+        interests = np.array([3.0, 0.0])
+        assert model.effective_interests(interests, None) == pytest.approx(
+            np.array([1.0, 0.0])
+        )
+
+    def test_sample_click_statistics(self, rng):
+        model = ClickModel(
+            ClickModelConfig(
+                base_rate=0.3, affinity_slope=0, max_probability=1.0,
+                intent_weight=0,
+            )
+        )
+        clicks = sum(
+            model.sample_click(np.array([1.0]), _ad([0.0]), 0, rng)
+            for _ in range(4000)
+        )
+        assert clicks / 4000 == pytest.approx(0.3, abs=0.03)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            ClickModelConfig(base_rate=-1).validate()
+        with pytest.raises(ValueError):
+            ClickModelConfig(intent_weight=2).validate()
+        with pytest.raises(ValueError):
+            ClickModelConfig(staleness_decay_per_day=1.0).validate()
+        with pytest.raises(ValueError):
+            ClickModelConfig(max_probability=0).validate()
+
+
+class TestIntentTracker:
+    def test_no_observations(self):
+        tracker = IntentTracker(3)
+        assert tracker.intent(0, 100.0) is None
+
+    def test_mean_over_window(self):
+        tracker = IntentTracker(2, window_seconds=100)
+        tracker.observe(0, 10.0, np.array([1.0, 0.0]))
+        tracker.observe(0, 20.0, np.array([0.0, 1.0]))
+        assert tracker.intent(0, 30.0) == pytest.approx(
+            np.array([0.5, 0.5])
+        )
+
+    def test_old_visits_fall_out(self):
+        tracker = IntentTracker(2, window_seconds=100)
+        tracker.observe(0, 10.0, np.array([1.0, 0.0]))
+        tracker.observe(0, 500.0, np.array([0.0, 1.0]))
+        assert tracker.intent(0, 500.0) == pytest.approx(
+            np.array([0.0, 1.0])
+        )
+
+    def test_users_independent(self):
+        tracker = IntentTracker(2)
+        tracker.observe(0, 10.0, np.array([1.0, 0.0]))
+        assert tracker.intent(1, 10.0) is None
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            IntentTracker(2, window_seconds=0)
+
+
+class TestImpressionLog:
+    def test_counts_and_ctr(self):
+        log = ImpressionLog()
+        log.record(0, 1, True)
+        log.record(0, 1, False)
+        log.record(1, 2, False)
+        assert log.impressions == 3
+        assert log.clicks == 1
+        assert log.ctr == pytest.approx(1 / 3)
+
+    def test_empty_ctr(self):
+        assert ImpressionLog().ctr == 0.0
+        assert ImpressionLog().expected_ctr == 0.0
+
+    def test_expected_ctr(self):
+        log = ImpressionLog()
+        log.record(0, 0, False, probability=0.2)
+        log.record(0, 0, True, probability=0.4)
+        assert log.expected_ctr == pytest.approx(0.3)
+
+    def test_invalid_probability(self):
+        log = ImpressionLog()
+        with pytest.raises(ValueError):
+            log.record(0, 0, True, probability=1.5)
+
+    def test_per_user_ctr(self):
+        log = ImpressionLog()
+        log.record(0, 1, True)
+        log.record(0, 2, False)
+        log.record(5, 1, False)
+        per_user = log.per_user_ctr()
+        assert per_user[0] == pytest.approx(0.5)
+        assert per_user[5] == 0.0

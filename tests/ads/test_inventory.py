@@ -1,0 +1,97 @@
+"""Tests for ads and the ad database."""
+
+import numpy as np
+import pytest
+
+from repro.ads.inventory import Ad, AdDatabase, AdDatabaseConfig, IAB_SIZES
+from repro.utils.randomness import derive_rng
+
+
+def _ad(ad_id, cats, landing="shop.example.com", size=(300, 250), day=0):
+    return Ad(
+        ad_id=ad_id, landing_domain=landing,
+        categories=np.asarray(cats, dtype=float),
+        width=size[0], height=size[1], created_day=day,
+    )
+
+
+class TestAd:
+    def test_size_and_area(self):
+        ad = _ad(0, [1, 0], size=(728, 90))
+        assert ad.size == (728, 90)
+        assert ad.area == 65520
+
+    def test_hash_eq_by_id(self):
+        assert _ad(1, [1, 0]) == _ad(1, [0, 1])
+        assert _ad(1, [1, 0]) != _ad(2, [1, 0])
+        assert len({_ad(1, [1, 0]), _ad(1, [0, 1])}) == 1
+
+
+class TestDatabase:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            AdDatabase([])
+
+    def test_ads_for_landing(self):
+        db = AdDatabase([_ad(0, [1, 0]), _ad(1, [0, 1], landing="other.com")])
+        assert [a.ad_id for a in db.ads_for_landing("other.com")] == [1]
+        assert db.ads_for_landing("missing.com") == []
+
+    def test_nearest_by_category(self):
+        db = AdDatabase([
+            _ad(0, [1, 0, 0]), _ad(1, [0, 1, 0]), _ad(2, [0, 0, 1]),
+        ])
+        nearest = db.nearest_by_category(np.array([0.9, 0.1, 0.0]), n=2)
+        assert nearest[0].ad_id == 0
+        assert len(nearest) == 2
+
+    def test_nearest_invalid_n(self):
+        db = AdDatabase([_ad(0, [1.0])])
+        with pytest.raises(ValueError):
+            db.nearest_by_category(np.array([1.0]), n=0)
+
+    def test_nearest_n_clamped(self):
+        db = AdDatabase([_ad(0, [1.0]), _ad(1, [0.5])])
+        assert len(db.nearest_by_category(np.array([1.0]), n=50)) == 2
+
+
+class TestHarvest:
+    def test_target_size(self, web, rng):
+        db = AdDatabase.harvest(
+            web, rng, AdDatabaseConfig(target_size=150)
+        )
+        assert len(db) == 150
+
+    def test_ads_land_on_content_sites(self, web, rng):
+        db = AdDatabase.harvest(web, rng, AdDatabaseConfig(target_size=100))
+        content = {s.domain for s in web.content_sites}
+        core = {s.domain for s in web.core_sites}
+        for ad in db:
+            assert ad.landing_domain in content
+            assert ad.landing_domain not in core
+
+    def test_sizes_are_iab(self, web, rng):
+        db = AdDatabase.harvest(web, rng, AdDatabaseConfig(target_size=100))
+        valid_sizes = {size for size, _ in IAB_SIZES}
+        assert {ad.size for ad in db} <= valid_sizes
+
+    def test_categories_match_landing_site(self, web, rng):
+        db = AdDatabase.harvest(web, rng, AdDatabaseConfig(target_size=60))
+        for ad in db.ads[:20]:
+            expected = web.true_category_vector(ad.landing_domain)
+            assert np.array_equal(ad.categories, expected)
+
+    def test_created_day_range(self, web, rng):
+        db = AdDatabase.harvest(
+            web, rng, AdDatabaseConfig(target_size=80),
+            created_day_range=(2, 5),
+        )
+        days = {ad.created_day for ad in db}
+        assert days <= set(range(2, 6))
+        assert len(days) > 1
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            AdDatabaseConfig(target_size=0).validate()
+        with pytest.raises(ValueError):
+            AdDatabaseConfig(ads_per_advertiser_mean=0).validate()

@@ -1,0 +1,68 @@
+"""Tests for size-matched creative replacement."""
+
+import numpy as np
+import pytest
+
+from repro.ads.inventory import Ad
+from repro.ads.replacement import ReplacementPolicy, size_compatible
+
+
+def _ad(size, ad_id=0):
+    return Ad(
+        ad_id=ad_id, landing_domain="x.com", categories=np.array([1.0]),
+        width=size[0], height=size[1], created_day=0,
+    )
+
+
+class TestSizeCompatible:
+    def test_exact_match(self):
+        assert size_compatible((300, 250), (300, 250))
+
+    def test_within_tolerance(self):
+        assert size_compatible((300, 250), (320, 260), rel_tolerance=0.1)
+
+    def test_outside_tolerance(self):
+        assert not size_compatible((300, 250), (728, 90))
+
+    def test_asymmetric_dimensions_checked_independently(self):
+        assert not size_compatible(
+            (300, 250), (300, 600), rel_tolerance=0.25
+        )
+
+    def test_zero_tolerance_requires_exact(self):
+        assert not size_compatible((300, 250), (301, 250), rel_tolerance=0)
+        assert size_compatible((300, 250), (300, 250), rel_tolerance=0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            size_compatible((300, 250), (300, 250), rel_tolerance=-1)
+        with pytest.raises(ValueError):
+            size_compatible((0, 250), (300, 250))
+
+
+class TestReplacementPolicy:
+    def test_first_compatible_chosen(self):
+        policy = ReplacementPolicy(rel_tolerance=0.1)
+        candidates = [_ad((728, 90), 1), _ad((300, 250), 2), _ad((300, 250), 3)]
+        chosen = policy.choose((300, 250), candidates)
+        assert chosen.ad_id == 2
+
+    def test_none_when_no_match(self):
+        policy = ReplacementPolicy(rel_tolerance=0.05)
+        assert policy.choose((970, 250), [_ad((300, 250))]) is None
+
+    def test_stats_track_rate(self):
+        policy = ReplacementPolicy()
+        policy.choose((300, 250), [_ad((300, 250))])
+        policy.choose((970, 250), [_ad((300, 250))])
+        assert policy.stats.attempted == 2
+        assert policy.stats.replaced == 1
+        assert policy.stats.replacement_rate == pytest.approx(0.5)
+
+    def test_empty_candidates(self):
+        policy = ReplacementPolicy()
+        assert policy.choose((300, 250), []) is None
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ValueError):
+            ReplacementPolicy(rel_tolerance=-0.5)

@@ -1,0 +1,113 @@
+"""Tests for eavesdropper ad selection."""
+
+import numpy as np
+import pytest
+
+from repro.ads.inventory import Ad, AdDatabase
+from repro.ads.selection import EavesdropperSelector, SelectorConfig
+
+
+def _setup(num_categories=6, hosts_per_category=5, ads_per_host=2):
+    labelled = {}
+    ads = []
+    for cat in range(num_categories):
+        vec = np.zeros(num_categories)
+        vec[cat] = 1.0
+        for i in range(hosts_per_category):
+            host = f"cat{cat}-host{i}.com"
+            labelled[host] = vec.copy()
+            for _ in range(ads_per_host):
+                ads.append(
+                    Ad(
+                        ad_id=len(ads), landing_domain=host,
+                        categories=vec.copy(), width=300, height=250,
+                        created_day=0,
+                    )
+                )
+    return labelled, AdDatabase(ads)
+
+
+class TestNearestHosts:
+    def test_nearest_match_category(self):
+        labelled, db = _setup()
+        selector = EavesdropperSelector(labelled, db)
+        profile = np.zeros(6)
+        profile[2] = 0.8
+        hosts = selector.nearest_hosts(profile, n=5)
+        assert all(h.startswith("cat2-") for h in hosts)
+
+    def test_effective_neighbours_capped(self):
+        labelled, db = _setup()
+        config = SelectorConfig(neighbour_hosts=20, max_host_fraction=0.1)
+        selector = EavesdropperSelector(labelled, db, config)
+        hosts = selector.nearest_hosts(np.zeros(6))
+        assert len(hosts) == max(3, int(len(labelled) * 0.1))
+
+    def test_requires_labels(self):
+        _, db = _setup()
+        with pytest.raises(ValueError):
+            EavesdropperSelector({}, db)
+
+
+class TestSelect:
+    def test_returns_requested_count(self):
+        labelled, db = _setup()
+        config = SelectorConfig(ads_per_report=10)
+        selector = EavesdropperSelector(labelled, db, config)
+        profile = np.zeros(6)
+        profile[1] = 1.0
+        ads = selector.select(profile)
+        assert len(ads) == 10
+
+    def test_no_duplicate_ads(self):
+        labelled, db = _setup()
+        selector = EavesdropperSelector(labelled, db)
+        profile = np.zeros(6)
+        profile[0] = 1.0
+        ads = selector.select(profile)
+        ids = [a.ad_id for a in ads]
+        assert len(ids) == len(set(ids))
+
+    def test_ads_match_profile_topic(self):
+        labelled, db = _setup()
+        config = SelectorConfig(ads_per_report=6)
+        selector = EavesdropperSelector(labelled, db, config)
+        profile = np.zeros(6)
+        profile[3] = 0.9
+        ads = selector.select(profile)
+        matching = sum(1 for a in ads if a.categories[3] == 1.0)
+        assert matching >= len(ads) * 0.8
+
+    def test_fallback_fills_when_hosts_have_no_ads(self):
+        labelled, db = _setup(ads_per_host=0 + 1)
+        # remove ads from the top category's hosts by using a db whose
+        # ads all live in other categories
+        ads = [a for a in db if a.categories[0] != 1.0]
+        db2 = AdDatabase(ads)
+        selector = EavesdropperSelector(
+            labelled, db2, SelectorConfig(ads_per_report=5)
+        )
+        profile = np.zeros(6)
+        profile[0] = 1.0
+        selected = selector.select(profile)
+        assert len(selected) == 5  # filled from nearest_by_category
+
+    def test_accepts_session_profile_object(self):
+        from repro.core.profiler import SessionProfile
+
+        labelled, db = _setup()
+        selector = EavesdropperSelector(labelled, db)
+        vec = np.zeros(6)
+        vec[4] = 1.0
+        profile = SessionProfile(
+            categories=vec, session_size=3, known_hosts=3, support=2
+        )
+        ads = selector.select(profile)
+        assert ads
+        assert ads[0].categories[4] == 1.0
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            SelectorConfig(ads_per_report=0).validate()
+        with pytest.raises(ValueError):
+            SelectorConfig(max_host_fraction=0).validate()

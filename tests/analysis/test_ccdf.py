@@ -1,0 +1,56 @@
+"""Tests for survival functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.ccdf import ccdf_of_counts
+
+
+class TestCCDF:
+    def test_simple_values(self):
+        ccdf = ccdf_of_counts([1, 2, 2, 4])
+        assert ccdf.at(1) == 100.0
+        assert ccdf.at(2) == 75.0
+        assert ccdf.at(3) == 25.0
+        assert ccdf.at(4) == 25.0
+        assert ccdf.at(5) == 0.0
+
+    def test_survival_non_increasing(self):
+        ccdf = ccdf_of_counts([5, 1, 3, 3, 9, 2])
+        assert (np.diff(ccdf.survival) <= 0).all()
+
+    def test_quantile_count(self):
+        # paper phrasing: "75% of the users visit at least N hostnames"
+        ccdf = ccdf_of_counts([10, 20, 30, 40])
+        assert ccdf.quantile_count(75) == 20.0
+        assert ccdf.quantile_count(100) == 10.0
+        assert ccdf.quantile_count(25) == 40.0
+
+    def test_quantile_invalid(self):
+        ccdf = ccdf_of_counts([1])
+        with pytest.raises(ValueError):
+            ccdf.quantile_count(0)
+        with pytest.raises(ValueError):
+            ccdf.quantile_count(101)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ccdf_of_counts([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ccdf_of_counts([3, -1])
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=500), min_size=1,
+                 max_size=80)
+    )
+    def test_property_bounds_and_monotonicity(self, counts):
+        ccdf = ccdf_of_counts(counts)
+        assert ((ccdf.survival > 0) & (ccdf.survival <= 100)).all()
+        assert (np.diff(ccdf.survival) <= 0).all()
+        # minimum observed count is reached by everyone
+        assert ccdf.at(min(counts)) == 100.0
+        assert ccdf.at(max(counts) + 1) == 0.0

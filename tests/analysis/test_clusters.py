@@ -1,0 +1,54 @@
+"""Tests for cluster-quality inspection (Fig. 5 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.clusters import (
+    collapse_to_slds,
+    neighbourhood_purity,
+    satellite_attachment,
+)
+
+
+class TestNeighbourhoodPurity:
+    def test_purity_beats_baseline(self, embeddings, web):
+        report = neighbourhood_purity(embeddings, web, k=5)
+        assert 0.0 <= report.overall <= 1.0
+        assert report.overall > report.baseline
+
+    def test_per_vertical_values_bounded(self, embeddings, web):
+        report = neighbourhood_purity(embeddings, web, k=5)
+        assert report.per_vertical
+        for value in report.per_vertical.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_invalid_k(self, embeddings, web):
+        with pytest.raises(ValueError):
+            neighbourhood_purity(embeddings, web, k=0)
+
+
+class TestSatelliteAttachment:
+    def test_satellites_attach_to_parents(self, embeddings, web, rng):
+        report = satellite_attachment(embeddings, web, rng)
+        assert report.tested > 10
+        assert report.parent_beats_random > 0.8
+        assert report.mean_parent_similarity > report.mean_random_similarity
+
+    def test_sampling_bounded(self, embeddings, web, rng):
+        report = satellite_attachment(
+            embeddings, web, rng, max_satellites=5
+        )
+        assert report.tested == 5
+
+
+class TestCollapseToSlds:
+    def test_collapses_hostnames(self):
+        sequences = [["mail.google.com", "ds-a.akamaihd.net"]]
+        assert collapse_to_slds(sequences) == [
+            ["google.com", "akamaihd.net"]
+        ]
+
+    def test_shrinks_vocabulary(self, corpus):
+        full = {h for s in corpus for h in s}
+        collapsed = {h for s in collapse_to_slds(corpus) for h in s}
+        assert len(collapsed) < len(full)

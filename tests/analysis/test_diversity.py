@@ -1,0 +1,100 @@
+"""Tests for core computation and the diversity report (Fig. 2/3)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.diversity import (
+    categories_per_user,
+    compute_cores,
+    diversity_report,
+)
+
+
+@pytest.fixture()
+def toy_users():
+    # "g.com" seen by all, "f.com" by 3/4, "x/y/z" personal
+    return {
+        0: {"g.com", "f.com", "x.com"},
+        1: {"g.com", "f.com", "y.com"},
+        2: {"g.com", "f.com", "z.com"},
+        3: {"g.com", "w.com"},
+    }
+
+
+class TestCores:
+    def test_core_membership(self, toy_users):
+        cores = compute_cores(toy_users, levels=(100, 75, 25))
+        assert cores[100] == {"g.com"}
+        assert cores[75] == {"g.com", "f.com"}
+        assert "x.com" in cores[25]
+
+    def test_cores_are_nested(self, toy_users):
+        cores = compute_cores(toy_users, levels=(80, 60, 40, 20))
+        assert cores[80] <= cores[60] <= cores[40] <= cores[20]
+
+    def test_empty_users_rejected(self):
+        with pytest.raises(ValueError):
+            compute_cores({})
+
+    def test_invalid_level(self, toy_users):
+        with pytest.raises(ValueError):
+            compute_cores(toy_users, levels=(0,))
+
+    @given(
+        st.dictionaries(
+            st.integers(0, 20),
+            st.sets(st.sampled_from("abcdefghij"), max_size=10),
+            min_size=1,
+        )
+    )
+    def test_property_nesting(self, users):
+        cores = compute_cores(users, levels=(80, 60, 40, 20))
+        assert cores[80] <= cores[60] <= cores[40] <= cores[20]
+
+
+class TestDiversityReport:
+    def test_core_sizes(self, toy_users):
+        report = diversity_report(toy_users, levels=(100, 75))
+        assert report.core_sizes[100] == 1
+        assert report.core_sizes[75] == 2
+
+    def test_outside_core_counts(self, toy_users):
+        report = diversity_report(toy_users, levels=(100,))
+        # outside Core100 (= {g.com}): users have 2,2,2,1 items
+        assert report.outside_core[100].at(1) == 100.0
+        assert report.outside_core[100].at(2) == 75.0
+
+    def test_users_with_nothing_outside(self, toy_users):
+        users = dict(toy_users)
+        users[4] = {"g.com"}   # entirely inside Core100
+        report = diversity_report(users, levels=(100,))
+        assert report.users_with_nothing_outside[100] == pytest.approx(20.0)
+
+    def test_summary_rows_complete(self, toy_users):
+        report = diversity_report(toy_users, levels=(80, 20))
+        keys = [k for k, _ in report.summary_rows()]
+        assert "core80_size" in keys
+        assert "p75_items" in keys
+        assert "pct_users_zero_outside_core20" in keys
+
+    def test_on_synthetic_trace(self, trace):
+        """Paper shape: hostname cores exist and are small relative to
+        per-user diversity."""
+        report = diversity_report(trace.per_user_hostnames())
+        assert report.core_sizes[80] >= 1
+        assert (
+            report.core_sizes[80] <= report.core_sizes[60]
+            <= report.core_sizes[40] <= report.core_sizes[20]
+        )
+        # most users see many hosts outside the tightest core
+        assert report.outside_core[80].quantile_count(75) > 10
+
+
+class TestCategoriesPerUser:
+    def test_mapping(self):
+        hostnames = {0: {"a.com", "b.com"}, 1: {"c.com"}}
+        labels = {"a.com": {1, 2}, "b.com": {2, 3}}
+        cats = categories_per_user(hostnames, labels)
+        assert cats[0] == {1, 2, 3}
+        assert cats[1] == set()

@@ -1,0 +1,74 @@
+"""Tests for the profile-fidelity oracle."""
+
+import pytest
+
+from repro.analysis.fidelity import profile_fidelity
+from repro.core.profiler import SessionProfiler
+
+
+@pytest.fixture(scope="module")
+def profiler(embeddings, labelled):
+    return SessionProfiler(embeddings, labelled)
+
+
+class TestProfileFidelity:
+    def test_report_shape(self, profiler, trace, web):
+        report = profile_fidelity(
+            profiler, trace, 1, web, max_windows=60
+        )
+        assert report.sessions_profiled > 10
+        assert 0.0 <= report.mean_affinity <= 1.0
+        assert 0.0 <= report.median_affinity <= 1.0
+        assert report.mean_session_size > 0
+        assert 0.0 <= report.empty_fraction <= 1.0
+
+    def test_trained_profiles_score_well(self, profiler, trace, web):
+        report = profile_fidelity(
+            profiler, trace, 1, web, max_windows=120
+        )
+        assert report.mean_affinity > 0.35
+
+    def test_max_windows_limits_work(self, profiler, trace, web):
+        small = profile_fidelity(profiler, trace, 1, web, max_windows=10)
+        assert small.sessions_profiled + small.sessions_empty <= 10
+
+    def test_target_window_changes_score(self, profiler, trace, web):
+        """A 4-hour profile judged against the last 20 minutes must be
+        worse than a 20-minute profile judged the same way."""
+        long_window = profile_fidelity(
+            profiler, trace, 1, web,
+            session_minutes=240.0, target_minutes=20.0, max_windows=150,
+        )
+        matched = profile_fidelity(
+            profiler, trace, 1, web,
+            session_minutes=20.0, target_minutes=20.0, max_windows=150,
+        )
+        assert matched.mean_affinity > long_window.mean_affinity
+
+    def test_tracker_filter_shrinks_sessions(
+        self, profiler, trace, web, tracker_filter
+    ):
+        unfiltered = profile_fidelity(
+            profiler, trace, 1, web, max_windows=80
+        )
+        filtered = profile_fidelity(
+            profiler, trace, 1, web,
+            tracker_filter=tracker_filter, max_windows=80,
+        )
+        assert filtered.mean_session_size <= unfiltered.mean_session_size
+
+    def test_empty_report_when_nothing_profilable(
+        self, embeddings, trace, web, taxonomy
+    ):
+        import numpy as np
+
+        # labels on hosts that never occur -> every session is empty
+        profiler = SessionProfiler(
+            embeddings,
+            {"never-visited.example": np.zeros(taxonomy.num_truncated)},
+        )
+        report = profile_fidelity(
+            profiler, trace, 1, web, max_windows=30
+        )
+        assert report.sessions_profiled == 0
+        assert report.mean_affinity == 0.0

@@ -1,0 +1,111 @@
+"""Tests for statistical machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from scipy import stats as scipy_stats
+
+from repro.analysis.stats import (
+    bootstrap_mean_ci,
+    paired_t_test,
+    two_proportion_z_test,
+)
+
+
+class TestPairedTTest:
+    def test_matches_scipy(self, rng):
+        a = rng.normal(0.002, 0.001, size=40)
+        b = rng.normal(0.0017, 0.001, size=40)
+        ours = paired_t_test(a, b)
+        ref = scipy_stats.ttest_rel(a, b)
+        assert ours.statistic == pytest.approx(ref.statistic)
+        assert ours.p_value == pytest.approx(ref.pvalue)
+        assert ours.dof == 39
+
+    def test_identical_samples(self):
+        a = [0.1, 0.2, 0.3]
+        result = paired_t_test(a, a)
+        assert result.p_value == 1.0
+        assert not result.significant()
+
+    def test_deterministic_shift(self):
+        a = [1.0, 2.0, 3.0]
+        b = [0.5, 1.5, 2.5]
+        result = paired_t_test(a, b)
+        assert result.p_value == 0.0
+        assert result.significant()
+
+    def test_swap_symmetry(self, rng):
+        a = rng.normal(size=20)
+        b = rng.normal(size=20)
+        fwd = paired_t_test(a, b)
+        rev = paired_t_test(b, a)
+        assert fwd.p_value == pytest.approx(rev.p_value)
+        assert fwd.statistic == pytest.approx(-rev.statistic)
+        assert fwd.mean_difference == pytest.approx(-rev.mean_difference)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            paired_t_test([1, 2], [1, 2, 3])
+
+    def test_too_few_pairs(self):
+        with pytest.raises(ValueError):
+            paired_t_test([1], [2])
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+            min_size=3, max_size=40,
+        )
+    )
+    def test_property_pvalue_in_unit_interval(self, a):
+        b = [x + 0.1 for x in a]
+        result = paired_t_test(a, b)
+        assert 0.0 <= result.p_value <= 1.0
+
+
+class TestTwoProportion:
+    def test_obvious_difference(self):
+        result = two_proportion_z_test(500, 1000, 100, 1000)
+        assert result.p_value < 1e-6
+        assert result.rate_a == 0.5
+
+    def test_no_difference(self):
+        result = two_proportion_z_test(50, 1000, 50, 1000)
+        assert result.p_value == pytest.approx(1.0)
+
+    def test_zero_clicks_everywhere(self):
+        result = two_proportion_z_test(0, 100, 0, 100)
+        assert result.p_value == 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            two_proportion_z_test(1, 0, 1, 10)
+        with pytest.raises(ValueError):
+            two_proportion_z_test(11, 10, 1, 10)
+
+    def test_symmetry(self):
+        fwd = two_proportion_z_test(30, 1000, 20, 1000)
+        rev = two_proportion_z_test(20, 1000, 30, 1000)
+        assert fwd.p_value == pytest.approx(rev.p_value)
+        assert fwd.statistic == pytest.approx(-rev.statistic)
+
+
+class TestBootstrap:
+    def test_ci_contains_mean_for_tight_sample(self, rng):
+        sample = rng.normal(10.0, 0.1, size=200)
+        low, high = bootstrap_mean_ci(sample, rng)
+        assert low < 10.0 < high
+        assert high - low < 0.1
+
+    def test_ci_ordered(self, rng):
+        sample = rng.exponential(size=50)
+        low, high = bootstrap_mean_ci(sample, rng)
+        assert low <= high
+
+    def test_invalid_inputs(self, rng):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([1.0], rng)
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([1.0, 2.0], rng, confidence=1.5)

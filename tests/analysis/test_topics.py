@@ -1,0 +1,90 @@
+"""Tests for daily topic-share series (Fig. 6)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.topics import TopicShareSeries
+
+
+@pytest.fixture()
+def series(taxonomy):
+    return TopicShareSeries(taxonomy)
+
+
+class TestRecording:
+    def test_shares_sum_to_100(self, series, taxonomy):
+        vec = np.zeros(taxonomy.num_truncated)
+        vec[0] = 1.0
+        series.record_vector(0, vec)
+        vec2 = np.zeros(taxonomy.num_truncated)
+        vec2[-1] = 1.0
+        series.record_vector(0, vec2)
+        assert series.shares(0).sum() == pytest.approx(100.0)
+
+    def test_argmax_attribution(self, series, taxonomy):
+        vec = np.zeros(taxonomy.num_truncated)
+        vec[5] = 0.3
+        vec[10] = 0.9
+        series.record_vector(2, vec)
+        top_of_10 = taxonomy.top_level_index_of(10)
+        assert series.shares(2)[top_of_10] == 100.0
+
+    def test_zero_vector_ignored(self, series, taxonomy):
+        series.record_vector(0, np.zeros(taxonomy.num_truncated))
+        assert series.days == []
+
+    def test_record_topic_direct(self, series):
+        series.record_topic(1, 3)
+        assert series.shares(1)[3] == 100.0
+
+    def test_empty_day_shares(self, series):
+        assert (series.shares(99) == 0).all()
+
+
+class TestMatrixAndStats:
+    def _fill(self, series, taxonomy):
+        vec_a = np.zeros(taxonomy.num_truncated)
+        vec_a[0] = 1.0
+        vec_b = np.zeros(taxonomy.num_truncated)
+        vec_b[-1] = 1.0
+        for day in range(3):
+            for _ in range(3):
+                series.record_vector(day, vec_a)
+            series.record_vector(day, vec_b)
+
+    def test_matrix_shape(self, series, taxonomy):
+        self._fill(series, taxonomy)
+        days, matrix = series.matrix()
+        assert days == [0, 1, 2]
+        assert matrix.shape == (3, len(series.topic_names))
+        assert np.allclose(matrix.sum(axis=1), 100.0)
+
+    def test_mean_shares(self, series, taxonomy):
+        self._fill(series, taxonomy)
+        means = series.mean_shares()
+        assert means.max() == pytest.approx(75.0)
+
+    def test_top_topics_sorted(self, series, taxonomy):
+        self._fill(series, taxonomy)
+        tops = series.top_topics(3)
+        shares = [s for _, s in tops]
+        assert shares == sorted(shares, reverse=True)
+
+    def test_stability_zero_for_constant_mix(self, series, taxonomy):
+        self._fill(series, taxonomy)
+        assert series.stability() == pytest.approx(0.0)
+
+    def test_stability_positive_for_shifting_mix(self, series, taxonomy):
+        vec_a = np.zeros(taxonomy.num_truncated)
+        vec_a[0] = 1.0
+        vec_b = np.zeros(taxonomy.num_truncated)
+        vec_b[-1] = 1.0
+        series.record_vector(0, vec_a)
+        series.record_vector(1, vec_b)
+        assert series.stability() == pytest.approx(100.0)
+
+    def test_empty_series(self, series):
+        days, matrix = series.matrix()
+        assert days == []
+        assert series.stability() == 0.0
+        assert (series.mean_shares() == 0).all()

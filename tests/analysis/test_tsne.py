@@ -1,0 +1,83 @@
+"""Tests for the exact t-SNE implementation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tsne import TSNE, TSNEConfig, joint_probabilities
+
+
+def _two_blobs(rng, n_per=20, dim=10, separation=20.0):
+    a = rng.normal(0.0, 1.0, size=(n_per, dim))
+    b = rng.normal(separation, 1.0, size=(n_per, dim))
+    X = np.vstack([a, b])
+    labels = np.array([0] * n_per + [1] * n_per)
+    return X, labels
+
+
+class TestJointProbabilities:
+    def test_symmetric_and_normalized(self, rng):
+        X, _ = _two_blobs(rng, n_per=10)
+        P = joint_probabilities(X, perplexity=5)
+        assert np.allclose(P, P.T)
+        assert P.sum() == pytest.approx(1.0, abs=1e-6)
+        assert (P > 0).all()
+
+    def test_perplexity_too_large(self, rng):
+        X, _ = _two_blobs(rng, n_per=5)
+        with pytest.raises(ValueError):
+            joint_probabilities(X, perplexity=10)
+
+    def test_near_neighbours_more_probable(self, rng):
+        X, labels = _two_blobs(rng, n_per=10)
+        P = joint_probabilities(X, perplexity=5)
+        same = P[labels[:, None] == labels[None, :]].mean()
+        cross = P[labels[:, None] != labels[None, :]].mean()
+        assert same > cross * 10
+
+
+class TestTSNE:
+    def test_separates_blobs(self, rng):
+        X, labels = _two_blobs(rng)
+        tsne = TSNE(TSNEConfig(perplexity=10, n_iter=500, seed=0))
+        Y = tsne.fit_transform(X)
+        centroid_a = Y[labels == 0].mean(axis=0)
+        centroid_b = Y[labels == 1].mean(axis=0)
+        spread = max(Y[labels == 0].std(), Y[labels == 1].std())
+        assert np.linalg.norm(centroid_a - centroid_b) > 3 * spread
+
+    def test_output_shape_and_finiteness(self, rng):
+        X, _ = _two_blobs(rng, n_per=12)
+        Y = TSNE(TSNEConfig(perplexity=8, n_iter=60, seed=0)).fit_transform(X)
+        assert Y.shape == (24, 2)
+        assert np.isfinite(Y).all()
+
+    def test_kl_decreases(self, rng):
+        X, _ = _two_blobs(rng)
+        tsne = TSNE(TSNEConfig(perplexity=10, n_iter=260, seed=0))
+        tsne.fit_transform(X)
+        # compare post-exaggeration KL values
+        assert tsne.kl_history[-1] < tsne.kl_history[2]
+
+    def test_deterministic(self, rng):
+        X, _ = _two_blobs(rng, n_per=10)
+        config = TSNEConfig(perplexity=6, n_iter=50, seed=3)
+        a = TSNE(config).fit_transform(X)
+        b = TSNE(config).fit_transform(X)
+        assert np.allclose(a, b)
+
+    def test_random_init(self, rng):
+        X, _ = _two_blobs(rng, n_per=10)
+        config = TSNEConfig(perplexity=6, n_iter=30, seed=3, init="random")
+        Y = TSNE(config).fit_transform(X)
+        assert np.isfinite(Y).all()
+
+    def test_invalid_inputs(self, rng):
+        with pytest.raises(ValueError):
+            TSNE(TSNEConfig(perplexity=0))
+        with pytest.raises(ValueError):
+            TSNE(TSNEConfig(init="magic"))
+        with pytest.raises(ValueError):
+            TSNE(dims=0)
+        tsne = TSNE()
+        with pytest.raises(ValueError):
+            tsne.fit_transform(np.zeros((2, 3)))

@@ -1,0 +1,85 @@
+"""Tests for corpus construction from request streams."""
+
+import pytest
+
+from repro.core.corpus import (
+    CorpusConfig,
+    corpus_token_count,
+    day_corpus,
+    sequences_from_requests,
+)
+from repro.traffic.events import HostKind, Request
+
+
+def _req(hostname, t, kind=HostKind.SITE):
+    return Request(
+        user_id=0, timestamp=t, hostname=hostname, kind=kind,
+        site_domain=hostname,
+    )
+
+
+class TestSequencesFromRequests:
+    def test_gap_splits_sequences(self):
+        requests = [
+            _req("a.com", 0), _req("b.com", 10),
+            _req("c.com", 10_000), _req("d.com", 10_020),
+        ]
+        sequences = sequences_from_requests(requests)
+        assert sequences == [["a.com", "b.com"], ["c.com", "d.com"]]
+
+    def test_collapse_repeats(self):
+        requests = [
+            _req("a.com", 0), _req("a.com", 1), _req("b.com", 2),
+            _req("a.com", 3),
+        ]
+        sequences = sequences_from_requests(requests)
+        assert sequences == [["a.com", "b.com", "a.com"]]
+
+    def test_no_collapse_when_disabled(self):
+        requests = [_req("a.com", 0), _req("a.com", 1)]
+        config = CorpusConfig(collapse_repeats=False)
+        assert sequences_from_requests(requests, config) == [
+            ["a.com", "a.com"]
+        ]
+
+    def test_short_sequences_dropped(self):
+        requests = [_req("a.com", 0), _req("b.com", 10_000)]
+        assert sequences_from_requests(requests) == []
+
+    def test_unsorted_input_rejected(self):
+        requests = [_req("a.com", 5), _req("b.com", 1)]
+        with pytest.raises(ValueError, match="sorted"):
+            sequences_from_requests(requests)
+
+    def test_empty_input(self):
+        assert sequences_from_requests([]) == []
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            CorpusConfig(session_gap_seconds=0).validate()
+        with pytest.raises(ValueError):
+            CorpusConfig(min_sequence_length=0).validate()
+
+
+class TestDayCorpus:
+    def test_covers_all_users(self, trace):
+        corpus = day_corpus(trace, 0)
+        assert corpus
+        users_with_traffic = len(trace.user_sequences(0))
+        # At least one sequence per active user with >= 2 requests.
+        assert len(corpus) >= users_with_traffic * 0.5
+
+    def test_tracker_filter_applied(self, trace, tracker_filter):
+        corpus = day_corpus(trace, 0, tracker_filter=tracker_filter)
+        blocked = tracker_filter.blocked_hostnames
+        for sequence in corpus:
+            assert not (set(sequence) & blocked)
+
+    def test_token_count(self, trace):
+        corpus = day_corpus(trace, 0)
+        assert corpus_token_count(corpus) == sum(
+            len(s) for s in corpus
+        )
+
+    def test_deterministic_user_order(self, trace):
+        assert day_corpus(trace, 0) == day_corpus(trace, 0)

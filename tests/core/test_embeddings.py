@@ -1,0 +1,196 @@
+"""Tests for hostname embedding queries and persistence."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.core.embeddings import HostnameEmbeddings
+from repro.core.vocabulary import Vocabulary
+
+
+@pytest.fixture()
+def toy():
+    vocab = Vocabulary(Counter({"a.com": 5, "b.com": 4, "c.com": 3, "d.com": 2}))
+    vectors = np.array(
+        [
+            [1.0, 0.0],
+            [0.9, 0.1],
+            [0.0, 1.0],
+            [-1.0, 0.0],
+        ]
+    )
+    return HostnameEmbeddings(vectors, vocab)
+
+
+class TestConstruction:
+    def test_shape_mismatch_rejected(self, toy):
+        with pytest.raises(ValueError):
+            HostnameEmbeddings(np.zeros((2, 3)), toy.vocabulary)
+
+    def test_non_finite_rejected(self, toy):
+        bad = toy.vectors.copy()
+        bad[0, 0] = np.nan
+        with pytest.raises(ValueError):
+            HostnameEmbeddings(bad, toy.vocabulary)
+
+    def test_one_dim_rejected(self, toy):
+        with pytest.raises(ValueError):
+            HostnameEmbeddings(np.zeros(4), toy.vocabulary)
+
+    def test_basic_access(self, toy):
+        assert len(toy) == 4
+        assert toy.dim == 2
+        assert "a.com" in toy
+        assert "zzz.com" not in toy
+        assert toy.get("zzz.com") is None
+        with pytest.raises(KeyError):
+            toy.vector("zzz.com")
+
+
+class TestSimilarity:
+    def test_self_similarity_is_one(self, toy):
+        assert toy.similarity("a.com", "a.com") == pytest.approx(1.0)
+
+    def test_symmetry(self, toy):
+        assert toy.similarity("a.com", "b.com") == pytest.approx(
+            toy.similarity("b.com", "a.com")
+        )
+
+    def test_opposite_vectors(self, toy):
+        assert toy.similarity("a.com", "d.com") == pytest.approx(-1.0)
+
+    def test_most_similar_excludes_self(self, toy):
+        results = toy.most_similar("a.com", n=3)
+        hosts = [h for h, _ in results]
+        assert "a.com" not in hosts
+        assert hosts[0] == "b.com"
+
+    def test_most_similar_with_self(self, toy):
+        results = toy.most_similar("a.com", n=2, exclude_self=False)
+        assert results[0][0] == "a.com"
+        assert results[0][1] == pytest.approx(1.0)
+
+    def test_most_similar_sorted_descending(self, toy):
+        sims = [s for _, s in toy.most_similar("a.com", n=3)]
+        assert sims == sorted(sims, reverse=True)
+
+    def test_nearest_to_vector(self, toy):
+        ids, sims = toy.nearest_to_vector(np.array([1.0, 0.0]), n=2)
+        assert toy.vocabulary.host_of(int(ids[0])) == "a.com"
+        assert sims[0] == pytest.approx(1.0)
+
+    def test_cosine_to_all_zero_vector(self, toy):
+        sims = toy.cosine_to_all(np.zeros(2))
+        assert (sims == 0).all()
+
+
+class TestAggregation:
+    def test_mean(self, toy):
+        vec = toy.aggregate(["a.com", "c.com"])
+        assert vec == pytest.approx(np.array([0.5, 0.5]))
+
+    def test_sum_and_max(self, toy):
+        assert toy.aggregate(["a.com", "c.com"], how="sum") == pytest.approx(
+            np.array([1.0, 1.0])
+        )
+        assert toy.aggregate(["a.com", "c.com"], how="max") == pytest.approx(
+            np.array([1.0, 1.0])
+        )
+
+    def test_unknown_hosts_skipped(self, toy):
+        vec = toy.aggregate(["a.com", "nope.com"])
+        assert vec == pytest.approx(toy.vector("a.com"))
+
+    def test_all_unknown_returns_none(self, toy):
+        assert toy.aggregate(["x.com", "y.com"]) is None
+
+    def test_unknown_aggregation_rejected(self, toy):
+        with pytest.raises(ValueError):
+            toy.aggregate(["a.com"], how="median")
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, toy, tmp_path):
+        path = tmp_path / "emb.npz"
+        toy.save(path)
+        loaded = HostnameEmbeddings.load(path)
+        assert len(loaded) == len(toy)
+        for hostname in toy.vocabulary:
+            assert np.allclose(loaded.vector(hostname), toy.vector(hostname))
+            assert loaded.vocabulary.count_of(
+                hostname
+            ) == toy.vocabulary.count_of(hostname)
+
+
+class TestWord2VecFormat:
+    def test_roundtrip(self, toy, tmp_path):
+        path = tmp_path / "vectors.txt"
+        toy.save_word2vec_format(path)
+        loaded = HostnameEmbeddings.load_word2vec_format(path)
+        assert len(loaded) == len(toy)
+        for hostname in toy.vocabulary:
+            assert np.allclose(
+                loaded.vector(hostname), toy.vector(hostname), atol=1e-5
+            )
+
+    def test_header_format(self, toy, tmp_path):
+        path = tmp_path / "vectors.txt"
+        toy.save_word2vec_format(path)
+        header = path.read_text().splitlines()[0]
+        assert header == f"{len(toy)} {toy.dim}"
+
+    def test_rank_order_preserved(self, toy, tmp_path):
+        path = tmp_path / "vectors.txt"
+        toy.save_word2vec_format(path)
+        loaded = HostnameEmbeddings.load_word2vec_format(path)
+        assert loaded.vocabulary.hosts == toy.vocabulary.hosts
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("not a header\n")
+        with pytest.raises(ValueError, match="header"):
+            HostnameEmbeddings.load_word2vec_format(path)
+
+    def test_wrong_dimension_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 3\na.com 0.1 0.2\n")
+        with pytest.raises(ValueError, match="bad vector line"):
+            HostnameEmbeddings.load_word2vec_format(path)
+
+    def test_count_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("2 2\na.com 0.1 0.2\n")
+        with pytest.raises(ValueError, match="promised"):
+            HostnameEmbeddings.load_word2vec_format(path)
+
+
+class TestTrainedEmbeddings:
+    """Sanity on real (fixture) embeddings trained on the synthetic trace."""
+
+    def test_unit_vectors_normalized(self, embeddings):
+        norms = np.linalg.norm(embeddings.unit_vectors, axis=1)
+        assert np.allclose(norms, 1.0, atol=1e-9)
+
+    def test_most_similar_never_returns_self(self, embeddings):
+        host = embeddings.vocabulary.host_of(0)
+        assert host not in [h for h, _ in embeddings.most_similar(host, 20)]
+
+    def test_satellites_embed_near_parent(self, embeddings, web, rng):
+        """The api.bkng.azure.com -> hotels.com anecdote, quantified."""
+        pairs = []
+        sites = [s for s in web.content_sites if s.domain in embeddings]
+        for site in sites:
+            for satellite in site.satellites:
+                if satellite in embeddings:
+                    pairs.append((satellite, site.domain))
+        assert len(pairs) > 10
+        wins = 0
+        for satellite, parent in pairs:
+            other = sites[int(rng.integers(len(sites)))].domain
+            if other == parent:
+                continue
+            if embeddings.similarity(satellite, parent) > \
+                    embeddings.similarity(satellite, other):
+                wins += 1
+        assert wins / len(pairs) > 0.8

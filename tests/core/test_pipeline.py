@@ -1,0 +1,93 @@
+"""Tests for the end-to-end profiling pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import NetworkObserverProfiler, PipelineConfig
+from repro.core.skipgram import SkipGramConfig
+
+
+@pytest.fixture()
+def pipeline(labelled, tracker_filter):
+    config = PipelineConfig(skipgram=SkipGramConfig(epochs=3, seed=0))
+    return NetworkObserverProfiler(
+        labelled, config=config, tracker_filter=tracker_filter
+    )
+
+
+class TestLifecycle:
+    def test_untrained_access_raises(self, pipeline):
+        assert not pipeline.is_trained
+        with pytest.raises(RuntimeError):
+            pipeline.embeddings
+        with pytest.raises(RuntimeError):
+            pipeline.profiler
+
+    def test_requires_labels(self):
+        with pytest.raises(ValueError):
+            NetworkObserverProfiler({})
+
+    def test_train_on_day(self, pipeline, trace):
+        stats = pipeline.train_on_day(trace, 0)
+        assert pipeline.is_trained
+        assert stats.vocabulary_size > 50
+        assert pipeline.trained_days == [0]
+        assert pipeline.last_train_stats is stats
+
+    def test_daily_retrain_replaces_model(self, pipeline, trace):
+        pipeline.train_on_day(trace, 0)
+        first = pipeline.embeddings
+        pipeline.train_on_day(trace, 1)
+        assert pipeline.embeddings is not first
+        assert pipeline.trained_days == [0, 1]
+
+    def test_train_on_sequences(self, pipeline, corpus):
+        stats = pipeline.train_on_sequences(corpus)
+        assert stats.pairs_trained > 0
+
+
+class TestProfiling:
+    def test_profile_session_filters_trackers(
+        self, pipeline, trace, tracker_filter
+    ):
+        pipeline.train_on_day(trace, 0)
+        blocked = next(iter(tracker_filter.blocked_hostnames))
+        some_host = pipeline.embeddings.vocabulary.host_of(0)
+        with_tracker = pipeline.profile_session([some_host, blocked])
+        without = pipeline.profile_session([some_host])
+        assert np.allclose(with_tracker.categories, without.categories)
+
+    def test_profile_user_last_window(self, pipeline, trace):
+        pipeline.train_on_day(trace, 0)
+        sequences = trace.user_sequences(1)
+        user_id = sorted(sequences)[0]
+        requests = sequences[user_id]
+        now = max(r.timestamp for r in requests)
+        profile = pipeline.profile_user(requests, now)
+        assert profile.session_size > 0
+        assert ((profile.categories >= 0) & (profile.categories <= 1)).all()
+
+    def test_profile_window(self, pipeline, trace):
+        from repro.core.session import SessionWindow
+
+        pipeline.train_on_day(trace, 0)
+        host = pipeline.embeddings.vocabulary.host_of(5)
+        window = SessionWindow(user_id=0, end_time=0.0, hostnames=(host,))
+        profile = pipeline.profile_window(window)
+        assert not profile.is_empty
+
+
+class TestConfig:
+    def test_invalid_session_minutes(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(session_minutes=0).validate()
+
+    def test_invalid_report_interval(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(report_interval_minutes=-1).validate()
+
+    def test_nested_configs_validated(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(
+                skipgram=SkipGramConfig(dim=0)
+            ).validate()

@@ -1,0 +1,176 @@
+"""Tests for Eq. 3/4 session profiling."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.core.embeddings import HostnameEmbeddings
+from repro.core.profiler import SessionProfiler
+from repro.core.vocabulary import Vocabulary
+
+
+def _toy_space():
+    """Four hosts in two tight topical clusters, two of them labelled."""
+    vocab = Vocabulary(
+        Counter({"t1.com": 4, "t2.com": 3, "s1.com": 2, "s2.com": 1})
+    )
+    vectors = np.array(
+        [
+            [1.0, 0.05],   # t1 (travel, labelled)
+            [0.95, 0.1],   # t2 (travel, unlabelled)
+            [0.05, 1.0],   # s1 (sports, labelled)
+            [0.1, 0.95],   # s2 (sports, unlabelled)
+        ]
+    )
+    embeddings = HostnameEmbeddings(vectors, vocab)
+    labelled = {
+        "t1.com": np.array([1.0, 0.0, 0.0]),
+        "s1.com": np.array([0.0, 1.0, 0.0]),
+    }
+    return embeddings, labelled
+
+
+class TestInvariants:
+    def test_components_in_unit_interval(self, embeddings, labelled):
+        profiler = SessionProfiler(embeddings, labelled)
+        hosts = embeddings.vocabulary.hosts[:15]
+        profile = profiler.profile(hosts)
+        assert ((profile.categories >= 0) & (profile.categories <= 1)).all()
+
+    def test_empty_session(self, embeddings, labelled):
+        profiler = SessionProfiler(embeddings, labelled)
+        profile = profiler.profile([])
+        assert profile.is_empty
+        assert profile.session_size == 0
+        assert (profile.categories == 0).all()
+
+    def test_unknown_hosts_only(self, embeddings, labelled):
+        profiler = SessionProfiler(embeddings, labelled)
+        profile = profiler.profile(["never-seen-1.com", "never-seen-2.com"])
+        assert profile.is_empty
+        assert profile.session_size == 2
+        assert profile.known_hosts == 0
+
+    def test_requires_labels(self, embeddings):
+        with pytest.raises(ValueError, match="empty"):
+            SessionProfiler(embeddings, {})
+
+    def test_inconsistent_label_shapes_rejected(self, embeddings):
+        labelled = {"a.com": np.zeros(3), "b.com": np.zeros(4)}
+        with pytest.raises(ValueError, match="shapes"):
+            SessionProfiler(embeddings, labelled)
+
+    def test_invalid_neighbourhood(self, embeddings, labelled):
+        with pytest.raises(ValueError):
+            SessionProfiler(embeddings, labelled, neighbourhood_size=0)
+
+    def test_neighbourhood_capped_by_fraction(self, embeddings, labelled):
+        profiler = SessionProfiler(
+            embeddings, labelled,
+            neighbourhood_size=10_000,
+            max_neighbourhood_fraction=0.02,
+        )
+        assert profiler.neighbourhood_size <= max(
+            10, int(0.02 * len(embeddings))
+        )
+
+
+class TestToySpace:
+    def test_travel_session_profiles_travel(self):
+        embeddings, labelled = _toy_space()
+        profiler = SessionProfiler(
+            embeddings, labelled, neighbourhood_size=2,
+            recentre_alpha=False,
+        )
+        profile = profiler.profile(["t2.com"])   # unlabelled travel host
+        assert profile.categories[0] > profile.categories[1]
+
+    def test_in_session_labelled_gets_full_weight(self):
+        embeddings, labelled = _toy_space()
+        profiler = SessionProfiler(
+            embeddings, labelled, neighbourhood_size=1,
+            recentre_alpha=False,
+        )
+        profile = profiler.profile(["t1.com"])
+        assert profile.support >= 1
+        assert profile.categories[0] > 0.9
+
+    def test_mixed_session_blends(self):
+        embeddings, labelled = _toy_space()
+        profiler = SessionProfiler(
+            embeddings, labelled, neighbourhood_size=4,
+            max_neighbourhood_fraction=1.0, recentre_alpha=False,
+        )
+        profile = profiler.profile(["t1.com", "s1.com"])
+        assert profile.categories[0] > 0
+        assert profile.categories[1] > 0
+        # equal alpha=1 labels: both categories weighted equally-ish
+        assert profile.categories[0] == pytest.approx(
+            profile.categories[1], abs=0.3
+        )
+
+    def test_labelled_host_outside_vocab_still_counts(self):
+        embeddings, labelled = _toy_space()
+        labelled = dict(labelled)
+        labelled["offvocab.com"] = np.array([0.0, 0.0, 1.0])
+        profiler = SessionProfiler(
+            embeddings, labelled, neighbourhood_size=1,
+            recentre_alpha=False,
+        )
+        profile = profiler.profile(["offvocab.com"])
+        assert profile.categories[2] > 0.5
+        assert profile.known_hosts == 0  # not in the embedding space
+
+    def test_recentre_alpha_sharpens(self):
+        embeddings, labelled = _toy_space()
+        flat = SessionProfiler(
+            embeddings, labelled, neighbourhood_size=4,
+            max_neighbourhood_fraction=1.0, recentre_alpha=False,
+        ).profile(["t2.com"])
+        sharp = SessionProfiler(
+            embeddings, labelled, neighbourhood_size=4,
+            max_neighbourhood_fraction=1.0, recentre_alpha=True,
+        ).profile(["t2.com"])
+        def contrast(p):
+            return p.categories[0] - p.categories[1]
+        assert contrast(sharp) >= contrast(flat)
+
+
+class TestTopCategories:
+    def test_top_categories_sorted(self, embeddings, labelled, taxonomy):
+        profiler = SessionProfiler(embeddings, labelled)
+        hosts = embeddings.vocabulary.hosts[:20]
+        profile = profiler.profile(hosts)
+        tops = profile.top_categories(taxonomy, n=5)
+        weights = [w for _, w in tops]
+        assert weights == sorted(weights, reverse=True)
+        assert all(w > 0 for w in weights)
+
+    def test_profiles_match_session_content(
+        self, embeddings, labelled, web, trace
+    ):
+        """End-to-end fidelity: profile should correlate with the true
+        category vector of the session's content."""
+        from repro.ads.clicks import affinity
+        from repro.core.session import SessionExtractor
+        from repro.utils.timeutils import minutes
+
+        profiler = SessionProfiler(embeddings, labelled)
+        extractor = SessionExtractor(window_seconds=minutes(20))
+        windows = extractor.windows_for_day(trace, 1)[:80]
+        scores = []
+        for window in windows:
+            true_vectors = [
+                web.true_category_vector(h) for h in window.hostnames
+            ]
+            true_vectors = [v for v in true_vectors if v is not None]
+            if not true_vectors:
+                continue
+            oracle = np.mean(true_vectors, axis=0)
+            profile = profiler.profile(list(window.hostnames))
+            if profile.is_empty:
+                continue
+            scores.append(affinity(oracle, profile.categories))
+        assert len(scores) > 20
+        assert float(np.mean(scores)) > 0.4

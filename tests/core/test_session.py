@@ -1,0 +1,126 @@
+"""Tests for session extraction (the paper's s_T_u)."""
+
+import pytest
+
+from repro.core.session import SessionExtractor, first_visits
+from repro.traffic.events import HostKind, Request
+from repro.utils.timeutils import minutes
+
+
+def _req(hostname, t, user=0, kind=HostKind.SITE):
+    return Request(
+        user_id=user, timestamp=t, hostname=hostname, kind=kind,
+        site_domain=hostname,
+    )
+
+
+class TestFirstVisits:
+    def test_dedup_keeps_first_order(self):
+        assert first_visits(["a", "b", "a", "c", "b"]) == ("a", "b", "c")
+
+    def test_empty(self):
+        assert first_visits([]) == ()
+
+    def test_no_duplicates_in_output(self):
+        out = first_visits(["x"] * 10 + ["y"] * 5)
+        assert len(out) == len(set(out))
+
+
+class TestExtract:
+    def test_window_boundaries(self):
+        extractor = SessionExtractor(window_seconds=minutes(20))
+        requests = [
+            _req("old.com", 0.0),
+            _req("edge.com", 1200.0),     # exactly end-T: excluded
+            _req("in.com", 1201.0),
+            _req("now.com", 2400.0),      # exactly at end: included
+            _req("future.com", 2401.0),
+        ]
+        window = extractor.extract(requests, end_time=2400.0)
+        assert window.hostnames == ("in.com", "now.com")
+
+    def test_dedup_within_window(self):
+        extractor = SessionExtractor(window_seconds=minutes(20))
+        requests = [
+            _req("a.com", 100), _req("a.com", 200), _req("b.com", 300),
+        ]
+        window = extractor.extract(requests, end_time=400.0)
+        assert window.hostnames == ("a.com", "b.com")
+
+    def test_empty_window(self):
+        extractor = SessionExtractor()
+        window = extractor.extract([_req("a.com", 0)], end_time=99_999.0)
+        assert window.is_empty
+        assert window.user_id == -1
+
+    def test_user_id_inferred(self):
+        extractor = SessionExtractor()
+        window = extractor.extract([_req("a.com", 10, user=7)], end_time=20)
+        assert window.user_id == 7
+
+    def test_tracker_filter_applied(self, web, tracker_filter):
+        extractor = SessionExtractor(tracker_filter=tracker_filter)
+        blocked = next(iter(tracker_filter.blocked_hostnames))
+        requests = [_req("a.com", 10), _req(blocked, 20)]
+        window = extractor.extract(requests, end_time=30)
+        assert window.hostnames == ("a.com",)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            SessionExtractor(window_seconds=0)
+
+
+class TestExtractLastN:
+    def test_last_n_distinct(self):
+        extractor = SessionExtractor()
+        requests = [
+            _req("a.com", 1), _req("b.com", 2), _req("a.com", 3),
+            _req("c.com", 4),
+        ]
+        window = extractor.extract_last_n(requests, end_time=10, n_hosts=2)
+        # walking back: c.com, then a.com (t=3) -> order restored
+        assert window.hostnames == ("a.com", "c.com")
+
+    def test_n_larger_than_history(self):
+        extractor = SessionExtractor()
+        window = extractor.extract_last_n(
+            [_req("a.com", 1)], end_time=10, n_hosts=5
+        )
+        assert window.hostnames == ("a.com",)
+
+    def test_invalid_n(self):
+        extractor = SessionExtractor()
+        with pytest.raises(ValueError):
+            extractor.extract_last_n([], end_time=0, n_hosts=0)
+
+
+class TestWindowsForDay:
+    def test_windows_only_for_active_users(self, trace):
+        extractor = SessionExtractor(window_seconds=minutes(20))
+        windows = extractor.windows_for_day(trace, 0)
+        assert windows
+        active_users = set(trace.user_sequences(0))
+        assert {w.user_id for w in windows} <= active_users
+
+    def test_no_empty_windows(self, trace):
+        extractor = SessionExtractor(window_seconds=minutes(20))
+        for window in extractor.windows_for_day(trace, 0):
+            assert not window.is_empty
+
+    def test_window_contents_match_trace(self, trace):
+        extractor = SessionExtractor(window_seconds=minutes(20))
+        windows = extractor.windows_for_day(trace, 0)
+        sequences = trace.user_sequences(0)
+        for window in windows[:50]:
+            expected = first_visits(
+                r.hostname
+                for r in sequences[window.user_id]
+                if window.end_time - minutes(20)
+                < r.timestamp <= window.end_time
+            )
+            assert window.hostnames == expected
+
+    def test_invalid_interval(self, trace):
+        extractor = SessionExtractor()
+        with pytest.raises(ValueError):
+            extractor.windows_for_day(trace, 0, report_interval_seconds=0)

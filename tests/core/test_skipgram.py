@@ -1,0 +1,182 @@
+"""Tests for the SGNS trainer."""
+
+import numpy as np
+import pytest
+
+from repro.core.skipgram import (
+    SkipGramConfig,
+    SkipGramModel,
+    _scatter_add,
+    _sigmoid,
+)
+from repro.core.vocabulary import Vocabulary
+from repro.utils.randomness import derive_rng
+
+
+def _toy_corpus(repeats=200):
+    """Two disjoint topical 'communities' that never co-occur."""
+    corpus = []
+    for i in range(repeats):
+        corpus.append(["a1.com", "a2.com", "a3.com"])
+        corpus.append(["b1.com", "b2.com", "b3.com"])
+    return corpus
+
+
+class TestScatterAdd:
+    def test_matches_add_at(self, rng):
+        target = rng.normal(size=(20, 4))
+        reference = target.copy()
+        indices = rng.integers(0, 20, size=100)
+        updates = rng.normal(size=(100, 4))
+        _scatter_add(target, indices, updates)
+        np.add.at(reference, indices, updates)
+        assert np.allclose(target, reference)
+
+    def test_empty_noop(self):
+        target = np.ones((3, 2))
+        _scatter_add(target, np.empty(0, dtype=int), np.empty((0, 2)))
+        assert (target == 1).all()
+
+
+class TestSigmoid:
+    def test_range_and_extremes(self):
+        x = np.array([-1e9, -1.0, 0.0, 1.0, 1e9])
+        y = _sigmoid(x)
+        assert ((y > 0) & (y < 1)).all()
+        assert y[2] == pytest.approx(0.5)
+        assert y[0] < 1e-10 and y[-1] > 1 - 1e-10
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"dim": 0},
+            {"window": 0},
+            {"negatives": -1},
+            {"epochs": 0},
+            {"learning_rate": 0},
+            {"batch_pairs": 0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SkipGramConfig(**kwargs).validate()
+
+
+class TestTraining:
+    def test_loss_decreases(self):
+        model = SkipGramModel(SkipGramConfig(dim=16, epochs=10, seed=0))
+        model.fit(_toy_corpus())
+        losses = model.stats.mean_loss_per_epoch
+        assert losses[-1] < losses[0]
+
+    def test_learns_community_structure(self):
+        model = SkipGramModel(SkipGramConfig(dim=16, epochs=15, seed=0))
+        embeddings = model.fit(_toy_corpus())
+        within = embeddings.similarity("a1.com", "a2.com")
+        across = embeddings.similarity("a1.com", "b1.com")
+        assert within > across + 0.2
+
+    def test_deterministic_given_seed(self):
+        corpus = _toy_corpus(50)
+        a = SkipGramModel(SkipGramConfig(dim=8, epochs=3, seed=5)).fit(corpus)
+        b = SkipGramModel(SkipGramConfig(dim=8, epochs=3, seed=5)).fit(corpus)
+        assert np.array_equal(a.vectors, b.vectors)
+
+    def test_different_seed_differs(self):
+        corpus = _toy_corpus(50)
+        a = SkipGramModel(SkipGramConfig(dim=8, epochs=3, seed=5)).fit(corpus)
+        b = SkipGramModel(SkipGramConfig(dim=8, epochs=3, seed=6)).fit(corpus)
+        assert not np.array_equal(a.vectors, b.vectors)
+
+    def test_stats_populated(self):
+        model = SkipGramModel(SkipGramConfig(dim=8, epochs=4, seed=0))
+        embeddings = model.fit(_toy_corpus(20))
+        stats = model.stats
+        assert stats.vocabulary_size == len(embeddings) == 6
+        assert stats.epochs == 4
+        assert stats.pairs_trained > 0
+        assert stats.tokens_seen > 0
+        assert len(stats.mean_loss_per_epoch) == 4
+
+    def test_vectors_finite_and_shaped(self):
+        model = SkipGramModel(SkipGramConfig(dim=12, epochs=2, seed=0))
+        embeddings = model.fit(_toy_corpus(20))
+        assert embeddings.vectors.shape == (6, 12)
+        assert np.isfinite(embeddings.vectors).all()
+
+    def test_min_count_respected(self):
+        corpus = _toy_corpus(20) + [["rare.com", "a1.com"]]
+        model = SkipGramModel(SkipGramConfig(dim=8, epochs=2, min_count=5))
+        embeddings = model.fit(corpus)
+        assert "rare.com" not in embeddings
+
+    def test_external_vocabulary_used(self):
+        vocab = Vocabulary.from_sequences(_toy_corpus(20), min_count=1)
+        model = SkipGramModel(SkipGramConfig(dim=8, epochs=2))
+        embeddings = model.fit(_toy_corpus(20), vocabulary=vocab)
+        assert embeddings.vocabulary is vocab
+
+    def test_tiny_vocabulary_rejected(self):
+        model = SkipGramModel(SkipGramConfig(min_count=1))
+        with pytest.raises(ValueError, match="vocabulary too small"):
+            model.fit([["only.com"]])
+
+    def test_no_trainable_sequences_rejected(self):
+        vocab = Vocabulary.from_sequences(
+            [["a.com", "b.com"]], min_count=1
+        )
+        model = SkipGramModel(SkipGramConfig(dim=4, epochs=1))
+        with pytest.raises(ValueError, match="no trainable"):
+            model.fit([["c.com"], ["d.com"]], vocabulary=vocab)
+
+    def test_zero_negatives_trains(self):
+        model = SkipGramModel(
+            SkipGramConfig(dim=8, epochs=2, negatives=0, seed=0)
+        )
+        embeddings = model.fit(_toy_corpus(20))
+        assert np.isfinite(embeddings.vectors).all()
+
+    def test_fixed_window_mode(self):
+        model = SkipGramModel(
+            SkipGramConfig(dim=8, epochs=2, shrink_windows=False, seed=0)
+        )
+        embeddings = model.fit(_toy_corpus(20))
+        assert np.isfinite(embeddings.vectors).all()
+
+    def test_float64_mode(self):
+        model = SkipGramModel(
+            SkipGramConfig(dim=8, epochs=2, dtype="float64", seed=0)
+        )
+        embeddings = model.fit(_toy_corpus(20))
+        assert embeddings.vectors.dtype == np.float64
+
+
+class TestWindowPairs:
+    def test_fixed_window_counts(self):
+        model = SkipGramModel(
+            SkipGramConfig(window=2, shrink_windows=False)
+        )
+        ids = np.arange(5)
+        centers, contexts = model._window_pairs(
+            ids, derive_rng(0, "w")
+        )
+        # each ordered pair within distance 2: sum over deltas 1,2 of
+        # 2*(n - delta) = 2*4 + 2*3 = 14
+        assert len(centers) == 14
+        assert len(contexts) == 14
+        assert (centers != contexts).all()
+
+    def test_shrunk_window_never_exceeds_max(self):
+        model = SkipGramModel(SkipGramConfig(window=3))
+        ids = np.arange(30)
+        centers, contexts = model._window_pairs(ids, derive_rng(1, "w"))
+        assert (np.abs(centers - contexts) <= 3).all()
+
+    def test_single_token_no_pairs(self):
+        model = SkipGramModel(SkipGramConfig())
+        centers, contexts = model._window_pairs(
+            np.array([3]), derive_rng(0, "w")
+        )
+        assert len(centers) == 0 and len(contexts) == 0

@@ -1,0 +1,172 @@
+"""Tests for the streaming profiler."""
+
+import pytest
+
+from repro.core.profiler import SessionProfiler
+from repro.core.streaming import StreamingConfig, StreamingProfiler
+from repro.netobs.flows import HostnameEvent
+from repro.utils.timeutils import minutes
+
+
+def _event(host, t, client="10.0.0.1"):
+    return HostnameEvent(
+        client_ip=client, timestamp=t, hostname=host, source="tls-sni"
+    )
+
+
+@pytest.fixture()
+def profiler(embeddings, labelled):
+    return SessionProfiler(embeddings, labelled)
+
+
+@pytest.fixture()
+def stream(profiler):
+    s = StreamingProfiler()
+    s.swap_model(profiler)
+    return s
+
+
+class TestGrid:
+    def test_no_model_no_emissions(self, embeddings):
+        stream = StreamingProfiler()
+        host = embeddings.vocabulary.host_of(0)
+        stream.ingest(_event(host, 0.0))
+        assert stream.ingest(_event(host, minutes(15))) is None
+
+    def test_first_event_anchors_grid(self, stream, embeddings):
+        host = embeddings.vocabulary.host_of(0)
+        assert stream.ingest(_event(host, 100.0)) is None
+
+    def test_emission_at_tick(self, stream, embeddings):
+        hosts = embeddings.vocabulary.hosts[:3]
+        stream.ingest(_event(hosts[0], 0.0))
+        stream.ingest(_event(hosts[1], minutes(5)))
+        emission = stream.ingest(_event(hosts[2], minutes(11)))
+        assert emission is not None
+        assert emission.timestamp == minutes(10)   # the tick, not arrival
+        # window at the tick holds the first two hosts only
+        assert set(emission.window_hosts) == {hosts[0], hosts[1]}
+        assert not emission.profile.is_empty
+
+    def test_window_expires_old_hosts(self, stream, embeddings):
+        hosts = embeddings.vocabulary.hosts[:3]
+        stream.ingest(_event(hosts[0], 0.0))
+        # lazy catch-up fires the minute-10 tick (window holds host[0])
+        first = stream.ingest(_event(hosts[1], minutes(40)))
+        assert first is not None and first.timestamp == minutes(10)
+        assert hosts[0] in first.window_hosts
+        # the next tick (minute 50) must have forgotten host[0]
+        second = stream.ingest(_event(hosts[2], minutes(51)))
+        assert second is not None and second.timestamp == minutes(50)
+        assert hosts[0] not in second.window_hosts
+        assert hosts[1] in second.window_hosts
+
+    def test_clients_independent(self, stream, embeddings):
+        hosts = embeddings.vocabulary.hosts[:2]
+        stream.ingest(_event(hosts[0], 0.0, client="a"))
+        stream.ingest(_event(hosts[0], 0.0, client="b"))
+        emission = stream.ingest(
+            _event(hosts[1], minutes(11), client="a")
+        )
+        assert emission is not None and emission.client == "a"
+        assert stream.active_clients == 2
+
+    def test_out_of_order_rejected(self, stream, embeddings):
+        host = embeddings.vocabulary.host_of(0)
+        stream.ingest(_event(host, 100.0))
+        with pytest.raises(ValueError, match="time-ordered"):
+            stream.ingest(_event(host, 50.0))
+
+    def test_tracker_events_filtered(
+        self, profiler, tracker_filter, embeddings
+    ):
+        stream = StreamingProfiler(tracker_filter=tracker_filter)
+        stream.swap_model(profiler)
+        blocked = next(iter(tracker_filter.blocked_hostnames))
+        assert stream.ingest(_event(blocked, 0.0)) is None
+        assert stream.active_clients == 0
+
+    def test_idle_ticks_skipped(self, stream, embeddings):
+        """Hours of silence then one event: at most one emission, and the
+        grid lands beyond 'now'."""
+        host = embeddings.vocabulary.host_of(0)
+        stream.ingest(_event(host, 0.0))
+        emissions = [
+            stream.ingest(_event(host, minutes(300))),
+            stream.ingest(_event(host, minutes(301))),
+        ]
+        assert sum(e is not None for e in emissions) <= 1
+
+
+class TestModelSwap:
+    def test_swap_counts(self, stream, profiler):
+        assert stream.model_swaps == 1
+        stream.swap_model(profiler)
+        assert stream.model_swaps == 2
+
+    def test_profiles_resume_after_swap(
+        self, stream, profiler, embeddings
+    ):
+        hosts = embeddings.vocabulary.hosts[:2]
+        stream.ingest(_event(hosts[0], 0.0))
+        stream.swap_model(profiler)
+        emission = stream.ingest(_event(hosts[1], minutes(11)))
+        assert emission is not None
+
+
+class TestHousekeeping:
+    def test_evict_idle(self, stream, embeddings):
+        host = embeddings.vocabulary.host_of(0)
+        stream.ingest(_event(host, 0.0, client="old"))
+        stream.ingest(_event(host, minutes(30 * 60), client="new"))
+        evicted = stream.evict_idle(minutes(30 * 60))
+        assert evicted == 1
+        assert stream.active_clients == 1
+
+    def test_counters(self, stream, embeddings):
+        hosts = embeddings.vocabulary.hosts[:3]
+        stream.ingest(_event(hosts[0], 0.0))
+        stream.ingest(_event(hosts[1], minutes(5)))
+        stream.ingest(_event(hosts[2], minutes(11)))
+        assert stream.events_seen == 3
+        assert stream.profiles_emitted == 1
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            StreamingConfig(session_minutes=0).validate()
+        with pytest.raises(ValueError):
+            StreamingConfig(report_interval_minutes=0).validate()
+
+
+class TestEndToEnd:
+    def test_stream_from_packets(
+        self, trace, labelled, embeddings, tracker_filter
+    ):
+        """Packets -> observer events -> streaming profiles."""
+        from repro.netobs import NetworkObserver, TrafficSynthesizer
+
+        profiler = SessionProfiler(embeddings, labelled)
+        stream = StreamingProfiler(tracker_filter=tracker_filter)
+        stream.swap_model(profiler)
+        observer = NetworkObserver()
+        synthesizer = TrafficSynthesizer(seed=6)
+        # capture order = timestamp order, as on a real wire
+        packets = sorted(
+            (
+                packet
+                for request in trace.day(1)[:2000]
+                for packet in synthesizer.packets_for_request(request)
+            ),
+            key=lambda p: p.timestamp,
+        )
+        emissions = []
+        for packet in packets:
+            event = observer.ingest(packet)
+            if event is not None:
+                emission = stream.ingest(event)
+                if emission is not None:
+                    emissions.append(emission)
+        assert emissions, "continuous traffic must produce profiles"
+        for emission in emissions:
+            categories = emission.profile.categories
+            assert ((categories >= 0) & (categories <= 1)).all()

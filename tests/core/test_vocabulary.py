@@ -1,0 +1,125 @@
+"""Tests for the embedding vocabulary."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.vocabulary import Vocabulary
+
+
+@pytest.fixture()
+def vocab():
+    return Vocabulary(
+        Counter({"a.com": 10, "b.com": 5, "c.com": 5, "d.com": 1}),
+        min_count=1,
+    )
+
+
+class TestMapping:
+    def test_most_frequent_first(self, vocab):
+        assert vocab.host_of(0) == "a.com"
+
+    def test_tie_break_stable_on_name(self, vocab):
+        # b.com and c.com both have count 5; alphabetical order wins.
+        assert vocab.id_of("b.com") < vocab.id_of("c.com")
+
+    def test_roundtrip(self, vocab):
+        for hostname in vocab:
+            assert vocab.host_of(vocab.id_of(hostname)) == hostname
+
+    def test_min_count_prunes(self):
+        vocab = Vocabulary(Counter({"a.com": 3, "b.com": 1}), min_count=2)
+        assert "a.com" in vocab
+        assert "b.com" not in vocab
+
+    def test_min_count_invalid(self):
+        with pytest.raises(ValueError):
+            Vocabulary(Counter(), min_count=0)
+
+    def test_unknown_host_raises(self, vocab):
+        with pytest.raises(KeyError):
+            vocab.id_of("nope.com")
+        assert vocab.get_id("nope.com") is None
+
+    def test_count_of(self, vocab):
+        assert vocab.count_of("a.com") == 10
+        assert vocab.total_count == 21
+
+    def test_from_sequences(self):
+        vocab = Vocabulary.from_sequences(
+            [["a.com", "b.com"], ["a.com"]], min_count=1
+        )
+        assert vocab.count_of("a.com") == 2
+        assert vocab.count_of("b.com") == 1
+
+
+class TestEncode:
+    def test_drops_oov(self, vocab):
+        encoded = vocab.encode(["a.com", "zzz.com", "b.com"])
+        assert encoded.tolist() == [
+            vocab.id_of("a.com"), vocab.id_of("b.com"),
+        ]
+
+    def test_empty(self, vocab):
+        assert vocab.encode([]).tolist() == []
+
+
+class TestDistributions:
+    def test_negative_probs_sum_to_one(self, vocab):
+        probs = vocab.negative_sampling_probs()
+        assert probs.sum() == pytest.approx(1.0)
+        assert (probs > 0).all()
+
+    def test_negative_probs_ordering(self, vocab):
+        probs = vocab.negative_sampling_probs()
+        assert probs[vocab.id_of("a.com")] > probs[vocab.id_of("d.com")]
+
+    def test_ns_exponent_flattens(self, vocab):
+        raw = vocab.negative_sampling_probs(ns_exponent=1.0)
+        flat = vocab.negative_sampling_probs(ns_exponent=0.0)
+        assert flat[0] == pytest.approx(1 / len(vocab))
+        assert raw[0] > flat[0]
+
+    def test_empty_vocab_raises(self):
+        with pytest.raises(ValueError):
+            Vocabulary(Counter()).negative_sampling_probs()
+
+    def test_keep_probs_bounds(self, vocab):
+        keep = vocab.keep_probs(sample=1e-3)
+        assert ((keep > 0) & (keep <= 1)).all()
+
+    def test_keep_probs_disabled(self, vocab):
+        assert (vocab.keep_probs(sample=0) == 1.0).all()
+
+    def test_frequent_hosts_downsampled_more(self):
+        vocab = Vocabulary(Counter({"big.com": 900, "small.com": 3}))
+        keep = vocab.keep_probs(sample=1e-2)
+        assert keep[vocab.id_of("big.com")] < keep[vocab.id_of("small.com")]
+
+    def test_empirical_negative_sampling_matches(self, vocab, rng):
+        """Drawing from the cumulative table reproduces unigram^0.75."""
+        probs = vocab.negative_sampling_probs()
+        cum = np.cumsum(probs)
+        draws = np.searchsorted(cum, rng.random(200_000))
+        freq = np.bincount(draws, minlength=len(vocab)) / 200_000
+        assert np.allclose(freq, probs, atol=0.01)
+
+
+@given(
+    st.dictionaries(
+        st.from_regex(r"[a-z]{1,8}\.com", fullmatch=True),
+        st.integers(min_value=1, max_value=1000),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_property_vocabulary_consistency(counts):
+    vocab = Vocabulary(Counter(counts), min_count=1)
+    assert len(vocab) == len(counts)
+    # ids are dense and counts non-increasing over ids
+    id_counts = [vocab.count_of(vocab.host_of(i)) for i in range(len(vocab))]
+    assert id_counts == sorted(id_counts, reverse=True)
+    assert vocab.total_count == sum(counts.values())

@@ -1,0 +1,81 @@
+"""Tests for the profiling back-end."""
+
+import numpy as np
+import pytest
+
+from repro.ads.inventory import Ad, AdDatabase
+from repro.ads.selection import EavesdropperSelector, SelectorConfig
+from repro.core.pipeline import NetworkObserverProfiler, PipelineConfig
+from repro.core.skipgram import SkipGramConfig
+from repro.experiment.backend import Backend
+from repro.utils.timeutils import minutes
+
+
+@pytest.fixture()
+def backend(labelled, trace, web):
+    profiler = NetworkObserverProfiler(
+        labelled,
+        config=PipelineConfig(skipgram=SkipGramConfig(epochs=3, seed=0)),
+    )
+    profiler.train_on_day(trace, 0)
+    ads = []
+    for i, (host, vec) in enumerate(sorted(labelled.items())[:50]):
+        ads.append(
+            Ad(
+                ad_id=i, landing_domain=host, categories=vec,
+                width=300, height=250, created_day=0,
+            )
+        )
+    selector = EavesdropperSelector(
+        labelled, AdDatabase(ads), SelectorConfig(ads_per_report=5)
+    )
+    return Backend(profiler, selector)
+
+
+class TestReports:
+    def test_report_returns_ads(self, backend, trace):
+        sequences = trace.user_sequences(1)
+        user_id = sorted(sequences)[0]
+        requests = sequences[user_id]
+        now = requests[-1].timestamp
+        reported = [(r.timestamp, r.hostname) for r in requests]
+        ads = backend.handle_report(user_id, reported, now)
+        assert len(ads) == 5
+        assert backend.stats.reports_received == 1
+        assert backend.stats.profiles_computed == 1
+
+    def test_empty_report_no_history_is_empty_profile(self, backend):
+        ads = backend.handle_report(0, [], now=1000.0)
+        assert ads == []
+        assert backend.stats.empty_profiles == 1
+
+    def test_profile_uses_only_last_window(self, backend, trace):
+        sequences = trace.user_sequences(1)
+        user_id = sorted(sequences)[0]
+        requests = sequences[user_id]
+        reported = [(r.timestamp, r.hostname) for r in requests]
+        # "now" far past everything: session window is empty
+        far_future = requests[-1].timestamp + minutes(120)
+        ads = backend.handle_report(user_id, reported, far_future)
+        assert ads == []
+
+    def test_history_accumulates_across_reports(self, backend):
+        host_a = backend.profiler.embeddings.vocabulary.host_of(0)
+        host_b = backend.profiler.embeddings.vocabulary.host_of(1)
+        backend.handle_report(7, [(100.0, host_a)], now=110.0)
+        ads = backend.handle_report(7, [(200.0, host_b)], now=210.0)
+        # both hosts are within the 20-minute window at t=210
+        session = backend._session_hosts(7, 210.0)
+        assert set(session) == {host_a, host_b}
+        assert ads  # profile is non-empty
+
+    def test_history_horizon_trims(self, backend):
+        host = backend.profiler.embeddings.vocabulary.host_of(0)
+        backend.handle_report(3, [(0.0, host)], now=10.0)
+        backend.handle_report(
+            3, [(200_000.0, host)], now=200_010.0
+        )
+        assert all(
+            t >= 200_010.0 - backend.history_horizon
+            for t, _ in backend._history[3]
+        )

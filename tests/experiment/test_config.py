@@ -1,0 +1,53 @@
+"""Tests for experiment configuration."""
+
+import pytest
+
+from repro.experiment.config import ExperimentConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        ExperimentConfig().validate()
+
+    def test_small_and_paper_scaled_valid(self):
+        ExperimentConfig.small().validate()
+        ExperimentConfig.paper_scaled().validate()
+
+    def test_phase_lengths(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(collection_days=0).validate()
+        with pytest.raises(ValueError):
+            ExperimentConfig(profiling_days=0).validate()
+
+    def test_coverage_bounds(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(ontology_coverage=1.5).validate()
+
+    def test_attempt_prob_bounds(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(replacement_attempt_prob=-0.1).validate()
+
+    def test_nested_configs_validated(self):
+        config = ExperimentConfig()
+        config.web.num_sites = 0
+        with pytest.raises(ValueError):
+            config.validate()
+
+    def test_derived_days(self):
+        config = ExperimentConfig(collection_days=3, profiling_days=7)
+        assert config.total_days == 10
+        assert config.first_profiling_day == 3
+
+    def test_small_is_smaller(self):
+        small = ExperimentConfig.small()
+        paper = ExperimentConfig.paper_scaled()
+        assert small.web.num_sites < paper.web.num_sites
+        assert small.population.num_users < paper.population.num_users
+        assert small.total_days < paper.total_days
+
+    def test_paper_constants_preserved_at_all_scales(self):
+        for config in (ExperimentConfig.small(), ExperimentConfig.paper_scaled()):
+            assert config.pipeline.session_minutes == 20.0
+            assert config.pipeline.report_interval_minutes == 10.0
+            assert config.selector.ads_per_report == 20
+            assert config.ontology_coverage == 0.106

@@ -1,0 +1,150 @@
+"""Tests for the simulated extension's report grid and ad replacement."""
+
+import numpy as np
+import pytest
+
+from repro.ads.inventory import Ad
+from repro.ads.replacement import ReplacementPolicy
+from repro.experiment.extension import SimulatedExtension
+from repro.traffic.events import HostKind, Request
+from repro.utils.timeutils import minutes
+
+
+class FakeBackend:
+    """Records reports; returns a fixed replacement list."""
+
+    def __init__(self, ads=None):
+        self.reports = []
+        self.ads = ads if ads is not None else []
+
+    def handle_report(self, user_id, reported, now):
+        self.reports.append((user_id, list(reported), now))
+        return list(self.ads)
+
+
+def _ad(ad_id=0, size=(300, 250)):
+    return Ad(
+        ad_id=ad_id, landing_domain="x.com", categories=np.array([1.0]),
+        width=size[0], height=size[1], created_day=0,
+    )
+
+
+def _req(t, host="a.com", user=0):
+    return Request(
+        user_id=user, timestamp=t, hostname=host,
+        kind=HostKind.SITE, site_domain=host,
+    )
+
+
+def _extension(backend, user=0, attempt_prob=1.0):
+    return SimulatedExtension(
+        user_id=user,
+        backend=backend,
+        policy=ReplacementPolicy(0.1),
+        report_interval_seconds=minutes(10),
+        list_ttl_seconds=minutes(10),
+        attempt_prob=attempt_prob,
+        rng=np.random.default_rng(0),
+    )
+
+
+class TestReportGrid:
+    def test_first_request_anchors_no_report(self):
+        backend = FakeBackend()
+        ext = _extension(backend)
+        ext.on_request(_req(100.0))
+        assert backend.reports == []
+
+    def test_report_after_interval(self):
+        backend = FakeBackend()
+        ext = _extension(backend)
+        ext.on_request(_req(0.0))
+        ext.on_request(_req(minutes(10) + 1))
+        assert len(backend.reports) == 1
+        _, reported, now = backend.reports[0]
+        assert now == minutes(10)            # tick time, not arrival time
+        assert [h for _, h in reported] == ["a.com"]
+
+    def test_missed_ticks_caught_up_lazily(self):
+        backend = FakeBackend()
+        ext = _extension(backend)
+        ext.on_request(_req(0.0, host="a.com"))
+        # next activity hours later: exactly one report (the tick right
+        # after the pending data), idle ticks are skipped
+        ext.on_request(_req(minutes(300), host="b.com"))
+        assert len(backend.reports) == 1
+        assert backend.reports[0][2] == minutes(10)
+
+    def test_pending_after_tick_held_back(self):
+        backend = FakeBackend()
+        ext = _extension(backend)
+        ext.on_request(_req(0.0, host="a.com"))
+        ext.on_request(_req(minutes(9), host="b.com"))
+        ext.on_request(_req(minutes(11), host="c.com"))
+        # tick at minute 10 reports a and b but not c
+        _, reported, _ = backend.reports[0]
+        assert [h for _, h in reported] == ["a.com", "b.com"]
+
+    def test_wrong_user_rejected(self):
+        ext = _extension(FakeBackend(), user=1)
+        with pytest.raises(ValueError):
+            ext.on_request(_req(0.0, user=2))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SimulatedExtension(
+                0, FakeBackend(), ReplacementPolicy(),
+                report_interval_seconds=0,
+            )
+        with pytest.raises(ValueError):
+            SimulatedExtension(
+                0, FakeBackend(), ReplacementPolicy(), attempt_prob=2.0
+            )
+
+
+class TestReplacement:
+    def _primed_extension(self, ads, attempt_prob=1.0):
+        backend = FakeBackend(ads=ads)
+        ext = _extension(backend, attempt_prob=attempt_prob)
+        ext.on_request(_req(0.0))
+        ext.on_request(_req(minutes(10) + 1))  # triggers report -> list
+        return ext
+
+    def test_no_list_no_replacement(self):
+        ext = _extension(FakeBackend())
+        assert ext.on_ad_detected(50.0, (300, 250)) is None
+        assert ext.stats.ads_detected == 1
+        assert ext.stats.ads_replaced == 0
+
+    def test_fresh_list_replaces_matching_size(self):
+        ext = self._primed_extension([_ad(1, (300, 250))])
+        chosen = ext.on_ad_detected(minutes(12), (300, 250))
+        assert chosen is not None and chosen.ad_id == 1
+        assert ext.stats.ads_replaced == 1
+
+    def test_size_mismatch_keeps_original(self):
+        ext = self._primed_extension([_ad(1, (728, 90))])
+        assert ext.on_ad_detected(minutes(12), (300, 250)) is None
+
+    def test_stale_list_not_used(self):
+        ext = self._primed_extension([_ad(1, (300, 250))])
+        late = minutes(10) + minutes(10) + minutes(5)  # > ttl past receipt
+        assert ext.on_ad_detected(late, (300, 250)) is None
+
+    def test_attempt_probability_zero_never_replaces(self):
+        ext = self._primed_extension(
+            [_ad(1, (300, 250))], attempt_prob=0.0
+        )
+        for _ in range(20):
+            assert ext.on_ad_detected(minutes(12), (300, 250)) is None
+
+    def test_empty_backend_list_keeps_old_list(self):
+        """A report returning no ads must not clear a previous list."""
+        backend = FakeBackend(ads=[_ad(1, (300, 250))])
+        ext = _extension(backend)
+        ext.on_request(_req(0.0))
+        ext.on_request(_req(minutes(10) + 1))      # list installed
+        backend.ads = []                            # backend goes quiet
+        ext.on_request(_req(minutes(20) + 1))      # second report: empty
+        # old list is stale by now, so no replacement — but no crash either
+        assert ext.on_ad_detected(minutes(21), (300, 250)) is None

@@ -1,0 +1,95 @@
+"""Tests for the traffic synthesizer (requests -> packets)."""
+
+import pytest
+
+from repro.netobs.capture import CaptureConfig, RESOLVER_IP, TrafficSynthesizer
+from repro.netobs.packets import IP_PROTO_TCP, IP_PROTO_UDP
+from repro.traffic.events import HostKind, Request
+
+
+def _req(host="a.example.com", user=0, t=0.0):
+    return Request(
+        user_id=user, timestamp=t, hostname=host,
+        kind=HostKind.SITE, site_domain=host,
+    )
+
+
+class TestClientAddressing:
+    def test_stable_client_ip(self):
+        synth = TrafficSynthesizer()
+        assert synth.client_ip(0) == synth.client_ip(0)
+        assert synth.client_ip(0) != synth.client_ip(1)
+
+    def test_subnet_layout(self):
+        synth = TrafficSynthesizer()
+        assert synth.client_ip(257) == "10.0.1.1"
+
+    def test_user_id_out_of_subnet(self):
+        synth = TrafficSynthesizer()
+        with pytest.raises(ValueError):
+            synth.client_ip(70_000)
+
+    def test_server_ip_stable_per_hostname(self):
+        synth = TrafficSynthesizer()
+        assert synth.server_ip("a.com") == synth.server_ip("a.com")
+        assert synth.server_ip("a.com") != synth.server_ip("b.com")
+
+
+class TestPacketsForRequest:
+    def test_tls_only_config(self):
+        config = CaptureConfig(
+            quic_fraction=0.0, dns_fraction=0.0, followup_packets=0
+        )
+        synth = TrafficSynthesizer(seed=0, config=config)
+        packets = synth.packets_for_request(_req())
+        assert len(packets) == 1
+        assert packets[0].protocol == IP_PROTO_TCP
+        assert packets[0].dst_port == 443
+
+    def test_quic_only_config(self):
+        config = CaptureConfig(
+            quic_fraction=1.0, dns_fraction=0.0, followup_packets=0
+        )
+        synth = TrafficSynthesizer(seed=0, config=config)
+        packets = synth.packets_for_request(_req())
+        assert len(packets) == 1
+        assert packets[0].protocol == IP_PROTO_UDP
+        assert packets[0].dst_port == 443
+
+    def test_dns_always(self):
+        config = CaptureConfig(
+            quic_fraction=0.0, dns_fraction=1.0, followup_packets=0
+        )
+        synth = TrafficSynthesizer(seed=0, config=config)
+        packets = synth.packets_for_request(_req())
+        assert packets[0].dst_ip == RESOLVER_IP
+        assert packets[0].dst_port == 53
+
+    def test_followups_share_flow(self):
+        config = CaptureConfig(
+            quic_fraction=0.0, dns_fraction=0.0, followup_packets=3
+        )
+        synth = TrafficSynthesizer(seed=0, config=config)
+        packets = synth.packets_for_request(_req())
+        assert len(packets) == 4
+        keys = {p.flow_key for p in packets}
+        assert len(keys) == 1
+
+    def test_timestamps_non_decreasing(self):
+        synth = TrafficSynthesizer(seed=0)
+        packets = synth.packets_for_request(_req(t=50.0))
+        times = [p.timestamp for p in packets]
+        assert times == sorted(times)
+        assert times[0] >= 50.0
+
+    def test_deterministic_given_seed(self):
+        reqs = [_req(t=float(i)) for i in range(5)]
+        a = list(TrafficSynthesizer(seed=9).synthesize(reqs))
+        b = list(TrafficSynthesizer(seed=9).synthesize(reqs))
+        assert a == b
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            CaptureConfig(quic_fraction=1.5).validate()
+        with pytest.raises(ValueError):
+            CaptureConfig(followup_packets=-1).validate()

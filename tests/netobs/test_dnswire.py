@@ -1,0 +1,104 @@
+"""Tests for the DNS query codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netobs.dnswire import (
+    DNSParseError,
+    QTYPE_A,
+    QTYPE_AAAA,
+    build_query,
+    decode_qname,
+    encode_qname,
+    parse_query,
+)
+
+hostnames = st.from_regex(
+    r"[a-z0-9]([a-z0-9-]{0,20}[a-z0-9])?(\.[a-z0-9]([a-z0-9-]{0,15}[a-z0-9])?){1,3}",
+    fullmatch=True,
+)
+
+
+class TestQname:
+    def test_roundtrip(self):
+        encoded = encode_qname("mail.google.com")
+        assert decode_qname(encoded) == ("mail.google.com", len(encoded))
+
+    def test_trailing_dot_stripped(self):
+        assert encode_qname("a.com.") == encode_qname("a.com")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            encode_qname("")
+
+    def test_long_label_rejected(self):
+        with pytest.raises(ValueError):
+            encode_qname("a" * 64 + ".com")
+
+    def test_long_name_rejected(self):
+        name = ".".join(["abcdefgh"] * 40)
+        with pytest.raises(ValueError):
+            encode_qname(name)
+
+    def test_compression_pointer_rejected(self):
+        with pytest.raises(DNSParseError, match="compression"):
+            decode_qname(b"\xc0\x0c")
+
+    def test_truncated_label(self):
+        with pytest.raises(DNSParseError):
+            decode_qname(b"\x05ab")
+
+    def test_missing_terminator(self):
+        with pytest.raises(DNSParseError):
+            decode_qname(b"\x02ab")
+
+    @given(hostnames)
+    def test_property_roundtrip(self, hostname):
+        encoded = encode_qname(hostname)
+        decoded, consumed = decode_qname(encoded)
+        assert decoded == hostname
+        assert consumed == len(encoded)
+
+
+class TestQuery:
+    def test_roundtrip(self):
+        query = build_query("www.example.com", query_id=42)
+        assert parse_query(query) == ("www.example.com", QTYPE_A)
+
+    def test_aaaa(self):
+        query = build_query("v6.example.com", qtype=QTYPE_AAAA)
+        assert parse_query(query)[1] == QTYPE_AAAA
+
+    def test_bad_query_id(self):
+        with pytest.raises(ValueError):
+            build_query("a.com", query_id=70_000)
+
+    def test_response_rejected(self):
+        query = bytearray(build_query("a.com"))
+        query[2] |= 0x80  # QR=1
+        with pytest.raises(DNSParseError, match="QR=1"):
+            parse_query(bytes(query))
+
+    def test_no_question_rejected(self):
+        query = bytearray(build_query("a.com"))
+        query[4:6] = b"\x00\x00"  # QDCOUNT = 0
+        with pytest.raises(DNSParseError, match="question"):
+            parse_query(bytes(query))
+
+    def test_truncated_header(self):
+        with pytest.raises(DNSParseError):
+            parse_query(b"\x00\x01")
+
+    def test_truncated_question(self):
+        query = build_query("a.com")
+        with pytest.raises(DNSParseError):
+            parse_query(query[:-3])
+
+    @given(st.binary(max_size=64))
+    def test_property_garbage_never_crashes(self, data):
+        try:
+            hostname, qtype = parse_query(data)
+        except DNSParseError:
+            return
+        assert isinstance(hostname, str) and isinstance(qtype, int)

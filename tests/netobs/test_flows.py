@@ -1,0 +1,137 @@
+"""Tests for the flow table (per-flow hostname dedup)."""
+
+import pytest
+
+from repro.netobs.flows import FlowTable
+from repro.netobs.packets import IP_PROTO_TCP, IP_PROTO_UDP, Packet
+from repro.netobs.quic import build_initial_packet
+from repro.netobs.tls import build_client_hello
+from repro.netobs.dnswire import build_query
+
+
+def _tls_packet(host, sport=50000, src="10.0.0.1", t=0.0):
+    return Packet(
+        src, "192.0.2.1", IP_PROTO_TCP, sport, 443,
+        build_client_hello(host), timestamp=t,
+    )
+
+
+class TestTLSFlows:
+    def test_first_hello_emits(self):
+        table = FlowTable()
+        event = table.observe(_tls_packet("a.example.com"))
+        assert event is not None
+        assert event.hostname == "a.example.com"
+        assert event.source == "tls-sni"
+        assert event.client_ip == "10.0.0.1"
+
+    def test_same_flow_emits_once(self):
+        table = FlowTable()
+        assert table.observe(_tls_packet("a.example.com")) is not None
+        # retransmission of the same ClientHello
+        assert table.observe(_tls_packet("a.example.com")) is None
+        assert table.stats.events_emitted == 1
+
+    def test_followup_data_ignored(self):
+        table = FlowTable()
+        table.observe(_tls_packet("a.example.com"))
+        data = Packet(
+            "10.0.0.1", "192.0.2.1", IP_PROTO_TCP, 50000, 443,
+            b"\x17\x03\x03\x00\x05hello",
+        )
+        assert table.observe(data) is None
+
+    def test_data_before_hello_keeps_waiting(self):
+        table = FlowTable()
+        data = Packet(
+            "10.0.0.1", "192.0.2.1", IP_PROTO_TCP, 50000, 443,
+            b"\x17\x03\x03\x00\x05hello",
+        )
+        assert table.observe(data) is None
+        # the handshake then arrives on the same flow and still emits
+        assert table.observe(_tls_packet("late.example.com")) is not None
+
+    def test_different_flows_both_emit(self):
+        table = FlowTable()
+        assert table.observe(_tls_packet("a.com", sport=1000)) is not None
+        assert table.observe(_tls_packet("b.com", sport=1001)) is not None
+
+    def test_hello_without_sni_counts_absent(self):
+        table = FlowTable()
+        packet = Packet(
+            "10.0.0.1", "192.0.2.1", IP_PROTO_TCP, 50000, 443,
+            build_client_hello(None),
+        )
+        assert table.observe(packet) is None
+        assert table.stats.sni_absent == 1
+
+    def test_malformed_hello_counts_failure(self):
+        table = FlowTable()
+        packet = Packet(
+            "10.0.0.1", "192.0.2.1", IP_PROTO_TCP, 50000, 443,
+            b"\x16\x03\x01\x00\x05trash",
+        )
+        assert table.observe(packet) is None
+        assert table.stats.parse_failures == 1
+
+    def test_non_https_port_ignored(self):
+        table = FlowTable()
+        packet = Packet(
+            "10.0.0.1", "192.0.2.1", IP_PROTO_TCP, 50000, 8080,
+            build_client_hello("a.com"),
+        )
+        assert table.observe(packet) is None
+
+
+class TestQUICFlows:
+    def test_initial_emits(self):
+        table = FlowTable()
+        packet = Packet(
+            "10.0.0.1", "192.0.2.1", IP_PROTO_UDP, 40000, 443,
+            build_initial_packet("q.example.com"),
+        )
+        event = table.observe(packet)
+        assert event.hostname == "q.example.com"
+        assert event.source == "quic-sni"
+
+    def test_same_flow_once(self):
+        table = FlowTable()
+        payload = build_initial_packet("q.example.com")
+        packet = Packet(
+            "10.0.0.1", "192.0.2.1", IP_PROTO_UDP, 40000, 443, payload,
+        )
+        assert table.observe(packet) is not None
+        assert table.observe(packet) is None
+
+
+class TestDNSFlows:
+    def test_query_emits(self):
+        table = FlowTable()
+        packet = Packet(
+            "10.0.0.1", "9.9.9.9", IP_PROTO_UDP, 1234, 53,
+            build_query("dns.example.com"),
+        )
+        event = table.observe(packet)
+        assert event.hostname == "dns.example.com"
+        assert event.source == "dns"
+
+    def test_dns_is_per_query_not_per_flow(self):
+        table = FlowTable()
+        for host in ("a.com", "b.com"):
+            packet = Packet(
+                "10.0.0.1", "9.9.9.9", IP_PROTO_UDP, 1234, 53,
+                build_query(host),
+            )
+            assert table.observe(packet).hostname == host
+
+
+class TestEviction:
+    def test_bounded_state(self):
+        table = FlowTable(max_flows=5)
+        for sport in range(10):
+            table.observe(_tls_packet("a.com", sport=sport))
+        assert table.stats.evictions == 5
+
+    def test_invalid_max_flows(self):
+        with pytest.raises(ValueError):
+            FlowTable(max_flows=0)

@@ -1,0 +1,102 @@
+"""Tests for the encrypted-SNI / IP-only vantage (paper Section 7.2)."""
+
+import pytest
+
+from repro.netobs.capture import TrafficSynthesizer
+from repro.netobs.flows import FlowTable
+from repro.netobs.observer import NetworkObserver, ObserverConfig
+from repro.netobs.packets import IP_PROTO_TCP, IP_PROTO_UDP, Packet
+from repro.netobs.tls import build_client_hello
+from repro.traffic.events import HostKind, Request
+
+
+def _tls_packet(host, sport=50000, dst="192.0.2.9"):
+    return Packet(
+        "10.0.0.1", dst, IP_PROTO_TCP, sport, 443,
+        build_client_hello(host),
+    )
+
+
+class TestIpOnlyFlowTable:
+    def test_emits_destination_address(self):
+        table = FlowTable(ip_only=True)
+        event = table.observe(_tls_packet("secret.example.com"))
+        assert event is not None
+        assert event.hostname == "ip:192.0.2.9"
+        assert event.source == "ip"
+
+    def test_hostname_never_leaks(self):
+        table = FlowTable(ip_only=True)
+        event = table.observe(_tls_packet("secret.example.com"))
+        assert "secret" not in event.hostname
+
+    def test_one_event_per_flow(self):
+        table = FlowTable(ip_only=True)
+        assert table.observe(_tls_packet("a.com")) is not None
+        assert table.observe(_tls_packet("a.com")) is None
+
+    def test_emits_even_without_clienthello(self):
+        """Encrypted SNI: any first packet of a 443 flow identifies the
+        destination, no parseable handshake needed."""
+        table = FlowTable(ip_only=True)
+        opaque = Packet(
+            "10.0.0.1", "192.0.2.9", IP_PROTO_UDP, 40000, 443,
+            b"\xff" * 50,  # unparseable (ESNI) bytes
+        )
+        event = table.observe(opaque)
+        assert event is not None
+        assert event.hostname == "ip:192.0.2.9"
+
+    def test_non_https_ignored(self):
+        table = FlowTable(ip_only=True)
+        packet = Packet(
+            "10.0.0.1", "192.0.2.9", IP_PROTO_TCP, 40000, 8080, b"x"
+        )
+        assert table.observe(packet) is None
+
+
+class TestIpVantageObserver:
+    def _requests(self):
+        return [
+            Request(
+                user_id=0, timestamp=float(i), hostname=h,
+                kind=HostKind.SITE, site_domain=h,
+            )
+            for i, h in enumerate(["a.example.com", "b.example.net"])
+        ]
+
+    def test_observer_collects_ip_tokens(self):
+        observer = NetworkObserver(ObserverConfig(vantage="ip"))
+        synth = TrafficSynthesizer(seed=1)
+        observer.ingest_many(synth.synthesize(self._requests()))
+        events = [
+            e for c in observer.clients for e in observer.events_for(c)
+        ]
+        assert events
+        assert all(e.hostname.startswith("ip:") for e in events)
+
+    def test_sni_vantage_rejects_ip_source(self):
+        observer = NetworkObserver(ObserverConfig(vantage="sni"))
+        assert observer.flow_table.ip_only is False
+
+
+class TestCdnIpPooling:
+    def test_cdn_hostnames_share_small_pool(self):
+        synth = TrafficSynthesizer()
+        addresses = {
+            synth.server_ip(f"x{i}-abcd-2.akamaihd.net") for i in range(100)
+        }
+        assert len(addresses) <= 8
+
+    def test_different_cdns_different_pools(self):
+        synth = TrafficSynthesizer()
+        a = synth.server_ip("x1-abcd-2.akamaihd.net")
+        b = synth.server_ip("x1-abcd-2.fastly.net")
+        assert a.rsplit(".", 1)[0] != b.rsplit(".", 1)[0]
+
+    def test_ordinary_sites_get_distinct_addresses(self):
+        synth = TrafficSynthesizer()
+        addresses = {
+            synth.server_ip(f"site{i}.example.com") for i in range(50)
+        }
+        assert len(addresses) > 45  # hash collisions possible but rare

@@ -1,0 +1,58 @@
+"""Tests for the NAT box."""
+
+import pytest
+
+from repro.netobs.nat import NatBox, NatExhaustionError
+from repro.netobs.packets import IP_PROTO_TCP, IP_PROTO_UDP, Packet
+
+
+def _packet(src="192.168.1.10", sport=5000, proto=IP_PROTO_TCP):
+    return Packet(src, "192.0.2.1", proto, sport, 443, b"x")
+
+
+class TestTranslation:
+    def test_source_rewritten(self):
+        nat = NatBox(public_ip="203.0.113.9")
+        out = nat.translate(_packet())
+        assert out.src_ip == "203.0.113.9"
+        assert out.dst_ip == "192.0.2.1"
+        assert out.payload == b"x"
+
+    def test_same_flow_same_port(self):
+        nat = NatBox()
+        a = nat.translate(_packet())
+        b = nat.translate(_packet())
+        assert a.src_port == b.src_port
+
+    def test_different_clients_different_ports(self):
+        nat = NatBox()
+        a = nat.translate(_packet(src="192.168.1.10"))
+        b = nat.translate(_packet(src="192.168.1.11"))
+        assert a.src_port != b.src_port
+
+    def test_same_port_different_protocols_mapped_separately(self):
+        nat = NatBox()
+        a = nat.translate(_packet(proto=IP_PROTO_TCP))
+        b = nat.translate(_packet(proto=IP_PROTO_UDP))
+        assert a.src_port != b.src_port
+
+    def test_translate_many(self):
+        nat = NatBox()
+        packets = [_packet(sport=p) for p in range(5)]
+        out = nat.translate_many(packets)
+        assert len(out) == 5
+        assert nat.stats.translated_packets == 5
+        assert nat.stats.active_mappings == 5
+
+
+class TestLimits:
+    def test_port_exhaustion(self):
+        nat = NatBox(port_range=(20000, 20002))
+        for port in range(3):
+            nat.translate(_packet(sport=port))
+        with pytest.raises(NatExhaustionError):
+            nat.translate(_packet(sport=99))
+
+    def test_invalid_port_range(self):
+        with pytest.raises(ValueError):
+            NatBox(port_range=(500, 100))

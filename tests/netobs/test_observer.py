@@ -1,0 +1,107 @@
+"""Tests for the network observer and its vantages."""
+
+import pytest
+
+from repro.netobs.capture import CaptureConfig, TrafficSynthesizer
+from repro.netobs.observer import NetworkObserver, ObserverConfig
+from repro.traffic.events import HostKind, Request
+
+
+def _requests(n_users=3, hosts=("a.example.com", "b.example.net")):
+    requests = []
+    for user in range(n_users):
+        for i, host in enumerate(hosts):
+            requests.append(
+                Request(
+                    user_id=user, timestamp=100.0 * i + user,
+                    hostname=host, kind=HostKind.SITE, site_domain=host,
+                )
+            )
+    return requests
+
+
+class TestVantages:
+    def test_invalid_vantage(self):
+        with pytest.raises(ValueError):
+            NetworkObserver(ObserverConfig(vantage="wifi"))
+
+    def test_sni_vantage_sees_all_requests(self):
+        requests = _requests()
+        observer = NetworkObserver(ObserverConfig(vantage="sni"))
+        synth = TrafficSynthesizer(seed=1)
+        observer.ingest_many(synth.synthesize(requests))
+        total = sum(len(observer.events_for(c)) for c in observer.clients)
+        assert total == len(requests)
+
+    def test_dns_vantage_sees_only_queries(self):
+        requests = _requests()
+        observer = NetworkObserver(ObserverConfig(vantage="dns"))
+        synth = TrafficSynthesizer(
+            seed=1, config=CaptureConfig(dns_fraction=1.0)
+        )
+        observer.ingest_many(synth.synthesize(requests))
+        for client in observer.clients:
+            assert all(
+                e.source == "dns" for e in observer.events_for(client)
+            )
+
+    def test_all_vantage_sees_both(self):
+        requests = _requests()
+        observer = NetworkObserver(ObserverConfig(vantage="all"))
+        synth = TrafficSynthesizer(
+            seed=1, config=CaptureConfig(dns_fraction=1.0)
+        )
+        observer.ingest_many(synth.synthesize(requests))
+        sources = {
+            e.source
+            for c in observer.clients
+            for e in observer.events_for(c)
+        }
+        assert "dns" in sources
+        assert sources & {"tls-sni", "quic-sni"}
+
+
+class TestSequences:
+    def test_clients_separated_by_ip(self):
+        requests = _requests(n_users=4)
+        observer = NetworkObserver()
+        synth = TrafficSynthesizer(seed=2)
+        observer.ingest_many(synth.synthesize(requests))
+        assert len(observer.clients) == 4
+
+    def test_client_sequences_time_ordered(self):
+        requests = sorted(_requests(), key=lambda r: r.timestamp)
+        observer = NetworkObserver()
+        synth = TrafficSynthesizer(seed=3)
+        observer.ingest_many(synth.synthesize(requests))
+        for client, seq in observer.client_sequences().items():
+            times = [t for t, _ in seq]
+            assert times == sorted(times)
+
+    def test_as_requests_default_mapping(self):
+        requests = _requests(n_users=2)
+        observer = NetworkObserver()
+        synth = TrafficSynthesizer(seed=4)
+        observer.ingest_many(synth.synthesize(requests))
+        streams = observer.as_requests()
+        assert set(streams) == {0, 1}
+        for user_id, stream in streams.items():
+            assert all(r.user_id == user_id for r in stream)
+
+    def test_as_requests_explicit_mapping(self):
+        requests = _requests(n_users=2)
+        observer = NetworkObserver()
+        synth = TrafficSynthesizer(seed=4)
+        observer.ingest_many(synth.synthesize(requests))
+        mapping = {observer.clients[0]: 99}
+        streams = observer.as_requests(mapping)
+        assert set(streams) == {99}
+
+    def test_ingest_bytes_roundtrip(self):
+        requests = _requests(n_users=1)
+        observer = NetworkObserver()
+        synth = TrafficSynthesizer(seed=5)
+        for packet in synth.synthesize(requests):
+            observer.ingest_bytes(packet.to_bytes(), packet.timestamp)
+        total = sum(len(observer.events_for(c)) for c in observer.clients)
+        assert total == len(requests)

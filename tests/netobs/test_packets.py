@@ -1,0 +1,125 @@
+"""Tests for IPv4/TCP/UDP packet codecs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netobs.packets import (
+    IP_PROTO_TCP,
+    IP_PROTO_UDP,
+    Packet,
+    PacketError,
+    bytes_to_ip,
+    checksum16,
+    ip_to_bytes,
+)
+
+ips = st.tuples(
+    st.integers(0, 255), st.integers(0, 255),
+    st.integers(0, 255), st.integers(0, 255),
+).map(lambda t: ".".join(map(str, t)))
+
+
+class TestAddresses:
+    def test_roundtrip(self):
+        assert bytes_to_ip(ip_to_bytes("10.1.2.3")) == "10.1.2.3"
+
+    @pytest.mark.parametrize("bad", ["1.2.3", "1.2.3.4.5", "a.b.c.d", "256.1.1.1"])
+    def test_invalid(self, bad):
+        with pytest.raises(PacketError):
+            ip_to_bytes(bad)
+
+
+class TestChecksum:
+    def test_verifies_to_zero(self):
+        data = bytes(range(20))
+        check = checksum16(data)
+        # inserting the checksum makes the total sum verify to 0
+        patched = data[:10] + check.to_bytes(2, "big") + data[12:]
+        # (only true when the checksum field starts zeroed)
+        data_zeroed = data[:10] + b"\x00\x00" + data[12:]
+        check2 = checksum16(data_zeroed)
+        patched = data_zeroed[:10] + check2.to_bytes(2, "big") + data_zeroed[12:]
+        assert checksum16(patched) == 0
+
+    def test_odd_length_padded(self):
+        assert isinstance(checksum16(b"\x01\x02\x03"), int)
+
+
+class TestPacketRoundTrip:
+    def test_tcp(self):
+        packet = Packet(
+            "10.0.0.1", "192.0.2.1", IP_PROTO_TCP, 50000, 443,
+            b"hello tls", timestamp=3.5,
+        )
+        parsed = Packet.from_bytes(packet.to_bytes(), timestamp=3.5)
+        assert parsed == packet
+
+    def test_udp(self):
+        packet = Packet(
+            "10.0.0.2", "9.9.9.9", IP_PROTO_UDP, 1234, 53, b"dns!",
+        )
+        parsed = Packet.from_bytes(packet.to_bytes())
+        assert parsed.payload == b"dns!"
+        assert parsed.src_port == 1234
+
+    def test_empty_payload(self):
+        packet = Packet("1.2.3.4", "5.6.7.8", IP_PROTO_UDP, 1, 2, b"")
+        assert Packet.from_bytes(packet.to_bytes()).payload == b""
+
+    @given(
+        ips, ips,
+        st.sampled_from([IP_PROTO_TCP, IP_PROTO_UDP]),
+        st.integers(0, 65535), st.integers(0, 65535),
+        st.binary(max_size=600),
+    )
+    def test_property_roundtrip(self, src, dst, proto, sport, dport, payload):
+        packet = Packet(src, dst, proto, sport, dport, payload)
+        parsed = Packet.from_bytes(packet.to_bytes())
+        assert parsed == packet
+
+
+class TestValidation:
+    def test_bad_protocol(self):
+        with pytest.raises(PacketError):
+            Packet("1.2.3.4", "5.6.7.8", 1, 0, 0, b"")  # ICMP unsupported
+
+    def test_bad_port(self):
+        with pytest.raises(PacketError):
+            Packet("1.2.3.4", "5.6.7.8", IP_PROTO_TCP, 70000, 0, b"")
+
+    def test_flow_keys(self):
+        packet = Packet("1.1.1.1", "2.2.2.2", IP_PROTO_TCP, 10, 20, b"")
+        assert packet.flow_key == ("1.1.1.1", "2.2.2.2", IP_PROTO_TCP, 10, 20)
+        assert packet.reversed_flow_key() == (
+            "2.2.2.2", "1.1.1.1", IP_PROTO_TCP, 20, 10,
+        )
+
+
+class TestParserRobustness:
+    def test_truncated_header(self):
+        with pytest.raises(PacketError):
+            Packet.from_bytes(b"\x45\x00")
+
+    def test_not_ipv4(self):
+        data = bytearray(
+            Packet("1.2.3.4", "5.6.7.8", IP_PROTO_TCP, 1, 2, b"x").to_bytes()
+        )
+        data[0] = 0x65  # version 6
+        with pytest.raises(PacketError, match="IPv4"):
+            Packet.from_bytes(bytes(data))
+
+    def test_corrupted_checksum_detected(self):
+        data = bytearray(
+            Packet("1.2.3.4", "5.6.7.8", IP_PROTO_TCP, 1, 2, b"x").to_bytes()
+        )
+        data[8] ^= 0xFF  # flip TTL without fixing the checksum
+        with pytest.raises(PacketError, match="checksum"):
+            Packet.from_bytes(bytes(data))
+
+    @given(st.binary(max_size=80))
+    def test_property_garbage_never_crashes(self, data):
+        try:
+            Packet.from_bytes(data)
+        except PacketError:
+            pass

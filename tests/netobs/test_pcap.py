@@ -1,0 +1,151 @@
+"""Tests for pcap reading/writing."""
+
+import struct
+
+import pytest
+
+from repro.netobs.capture import TrafficSynthesizer
+from repro.netobs.observer import NetworkObserver
+from repro.netobs.packets import IP_PROTO_TCP, IP_PROTO_UDP, Packet
+from repro.netobs.pcap import (
+    LINKTYPE_ETHERNET,
+    LINKTYPE_RAW,
+    PcapError,
+    PcapWriter,
+    read_pcap,
+    write_pcap,
+)
+from repro.netobs.tls import build_client_hello
+from repro.traffic.events import HostKind, Request
+
+
+def _packets(n=5):
+    return [
+        Packet(
+            "10.0.0.1", "192.0.2.1", IP_PROTO_TCP, 40000 + i, 443,
+            build_client_hello(f"host{i}.example.com"),
+            timestamp=100.0 + i * 0.5,
+        )
+        for i in range(n)
+    ]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "linktype", [LINKTYPE_RAW, LINKTYPE_ETHERNET]
+    )
+    def test_roundtrip(self, tmp_path, linktype):
+        path = tmp_path / "trace.pcap"
+        packets = _packets()
+        assert write_pcap(path, packets, linktype=linktype) == 5
+        loaded = list(read_pcap(path))
+        assert loaded == packets
+
+    def test_timestamps_preserved(self, tmp_path):
+        path = tmp_path / "trace.pcap"
+        packet = Packet(
+            "1.2.3.4", "5.6.7.8", IP_PROTO_UDP, 1, 2, b"x",
+            timestamp=1234.567891,
+        )
+        write_pcap(path, [packet])
+        loaded = next(read_pcap(path))
+        assert loaded.timestamp == pytest.approx(1234.567891, abs=1e-6)
+
+    def test_empty_capture(self, tmp_path):
+        path = tmp_path / "empty.pcap"
+        write_pcap(path, [])
+        assert list(read_pcap(path)) == []
+
+    def test_context_manager(self, tmp_path):
+        path = tmp_path / "cm.pcap"
+        with PcapWriter(path) as writer:
+            writer.write(_packets(1)[0])
+        assert writer.packets_written == 1
+        assert len(list(read_pcap(path))) == 1
+
+    def test_big_endian_accepted(self, tmp_path):
+        """Captures written on big-endian machines must parse."""
+        path = tmp_path / "be.pcap"
+        packet = _packets(1)[0]
+        payload = packet.to_bytes()
+        header = struct.pack(
+            ">IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, LINKTYPE_RAW
+        )
+        record = struct.pack(">IIII", 100, 0, len(payload), len(payload))
+        path.write_bytes(header + record + payload)
+        loaded = list(read_pcap(path))
+        assert len(loaded) == 1
+        assert loaded[0].src_ip == packet.src_ip
+
+
+class TestRobustness:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.pcap"
+        path.write_bytes(b"\x00" * 40)
+        with pytest.raises(PcapError, match="magic"):
+            list(read_pcap(path))
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "short.pcap"
+        path.write_bytes(b"\xd4\xc3\xb2\xa1")
+        with pytest.raises(PcapError, match="truncated"):
+            list(read_pcap(path))
+
+    def test_truncated_record(self, tmp_path):
+        path = tmp_path / "cut.pcap"
+        write_pcap(path, _packets(1))
+        data = path.read_bytes()
+        path.write_bytes(data[:-10])
+        with pytest.raises(PcapError, match="truncated packet"):
+            list(read_pcap(path))
+
+    def test_non_ip_ethernet_frames_skipped(self, tmp_path):
+        path = tmp_path / "arp.pcap"
+        header = struct.pack(
+            "<IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, LINKTYPE_ETHERNET
+        )
+        arp = b"\x02" * 12 + b"\x08\x06" + b"\x00" * 28  # ethertype ARP
+        record = struct.pack("<IIII", 1, 0, len(arp), len(arp))
+        path.write_bytes(header + record + arp)
+        assert list(read_pcap(path)) == []
+
+    def test_unsupported_linktype(self, tmp_path):
+        path = tmp_path / "lt.pcap"
+        header = struct.pack(
+            "<IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 113  # SLL
+        )
+        path.write_bytes(header)
+        with pytest.raises(PcapError, match="linktype"):
+            list(read_pcap(path))
+
+    def test_writer_rejects_unknown_linktype(self, tmp_path):
+        with pytest.raises(ValueError):
+            PcapWriter(tmp_path / "x.pcap", linktype=999)
+
+
+class TestObserverFromPcap:
+    def test_capture_to_pcap_to_profiles(self, tmp_path):
+        """The full offline workflow: synthesize -> pcap -> observer."""
+        requests = [
+            Request(
+                user_id=0, timestamp=float(i * 10),
+                hostname=f"site{i}.example.com",
+                kind=HostKind.SITE, site_domain=f"site{i}.example.com",
+            )
+            for i in range(4)
+        ]
+        synthesizer = TrafficSynthesizer(seed=8)
+        path = tmp_path / "capture.pcap"
+        write_pcap(
+            path, synthesizer.synthesize(requests),
+            linktype=LINKTYPE_ETHERNET,
+        )
+        observer = NetworkObserver()
+        for packet in read_pcap(path):
+            observer.ingest(packet)
+        hostnames = {
+            e.hostname
+            for c in observer.clients
+            for e in observer.events_for(c)
+        }
+        assert hostnames == {r.hostname for r in requests}

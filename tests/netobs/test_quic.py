@@ -1,0 +1,101 @@
+"""Tests for QUIC Initial building/parsing and varints."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netobs.quic import (
+    QUICParseError,
+    build_initial_packet,
+    decode_varint,
+    encode_varint,
+    parse_initial_sni,
+)
+
+
+class TestVarint:
+    @pytest.mark.parametrize(
+        ("value", "length"),
+        [(0, 1), (63, 1), (64, 2), (16383, 2), (16384, 4),
+         (2**30 - 1, 4), (2**30, 8), (2**62 - 1, 8)],
+    )
+    def test_encoding_lengths(self, value, length):
+        assert len(encode_varint(value)) == length
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            encode_varint(2**62)
+        with pytest.raises(ValueError):
+            encode_varint(-1)
+
+    def test_truncated_decode(self):
+        with pytest.raises(QUICParseError):
+            decode_varint(b"")
+        with pytest.raises(QUICParseError):
+            decode_varint(b"\x40")  # 2-byte varint, 1 byte present
+
+    @given(st.integers(min_value=0, max_value=2**62 - 1))
+    def test_property_roundtrip(self, value):
+        encoded = encode_varint(value)
+        decoded, consumed = decode_varint(encoded)
+        assert decoded == value
+        assert consumed == len(encoded)
+
+    @given(st.integers(min_value=0, max_value=2**62 - 1), st.binary(max_size=8))
+    def test_property_roundtrip_with_suffix(self, value, suffix):
+        encoded = encode_varint(value) + suffix
+        decoded, consumed = decode_varint(encoded)
+        assert decoded == value
+        assert consumed == len(encoded) - len(suffix)
+
+
+class TestInitialPackets:
+    def test_roundtrip(self):
+        packet = build_initial_packet("quic.example.com")
+        assert parse_initial_sni(packet) == "quic.example.com"
+
+    def test_padded_to_1200(self):
+        assert len(build_initial_packet("a.com")) == 1200
+
+    def test_no_sni(self):
+        packet = build_initial_packet(None)
+        assert parse_initial_sni(packet) is None
+
+    def test_custom_cids(self):
+        packet = build_initial_packet(
+            "b.example.net", dcid=b"\x01" * 20, scid=b""
+        )
+        assert parse_initial_sni(packet) == "b.example.net"
+
+    def test_oversized_cid_rejected(self):
+        with pytest.raises(ValueError):
+            build_initial_packet("a.com", dcid=b"\x00" * 21)
+
+    def test_short_header_rejected(self):
+        packet = b"\x40" + bytes(30)
+        with pytest.raises(QUICParseError, match="long-header"):
+            parse_initial_sni(packet)
+
+    def test_non_initial_rejected(self):
+        packet = bytearray(build_initial_packet("a.com"))
+        packet[0] = 0x80 | 0x40 | (2 << 4)  # handshake packet type
+        with pytest.raises(QUICParseError, match="Initial"):
+            parse_initial_sni(bytes(packet))
+
+    def test_unknown_version_rejected(self):
+        packet = bytearray(build_initial_packet("a.com"))
+        packet[1:5] = b"\xde\xad\xbe\xef"
+        with pytest.raises(QUICParseError, match="version"):
+            parse_initial_sni(bytes(packet))
+
+    def test_empty_datagram(self):
+        with pytest.raises(QUICParseError):
+            parse_initial_sni(b"")
+
+    @given(st.binary(max_size=100))
+    def test_property_garbage_never_crashes(self, data):
+        try:
+            result = parse_initial_sni(data)
+        except QUICParseError:
+            return
+        assert result is None or isinstance(result, str)

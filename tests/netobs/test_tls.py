@@ -1,0 +1,100 @@
+"""Tests for TLS ClientHello building and SNI parsing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netobs.tls import (
+    TLSParseError,
+    build_client_hello,
+    build_sni_extension,
+    parse_client_hello_sni,
+)
+
+hostnames = st.from_regex(
+    r"[a-z0-9]([a-z0-9-]{0,20}[a-z0-9])?(\.[a-z0-9]([a-z0-9-]{0,15}[a-z0-9])?){1,3}",
+    fullmatch=True,
+)
+
+
+class TestRoundTrip:
+    def test_basic(self):
+        record = build_client_hello("www.example.com")
+        assert parse_client_hello_sni(record) == "www.example.com"
+
+    def test_no_sni(self):
+        record = build_client_hello(None)
+        assert parse_client_hello_sni(record) is None
+
+    def test_with_session_id(self):
+        record = build_client_hello(
+            "a.example.org", session_id=bytes(range(32))
+        )
+        assert parse_client_hello_sni(record) == "a.example.org"
+
+    def test_with_unknown_extra_extension(self):
+        # ALPN-ish unknown extension must be skipped gracefully.
+        extra = b"\x00\x10" + b"\x00\x03" + b"h2!"
+        record = build_client_hello("x.test.com", extra_extensions=extra)
+        assert parse_client_hello_sni(record) == "x.test.com"
+
+    def test_sni_after_unknown_extension(self):
+        extra = build_sni_extension("late.example.com")
+        record = build_client_hello(None, extra_extensions=extra)
+        assert parse_client_hello_sni(record) == "late.example.com"
+
+    @given(hostnames)
+    def test_property_roundtrip(self, hostname):
+        assert parse_client_hello_sni(build_client_hello(hostname)) == hostname
+
+
+class TestBuilderValidation:
+    def test_bad_random_length(self):
+        with pytest.raises(ValueError):
+            build_client_hello("a.com", random_bytes=b"\x00" * 31)
+
+    def test_bad_session_id(self):
+        with pytest.raises(ValueError):
+            build_client_hello("a.com", session_id=bytes(33))
+
+
+class TestParserRobustness:
+    def test_not_handshake_record(self):
+        record = bytearray(build_client_hello("a.com"))
+        record[0] = 23  # application data
+        with pytest.raises(TLSParseError, match="not a handshake"):
+            parse_client_hello_sni(bytes(record))
+
+    def test_not_client_hello(self):
+        record = bytearray(build_client_hello("a.com"))
+        record[5] = 2  # ServerHello
+        with pytest.raises(TLSParseError, match="not a ClientHello"):
+            parse_client_hello_sni(bytes(record))
+
+    def test_truncated_record(self):
+        record = build_client_hello("a.com")
+        with pytest.raises(TLSParseError, match="truncated"):
+            parse_client_hello_sni(record[:20])
+
+    def test_empty_input(self):
+        with pytest.raises(TLSParseError):
+            parse_client_hello_sni(b"")
+
+    @given(st.binary(max_size=200))
+    def test_property_garbage_never_crashes(self, data):
+        """Arbitrary bytes either parse or raise TLSParseError — nothing
+        else (no IndexError/struct.error escapes to the caller)."""
+        try:
+            result = parse_client_hello_sni(data)
+        except TLSParseError:
+            return
+        assert result is None or isinstance(result, str)
+
+    @given(st.integers(min_value=0, max_value=120), hostnames)
+    def test_property_truncation_never_crashes(self, cut, hostname):
+        record = build_client_hello(hostname)
+        data = record[: len(record) - cut]
+        try:
+            parse_client_hello_sni(data)
+        except TLSParseError:
+            pass

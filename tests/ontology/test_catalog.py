@@ -1,0 +1,76 @@
+"""Tests pinning the reference catalog to the paper's exact counts."""
+
+import pytest
+
+from repro.ontology.catalog import (
+    EXPECTED_RAW_CATEGORIES,
+    EXPECTED_TOP_LEVEL,
+    EXPECTED_TRUNCATED_CATEGORIES,
+    VERTICALS,
+)
+from repro.ontology import build_default_taxonomy
+
+
+@pytest.fixture(scope="module")
+def tax():
+    return build_default_taxonomy()
+
+
+class TestPaperCounts:
+    def test_raw_category_count_is_1397(self, tax):
+        assert len(tax) == EXPECTED_RAW_CATEGORIES == 1397
+
+    def test_truncated_count_is_328(self, tax):
+        assert tax.num_truncated == EXPECTED_TRUNCATED_CATEGORIES == 328
+
+    def test_top_level_count_is_34(self, tax):
+        assert len(tax.top_level()) == EXPECTED_TOP_LEVEL == 34
+
+    def test_telecom_has_exactly_two_subcategories(self, tax):
+        # "category Telecom only has two subcategories"
+        telecom = tax.by_name("Internet & Telecom")
+        assert len(tax.descendants(telecom)) == 2
+        assert tax.max_depth(telecom) == 2
+
+    def test_computers_has_123_subcategories_in_5_levels(self, tax):
+        # "Computers & Electronics has 123 subcategories organized in a
+        # 5-level hierarchy"
+        ce = tax.by_name("Computers & Electronics")
+        assert len(tax.descendants(ce)) == 123
+        assert tax.max_depth(ce) == 5
+
+
+class TestCatalogConsistency:
+    def test_vertical_names_unique(self):
+        names = [name for name, _, _, _ in VERTICALS]
+        assert len(names) == len(set(names))
+
+    def test_level2_counts_sum_to_294(self):
+        assert sum(len(subs) for _, subs, _, _ in VERTICALS) == 294
+
+    def test_deeper_budgets_sum_to_1069(self):
+        assert sum(budget for _, _, budget, _ in VERTICALS) == 1069
+
+    def test_every_vertical_reaches_declared_depth(self, tax):
+        for name, _subs, budget, max_depth in VERTICALS:
+            vertical = tax.by_name(name)
+            actual = tax.max_depth(vertical)
+            if budget > 0:
+                assert actual == max_depth, name
+            else:
+                assert actual <= max_depth, name
+
+    def test_all_category_names_unique(self, tax):
+        names = [c.name for c in tax]
+        assert len(names) == len(set(names))
+
+    def test_build_is_deterministic(self, tax):
+        again = build_default_taxonomy()
+        assert [c.name for c in again] == [c.name for c in tax]
+        assert [c.parent_id for c in again] == [c.parent_id for c in tax]
+
+    def test_no_orphan_categories(self, tax):
+        for category in tax:
+            path = tax.path(category)
+            assert path[0].level == 1
+            assert path[-1] is category

@@ -1,0 +1,119 @@
+"""Tests for the coverage-limited ontology labeler."""
+
+import numpy as np
+import pytest
+
+from repro.ontology import OntologyLabeler, build_default_taxonomy
+from repro.utils.randomness import derive_rng
+
+
+@pytest.fixture(scope="module")
+def tax():
+    return build_default_taxonomy()
+
+
+def _ground_truth(tax, n=50):
+    cats = tax.truncated_categories()
+    return {
+        f"site{i}.com": [(cats[i % len(cats)], 1.0)] for i in range(n)
+    }
+
+
+class TestCoverage:
+    def test_target_fraction_of_universe(self, tax):
+        labeler = OntologyLabeler(tax, coverage=0.10)
+        truth = _ground_truth(tax, 80)
+        labels = labeler.build_labelled_set(
+            truth, universe_size=400, rng=derive_rng(0, "t")
+        )
+        assert len(labels) == 40  # 10% of 400
+        assert labeler.stats.coverage == pytest.approx(0.10)
+
+    def test_capped_at_labelable_set(self, tax):
+        labeler = OntologyLabeler(tax, coverage=0.9)
+        truth = _ground_truth(tax, 10)
+        labels = labeler.build_labelled_set(
+            truth, universe_size=1000, rng=derive_rng(0, "t")
+        )
+        assert len(labels) == 10
+
+    def test_zero_coverage(self, tax):
+        labeler = OntologyLabeler(tax, coverage=0.0)
+        labels = labeler.build_labelled_set(
+            _ground_truth(tax, 10), universe_size=100, rng=derive_rng(0, "t")
+        )
+        assert labels == {}
+
+    def test_universe_smaller_than_labelable_rejected(self, tax):
+        labeler = OntologyLabeler(tax)
+        with pytest.raises(ValueError):
+            labeler.build_labelled_set(
+                _ground_truth(tax, 10), universe_size=5,
+                rng=derive_rng(0, "t"),
+            )
+
+    def test_invalid_coverage_rejected(self, tax):
+        with pytest.raises(ValueError):
+            OntologyLabeler(tax, coverage=1.5)
+        with pytest.raises(ValueError):
+            OntologyLabeler(tax, popularity_bias=-1)
+
+
+class TestPopularityBias:
+    def test_popular_hosts_labelled_more_often(self, tax):
+        truth = _ground_truth(tax, 100)
+        hosts = sorted(truth)
+        popularity = {h: (1000.0 if i < 10 else 0.1) for i, h in enumerate(hosts)}
+        hits = 0
+        for trial in range(30):
+            labeler = OntologyLabeler(tax, coverage=0.05, popularity_bias=1.0)
+            labels = labeler.build_labelled_set(
+                truth, universe_size=200,
+                rng=derive_rng(trial, "bias"),
+                popularity=popularity,
+            )
+            hits += sum(1 for h in hosts[:10] if h in labels)
+        # 10 labels per trial; popular decile should dominate selections.
+        assert hits > 30 * 10 * 0.5
+
+    def test_zero_bias_is_uniform_selection(self, tax):
+        truth = _ground_truth(tax, 100)
+        labeler = OntologyLabeler(tax, coverage=0.05, popularity_bias=0.0)
+        labels = labeler.build_labelled_set(
+            truth, universe_size=200, rng=derive_rng(0, "u"),
+            popularity={h: 99.0 for h in truth},
+        )
+        assert len(labels) == 10
+
+
+class TestQueryInterface:
+    def test_query_known_host_returns_copy(self, tax):
+        labeler = OntologyLabeler(tax, coverage=1.0)
+        labeler.build_labelled_set(
+            _ground_truth(tax, 5), universe_size=5, rng=derive_rng(0, "q")
+        )
+        host = labeler.labelled_hosts[0]
+        vec = labeler.query(host)
+        vec[:] = 99.0
+        assert labeler.query(host).max() <= 1.0  # internal state untouched
+
+    def test_query_unknown_returns_none(self, tax):
+        labeler = OntologyLabeler(tax, coverage=1.0)
+        labeler.build_labelled_set(
+            _ground_truth(tax, 5), universe_size=5, rng=derive_rng(0, "q")
+        )
+        assert labeler.query("unknown.example") is None
+        assert not labeler.knows("unknown.example")
+
+    def test_stats_before_build_raises(self, tax):
+        with pytest.raises(RuntimeError):
+            OntologyLabeler(tax).stats
+
+    def test_vectors_live_in_truncated_space(self, tax):
+        labeler = OntologyLabeler(tax, coverage=1.0)
+        labels = labeler.build_labelled_set(
+            _ground_truth(tax, 5), universe_size=5, rng=derive_rng(0, "q")
+        )
+        for vec in labels.values():
+            assert vec.shape == (tax.num_truncated,)
+            assert ((vec >= 0) & (vec <= 1)).all()

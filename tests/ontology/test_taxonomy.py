@@ -1,0 +1,125 @@
+"""Tests for the category taxonomy and its level-2 truncation."""
+
+import numpy as np
+import pytest
+
+from repro.ontology.taxonomy import Taxonomy
+
+
+@pytest.fixture()
+def small_taxonomy():
+    t = Taxonomy()
+    travel = t.add("Travel")
+    air = t.add("Air Travel", parent=travel)
+    t.add("Budget Airlines", parent=air)
+    t.add("Hotels", parent=travel)
+    sports = t.add("Sports")
+    t.add("Soccer", parent=sports)
+    return t
+
+
+class TestStructure:
+    def test_levels(self, small_taxonomy):
+        assert small_taxonomy.by_name("Travel").level == 1
+        assert small_taxonomy.by_name("Air Travel").level == 2
+        assert small_taxonomy.by_name("Budget Airlines").level == 3
+
+    def test_duplicate_name_rejected(self, small_taxonomy):
+        with pytest.raises(ValueError, match="duplicate"):
+            small_taxonomy.add("Travel")
+
+    def test_unknown_name_raises(self, small_taxonomy):
+        with pytest.raises(KeyError):
+            small_taxonomy.by_name("Cooking")
+
+    def test_children(self, small_taxonomy):
+        travel = small_taxonomy.by_name("Travel")
+        names = {c.name for c in small_taxonomy.children(travel)}
+        assert names == {"Air Travel", "Hotels"}
+
+    def test_top_level(self, small_taxonomy):
+        assert [c.name for c in small_taxonomy.top_level()] == [
+            "Travel", "Sports",
+        ]
+
+    def test_path(self, small_taxonomy):
+        budget = small_taxonomy.by_name("Budget Airlines")
+        assert [c.name for c in small_taxonomy.path(budget)] == [
+            "Travel", "Air Travel", "Budget Airlines",
+        ]
+
+    def test_descendants(self, small_taxonomy):
+        travel = small_taxonomy.by_name("Travel")
+        names = {c.name for c in small_taxonomy.descendants(travel)}
+        assert names == {"Air Travel", "Budget Airlines", "Hotels"}
+
+    def test_max_depth(self, small_taxonomy):
+        assert small_taxonomy.max_depth(small_taxonomy.by_name("Travel")) == 3
+        assert small_taxonomy.max_depth(small_taxonomy.by_name("Sports")) == 2
+
+
+class TestTruncation:
+    def test_truncated_count_excludes_level3(self, small_taxonomy):
+        # Travel, Air Travel, Hotels, Sports, Soccer (not Budget Airlines)
+        assert small_taxonomy.num_truncated == 5
+
+    def test_truncate_maps_to_level2_ancestor(self, small_taxonomy):
+        budget = small_taxonomy.by_name("Budget Airlines")
+        assert small_taxonomy.truncate(budget).name == "Air Travel"
+
+    def test_truncate_identity_below_level3(self, small_taxonomy):
+        air = small_taxonomy.by_name("Air Travel")
+        assert small_taxonomy.truncate(air) is air
+
+    def test_truncated_indices_dense_and_unique(self, small_taxonomy):
+        indices = [
+            small_taxonomy.truncated_index(c)
+            for c in small_taxonomy.truncated_categories()
+        ]
+        assert sorted(indices) == list(range(small_taxonomy.num_truncated))
+
+    def test_deep_category_shares_index_with_ancestor(self, small_taxonomy):
+        budget = small_taxonomy.by_name("Budget Airlines")
+        air = small_taxonomy.by_name("Air Travel")
+        assert small_taxonomy.truncated_index(
+            budget
+        ) == small_taxonomy.truncated_index(air)
+
+    def test_top_level_index_of(self, small_taxonomy):
+        soccer_idx = small_taxonomy.truncated_index(
+            small_taxonomy.by_name("Soccer")
+        )
+        assert small_taxonomy.top_level_index_of(soccer_idx) == 1  # Sports
+
+
+class TestVectors:
+    def test_vector_places_importance(self, small_taxonomy):
+        hotels = small_taxonomy.by_name("Hotels")
+        vec = small_taxonomy.vector([(hotels, 0.8)])
+        assert vec.shape == (small_taxonomy.num_truncated,)
+        assert vec[small_taxonomy.truncated_index(hotels)] == 0.8
+        assert vec.sum() == pytest.approx(0.8)
+
+    def test_vector_deep_category_lands_on_ancestor(self, small_taxonomy):
+        budget = small_taxonomy.by_name("Budget Airlines")
+        air = small_taxonomy.by_name("Air Travel")
+        vec = small_taxonomy.vector([(budget, 1.0)])
+        assert vec[small_taxonomy.truncated_index(air)] == 1.0
+
+    def test_vector_caps_at_one(self, small_taxonomy):
+        air = small_taxonomy.by_name("Air Travel")
+        budget = small_taxonomy.by_name("Budget Airlines")
+        vec = small_taxonomy.vector([(air, 0.9), (budget, 0.9)])
+        assert vec.max() == 1.0
+
+    def test_vector_rejects_out_of_range_importance(self, small_taxonomy):
+        air = small_taxonomy.by_name("Air Travel")
+        with pytest.raises(ValueError):
+            small_taxonomy.vector([(air, 1.5)])
+
+    def test_vector_components_in_unit_interval(self, small_taxonomy):
+        pairs = [
+            (c, 0.9) for c in small_taxonomy.truncated_categories()
+        ]
+        vec = small_taxonomy.vector(pairs)
+        assert ((vec >= 0) & (vec <= 1)).all()

@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["experiment", "--scale", "small"],
+            ["diversity", "--users", "10"],
+            ["train", "--output", "x.npz"],
+            ["neighbours", "v.npz", "a.com"],
+            ["synthesize", "--output", "c.pcap"],
+            ["observe", "c.pcap", "--vantage", "dns"],
+        ],
+    )
+    def test_known_commands_parse(self, argv):
+        args = build_parser().parse_args(argv)
+        assert callable(args.func)
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile-the-world"])
+
+
+class TestCommands:
+    """End-to-end CLI runs on tiny worlds (seconds each)."""
+
+    WORLD = ["--seed", "5", "--sites", "120", "--users", "12", "--days", "1"]
+
+    def test_diversity(self, capsys):
+        assert main(["diversity", *self.WORLD]) == 0
+        out = capsys.readouterr().out
+        assert "Core 80" in out
+        assert "75% of users" in out
+
+    def test_train_npz_and_neighbours(self, tmp_path, capsys):
+        out_path = tmp_path / "emb.npz"
+        assert main(
+            ["train", *self.WORLD, "--epochs", "3",
+             "--output", str(out_path)]
+        ) == 0
+        assert out_path.exists()
+        # query a hostname that certainly exists: read it from the file
+        from repro.core import HostnameEmbeddings
+
+        embeddings = HostnameEmbeddings.load(out_path)
+        host = embeddings.vocabulary.host_of(0)
+        capsys.readouterr()
+        assert main(["neighbours", str(out_path), host, "-n", "3"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3
+
+    def test_train_word2vec_format(self, tmp_path, capsys):
+        out_path = tmp_path / "emb.txt"
+        assert main(
+            ["train", *self.WORLD, "--epochs", "3",
+             "--output", str(out_path)]
+        ) == 0
+        first_line = out_path.read_text().splitlines()[0]
+        count, dim = first_line.split()
+        assert int(count) > 0 and int(dim) == 100
+
+    def test_neighbours_unknown_host(self, tmp_path, capsys):
+        out_path = tmp_path / "emb.npz"
+        main(["train", *self.WORLD, "--epochs", "2",
+              "--output", str(out_path)])
+        capsys.readouterr()
+        assert main(
+            ["neighbours", str(out_path), "not-a-host.example"]
+        ) == 1
+
+    def test_synthesize_then_observe(self, tmp_path, capsys):
+        pcap = tmp_path / "capture.pcap"
+        assert main(
+            ["synthesize", *self.WORLD, "--output", str(pcap)]
+        ) == 0
+        assert pcap.exists()
+        capsys.readouterr()
+        assert main(["observe", str(pcap)]) == 0
+        out = capsys.readouterr().out
+        assert "hostname events" in out
+        assert "10.0." in out  # per-client lines
+
+    def test_observe_ip_vantage(self, tmp_path, capsys):
+        pcap = tmp_path / "capture.pcap"
+        main(["synthesize", *self.WORLD, "--output", str(pcap)])
+        capsys.readouterr()
+        assert main(["observe", str(pcap), "--vantage", "ip"]) == 0
+        assert "ip:" in capsys.readouterr().out

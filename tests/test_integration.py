@@ -1,0 +1,144 @@
+"""Cross-module integration tests.
+
+The most important one walks the *entire* eavesdropper path at byte level:
+synthetic browsing -> real packets -> SNI extraction -> per-client
+sequences -> SGNS training -> session profiling, and verifies the profile
+matches what the user was actually doing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ads.clicks import affinity
+from repro.core import (
+    NetworkObserverProfiler,
+    PipelineConfig,
+    SkipGramConfig,
+    sequences_from_requests,
+)
+from repro.netobs import (
+    CaptureConfig,
+    NatBox,
+    NetworkObserver,
+    ObserverConfig,
+    TrafficSynthesizer,
+)
+from repro.utils.timeutils import minutes
+
+
+class TestWireToProfile:
+    @pytest.fixture(scope="class")
+    def observed(self, trace):
+        """Run day 0+1 traffic through the packet pipeline."""
+        observer = NetworkObserver(ObserverConfig(vantage="sni"))
+        synthesizer = TrafficSynthesizer(seed=3)
+        for day in (0, 1):
+            for request in trace.day(day):
+                for packet in synthesizer.packets_for_request(request):
+                    observer.ingest(packet)
+        return observer, synthesizer
+
+    def test_observer_sees_every_request_exactly_once(
+        self, observed, trace
+    ):
+        observer, _ = observed
+        total_requests = len(trace.day(0)) + len(trace.day(1))
+        total_events = sum(
+            len(observer.events_for(c)) for c in observer.clients
+        )
+        assert total_events == total_requests
+
+    def test_observed_hostnames_match_trace(self, observed, trace):
+        observer, synthesizer = observed
+        trace_hosts = {
+            r.hostname for day in (0, 1) for r in trace.day(day)
+        }
+        observed_hosts = {
+            e.hostname
+            for c in observer.clients
+            for e in observer.events_for(c)
+        }
+        assert observed_hosts == trace_hosts
+
+    def test_profile_from_wire_matches_ground_truth(
+        self, observed, trace, web, labelled
+    ):
+        observer, synthesizer = observed
+        # map client IPs back to user ids (the experimenter's ground truth)
+        user_of_client = {
+            synthesizer.client_ip(u): u for u in trace.user_ids()
+        }
+        streams = observer.as_requests(user_of_client)
+
+        profiler = NetworkObserverProfiler(
+            labelled,
+            config=PipelineConfig(skipgram=SkipGramConfig(epochs=6, seed=0)),
+        )
+        corpus = []
+        for _, stream in sorted(streams.items()):
+            corpus.extend(sequences_from_requests(stream))
+        profiler.train_on_sequences(corpus)
+
+        scores = []
+        for user_id, stream in sorted(streams.items())[:15]:
+            now = stream[-1].timestamp
+            profile = profiler.profile_user(stream, now)
+            if profile.is_empty:
+                continue
+            window_hosts = [
+                r.hostname
+                for r in stream
+                if now - minutes(20) < r.timestamp <= now
+            ]
+            true_vectors = [
+                web.true_category_vector(h) for h in window_hosts
+            ]
+            true_vectors = [v for v in true_vectors if v is not None]
+            if not true_vectors:
+                continue
+            oracle = np.mean(true_vectors, axis=0)
+            scores.append(affinity(oracle, profile.categories))
+        assert len(scores) >= 5
+        assert float(np.mean(scores)) > 0.3
+
+
+class TestNatDegradation:
+    def test_nat_merges_users_into_one_client(self, trace):
+        requests = trace.day(0)[:400]
+        synthesizer = TrafficSynthesizer(seed=4)
+        nat = NatBox()
+        observer = NetworkObserver(ObserverConfig(vantage="sni"))
+        for request in requests:
+            for packet in synthesizer.packets_for_request(request):
+                observer.ingest(nat.translate(packet))
+        assert len(observer.clients) == 1
+        merged = observer.events_for(observer.clients[0])
+        # everything is attributed to one pseudo-user
+        assert len(merged) == len(
+            [r for r in requests]
+        )
+
+
+class TestDnsVantageEquivalence:
+    def test_dns_observer_sees_same_hostnames(self, trace):
+        requests = trace.day(0)[:300]
+        config = CaptureConfig(dns_fraction=1.0)
+        synthesizer = TrafficSynthesizer(seed=5, config=config)
+        sni_obs = NetworkObserver(ObserverConfig(vantage="sni"))
+        dns_obs = NetworkObserver(ObserverConfig(vantage="dns"))
+        for request in requests:
+            for packet in synthesizer.packets_for_request(request):
+                sni_obs.ingest(packet)
+        synthesizer2 = TrafficSynthesizer(seed=5, config=config)
+        for request in requests:
+            for packet in synthesizer2.packets_for_request(request):
+                dns_obs.ingest(packet)
+        sni_hosts = {
+            e.hostname for c in sni_obs.clients
+            for e in sni_obs.events_for(c)
+        }
+        dns_hosts = {
+            e.hostname for c in dns_obs.clients
+            for e in dns_obs.events_for(c)
+        }
+        assert dns_hosts == sni_hosts

@@ -1,0 +1,196 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These encode the invariants listed in DESIGN.md §5 against randomly
+generated small worlds — embedding spaces, label sets and sessions are
+drawn by hypothesis, so the invariants must hold for *any* shape of
+input, not just the fixtures the unit tests use.
+"""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.embeddings import HostnameEmbeddings
+from repro.core.profiler import SessionProfiler
+from repro.core.session import first_visits
+from repro.core.vocabulary import Vocabulary
+
+N_CATEGORIES = 6
+
+
+@st.composite
+def embedding_spaces(draw):
+    """A small random embedding space with a random labelled subset."""
+    n_hosts = draw(st.integers(min_value=3, max_value=12))
+    dim = draw(st.integers(min_value=2, max_value=6))
+    hosts = [f"h{i}.example" for i in range(n_hosts)]
+    counts = Counter(
+        {h: draw(st.integers(min_value=1, max_value=50)) for h in hosts}
+    )
+    matrix = np.array(
+        [
+            [
+                draw(
+                    st.floats(
+                        min_value=-1.0, max_value=1.0,
+                        allow_nan=False, allow_infinity=False,
+                    )
+                )
+                for _ in range(dim)
+            ]
+            for _ in range(n_hosts)
+        ]
+    )
+    # avoid fully degenerate all-zero spaces
+    matrix[0, 0] += 1.0
+    vocabulary = Vocabulary(counts)
+    embeddings = HostnameEmbeddings(matrix, vocabulary)
+
+    n_labelled = draw(st.integers(min_value=1, max_value=n_hosts))
+    labelled_hosts = draw(
+        st.permutations(hosts).map(lambda p: p[:n_labelled])
+    )
+    labelled = {}
+    for host in labelled_hosts:
+        vector = np.zeros(N_CATEGORIES)
+        category = draw(st.integers(0, N_CATEGORIES - 1))
+        vector[category] = draw(
+            st.floats(min_value=0.1, max_value=1.0, allow_nan=False)
+        )
+        labelled[host] = vector
+    return embeddings, labelled
+
+
+@st.composite
+def sessions_for(draw, hosts):
+    size = draw(st.integers(min_value=0, max_value=8))
+    return [
+        draw(st.sampled_from(hosts + ["unknown.example"]))
+        for _ in range(size)
+    ]
+
+
+class TestProfilerInvariants:
+    @given(embedding_spaces(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_profile_components_in_unit_interval(self, space, data):
+        embeddings, labelled = space
+        profiler = SessionProfiler(
+            embeddings, labelled, neighbourhood_size=5,
+            max_neighbourhood_fraction=1.0,
+        )
+        session = data.draw(sessions_for(embeddings.vocabulary.hosts))
+        profile = profiler.profile(session)
+        assert ((profile.categories >= 0) & (profile.categories <= 1)).all()
+        assert np.isfinite(profile.categories).all()
+
+    @given(embedding_spaces(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_profile_invariant_to_duplicates(self, space, data):
+        """Eq. 3/4 only count first visits: duplicating session hostnames
+        must not change the profile."""
+        embeddings, labelled = space
+        profiler = SessionProfiler(
+            embeddings, labelled, neighbourhood_size=5,
+            max_neighbourhood_fraction=1.0,
+        )
+        session = data.draw(sessions_for(embeddings.vocabulary.hosts))
+        doubled = [h for h in session for _ in range(2)]
+        a = profiler.profile(session)
+        b = profiler.profile(doubled)
+        assert np.allclose(a.categories, b.categories)
+        assert a.support == b.support
+
+    @given(embedding_spaces())
+    @settings(max_examples=60, deadline=None)
+    def test_uniform_labels_give_uniform_profile(self, space):
+        """If every labelled host carries the SAME category vector, any
+        non-empty profile must equal that vector (Eq. 4 is a weighted
+        average)."""
+        embeddings, labelled = space
+        shared = np.zeros(N_CATEGORIES)
+        shared[2] = 0.7
+        uniform = {host: shared.copy() for host in labelled}
+        profiler = SessionProfiler(
+            embeddings, uniform, neighbourhood_size=5,
+            max_neighbourhood_fraction=1.0,
+        )
+        session = list(embeddings.vocabulary.hosts)
+        profile = profiler.profile(session)
+        if not profile.is_empty:
+            assert np.allclose(profile.categories, shared)
+
+    @given(embedding_spaces())
+    @settings(max_examples=40, deadline=None)
+    def test_empty_session_empty_profile(self, space):
+        embeddings, labelled = space
+        profiler = SessionProfiler(embeddings, labelled)
+        assert profiler.profile([]).is_empty
+
+    @given(embedding_spaces())
+    @settings(max_examples=40, deadline=None)
+    def test_in_session_labelled_host_guarantees_support(self, space):
+        embeddings, labelled = space
+        profiler = SessionProfiler(
+            embeddings, labelled, neighbourhood_size=5,
+            max_neighbourhood_fraction=1.0,
+        )
+        some_labelled = next(iter(labelled))
+        profile = profiler.profile([some_labelled])
+        assert profile.support >= 1
+        assert not profile.is_empty
+
+
+class TestSessionInvariants:
+    @given(st.lists(st.sampled_from("abcdef"), max_size=30))
+    def test_first_visits_idempotent_and_duplicate_free(self, hostnames):
+        once = first_visits(hostnames)
+        assert len(set(once)) == len(once)
+        assert first_visits(once) == once
+        assert set(once) == set(hostnames)
+
+    @given(st.lists(st.sampled_from("abcdef"), max_size=30))
+    def test_first_visits_order_is_subsequence(self, hostnames):
+        once = list(first_visits(hostnames))
+        iterator = iter(hostnames)
+        for item in once:
+            # each deduped item appears in the original, in order
+            for candidate in iterator:
+                if candidate == item:
+                    break
+            else:
+                pytest.fail(f"{item} out of order")
+
+
+class TestEmbeddingInvariants:
+    @given(embedding_spaces())
+    @settings(max_examples=40, deadline=None)
+    def test_self_similarity_is_max(self, space):
+        embeddings, _ = space
+        host = embeddings.vocabulary.host_of(0)
+        norm = np.linalg.norm(embeddings.vector(host))
+        if norm < 1e-9:
+            return  # zero vector: cosine undefined, skip
+        results = embeddings.most_similar(host, n=len(embeddings),
+                                          exclude_self=False)
+        assert results[0][0] == host or results[0][1] == pytest.approx(
+            1.0, abs=1e-9
+        )
+
+    @given(embedding_spaces(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_aggregate_mean_inside_convex_hull_bounds(self, space, data):
+        embeddings, _ = space
+        hosts = data.draw(
+            st.lists(
+                st.sampled_from(embeddings.vocabulary.hosts),
+                min_size=1, max_size=6,
+            )
+        )
+        aggregated = embeddings.aggregate(hosts)
+        stacked = np.vstack([embeddings.vector(h) for h in hosts])
+        assert (aggregated <= stacked.max(axis=0) + 1e-12).all()
+        assert (aggregated >= stacked.min(axis=0) - 1e-12).all()

@@ -1,0 +1,95 @@
+"""Tests for tracker blocklists and the filter."""
+
+import pytest
+
+from repro.traffic.blocklists import (
+    Blocklist,
+    TrackerFilter,
+    build_blocklists,
+)
+from repro.traffic.events import HostKind
+from repro.utils.randomness import derive_rng
+
+
+class TestBuildBlocklists:
+    def test_three_lists_by_default(self, web, rng):
+        lists = build_blocklists(web, rng)
+        assert [bl.name for bl in lists] == ["adaway", "hphosts", "yoyo"]
+
+    def test_each_list_covers_requested_fraction(self, web, rng):
+        lists = build_blocklists(web, rng)
+        n = len(web.trackers)
+        assert len(lists[0]) == round(0.80 * n)
+        assert len(lists[1]) == round(0.70 * n)
+        assert len(lists[2]) == round(0.60 * n)
+
+    def test_lists_only_contain_trackers(self, web, rng):
+        for blocklist in build_blocklists(web, rng):
+            assert blocklist.hostnames <= set(web.trackers)
+
+    def test_invalid_coverage_rejected(self, web, rng):
+        with pytest.raises(ValueError):
+            build_blocklists(web, rng, specs=(("bad", 1.5),))
+
+
+class TestTrackerFilter:
+    @pytest.fixture()
+    def tf(self, web):
+        return TrackerFilter(
+            build_blocklists(web, derive_rng(0, "bl"))
+        )
+
+    def test_union_of_lists(self, web, tf):
+        for blocklist in tf.blocklists:
+            assert blocklist.hostnames <= tf.blocked_hostnames
+
+    def test_blocks_and_filter_hostnames(self, web, tf):
+        blocked = next(iter(tf.blocked_hostnames))
+        assert tf.blocks(blocked)
+        assert tf.filter_hostnames([blocked, "example.com"]) == [
+            "example.com"
+        ]
+
+    def test_filter_trace_removes_only_blocked(self, trace, tf):
+        filtered, stats = tf.filter_trace(trace)
+        assert stats.total_requests == trace.num_requests
+        assert (
+            filtered.num_requests + stats.removed_requests
+            == trace.num_requests
+        )
+        for request in filtered.all_requests():
+            assert not tf.blocks(request.hostname)
+
+    def test_filter_stats_fraction(self, trace, tf):
+        _, stats = tf.filter_trace(trace)
+        # The paper observed >8% of connections going to blocklisted
+        # hosts; the synthetic world should be in that regime.
+        assert 0.02 < stats.removed_fraction < 0.25
+
+    def test_recall_against_web(self, web, tf):
+        recall = tf.recall_against(web)
+        assert 0.8 <= recall <= 1.0
+
+    def test_empty_filter_blocks_nothing(self, trace):
+        tf = TrackerFilter([])
+        filtered, stats = tf.filter_trace(trace)
+        assert stats.removed_requests == 0
+        assert filtered.num_requests == trace.num_requests
+
+    def test_non_tracker_traffic_untouched(self, trace, tf):
+        filtered, _ = tf.filter_trace(trace)
+        original_content = sum(
+            1 for r in trace.all_requests() if r.is_content()
+        )
+        filtered_content = sum(
+            1 for r in filtered.all_requests() if r.is_content()
+        )
+        assert original_content == filtered_content
+
+
+class TestBlocklist:
+    def test_contains(self):
+        bl = Blocklist("x", frozenset({"a.com"}))
+        assert "a.com" in bl
+        assert "b.com" not in bl
+        assert len(bl) == 1

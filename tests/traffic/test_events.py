@@ -1,0 +1,35 @@
+"""Tests for request event records."""
+
+from repro.traffic.events import HostKind, Request, hostnames_of
+
+
+def _request(hostname="a.com", kind=HostKind.SITE, t=0.0):
+    return Request(
+        user_id=1, timestamp=t, hostname=hostname, kind=kind,
+        site_domain=hostname,
+    )
+
+
+class TestRequest:
+    def test_is_content(self):
+        assert _request(kind=HostKind.SITE).is_content()
+        assert _request(kind=HostKind.CORE).is_content()
+        assert not _request(kind=HostKind.SATELLITE).is_content()
+        assert not _request(kind=HostKind.TRACKER).is_content()
+
+    def test_frozen(self):
+        request = _request()
+        try:
+            request.hostname = "b.com"
+        except AttributeError:
+            pass
+        else:
+            raise AssertionError("Request should be immutable")
+
+    def test_hostnames_of_preserves_order(self):
+        requests = [_request("b.com", t=1), _request("a.com", t=2)]
+        assert hostnames_of(requests) == ["b.com", "a.com"]
+
+    def test_equality(self):
+        assert _request() == _request()
+        assert _request("a.com") != _request("b.com")

@@ -1,0 +1,130 @@
+"""Tests for trace persistence."""
+
+import gzip
+import json
+
+import pytest
+
+from repro.traffic.io import TraceFormatError, load_trace, save_trace
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_structure(self, trace, tmp_path):
+        path = tmp_path / "trace.jsonl.gz"
+        count = save_trace(trace, path)
+        assert count == trace.num_requests
+        loaded = load_trace(path)
+        assert len(loaded) == len(trace)
+        assert loaded.start_day == trace.start_day
+        assert loaded.num_requests == trace.num_requests
+        for original_day, loaded_day in zip(trace.days, loaded.days):
+            assert len(original_day) == len(loaded_day)
+            for a, b in zip(original_day, loaded_day):
+                assert a.user_id == b.user_id
+                assert a.hostname == b.hostname
+                assert a.kind == b.kind
+                assert a.site_domain == b.site_domain
+                assert a.timestamp == pytest.approx(b.timestamp, abs=1e-3)
+
+    def test_statistics_survive(self, trace, tmp_path):
+        path = tmp_path / "trace.jsonl.gz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.distinct_hostnames() == trace.distinct_hostnames()
+        assert loaded.user_ids() == trace.user_ids()
+        assert loaded.counts_by_kind() == trace.counts_by_kind()
+
+
+class TestRobustness:
+    def test_unknown_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write(json.dumps({"format": "something-else"}) + "\n")
+        with pytest.raises(TraceFormatError, match="unknown format"):
+            load_trace(path)
+
+    def test_garbage_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write("not json\n")
+        with pytest.raises(TraceFormatError, match="bad header"):
+            load_trace(path)
+
+    def test_bad_record_rejected_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write(
+                json.dumps(
+                    {"format": "repro-trace-v1", "start_day": 0,
+                     "num_days": 1}
+                ) + "\n"
+            )
+            handle.write('{"u": 1}\n')
+        with pytest.raises(TraceFormatError, match="line 2"):
+            load_trace(path)
+
+    def test_external_data_without_day_annotation(self, tmp_path):
+        """Foreign exports may omit 'd'; bucketing falls back to time."""
+        path = tmp_path / "ext.jsonl.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write(
+                json.dumps(
+                    {"format": "repro-trace-v1", "start_day": 0,
+                     "num_days": 2}
+                ) + "\n"
+            )
+            for t in (100.0, 86500.0):
+                handle.write(
+                    json.dumps(
+                        {"u": 0, "t": t, "h": "a.com", "k": "site",
+                         "s": "a.com"}
+                    ) + "\n"
+                )
+        loaded = load_trace(path)
+        assert len(loaded.day(0)) == 1
+        assert len(loaded.day(1)) == 1
+
+    def test_blank_lines_ignored(self, tmp_path, trace):
+        path = tmp_path / "trace.jsonl.gz"
+        save_trace(trace, path)
+        raw = gzip.decompress(path.read_bytes())
+        path.write_bytes(gzip.compress(raw + b"\n\n"))
+        loaded = load_trace(path)
+        assert loaded.num_requests == trace.num_requests
+
+
+class TestWorldBuilder:
+    def test_make_world_components(self):
+        from repro import make_world
+
+        world = make_world(seed=3, num_sites=80, num_users=10, num_days=1)
+        assert len(world.population) == 10
+        assert len(world.trace) == 1
+        assert world.labelled
+        assert 0.05 < world.coverage < 0.2
+        assert world.tracker_filter.blocked_hostnames
+
+    def test_make_world_deterministic(self):
+        from repro import make_world
+
+        a = make_world(seed=3, num_sites=80, num_users=10, num_days=1)
+        b = make_world(seed=3, num_sites=80, num_users=10, num_days=1)
+        assert a.trace.day(0) == b.trace.day(0)
+        assert sorted(a.labelled) == sorted(b.labelled)
+
+    def test_extend_trace(self):
+        from repro import make_world
+
+        world = make_world(seed=3, num_sites=80, num_users=10, num_days=1)
+        extended = world.extend_trace(1)
+        assert len(extended) == 2
+        assert extended.day(1)
+        # regenerating day 1 directly gives the same data
+        direct = world.generator.day_requests(1)
+        assert extended.day(1) == direct
+
+    def test_invalid_days(self):
+        from repro import make_world
+
+        with pytest.raises(ValueError):
+            make_world(num_days=0)

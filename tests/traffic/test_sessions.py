@@ -1,0 +1,116 @@
+"""Tests for the browsing model."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.events import HostKind
+from repro.traffic.sessions import BrowsingModel, SessionConfig
+from repro.utils.randomness import derive_rng
+
+
+@pytest.fixture(scope="module")
+def model(web):
+    return BrowsingModel(web)
+
+
+class TestSessionRequests:
+    def test_sorted_by_timestamp(self, model, population):
+        rng = derive_rng(0, "s")
+        requests = model.session_requests(population.by_id(0), 100.0, rng)
+        times = [r.timestamp for r in requests]
+        assert times == sorted(times)
+
+    def test_starts_at_start_time(self, model, population):
+        rng = derive_rng(0, "s")
+        requests = model.session_requests(population.by_id(0), 500.0, rng)
+        assert requests[0].timestamp >= 500.0
+
+    def test_explicit_visit_count(self, model, population):
+        rng = derive_rng(0, "s")
+        requests = model.session_requests(
+            population.by_id(0), 0.0, rng, num_visits=5
+        )
+        content = [r for r in requests if r.is_content()]
+        assert len(content) == 5
+
+    def test_satellites_attributed_to_their_site(self, model, population):
+        rng = derive_rng(1, "s")
+        requests = model.session_requests(
+            population.by_id(1), 0.0, rng, num_visits=30
+        )
+        for request in requests:
+            if request.kind is HostKind.SATELLITE:
+                site = model.web.site(request.site_domain)
+                # Either a stable satellite or a CDN shard that the
+                # evaluation oracle resolves back to the same site.
+                resolved = model.web.site_of(request.hostname)
+                assert resolved is site
+                if request.hostname not in site.satellites:
+                    sld = request.hostname.split(".", 1)[1]
+                    assert sld in site.shard_slds
+
+    def test_trackers_attributed_to_a_site(self, model, population):
+        rng = derive_rng(2, "s")
+        requests = model.session_requests(
+            population.by_id(2), 0.0, rng, num_visits=60
+        )
+        trackers = [r for r in requests if r.kind is HostKind.TRACKER]
+        for request in trackers:
+            assert request.hostname in model.web.trackers
+            assert request.site_domain  # always tied to a visit
+
+    def test_user_id_stamped(self, model, population):
+        rng = derive_rng(0, "s")
+        user = population.by_id(3)
+        requests = model.session_requests(user, 0.0, rng)
+        assert all(r.user_id == user.user_id for r in requests)
+
+    def test_interest_categories_visited_over_many_sessions(
+        self, model, population, web
+    ):
+        """The dominant interest should dominate topical site visits."""
+        user = max(
+            population, key=lambda u: max(u.interests.values())
+        )
+        top_interest = max(user.interests, key=user.interests.get)
+        rng = derive_rng(3, "s")
+        hits = total = 0
+        for i in range(40):
+            for request in model.session_requests(user, i * 5000.0, rng):
+                if request.kind is not HostKind.SITE:
+                    continue
+                site = web.site(request.site_domain)
+                idx = web.taxonomy.truncated_index(site.categories[0][0])
+                total += 1
+                hits += int(idx == top_interest)
+        assert total > 0
+        # Dominant interest weight after core/explore dilution.
+        assert hits / total > max(user.interests.values()) * 0.3
+
+
+class TestConfig:
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            SessionConfig(mean_visits=0).validate()
+        with pytest.raises(ValueError):
+            SessionConfig(topic_stay_prob=1.5).validate()
+        with pytest.raises(ValueError):
+            SessionConfig(tracker_mean=-1).validate()
+        with pytest.raises(ValueError):
+            SessionConfig(gap_mean_seconds=0).validate()
+
+    def test_zero_satellite_prob_yields_no_satellites(self, web, population):
+        model = BrowsingModel(web, SessionConfig(satellite_prob=0.0))
+        rng = derive_rng(4, "s")
+        requests = model.session_requests(
+            population.by_id(0), 0.0, rng, num_visits=20
+        )
+        assert all(r.kind is not HostKind.SATELLITE for r in requests)
+
+    def test_zero_tracker_mean_yields_no_trackers(self, web, population):
+        model = BrowsingModel(web, SessionConfig(tracker_mean=0.0))
+        rng = derive_rng(4, "s")
+        requests = model.session_requests(
+            population.by_id(0), 0.0, rng, num_visits=20
+        )
+        assert all(r.kind is not HostKind.TRACKER for r in requests)

@@ -1,0 +1,74 @@
+"""Tests for the synthetic user population."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.users import PopulationConfig, UserPopulation
+from repro.utils.randomness import derive_rng
+
+
+class TestGeneration:
+    def test_population_size(self, population):
+        assert len(population) == 40
+
+    def test_interests_are_distribution(self, population):
+        for user in population:
+            weights = list(user.interests.values())
+            assert all(w > 0 for w in weights)
+            assert sum(weights) == pytest.approx(1.0)
+
+    def test_interest_count_within_bounds(self, population):
+        config = PopulationConfig()
+        for user in population:
+            assert 1 <= len(user.interests) <= config.max_interests
+
+    def test_interests_land_on_populated_categories(self, population, web):
+        for user in population:
+            for idx in user.interests:
+                assert web.sites_in_category(idx), idx
+
+    def test_behavioural_params_in_range(self, population):
+        config = PopulationConfig()
+        lo_core, hi_core = config.core_affinity_range
+        lo_exp, hi_exp = config.explore_prob_range
+        for user in population:
+            assert lo_core <= user.core_affinity <= hi_core
+            assert lo_exp <= user.explore_prob <= hi_exp
+            assert user.sessions_per_day > 0
+
+    def test_deterministic(self, web):
+        config = PopulationConfig(num_users=10)
+        a = UserPopulation.generate(web, derive_rng(9, "p"), config)
+        b = UserPopulation.generate(web, derive_rng(9, "p"), config)
+        for ua, ub in zip(a, b):
+            assert ua.interests == ub.interests
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            PopulationConfig(num_users=0).validate()
+        with pytest.raises(ValueError):
+            PopulationConfig(min_interests=5, max_interests=3).validate()
+        with pytest.raises(ValueError):
+            PopulationConfig(core_affinity_range=(0.9, 0.1)).validate()
+
+
+class TestProfileVectors:
+    def test_interest_vector_matches_dict(self, population, taxonomy):
+        user = population.by_id(0)
+        vec = user.interest_vector(taxonomy.num_truncated)
+        for idx, weight in user.interests.items():
+            assert vec[idx] == pytest.approx(weight)
+        assert vec.sum() == pytest.approx(1.0)
+
+    def test_sample_interest_distribution(self, population):
+        user = population.by_id(0)
+        rng = np.random.default_rng(0)
+        draws = [user.sample_interest(rng) for _ in range(3000)]
+        freq = {i: draws.count(i) / len(draws) for i in user.interests}
+        for idx, weight in user.interests.items():
+            assert freq[idx] == pytest.approx(weight, abs=0.05)
+
+    def test_interest_matrix_shape_and_rows(self, population, taxonomy):
+        matrix = population.interest_matrix()
+        assert matrix.shape == (len(population), taxonomy.num_truncated)
+        assert np.allclose(matrix.sum(axis=1), 1.0)

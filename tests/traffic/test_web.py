@@ -1,0 +1,106 @@
+"""Tests for the synthetic web."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.events import HostKind
+from repro.traffic.web import SyntheticWeb, WebConfig
+from repro.utils.hostnames import is_valid_hostname
+from repro.utils.randomness import derive_rng
+
+
+class TestGeneration:
+    def test_site_count(self, web):
+        assert len(web.content_sites) == web.config.num_sites
+
+    def test_core_sites_present(self, web):
+        core_domains = {s.domain for s in web.core_sites}
+        assert "google.com" in core_domains
+        assert "facebook.com" in core_domains
+
+    def test_all_hostnames_valid(self, web):
+        for hostname in web.all_hostnames():
+            assert is_valid_hostname(hostname), hostname
+
+    def test_hostnames_unique_across_roles(self, web):
+        from_sites = [h for s in web.sites for h in s.hostnames]
+        everything = from_sites + web.trackers
+        assert len(everything) == len(set(everything))
+
+    def test_tracker_count(self, web):
+        assert len(web.trackers) == web.config.num_trackers
+
+    def test_core_sites_outrank_content_sites(self, web):
+        max_content = max(s.popularity for s in web.content_sites)
+        min_core = min(s.popularity for s in web.core_sites)
+        assert min_core > max_content
+
+    def test_generation_is_deterministic(self, taxonomy):
+        config = WebConfig(num_sites=50, num_trackers=10)
+        a = SyntheticWeb.generate(taxonomy, derive_rng(5, "w"), config)
+        b = SyntheticWeb.generate(taxonomy, derive_rng(5, "w"), config)
+        assert [s.domain for s in a.sites] == [s.domain for s in b.sites]
+        assert a.trackers == b.trackers
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            WebConfig(num_sites=0).validate()
+        with pytest.raises(ValueError):
+            WebConfig(zipf_exponent=-1).validate()
+        with pytest.raises(ValueError):
+            WebConfig(secondary_category_prob=2.0).validate()
+
+
+class TestGroundTruth:
+    def test_every_site_has_primary_category(self, web):
+        for site in web.sites:
+            assert site.categories
+            assert site.categories[0][1] == 1.0
+            assert site.categories[0][0].level == 2
+
+    def test_kind_of_roles(self, web):
+        site = web.content_sites[0]
+        assert web.kind_of(site.domain) is HostKind.SITE
+        assert web.kind_of("google.com") is HostKind.CORE
+        assert web.kind_of(web.trackers[0]) is HostKind.TRACKER
+
+    def test_kind_of_satellite(self, web):
+        site = next(s for s in web.sites if s.satellites)
+        assert web.kind_of(site.satellites[0]) is HostKind.SATELLITE
+
+    def test_kind_of_unknown_raises(self, web):
+        with pytest.raises(KeyError):
+            web.kind_of("definitely-not-generated.example")
+
+    def test_satellite_resolves_to_parent(self, web):
+        site = next(s for s in web.sites if s.satellites)
+        assert web.site_of(site.satellites[0]) is site
+
+    def test_true_category_vector_for_satellite(self, web):
+        site = next(s for s in web.sites if s.satellites)
+        sat_vec = web.true_category_vector(site.satellites[0])
+        site_vec = web.true_category_vector(site.domain)
+        assert np.array_equal(sat_vec, site_vec)
+
+    def test_true_category_vector_none_for_tracker(self, web):
+        assert web.true_category_vector(web.trackers[0]) is None
+
+    def test_ground_truth_covers_sites_not_satellites(self, web):
+        truth = web.ground_truth()
+        assert len(truth) == len(web.sites)
+        satellite = next(
+            s.satellites[0] for s in web.sites if s.satellites
+        )
+        assert satellite not in truth
+
+    def test_sites_in_category_consistent(self, web):
+        for idx in range(web.taxonomy.num_truncated):
+            for site_index in web.sites_in_category(idx):
+                site = web.sites[site_index]
+                primary = site.categories[0][0]
+                assert web.taxonomy.truncated_index(primary) == idx
+
+    def test_popularity_covers_all_hostnames(self, web):
+        popularity = web.popularity()
+        assert set(popularity) == web.all_hostnames()
+        assert all(v > 0 for v in popularity.values())

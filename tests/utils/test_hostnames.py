@@ -1,0 +1,104 @@
+"""Tests for hostname parsing helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.hostnames import (
+    is_valid_hostname,
+    normalize_hostname,
+    public_suffix,
+    registrable_domain,
+    second_level_domain,
+)
+
+
+class TestNormalize:
+    def test_lowercases(self):
+        assert normalize_hostname("WWW.Example.COM") == "www.example.com"
+
+    def test_strips_trailing_dot(self):
+        assert normalize_hostname("example.com.") == "example.com"
+
+    def test_strips_whitespace(self):
+        assert normalize_hostname("  example.com \n") == "example.com"
+
+    def test_idempotent(self):
+        once = normalize_hostname(" A.B.C. ")
+        assert normalize_hostname(once) == once
+
+
+class TestValidity:
+    @pytest.mark.parametrize(
+        "hostname",
+        [
+            "example.com",
+            "mail.google.com",
+            "ds-aksb-a.akamaihd.net",
+            "xn--sinnimo-n0a.es",
+            "a.b",
+            "under_score.example.org",
+        ],
+    )
+    def test_valid(self, hostname):
+        assert is_valid_hostname(hostname)
+
+    @pytest.mark.parametrize(
+        "hostname",
+        [
+            "",
+            "nodots",
+            "-leading.example.com",
+            "trailing-.example.com",
+            "exa mple.com",
+            "1.2.3.4",          # IP, not a hostname
+            "a." + "b" * 64 + ".com",   # label too long
+            "x" * 260 + ".com",         # name too long
+        ],
+    )
+    def test_invalid(self, hostname):
+        assert not is_valid_hostname(hostname)
+
+
+class TestRegistrableDomain:
+    @pytest.mark.parametrize(
+        ("hostname", "expected"),
+        [
+            ("mail.google.com", "google.com"),
+            ("google.com", "google.com"),
+            ("ds-aksb-a.akamaihd.net", "akamaihd.net"),
+            ("www.bbc.co.uk", "bbc.co.uk"),
+            ("api.seniat.gob.ve", "seniat.gob.ve"),
+            ("foo.bar.mercadolibre.com.ar", "mercadolibre.com.ar"),
+            ("deep.sub.domain.example.es", "example.es"),
+        ],
+    )
+    def test_collapses_to_sld(self, hostname, expected):
+        assert registrable_domain(hostname) == expected
+
+    def test_bare_suffix_stays(self):
+        assert registrable_domain("co.uk") == "co.uk"
+
+    def test_single_label_tld(self):
+        assert public_suffix("example.com") == "com"
+
+    def test_two_part_suffix(self):
+        assert public_suffix("x.gob.ve") == "gob.ve"
+
+    def test_alias_matches(self):
+        assert second_level_domain("a.b.example.com") == registrable_domain(
+            "a.b.example.com"
+        )
+
+
+@given(
+    st.from_regex(r"[a-z][a-z0-9-]{0,10}[a-z0-9]", fullmatch=True),
+    st.from_regex(r"[a-z][a-z0-9-]{0,10}[a-z0-9]", fullmatch=True),
+    st.sampled_from(["com", "net", "es", "co.uk", "com.ve", "gob.ve"]),
+)
+def test_property_registrable_is_suffix_plus_one(label, sld, suffix):
+    hostname = f"{label}.{sld}.{suffix}"
+    result = registrable_domain(hostname)
+    assert result == f"{sld}.{suffix}"
+    # idempotence: collapsing twice changes nothing
+    assert registrable_domain(result) == result

@@ -1,0 +1,60 @@
+"""Tests for simulated time helpers."""
+
+import pytest
+
+from repro.utils.timeutils import (
+    DAY_SECONDS,
+    SimulatedClock,
+    day_index,
+    day_label,
+    hour_of_day,
+    minutes,
+)
+
+
+class TestConversions:
+    def test_minutes(self):
+        assert minutes(20) == 1200.0
+
+    def test_day_index_boundaries(self):
+        assert day_index(0.0) == 0
+        assert day_index(DAY_SECONDS - 1e-9) == 0
+        assert day_index(DAY_SECONDS) == 1
+
+    def test_day_index_rejects_negative(self):
+        with pytest.raises(ValueError):
+            day_index(-1.0)
+
+    def test_day_label(self):
+        assert day_label(3) == "day 03"
+
+    def test_hour_of_day_wraps(self):
+        assert hour_of_day(DAY_SECONDS + 3600.0) == pytest.approx(1.0)
+
+
+class TestSimulatedClock:
+    def test_advance_accumulates(self):
+        clock = SimulatedClock()
+        clock.advance(10)
+        clock.advance(5)
+        assert clock.now == 15.0
+
+    def test_advance_rejects_negative(self):
+        clock = SimulatedClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+
+    def test_advance_to_rejects_past(self):
+        clock = SimulatedClock(now=100.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(50.0)
+
+    def test_day_property(self):
+        clock = SimulatedClock()
+        clock.advance(2 * DAY_SECONDS + 5)
+        assert clock.day == 2
+
+    def test_elapsed(self):
+        clock = SimulatedClock()
+        clock.advance(42.0)
+        assert clock.elapsed() == 42.0
