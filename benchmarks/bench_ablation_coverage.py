@@ -10,7 +10,6 @@ what makes low coverage workable.
 
 import numpy as np
 
-from repro.analysis.fidelity import FidelityReport, profile_fidelity
 from repro.core.pipeline import PipelineConfig
 from repro.core.session import SessionExtractor
 from repro.core.skipgram import SkipGramConfig

@@ -28,7 +28,7 @@ def test_ablation_tracker_filter(
     _, stats = world.tracker_filter.filter_trace(world.trace)
     lines = [
         "Ablation — tracker blocklist filtering",
-        f"connections removed by filter: "
+        "connections removed by filter: "
         f"{stats.removed_fraction * 100:.1f}% (paper: >8%)",
         f"{'variant':<22} {'fidelity':>10} {'hosts/session':>14}",
         f"{'with blocklists':<22} {filtered.mean_affinity:>10.3f} "

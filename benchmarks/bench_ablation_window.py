@@ -6,8 +6,6 @@ of a bigger window size in a fixed network ... compared to a mobile
 network").  We sweep m and measure profile fidelity.
 """
 
-import copy
-
 from repro.core.pipeline import PipelineConfig
 from repro.core.skipgram import SkipGramConfig
 

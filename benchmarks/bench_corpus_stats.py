@@ -7,8 +7,6 @@
 * "roughly 50 of the top 100 hostnames" belong to ad-tech companies.
 """
 
-from collections import Counter
-
 from repro.traffic.events import HostKind
 
 PAPER_COVERAGE = 10.6

@@ -45,11 +45,11 @@ def test_fig5_cluster_purity(benchmark, paper_world, report_sink):
         "",
         "Satellite attachment (api.bkng.azure.com -> hotels.com claim):",
         f"satellites tested                : {attachment.tested}",
-        f"parent beats random site         : "
+        "parent beats random site         : "
         f"{attachment.parent_beats_random * 100:.1f}%",
-        f"mean cos(satellite, parent)      : "
+        "mean cos(satellite, parent)      : "
         f"{attachment.mean_parent_similarity:.3f}",
-        f"mean cos(satellite, random site) : "
+        "mean cos(satellite, random site) : "
         f"{attachment.mean_random_similarity:.3f}",
     ]
     report_sink("fig5_cluster_purity", "\n".join(lines))

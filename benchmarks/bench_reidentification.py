@@ -57,7 +57,7 @@ def test_reidentification(benchmark, paper_world, report_sink):
         f"{decored.chance_accuracy * 100:>7.2f}%",
         "",
         f"Core 80 size stripped: {len(core80)} hostnames",
-        f"lift over chance (outside-core): "
+        "lift over chance (outside-core): "
         f"{decored.lift_over_chance:.0f}x",
     ]
     report_sink("reidentification", "\n".join(lines))

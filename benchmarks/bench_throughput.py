@@ -7,10 +7,7 @@ that claim is about: tokens/second of SGNS training and sessions/second of
 profiling, on a single core.
 """
 
-import time
-
 from repro.core import (
-    SessionProfiler,
     SkipGramConfig,
     SkipGramModel,
     corpus_token_count,

@@ -7,8 +7,11 @@ Exposes the reproduction's main entry points without writing any code:
 * ``train``        — generate traffic, train embeddings, save them
                      (``.npz`` or word2vec text format);
 * ``neighbours``   — query a saved embedding file for similar hostnames;
-* ``synthesize``   — write a synthetic browsing capture as a pcap file;
-* ``observe``      — read a pcap, extract SNI hostnames per client.
+* ``synthesize``   — write a synthetic browsing capture as a pcap file,
+                     optionally with injected faults (``--chaos-*``);
+* ``observe``      — read a pcap, extract SNI hostnames per client;
+* ``stream``       — run the fault-tolerant streaming runtime over a pcap
+                     (lateness tolerance, quarantine, checkpoint/restore).
 """
 
 from __future__ import annotations
@@ -50,6 +53,10 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         config = ExperimentConfig.paper_scaled(seed=args.seed)
     if args.profiling_days is not None:
         config.profiling_days = args.profiling_days
+    if args.retrain_attempts is not None:
+        config.retrain.max_attempts = args.retrain_attempts
+    if args.retrain_backoff is not None:
+        config.retrain.backoff_base_seconds = args.retrain_backoff
     print(
         f"running {args.scale} experiment "
         f"(seed {args.seed}, {config.profiling_days} profiling days)..."
@@ -71,7 +78,7 @@ def cmd_diversity(args: argparse.Namespace) -> int:
     for level in report.core_levels:
         print(f"  Core {level}: {report.core_sizes[level]}")
     print(
-        f"75% of users visit >= "
+        "75% of users visit >= "
         f"{report.overall.quantile_count(75):.0f} hostnames; "
         f"25% visit >= {report.overall.quantile_count(25):.0f}"
     )
@@ -140,7 +147,7 @@ def cmd_neighbours(args: argparse.Namespace) -> int:
 
 
 def cmd_synthesize(args: argparse.Namespace) -> int:
-    from repro.netobs import TrafficSynthesizer
+    from repro.netobs import ChaosConfig, ChaosEngine, TrafficSynthesizer
     from repro.netobs.pcap import LINKTYPE_ETHERNET, write_pcap
 
     _, _, _, trace = _build_world(
@@ -155,6 +162,28 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
         ),
         key=lambda p: p.timestamp,
     )
+    chaos_config = ChaosConfig(
+        corrupt_fraction=args.chaos_corrupt,
+        truncate_fraction=args.chaos_truncate,
+        duplicate_fraction=args.chaos_duplicate,
+        drop_fraction=args.chaos_drop,
+        reorder_fraction=args.chaos_reorder,
+        reorder_max_delay_seconds=args.chaos_reorder_delay,
+        seed=args.seed,
+    )
+    if (
+        chaos_config.corrupt_fraction or chaos_config.truncate_fraction
+        or chaos_config.duplicate_fraction or chaos_config.drop_fraction
+        or chaos_config.reorder_fraction
+    ):
+        engine = ChaosEngine(chaos_config)
+        packets = engine.apply(packets)
+        stats = engine.stats
+        print(
+            f"chaos: {stats.corrupted} corrupted, {stats.truncated} "
+            f"truncated, {stats.duplicated} duplicated, {stats.dropped} "
+            f"dropped, {stats.reordered} reordered"
+        )
     count = write_pcap(args.output, packets, linktype=LINKTYPE_ETHERNET)
     print(f"wrote {count} packets to {args.output}")
     return 0
@@ -164,18 +193,73 @@ def cmd_observe(args: argparse.Namespace) -> int:
     from repro.netobs import NetworkObserver, ObserverConfig
     from repro.netobs.pcap import read_pcap
 
-    observer = NetworkObserver(ObserverConfig(vantage=args.vantage))
+    observer = NetworkObserver(
+        ObserverConfig(vantage=args.vantage, max_flows=args.max_flows)
+    )
     for packet in read_pcap(args.pcap):
         observer.ingest(packet)
     stats = observer.flow_table.stats
     print(
         f"{stats.packets_seen} packets, {stats.flows_tracked} flows, "
-        f"{stats.events_emitted} hostname events"
+        f"{stats.events_emitted} hostname events, "
+        f"{stats.parse_failures} parse failures"
     )
+    if observer.quarantine.total:
+        print(observer.quarantine.summary())
     for client in observer.clients:
         events = observer.events_for(client)
         hostnames = [e.hostname for e in events[: args.max_hosts]]
         print(f"{client} ({len(events)} events): {', '.join(hostnames)}")
+    return 0
+
+
+def cmd_stream(args: argparse.Namespace) -> int:
+    """Run the fault-tolerant streaming runtime over a capture file."""
+    from repro.core.streaming import StreamingConfig, StreamingProfiler
+    from repro.netobs import NetworkObserver, ObserverConfig
+    from repro.netobs.pcap import read_pcap
+
+    checkpoint = Path(args.checkpoint) if args.checkpoint else None
+    if checkpoint is not None and checkpoint.exists():
+        stream = StreamingProfiler.restore(checkpoint)
+        stream.config.max_lateness_seconds = args.max_lateness_seconds
+        print(
+            f"restored {stream.active_clients} client sessions "
+            f"from {checkpoint}"
+        )
+    else:
+        stream = StreamingProfiler(
+            StreamingConfig(max_lateness_seconds=args.max_lateness_seconds)
+        )
+    observer = NetworkObserver(
+        ObserverConfig(
+            vantage=args.vantage,
+            max_flows=args.max_flows,
+            quarantine_capacity=args.quarantine_capacity,
+        )
+    )
+    emissions = 0
+    for packet in read_pcap(args.pcap):
+        event = observer.ingest(packet)
+        if event is None:
+            continue
+        if stream.ingest(event) is not None:
+            emissions += 1
+    stats = observer.flow_table.stats
+    print(
+        f"{stats.packets_seen} packets, {stats.events_emitted} events, "
+        f"{stats.parse_failures} parse failures"
+    )
+    print(observer.quarantine.summary())
+    print(
+        f"stream: {stream.events_seen} events, {stream.active_clients} "
+        f"clients, {stream.late_events_reordered} late reordered, "
+        f"{stream.late_events_dropped} late dropped, "
+        f"{emissions} profiles emitted (model loaded: {stream.has_model})"
+    )
+    if checkpoint is not None:
+        stream.checkpoint(checkpoint)
+        print(f"checkpointed {stream.active_clients} sessions to {checkpoint}")
     return 0
 
 
@@ -203,6 +287,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--seed", type=int, default=42)
     p.add_argument("--profiling-days", type=int, default=None)
+    p.add_argument(
+        "--retrain-attempts", type=int, default=None,
+        help="max attempts per daily retrain (default from config)",
+    )
+    p.add_argument(
+        "--retrain-backoff", type=float, default=None,
+        help="base backoff seconds between retrain retries",
+    )
     p.set_defaults(func=cmd_experiment)
 
     p = sub.add_parser("diversity", help="Figure 2 core/CCDF analysis")
@@ -231,6 +323,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_world_args(p)
     p.add_argument("--output", default="capture.pcap")
+    p.add_argument(
+        "--chaos-corrupt", type=float, default=0.0,
+        help="fraction of parseable packets to corrupt",
+    )
+    p.add_argument(
+        "--chaos-truncate", type=float, default=0.0,
+        help="fraction of parseable packets to truncate",
+    )
+    p.add_argument("--chaos-duplicate", type=float, default=0.0)
+    p.add_argument("--chaos-drop", type=float, default=0.0)
+    p.add_argument("--chaos-reorder", type=float, default=0.0)
+    p.add_argument(
+        "--chaos-reorder-delay", type=float, default=1.0,
+        help="max arrival delay (seconds) for reordered packets",
+    )
     p.set_defaults(func=cmd_synthesize)
 
     p = sub.add_parser(
@@ -241,7 +348,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--vantage", choices=("sni", "dns", "all", "ip"), default="sni"
     )
     p.add_argument("--max-hosts", type=int, default=8)
+    p.add_argument("--max-flows", type=int, default=1_000_000)
     p.set_defaults(func=cmd_observe)
+
+    p = sub.add_parser(
+        "stream",
+        help="run the fault-tolerant streaming runtime over a pcap",
+    )
+    p.add_argument("pcap")
+    p.add_argument(
+        "--vantage", choices=("sni", "dns", "all", "ip"), default="sni"
+    )
+    p.add_argument(
+        "--max-lateness-seconds", type=float, default=0.0,
+        help="tolerate out-of-order events this far behind (0 = drop)",
+    )
+    p.add_argument(
+        "--checkpoint", default=None,
+        help="session state file: restored if present, written on exit",
+    )
+    p.add_argument("--quarantine-capacity", type=int, default=256)
+    p.add_argument("--max-flows", type=int, default=1_000_000)
+    p.set_defaults(func=cmd_stream)
 
     return parser
 

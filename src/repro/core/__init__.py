@@ -22,6 +22,11 @@ from repro.core.streaming import (
     StreamingProfiler,
 )
 from repro.core.skipgram import SkipGramConfig, SkipGramModel, TrainStats
+from repro.core.supervisor import (
+    RetrainOutcome,
+    RetrainSupervisor,
+    SupervisorConfig,
+)
 from repro.core.vocabulary import Vocabulary
 
 __all__ = [
@@ -30,6 +35,8 @@ __all__ = [
     "NetworkObserverProfiler",
     "PipelineConfig",
     "ProfileEmission",
+    "RetrainOutcome",
+    "RetrainSupervisor",
     "SessionExtractor",
     "SessionProfile",
     "SessionProfiler",
@@ -37,6 +44,7 @@ __all__ = [
     "SkipGramConfig",
     "StreamingConfig",
     "StreamingProfiler",
+    "SupervisorConfig",
     "SkipGramModel",
     "TrainStats",
     "Vocabulary",

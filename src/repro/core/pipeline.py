@@ -95,18 +95,29 @@ class NetworkObserverProfiler:
     # -- training ---------------------------------------------------------------
 
     def train_on_sequences(self, sequences: list[list[str]]) -> TrainStats:
-        """Train a fresh model on arbitrary hostname sequences."""
+        """Train a fresh model on arbitrary hostname sequences.
+
+        The swap is atomic: nothing is published until both the embeddings
+        and the profiler are built, so a retrain that dies mid-way leaves
+        the previous day's model fully serving (degraded mode, see
+        :class:`repro.core.supervisor.RetrainSupervisor`).
+        """
         model = SkipGramModel(self.config.skipgram)
-        self._embeddings = model.fit(sequences)
-        self._profiler = SessionProfiler(
-            self._embeddings,
+        embeddings = model.fit(sequences)
+        profiler = self._build_profiler(embeddings)
+        self._embeddings = embeddings
+        self._profiler = profiler
+        self.last_train_stats = model.stats
+        return model.stats
+
+    def _build_profiler(self, embeddings: HostnameEmbeddings) -> SessionProfiler:
+        return SessionProfiler(
+            embeddings,
             self.labelled,
             neighbourhood_size=self.config.neighbourhood_size,
             aggregation=self.config.aggregation,
             max_neighbourhood_fraction=self.config.max_neighbourhood_fraction,
         )
-        self.last_train_stats = model.stats
-        return model.stats
 
     def train_on_day(self, trace: Trace, day: int) -> TrainStats:
         """The daily retrain: replace the model with one trained on ``day``."""
@@ -118,6 +129,25 @@ class NetworkObserverProfiler:
         stats = self.train_on_sequences(corpus)
         self.trained_days.append(day)
         return stats
+
+    # -- persistence -------------------------------------------------------------
+
+    def save_model(self, path) -> None:
+        """Snapshot the serving embeddings to an ``.npz`` archive.
+
+        Together with :meth:`StreamingProfiler.checkpoint` this is the
+        observer's crash-recovery state: the session windows live in the
+        stream checkpoint, the model lives here.
+        """
+        self.embeddings.save(path)
+
+    def load_model(self, path) -> None:
+        """Restore embeddings saved by :meth:`save_model` and start serving
+        them (rebuilds the session profiler against the labelled set)."""
+        embeddings = HostnameEmbeddings.load(path)
+        profiler = self._build_profiler(embeddings)
+        self._embeddings = embeddings
+        self._profiler = profiler
 
     # -- profiling ---------------------------------------------------------------
 

@@ -17,8 +17,11 @@ module provides that deployment shape:
 
 from __future__ import annotations
 
+import json
+import os
 from collections import deque
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.core.profiler import SessionProfile, SessionProfiler
 from repro.core.session import first_visits
@@ -43,6 +46,11 @@ class StreamingConfig:
     report_interval_minutes: float = 10.0
     # Forget clients silent for this long (state bound, like a flow table).
     client_idle_timeout_minutes: float = 24 * 60.0
+    # Bounded-lateness tolerance for out-of-order arrivals: an event up to
+    # this many seconds behind its client's newest event is re-inserted in
+    # timestamp order; anything older is counted and dropped.  0 keeps the
+    # strict in-order contract (late events are dropped, never raised).
+    max_lateness_seconds: float = 0.0
 
     def validate(self) -> None:
         if self.session_minutes <= 0:
@@ -51,6 +59,8 @@ class StreamingConfig:
             raise ValueError("report_interval_minutes must be positive")
         if self.client_idle_timeout_minutes <= 0:
             raise ValueError("client_idle_timeout_minutes must be positive")
+        if self.max_lateness_seconds < 0:
+            raise ValueError("max_lateness_seconds must be >= 0")
 
 
 @dataclass
@@ -76,6 +86,9 @@ class StreamingProfiler:
         self.events_seen = 0
         self.profiles_emitted = 0
         self.model_swaps = 0
+        # Out-of-order accounting (see StreamingConfig.max_lateness_seconds).
+        self.late_events_reordered = 0
+        self.late_events_dropped = 0
 
     # -- model management ---------------------------------------------------
 
@@ -97,11 +110,22 @@ class StreamingProfiler:
         # Events after the tick stay buffered for the next window.
         return first_visits(h for t, h in state.events if t <= now)
 
+    def _admit_late(self, state: _ClientState, event: HostnameEvent) -> None:
+        """Insert an in-tolerance late event at its timestamp position."""
+        position = len(state.events)
+        while position > 0 and state.events[position - 1][0] > event.timestamp:
+            position -= 1
+        state.events.insert(position, (event.timestamp, event.hostname))
+
     def ingest(self, event: HostnameEvent) -> ProfileEmission | None:
         """Feed one event; returns a profile if a report tick fired.
 
-        Events must arrive in (per-client) non-decreasing time order, as
-        they do off a wire.
+        Events normally arrive in (per-client) non-decreasing time order,
+        as they do off a wire — but a real wire reorders.  An event at most
+        ``max_lateness_seconds`` behind its client's newest is re-inserted
+        in timestamp order (it joins subsequent windows but fires no tick);
+        older stragglers are counted in ``late_events_dropped`` and
+        discarded.
         """
         self.events_seen += 1
         if self.tracker_filter is not None and self.tracker_filter.blocks(
@@ -109,10 +133,17 @@ class StreamingProfiler:
         ):
             return None
         state = self._clients.setdefault(event.client_ip, _ClientState())
-        if state.events and event.timestamp < state.events[-1][0]:
-            raise ValueError(
-                f"events for {event.client_ip} must be time-ordered"
-            )
+        newest = max(
+            state.last_seen, state.events[-1][0] if state.events else 0.0
+        )
+        if (state.events or state.next_report is not None) \
+                and event.timestamp < newest:
+            if newest - event.timestamp > self.config.max_lateness_seconds:
+                self.late_events_dropped += 1
+                return None
+            self._admit_late(state, event)
+            self.late_events_reordered += 1
+            return None
         state.events.append((event.timestamp, event.hostname))
         state.last_seen = event.timestamp
         if state.next_report is None:
@@ -148,6 +179,86 @@ class StreamingProfiler:
             if emission is not None:
                 emissions.append(emission)
         return emissions
+
+    # -- checkpoint / restore -------------------------------------------------
+
+    def checkpoint(self, path: str | Path) -> None:
+        """Snapshot all session state to ``path`` (atomic JSON write).
+
+        Captures per-client windows, report grids and counters so a crashed
+        observer resumes mid-day without losing session state.  The model
+        itself is *not* serialized — snapshot the embeddings alongside with
+        :meth:`HostnameEmbeddings.save` (or the pipeline's ``save_model``)
+        and rebuild the profiler on restore.
+        """
+        path = Path(path)
+        snapshot = {
+            "version": 1,
+            "config": {
+                "session_minutes": self.config.session_minutes,
+                "report_interval_minutes":
+                    self.config.report_interval_minutes,
+                "client_idle_timeout_minutes":
+                    self.config.client_idle_timeout_minutes,
+                "max_lateness_seconds": self.config.max_lateness_seconds,
+            },
+            "counters": {
+                "events_seen": self.events_seen,
+                "profiles_emitted": self.profiles_emitted,
+                "model_swaps": self.model_swaps,
+                "late_events_reordered": self.late_events_reordered,
+                "late_events_dropped": self.late_events_dropped,
+            },
+            "clients": {
+                client: {
+                    "events": [[t, h] for t, h in state.events],
+                    "next_report": state.next_report,
+                    "last_seen": state.last_seen,
+                }
+                for client, state in self._clients.items()
+            },
+        }
+        scratch = path.with_name(path.name + ".tmp")
+        scratch.write_text(json.dumps(snapshot))
+        os.replace(scratch, path)
+
+    @classmethod
+    def restore(
+        cls,
+        path: str | Path,
+        tracker_filter: TrackerFilter | None = None,
+    ) -> "StreamingProfiler":
+        """Rebuild a profiler from a :meth:`checkpoint` snapshot.
+
+        The restored instance has no model (``has_model`` is False) until
+        the caller swaps one in — emissions resume on the original report
+        grids either way.
+        """
+        snapshot = json.loads(Path(path).read_text())
+        if snapshot.get("version") != 1:
+            raise ValueError(
+                f"unsupported checkpoint version {snapshot.get('version')!r}"
+            )
+        stream = cls(
+            config=StreamingConfig(**snapshot["config"]),
+            tracker_filter=tracker_filter,
+        )
+        counters = snapshot["counters"]
+        stream.events_seen = counters["events_seen"]
+        stream.profiles_emitted = counters["profiles_emitted"]
+        stream.model_swaps = counters["model_swaps"]
+        stream.late_events_reordered = counters["late_events_reordered"]
+        stream.late_events_dropped = counters["late_events_dropped"]
+        for client, saved in snapshot["clients"].items():
+            state = _ClientState(
+                events=deque(
+                    (float(t), str(h)) for t, h in saved["events"]
+                ),
+                next_report=saved["next_report"],
+                last_seen=saved["last_seen"],
+            )
+            stream._clients[client] = state
+        return stream
 
     # -- housekeeping ---------------------------------------------------------
 

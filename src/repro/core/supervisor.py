@@ -1,0 +1,189 @@
+"""Degraded-mode retraining: the daily retrain that refuses to die.
+
+The paper's observer "trains a new model every day that we immediately
+start using" (§5.4).  In production that retrain *will* fail sometimes —
+corrupt day partitions, OOM, a bad deploy — and the worst response is to
+stop serving.  The supervisor wraps the daily retrain with bounded retries
+(exponential backoff plus deterministic jitter) and, when a day is lost,
+keeps serving the previous day's model while exposing how stale it is, so
+operators can alert on staleness instead of discovering an outage.
+
+All time here is simulated: backoff delays are *recorded* and handed to an
+injectable ``sleep`` callable (a no-op by default) so the same supervisor
+drives wall-clock deployments with ``time.sleep`` and replayable
+experiments with nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.skipgram import TrainStats
+from repro.utils.randomness import derive_rng
+
+
+@dataclass
+class SupervisorConfig:
+    """Retry policy for the daily retrain."""
+
+    max_attempts: int = 3
+    backoff_base_seconds: float = 60.0
+    backoff_multiplier: float = 2.0
+    backoff_max_seconds: float = 3600.0
+    # Each delay is scaled by a uniform factor in [1-j, 1+j] so a fleet of
+    # observers does not retrain in lockstep after a shared outage.
+    jitter_fraction: float = 0.1
+    max_recorded_errors: int = 32
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base_seconds < 0:
+            raise ValueError("backoff_base_seconds must be >= 0")
+        if self.backoff_multiplier < 1:
+            raise ValueError("backoff_multiplier must be >= 1")
+        if self.backoff_max_seconds < 0:
+            raise ValueError("backoff_max_seconds must be >= 0")
+        if not 0 <= self.jitter_fraction < 1:
+            raise ValueError("jitter_fraction must be in [0, 1)")
+        if self.max_recorded_errors < 0:
+            raise ValueError("max_recorded_errors must be >= 0")
+
+
+@dataclass(frozen=True)
+class RetrainOutcome:
+    """What one supervised retrain did."""
+
+    day: int
+    succeeded: bool
+    attempts: int
+    backoff_seconds: tuple[float, ...]   # delay taken before each retry
+    error: str | None                    # last failure, if any
+    stats: TrainStats | None
+
+
+class RetrainSupervisor:
+    """Runs the daily retrain with retries; serves stale on failure.
+
+    ``pipeline`` is anything with a ``train_on_day(trace, day)`` method
+    and a ``profiler`` property (normally
+    :class:`repro.core.pipeline.NetworkObserverProfiler`).  When ``stream``
+    (a :class:`repro.core.streaming.StreamingProfiler`) is attached, a
+    successful retrain is atomically swapped into it; on failure the
+    stream keeps the model it already serves.
+    """
+
+    def __init__(
+        self,
+        pipeline,
+        stream=None,
+        config: SupervisorConfig | None = None,
+        sleep=None,
+    ):
+        self.pipeline = pipeline
+        self.stream = stream
+        self.config = config or SupervisorConfig()
+        self.config.validate()
+        self._sleep = sleep if sleep is not None else (lambda seconds: None)
+        self._rng = derive_rng(self.config.seed, "retrain-supervisor")
+        self.last_success_day: int | None = None
+        self.consecutive_failures = 0
+        self.attempts = 0
+        self.retries = 0
+        self.successes = 0
+        self.failed_days: list[int] = []
+        self.errors: list[tuple[int, str]] = []   # (day, message), bounded
+        self.history: list[RetrainOutcome] = []
+
+    # -- retry policy --------------------------------------------------------
+
+    def _backoff(self, retry_index: int) -> float:
+        """Delay before retry ``retry_index`` (0-based), with jitter."""
+        cfg = self.config
+        delay = cfg.backoff_base_seconds * (
+            cfg.backoff_multiplier ** retry_index
+        )
+        delay = min(delay, cfg.backoff_max_seconds)
+        if cfg.jitter_fraction:
+            delay *= 1 + cfg.jitter_fraction * (
+                2 * float(self._rng.random()) - 1
+            )
+        return delay
+
+    def _record_error(self, day: int, error: Exception) -> None:
+        if len(self.errors) < self.config.max_recorded_errors:
+            self.errors.append((day, f"{type(error).__name__}: {error}"))
+
+    # -- the supervised retrain ----------------------------------------------
+
+    def retrain(self, trace, day: int) -> RetrainOutcome:
+        """Attempt the daily retrain for ``day``; never raises.
+
+        On success the new model starts serving (and is swapped into the
+        attached stream).  After ``max_attempts`` failures the previous
+        model keeps serving and the day is recorded as lost.
+        """
+        delays: list[float] = []
+        last_error: Exception | None = None
+        stats: TrainStats | None = None
+        succeeded = False
+        for attempt in range(1, self.config.max_attempts + 1):
+            self.attempts += 1
+            if attempt > 1:
+                self.retries += 1
+                delay = self._backoff(attempt - 2)
+                delays.append(delay)
+                self._sleep(delay)
+            try:
+                stats = self.pipeline.train_on_day(trace, day)
+            except Exception as error:  # degraded mode must survive anything
+                last_error = error
+                self._record_error(day, error)
+                continue
+            succeeded = True
+            break
+        if succeeded:
+            self.successes += 1
+            self.consecutive_failures = 0
+            self.last_success_day = day
+            if self.stream is not None:
+                self.stream.swap_model(self.pipeline.profiler)
+        else:
+            self.consecutive_failures += 1
+            self.failed_days.append(day)
+        outcome = RetrainOutcome(
+            day=day,
+            succeeded=succeeded,
+            attempts=attempt,
+            backoff_seconds=tuple(delays),
+            error=None if last_error is None else
+            f"{type(last_error).__name__}: {last_error}",
+            stats=stats,
+        )
+        self.history.append(outcome)
+        return outcome
+
+    # -- observability --------------------------------------------------------
+
+    def staleness_days(self, current_day: int) -> int | None:
+        """Days the serving model lags behind; None if never trained."""
+        if self.last_success_day is None:
+            return None
+        return max(0, current_day - self.last_success_day)
+
+    @property
+    def is_degraded(self) -> bool:
+        return self.consecutive_failures > 0
+
+    def summary(self) -> str:
+        """One-line operator-facing digest."""
+        trained = (
+            "never trained" if self.last_success_day is None
+            else f"last success day {self.last_success_day}"
+        )
+        return (
+            f"retrain: {self.successes} ok, {len(self.failed_days)} days "
+            f"lost, {self.retries} retries, {trained}, "
+            f"{self.consecutive_failures} consecutive failures"
+        )

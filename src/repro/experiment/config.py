@@ -16,6 +16,7 @@ from repro.ads.clicks import ClickModelConfig
 from repro.ads.inventory import AdDatabaseConfig
 from repro.ads.selection import SelectorConfig
 from repro.core.pipeline import PipelineConfig
+from repro.core.supervisor import SupervisorConfig
 from repro.traffic.sessions import SessionConfig
 from repro.traffic.users import PopulationConfig
 from repro.traffic.web import WebConfig
@@ -44,6 +45,8 @@ class ExperimentConfig:
     population: PopulationConfig = field(default_factory=PopulationConfig)
     session: SessionConfig = field(default_factory=SessionConfig)
     pipeline: PipelineConfig = field(default_factory=PipelineConfig)
+    # Retry/backoff policy for the daily retrain (degraded-mode serving).
+    retrain: SupervisorConfig = field(default_factory=SupervisorConfig)
     ad_database: AdDatabaseConfig = field(default_factory=AdDatabaseConfig)
     ad_network: AdNetworkConfig = field(default_factory=AdNetworkConfig)
     clicks: ClickModelConfig = field(default_factory=ClickModelConfig)
@@ -64,6 +67,7 @@ class ExperimentConfig:
         self.population.validate()
         self.session.validate()
         self.pipeline.validate()
+        self.retrain.validate()
         self.ad_database.validate()
         self.ad_network.validate()
         self.clicks.validate()

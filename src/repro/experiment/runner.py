@@ -36,6 +36,7 @@ from repro.analysis.stats import (
 from repro.analysis.topics import TopicShareSeries
 from repro.core.pipeline import NetworkObserverProfiler
 from repro.core.skipgram import TrainStats
+from repro.core.supervisor import RetrainSupervisor
 from repro.experiment.backend import Backend
 from repro.experiment.config import ExperimentConfig
 from repro.experiment.extension import SimulatedExtension
@@ -145,6 +146,8 @@ class ExperimentRunner:
         self.config = config or ExperimentConfig()
         self.config.validate()
         self._world: ExperimentWorld | None = None
+        # Set by run(): the retrain supervisor, for staleness inspection.
+        self.supervisor: RetrainSupervisor | None = None
 
     # -- world construction ------------------------------------------------------
 
@@ -287,10 +290,20 @@ class ExperimentRunner:
             window_seconds=minutes(cfg.pipeline.session_minutes),
         )
 
+        supervisor = RetrainSupervisor(world.profiler, config=cfg.retrain)
+        self.supervisor = supervisor
         first = cfg.first_profiling_day
         for day in range(first, first + cfg.profiling_days):
-            # Daily retrain on the whole previous day (paper Section 5.4).
-            train_stats.append(world.profiler.train_on_day(world.trace, day - 1))
+            # Daily retrain on the whole previous day (paper Section 5.4),
+            # supervised: retries with backoff, serves yesterday's model if
+            # the day is lost (degraded mode).
+            outcome = supervisor.retrain(world.trace, day - 1)
+            if outcome.stats is not None:
+                train_stats.append(outcome.stats)
+            if not world.profiler.is_trained:
+                # Nothing has ever trained: no model to profile with, so
+                # the day yields no eavesdropper impressions at all.
+                continue
             for user_id, requests in sorted(
                 world.trace.user_sequences(day).items()
             ):

@@ -8,6 +8,7 @@ byte-accurate packets these parsers consume.
 """
 
 from repro.netobs.capture import CaptureConfig, RESOLVER_IP, TrafficSynthesizer
+from repro.netobs.chaos import ChaosConfig, ChaosEngine, ChaosStats
 from repro.netobs.dnswire import (
     DNSParseError,
     build_query,
@@ -33,6 +34,7 @@ from repro.netobs.packets import (
     PacketError,
     checksum16,
 )
+from repro.netobs.quarantine import Quarantine, QuarantineRecord
 from repro.netobs.quic import (
     QUICParseError,
     build_initial_packet,
@@ -49,6 +51,9 @@ from repro.netobs.tls import (
 
 __all__ = [
     "CaptureConfig",
+    "ChaosConfig",
+    "ChaosEngine",
+    "ChaosStats",
     "DNSParseError",
     "FlowStats",
     "FlowTable",
@@ -67,6 +72,8 @@ __all__ = [
     "PcapError",
     "PcapWriter",
     "QUICParseError",
+    "Quarantine",
+    "QuarantineRecord",
     "RESOLVER_IP",
     "TLSParseError",
     "TrafficSynthesizer",

@@ -9,6 +9,7 @@ not produce duplicate events.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
@@ -16,7 +17,9 @@ from repro.netobs.packets import IP_PROTO_TCP, IP_PROTO_UDP, Packet
 from repro.netobs.quic import build_initial_packet
 from repro.netobs.tls import build_client_hello
 from repro.netobs.dnswire import build_query
+from repro.traffic.categories import SHARED_CDN_SLDS
 from repro.traffic.events import Request
+from repro.utils.hostnames import registrable_domain
 from repro.utils.randomness import derive_rng
 
 RESOLVER_IP = "9.9.9.9"
@@ -67,11 +70,6 @@ class TrafficSynthesizer:
         fetched.  Other hostnames get their own address.
         """
         if hostname not in self._server_ips:
-            import hashlib
-
-            from repro.traffic.categories import SHARED_CDN_SLDS
-            from repro.utils.hostnames import registrable_domain
-
             sld = registrable_domain(hostname)
             if sld in SHARED_CDN_SLDS:
                 # one of 8 front-end addresses per CDN

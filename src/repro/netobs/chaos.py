@@ -1,0 +1,214 @@
+"""Deterministic fault injection for the observer substrate.
+
+Real wire data is lossy, reordered and partially corrupt; the chaos engine
+manufactures exactly that, reproducibly, so tests can prove the runtime
+degrades gracefully.  Given a clean packet stream it injects:
+
+* **corruption** — the payload of a parseable handshake/query packet is
+  replaced by a poison that is *guaranteed* to raise in the matching
+  parser (so quarantine counters can be asserted exactly);
+* **truncation** — the payload is cut mid-header, same guarantee;
+* **duplication** — the packet is delivered twice (flow dedup must absorb
+  it);
+* **drops** — the packet never arrives;
+* **reordering** — delivery is delayed by a bounded random amount, so the
+  stream sees bounded out-of-order arrivals with original timestamps;
+* **clock skew** — the timestamp itself is shifted backwards, modelling a
+  misbehaving capture clock.
+
+Every decision draws from one seeded generator: same seed, same faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.netobs.flows import PORT_DNS, PORT_HTTPS
+from repro.netobs.packets import IP_PROTO_TCP, IP_PROTO_UDP, Packet
+from repro.utils.randomness import derive_rng
+
+# Poison payloads per parser path.  Each keeps the demultiplexing prefix
+# intact (content type / long-header bit) so the parser is entered, then
+# fails: TLS promises a 0xffff-byte record it doesn't carry; QUIC claims
+# version 0; DNS ends inside its fixed header.
+_POISON_TLS = b"\x16\x03\x01\xff\xff" + bytes(8)
+_POISON_QUIC = b"\xc0\x00\x00\x00\x00" + bytes(8)
+_POISON_DNS = b"\x00\x00\x01"
+_TRUNCATE_BYTES = 4
+
+
+@dataclass
+class ChaosConfig:
+    """Fault mix; fractions are per-packet probabilities."""
+
+    corrupt_fraction: float = 0.0
+    truncate_fraction: float = 0.0
+    duplicate_fraction: float = 0.0
+    drop_fraction: float = 0.0
+    reorder_fraction: float = 0.0
+    reorder_max_delay_seconds: float = 1.0
+    clock_skew_fraction: float = 0.0
+    clock_skew_seconds: float = 0.0
+    seed: int = 0
+
+    def validate(self) -> None:
+        fractions = (
+            "corrupt_fraction", "truncate_fraction", "duplicate_fraction",
+            "drop_fraction", "reorder_fraction", "clock_skew_fraction",
+        )
+        for name in fractions:
+            if not 0 <= getattr(self, name) <= 1:
+                raise ValueError(f"{name} must be in [0, 1]")
+        total = (
+            self.corrupt_fraction + self.truncate_fraction
+            + self.duplicate_fraction + self.drop_fraction
+        )
+        if total > 1:
+            raise ValueError(
+                "corrupt + truncate + duplicate + drop fractions exceed 1"
+            )
+        if self.reorder_max_delay_seconds < 0:
+            raise ValueError("reorder_max_delay_seconds must be >= 0")
+        if self.clock_skew_seconds < 0:
+            raise ValueError("clock_skew_seconds must be >= 0")
+
+
+@dataclass
+class ChaosStats:
+    """Exactly what was injected — the ground truth tests assert against."""
+
+    packets_seen: int = 0
+    corrupted: int = 0
+    truncated: int = 0
+    duplicated: int = 0
+    dropped: int = 0
+    reordered: int = 0
+    skewed: int = 0
+
+
+def _poison_for(packet: Packet) -> bytes | None:
+    """The guaranteed-to-fail payload for this packet's parser path.
+
+    Returns None for packets no parser ever touches (follow-up flow data,
+    unknown ports): corrupting those would be invisible, which would break
+    the fault-count-equals-quarantine-count contract.
+    """
+    if (
+        packet.protocol == IP_PROTO_TCP
+        and packet.dst_port == PORT_HTTPS
+        and packet.payload[:1] == b"\x16"
+    ):
+        return _POISON_TLS
+    if (
+        packet.protocol == IP_PROTO_UDP
+        and packet.dst_port == PORT_HTTPS
+        and packet.payload
+        and packet.payload[0] & 0x80
+    ):
+        return _POISON_QUIC
+    if packet.protocol == IP_PROTO_UDP and packet.dst_port == PORT_DNS:
+        return _POISON_DNS
+    return None
+
+
+class ChaosEngine:
+    """Applies a seeded fault mix to a packet stream."""
+
+    def __init__(self, config: ChaosConfig | None = None):
+        self.config = config or ChaosConfig()
+        self.config.validate()
+        self._rng = derive_rng(self.config.seed, "chaos")
+        self.stats = ChaosStats()
+
+    def _mutate(self, packet: Packet, payload: bytes) -> Packet:
+        return Packet(
+            src_ip=packet.src_ip,
+            dst_ip=packet.dst_ip,
+            protocol=packet.protocol,
+            src_port=packet.src_port,
+            dst_port=packet.dst_port,
+            payload=payload,
+            timestamp=packet.timestamp,
+        )
+
+    def apply(self, packets: Iterable[Packet]) -> list[Packet]:
+        """Injected copy of ``packets`` in (possibly reordered) arrival order.
+
+        Content faults (corrupt/truncate/duplicate/drop) are mutually
+        exclusive per packet; timing faults (reorder, skew) compose with
+        any of them.  Corruption and truncation only ever target packets a
+        parser would actually read, so every such fault produces exactly
+        one parse failure downstream.
+        """
+        cfg = self.config
+        arrivals: list[tuple[float, int, Packet]] = []
+        sequence = 0
+
+        def deliver(packet: Packet, arrival: float) -> None:
+            nonlocal sequence
+            arrivals.append((arrival, sequence, packet))
+            sequence += 1
+
+        for packet in packets:
+            self.stats.packets_seen += 1
+            # Arrival position is anchored to the true wire time: a packet
+            # whose *timestamp* is skewed backwards still arrives where it
+            # really was, which is exactly what makes it look out-of-order.
+            wire_time = packet.timestamp
+            roll = float(self._rng.random())
+            poison = _poison_for(packet)
+
+            if roll < cfg.drop_fraction:
+                self.stats.dropped += 1
+                continue
+            roll -= cfg.drop_fraction
+            faulted = packet
+            if roll < cfg.corrupt_fraction:
+                if poison is not None:
+                    faulted = self._mutate(packet, poison)
+                    self.stats.corrupted += 1
+            elif roll - cfg.corrupt_fraction < cfg.truncate_fraction:
+                if poison is not None:
+                    faulted = self._mutate(
+                        packet, packet.payload[:_TRUNCATE_BYTES]
+                    )
+                    self.stats.truncated += 1
+            elif (
+                roll - cfg.corrupt_fraction - cfg.truncate_fraction
+                < cfg.duplicate_fraction
+            ):
+                self.stats.duplicated += 1
+                deliver(faulted, wire_time)
+
+            if (
+                cfg.clock_skew_fraction
+                and float(self._rng.random()) < cfg.clock_skew_fraction
+            ):
+                skewed = max(0.0, faulted.timestamp - cfg.clock_skew_seconds)
+                if skewed != faulted.timestamp:
+                    faulted = Packet(
+                        src_ip=faulted.src_ip,
+                        dst_ip=faulted.dst_ip,
+                        protocol=faulted.protocol,
+                        src_port=faulted.src_port,
+                        dst_port=faulted.dst_port,
+                        payload=faulted.payload,
+                        timestamp=skewed,
+                    )
+                    self.stats.skewed += 1
+
+            delay = 0.0
+            if (
+                cfg.reorder_fraction
+                and float(self._rng.random()) < cfg.reorder_fraction
+            ):
+                delay = float(
+                    self._rng.uniform(0.0, cfg.reorder_max_delay_seconds)
+                )
+                if delay > 0:
+                    self.stats.reordered += 1
+            deliver(faulted, wire_time + delay)
+
+        arrivals.sort(key=lambda entry: (entry[0], entry[1]))
+        return [packet for _, _, packet in arrivals]

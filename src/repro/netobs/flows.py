@@ -11,10 +11,11 @@ packet of the same flow is attributed to the known flow and emits nothing.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.netobs import dnswire, quic, tls
 from repro.netobs.packets import IP_PROTO_TCP, IP_PROTO_UDP, Packet
+from repro.netobs.quarantine import Quarantine
 
 PORT_HTTPS = 443
 PORT_DNS = 53
@@ -54,13 +55,27 @@ class FlowTable:
     *destination address* as an ``ip:A.B.C.D`` token.
     """
 
-    def __init__(self, max_flows: int = 1_000_000, ip_only: bool = False):
+    def __init__(
+        self,
+        max_flows: int = 1_000_000,
+        ip_only: bool = False,
+        quarantine: Quarantine | None = None,
+    ):
         if max_flows < 1:
             raise ValueError("max_flows must be >= 1")
         self.max_flows = max_flows
         self.ip_only = ip_only
+        self.quarantine = quarantine
         self._flows: OrderedDict[tuple, bool] = OrderedDict()
         self.stats = FlowStats()
+
+    def _parse_failure(self, error: Exception, packet: Packet, context: str) -> None:
+        self.stats.parse_failures += 1
+        if self.quarantine is not None:
+            self.quarantine.admit(
+                error, packet.payload,
+                timestamp=packet.timestamp, context=context,
+            )
 
     def _remember(self, key: tuple, emitted: bool) -> None:
         if key not in self._flows:
@@ -97,22 +112,22 @@ class FlowTable:
             if packet.payload[:1] == bytes([tls.CONTENT_TYPE_HANDSHAKE]):
                 try:
                     hostname = tls.parse_client_hello_sni(packet.payload)
-                except tls.TLSParseError:
-                    self.stats.parse_failures += 1
+                except tls.TLSParseError as error:
+                    self._parse_failure(error, packet, "tls-sni")
             else:
                 return None  # not the handshake yet; keep waiting
         elif packet.protocol == IP_PROTO_UDP and packet.dst_port == PORT_HTTPS:
             source = "quic-sni"
             try:
                 hostname = quic.parse_initial_sni(packet.payload)
-            except quic.QUICParseError:
-                self.stats.parse_failures += 1
+            except quic.QUICParseError as error:
+                self._parse_failure(error, packet, "quic-sni")
         elif packet.protocol == IP_PROTO_UDP and packet.dst_port == PORT_DNS:
             # DNS is per-query, not per-flow: don't remember the key.
             try:
                 qname, _qtype = dnswire.parse_query(packet.payload)
-            except dnswire.DNSParseError:
-                self.stats.parse_failures += 1
+            except dnswire.DNSParseError as error:
+                self._parse_failure(error, packet, "dns")
                 return None
             self.stats.events_emitted += 1
             return HostnameEvent(

@@ -15,9 +15,16 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass
 
+from repro.netobs.dnswire import DNSParseError
 from repro.netobs.flows import FlowTable, HostnameEvent
-from repro.netobs.packets import Packet
+from repro.netobs.packets import Packet, PacketError
+from repro.netobs.quarantine import Quarantine
+from repro.netobs.quic import QUICParseError
+from repro.netobs.tls import TLSParseError
 from repro.traffic.events import HostKind, Request
+
+# Malformed-input errors the observer quarantines instead of propagating.
+_WIRE_ERRORS = (TLSParseError, QUICParseError, DNSParseError, PacketError)
 
 _VANTAGE_SOURCES = {
     "sni": {"tls-sni", "quic-sni"},
@@ -32,6 +39,11 @@ _VANTAGE_SOURCES = {
 class ObserverConfig:
     vantage: str = "sni"
     max_flows: int = 1_000_000
+    # Dead-letter buffer for malformed input (see repro.netobs.quarantine):
+    # how many offending payloads to retain, and how many leading bytes of
+    # each.  Counters are unbounded either way.
+    quarantine_capacity: int = 256
+    quarantine_sample_bytes: int = 64
 
     def validate(self) -> None:
         if self.vantage not in _VANTAGE_SOURCES:
@@ -39,6 +51,12 @@ class ObserverConfig:
                 f"vantage must be one of {sorted(_VANTAGE_SOURCES)}, "
                 f"got {self.vantage!r}"
             )
+        if self.max_flows <= 0:
+            raise ValueError(f"max_flows must be positive, got {self.max_flows}")
+        if self.quarantine_capacity < 0:
+            raise ValueError("quarantine_capacity must be >= 0")
+        if self.quarantine_sample_bytes < 0:
+            raise ValueError("quarantine_sample_bytes must be >= 0")
 
 
 class NetworkObserver:
@@ -48,15 +66,34 @@ class NetworkObserver:
         self.config = config or ObserverConfig()
         self.config.validate()
         self._accepted_sources = _VANTAGE_SOURCES[self.config.vantage]
+        self.quarantine = Quarantine(
+            capacity=self.config.quarantine_capacity,
+            sample_bytes=self.config.quarantine_sample_bytes,
+        )
         self.flow_table = FlowTable(
             max_flows=self.config.max_flows,
             ip_only=self.config.vantage == "ip",
+            quarantine=self.quarantine,
         )
         self._events: dict[str, list[HostnameEvent]] = defaultdict(list)
 
     def ingest(self, packet: Packet) -> HostnameEvent | None:
-        """Feed one packet; store and return its event, if any."""
-        event = self.flow_table.observe(packet)
+        """Feed one packet; store and return its event, if any.
+
+        Never raises on malformed payloads: wire-format errors are counted
+        and sampled into :attr:`quarantine`, and the packet is skipped —
+        a live observer must survive whatever the wire carries.
+        """
+        try:
+            event = self.flow_table.observe(packet)
+        except _WIRE_ERRORS as error:
+            # The flow table quarantines parse failures on its known paths;
+            # this is the backstop for anything that still escapes.
+            self.quarantine.admit(
+                error, packet.payload,
+                timestamp=packet.timestamp, context="observe",
+            )
+            return None
         if event is None or event.source not in self._accepted_sources:
             return None
         self._events[event.client_ip].append(event)
@@ -65,8 +102,18 @@ class NetworkObserver:
     def ingest_bytes(
         self, data: bytes, timestamp: float = 0.0
     ) -> HostnameEvent | None:
-        """Feed one raw IPv4 packet (as captured off the wire)."""
-        return self.ingest(Packet.from_bytes(data, timestamp=timestamp))
+        """Feed one raw IPv4 packet (as captured off the wire).
+
+        Undecodable packets are quarantined, not raised.
+        """
+        try:
+            packet = Packet.from_bytes(data, timestamp=timestamp)
+        except PacketError as error:
+            self.quarantine.admit(
+                error, data, timestamp=timestamp, context="ingest-bytes"
+            )
+            return None
+        return self.ingest(packet)
 
     def ingest_many(self, packets) -> list[HostnameEvent]:
         events = []

@@ -1,0 +1,88 @@
+"""Dead-letter quarantine for malformed wire input.
+
+A live observer must never die on a bad packet: real captures contain
+middlebox-mangled ClientHellos, truncated datagrams, and outright garbage
+(the constrained-view and noisy-capture settings of arXiv:1710.00069 and
+arXiv:2009.09284).  Instead of crashing — or silently discarding the
+evidence — malformed payloads are *quarantined*: counted per failure kind
+and sampled into a bounded ring buffer for post-hoc inspection, while the
+packet itself is skipped and the pipeline keeps running.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """One captured malformed input (payload truncated to the sample cap)."""
+
+    timestamp: float
+    kind: str            # error class name, e.g. "TLSParseError"
+    error: str           # stringified error message
+    context: str         # where it was caught, e.g. "tls-sni", "ingest-bytes"
+    payload: bytes       # leading bytes of the offending payload
+    payload_length: int  # original (untruncated) payload length
+
+
+class Quarantine:
+    """Bounded dead-letter buffer with per-kind failure counters.
+
+    ``capacity`` bounds the number of retained records (oldest evicted
+    first); ``sample_bytes`` bounds how much of each payload is kept.
+    Counters always reflect *every* admission, including ones whose
+    records have since been evicted — the buffer is a sample, the
+    counters are the truth.
+    """
+
+    def __init__(self, capacity: int = 256, sample_bytes: int = 64):
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        if sample_bytes < 0:
+            raise ValueError("sample_bytes must be >= 0")
+        self.capacity = capacity
+        self.sample_bytes = sample_bytes
+        self._records: deque[QuarantineRecord] = deque(maxlen=capacity or None)
+        self.counts: Counter[str] = Counter()
+        self.total = 0
+
+    def admit(
+        self,
+        error: Exception,
+        payload: bytes,
+        timestamp: float = 0.0,
+        context: str = "",
+    ) -> QuarantineRecord:
+        """Record one malformed input; never raises."""
+        record = QuarantineRecord(
+            timestamp=timestamp,
+            kind=type(error).__name__,
+            error=str(error),
+            context=context,
+            payload=bytes(payload[: self.sample_bytes]),
+            payload_length=len(payload),
+        )
+        self.total += 1
+        self.counts[record.kind] += 1
+        if self.capacity:
+            self._records.append(record)
+        return record
+
+    @property
+    def records(self) -> list[QuarantineRecord]:
+        """The retained sample, oldest first."""
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def summary(self) -> str:
+        """One-line operator-facing digest, e.g. for CLI output."""
+        if not self.total:
+            return "quarantine: empty"
+        kinds = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(self.counts.items())
+        )
+        return f"quarantine: {self.total} admitted ({kinds}), {len(self)} kept"

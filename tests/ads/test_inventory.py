@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.ads.inventory import Ad, AdDatabase, AdDatabaseConfig, IAB_SIZES
-from repro.utils.randomness import derive_rng
 
 
 def _ad(ad_id, cats, landing="shop.example.com", size=(300, 250), day=0):

@@ -1,6 +1,5 @@
 """Tests for cluster-quality inspection (Fig. 5 machinery)."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.clusters import (

@@ -10,7 +10,7 @@ implied by the update must match a finite-difference gradient of the loss.
 import numpy as np
 import pytest
 
-from repro.core.skipgram import SkipGramConfig, SkipGramModel, _sigmoid
+from repro.core.skipgram import _sigmoid
 from repro.utils.randomness import derive_rng
 
 
@@ -41,7 +41,6 @@ class TestGradients:
         W, C, centers, contexts, negatives = self._setup()
         before = _loss(W, C, centers, contexts, negatives)
 
-        model = SkipGramModel(SkipGramConfig(dim=W.shape[1], negatives=3))
         # Drive the real update with pinned negatives by monkeypatching
         # the negative draw: searchsorted over this cumulative table with
         # uniform draws u gives floor(u * V) == our pinned table lookup

@@ -71,11 +71,14 @@ class TestGrid:
         assert emission is not None and emission.client == "a"
         assert stream.active_clients == 2
 
-    def test_out_of_order_rejected(self, stream, embeddings):
+    def test_out_of_order_dropped_by_default(self, stream, embeddings):
+        """With zero lateness tolerance, stragglers are counted and
+        dropped — never raised (the wire is allowed to misbehave)."""
         host = embeddings.vocabulary.host_of(0)
         stream.ingest(_event(host, 100.0))
-        with pytest.raises(ValueError, match="time-ordered"):
-            stream.ingest(_event(host, 50.0))
+        assert stream.ingest(_event(host, 50.0)) is None
+        assert stream.late_events_dropped == 1
+        assert stream.late_events_reordered == 0
 
     def test_tracker_events_filtered(
         self, profiler, tracker_filter, embeddings

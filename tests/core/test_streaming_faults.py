@@ -1,0 +1,241 @@
+"""Fault-tolerance tests for the streaming profiler: bounded-lateness
+reordering, checkpoint/restore, and the idle-gap edge paths."""
+
+import numpy as np
+import pytest
+
+from repro.core.profiler import SessionProfiler
+from repro.core.streaming import StreamingConfig, StreamingProfiler
+from repro.netobs.flows import HostnameEvent
+from repro.utils.timeutils import minutes
+
+
+def _event(host, t, client="10.0.0.1"):
+    return HostnameEvent(
+        client_ip=client, timestamp=t, hostname=host, source="tls-sni"
+    )
+
+
+@pytest.fixture()
+def profiler(embeddings, labelled):
+    return SessionProfiler(embeddings, labelled)
+
+
+def _stream(profiler, **config_kwargs):
+    stream = StreamingProfiler(StreamingConfig(**config_kwargs))
+    stream.swap_model(profiler)
+    return stream
+
+
+class TestBoundedLateness:
+    def test_in_window_late_event_is_reinserted(self, profiler, embeddings):
+        hosts = embeddings.vocabulary.hosts[:3]
+        stream = _stream(profiler, max_lateness_seconds=60.0)
+        stream.ingest(_event(hosts[0], minutes(1)))
+        stream.ingest(_event(hosts[1], minutes(2)))
+        # 30 s behind the newest: inside the tolerance.
+        assert stream.ingest(_event(hosts[2], minutes(2) - 30.0)) is None
+        assert stream.late_events_reordered == 1
+        assert stream.late_events_dropped == 0
+        # The straggler joins the next window, in timestamp order.
+        emission = stream.ingest(_event(hosts[0], minutes(12)))
+        assert emission is not None
+        assert list(emission.window_hosts) == [hosts[0], hosts[2], hosts[1]]
+
+    def test_too_late_event_is_dropped(self, profiler, embeddings):
+        hosts = embeddings.vocabulary.hosts[:2]
+        stream = _stream(profiler, max_lateness_seconds=60.0)
+        stream.ingest(_event(hosts[0], minutes(5)))
+        assert stream.ingest(_event(hosts[1], minutes(2))) is None
+        assert stream.late_events_dropped == 1
+        assert stream.late_events_reordered == 0
+        # ...and it left no trace in the window.
+        emission = stream.ingest(_event(hosts[0], minutes(16)))
+        assert emission is not None
+        assert hosts[1] not in emission.window_hosts
+
+    def test_boundary_lateness_is_tolerated(self, profiler, embeddings):
+        hosts = embeddings.vocabulary.hosts[:2]
+        stream = _stream(profiler, max_lateness_seconds=60.0)
+        stream.ingest(_event(hosts[0], 100.0))
+        # Exactly at the bound: admitted.
+        stream.ingest(_event(hosts[1], 40.0))
+        assert stream.late_events_reordered == 1
+
+    def test_late_event_never_fires_a_tick(self, profiler, embeddings):
+        hosts = embeddings.vocabulary.hosts[:2]
+        stream = _stream(profiler, max_lateness_seconds=minutes(30))
+        stream.ingest(_event(hosts[0], 0.0))
+        stream.ingest(_event(hosts[0], minutes(25)))
+        # Late by 14 minutes, which crosses the minute-10 tick — but late
+        # arrivals only join windows, they never trigger reports.
+        assert stream.ingest(_event(hosts[1], minutes(11))) is None
+        assert stream.late_events_reordered == 1
+
+    def test_late_events_do_not_rewind_last_seen(self, profiler, embeddings):
+        host = embeddings.vocabulary.host_of(0)
+        stream = _stream(profiler, max_lateness_seconds=minutes(60))
+        stream.ingest(_event(host, minutes(30)))
+        stream.ingest(_event(host, minutes(10)))
+        # Eviction judges the client by its newest event, not the straggler.
+        horizon = minutes(30) + minutes(
+            stream.config.client_idle_timeout_minutes
+        )
+        assert stream.evict_idle(horizon - 1.0) == 0
+        assert stream.evict_idle(horizon + 1.0) == 1
+
+    def test_negative_lateness_rejected(self):
+        with pytest.raises(ValueError, match="max_lateness"):
+            StreamingConfig(max_lateness_seconds=-1.0).validate()
+
+
+class TestCheckpointRestore:
+    def test_roundtrip_preserves_state_and_counters(
+        self, profiler, embeddings, tmp_path
+    ):
+        hosts = embeddings.vocabulary.hosts[:4]
+        stream = _stream(profiler, max_lateness_seconds=5.0)
+        stream.ingest(_event(hosts[0], 0.0, client="a"))
+        stream.ingest(_event(hosts[1], minutes(5), client="a"))
+        stream.ingest(_event(hosts[2], minutes(11), client="a"))
+        stream.ingest(_event(hosts[3], minutes(3), client="b"))
+        path = tmp_path / "state.json"
+        stream.checkpoint(path)
+
+        restored = StreamingProfiler.restore(path)
+        assert restored.active_clients == stream.active_clients
+        assert restored.events_seen == stream.events_seen
+        assert restored.profiles_emitted == stream.profiles_emitted
+        assert restored.model_swaps == stream.model_swaps
+        assert restored.config.max_lateness_seconds == 5.0
+        assert not restored.has_model
+
+    def test_restored_stream_continues_identically(
+        self, profiler, embeddings, tmp_path
+    ):
+        """Kill-and-restore mid-stream must emit exactly what an
+        uninterrupted run emits for the remaining events."""
+        hosts = embeddings.vocabulary.hosts[:6]
+        events = []
+        t = 0.0
+        for i in range(30):
+            t += minutes(1.7)
+            events.append(
+                _event(hosts[i % len(hosts)], t, client=f"c{i % 3}")
+            )
+        cut = 13
+
+        continuous = _stream(profiler)
+        baseline = continuous.ingest_many(events)
+        expected_tail = [
+            e for e in baseline if e.timestamp > events[cut - 1].timestamp
+        ]
+
+        interrupted = _stream(profiler)
+        interrupted.ingest_many(events[:cut])
+        path = tmp_path / "state.json"
+        interrupted.checkpoint(path)
+        del interrupted   # the crash
+
+        resumed = StreamingProfiler.restore(path)
+        resumed.swap_model(profiler)
+        tail = resumed.ingest_many(events[cut:])
+        assert len(tail) == len(expected_tail)
+        for ours, theirs in zip(tail, expected_tail):
+            assert ours.client == theirs.client
+            assert ours.timestamp == theirs.timestamp
+            assert ours.window_hosts == theirs.window_hosts
+            np.testing.assert_allclose(
+                ours.profile.categories, theirs.profile.categories
+            )
+
+    def test_checkpoint_is_atomic(self, profiler, embeddings, tmp_path):
+        host = embeddings.vocabulary.host_of(0)
+        stream = _stream(profiler)
+        stream.ingest(_event(host, 0.0))
+        path = tmp_path / "state.json"
+        stream.checkpoint(path)
+        stream.checkpoint(path)   # overwrite in place
+        assert not (tmp_path / "state.json.tmp").exists()
+        assert StreamingProfiler.restore(path).active_clients == 1
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "state.json"
+        path.write_text('{"version": 99}')
+        with pytest.raises(ValueError, match="version"):
+            StreamingProfiler.restore(path)
+
+
+class TestIdleGapEdgePaths:
+    """Satellite coverage: evict_idle and grid catch-up over long gaps."""
+
+    def test_evict_idle_exact_boundary(self, profiler, embeddings):
+        host = embeddings.vocabulary.host_of(0)
+        stream = _stream(profiler)
+        stream.ingest(_event(host, 0.0, client="quiet"))
+        timeout = minutes(stream.config.client_idle_timeout_minutes)
+        # last_seen == horizon is not yet idle (strict inequality).
+        assert stream.evict_idle(timeout) == 0
+        assert stream.evict_idle(timeout + 1.0) == 1
+        assert stream.active_clients == 0
+
+    def test_evicted_client_restarts_fresh_grid(self, profiler, embeddings):
+        hosts = embeddings.vocabulary.hosts[:2]
+        stream = _stream(profiler)
+        stream.ingest(_event(hosts[0], 0.0))
+        stream.evict_idle(minutes(25 * 60))
+        # Re-appearing after eviction anchors a brand-new report grid:
+        # the first event emits nothing.
+        assert stream.ingest(_event(hosts[1], minutes(25 * 60))) is None
+        emission = stream.ingest(
+            _event(hosts[0], minutes(25 * 60 + 11))
+        )
+        assert emission is not None
+        assert hosts[1] in emission.window_hosts
+
+    def test_multiday_silence_then_burst(self, profiler, embeddings):
+        """A client silent for days then bursting produces exactly one
+        report: the lazy catch-up fires the one tick that was pending when
+        silence began (profiling the pre-gap window), then the grid jumps
+        past 'now' without replaying the idle days' worth of ticks."""
+        hosts = embeddings.vocabulary.hosts[:4]
+        stream = _stream(profiler)
+        stream.ingest(_event(hosts[0], 0.0))
+        stream.ingest(_event(hosts[1], minutes(5)))
+        silence = minutes(3 * 24 * 60)   # three days
+        burst = [
+            stream.ingest(_event(hosts[2], silence)),
+            stream.ingest(_event(hosts[3], silence + 30.0)),
+            stream.ingest(_event(hosts[0], silence + 60.0)),
+        ]
+        emissions = [e for e in burst if e is not None]
+        assert len(emissions) == 1
+        emission = emissions[0]
+        # The caught-up tick is the pre-gap one, with the pre-gap window.
+        assert emission.timestamp == minutes(10)
+        assert set(emission.window_hosts) == {hosts[0], hosts[1]}
+        # ...and the grid lands beyond the whole burst, not mid-gap.
+        state = stream._clients["10.0.0.1"]
+        assert state.next_report > silence + 60.0
+        # The next report covers only burst traffic.
+        follow_up = stream.ingest(
+            _event(hosts[2], state.next_report + 1.0)
+        )
+        assert follow_up is not None
+        assert hosts[1] not in follow_up.window_hosts
+
+    def test_grid_alignment_preserved_within_gap_tolerance(
+        self, profiler, embeddings
+    ):
+        """The catch-up loop keeps the grid phase-aligned to the client's
+        original anchor, however long the gap."""
+        host = embeddings.vocabulary.host_of(0)
+        stream = _stream(profiler)
+        anchor = 123.0
+        stream.ingest(_event(host, anchor))
+        gap = minutes(36 * 60) + 17.0    # not a multiple of the interval
+        stream.ingest(_event(host, anchor + gap))
+        state = stream._clients["10.0.0.1"]
+        interval = minutes(stream.config.report_interval_minutes)
+        offset = (state.next_report - anchor) % interval
+        assert offset == pytest.approx(0.0, abs=1e-6)

@@ -1,0 +1,241 @@
+"""Tests for degraded-mode retraining (RetrainSupervisor)."""
+
+import pytest
+
+from repro.core.streaming import StreamingProfiler
+from repro.core.supervisor import (
+    RetrainSupervisor,
+    SupervisorConfig,
+)
+
+
+class _FakeStats:
+    vocabulary_size = 42
+
+
+class _FlakyPipeline:
+    """train_on_day fails for the first ``failures`` calls, then works."""
+
+    def __init__(self, failures=0, always_fail_days=()):
+        self.failures = failures
+        self.always_fail_days = set(always_fail_days)
+        self.calls = []
+        self.trained_days = []
+        self._profiler = None
+
+    def train_on_day(self, trace, day):
+        self.calls.append(day)
+        if self.failures > 0:
+            self.failures -= 1
+            raise RuntimeError("disk full")
+        if day in self.always_fail_days:
+            raise RuntimeError(f"day {day} partition corrupt")
+        self._profiler = f"model-day-{day}"
+        self.trained_days.append(day)
+        return _FakeStats()
+
+    @property
+    def profiler(self):
+        if self._profiler is None:
+            raise RuntimeError("not trained")
+        return self._profiler
+
+
+def _config(**kwargs):
+    defaults = dict(
+        max_attempts=3,
+        backoff_base_seconds=60.0,
+        jitter_fraction=0.0,
+        seed=0,
+    )
+    defaults.update(kwargs)
+    return SupervisorConfig(**defaults)
+
+
+class TestRetrySemantics:
+    def test_success_first_try(self):
+        pipeline = _FlakyPipeline()
+        supervisor = RetrainSupervisor(pipeline, config=_config())
+        outcome = supervisor.retrain(None, 5)
+        assert outcome.succeeded
+        assert outcome.attempts == 1
+        assert outcome.backoff_seconds == ()
+        assert supervisor.last_success_day == 5
+        assert not supervisor.is_degraded
+
+    def test_transient_failure_is_retried(self):
+        pipeline = _FlakyPipeline(failures=2)
+        supervisor = RetrainSupervisor(pipeline, config=_config())
+        outcome = supervisor.retrain(None, 5)
+        assert outcome.succeeded
+        assert outcome.attempts == 3
+        assert supervisor.retries == 2
+        assert outcome.error is not None   # last failure is still reported
+
+    def test_exhausted_retries_lose_the_day(self):
+        pipeline = _FlakyPipeline(failures=99)
+        supervisor = RetrainSupervisor(pipeline, config=_config())
+        outcome = supervisor.retrain(None, 5)
+        assert not outcome.succeeded
+        assert outcome.attempts == 3
+        assert "RuntimeError: disk full" in outcome.error
+        assert supervisor.failed_days == [5]
+        assert supervisor.is_degraded
+        assert len(pipeline.calls) == 3
+
+    def test_never_raises(self):
+        pipeline = _FlakyPipeline(failures=99)
+        supervisor = RetrainSupervisor(pipeline, config=_config())
+        # Even a pathological pipeline cannot take the supervisor down.
+        for day in range(4):
+            supervisor.retrain(None, day)
+        assert supervisor.consecutive_failures == 4
+
+
+class TestBackoff:
+    def test_exponential_backoff_without_jitter(self):
+        pipeline = _FlakyPipeline(failures=99)
+        slept = []
+        supervisor = RetrainSupervisor(
+            pipeline,
+            config=_config(max_attempts=4, backoff_multiplier=2.0),
+            sleep=slept.append,
+        )
+        outcome = supervisor.retrain(None, 1)
+        assert list(outcome.backoff_seconds) == [60.0, 120.0, 240.0]
+        assert slept == [60.0, 120.0, 240.0]
+
+    def test_backoff_is_capped(self):
+        pipeline = _FlakyPipeline(failures=99)
+        supervisor = RetrainSupervisor(
+            pipeline,
+            config=_config(
+                max_attempts=6, backoff_base_seconds=1000.0,
+                backoff_max_seconds=1500.0,
+            ),
+        )
+        outcome = supervisor.retrain(None, 1)
+        assert max(outcome.backoff_seconds) == 1500.0
+
+    def test_jitter_is_bounded_and_deterministic(self):
+        def run(seed):
+            pipeline = _FlakyPipeline(failures=99)
+            supervisor = RetrainSupervisor(
+                pipeline,
+                config=_config(jitter_fraction=0.1, seed=seed),
+            )
+            return supervisor.retrain(None, 1).backoff_seconds
+
+        first, second = run(7), run(7)
+        assert first == second          # same seed, same jitter
+        for delay, nominal in zip(first, (60.0, 120.0)):
+            assert nominal * 0.9 <= delay <= nominal * 1.1
+        assert run(8) != first          # different seed, different jitter
+
+
+class TestDegradedServing:
+    def test_previous_model_keeps_serving_on_failure(self):
+        pipeline = _FlakyPipeline(always_fail_days=(6,))
+        stream = StreamingProfiler()
+        supervisor = RetrainSupervisor(pipeline, stream=stream, config=_config())
+        supervisor.retrain(None, 5)
+        assert stream._profiler == "model-day-5"
+        supervisor.retrain(None, 6)           # lost day
+        assert stream._profiler == "model-day-5"   # still serving day 5
+        assert stream.model_swaps == 1
+        supervisor.retrain(None, 7)           # recovery
+        assert stream._profiler == "model-day-7"
+        assert stream.model_swaps == 2
+
+    def test_staleness_tracks_lost_days(self):
+        pipeline = _FlakyPipeline(always_fail_days=(6, 7))
+        supervisor = RetrainSupervisor(pipeline, config=_config())
+        assert supervisor.staleness_days(5) is None
+        supervisor.retrain(None, 5)
+        assert supervisor.staleness_days(5) == 0
+        supervisor.retrain(None, 6)
+        supervisor.retrain(None, 7)
+        assert supervisor.staleness_days(7) == 2
+        assert supervisor.consecutive_failures == 2
+        supervisor.retrain(None, 8)
+        assert supervisor.staleness_days(8) == 0
+        assert supervisor.consecutive_failures == 0
+
+    def test_error_log_is_bounded(self):
+        pipeline = _FlakyPipeline(failures=999)
+        supervisor = RetrainSupervisor(
+            pipeline, config=_config(max_recorded_errors=5)
+        )
+        for day in range(10):
+            supervisor.retrain(None, day)
+        assert len(supervisor.errors) == 5
+
+    def test_summary_mentions_lost_days(self):
+        pipeline = _FlakyPipeline(failures=99)
+        supervisor = RetrainSupervisor(pipeline, config=_config())
+        supervisor.retrain(None, 3)
+        assert "1 days lost" in supervisor.summary()
+        assert "never trained" in supervisor.summary()
+
+
+class TestConfigValidation:
+    def test_bad_values_rejected(self):
+        with pytest.raises(ValueError):
+            SupervisorConfig(max_attempts=0).validate()
+        with pytest.raises(ValueError):
+            SupervisorConfig(backoff_multiplier=0.5).validate()
+        with pytest.raises(ValueError):
+            SupervisorConfig(jitter_fraction=1.0).validate()
+        with pytest.raises(ValueError):
+            SupervisorConfig(backoff_base_seconds=-1).validate()
+
+
+class TestWithRealPipeline:
+    def test_supervised_retrain_trains_and_swaps(
+        self, trace, labelled, tracker_filter
+    ):
+        from repro.core.pipeline import NetworkObserverProfiler, PipelineConfig
+        from repro.core.skipgram import SkipGramConfig
+
+        pipeline = NetworkObserverProfiler(
+            labelled,
+            config=PipelineConfig(
+                skipgram=SkipGramConfig(epochs=2, seed=0)
+            ),
+            tracker_filter=tracker_filter,
+        )
+        stream = StreamingProfiler(tracker_filter=tracker_filter)
+        supervisor = RetrainSupervisor(pipeline, stream=stream)
+        outcome = supervisor.retrain(trace, 0)
+        assert outcome.succeeded
+        assert stream.has_model
+        assert pipeline.trained_days == [0]
+
+    def test_failed_retrain_preserves_serving_model(
+        self, trace, labelled, tracker_filter, monkeypatch
+    ):
+        from repro.core.pipeline import NetworkObserverProfiler, PipelineConfig
+        from repro.core.skipgram import SkipGramConfig, SkipGramModel
+
+        pipeline = NetworkObserverProfiler(
+            labelled,
+            config=PipelineConfig(
+                skipgram=SkipGramConfig(epochs=2, seed=0)
+            ),
+            tracker_filter=tracker_filter,
+        )
+        supervisor = RetrainSupervisor(
+            pipeline, config=_config(max_attempts=2)
+        )
+        assert supervisor.retrain(trace, 0).succeeded
+        serving = pipeline.profiler
+
+        def explode(self, sequences):
+            raise MemoryError("OOM mid-fit")
+
+        monkeypatch.setattr(SkipGramModel, "fit", explode)
+        outcome = supervisor.retrain(trace, 1)
+        assert not outcome.succeeded
+        # Atomic swap: the day-0 model is untouched by the dead retrain.
+        assert pipeline.profiler is serving
+        assert pipeline.is_trained

@@ -1,6 +1,5 @@
 """Tests for the decoy-injection defense."""
 
-import numpy as np
 import pytest
 
 from repro.defense.decoys import DecoyConfig, DecoyInjector, evaluate_defense

@@ -1,6 +1,5 @@
 """Tests for the profiling back-end."""
 
-import numpy as np
 import pytest
 
 from repro.ads.inventory import Ad, AdDatabase

@@ -1,6 +1,5 @@
 """Tests for the end-to-end experiment runner (slow-ish; small config)."""
 
-import numpy as np
 import pytest
 
 from repro.experiment import ExperimentConfig, ExperimentRunner

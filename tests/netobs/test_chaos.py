@@ -1,0 +1,176 @@
+"""Tests for the deterministic fault-injection harness."""
+
+import pytest
+
+from repro.netobs.capture import CaptureConfig, TrafficSynthesizer
+from repro.netobs.chaos import ChaosConfig, ChaosEngine, _poison_for
+from repro.netobs.flows import FlowTable
+from repro.netobs.observer import NetworkObserver
+from repro.netobs.packets import IP_PROTO_TCP, IP_PROTO_UDP, Packet
+from repro.traffic.events import HostKind, Request
+
+
+def _requests(n_users=4, n_hosts=6):
+    requests = []
+    t = 0.0
+    for user in range(n_users):
+        for i in range(n_hosts):
+            t += 1.5
+            host = f"site{i}.example{user}.com"
+            requests.append(
+                Request(
+                    user_id=user, timestamp=t, hostname=host,
+                    kind=HostKind.SITE, site_domain=host,
+                )
+            )
+    return requests
+
+
+def _clean_packets(seed=7, **capture_kwargs):
+    synth = TrafficSynthesizer(
+        seed=seed, config=CaptureConfig(**capture_kwargs)
+    )
+    return sorted(
+        (
+            packet
+            for request in _requests()
+            for packet in synth.packets_for_request(request)
+        ),
+        key=lambda p: p.timestamp,
+    )
+
+
+class TestDeterminism:
+    def test_same_seed_same_faults(self):
+        packets = _clean_packets()
+        config = ChaosConfig(
+            corrupt_fraction=0.2, duplicate_fraction=0.1,
+            drop_fraction=0.1, reorder_fraction=0.2, seed=3,
+        )
+        one = ChaosEngine(config).apply(list(packets))
+        two = ChaosEngine(config).apply(list(packets))
+        assert [(p.timestamp, p.payload) for p in one] == \
+            [(p.timestamp, p.payload) for p in two]
+
+    def test_different_seed_different_faults(self):
+        packets = _clean_packets()
+        a = ChaosEngine(ChaosConfig(drop_fraction=0.3, seed=1))
+        b = ChaosEngine(ChaosConfig(drop_fraction=0.3, seed=2))
+        a.apply(list(packets))
+        b.apply(list(packets))
+        # Same expected count, different realizations (overwhelmingly).
+        assert a.stats.packets_seen == b.stats.packets_seen
+
+
+class TestContentFaults:
+    def test_no_faults_is_identity(self):
+        packets = _clean_packets()
+        out = ChaosEngine(ChaosConfig()).apply(list(packets))
+        assert [(p.timestamp, p.payload) for p in out] == \
+            [(p.timestamp, p.payload) for p in packets]
+
+    def test_every_corruption_causes_exactly_one_parse_failure(self):
+        packets = _clean_packets(dns_fraction=1.0)
+        engine = ChaosEngine(
+            ChaosConfig(corrupt_fraction=0.3, truncate_fraction=0.2, seed=5)
+        )
+        table = FlowTable()
+        for packet in engine.apply(packets):
+            table.observe(packet)
+        injected = engine.stats.corrupted + engine.stats.truncated
+        assert injected > 0
+        assert table.stats.parse_failures == injected
+
+    def test_drop_removes_packets(self):
+        packets = _clean_packets()
+        engine = ChaosEngine(ChaosConfig(drop_fraction=0.5, seed=9))
+        out = engine.apply(list(packets))
+        assert engine.stats.dropped > 0
+        assert len(out) == len(packets) - engine.stats.dropped
+
+    def test_duplicates_add_packets_but_no_events(self):
+        packets = _clean_packets(dns_fraction=0.0)
+        engine = ChaosEngine(ChaosConfig(duplicate_fraction=0.4, seed=11))
+        out = engine.apply(list(packets))
+        assert engine.stats.duplicated > 0
+        assert len(out) == len(packets) + engine.stats.duplicated
+        # Flow dedup absorbs every duplicate handshake.
+        observer = NetworkObserver()
+        events = observer.ingest_many(out)
+        baseline = NetworkObserver().ingest_many(packets)
+        assert len(events) == len(baseline)
+
+    def test_poison_targets_only_parseable_packets(self):
+        followup = Packet(
+            src_ip="10.0.0.1", dst_ip="198.51.100.1",
+            protocol=IP_PROTO_TCP, src_port=50000, dst_port=443,
+            payload=b"\x17\x03\x03\x00\x10" + bytes(16),
+        )
+        assert _poison_for(followup) is None
+        quic_short = Packet(
+            src_ip="10.0.0.1", dst_ip="198.51.100.1",
+            protocol=IP_PROTO_UDP, src_port=50000, dst_port=443,
+            payload=b"\x40" + bytes(24),
+        )
+        assert _poison_for(quic_short) is None
+
+
+class TestTimingFaults:
+    def test_reordering_is_bounded(self):
+        packets = _clean_packets()
+        delay = 2.0
+        engine = ChaosEngine(
+            ChaosConfig(
+                reorder_fraction=0.5,
+                reorder_max_delay_seconds=delay, seed=13,
+            )
+        )
+        out = engine.apply(list(packets))
+        assert engine.stats.reordered > 0
+        assert len(out) == len(packets)
+        # Arrival order may disagree with timestamp order, but never by
+        # more than the configured delay bound.
+        high_water = 0.0
+        for packet in out:
+            assert packet.timestamp >= high_water - delay
+            high_water = max(high_water, packet.timestamp)
+
+    def test_clock_skew_rewrites_timestamps(self):
+        packets = _clean_packets()
+        engine = ChaosEngine(
+            ChaosConfig(
+                clock_skew_fraction=0.3, clock_skew_seconds=10.0, seed=17
+            )
+        )
+        out = engine.apply(list(packets))
+        assert engine.stats.skewed > 0
+        # No drops/dups here and arrival is anchored to the wire time, so
+        # output order matches input order packet-for-packet.
+        shifted = [
+            (before, after) for before, after in zip(packets, out)
+            if after.timestamp < before.timestamp
+        ]
+        assert len(shifted) == engine.stats.skewed
+        # Skew is the full amount except where clamped at the epoch.
+        for before, after in shifted:
+            expected = max(0.0, before.timestamp - 10.0)
+            assert after.timestamp == pytest.approx(expected)
+
+
+class TestConfigValidation:
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(corrupt_fraction=1.5).validate()
+        with pytest.raises(ValueError):
+            ChaosConfig(drop_fraction=-0.1).validate()
+
+    def test_content_fractions_must_fit_one(self):
+        with pytest.raises(ValueError, match="exceed 1"):
+            ChaosConfig(
+                corrupt_fraction=0.5, truncate_fraction=0.3,
+                duplicate_fraction=0.2, drop_fraction=0.1,
+            ).validate()
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(reorder_max_delay_seconds=-1).validate()

@@ -1,7 +1,5 @@
 """Tests for the encrypted-SNI / IP-only vantage (paper Section 7.2)."""
 
-import pytest
-
 from repro.netobs.capture import TrafficSynthesizer
 from repro.netobs.flows import FlowTable
 from repro.netobs.observer import NetworkObserver, ObserverConfig

@@ -1,0 +1,137 @@
+"""Tests for the malformed-input quarantine and observer hardening."""
+
+import pytest
+
+from repro.netobs.dnswire import build_query
+from repro.netobs.observer import NetworkObserver, ObserverConfig
+from repro.netobs.packets import IP_PROTO_TCP, IP_PROTO_UDP, Packet
+from repro.netobs.quarantine import Quarantine
+from repro.netobs.tls import build_client_hello
+
+
+def _packet(payload, protocol=IP_PROTO_TCP, dst_port=443, timestamp=0.0):
+    return Packet(
+        src_ip="10.0.0.1", dst_ip="198.51.100.1",
+        protocol=protocol, src_port=50000, dst_port=dst_port,
+        payload=payload, timestamp=timestamp,
+    )
+
+
+class TestQuarantine:
+    def test_counts_and_records(self):
+        q = Quarantine(capacity=4, sample_bytes=8)
+        q.admit(ValueError("bad"), b"x" * 100, timestamp=5.0, context="tls")
+        assert q.total == 1
+        assert q.counts["ValueError"] == 1
+        record = q.records[0]
+        assert record.payload == b"x" * 8
+        assert record.payload_length == 100
+        assert record.timestamp == 5.0
+        assert record.context == "tls"
+
+    def test_buffer_is_bounded_counters_are_not(self):
+        q = Quarantine(capacity=3)
+        for i in range(10):
+            q.admit(ValueError(str(i)), b"p")
+        assert len(q) == 3
+        assert q.total == 10
+        # oldest evicted first: the sample holds the newest three
+        assert [r.error for r in q.records] == ["7", "8", "9"]
+
+    def test_zero_capacity_keeps_nothing_but_counts(self):
+        q = Quarantine(capacity=0)
+        q.admit(ValueError("x"), b"p")
+        assert len(q) == 0
+        assert q.total == 1
+
+    def test_invalid_limits(self):
+        with pytest.raises(ValueError):
+            Quarantine(capacity=-1)
+        with pytest.raises(ValueError):
+            Quarantine(sample_bytes=-1)
+
+    def test_summary_names_kinds(self):
+        q = Quarantine()
+        assert q.summary() == "quarantine: empty"
+        q.admit(ValueError("x"), b"p")
+        assert "ValueError=1" in q.summary()
+
+
+class TestObserverHardening:
+    def test_corrupt_client_hello_is_quarantined_not_raised(self):
+        observer = NetworkObserver()
+        # Promises a 0xffff-byte record it does not carry.
+        bad = _packet(b"\x16\x03\x01\xff\xff" + bytes(8))
+        assert observer.ingest(bad) is None
+        assert observer.quarantine.total == 1
+        assert observer.quarantine.counts["TLSParseError"] == 1
+        assert observer.flow_table.stats.parse_failures == 1
+
+    def test_corrupt_quic_initial_is_quarantined(self):
+        observer = NetworkObserver()
+        bad = _packet(b"\xc0\x00\x00\x00\x00" + bytes(8),
+                      protocol=IP_PROTO_UDP)
+        assert observer.ingest(bad) is None
+        assert observer.quarantine.counts["QUICParseError"] == 1
+
+    def test_corrupt_dns_query_is_quarantined(self):
+        observer = NetworkObserver(ObserverConfig(vantage="dns"))
+        bad = _packet(b"\x00\x00\x01", protocol=IP_PROTO_UDP, dst_port=53)
+        assert observer.ingest(bad) is None
+        assert observer.quarantine.counts["DNSParseError"] == 1
+
+    def test_undecodable_bytes_are_quarantined(self):
+        observer = NetworkObserver()
+        assert observer.ingest_bytes(b"\x00garbage", timestamp=3.0) is None
+        assert observer.quarantine.counts["PacketError"] == 1
+        assert observer.quarantine.records[0].context == "ingest-bytes"
+
+    def test_good_traffic_still_flows_around_bad(self):
+        observer = NetworkObserver()
+        bad = _packet(b"\x16\x03\x01\xff\xff" + bytes(8))
+        good = Packet(
+            src_ip="10.0.0.2", dst_ip="198.51.100.1",
+            protocol=IP_PROTO_TCP, src_port=50001, dst_port=443,
+            payload=build_client_hello("site.example.com"), timestamp=1.0,
+        )
+        observer.ingest(bad)
+        event = observer.ingest(good)
+        assert event is not None and event.hostname == "site.example.com"
+        assert observer.quarantine.total == 1
+
+    def test_quarantined_flow_is_remembered(self):
+        """A corrupted handshake classifies its flow: retransmits of the
+        same 5-tuple are not re-parsed (and not re-quarantined)."""
+        observer = NetworkObserver()
+        bad = _packet(b"\x16\x03\x01\xff\xff" + bytes(8))
+        observer.ingest(bad)
+        observer.ingest(bad)
+        assert observer.quarantine.total == 1
+
+    def test_dns_vantage_ignores_tls_but_still_quarantines_dns(self):
+        observer = NetworkObserver(ObserverConfig(vantage="dns"))
+        good = _packet(
+            build_query("site.example.com"),
+            protocol=IP_PROTO_UDP, dst_port=53,
+        )
+        assert observer.ingest(good) is not None
+        assert observer.quarantine.total == 0
+
+
+class TestObserverConfigValidation:
+    def test_zero_max_flows_rejected(self):
+        with pytest.raises(ValueError, match="max_flows"):
+            ObserverConfig(max_flows=0).validate()
+
+    def test_negative_max_flows_rejected(self):
+        with pytest.raises(ValueError, match="max_flows"):
+            NetworkObserver(ObserverConfig(max_flows=-5))
+
+    def test_negative_quarantine_limits_rejected(self):
+        with pytest.raises(ValueError):
+            ObserverConfig(quarantine_capacity=-1).validate()
+        with pytest.raises(ValueError):
+            ObserverConfig(quarantine_sample_bytes=-1).validate()
+
+    def test_valid_config_accepted(self):
+        ObserverConfig(max_flows=1, quarantine_capacity=0).validate()

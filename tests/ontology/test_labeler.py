@@ -1,6 +1,5 @@
 """Tests for the coverage-limited ontology labeler."""
 
-import numpy as np
 import pytest
 
 from repro.ontology import OntologyLabeler, build_default_taxonomy

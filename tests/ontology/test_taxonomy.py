@@ -1,6 +1,5 @@
 """Tests for the category taxonomy and its level-2 truncation."""
 
-import numpy as np
 import pytest
 
 from repro.ontology.taxonomy import Taxonomy

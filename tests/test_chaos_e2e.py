@@ -1,0 +1,190 @@
+"""End-to-end fault-tolerance proof (the ISSUE's acceptance scenario).
+
+A synthesized multi-user day of traffic is pushed through the chaos
+engine (corruption, truncation, duplication, bounded reordering), the
+hardened observer, and the bounded-lateness streaming profiler, with the
+daily retrain supervised through one forced failure.  The run must:
+
+* raise nothing;
+* quarantine exactly the injected corrupt/truncated packets;
+* drop no event (reordering stays inside the lateness bound);
+* still emit profiles for every client a fault-free run profiles;
+* survive a kill-and-restore from checkpoint with byte-identical
+  remaining emissions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import NetworkObserverProfiler, PipelineConfig
+from repro.core.skipgram import SkipGramConfig
+from repro.core.streaming import StreamingConfig, StreamingProfiler
+from repro.core.supervisor import RetrainSupervisor, SupervisorConfig
+from repro.netobs import (
+    CaptureConfig,
+    ChaosConfig,
+    ChaosEngine,
+    NetworkObserver,
+    ObserverConfig,
+    TrafficSynthesizer,
+)
+
+REORDER_DELAY = 2.0
+LATENESS = 30.0
+
+
+class _FailsOnce:
+    """Wraps a pipeline so its first daily retrain dies (forced outage)."""
+
+    def __init__(self, pipeline):
+        self.pipeline = pipeline
+        self.failures_injected = 0
+
+    def train_on_day(self, trace, day):
+        if not self.failures_injected:
+            self.failures_injected = 1
+            raise RuntimeError("forced retrain failure")
+        return self.pipeline.train_on_day(trace, day)
+
+    @property
+    def profiler(self):
+        return self.pipeline.profiler
+
+
+@pytest.fixture(scope="module")
+def clean_packets(trace):
+    synthesizer = TrafficSynthesizer(
+        seed=99, config=CaptureConfig(followup_packets=0)
+    )
+    return sorted(
+        (
+            packet
+            for request in trace.day(1)[:1500]
+            for packet in synthesizer.packets_for_request(request)
+        ),
+        key=lambda p: p.timestamp,
+    )
+
+
+def _streaming_model(trace, labelled, tracker_filter):
+    """Train the serving model under supervision, one forced failure."""
+    pipeline = NetworkObserverProfiler(
+        labelled,
+        config=PipelineConfig(skipgram=SkipGramConfig(epochs=2, seed=7)),
+        tracker_filter=tracker_filter,
+    )
+    supervisor = RetrainSupervisor(
+        _FailsOnce(pipeline),
+        config=SupervisorConfig(max_attempts=2, seed=7),
+    )
+    outcome = supervisor.retrain(trace, 0)
+    assert outcome.succeeded and outcome.attempts == 2
+    assert supervisor.retries == 1
+    return pipeline.profiler
+
+
+def _run_stream(events, model, tracker_filter):
+    stream = StreamingProfiler(
+        StreamingConfig(max_lateness_seconds=LATENESS),
+        tracker_filter=tracker_filter,
+    )
+    stream.swap_model(model)
+    return stream, stream.ingest_many(events)
+
+
+def test_chaos_end_to_end(trace, labelled, tracker_filter, clean_packets):
+    chaos = ChaosEngine(
+        ChaosConfig(
+            corrupt_fraction=0.15,
+            truncate_fraction=0.05,
+            duplicate_fraction=0.05,
+            reorder_fraction=0.10,
+            reorder_max_delay_seconds=REORDER_DELAY,
+            seed=13,
+        )
+    )
+    dirty = chaos.apply(clean_packets)
+    injected_bad = chaos.stats.corrupted + chaos.stats.truncated
+    # The scenario calls for a meaningful fault volume: >= 5 % of all
+    # packets corrupted/truncated, plus duplication and reordering.
+    assert injected_bad >= 0.05 * len(clean_packets)
+    assert chaos.stats.duplicated > 0
+    assert chaos.stats.reordered > 0
+
+    model = _streaming_model(trace, labelled, tracker_filter)
+
+    # -- the faulted run (nothing here may raise) --------------------------
+    observer = NetworkObserver(ObserverConfig(vantage="sni"))
+    dirty_events = observer.ingest_many(dirty)
+    stream, emissions = _run_stream(dirty_events, model, tracker_filter)
+
+    # Quarantine counters match the injected faults exactly.
+    assert observer.quarantine.total == injected_bad
+    assert observer.flow_table.stats.parse_failures == injected_bad
+    assert sum(observer.quarantine.counts.values()) == injected_bad
+    assert observer.quarantine.records, "sampled payloads must be kept"
+
+    # Reordering stayed inside the lateness bound: tolerated, not dropped.
+    assert stream.late_events_dropped == 0
+
+    # Every client a fault-free run profiles is still profiled.
+    clean_observer = NetworkObserver(ObserverConfig(vantage="sni"))
+    clean_events = clean_observer.ingest_many(list(clean_packets))
+    assert clean_observer.quarantine.total == 0
+    _, clean_emissions = _run_stream(clean_events, model, tracker_filter)
+    clean_clients = {e.client for e in clean_emissions}
+    dirty_clients = {e.client for e in emissions}
+    assert clean_clients, "baseline must profile someone"
+    assert clean_clients <= dirty_clients
+
+    # Profiles remain well-formed under fault load.
+    for emission in emissions:
+        categories = emission.profile.categories
+        assert ((categories >= 0) & (categories <= 1)).all()
+
+
+def test_kill_and_restore_matches_uninterrupted_run(
+    trace, labelled, tracker_filter, clean_packets, tmp_path
+):
+    chaos = ChaosEngine(
+        ChaosConfig(
+            corrupt_fraction=0.10,
+            duplicate_fraction=0.05,
+            reorder_fraction=0.10,
+            reorder_max_delay_seconds=REORDER_DELAY,
+            seed=21,
+        )
+    )
+    observer = NetworkObserver()
+    events = observer.ingest_many(chaos.apply(clean_packets))
+    model = _streaming_model(trace, labelled, tracker_filter)
+
+    continuous, _ = _run_stream(events[:0], model, tracker_filter)
+    baseline = continuous.ingest_many(events)
+
+    cut = len(events) // 2
+    victim, _ = _run_stream(events[:0], model, tracker_filter)
+    head = victim.ingest_many(events[:cut])
+    checkpoint = tmp_path / "observer-state.json"
+    victim.checkpoint(checkpoint)
+    del victim                                    # the crash
+
+    resumed = StreamingProfiler.restore(
+        checkpoint, tracker_filter=tracker_filter
+    )
+    assert resumed.config.max_lateness_seconds == LATENESS
+    resumed.swap_model(model)
+    tail = resumed.ingest_many(events[cut:])
+
+    expected_tail = baseline[len(head):]
+    assert len(tail) == len(expected_tail)
+    for ours, theirs in zip(tail, expected_tail):
+        assert ours.client == theirs.client
+        assert ours.timestamp == theirs.timestamp
+        assert ours.window_hosts == theirs.window_hosts
+        np.testing.assert_allclose(
+            ours.profile.categories, theirs.profile.categories
+        )
+    # Counters resume seamlessly too.
+    assert resumed.events_seen == continuous.events_seen
+    assert resumed.profiles_emitted == continuous.profiles_emitted

@@ -18,7 +18,11 @@ class TestParser:
             ["train", "--output", "x.npz"],
             ["neighbours", "v.npz", "a.com"],
             ["synthesize", "--output", "c.pcap"],
+            ["synthesize", "--chaos-corrupt", "0.1", "--chaos-drop", "0.05"],
             ["observe", "c.pcap", "--vantage", "dns"],
+            ["stream", "c.pcap", "--max-lateness-seconds", "30"],
+            ["experiment", "--retrain-attempts", "4",
+             "--retrain-backoff", "30"],
         ],
     )
     def test_known_commands_parse(self, argv):
@@ -95,3 +99,35 @@ class TestCommands:
         capsys.readouterr()
         assert main(["observe", str(pcap), "--vantage", "ip"]) == 0
         assert "ip:" in capsys.readouterr().out
+
+    def test_synthesize_with_chaos_then_stream(self, tmp_path, capsys):
+        pcap = tmp_path / "chaotic.pcap"
+        assert main(
+            ["synthesize", *self.WORLD, "--output", str(pcap),
+             "--chaos-corrupt", "0.1", "--chaos-duplicate", "0.05",
+             "--chaos-reorder", "0.1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "chaos:" in out
+        assert main(
+            ["stream", str(pcap), "--max-lateness-seconds", "30"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "quarantine:" in out
+        assert "late dropped" in out
+
+    def test_stream_checkpoint_roundtrip(self, tmp_path, capsys):
+        pcap = tmp_path / "capture.pcap"
+        main(["synthesize", *self.WORLD, "--output", str(pcap)])
+        state = tmp_path / "state.json"
+        capsys.readouterr()
+        assert main(
+            ["stream", str(pcap), "--checkpoint", str(state)]
+        ) == 0
+        assert "checkpointed" in capsys.readouterr().out
+        assert state.exists()
+        # Second run restores the saved sessions.
+        assert main(
+            ["stream", str(pcap), "--checkpoint", str(state)]
+        ) == 0
+        assert "restored" in capsys.readouterr().out

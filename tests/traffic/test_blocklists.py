@@ -7,7 +7,6 @@ from repro.traffic.blocklists import (
     TrackerFilter,
     build_blocklists,
 )
-from repro.traffic.events import HostKind
 from repro.utils.randomness import derive_rng
 
 

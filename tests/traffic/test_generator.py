@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.traffic.generator import DiurnalModel, Trace, TraceGenerator
-from repro.utils.randomness import derive_rng
+from repro.traffic.generator import DiurnalModel, TraceGenerator
 from repro.utils.timeutils import DAY_SECONDS
 
 

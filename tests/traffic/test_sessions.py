@@ -1,6 +1,5 @@
 """Tests for the browsing model."""
 
-import numpy as np
 import pytest
 
 from repro.traffic.events import HostKind
