@@ -5,7 +5,18 @@ can be scaled up to requirements, allowing traffic analysis at line rate."
 We cannot reproduce a line-rate cluster, but we can measure the two costs
 that claim is about: tokens/second of SGNS training and sessions/second of
 profiling, on a single core.
+
+Results are also emitted through the metrics registry and written to
+``benchmarks/out/BENCH_throughput.json`` (a ``repro-metrics-v1`` snapshot),
+and the instrumentation itself is benchmarked: an instrumented training run
+must stay within a few percent of a bare one, or the telemetry layer has
+leaked into the hot path.
 """
+
+import json
+import statistics
+import time
+from pathlib import Path
 
 from repro.core import (
     SkipGramConfig,
@@ -14,7 +25,24 @@ from repro.core import (
     day_corpus,
 )
 from repro.core.session import SessionExtractor
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
 from repro.utils.timeutils import minutes
+
+OUT_DIR = Path(__file__).parent / "out"
+
+# One registry for the whole bench module; every test adds its gauges and
+# rewrites the cumulative snapshot, so the last test to run leaves the
+# complete BENCH_throughput.json behind.
+BENCH_REGISTRY = MetricsRegistry()
+
+
+def _emit(name: str, help_text: str, value: float) -> None:
+    BENCH_REGISTRY.gauge(name, help_text).set(value)
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "BENCH_throughput.json").write_text(
+        BENCH_REGISTRY.to_json(indent=2) + "\n"
+    )
 
 
 def test_training_throughput(benchmark, paper_world, report_sink):
@@ -35,6 +63,11 @@ def test_training_throughput(benchmark, paper_world, report_sink):
         f"throughput: {token_rate:,.0f} tokens/s",
     ]
     report_sink("throughput_training", "\n".join(lines))
+    _emit(
+        "bench_training_tokens_per_second",
+        "SGNS training throughput, single core.",
+        token_rate,
+    )
     assert token_rate > 5_000, "training must sustain a usable token rate"
 
 
@@ -66,4 +99,61 @@ def test_profiling_throughput(paper_world, benchmark, report_sink):
         "sharding users across cores.",
     ]
     report_sink("throughput_profiling", "\n".join(lines))
+    _emit(
+        "bench_profiling_sessions_per_second",
+        "Session profiling throughput, single core.",
+        rate,
+    )
     assert rate > 50, "profiling must sustain many sessions per second"
+
+
+def test_instrumentation_overhead(paper_world, report_sink):
+    """Instrumented training must cost within a few percent of bare.
+
+    Bare = the no-op registry/tracer defaults; instrumented = a real
+    registry plus a real tracer, i.e. exactly what ``--metrics-out`` pays.
+    Medians of interleaved runs keep machine noise out of the ratio.
+    """
+    corpus = day_corpus(paper_world.trace, 0)[:400]
+
+    def train(registry=None, tracer=None) -> float:
+        model = SkipGramModel(
+            SkipGramConfig(epochs=2, seed=0),
+            registry=registry, tracer=tracer,
+        )
+        started = time.perf_counter()
+        model.fit(corpus)
+        return time.perf_counter() - started
+
+    train()  # warm-up (allocator, caches)
+    bare, instrumented = [], []
+    for _ in range(3):
+        bare.append(train())
+        instrumented.append(train(MetricsRegistry(), Tracer()))
+    ratio = statistics.median(instrumented) / statistics.median(bare)
+
+    lines = [
+        "Telemetry overhead (SGNS training, 2 epochs x 400 sequences)",
+        f"bare:         {statistics.median(bare) * 1e3:.1f} ms (median of 3)",
+        f"instrumented: {statistics.median(instrumented) * 1e3:.1f} ms",
+        f"overhead ratio: {ratio:.3f}x",
+    ]
+    report_sink("throughput_instrumentation", "\n".join(lines))
+    _emit(
+        "bench_instrumentation_overhead_ratio",
+        "Instrumented / bare training wall time (1.0 = free).",
+        ratio,
+    )
+    # Typical overhead is well under 5%; the bound leaves CI headroom.
+    assert ratio < 1.10, "telemetry must not slow the training hot path"
+
+
+def test_bench_snapshot_is_valid():
+    """The emitted snapshot parses and carries the bench gauges."""
+    path = OUT_DIR / "BENCH_throughput.json"
+    if not path.exists():  # running this test alone
+        _emit("bench_instrumentation_overhead_ratio", "", 0.0)
+    snapshot = json.loads(path.read_text())
+    assert snapshot["format"] == "repro-metrics-v1"
+    names = {m["name"] for m in snapshot["metrics"]}
+    assert any(name.startswith("bench_") for name in names)

@@ -11,7 +11,14 @@ Exposes the reproduction's main entry points without writing any code:
                      optionally with injected faults (``--chaos-*``);
 * ``observe``      — read a pcap, extract SNI hostnames per client;
 * ``stream``       — run the fault-tolerant streaming runtime over a pcap
-                     (lateness tolerance, quarantine, checkpoint/restore).
+                     (lateness tolerance, quarantine, checkpoint/restore;
+                     ``--train`` adds an in-process daily retrain);
+* ``metrics-dump`` — pretty-print a saved metrics snapshot.
+
+The ``experiment``, ``train``, ``observe`` and ``stream`` commands accept
+``--metrics-out PATH`` (``.json`` → snapshot, anything else → Prometheus
+text) and ``--trace-out PATH`` (Chrome ``trace_event`` JSON, loadable in
+chrome://tracing or https://ui.perfetto.dev).
 """
 
 from __future__ import annotations
@@ -44,6 +51,39 @@ def _build_world(seed: int, num_sites: int, num_users: int, days: int):
     return taxonomy, web, population, trace
 
 
+def _telemetry(args: argparse.Namespace):
+    """One registry + tracer per command run, bound into the log context."""
+    from repro.obs import logging as obslog
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracing import Tracer
+
+    registry = MetricsRegistry()
+    tracer = Tracer()
+    if obslog.get_run_id() is None:
+        obslog.set_run_id(obslog.new_run_id())
+    obslog.bind_tracer(tracer)
+    return registry, tracer
+
+
+def _write_telemetry(args: argparse.Namespace, registry, tracer) -> None:
+    """Honour ``--metrics-out`` / ``--trace-out`` if the command has them."""
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        path = Path(metrics_out)
+        if path.suffix == ".json":
+            path.write_text(registry.to_json(indent=2) + "\n")
+        else:
+            path.write_text(registry.to_prometheus())
+        print(f"metrics written to {path}")
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        events = tracer.write_chrome_trace(trace_out)
+        print(
+            f"trace written to {trace_out} ({events} spans; load in "
+            "chrome://tracing or https://ui.perfetto.dev)"
+        )
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiment import ExperimentConfig, ExperimentRunner
 
@@ -61,9 +101,11 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         f"running {args.scale} experiment "
         f"(seed {args.seed}, {config.profiling_days} profiling days)..."
     )
-    result = ExperimentRunner(config).run()
+    registry, tracer = _telemetry(args)
+    result = ExperimentRunner(config, registry=registry, tracer=tracer).run()
     print()
     print(result.summary())
+    _write_telemetry(args, registry, tracer)
     return 0
 
 
@@ -99,14 +141,17 @@ def cmd_train(args: argparse.Namespace) -> int:
     corpus = []
     for day in range(args.days):
         corpus.extend(day_corpus(trace, day))
+    registry, tracer = _telemetry(args)
     model = SkipGramModel(
-        SkipGramConfig(epochs=args.epochs, seed=args.seed)
+        SkipGramConfig(epochs=args.epochs, seed=args.seed),
+        registry=registry, tracer=tracer,
     )
     print(
         f"training on {sum(len(s) for s in corpus)} tokens "
         f"({args.epochs} epochs)..."
     )
-    embeddings = model.fit(corpus)
+    with tracer.span("train.fit", sequences=len(corpus)):
+        embeddings = model.fit(corpus)
     stats = model.stats
     print(
         f"vocab {stats.vocabulary_size}, loss "
@@ -119,6 +164,7 @@ def cmd_train(args: argparse.Namespace) -> int:
     else:
         embeddings.save(output)
     print(f"saved {len(embeddings)} vectors to {output}")
+    _write_telemetry(args, registry, tracer)
     return 0
 
 
@@ -193,11 +239,14 @@ def cmd_observe(args: argparse.Namespace) -> int:
     from repro.netobs import NetworkObserver, ObserverConfig
     from repro.netobs.pcap import read_pcap
 
+    registry, tracer = _telemetry(args)
     observer = NetworkObserver(
-        ObserverConfig(vantage=args.vantage, max_flows=args.max_flows)
+        ObserverConfig(vantage=args.vantage, max_flows=args.max_flows),
+        registry=registry,
     )
-    for packet in read_pcap(args.pcap):
-        observer.ingest(packet)
+    with tracer.span("observe.pcap", pcap=str(args.pcap)):
+        for packet in read_pcap(args.pcap):
+            observer.ingest(packet)
     stats = observer.flow_table.stats
     print(
         f"{stats.packets_seen} packets, {stats.flows_tracked} flows, "
@@ -210,7 +259,87 @@ def cmd_observe(args: argparse.Namespace) -> int:
         events = observer.events_for(client)
         hostnames = [e.hostname for e in events[: args.max_hosts]]
         print(f"{client} ({len(events)} events): {', '.join(hostnames)}")
+    _write_telemetry(args, registry, tracer)
     return 0
+
+
+class _SequenceTrainer:
+    """Adapter giving :class:`RetrainSupervisor` a pipeline that trains on
+    pre-collected hostname sequences instead of a trace day."""
+
+    def __init__(self, pipeline, sequences: list[list[str]]):
+        self._pipeline = pipeline
+        self.sequences = sequences
+
+    def train_on_day(self, trace, day: int):
+        return self._pipeline.train_on_sequences(self.sequences)
+
+    @property
+    def profiler(self):
+        return self._pipeline.profiler
+
+
+def _train_stream_model(args, events, stream, registry, tracer) -> list:
+    """The ``stream --train`` path: train on the first ``--train-split``
+    of observed events (through the retrain supervisor, so a failed train
+    degrades instead of crashing) and return the events left to stream.
+
+    The labelled set H_L is rebuilt from the same seeded synthetic world
+    the capture was synthesized from, so ``--seed``/``--sites`` must match
+    the ``synthesize`` invocation that produced the pcap.
+    """
+    from repro.core.pipeline import NetworkObserverProfiler, PipelineConfig
+    from repro.core.skipgram import SkipGramConfig
+    from repro.core.supervisor import RetrainSupervisor
+    from repro.ontology import OntologyLabeler, build_default_taxonomy
+    from repro.traffic import SyntheticWeb, WebConfig
+    from repro.utils.randomness import derive_rng
+
+    taxonomy = build_default_taxonomy()
+    web = SyntheticWeb.generate(
+        taxonomy, derive_rng(args.seed, "web"),
+        WebConfig(num_sites=args.sites),
+    )
+    labeler = OntologyLabeler(taxonomy)
+    labelled = labeler.build_labelled_set(
+        web.ground_truth(),
+        universe_size=len(web.all_hostnames()),
+        rng=derive_rng(args.seed, "labeler"),
+        popularity=web.popularity(),
+    )
+    split = max(1, int(len(events) * args.train_split))
+    per_client: dict[str, list[str]] = {}
+    for event in events[:split]:
+        per_client.setdefault(event.client_ip, []).append(event.hostname)
+    sequences = [seq for seq in per_client.values() if len(seq) >= 2]
+    if not sequences:
+        print("not enough observed events to train; streaming bare")
+        return events
+    pipeline = NetworkObserverProfiler(
+        labelled,
+        config=PipelineConfig(
+            skipgram=SkipGramConfig(epochs=args.train_epochs, seed=args.seed)
+        ),
+        registry=registry,
+        tracer=tracer,
+    )
+    supervisor = RetrainSupervisor(
+        _SequenceTrainer(pipeline, sequences), stream=stream,
+        registry=registry, tracer=tracer,
+    )
+    outcome = supervisor.retrain(None, 0)
+    if outcome.succeeded:
+        print(
+            f"trained on {len(sequences)} client sequences "
+            f"({split} events); model swapped into the stream"
+        )
+    else:
+        print(
+            f"training failed after {outcome.attempts} attempts "
+            f"({outcome.error}); streaming without a model",
+            file=sys.stderr,
+        )
+    return events[split:]
 
 
 def cmd_stream(args: argparse.Namespace) -> int:
@@ -219,9 +348,12 @@ def cmd_stream(args: argparse.Namespace) -> int:
     from repro.netobs import NetworkObserver, ObserverConfig
     from repro.netobs.pcap import read_pcap
 
+    registry, tracer = _telemetry(args)
     checkpoint = Path(args.checkpoint) if args.checkpoint else None
     if checkpoint is not None and checkpoint.exists():
-        stream = StreamingProfiler.restore(checkpoint)
+        stream = StreamingProfiler.restore(
+            checkpoint, registry=registry, tracer=tracer
+        )
         stream.config.max_lateness_seconds = args.max_lateness_seconds
         print(
             f"restored {stream.active_clients} client sessions "
@@ -229,22 +361,30 @@ def cmd_stream(args: argparse.Namespace) -> int:
         )
     else:
         stream = StreamingProfiler(
-            StreamingConfig(max_lateness_seconds=args.max_lateness_seconds)
+            StreamingConfig(max_lateness_seconds=args.max_lateness_seconds),
+            registry=registry, tracer=tracer,
         )
     observer = NetworkObserver(
         ObserverConfig(
             vantage=args.vantage,
             max_flows=args.max_flows,
             quarantine_capacity=args.quarantine_capacity,
-        )
+        ),
+        registry=registry,
     )
+    with tracer.span("stream.observe", pcap=str(args.pcap)):
+        events = []
+        for packet in read_pcap(args.pcap):
+            event = observer.ingest(packet)
+            if event is not None:
+                events.append(event)
+    if args.train:
+        events = _train_stream_model(args, events, stream, registry, tracer)
     emissions = 0
-    for packet in read_pcap(args.pcap):
-        event = observer.ingest(packet)
-        if event is None:
-            continue
-        if stream.ingest(event) is not None:
-            emissions += 1
+    with tracer.span("stream.ingest", events=len(events)):
+        for event in events:
+            if stream.ingest(event) is not None:
+                emissions += 1
     stats = observer.flow_table.stats
     print(
         f"{stats.packets_seen} packets, {stats.events_emitted} events, "
@@ -260,6 +400,26 @@ def cmd_stream(args: argparse.Namespace) -> int:
     if checkpoint is not None:
         stream.checkpoint(checkpoint)
         print(f"checkpointed {stream.active_clients} sessions to {checkpoint}")
+    _write_telemetry(args, registry, tracer)
+    return 0
+
+
+def cmd_metrics_dump(args: argparse.Namespace) -> int:
+    """Pretty-print a metrics snapshot saved with ``--metrics-out *.json``."""
+    import json
+
+    from repro.obs.metrics import MetricsRegistry
+
+    snapshot = json.loads(Path(args.snapshot).read_text())
+    flat = MetricsRegistry.flatten(snapshot)
+    if args.grep:
+        flat = {k: v for k, v in flat.items() if args.grep in k}
+    if not flat:
+        print("no matching samples", file=sys.stderr)
+        return 1
+    width = max(len(name) for name in flat)
+    for name in sorted(flat):
+        print(f"{name:<{width}}  {flat[name]:g}")
     return 0
 
 
@@ -279,6 +439,18 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--users", type=int, default=60)
         p.add_argument("--days", type=int, default=2)
 
+    def add_telemetry_args(p):
+        p.add_argument(
+            "--metrics-out", default=None, metavar="PATH",
+            help="write the metrics registry here on exit "
+            "(.json = snapshot, anything else = Prometheus text)",
+        )
+        p.add_argument(
+            "--trace-out", default=None, metavar="PATH",
+            help="write spans as Chrome trace_event JSON "
+            "(chrome://tracing / Perfetto)",
+        )
+
     p = sub.add_parser(
         "experiment", help="run the Section-5 ad experiment"
     )
@@ -295,6 +467,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--retrain-backoff", type=float, default=None,
         help="base backoff seconds between retrain retries",
     )
+    add_telemetry_args(p)
     p.set_defaults(func=cmd_experiment)
 
     p = sub.add_parser("diversity", help="Figure 2 core/CCDF analysis")
@@ -308,6 +481,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default="embeddings.npz",
         help=".npz archive or .txt (word2vec text format)",
     )
+    add_telemetry_args(p)
     p.set_defaults(func=cmd_train)
 
     p = sub.add_parser(
@@ -349,6 +523,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--max-hosts", type=int, default=8)
     p.add_argument("--max-flows", type=int, default=1_000_000)
+    add_telemetry_args(p)
     p.set_defaults(func=cmd_observe)
 
     p = sub.add_parser(
@@ -369,7 +544,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--quarantine-capacity", type=int, default=256)
     p.add_argument("--max-flows", type=int, default=1_000_000)
+    p.add_argument(
+        "--train", action="store_true",
+        help="train a model on the first --train-split of observed "
+        "events (supervised retrain), then stream the rest through it",
+    )
+    p.add_argument(
+        "--train-split", type=float, default=0.5,
+        help="fraction of observed events used for training",
+    )
+    p.add_argument("--train-epochs", type=int, default=3)
+    p.add_argument(
+        "--seed", type=int, default=42,
+        help="world seed for rebuilding the labelled set (--train; "
+        "must match the synthesize seed)",
+    )
+    p.add_argument(
+        "--sites", type=int, default=500,
+        help="world size for rebuilding the labelled set (--train)",
+    )
+    add_telemetry_args(p)
     p.set_defaults(func=cmd_stream)
+
+    p = sub.add_parser(
+        "metrics-dump",
+        help="pretty-print a metrics snapshot saved with --metrics-out",
+    )
+    p.add_argument("snapshot", help="JSON snapshot file")
+    p.add_argument(
+        "--grep", default=None, help="only show samples containing this"
+    )
+    p.set_defaults(func=cmd_metrics_dump)
 
     return parser
 

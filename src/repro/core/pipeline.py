@@ -21,6 +21,8 @@ from repro.core.embeddings import HostnameEmbeddings
 from repro.core.profiler import SessionProfile, SessionProfiler
 from repro.core.session import SessionExtractor, SessionWindow
 from repro.core.skipgram import SkipGramConfig, SkipGramModel, TrainStats
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.traffic.blocklists import TrackerFilter
 from repro.traffic.events import Request
 from repro.traffic.generator import Trace
@@ -58,6 +60,8 @@ class NetworkObserverProfiler:
         labelled: dict[str, np.ndarray],
         config: PipelineConfig | None = None,
         tracker_filter: TrackerFilter | None = None,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ):
         if not labelled:
             raise ValueError("labelled set H_L is empty")
@@ -65,6 +69,10 @@ class NetworkObserverProfiler:
         self.config = config or PipelineConfig()
         self.config.validate()
         self.tracker_filter = tracker_filter
+        # Shared by the trainer and every profiler this pipeline builds;
+        # the no-op defaults keep the hot paths bare.
+        self.registry = registry if registry is not None else NULL_REGISTRY
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.extractor = SessionExtractor(
             window_seconds=minutes(self.config.session_minutes),
             tracker_filter=tracker_filter,
@@ -102,8 +110,11 @@ class NetworkObserverProfiler:
         the previous day's model fully serving (degraded mode, see
         :class:`repro.core.supervisor.RetrainSupervisor`).
         """
-        model = SkipGramModel(self.config.skipgram)
-        embeddings = model.fit(sequences)
+        model = SkipGramModel(
+            self.config.skipgram, registry=self.registry, tracer=self.tracer
+        )
+        with self.tracer.span("train.fit", sequences=len(sequences)):
+            embeddings = model.fit(sequences)
         profiler = self._build_profiler(embeddings)
         self._embeddings = embeddings
         self._profiler = profiler
@@ -117,15 +128,17 @@ class NetworkObserverProfiler:
             neighbourhood_size=self.config.neighbourhood_size,
             aggregation=self.config.aggregation,
             max_neighbourhood_fraction=self.config.max_neighbourhood_fraction,
+            registry=self.registry,
         )
 
     def train_on_day(self, trace: Trace, day: int) -> TrainStats:
         """The daily retrain: replace the model with one trained on ``day``."""
-        corpus = day_corpus(
-            trace, day,
-            tracker_filter=self.tracker_filter,
-            config=self.config.corpus,
-        )
+        with self.tracer.span("train.corpus", day=day):
+            corpus = day_corpus(
+                trace, day,
+                tracker_filter=self.tracker_filter,
+                config=self.config.corpus,
+            )
         stats = self.train_on_sequences(corpus)
         self.trained_days.append(day)
         return stats

@@ -13,6 +13,7 @@ N-nearest-neighbour vote:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Iterable
 
@@ -20,6 +21,7 @@ import numpy as np
 
 from repro.core.embeddings import HostnameEmbeddings
 from repro.core.session import first_visits
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.ontology.taxonomy import Category, Taxonomy
 
 
@@ -60,6 +62,7 @@ class SessionProfiler:
         aggregation: str = "mean",
         max_neighbourhood_fraction: float = 0.05,
         recentre_alpha: bool = True,
+        registry: MetricsRegistry | None = None,
     ):
         """``neighbourhood_size`` is the paper's N = 1000 — but the paper
         draws it from a 470K-host space (~0.2 % of the vocabulary).  To
@@ -89,6 +92,21 @@ class SessionProfiler:
         )
         self.aggregation = aggregation
         self.recentre_alpha = recentre_alpha
+        # Per-session profiling is a hot path: the latency histogram only
+        # takes timestamps when a real registry is attached.
+        self.registry = registry if registry is not None else NULL_REGISTRY
+        self._measure = not self.registry.null
+        self._sessions_total = self.registry.counter(
+            "profile_sessions_total", "Session windows profiled."
+        )
+        self._empty_total = self.registry.counter(
+            "profile_empty_total",
+            "Sessions yielding an empty profile (no labelled support).",
+        )
+        self._latency = self.registry.histogram(
+            "profile_latency_seconds",
+            "Wall time to compute one session's category vector.",
+        )
 
         dims = {v.shape for v in labelled.values()}
         if len(dims) != 1:
@@ -126,6 +144,17 @@ class SessionProfiler:
 
     def profile(self, hostnames: Iterable[str]) -> SessionProfile:
         """Profile one session given its (deduplicated) hostnames."""
+        if not self._measure:
+            return self._profile(hostnames)
+        started = time.perf_counter()
+        result = self._profile(hostnames)
+        self._latency.observe(time.perf_counter() - started)
+        self._sessions_total.inc()
+        if result.is_empty:
+            self._empty_total.inc()
+        return result
+
+    def _profile(self, hostnames: Iterable[str]) -> SessionProfile:
         session_hosts = first_visits(hostnames)
         if not session_hosts:
             return self._empty_profile(0, 0)

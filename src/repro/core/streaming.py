@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -26,6 +27,8 @@ from pathlib import Path
 from repro.core.profiler import SessionProfile, SessionProfiler
 from repro.core.session import first_visits
 from repro.netobs.flows import HostnameEvent
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.traffic.blocklists import TrackerFilter
 from repro.utils.timeutils import minutes
 
@@ -77,18 +80,75 @@ class StreamingProfiler:
         self,
         config: StreamingConfig | None = None,
         tracker_filter: TrackerFilter | None = None,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ):
         self.config = config or StreamingConfig()
         self.config.validate()
         self.tracker_filter = tracker_filter
         self._profiler: SessionProfiler | None = None
         self._clients: dict[str, _ClientState] = {}
-        self.events_seen = 0
-        self.profiles_emitted = 0
-        self.model_swaps = 0
-        # Out-of-order accounting (see StreamingConfig.max_lateness_seconds).
-        self.late_events_reordered = 0
-        self.late_events_dropped = 0
+        # All counters live on the registry — checkpoints, telemetry
+        # exports and the legacy attribute reads below see one source of
+        # truth, and direct attribute mutation is impossible.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        m = self.registry
+        self._events_total = m.counter(
+            "stream_events_total",
+            "Hostname events ingested by the streaming profiler.",
+        )
+        self._filtered_total = m.counter(
+            "stream_events_filtered_total",
+            "Events dropped by the tracker filter before windowing.",
+        )
+        self._profiles_total = m.counter(
+            "stream_profiles_total", "Profiles emitted on report ticks."
+        )
+        self._swaps_total = m.counter(
+            "stream_model_swaps_total",
+            "Atomic model swaps (published daily retrains).",
+        )
+        self._late_reordered_total = m.counter(
+            "stream_late_events_reordered_total",
+            "Out-of-order events re-inserted within the lateness bound.",
+        )
+        self._late_dropped_total = m.counter(
+            "stream_late_events_dropped_total",
+            "Out-of-order events older than the lateness bound, dropped.",
+        )
+        self._active_clients_gauge = m.gauge(
+            "stream_active_clients", "Clients with live session state."
+        )
+        self._emit_latency = m.histogram(
+            "stream_emit_latency_seconds",
+            "Wall time to compute one emitted profile at a report tick.",
+        )
+
+    # -- registry-backed counters -------------------------------------------
+    # Read-only views; the counters themselves are the state (assignment
+    # raises AttributeError, so checkpoints can never drift from what a
+    # caller mutated behind the registry's back).
+
+    @property
+    def events_seen(self) -> int:
+        return int(self._events_total.value)
+
+    @property
+    def profiles_emitted(self) -> int:
+        return int(self._profiles_total.value)
+
+    @property
+    def model_swaps(self) -> int:
+        return int(self._swaps_total.value)
+
+    @property
+    def late_events_reordered(self) -> int:
+        return int(self._late_reordered_total.value)
+
+    @property
+    def late_events_dropped(self) -> int:
+        return int(self._late_dropped_total.value)
 
     # -- model management ---------------------------------------------------
 
@@ -99,7 +159,7 @@ class StreamingProfiler:
     def swap_model(self, profiler: SessionProfiler) -> None:
         """Atomically replace the profiling model (the daily retrain)."""
         self._profiler = profiler
-        self.model_swaps += 1
+        self._swaps_total.inc()
 
     # -- event ingestion -------------------------------------------------------
 
@@ -127,22 +187,24 @@ class StreamingProfiler:
         older stragglers are counted in ``late_events_dropped`` and
         discarded.
         """
-        self.events_seen += 1
+        self._events_total.inc()
         if self.tracker_filter is not None and self.tracker_filter.blocks(
             event.hostname
         ):
+            self._filtered_total.inc()
             return None
         state = self._clients.setdefault(event.client_ip, _ClientState())
+        self._active_clients_gauge.set(len(self._clients))
         newest = max(
             state.last_seen, state.events[-1][0] if state.events else 0.0
         )
         if (state.events or state.next_report is not None) \
                 and event.timestamp < newest:
             if newest - event.timestamp > self.config.max_lateness_seconds:
-                self.late_events_dropped += 1
+                self._late_dropped_total.inc()
                 return None
             self._admit_late(state, event)
-            self.late_events_reordered += 1
+            self._late_reordered_total.inc()
             return None
         state.events.append((event.timestamp, event.hostname))
         state.last_seen = event.timestamp
@@ -163,8 +225,10 @@ class StreamingProfiler:
         window_hosts = self._window(state, tick)
         if not window_hosts:
             return None
+        emit_start = time.perf_counter()
         profile = self._profiler.profile(list(window_hosts))
-        self.profiles_emitted += 1
+        self._emit_latency.observe(time.perf_counter() - emit_start)
+        self._profiles_total.inc()
         return ProfileEmission(
             client=event.client_ip,
             timestamp=tick,
@@ -227,12 +291,16 @@ class StreamingProfiler:
         cls,
         path: str | Path,
         tracker_filter: TrackerFilter | None = None,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> "StreamingProfiler":
         """Rebuild a profiler from a :meth:`checkpoint` snapshot.
 
         The restored instance has no model (``has_model`` is False) until
         the caller swaps one in — emissions resume on the original report
-        grids either way.
+        grids either way.  Counters are restored onto the registry, so a
+        metrics snapshot taken after restore matches one taken before the
+        checkpoint exactly.
         """
         snapshot = json.loads(Path(path).read_text())
         if snapshot.get("version") != 1:
@@ -242,13 +310,15 @@ class StreamingProfiler:
         stream = cls(
             config=StreamingConfig(**snapshot["config"]),
             tracker_filter=tracker_filter,
+            registry=registry,
+            tracer=tracer,
         )
         counters = snapshot["counters"]
-        stream.events_seen = counters["events_seen"]
-        stream.profiles_emitted = counters["profiles_emitted"]
-        stream.model_swaps = counters["model_swaps"]
-        stream.late_events_reordered = counters["late_events_reordered"]
-        stream.late_events_dropped = counters["late_events_dropped"]
+        stream._events_total.reset(counters["events_seen"])
+        stream._profiles_total.reset(counters["profiles_emitted"])
+        stream._swaps_total.reset(counters["model_swaps"])
+        stream._late_reordered_total.reset(counters["late_events_reordered"])
+        stream._late_dropped_total.reset(counters["late_events_dropped"])
         for client, saved in snapshot["clients"].items():
             state = _ClientState(
                 events=deque(
@@ -258,6 +328,7 @@ class StreamingProfiler:
                 last_seen=saved["last_seen"],
             )
             stream._clients[client] = state
+        stream._active_clients_gauge.set(len(stream._clients))
         return stream
 
     # -- housekeeping ---------------------------------------------------------
@@ -272,6 +343,7 @@ class StreamingProfiler:
         ]
         for client in idle:
             del self._clients[client]
+        self._active_clients_gauge.set(len(self._clients))
         return len(idle)
 
     @property

@@ -19,7 +19,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.skipgram import TrainStats
+from repro.obs.logging import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.utils.randomness import derive_rng
+
+log = get_logger("core.supervisor")
 
 
 @dataclass
@@ -80,6 +85,8 @@ class RetrainSupervisor:
         stream=None,
         config: SupervisorConfig | None = None,
         sleep=None,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ):
         self.pipeline = pipeline
         self.stream = stream
@@ -88,13 +95,57 @@ class RetrainSupervisor:
         self._sleep = sleep if sleep is not None else (lambda seconds: None)
         self._rng = derive_rng(self.config.seed, "retrain-supervisor")
         self.last_success_day: int | None = None
-        self.consecutive_failures = 0
-        self.attempts = 0
-        self.retries = 0
-        self.successes = 0
         self.failed_days: list[int] = []
         self.errors: list[tuple[int, str]] = []   # (day, message), bounded
         self.history: list[RetrainOutcome] = []
+        # Attempt/retry/success counters and the staleness gauges live on
+        # the registry; the legacy attributes below are read-only views.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        m = self.registry
+        self._attempts_total = m.counter(
+            "retrain_attempts_total", "Daily-retrain attempts, all days."
+        )
+        self._retries_total = m.counter(
+            "retrain_retries_total", "Retrain attempts beyond each first try."
+        )
+        self._successes_total = m.counter(
+            "retrain_successes_total", "Days whose retrain succeeded."
+        )
+        self._failed_days_total = m.counter(
+            "retrain_failed_days_total",
+            "Days lost after exhausting every attempt.",
+        )
+        self._backoff_seconds_total = m.counter(
+            "retrain_backoff_seconds_total",
+            "Backoff delay accumulated before retries.",
+        )
+        self._consecutive_failures_gauge = m.gauge(
+            "retrain_consecutive_failures",
+            "Consecutive lost days; 0 when the last retrain succeeded.",
+        )
+        self._staleness_gauge = m.gauge(
+            "retrain_staleness_days",
+            "Days the serving model lags the newest requested retrain day.",
+        )
+
+    # -- registry-backed counters --------------------------------------------
+
+    @property
+    def attempts(self) -> int:
+        return int(self._attempts_total.value)
+
+    @property
+    def retries(self) -> int:
+        return int(self._retries_total.value)
+
+    @property
+    def successes(self) -> int:
+        return int(self._successes_total.value)
+
+    @property
+    def consecutive_failures(self) -> int:
+        return int(self._consecutive_failures_gauge.value)
 
     # -- retry policy --------------------------------------------------------
 
@@ -128,30 +179,48 @@ class RetrainSupervisor:
         last_error: Exception | None = None
         stats: TrainStats | None = None
         succeeded = False
-        for attempt in range(1, self.config.max_attempts + 1):
-            self.attempts += 1
-            if attempt > 1:
-                self.retries += 1
-                delay = self._backoff(attempt - 2)
-                delays.append(delay)
-                self._sleep(delay)
-            try:
-                stats = self.pipeline.train_on_day(trace, day)
-            except Exception as error:  # degraded mode must survive anything
-                last_error = error
-                self._record_error(day, error)
-                continue
-            succeeded = True
-            break
+        with self.tracer.span("retrain.day", day=day):
+            for attempt in range(1, self.config.max_attempts + 1):
+                self._attempts_total.inc()
+                if attempt > 1:
+                    self._retries_total.inc()
+                    delay = self._backoff(attempt - 2)
+                    delays.append(delay)
+                    self._backoff_seconds_total.inc(delay)
+                    self._sleep(delay)
+                try:
+                    stats = self.pipeline.train_on_day(trace, day)
+                except Exception as error:  # degraded mode survives anything
+                    last_error = error
+                    self._record_error(day, error)
+                    log.warning(
+                        "retrain attempt failed",
+                        day=day, attempt=attempt,
+                        max_attempts=self.config.max_attempts,
+                        error=f"{type(error).__name__}: {error}",
+                    )
+                    continue
+                succeeded = True
+                break
         if succeeded:
-            self.successes += 1
-            self.consecutive_failures = 0
+            self._successes_total.inc()
+            self._consecutive_failures_gauge.set(0)
             self.last_success_day = day
             if self.stream is not None:
                 self.stream.swap_model(self.pipeline.profiler)
         else:
-            self.consecutive_failures += 1
+            self._consecutive_failures_gauge.inc()
+            self._failed_days_total.inc()
             self.failed_days.append(day)
+            log.error(
+                "retrain day lost; serving stale model",
+                day=day, attempts=attempt,
+                consecutive_failures=self.consecutive_failures,
+            )
+        self._staleness_gauge.set(
+            0 if self.last_success_day is None
+            else max(0, day - self.last_success_day)
+        )
         outcome = RetrainOutcome(
             day=day,
             succeeded=succeeded,

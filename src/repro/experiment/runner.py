@@ -40,6 +40,9 @@ from repro.core.supervisor import RetrainSupervisor
 from repro.experiment.backend import Backend
 from repro.experiment.config import ExperimentConfig
 from repro.experiment.extension import SimulatedExtension
+from repro.obs.logging import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.ontology import OntologyLabeler, Taxonomy, build_default_taxonomy
 from repro.traffic import (
     HostKind,
@@ -53,6 +56,8 @@ from repro.traffic import (
 )
 from repro.utils.randomness import derive_rng
 from repro.utils.timeutils import minutes
+
+log = get_logger("experiment.runner")
 
 
 @dataclass
@@ -142,10 +147,21 @@ class ExperimentResult:
 class ExperimentRunner:
     """Builds the world and runs the profiling month."""
 
-    def __init__(self, config: ExperimentConfig | None = None):
+    def __init__(
+        self,
+        config: ExperimentConfig | None = None,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ):
         self.config = config or ExperimentConfig()
         self.config.validate()
         self._world: ExperimentWorld | None = None
+        # Telemetry: a shared registry/tracer is threaded into the
+        # profiling pipeline and the retrain supervisor.  ``registry``
+        # stays None-able: components that own legacy counters (the
+        # supervisor) then build their own private registry.
+        self.registry = registry
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         # Set by run(): the retrain supervisor, for staleness inspection.
         self.supervisor: RetrainSupervisor | None = None
 
@@ -195,7 +211,8 @@ class ExperimentRunner:
         click_model = ClickModel(cfg.clicks)
 
         profiler = NetworkObserverProfiler(
-            labelled, config=cfg.pipeline, tracker_filter=tracker_filter
+            labelled, config=cfg.pipeline, tracker_filter=tracker_filter,
+            registry=self.registry, tracer=self.tracer,
         )
         selector = EavesdropperSelector(labelled, database, cfg.selector)
         backend = Backend(profiler, selector)
@@ -290,7 +307,10 @@ class ExperimentRunner:
             window_seconds=minutes(cfg.pipeline.session_minutes),
         )
 
-        supervisor = RetrainSupervisor(world.profiler, config=cfg.retrain)
+        supervisor = RetrainSupervisor(
+            world.profiler, config=cfg.retrain,
+            registry=self.registry, tracer=self.tracer,
+        )
         self.supervisor = supervisor
         first = cfg.first_profiling_day
         for day in range(first, first + cfg.profiling_days):
@@ -300,106 +320,26 @@ class ExperimentRunner:
             outcome = supervisor.retrain(world.trace, day - 1)
             if outcome.stats is not None:
                 train_stats.append(outcome.stats)
+            log.debug(
+                "profiling day starting",
+                day=day, retrain_succeeded=outcome.succeeded,
+                staleness_days=supervisor.staleness_days(day - 1),
+            )
             if not world.profiler.is_trained:
                 # Nothing has ever trained: no model to profile with, so
                 # the day yields no eavesdropper impressions at all.
-                continue
-            for user_id, requests in sorted(
-                world.trace.user_sequences(day).items()
-            ):
-                extension = world.extensions[user_id]
-                day_rng = derive_rng(cfg.seed, f"run.day{day}.user{user_id}")
-                # Separate stream for the counterfactual arms so they can
-                # never perturb the real experiment's randomness.
-                shadow_rng = derive_rng(
-                    cfg.seed, f"shadow.day{day}.user{user_id}"
+                log.warning(
+                    "no model has ever trained; day yields no impressions",
+                    day=day,
                 )
-                for index, request in enumerate(requests):
-                    extension.on_request(request)
-                    label_vector = world.labelled.get(request.hostname)
-                    if label_vector is not None:
-                        topics_visited.record_vector(day, label_vector)
-                    if not request.is_content():
-                        continue
-                    context = world.web.true_category_vector(
-                        request.hostname
-                    )
-                    if context is not None:
-                        intent_tracker.observe(
-                            user_id, request.timestamp, context
-                        )
-                    # Tracking pixel (ad-blockable visibility).
-                    if self._visit_fired_tracker(requests, index):
-                        if context is not None:
-                            world.ad_network.observe_visit(
-                                user_id, context, request.hostname
-                            )
-                    # Ad slots on this page.
-                    n_slots = int(
-                        day_rng.poisson(cfg.slots_per_visit_mean)
-                    )
-                    if not n_slots:
-                        continue
-                    intent = intent_tracker.intent(
-                        user_id, request.timestamp
-                    )
-                    # Counterfactual bounds, one sample per opportunity:
-                    # a uniformly random database ad (floor) and the best
-                    # ad for the user's true blended interests (ceiling).
-                    random_ad = world.database.ads[
-                        int(shadow_rng.integers(len(world.database)))
-                    ]
-                    p_random = world.click_model.click_probability(
-                        interests[user_id], random_ad, day, intent=intent
-                    )
-                    shadow_random_log.record(
-                        user_id, day,
-                        bool(shadow_rng.random() < p_random), p_random,
-                    )
-                    effective = world.click_model.effective_interests(
-                        interests[user_id], intent
-                    )
-                    oracle_ad = world.database.nearest_by_category(
-                        effective, 1
-                    )[0]
-                    p_oracle = world.click_model.click_probability(
-                        interests[user_id], oracle_ad, day, intent=intent
-                    )
-                    shadow_oracle_log.record(
-                        user_id, day,
-                        bool(shadow_rng.random() < p_oracle), p_oracle,
-                    )
-                    for _ in range(n_slots):
-                        served = world.ad_network.serve(
-                            user_id, day, context_vector=context
-                        )
-                        replacement = extension.on_ad_detected(
-                            request.timestamp, served.ad.size
-                        )
-                        if replacement is not None:
-                            probability = world.click_model.click_probability(
-                                interests[user_id], replacement, day,
-                                retargeted=False, intent=intent,
-                            )
-                            clicked = bool(day_rng.random() < probability)
-                            eavesdropper_log.record(
-                                user_id, day, clicked, probability
-                            )
-                            topics_eav.record_vector(
-                                day, replacement.categories
-                            )
-                        else:
-                            probability = world.click_model.click_probability(
-                                interests[user_id], served.ad, day,
-                                retargeted=served.retargeted, intent=intent,
-                            )
-                            clicked = bool(day_rng.random() < probability)
-                            ad_network_log.record(
-                                user_id, day, clicked, probability
-                            )
-                            topics_adn.record_vector(
-                                day, served.ad.categories
-                            )
+                continue
+            with self.tracer.span("experiment.day", day=day):
+                self._run_profiling_day(
+                    world, day, interests, intent_tracker,
+                    eavesdropper_log, ad_network_log,
+                    shadow_random_log, shadow_oracle_log,
+                    topics_visited, topics_adn, topics_eav,
+                )
 
         paired = self._paired_test(eavesdropper_log, ad_network_log)
         proportions = None
@@ -432,6 +372,120 @@ class ExperimentRunner:
             shadow_random=shadow_random_log,
             shadow_oracle=shadow_oracle_log,
         )
+
+    def _run_profiling_day(
+        self,
+        world: ExperimentWorld,
+        day: int,
+        interests: dict[int, np.ndarray],
+        intent_tracker: IntentTracker,
+        eavesdropper_log: ImpressionLog,
+        ad_network_log: ImpressionLog,
+        shadow_random_log: ImpressionLog,
+        shadow_oracle_log: ImpressionLog,
+        topics_visited: TopicShareSeries,
+        topics_adn: TopicShareSeries,
+        topics_eav: TopicShareSeries,
+    ) -> None:
+        """One profiling day: every user's traffic through the extension,
+        both real ad arms, and the counterfactual shadow arms."""
+        cfg = self.config
+        for user_id, requests in sorted(
+            world.trace.user_sequences(day).items()
+        ):
+            extension = world.extensions[user_id]
+            day_rng = derive_rng(cfg.seed, f"run.day{day}.user{user_id}")
+            # Separate stream for the counterfactual arms so they can
+            # never perturb the real experiment's randomness.
+            shadow_rng = derive_rng(
+                cfg.seed, f"shadow.day{day}.user{user_id}"
+            )
+            for index, request in enumerate(requests):
+                extension.on_request(request)
+                label_vector = world.labelled.get(request.hostname)
+                if label_vector is not None:
+                    topics_visited.record_vector(day, label_vector)
+                if not request.is_content():
+                    continue
+                context = world.web.true_category_vector(
+                    request.hostname
+                )
+                if context is not None:
+                    intent_tracker.observe(
+                        user_id, request.timestamp, context
+                    )
+                # Tracking pixel (ad-blockable visibility).
+                if self._visit_fired_tracker(requests, index):
+                    if context is not None:
+                        world.ad_network.observe_visit(
+                            user_id, context, request.hostname
+                        )
+                # Ad slots on this page.
+                n_slots = int(
+                    day_rng.poisson(cfg.slots_per_visit_mean)
+                )
+                if not n_slots:
+                    continue
+                intent = intent_tracker.intent(
+                    user_id, request.timestamp
+                )
+                # Counterfactual bounds, one sample per opportunity:
+                # a uniformly random database ad (floor) and the best
+                # ad for the user's true blended interests (ceiling).
+                random_ad = world.database.ads[
+                    int(shadow_rng.integers(len(world.database)))
+                ]
+                p_random = world.click_model.click_probability(
+                    interests[user_id], random_ad, day, intent=intent
+                )
+                shadow_random_log.record(
+                    user_id, day,
+                    bool(shadow_rng.random() < p_random), p_random,
+                )
+                effective = world.click_model.effective_interests(
+                    interests[user_id], intent
+                )
+                oracle_ad = world.database.nearest_by_category(
+                    effective, 1
+                )[0]
+                p_oracle = world.click_model.click_probability(
+                    interests[user_id], oracle_ad, day, intent=intent
+                )
+                shadow_oracle_log.record(
+                    user_id, day,
+                    bool(shadow_rng.random() < p_oracle), p_oracle,
+                )
+                for _ in range(n_slots):
+                    served = world.ad_network.serve(
+                        user_id, day, context_vector=context
+                    )
+                    replacement = extension.on_ad_detected(
+                        request.timestamp, served.ad.size
+                    )
+                    if replacement is not None:
+                        probability = world.click_model.click_probability(
+                            interests[user_id], replacement, day,
+                            retargeted=False, intent=intent,
+                        )
+                        clicked = bool(day_rng.random() < probability)
+                        eavesdropper_log.record(
+                            user_id, day, clicked, probability
+                        )
+                        topics_eav.record_vector(
+                            day, replacement.categories
+                        )
+                    else:
+                        probability = world.click_model.click_probability(
+                            interests[user_id], served.ad, day,
+                            retargeted=served.retargeted, intent=intent,
+                        )
+                        clicked = bool(day_rng.random() < probability)
+                        ad_network_log.record(
+                            user_id, day, clicked, probability
+                        )
+                        topics_adn.record_vector(
+                            day, served.ad.categories
+                        )
 
     @staticmethod
     def _paired_test(

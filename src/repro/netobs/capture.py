@@ -17,12 +17,15 @@ from repro.netobs.packets import IP_PROTO_TCP, IP_PROTO_UDP, Packet
 from repro.netobs.quic import build_initial_packet
 from repro.netobs.tls import build_client_hello
 from repro.netobs.dnswire import build_query
+from repro.obs.logging import get_logger
 from repro.traffic.categories import SHARED_CDN_SLDS
 from repro.traffic.events import Request
 from repro.utils.hostnames import registrable_domain
 from repro.utils.randomness import derive_rng
 
 RESOLVER_IP = "9.9.9.9"
+
+log = get_logger("netobs.capture")
 
 
 @dataclass
@@ -170,5 +173,14 @@ class TrafficSynthesizer:
 
     def synthesize(self, requests: Iterable[Request]) -> Iterator[Packet]:
         """Packet stream for a request stream (per-request time order)."""
+        n_requests = 0
+        n_packets = 0
         for request in requests:
-            yield from self.packets_for_request(request)
+            n_requests += 1
+            for packet in self.packets_for_request(request):
+                n_packets += 1
+                yield packet
+        log.debug(
+            "traffic synthesized",
+            requests=n_requests, packets=n_packets, seed=self.seed,
+        )

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from repro.netobs import dnswire, quic, tls
 from repro.netobs.packets import IP_PROTO_TCP, IP_PROTO_UDP, Packet
 from repro.netobs.quarantine import Quarantine
+from repro.obs.metrics import MetricsRegistry
 
 PORT_HTTPS = 443
 PORT_DNS = 53
@@ -60,6 +61,7 @@ class FlowTable:
         max_flows: int = 1_000_000,
         ip_only: bool = False,
         quarantine: Quarantine | None = None,
+        registry: MetricsRegistry | None = None,
     ):
         if max_flows < 1:
             raise ValueError("max_flows must be >= 1")
@@ -67,10 +69,48 @@ class FlowTable:
         self.ip_only = ip_only
         self.quarantine = quarantine
         self._flows: OrderedDict[tuple, bool] = OrderedDict()
-        self.stats = FlowStats()
+        # Counters live on the registry; ``stats`` is a view over them so
+        # telemetry exports and callers read the same numbers.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._packets_total = self.registry.counter(
+            "netobs_packets_total", "Packets fed to the flow table."
+        )
+        self._flows_total = self.registry.counter(
+            "netobs_flows_tracked_total", "Distinct 5-tuple flows tracked."
+        )
+        self._events_total = self.registry.counter(
+            "netobs_events_total",
+            "Hostname events emitted, by wire source.",
+            labelnames=("source",),
+        )
+        self._parse_failures_total = self.registry.counter(
+            "netobs_parse_failures_total",
+            "Wire-format parse failures, by parser context.",
+            labelnames=("context",),
+        )
+        self._sni_absent_total = self.registry.counter(
+            "netobs_sni_absent_total",
+            "ClientHellos parsed successfully but carrying no SNI.",
+        )
+        self._evictions_total = self.registry.counter(
+            "netobs_flow_evictions_total",
+            "Flows evicted FIFO because max_flows was reached.",
+        )
+
+    @property
+    def stats(self) -> FlowStats:
+        """Registry-backed counter view (fresh snapshot on every read)."""
+        return FlowStats(
+            packets_seen=int(self._packets_total.value),
+            flows_tracked=int(self._flows_total.value),
+            events_emitted=int(self._events_total.total()),
+            parse_failures=int(self._parse_failures_total.total()),
+            sni_absent=int(self._sni_absent_total.value),
+            evictions=int(self._evictions_total.value),
+        )
 
     def _parse_failure(self, error: Exception, packet: Packet, context: str) -> None:
-        self.stats.parse_failures += 1
+        self._parse_failures_total.labels(context=context).inc()
         if self.quarantine is not None:
             self.quarantine.admit(
                 error, packet.payload,
@@ -79,15 +119,15 @@ class FlowTable:
 
     def _remember(self, key: tuple, emitted: bool) -> None:
         if key not in self._flows:
-            self.stats.flows_tracked += 1
+            self._flows_total.inc()
             if len(self._flows) >= self.max_flows:
                 self._flows.popitem(last=False)
-                self.stats.evictions += 1
+                self._evictions_total.inc()
         self._flows[key] = emitted
 
     def observe(self, packet: Packet) -> HostnameEvent | None:
         """Feed one packet; returns a new hostname event or None."""
-        self.stats.packets_seen += 1
+        self._packets_total.inc()
         key = packet.flow_key
         if key in self._flows:
             return None  # flow already classified (or known empty)
@@ -100,7 +140,7 @@ class FlowTable:
             and packet.protocol in (IP_PROTO_TCP, IP_PROTO_UDP)
         ):
             self._remember(key, True)
-            self.stats.events_emitted += 1
+            self._events_total.labels(source="ip").inc()
             return HostnameEvent(
                 client_ip=packet.src_ip,
                 timestamp=packet.timestamp,
@@ -129,7 +169,7 @@ class FlowTable:
             except dnswire.DNSParseError as error:
                 self._parse_failure(error, packet, "dns")
                 return None
-            self.stats.events_emitted += 1
+            self._events_total.labels(source="dns").inc()
             return HostnameEvent(
                 client_ip=packet.src_ip,
                 timestamp=packet.timestamp,
@@ -141,9 +181,9 @@ class FlowTable:
 
         self._remember(key, hostname is not None)
         if hostname is None:
-            self.stats.sni_absent += 1
+            self._sni_absent_total.inc()
             return None
-        self.stats.events_emitted += 1
+        self._events_total.labels(source=source).inc()
         return HostnameEvent(
             client_ip=packet.src_ip,
             timestamp=packet.timestamp,

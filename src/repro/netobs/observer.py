@@ -21,6 +21,7 @@ from repro.netobs.packets import Packet, PacketError
 from repro.netobs.quarantine import Quarantine
 from repro.netobs.quic import QUICParseError
 from repro.netobs.tls import TLSParseError
+from repro.obs.metrics import MetricsRegistry
 from repro.traffic.events import HostKind, Request
 
 # Malformed-input errors the observer quarantines instead of propagating.
@@ -62,20 +63,37 @@ class ObserverConfig:
 class NetworkObserver:
     """Accumulates hostname events per client from a packet stream."""
 
-    def __init__(self, config: ObserverConfig | None = None):
+    def __init__(
+        self,
+        config: ObserverConfig | None = None,
+        registry: MetricsRegistry | None = None,
+    ):
         self.config = config or ObserverConfig()
         self.config.validate()
         self._accepted_sources = _VANTAGE_SOURCES[self.config.vantage]
+        # One registry covers the observer, its flow table and quarantine;
+        # pass a shared one to fold them into a pipeline-wide export.
+        self.registry = registry if registry is not None else MetricsRegistry()
         self.quarantine = Quarantine(
             capacity=self.config.quarantine_capacity,
             sample_bytes=self.config.quarantine_sample_bytes,
+            registry=self.registry,
         )
         self.flow_table = FlowTable(
             max_flows=self.config.max_flows,
             ip_only=self.config.vantage == "ip",
             quarantine=self.quarantine,
+            registry=self.registry,
         )
         self._events: dict[str, list[HostnameEvent]] = defaultdict(list)
+        self._clients_gauge = self.registry.gauge(
+            "netobs_clients",
+            "Distinct client addresses with at least one hostname event.",
+        )
+        self._vantage_filtered_total = self.registry.counter(
+            "netobs_events_outside_vantage_total",
+            "Events discarded because their source is outside the vantage.",
+        )
 
     def ingest(self, packet: Packet) -> HostnameEvent | None:
         """Feed one packet; store and return its event, if any.
@@ -94,9 +112,13 @@ class NetworkObserver:
                 timestamp=packet.timestamp, context="observe",
             )
             return None
-        if event is None or event.source not in self._accepted_sources:
+        if event is None:
+            return None
+        if event.source not in self._accepted_sources:
+            self._vantage_filtered_total.inc()
             return None
         self._events[event.client_ip].append(event)
+        self._clients_gauge.set(len(self._events))
         return event
 
     def ingest_bytes(

@@ -14,6 +14,8 @@ from __future__ import annotations
 from collections import Counter, deque
 from dataclasses import dataclass
 
+from repro.obs.metrics import MetricsRegistry
+
 
 @dataclass(frozen=True)
 class QuarantineRecord:
@@ -35,18 +37,50 @@ class Quarantine:
     Counters always reflect *every* admission, including ones whose
     records have since been evicted — the buffer is a sample, the
     counters are the truth.
+
+    Counters live on a :class:`~repro.obs.metrics.MetricsRegistry`
+    (``quarantine_admitted_total{kind=...}``); pass one to share the
+    telemetry export, or let the quarantine own a private registry.
+    ``counts`` and ``total`` are read-only views over the registry so
+    there is exactly one source of truth.
     """
 
-    def __init__(self, capacity: int = 256, sample_bytes: int = 64):
+    def __init__(
+        self,
+        capacity: int = 256,
+        sample_bytes: int = 64,
+        registry: MetricsRegistry | None = None,
+    ):
         if capacity < 0:
             raise ValueError("capacity must be >= 0")
         if sample_bytes < 0:
             raise ValueError("sample_bytes must be >= 0")
         self.capacity = capacity
         self.sample_bytes = sample_bytes
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._records: deque[QuarantineRecord] = deque(maxlen=capacity or None)
-        self.counts: Counter[str] = Counter()
-        self.total = 0
+        self._admitted_total = self.registry.counter(
+            "quarantine_admitted_total",
+            "Malformed inputs quarantined, by error kind.",
+            labelnames=("kind",),
+        )
+        self._records_kept = self.registry.gauge(
+            "quarantine_records_kept",
+            "Malformed-payload samples currently retained.",
+        )
+
+    @property
+    def counts(self) -> Counter[str]:
+        """Admissions per error kind (a fresh Counter view)."""
+        return Counter({
+            labels["kind"]: int(child.value)
+            for labels, child in self._admitted_total.samples()
+        })
+
+    @property
+    def total(self) -> int:
+        """Every admission ever, retained or not."""
+        return int(self._admitted_total.total())
 
     def admit(
         self,
@@ -64,10 +98,10 @@ class Quarantine:
             payload=bytes(payload[: self.sample_bytes]),
             payload_length=len(payload),
         )
-        self.total += 1
-        self.counts[record.kind] += 1
+        self._admitted_total.labels(kind=record.kind).inc()
         if self.capacity:
             self._records.append(record)
+        self._records_kept.set(len(self._records))
         return record
 
     @property

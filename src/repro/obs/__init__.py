@@ -1,0 +1,56 @@
+"""Observability substrate: metrics registry, span tracing, JSON logging.
+
+One telemetry story for the whole pipeline.  Components accept an
+optional ``registry`` (:class:`MetricsRegistry`) and ``tracer``
+(:class:`Tracer`); components whose legacy counters migrated onto the
+registry (streaming, quarantine, supervisor, flow table) default to a
+private real registry so their counters always count, while hot-path
+components (SGNS training, per-session profiling) default to the no-op
+:data:`NULL_REGISTRY` / :data:`NULL_TRACER` and pay nothing unless a
+real instrument is passed in.
+"""
+
+from repro.obs.logging import (
+    JsonLogger,
+    bind_tracer,
+    get_logger,
+    get_run_id,
+    new_run_id,
+    set_level,
+    set_run_id,
+    set_stream,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+)
+from repro.obs.tracing import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "JsonLogger",
+    "MetricError",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "NullRegistry",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "bind_tracer",
+    "get_logger",
+    "get_run_id",
+    "new_run_id",
+    "set_level",
+    "set_run_id",
+    "set_stream",
+]

@@ -1,0 +1,126 @@
+"""Structured logging: single-line JSON records with run and span context.
+
+``get_logger(name)`` returns a tiny logger whose records are one JSON
+object per line::
+
+    {"ts": 1735689600.123456, "level": "warning", "logger":
+     "core.supervisor", "run_id": "a3f29c81", "span": "retrain.day",
+     "msg": "retrain attempt failed", "day": 4, "attempt": 2}
+
+Design points:
+
+* no stdlib ``logging`` machinery — records are built and written
+  directly, so there is exactly one output shape and no handler
+  configuration to drift;
+* a process-wide ``run_id`` (set once per CLI invocation) stitches every
+  record of a run together across components;
+* if a :class:`~repro.obs.tracing.Tracer` is bound, the innermost open
+  span's name is stamped onto each record, tying logs to traces;
+* the default threshold is ``warning`` so library use stays quiet; CLIs
+  and tests can lower it with :func:`set_level`.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+import uuid
+
+from repro.obs.tracing import NULL_TRACER, Tracer
+
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+_lock = threading.Lock()
+_state = {
+    "run_id": None,          # str | None
+    "level": "warning",
+    "stream": None,          # file-like | None (None -> sys.stderr at emit)
+    "tracer": NULL_TRACER,   # Tracer
+}
+_loggers: dict[str, "JsonLogger"] = {}
+
+
+def new_run_id() -> str:
+    """A fresh short run identifier (not deterministic, not reused)."""
+    return uuid.uuid4().hex[:12]
+
+
+def set_run_id(run_id: str | None) -> None:
+    """Stamp every subsequent record with ``run_id`` (None clears it)."""
+    _state["run_id"] = run_id
+
+
+def get_run_id() -> str | None:
+    return _state["run_id"]
+
+
+def set_level(level: str) -> None:
+    if level not in LEVELS:
+        raise ValueError(f"level must be one of {sorted(LEVELS)}")
+    _state["level"] = level
+
+
+def set_stream(stream) -> None:
+    """Redirect records (None restores the default, sys.stderr)."""
+    _state["stream"] = stream
+
+
+def bind_tracer(tracer: Tracer | None) -> None:
+    """Stamp records with the bound tracer's innermost open span."""
+    _state["tracer"] = tracer if tracer is not None else NULL_TRACER
+
+
+class JsonLogger:
+    """Named emitter of single-line JSON records."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def _emit(self, level: str, message: str, fields: dict) -> None:
+        if LEVELS[level] < LEVELS[_state["level"]]:
+            return
+        record: dict = {
+            "ts": round(time.time(), 6),
+            "level": level,
+            "logger": self.name,
+            "msg": message,
+        }
+        run_id = _state["run_id"]
+        if run_id is not None:
+            record["run_id"] = run_id
+        span = _state["tracer"].current()
+        if span is not None:
+            record["span"] = span.name
+        for key, value in fields.items():
+            if key not in record:
+                record[key] = value
+        line = json.dumps(record, default=str)
+        stream = _state["stream"] or sys.stderr
+        with _lock:
+            stream.write(line + "\n")
+            flush = getattr(stream, "flush", None)
+            if flush is not None:
+                flush()
+
+    def debug(self, message: str, **fields) -> None:
+        self._emit("debug", message, fields)
+
+    def info(self, message: str, **fields) -> None:
+        self._emit("info", message, fields)
+
+    def warning(self, message: str, **fields) -> None:
+        self._emit("warning", message, fields)
+
+    def error(self, message: str, **fields) -> None:
+        self._emit("error", message, fields)
+
+
+def get_logger(name: str) -> JsonLogger:
+    """Cached named logger (one instance per name)."""
+    logger = _loggers.get(name)
+    if logger is None:
+        with _lock:
+            logger = _loggers.setdefault(name, JsonLogger(name))
+    return logger

@@ -1,0 +1,614 @@
+"""Metrics registry: labelled counters, gauges, and fixed-bucket histograms.
+
+The paper's eavesdropper is a *continuously running* system — daily SGNS
+retrains, 20-minute session windows, per-flow SNI extraction — and its
+fidelity claims only hold if per-stage loss and latency are accounted for
+(the constrained-view setting of arXiv:1710.00069 makes the same point:
+what the observer fails to see is part of the result).  This module is the
+one source of truth for those numbers.
+
+Design:
+
+* a :class:`MetricsRegistry` owns metric *families* (one per name); a
+  family with ``labelnames`` fans out into children via ``labels()``,
+  Prometheus-style; an unlabelled family proxies straight to its single
+  child, so ``registry.counter("x").inc()`` just works;
+* every mutation is lock-protected — counters incremented from many
+  threads never lose updates;
+* export is dual: Prometheus text exposition (``to_prometheus``) for
+  scrapers and a JSON snapshot (``snapshot`` / ``to_json``) for files and
+  tests, with :meth:`MetricsRegistry.diff` turning two snapshots into the
+  flat delta dict assertions want;
+* :class:`NullRegistry` is a drop-in no-op so hot paths pay (almost)
+  nothing when telemetry is off — instrumented code can also check the
+  ``null`` attribute before taking timestamps.
+
+Naming conventions (documented in README "Observability"): metrics are
+prefixed by stage (``netobs_``, ``quarantine_``, ``stream_``, ``train_``,
+``profile_``, ``retrain_``, ``bench_``); counters end in ``_total``
+(``_seconds_total`` when they accumulate time); histograms of durations
+end in ``_seconds``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import re
+import threading
+import time
+from contextlib import contextmanager
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+# Default histogram buckets, tuned for the latencies this pipeline sees:
+# sub-millisecond packet parses up to multi-second training epochs.
+DEFAULT_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+class MetricError(ValueError):
+    """Invalid metric name, label set, or conflicting re-registration."""
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample formatting: integers without the trailing .0."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_bound(bound: float) -> str:
+    if bound == float("inf"):
+        return "+Inf"
+    return f"{bound:g}"
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace('"', r"\"")
+        .replace("\n", r"\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _label_suffix(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape_label(v)}"' for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+# -- children ---------------------------------------------------------------
+
+
+class Counter:
+    """Monotonic counter (floats allowed, e.g. accumulated seconds)."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricError("counters can only increase")
+        with self._lock:
+            self._value += amount
+
+    def reset(self, value: float = 0.0) -> None:
+        """Set the absolute value — for checkpoint restore and tests only."""
+        if value < 0:
+            raise MetricError("counters cannot be negative")
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down (queue depths, staleness, rates)."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with an implicit +Inf overflow bucket.
+
+    Bucket semantics are Prometheus's: a bucket with upper bound ``le``
+    counts observations with ``value <= le`` — a value exactly on a
+    boundary lands in that boundary's bucket, not the next one.
+    """
+
+    __slots__ = ("_bounds", "_counts", "_sum", "_count", "_lock")
+
+    def __init__(self, buckets: tuple[float, ...]) -> None:
+        self._bounds = buckets  # ascending, +Inf excluded
+        self._counts = [0] * (len(buckets) + 1)  # trailing slot is +Inf
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        index = bisect.bisect_left(self._bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @contextmanager
+    def time(self):
+        """Observe the wall time of a ``with`` block, in seconds."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(time.perf_counter() - start)
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """(upper bound, cumulative count) pairs, +Inf last."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        with self._lock:
+            counts = list(self._counts)
+        for bound, count in zip(self._bounds, counts):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), running + counts[-1]))
+        return out
+
+
+# -- families ---------------------------------------------------------------
+
+
+class _Family:
+    """One named metric; children keyed by label values."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: tuple[str, ...]):
+        self.name = name
+        self.help = help
+        self.labelnames = labelnames
+        self._children: dict[tuple[str, ...], object] = {}
+        self._lock = threading.Lock()
+
+    def _make_child(self):
+        raise NotImplementedError
+
+    def labels(self, **labels: str):
+        if tuple(sorted(labels)) != tuple(sorted(self.labelnames)):
+            raise MetricError(
+                f"{self.name} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[n]) for n in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.setdefault(key, self._make_child())
+        return child
+
+    def _sole_child(self):
+        """The single child of an unlabelled family (created on demand)."""
+        if self.labelnames:
+            raise MetricError(
+                f"{self.name} is labelled by {self.labelnames}; "
+                "use .labels(...)"
+            )
+        return self.labels()
+
+    def samples(self) -> list[tuple[dict[str, str], object]]:
+        """(labels dict, child) pairs, sorted by label values."""
+        with self._lock:
+            items = sorted(self._children.items())
+        return [
+            (dict(zip(self.labelnames, key)), child)
+            for key, child in items
+        ]
+
+
+class CounterFamily(_Family):
+    kind = "counter"
+
+    def _make_child(self) -> Counter:
+        return Counter()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._sole_child().inc(amount)
+
+    def reset(self, value: float = 0.0) -> None:
+        self._sole_child().reset(value)
+
+    @property
+    def value(self) -> float:
+        return self._sole_child().value
+
+    def total(self) -> float:
+        """Sum over every labelled child."""
+        return sum(child.value for _, child in self.samples())
+
+    def value_of(self, **labels: str) -> float:
+        return self.labels(**labels).value
+
+
+class GaugeFamily(_Family):
+    kind = "gauge"
+
+    def _make_child(self) -> Gauge:
+        return Gauge()
+
+    def set(self, value: float) -> None:
+        self._sole_child().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._sole_child().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._sole_child().dec(amount)
+
+    @property
+    def value(self) -> float:
+        return self._sole_child().value
+
+
+class HistogramFamily(_Family):
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: tuple[str, ...],
+        buckets: tuple[float, ...],
+    ):
+        super().__init__(name, help, labelnames)
+        self.buckets = buckets
+
+    def _make_child(self) -> Histogram:
+        return Histogram(self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._sole_child().observe(value)
+
+    def time(self):
+        return self._sole_child().time()
+
+    @property
+    def sum(self) -> float:
+        return self._sole_child().sum
+
+    @property
+    def count(self) -> int:
+        return self._sole_child().count
+
+
+_FAMILY_TYPES = {
+    "counter": CounterFamily,
+    "gauge": GaugeFamily,
+    "histogram": HistogramFamily,
+}
+
+
+# -- the registry -----------------------------------------------------------
+
+
+class MetricsRegistry:
+    """Thread-safe home of every metric family in one process/component.
+
+    Registration is idempotent: asking for an existing name with the same
+    type and label set returns the existing family, so independent
+    components can share a registry without coordination; a conflicting
+    re-registration raises :class:`MetricError`.
+    """
+
+    null = False
+
+    def __init__(self) -> None:
+        self._families: dict[str, _Family] = {}
+        self._lock = threading.Lock()
+
+    # -- registration -------------------------------------------------------
+
+    def _register(self, cls, name: str, help: str,
+                  labelnames: tuple[str, ...], **kwargs) -> _Family:
+        if not _NAME_RE.match(name):
+            raise MetricError(f"invalid metric name {name!r}")
+        labelnames = tuple(labelnames)
+        for label in labelnames:
+            if not _LABEL_RE.match(label):
+                raise MetricError(f"invalid label name {label!r}")
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                if (
+                    type(existing) is not cls
+                    or existing.labelnames != labelnames
+                ):
+                    raise MetricError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}{existing.labelnames}"
+                    )
+                return existing
+            family = cls(name, help, labelnames, **kwargs)
+            if not labelnames:
+                # Eagerly create the sole child so an unlabelled metric
+                # exports a zero-valued series before its first use.
+                family._sole_child()
+            self._families[name] = family
+            return family
+
+    def counter(
+        self, name: str, help: str = "", labelnames: tuple[str, ...] = ()
+    ) -> CounterFamily:
+        return self._register(CounterFamily, name, help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: tuple[str, ...] = ()
+    ) -> GaugeFamily:
+        return self._register(GaugeFamily, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: tuple[str, ...] = (),
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> HistogramFamily:
+        buckets = tuple(sorted(float(b) for b in buckets))
+        if not buckets:
+            raise MetricError("histogram needs at least one bucket")
+        if buckets[-1] == float("inf"):
+            buckets = buckets[:-1]  # +Inf is implicit
+        family = self._register(
+            HistogramFamily, name, help, labelnames, buckets=buckets
+        )
+        if family.buckets != buckets:
+            raise MetricError(
+                f"histogram {name!r} already registered with different buckets"
+            )
+        return family
+
+    def families(self) -> list[_Family]:
+        with self._lock:
+            return sorted(self._families.values(), key=lambda f: f.name)
+
+    # -- export -------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-safe snapshot of every family and series."""
+        metrics = []
+        for family in self.families():
+            series = []
+            for labels, child in family.samples():
+                if family.kind == "histogram":
+                    series.append({
+                        "labels": labels,
+                        "count": child.count,
+                        "sum": child.sum,
+                        "buckets": {
+                            _format_bound(bound): count
+                            for bound, count in child.cumulative_buckets()
+                        },
+                    })
+                else:
+                    series.append({"labels": labels, "value": child.value})
+            metrics.append({
+                "name": family.name,
+                "type": family.kind,
+                "help": family.help,
+                "labelnames": list(family.labelnames),
+                "series": series,
+            })
+        return {"format": "repro-metrics-v1", "metrics": metrics}
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=False)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        for family in self.families():
+            if family.help:
+                lines.append(
+                    f"# HELP {family.name} {_escape_help(family.help)}"
+                )
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for labels, child in family.samples():
+                suffix = _label_suffix(labels)
+                if family.kind == "histogram":
+                    for bound, count in child.cumulative_buckets():
+                        bucket_labels = dict(labels)
+                        bucket_labels["le"] = _format_bound(bound)
+                        lines.append(
+                            f"{family.name}_bucket"
+                            f"{_label_suffix(bucket_labels)} {count}"
+                        )
+                    lines.append(
+                        f"{family.name}_sum{suffix} "
+                        f"{_format_value(child.sum)}"
+                    )
+                    lines.append(f"{family.name}_count{suffix} {child.count}")
+                else:
+                    lines.append(
+                        f"{family.name}{suffix} {_format_value(child.value)}"
+                    )
+        return "\n".join(lines) + "\n"
+
+    # -- snapshot algebra (for tests) ----------------------------------------
+
+    @staticmethod
+    def flatten(snapshot: dict) -> dict[str, float]:
+        """Flatten a :meth:`snapshot` into {sample name: value}.
+
+        Histograms contribute ``name_count``, ``name_sum`` and per-bucket
+        ``name_bucket{...,le="..."}`` samples, mirroring the exposition.
+        """
+        flat: dict[str, float] = {}
+        for family in snapshot.get("metrics", []):
+            name = family["name"]
+            for series in family["series"]:
+                suffix = _label_suffix(series.get("labels", {}))
+                if family["type"] == "histogram":
+                    flat[f"{name}_count{suffix}"] = float(series["count"])
+                    flat[f"{name}_sum{suffix}"] = float(series["sum"])
+                    for bound, count in series["buckets"].items():
+                        labels = dict(series.get("labels", {}))
+                        labels["le"] = bound
+                        flat[f"{name}_bucket{_label_suffix(labels)}"] = (
+                            float(count)
+                        )
+                else:
+                    flat[f"{name}{suffix}"] = float(series["value"])
+        return flat
+
+    @staticmethod
+    def diff_snapshots(before: dict, after: dict) -> dict[str, float]:
+        """Non-zero sample deltas between two snapshots (after - before)."""
+        flat_before = MetricsRegistry.flatten(before)
+        flat_after = MetricsRegistry.flatten(after)
+        deltas = {}
+        for key in sorted(set(flat_before) | set(flat_after)):
+            delta = flat_after.get(key, 0.0) - flat_before.get(key, 0.0)
+            if delta != 0.0:
+                deltas[key] = delta
+        return deltas
+
+    def diff(self, before: dict) -> dict[str, float]:
+        """Delta between an earlier :meth:`snapshot` and the registry now."""
+        return self.diff_snapshots(before, self.snapshot())
+
+
+# -- the no-op registry -----------------------------------------------------
+
+
+class _NullTimer:
+    """Reusable, stateless no-op context manager."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+_NULL_TIMER = _NullTimer()
+
+
+class _NullMetric:
+    """Absorbs every metric operation; ``labels()`` returns itself."""
+
+    def labels(self, **labels):
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def reset(self, value: float = 0.0) -> None:
+        pass
+
+    def time(self):
+        return _NULL_TIMER
+
+    @property
+    def value(self) -> float:
+        return 0.0
+
+    @property
+    def sum(self) -> float:
+        return 0.0
+
+    @property
+    def count(self) -> int:
+        return 0
+
+    def total(self) -> float:
+        return 0.0
+
+    def value_of(self, **labels) -> float:
+        return 0.0
+
+    def samples(self) -> list:
+        return []
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class NullRegistry(MetricsRegistry):
+    """No-op registry: instruments vanish, exports are empty.
+
+    The default for hot-path components (training, per-session profiling)
+    so uninstrumented runs pay essentially nothing; code that would take
+    timestamps can skip them when ``registry.null`` is true.
+    """
+
+    null = True
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def counter(self, name, help="", labelnames=()):
+        return _NULL_METRIC
+
+    def gauge(self, name, help="", labelnames=()):
+        return _NULL_METRIC
+
+    def histogram(self, name, help="", labelnames=(), buckets=DEFAULT_BUCKETS):
+        return _NULL_METRIC
+
+    def families(self) -> list:
+        return []
+
+
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,186 @@
+"""Span tracing: a process-local trace tree with wall/CPU timings.
+
+Usage::
+
+    tracer = Tracer()
+    with tracer.span("train.epoch", epoch=3):
+        ...
+
+Spans nest per thread (a span opened inside another becomes its child),
+carry arbitrary JSON-safe tags, and record wall time, CPU time and the
+opening thread.  Two exports:
+
+* :meth:`Tracer.to_chrome_trace` — the Chrome ``trace_event`` JSON format
+  (an object with a ``traceEvents`` list of complete ``"ph": "X"``
+  events), loadable in ``chrome://tracing`` and https://ui.perfetto.dev;
+* :meth:`Tracer.summary` — a human-readable table aggregated by span
+  name (calls, total/mean wall, total CPU), for CLI output and logs.
+
+:class:`NullTracer` is the no-op default for instrumented code paths, so
+tracing costs nothing unless a real tracer is passed in.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass
+class Span:
+    """One timed region; ``children`` are the spans opened inside it."""
+
+    name: str
+    tags: dict
+    start_wall: float            # epoch seconds (time.time)
+    duration: float = 0.0        # wall seconds
+    cpu_time: float = 0.0        # process CPU seconds
+    thread_id: int = 0
+    children: list["Span"] = field(default_factory=list)
+
+    def walk(self):
+        """This span, then every descendant (depth first)."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class Tracer:
+    """Collects spans into per-thread trees; thread-safe."""
+
+    null = False
+
+    def __init__(self) -> None:
+        self._roots: list[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @contextmanager
+    def span(self, name: str, **tags):
+        """Open a span for the duration of the ``with`` block."""
+        record = Span(
+            name=name,
+            tags=tags,
+            start_wall=time.time(),
+            thread_id=threading.get_ident(),
+        )
+        start_perf = time.perf_counter()
+        start_cpu = time.process_time()
+        stack = self._stack()
+        stack.append(record)
+        try:
+            yield record
+        finally:
+            record.duration = time.perf_counter() - start_perf
+            record.cpu_time = time.process_time() - start_cpu
+            stack.pop()
+            if stack:
+                stack[-1].children.append(record)
+            else:
+                with self._lock:
+                    self._roots.append(record)
+
+    def current(self) -> Span | None:
+        """The innermost open span on this thread, if any."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def spans(self) -> list[Span]:
+        """Completed root spans (their subtrees hang off ``children``)."""
+        with self._lock:
+            return list(self._roots)
+
+    # -- exports -------------------------------------------------------------
+
+    def to_chrome_trace(self) -> dict:
+        """The ``chrome://tracing`` / Perfetto ``trace_event`` JSON object."""
+        events = []
+        for root in self.spans():
+            for span in root.walk():
+                event = {
+                    "name": span.name,
+                    "cat": "repro",
+                    "ph": "X",
+                    "ts": span.start_wall * 1e6,       # microseconds
+                    "dur": span.duration * 1e6,
+                    "pid": os.getpid(),
+                    "tid": span.thread_id,
+                }
+                if span.tags or span.cpu_time:
+                    event["args"] = dict(span.tags)
+                    event["args"]["cpu_time_s"] = round(span.cpu_time, 6)
+                events.append(event)
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path) -> int:
+        """Write the trace file; returns the number of events."""
+        trace = self.to_chrome_trace()
+        Path(path).write_text(json.dumps(trace))
+        return len(trace["traceEvents"])
+
+    def summary(self) -> str:
+        """Aggregate by span name into an aligned operator-facing table."""
+        totals: dict[str, list[float]] = {}  # name -> [calls, wall, cpu]
+        for root in self.spans():
+            for span in root.walk():
+                row = totals.setdefault(span.name, [0, 0.0, 0.0])
+                row[0] += 1
+                row[1] += span.duration
+                row[2] += span.cpu_time
+        if not totals:
+            return "trace: no spans recorded"
+        rows = sorted(totals.items(), key=lambda kv: -kv[1][1])
+        width = max(len("span"), max(len(name) for name in totals))
+        lines = [
+            f"{'span':<{width}}  {'calls':>6}  {'wall s':>9}  "
+            f"{'mean ms':>9}  {'cpu s':>9}"
+        ]
+        for name, (calls, wall, cpu) in rows:
+            mean_ms = wall / calls * 1e3
+            lines.append(
+                f"{name:<{width}}  {int(calls):>6}  {wall:>9.3f}  "
+                f"{mean_ms:>9.3f}  {cpu:>9.3f}"
+            )
+        return "\n".join(lines)
+
+
+class _NullSpan:
+    """Reusable no-op context manager yielding None."""
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer(Tracer):
+    """No-op tracer: ``span()`` costs a dict build and nothing else."""
+
+    null = True
+
+    def span(self, name: str, **tags):
+        return _NULL_SPAN
+
+    def current(self) -> Span | None:
+        return None
+
+    def spans(self) -> list[Span]:
+        return []
+
+
+NULL_TRACER = NullTracer()

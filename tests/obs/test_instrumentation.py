@@ -1,0 +1,161 @@
+"""Pipeline instrumentation tests: registry-backed counters stay exact
+across checkpoint/restore, and every stage reports through its registry."""
+
+import pytest
+
+from repro.core.skipgram import SkipGramConfig, SkipGramModel
+from repro.core.streaming import StreamingProfiler
+from repro.core.supervisor import RetrainSupervisor, SupervisorConfig
+from repro.netobs.flows import HostnameEvent
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+from repro.utils.timeutils import minutes
+
+
+def _event(host, t, client="10.0.0.1"):
+    return HostnameEvent(
+        client_ip=client, timestamp=t, hostname=host, source="tls-sni"
+    )
+
+
+class TestStreamingCheckpointMetrics:
+    """The drift regression: counters and checkpoints share one source of
+    truth, so checkpoint -> restore -> snapshot round-trips exactly."""
+
+    def _stream_with_traffic(self) -> StreamingProfiler:
+        stream = StreamingProfiler(registry=MetricsRegistry())
+        stream.ingest(_event("a.example.com", 0.0))
+        stream.ingest(_event("b.example.com", minutes(5)))
+        stream.ingest(_event("c.example.com", minutes(5), client="10.0.0.2"))
+        # One event behind the per-client high-water mark gets dropped.
+        stream.ingest(_event("late.example.com", 0.0))
+        return stream
+
+    def test_checkpoint_restore_round_trips_counters(self, tmp_path):
+        stream = self._stream_with_traffic()
+        path = tmp_path / "state.json"
+        stream.checkpoint(path)
+
+        restored = StreamingProfiler.restore(
+            path, registry=MetricsRegistry()
+        )
+        assert restored.events_seen == stream.events_seen
+        assert restored.late_events_dropped == stream.late_events_dropped
+        assert restored.profiles_emitted == stream.profiles_emitted
+        assert restored.active_clients == stream.active_clients
+
+    def test_restored_snapshot_matches_original(self, tmp_path):
+        stream = self._stream_with_traffic()
+        path = tmp_path / "state.json"
+        stream.checkpoint(path)
+        restored = StreamingProfiler.restore(
+            path, registry=MetricsRegistry()
+        )
+        flatten = MetricsRegistry.flatten
+        original = flatten(stream.registry.snapshot())
+        rebuilt = flatten(restored.registry.snapshot())
+        # Every counter/gauge sample the original had is reproduced
+        # exactly; only latency histograms (not checkpointed) may differ.
+        for name, value in original.items():
+            if name.startswith("stream_emit_latency_seconds"):
+                continue
+            assert rebuilt.get(name) == value, name
+
+    def test_counters_are_read_only(self):
+        stream = StreamingProfiler()
+        with pytest.raises(AttributeError):
+            stream.events_seen = 99
+        with pytest.raises(AttributeError):
+            stream.late_events_dropped = 1
+
+
+class _FlakyPipeline:
+    def __init__(self, failures: int):
+        self.failures = failures
+
+    def train_on_day(self, trace, day):
+        if self.failures > 0:
+            self.failures -= 1
+            raise RuntimeError("disk full")
+        return None
+
+    @property
+    def profiler(self):  # pragma: no cover - never swapped in these tests
+        raise RuntimeError("no profiler")
+
+
+class TestSupervisorMetrics:
+    def _config(self) -> SupervisorConfig:
+        return SupervisorConfig(
+            max_attempts=3, backoff_base_seconds=1.0, jitter_fraction=0.0
+        )
+
+    def test_failure_and_recovery_are_counted(self):
+        registry = MetricsRegistry()
+        supervisor = RetrainSupervisor(
+            _FlakyPipeline(failures=4),
+            config=self._config(),
+            registry=registry,
+        )
+        supervisor.retrain(None, 0)   # 3 attempts, day lost
+        supervisor.retrain(None, 1)   # 1 failure, then succeeds
+
+        flat = MetricsRegistry.flatten(registry.snapshot())
+        assert flat["retrain_attempts_total"] == 5
+        assert flat["retrain_retries_total"] == 3
+        assert flat["retrain_successes_total"] == 1
+        assert flat["retrain_failed_days_total"] == 1
+        # Backoff: day 0 retries pay 1s + 2s; day 1's single retry pays 1s.
+        assert flat["retrain_backoff_seconds_total"] == pytest.approx(4.0)
+        assert flat["retrain_consecutive_failures"] == 0
+        assert flat["retrain_staleness_days"] == 0
+
+    def test_staleness_gauge_tracks_lost_days(self):
+        registry = MetricsRegistry()
+        pipeline = _FlakyPipeline(failures=0)
+        supervisor = RetrainSupervisor(
+            pipeline,
+            config=SupervisorConfig(max_attempts=1),
+            registry=registry,
+        )
+        supervisor.retrain(None, 0)       # succeeds
+        pipeline.failures = 99
+        supervisor.retrain(None, 1)
+        supervisor.retrain(None, 2)
+        flat = MetricsRegistry.flatten(registry.snapshot())
+        assert flat["retrain_staleness_days"] == 2
+        assert flat["retrain_consecutive_failures"] == 2
+
+    def test_counters_are_read_only(self):
+        supervisor = RetrainSupervisor(_FlakyPipeline(failures=0))
+        with pytest.raises(AttributeError):
+            supervisor.attempts = 5
+
+
+class TestTrainingMetrics:
+    def test_epoch_metrics_and_spans(self):
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        corpus = [
+            ["a.com", "b.com", "c.com", "a.com", "b.com"],
+            ["b.com", "c.com", "a.com", "c.com", "b.com"],
+        ] * 4
+        model = SkipGramModel(
+            SkipGramConfig(epochs=3, min_count=1, sample=0.0, seed=7),
+            registry=registry, tracer=tracer,
+        )
+        model.fit(corpus)
+
+        flat = MetricsRegistry.flatten(registry.snapshot())
+        assert flat["train_tokens_total"] > 0
+        assert flat["train_pairs_total"] > 0
+        assert flat["train_epoch_seconds_count"] == 3
+        assert flat["train_negative_sampling_seconds_total"] > 0
+        assert [s.name for s in tracer.spans()] == ["train.epoch"] * 3
+
+    def test_null_instruments_record_nothing(self):
+        corpus = [["a.com", "b.com", "c.com"]] * 4
+        model = SkipGramModel(SkipGramConfig(epochs=2, min_count=1))
+        model.fit(corpus)   # defaults are the no-op registry/tracer
+        assert model.registry.null
+        assert model.registry.families() == []

@@ -1,0 +1,96 @@
+"""Tests for structured JSON logging."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import logging as obslog
+from repro.obs.tracing import Tracer
+
+
+@pytest.fixture()
+def stream():
+    """Capture records into a StringIO; restore global state afterwards."""
+    buffer = io.StringIO()
+    obslog.set_stream(buffer)
+    obslog.set_level("debug")
+    yield buffer
+    obslog.set_stream(None)
+    obslog.set_level("warning")
+    obslog.set_run_id(None)
+    obslog.bind_tracer(None)
+
+
+def _records(buffer: io.StringIO) -> list[dict]:
+    return [
+        json.loads(line)
+        for line in buffer.getvalue().splitlines()
+        if line.strip()
+    ]
+
+
+class TestRecords:
+    def test_single_line_json_shape(self, stream):
+        obslog.get_logger("test.shape").warning(
+            "something happened", day=4, attempt=2
+        )
+        (record,) = _records(stream)
+        assert record["level"] == "warning"
+        assert record["logger"] == "test.shape"
+        assert record["msg"] == "something happened"
+        assert record["day"] == 4 and record["attempt"] == 2
+        assert record["ts"] > 0
+
+    def test_non_json_fields_are_stringified(self, stream):
+        obslog.get_logger("test.str").info("msg", error=ValueError("bad"))
+        (record,) = _records(stream)
+        assert record["error"] == "bad"
+
+    def test_reserved_keys_are_not_clobbered(self, stream):
+        obslog.get_logger("test.reserved").info("msg", level="haxx")
+        (record,) = _records(stream)
+        assert record["level"] == "info"
+
+    def test_run_id_is_stamped(self, stream):
+        obslog.set_run_id("abc123")
+        obslog.get_logger("test.run").info("msg")
+        (record,) = _records(stream)
+        assert record["run_id"] == "abc123"
+
+    def test_span_context_from_bound_tracer(self, stream):
+        tracer = Tracer()
+        obslog.bind_tracer(tracer)
+        logger = obslog.get_logger("test.span")
+        with tracer.span("retrain.day", day=1):
+            logger.info("inside")
+        logger.info("outside")
+        inside, outside = _records(stream)
+        assert inside["span"] == "retrain.day"
+        assert "span" not in outside
+
+
+class TestLevels:
+    def test_threshold_filters_lower_levels(self, stream):
+        obslog.set_level("warning")
+        logger = obslog.get_logger("test.levels")
+        logger.debug("quiet")
+        logger.info("quiet")
+        logger.warning("loud")
+        logger.error("loud")
+        assert [r["level"] for r in _records(stream)] == ["warning", "error"]
+
+    def test_invalid_level_is_rejected(self):
+        with pytest.raises(ValueError):
+            obslog.set_level("loudest")
+
+
+class TestHelpers:
+    def test_loggers_are_cached_by_name(self):
+        assert obslog.get_logger("a") is obslog.get_logger("a")
+        assert obslog.get_logger("a") is not obslog.get_logger("b")
+
+    def test_new_run_ids_are_short_and_unique(self):
+        first, second = obslog.new_run_id(), obslog.new_run_id()
+        assert len(first) == 12
+        assert first != second

@@ -1,0 +1,238 @@
+"""Tests for the metrics registry: values, export formats, concurrency."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    MetricError,
+    MetricsRegistry,
+    NullRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = MetricsRegistry().counter("x_total")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_increment_is_rejected(self):
+        counter = MetricsRegistry().counter("x_total")
+        with pytest.raises(MetricError):
+            counter.inc(-1)
+
+    def test_reset_sets_absolute_value(self):
+        counter = MetricsRegistry().counter("x_total")
+        counter.inc(10)
+        counter.reset(3)
+        assert counter.value == 3
+        with pytest.raises(MetricError):
+            counter.reset(-1)
+
+    def test_labelled_children_are_independent(self):
+        family = MetricsRegistry().counter(
+            "events_total", labelnames=("source",)
+        )
+        family.labels(source="dns").inc(2)
+        family.labels(source="sni").inc(5)
+        assert family.value_of(source="dns") == 2
+        assert family.value_of(source="sni") == 5
+        assert family.total() == 7
+
+    def test_wrong_label_set_is_rejected(self):
+        family = MetricsRegistry().counter(
+            "events_total", labelnames=("source",)
+        )
+        with pytest.raises(MetricError):
+            family.labels(kind="dns")
+        with pytest.raises(MetricError):
+            family.inc()   # labelled family has no sole child
+
+    def test_concurrent_increments_lose_nothing(self):
+        # The whole point of the per-child lock: 8 threads hammering the
+        # same counter (and creating labelled siblings) stay exact.
+        registry = MetricsRegistry()
+        plain = registry.counter("plain_total")
+        family = registry.counter("fanout_total", labelnames=("worker",))
+        per_thread, threads = 5000, 8
+
+        def work(worker: int) -> None:
+            for _ in range(per_thread):
+                plain.inc()
+                family.labels(worker=str(worker)).inc()
+
+        pool = [
+            threading.Thread(target=work, args=(i,)) for i in range(threads)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert plain.value == per_thread * threads
+        assert family.total() == per_thread * threads
+        assert all(
+            child.value == per_thread for _, child in family.samples()
+        )
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(12)
+        assert gauge.value == 3
+
+
+class TestHistogram:
+    def test_boundary_value_lands_in_its_bucket(self):
+        # Prometheus le semantics: value == upper bound counts in that
+        # bucket, not the next.
+        hist = MetricsRegistry().histogram("lat_seconds", buckets=(0.1, 1.0))
+        hist.observe(0.1)
+        cumulative = dict(hist._sole_child().cumulative_buckets())
+        assert cumulative[0.1] == 1
+        assert cumulative[1.0] == 1
+        assert cumulative[float("inf")] == 1
+
+    def test_overflow_goes_to_inf_bucket(self):
+        hist = MetricsRegistry().histogram("lat_seconds", buckets=(0.1, 1.0))
+        hist.observe(99.0)
+        cumulative = dict(hist._sole_child().cumulative_buckets())
+        assert cumulative[0.1] == 0
+        assert cumulative[1.0] == 0
+        assert cumulative[float("inf")] == 1
+        assert hist.count == 1
+        assert hist.sum == 99.0
+
+    def test_explicit_inf_bucket_is_stripped(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "lat_seconds", buckets=(0.5, float("inf"))
+        )
+        assert hist.buckets == (0.5,)
+
+    def test_empty_histogram_exports_zero_series(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat_seconds", "latency", buckets=(0.5,))
+        text = registry.to_prometheus()
+        assert 'lat_seconds_bucket{le="0.5"} 0' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 0' in text
+        assert "lat_seconds_sum 0" in text
+        assert "lat_seconds_count 0" in text
+
+    def test_time_context_manager_observes(self):
+        hist = MetricsRegistry().histogram("op_seconds")
+        with hist.time():
+            pass
+        assert hist.count == 1
+        assert hist.sum >= 0
+
+
+class TestRegistration:
+    def test_re_registration_returns_same_family(self):
+        registry = MetricsRegistry()
+        first = registry.counter("x_total", "help")
+        again = registry.counter("x_total", "other help")
+        assert first is again
+
+    def test_conflicting_type_is_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(MetricError):
+            registry.gauge("x_total")
+
+    def test_conflicting_labelnames_are_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", labelnames=("a",))
+        with pytest.raises(MetricError):
+            registry.counter("x_total", labelnames=("b",))
+
+    def test_conflicting_buckets_are_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat_seconds", buckets=(0.5,))
+        with pytest.raises(MetricError):
+            registry.histogram("lat_seconds", buckets=(0.25,))
+
+    def test_invalid_names_are_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricError):
+            registry.counter("bad name")
+        with pytest.raises(MetricError):
+            registry.counter("ok_total", labelnames=("bad-label",))
+
+
+class TestExport:
+    def _populated(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("events_total", "Events.", ("source",)).labels(
+            source="dns"
+        ).inc(3)
+        registry.gauge("depth", "Queue depth.").set(2)
+        registry.histogram("lat_seconds", buckets=(0.1, 1.0)).observe(0.05)
+        return registry
+
+    def test_prometheus_text_format(self):
+        text = self._populated().to_prometheus()
+        assert "# HELP events_total Events." in text
+        assert "# TYPE events_total counter" in text
+        assert 'events_total{source="dns"} 3' in text
+        assert "# TYPE depth gauge" in text
+        assert "depth 2" in text
+        assert "# TYPE lat_seconds histogram" in text
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 1' in text
+        assert "lat_seconds_count 1" in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", labelnames=("p",)).labels(
+            p='a"b\\c\nd'
+        ).inc()
+        text = registry.to_prometheus()
+        assert r'x_total{p="a\"b\\c\nd"} 1' in text
+
+    def test_json_snapshot_round_trips(self):
+        snapshot = json.loads(self._populated().to_json())
+        assert snapshot["format"] == "repro-metrics-v1"
+        names = {m["name"] for m in snapshot["metrics"]}
+        assert names == {"events_total", "depth", "lat_seconds"}
+
+    def test_flatten_and_diff(self):
+        registry = self._populated()
+        before = registry.snapshot()
+        registry.counter(
+            "events_total", labelnames=("source",)
+        ).labels(source="dns").inc(4)
+        deltas = registry.diff(before)
+        assert deltas == {'events_total{source="dns"}': 4.0}
+        flat = MetricsRegistry.flatten(registry.snapshot())
+        assert flat['events_total{source="dns"}'] == 7.0
+        assert flat["lat_seconds_count"] == 1.0
+        assert flat['lat_seconds_bucket{le="0.1"}'] == 1.0
+
+
+class TestNullRegistry:
+    def test_everything_is_a_no_op(self):
+        registry = NullRegistry()
+        assert registry.null
+        counter = registry.counter("x_total")
+        counter.inc(5)
+        assert counter.value == 0
+        assert counter.labels(a="b") is counter
+        hist = registry.histogram("lat_seconds")
+        with hist.time():
+            pass
+        assert hist.count == 0
+        assert registry.families() == []
+        assert registry.to_prometheus().strip() == ""
+        assert registry.snapshot()["metrics"] == []
+
+    def test_shared_singleton_flags(self):
+        assert NULL_REGISTRY.null
+        assert not MetricsRegistry().null

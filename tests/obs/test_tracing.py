@@ -1,0 +1,118 @@
+"""Tests for span tracing: nesting, exports, the no-op tracer."""
+
+import json
+import threading
+
+from repro.obs.tracing import NULL_TRACER, NullTracer, Tracer
+
+
+class TestSpans:
+    def test_nesting_builds_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("outer", day=1):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("inner"):
+                pass
+        roots = tracer.spans()
+        assert len(roots) == 1
+        outer = roots[0]
+        assert outer.name == "outer"
+        assert outer.tags == {"day": 1}
+        assert [c.name for c in outer.children] == ["inner", "inner"]
+        assert [s.name for s in outer.walk()] == ["outer", "inner", "inner"]
+
+    def test_timings_are_recorded(self):
+        tracer = Tracer()
+        with tracer.span("op"):
+            sum(range(1000))
+        (span,) = tracer.spans()
+        assert span.duration >= 0
+        assert span.cpu_time >= 0
+        assert span.start_wall > 0
+        assert span.thread_id == threading.get_ident()
+
+    def test_current_tracks_the_open_span(self):
+        tracer = Tracer()
+        assert tracer.current() is None
+        with tracer.span("outer"):
+            assert tracer.current().name == "outer"
+            with tracer.span("inner"):
+                assert tracer.current().name == "inner"
+            assert tracer.current().name == "outer"
+        assert tracer.current() is None
+
+    def test_span_survives_exceptions(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("failing"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert [s.name for s in tracer.spans()] == ["failing"]
+        assert tracer.current() is None
+
+    def test_threads_get_separate_roots(self):
+        tracer = Tracer()
+
+        def work():
+            with tracer.span("worker"):
+                pass
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(tracer.spans()) == 4
+
+
+class TestExports:
+    def test_chrome_trace_format(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("outer", day=3):
+            with tracer.span("inner"):
+                pass
+        trace = tracer.to_chrome_trace()
+        assert trace["displayTimeUnit"] == "ms"
+        events = trace["traceEvents"]
+        assert {e["name"] for e in events} == {"outer", "inner"}
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["ts"] > 0 and event["dur"] >= 0
+            assert "pid" in event and "tid" in event
+        outer = next(e for e in events if e["name"] == "outer")
+        assert outer["args"]["day"] == 3
+        assert "cpu_time_s" in outer["args"]
+
+        path = tmp_path / "trace.json"
+        count = tracer.write_chrome_trace(path)
+        assert count == 2
+        assert len(json.loads(path.read_text())["traceEvents"]) == 2
+
+    def test_summary_table(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("repeated"):
+                pass
+        summary = tracer.summary()
+        assert "repeated" in summary
+        assert "calls" in summary and "wall s" in summary
+
+    def test_empty_summary(self):
+        assert Tracer().summary() == "trace: no spans recorded"
+
+
+class TestNullTracer:
+    def test_span_yields_none_and_records_nothing(self):
+        tracer = NullTracer()
+        assert tracer.null
+        with tracer.span("op", k=1) as span:
+            assert span is None
+        assert tracer.spans() == []
+        assert tracer.current() is None
+        assert tracer.to_chrome_trace()["traceEvents"] == []
+
+    def test_singleton_flags(self):
+        assert NULL_TRACER.null
+        assert not Tracer().null

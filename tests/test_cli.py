@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -21,8 +23,16 @@ class TestParser:
             ["synthesize", "--chaos-corrupt", "0.1", "--chaos-drop", "0.05"],
             ["observe", "c.pcap", "--vantage", "dns"],
             ["stream", "c.pcap", "--max-lateness-seconds", "30"],
+            ["stream", "c.pcap", "--train", "--train-split", "0.6",
+             "--train-epochs", "2", "--seed", "3", "--sites", "80"],
+            ["stream", "c.pcap", "--metrics-out", "m.prom",
+             "--trace-out", "t.json"],
             ["experiment", "--retrain-attempts", "4",
              "--retrain-backoff", "30"],
+            ["experiment", "--metrics-out", "m.json"],
+            ["train", "--metrics-out", "m.json", "--trace-out", "t.json"],
+            ["observe", "c.pcap", "--metrics-out", "m.prom"],
+            ["metrics-dump", "m.json", "--grep", "stream_"],
         ],
     )
     def test_known_commands_parse(self, argv):
@@ -131,3 +141,70 @@ class TestCommands:
             ["stream", str(pcap), "--checkpoint", str(state)]
         ) == 0
         assert "restored" in capsys.readouterr().out
+
+
+class TestTelemetry:
+    """The --metrics-out / --trace-out / --train surface."""
+
+    WORLD = ["--seed", "5", "--sites", "120", "--users", "12", "--days", "1"]
+
+    @pytest.fixture(scope="class")
+    def pcap(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("telemetry") / "capture.pcap"
+        main(["synthesize", *self.WORLD, "--output", str(path)])
+        return path
+
+    def test_stream_train_covers_every_stage(self, pcap, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        trace = tmp_path / "trace.json"
+        assert main(
+            ["stream", str(pcap), "--train", "--seed", "5",
+             "--sites", "120", "--train-epochs", "2",
+             "--metrics-out", str(metrics), "--trace-out", str(trace)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "model swapped into the stream" in out
+
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["format"] == "repro-metrics-v1"
+        names = {m["name"] for m in snapshot["metrics"]}
+        for stage in ("netobs_", "quarantine_", "stream_", "train_",
+                      "profile_", "retrain_"):
+            assert any(n.startswith(stage) for n in names), stage
+
+        chrome = json.loads(trace.read_text())
+        span_names = {e["name"] for e in chrome["traceEvents"]}
+        assert {"stream.observe", "train.epoch", "retrain.day"} <= span_names
+
+    def test_prometheus_output_for_non_json_suffix(
+        self, pcap, tmp_path, capsys
+    ):
+        metrics = tmp_path / "metrics.prom"
+        assert main(
+            ["observe", str(pcap), "--metrics-out", str(metrics)]
+        ) == 0
+        text = metrics.read_text()
+        assert "# TYPE netobs_packets_total counter" in text
+        assert "netobs_packets_total " in text
+
+    def test_metrics_dump(self, pcap, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        main(["stream", str(pcap), "--metrics-out", str(metrics)])
+        capsys.readouterr()
+        assert main(["metrics-dump", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "stream_events_total" in out
+        assert main(
+            ["metrics-dump", str(metrics), "--grep", "netobs_"]
+        ) == 0
+        filtered = capsys.readouterr().out
+        assert "netobs_packets_total" in filtered
+        assert "stream_events_total" not in filtered
+
+    def test_metrics_dump_no_match(self, pcap, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        main(["stream", str(pcap), "--metrics-out", str(metrics)])
+        capsys.readouterr()
+        assert main(
+            ["metrics-dump", str(metrics), "--grep", "zzz_nothing"]
+        ) == 1
