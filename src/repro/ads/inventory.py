@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.index import ExactIndex
 from repro.traffic.web import SyntheticWeb
 
 # Standard IAB display sizes (w, h) with rough frequency weights.
@@ -78,7 +79,7 @@ class AdDatabaseConfig:
 class AdDatabase:
     """The pool of creatives the eavesdropper back-end serves from."""
 
-    def __init__(self, ads: list[Ad]):
+    def __init__(self, ads: list[Ad], registry=None):
         if not ads:
             raise ValueError("ad database cannot be empty")
         self.ads = ads
@@ -86,6 +87,11 @@ class AdDatabase:
         for ad in ads:
             self._by_landing[ad.landing_domain].append(ad)
         self._category_matrix = np.vstack([ad.categories for ad in ads])
+        # Euclidean 20-NN over category vectors (paper Section 5.4) goes
+        # through the shared vector-index layer.
+        self._index = ExactIndex(
+            self._category_matrix, metric="euclidean", registry=registry
+        )
 
     def __len__(self) -> int:
         return len(self.ads)
@@ -107,12 +113,8 @@ class AdDatabase:
         """The n ads whose category vectors are Euclidean-nearest."""
         if n < 1:
             raise ValueError("n must be >= 1")
-        deltas = self._category_matrix - np.asarray(category_vector)
-        distances = np.einsum("ij,ij->i", deltas, deltas)
-        n = min(n, len(self.ads))
-        top = np.argpartition(distances, n - 1)[:n]
-        top = top[np.argsort(distances[top], kind="stable")]
-        return [self.ads[int(i)] for i in top]
+        ids, _ = self._index.search(np.asarray(category_vector), n)
+        return [self.ads[int(i)] for i in ids]
 
     # -- construction -----------------------------------------------------------
 
@@ -124,6 +126,7 @@ class AdDatabase:
         config: AdDatabaseConfig | None = None,
         created_day: int = 0,
         created_day_range: tuple[int, int] | None = None,
+        registry=None,
     ) -> "AdDatabase":
         """Build the database the way the data-collection phase did.
 
@@ -171,4 +174,4 @@ class AdDatabase:
                         created_day=day,
                     )
                 )
-        return cls(ads)
+        return cls(ads, registry=registry)

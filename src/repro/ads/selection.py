@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.ads.inventory import Ad, AdDatabase
 from repro.core.profiler import SessionProfile
+from repro.index import ExactIndex
 
 
 @dataclass
@@ -43,6 +44,7 @@ class EavesdropperSelector:
         labelled: dict[str, np.ndarray],
         database: AdDatabase,
         config: SelectorConfig | None = None,
+        registry=None,
     ):
         if not labelled:
             raise ValueError("labelled set H_L is empty")
@@ -51,6 +53,11 @@ class EavesdropperSelector:
         self.database = database
         self._hosts = sorted(labelled)
         self._matrix = np.vstack([labelled[h] for h in self._hosts])
+        # The Section 5.4 20-NN over H_L rides the shared index layer
+        # (negative-squared-distance scores reproduce the old ordering).
+        self._index = ExactIndex(
+            self._matrix, metric="euclidean", registry=registry
+        )
         self._effective_neighbours = min(
             self.config.neighbour_hosts,
             max(3, int(len(self._hosts) * self.config.max_host_fraction)),
@@ -61,12 +68,8 @@ class EavesdropperSelector:
     ) -> list[str]:
         """The n labelled hosts Euclidean-nearest to a profile vector."""
         n = n or self._effective_neighbours
-        deltas = self._matrix - np.asarray(category_vector)
-        distances = np.einsum("ij,ij->i", deltas, deltas)
-        n = min(n, len(self._hosts))
-        top = np.argpartition(distances, n - 1)[:n]
-        top = top[np.argsort(distances[top], kind="stable")]
-        return [self._hosts[int(i)] for i in top]
+        ids, _ = self._index.search(np.asarray(category_vector), n)
+        return [self._hosts[int(i)] for i in ids]
 
     def select(
         self, profile: SessionProfile | np.ndarray

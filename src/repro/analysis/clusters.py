@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.embeddings import HostnameEmbeddings
+from repro.index import ExactIndex
 from repro.traffic.web import SyntheticWeb
 from repro.utils.hostnames import second_level_domain
 
@@ -48,11 +49,19 @@ def neighbourhood_purity(
         [embeddings.vocabulary.id_of(site.domain) for site in sites]
     )
     unit = embeddings.unit_vectors[ids]
-    sims = unit @ unit.T
-    np.fill_diagonal(sims, -np.inf)
     verticals = np.array([site.vertical for site in sites])
 
-    top_k = np.argpartition(-sims, k - 1, axis=1)[:, :k]
+    # One batched query over the site-only sub-index replaces the old
+    # |S| x |S| similarity matrix + fill_diagonal scan.  Each row asks
+    # for k+1 neighbours (itself included), then drops itself; rows
+    # where a tie pushed the site out of its own top-(k+1) drop the
+    # last neighbour instead so exactly k remain.
+    index = ExactIndex(unit, metric="cosine", normalized=True)
+    ids_batch, _ = index.search_batch(unit, k + 1)
+    self_mask = ids_batch == np.arange(len(sites))[:, None]
+    missing_self = ~self_mask.any(axis=1)
+    self_mask[missing_self, -1] = True
+    top_k = ids_batch[~self_mask].reshape(len(sites), k)
     matches = verticals[top_k] == verticals[:, None]
     per_site_purity = matches.mean(axis=1)
 

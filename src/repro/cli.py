@@ -19,6 +19,11 @@ The ``experiment``, ``train``, ``observe`` and ``stream`` commands accept
 ``--metrics-out PATH`` (``.json`` → snapshot, anything else → Prometheus
 text) and ``--trace-out PATH`` (Chrome ``trace_event`` JSON, loadable in
 chrome://tracing or https://ui.perfetto.dev).
+
+The ``experiment``, ``stream`` and ``neighbours`` commands accept
+``--index-backend {exact,blocked,ivf}`` (and ``--index-nprobe`` for the
+IVF recall knob) to pick the vector-index backend behind every
+nearest-neighbour search; see DESIGN.md ("Vector index").
 """
 
 from __future__ import annotations
@@ -49,6 +54,15 @@ def _build_world(seed: int, num_sites: int, num_users: int, days: int):
     )
     trace = TraceGenerator(web, population, seed=seed).generate(days)
     return taxonomy, web, population, trace
+
+
+def _index_config(args: argparse.Namespace):
+    """Build an :class:`IndexConfig` from the ``--index-*`` flags."""
+    from repro.index import IndexConfig
+
+    return IndexConfig(
+        backend=args.index_backend, nprobe=args.index_nprobe
+    )
 
 
 def _telemetry(args: argparse.Namespace):
@@ -97,6 +111,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         config.retrain.max_attempts = args.retrain_attempts
     if args.retrain_backoff is not None:
         config.retrain.backoff_base_seconds = args.retrain_backoff
+    config.pipeline.index = _index_config(args)
     print(
         f"running {args.scale} experiment "
         f"(seed {args.seed}, {config.profiling_days} profiling days)..."
@@ -177,6 +192,8 @@ def _load_embeddings(path: Path):
 
 
 def cmd_neighbours(args: argparse.Namespace) -> int:
+    from repro.index import build_index
+
     embeddings = _load_embeddings(Path(args.vectors))
     if args.hostname not in embeddings:
         print(
@@ -185,6 +202,14 @@ def cmd_neighbours(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    embeddings.bind_index(
+        build_index(
+            embeddings.unit_vectors,
+            metric="cosine",
+            config=_index_config(args),
+            normalized=True,
+        )
+    )
     for hostname, similarity in embeddings.most_similar(
         args.hostname, args.n
     ):
@@ -318,7 +343,10 @@ def _train_stream_model(args, events, stream, registry, tracer) -> list:
     pipeline = NetworkObserverProfiler(
         labelled,
         config=PipelineConfig(
-            skipgram=SkipGramConfig(epochs=args.train_epochs, seed=args.seed)
+            skipgram=SkipGramConfig(
+                epochs=args.train_epochs, seed=args.seed
+            ),
+            index=_index_config(args),
         ),
         registry=registry,
         tracer=tracer,
@@ -391,11 +419,15 @@ def cmd_stream(args: argparse.Namespace) -> int:
         f"{stats.parse_failures} parse failures"
     )
     print(observer.quarantine.summary())
+    model_state = (
+        f"index: {stream.index_backend}" if stream.has_model
+        else "model loaded: False"
+    )
     print(
         f"stream: {stream.events_seen} events, {stream.active_clients} "
         f"clients, {stream.late_events_reordered} late reordered, "
         f"{stream.late_events_dropped} late dropped, "
-        f"{emissions} profiles emitted (model loaded: {stream.has_model})"
+        f"{emissions} profiles emitted ({model_state})"
     )
     if checkpoint is not None:
         stream.checkpoint(checkpoint)
@@ -439,6 +471,20 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--users", type=int, default=60)
         p.add_argument("--days", type=int, default=2)
 
+    def add_index_args(p):
+        p.add_argument(
+            "--index-backend", choices=("exact", "blocked", "ivf"),
+            default="exact",
+            help="vector-index backend behind nearest-neighbour search "
+            "(exact = brute force, blocked = batched float32 GEMM, "
+            "ivf = k-means cluster pruning; see DESIGN.md)",
+        )
+        p.add_argument(
+            "--index-nprobe", type=int, default=None, metavar="K",
+            help="IVF clusters probed per query (recall knob; "
+            "default = half the cells)",
+        )
+
     def add_telemetry_args(p):
         p.add_argument(
             "--metrics-out", default=None, metavar="PATH",
@@ -467,6 +513,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--retrain-backoff", type=float, default=None,
         help="base backoff seconds between retrain retries",
     )
+    add_index_args(p)
     add_telemetry_args(p)
     p.set_defaults(func=cmd_experiment)
 
@@ -490,6 +537,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("vectors", help="embeddings file (.npz or .txt)")
     p.add_argument("hostname")
     p.add_argument("-n", type=int, default=10)
+    add_index_args(p)
     p.set_defaults(func=cmd_neighbours)
 
     p = sub.add_parser(
@@ -563,6 +611,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--sites", type=int, default=500,
         help="world size for rebuilding the labelled set (--train)",
     )
+    add_index_args(p)
     add_telemetry_args(p)
     p.set_defaults(func=cmd_stream)
 

@@ -9,16 +9,15 @@ aggregation function g, a mean over the session's hostname vectors).
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
 from repro.core.vocabulary import Vocabulary
+from repro.index.base import unit_rows as _unit_rows
 
-
-def _unit_rows(matrix: np.ndarray) -> np.ndarray:
-    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
-    return matrix / np.maximum(norms, 1e-12)
+if TYPE_CHECKING:
+    from repro.index.base import VectorIndex
 
 
 class HostnameEmbeddings:
@@ -44,6 +43,7 @@ class HostnameEmbeddings:
         self.vocabulary = vocabulary
         self.context_vectors = context_vectors
         self._unit: np.ndarray | None = None
+        self._index: "VectorIndex | None" = None
 
     # -- basic access ----------------------------------------------------------
 
@@ -72,6 +72,35 @@ class HostnameEmbeddings:
             self._unit = _unit_rows(self.vectors)
         return self._unit
 
+    # -- the bound vector index ---------------------------------------------------
+
+    @property
+    def index(self) -> "VectorIndex":
+        """The vector index every similarity query routes through.
+
+        Defaults to an :class:`~repro.index.exact.ExactIndex` over the
+        unit rows (bit-for-bit the historical brute-force scan); bind an
+        approximate backend with :meth:`bind_index` to make neighbour
+        queries sublinear in |V|.
+        """
+        if self._index is None:
+            from repro.index.exact import ExactIndex
+
+            self._index = ExactIndex(
+                self.unit_vectors, metric="cosine", normalized=True
+            )
+        return self._index
+
+    def bind_index(self, index: "VectorIndex") -> None:
+        """Attach a prebuilt index (the daily retrain swaps one in)."""
+        if len(index) != len(self):
+            raise ValueError(
+                f"index size {len(index)} != vocabulary size {len(self)}"
+            )
+        if index.metric != "cosine":
+            raise ValueError("embeddings require a cosine index")
+        self._index = index
+
     # -- similarity --------------------------------------------------------------
 
     def similarity(self, host_a: str, host_b: str) -> float:
@@ -82,21 +111,18 @@ class HostnameEmbeddings:
 
     def cosine_to_all(self, vector: np.ndarray) -> np.ndarray:
         """Cosine similarity of an arbitrary vector to every hostname."""
-        vector = np.asarray(vector, dtype=np.float64)
-        norm = np.linalg.norm(vector)
-        if norm < 1e-12:
-            return np.zeros(len(self))
-        return self.unit_vectors @ (vector / norm)
+        return self.index.scores_all(vector)
 
     def nearest_to_vector(
         self, vector: np.ndarray, n: int
     ) -> tuple[np.ndarray, np.ndarray]:
-        """ids and cosine similarities of the n nearest hostnames."""
-        sims = self.cosine_to_all(vector)
-        n = min(n, len(sims))
-        top = np.argpartition(-sims, n - 1)[:n]
-        top = top[np.argsort(-sims[top], kind="stable")]
-        return top, sims[top]
+        """ids and cosine similarities of the up-to-n nearest hostnames.
+
+        ``n <= 0`` returns empty arrays (historically this crashed in
+        ``np.argpartition``); an approximate bound index may return fewer
+        than ``n`` results.
+        """
+        return self.index.search(vector, n)
 
     def most_similar(
         self,
@@ -104,19 +130,23 @@ class HostnameEmbeddings:
         n: int = 10,
         exclude_self: bool = True,
     ) -> list[tuple[str, float]]:
-        """The n most cosine-similar hostnames to ``hostname``."""
-        sims = self.unit_vectors @ self.unit_vectors[
-            self.vocabulary.id_of(hostname)
+        """The up-to-n most cosine-similar hostnames to ``hostname``.
+
+        Empty when ``n <= 0`` or when ``exclude_self`` leaves nothing to
+        return (a one-host vocabulary used to crash here).
+        """
+        host_id = self.vocabulary.id_of(hostname)
+        if n <= 0:
+            return []
+        ids, sims = self.index.search(
+            self.vectors[host_id], n + int(exclude_self)
+        )
+        results = [
+            (self.vocabulary.host_of(int(i)), float(s))
+            for i, s in zip(ids, sims)
+            if not (exclude_self and int(i) == host_id)
         ]
-        if exclude_self:
-            sims = sims.copy()
-            sims[self.vocabulary.id_of(hostname)] = -np.inf
-        n = min(n, len(sims) - int(exclude_self))
-        top = np.argpartition(-sims, n - 1)[:n]
-        top = top[np.argsort(-sims[top], kind="stable")]
-        return [
-            (self.vocabulary.host_of(int(i)), float(sims[i])) for i in top
-        ]
+        return results[:n]
 
     # -- session aggregation -------------------------------------------------------
 

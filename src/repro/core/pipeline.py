@@ -21,6 +21,7 @@ from repro.core.embeddings import HostnameEmbeddings
 from repro.core.profiler import SessionProfile, SessionProfiler
 from repro.core.session import SessionExtractor, SessionWindow
 from repro.core.skipgram import SkipGramConfig, SkipGramModel, TrainStats
+from repro.index import IndexConfig, build_index
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.traffic.blocklists import TrackerFilter
@@ -42,6 +43,9 @@ class PipelineConfig:
     aggregation: str = "mean"           # g
     skipgram: SkipGramConfig = field(default_factory=SkipGramConfig)
     corpus: CorpusConfig = field(default_factory=CorpusConfig)
+    # Neighbour-search backend for the Eq. 3 N-neighbourhood; rebuilt and
+    # swapped atomically with the embeddings on every daily retrain.
+    index: IndexConfig = field(default_factory=IndexConfig)
 
     def validate(self) -> None:
         if self.session_minutes <= 0:
@@ -50,6 +54,7 @@ class PipelineConfig:
             raise ValueError("report_interval_minutes must be positive")
         self.skipgram.validate()
         self.corpus.validate()
+        self.index.validate()
 
 
 class NetworkObserverProfiler:
@@ -122,6 +127,26 @@ class NetworkObserverProfiler:
         return model.stats
 
     def _build_profiler(self, embeddings: HostnameEmbeddings) -> SessionProfiler:
+        # The index is built over the fresh embedding matrix *before* the
+        # profiler is published, so serving never sees a half-built index
+        # (the same atomic-swap discipline as the model itself).
+        with self.tracer.span(
+            "index.build",
+            backend=self.config.index.backend, vocabulary=len(embeddings),
+        ):
+            index = build_index(
+                embeddings.unit_vectors,
+                metric="cosine",
+                config=self.config.index,
+                normalized=True,
+                registry=self.registry,
+            )
+        embeddings.bind_index(index)
+        self.registry.counter(
+            "index_rebuilds_total",
+            "Vector-index rebuilds (one per model retrain).",
+            labelnames=("backend",),
+        ).labels(backend=index.name).inc()
         return SessionProfiler(
             embeddings,
             self.labelled,
@@ -129,6 +154,7 @@ class NetworkObserverProfiler:
             aggregation=self.config.aggregation,
             max_neighbourhood_fraction=self.config.max_neighbourhood_fraction,
             registry=self.registry,
+            index=index,
         )
 
     def train_on_day(self, trace: Trace, day: int) -> TrainStats:
@@ -172,6 +198,23 @@ class NetworkObserverProfiler:
 
     def profile_window(self, window: SessionWindow) -> SessionProfile:
         return self.profile_session(list(window.hostnames))
+
+    def profile_sessions(self, sessions) -> list[SessionProfile]:
+        """Profile many hostname lists with one batched index search."""
+        if self.tracker_filter is not None:
+            sessions = [
+                self.tracker_filter.filter_hostnames(list(hosts))
+                for hosts in sessions
+            ]
+        return self.profiler.profile_sessions(sessions)
+
+    def profile_windows(
+        self, windows: list[SessionWindow]
+    ) -> list[SessionProfile]:
+        """Batched :meth:`profile_window` (one GEMM scores them all)."""
+        return self.profile_sessions(
+            [list(window.hostnames) for window in windows]
+        )
 
     def profile_user(
         self, user_requests: list[Request], now: float

@@ -156,8 +156,20 @@ class StreamingProfiler:
     def has_model(self) -> bool:
         return self._profiler is not None
 
+    @property
+    def index_backend(self) -> str | None:
+        """Backend name of the serving profiler's vector index, if any."""
+        if self._profiler is None:
+            return None
+        return getattr(self._profiler, "index_backend", None)
+
     def swap_model(self, profiler: SessionProfiler) -> None:
-        """Atomically replace the profiling model (the daily retrain)."""
+        """Atomically replace the profiling model (the daily retrain).
+
+        The profiler arrives with its vector index already built and
+        bound (see ``NetworkObserverProfiler._build_profiler``), so the
+        swap publishes model and index together in one assignment.
+        """
         self._profiler = profiler
         self._swaps_total.inc()
 

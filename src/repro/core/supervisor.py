@@ -162,6 +162,18 @@ class RetrainSupervisor:
             )
         return delay
 
+    def _index_backend(self) -> str | None:
+        """Backend name of the just-published profiler's index, if any.
+
+        Purely informational (it only feeds the success log line), so any
+        pipeline without a live profiler — including duck-typed test
+        doubles — degrades to None rather than failing the retrain.
+        """
+        try:
+            return self.pipeline.profiler.index_backend
+        except Exception:
+            return None
+
     def _record_error(self, day: int, error: Exception) -> None:
         if len(self.errors) < self.config.max_recorded_errors:
             self.errors.append((day, f"{type(error).__name__}: {error}"))
@@ -206,7 +218,14 @@ class RetrainSupervisor:
             self._successes_total.inc()
             self._consecutive_failures_gauge.set(0)
             self.last_success_day = day
+            log.info(
+                "retrain published",
+                day=day,
+                index_backend=self._index_backend(),
+            )
             if self.stream is not None:
+                # The profiler carries its freshly built vector index, so
+                # this swap publishes model + index atomically.
                 self.stream.swap_model(self.pipeline.profiler)
         else:
             self._consecutive_failures_gauge.inc()

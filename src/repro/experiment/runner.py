@@ -201,6 +201,7 @@ class ExperimentRunner:
             derive_rng(seed, "ads"),
             cfg.ad_database,
             created_day_range=(0, max(cfg.collection_days - 1, 0)),
+            registry=self.registry,
         )
         ad_network = AdNetwork(
             database,
@@ -214,7 +215,9 @@ class ExperimentRunner:
             labelled, config=cfg.pipeline, tracker_filter=tracker_filter,
             registry=self.registry, tracer=self.tracer,
         )
-        selector = EavesdropperSelector(labelled, database, cfg.selector)
+        selector = EavesdropperSelector(
+            labelled, database, cfg.selector, registry=self.registry
+        )
         backend = Backend(profiler, selector)
         extensions = {
             user.user_id: SimulatedExtension(

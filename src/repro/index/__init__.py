@@ -1,0 +1,40 @@
+"""Unified vector-index subsystem: one ANN layer behind profiling,
+retrieval and ad selection.
+
+Every nearest-neighbour call site in the repo — the Eq. 3/4 session
+neighbourhood, the 20-NN Euclidean ad lookup, the Figure-5 cluster
+purity scan, hostname ``most_similar`` queries — routes through the
+:class:`VectorIndex` contract defined here.  See ``DESIGN.md`` ("Vector
+index") for the backend matrix and the retrain swap semantics.
+"""
+
+from repro.index.base import (
+    BACKENDS,
+    METRICS,
+    PAD_ID,
+    IndexConfig,
+    VectorIndex,
+    build_index,
+    default_nprobe,
+    default_num_clusters,
+    top_ids_desc,
+    unit_rows,
+)
+from repro.index.exact import BlockedExactIndex, ExactIndex
+from repro.index.ivf import IVFIndex
+
+__all__ = [
+    "BACKENDS",
+    "METRICS",
+    "PAD_ID",
+    "BlockedExactIndex",
+    "ExactIndex",
+    "IVFIndex",
+    "IndexConfig",
+    "VectorIndex",
+    "build_index",
+    "default_nprobe",
+    "default_num_clusters",
+    "top_ids_desc",
+    "unit_rows",
+]

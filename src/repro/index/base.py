@@ -1,0 +1,303 @@
+"""The vector-index interface every search call site routes through.
+
+The paper's whole profiling algorithm is nearest-neighbour retrieval:
+the N = 1000 cosine neighbourhood per session (Eq. 3/4), the 20-NN
+Euclidean ad lookup (Section 5.4), and the Figure-5 cluster inspection
+are all "find the rows of a matrix closest to a query".  Before this
+subsystem each caller re-implemented the full O(|V| x d) scan; now they
+share one :class:`VectorIndex` contract with interchangeable backends:
+
+* :class:`~repro.index.exact.ExactIndex` — the brute-force scan, kept
+  bit-for-bit compatible with the historical call sites; ground truth.
+* :class:`~repro.index.exact.BlockedExactIndex` — cache-blocked batched
+  float32 matmul; still exhaustive, but scores many queries per GEMM so
+  batched profiling amortises the scan.
+* :class:`~repro.index.ivf.IVFIndex` — k-means coarse quantizer with
+  ``nprobe`` cluster pruning and exact re-ranking; sublinear per query,
+  recall tunable via ``nprobe``.
+
+Score convention: **higher is better** for every metric.  ``cosine``
+scores are cosine similarities; ``euclidean`` scores are *negative
+squared* Euclidean distances (monotone in true distance, cheap to
+compute, and one ordering rule serves both metrics).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+
+#: Sentinel id used to pad rectangular batch results when a backend
+#: returns fewer than ``n`` candidates (IVF with few probed clusters).
+PAD_ID = -1
+
+METRICS = ("cosine", "euclidean")
+BACKENDS = ("exact", "blocked", "ivf")
+
+
+@dataclass
+class IndexConfig:
+    """Knobs for :func:`build_index`; defaults preserve exact search."""
+
+    backend: str = "exact"
+    # BlockedExactIndex: rows scored per block (tuned to keep a block of
+    # the float32 matrix plus the score tile inside L2).
+    block_rows: int = 8192
+    # IVFIndex: number of k-means cells; None = ~sqrt(|V|).
+    num_clusters: int | None = None
+    # IVFIndex: cells probed per query; None = half the cells, a
+    # recall-first default (see DESIGN.md "Vector index").
+    nprobe: int | None = None
+    kmeans_iterations: int = 10
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown index backend {self.backend!r}; "
+                f"choose from {BACKENDS}"
+            )
+        if self.block_rows < 1:
+            raise ValueError("block_rows must be >= 1")
+        if self.num_clusters is not None and self.num_clusters < 1:
+            raise ValueError("num_clusters must be >= 1")
+        if self.nprobe is not None and self.nprobe < 1:
+            raise ValueError("nprobe must be >= 1")
+        if self.kmeans_iterations < 1:
+            raise ValueError("kmeans_iterations must be >= 1")
+
+
+def unit_rows(matrix: np.ndarray) -> np.ndarray:
+    """Row-normalize with the zero-row guard every call site used."""
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    return matrix / np.maximum(norms, 1e-12)
+
+
+def top_ids_desc(scores: np.ndarray, n: int) -> np.ndarray:
+    """ids of the ``n`` largest scores, descending, ties stable by id.
+
+    Reproduces the historical selection ops exactly (argpartition then a
+    stable argsort of the partition), so the exact backend is bit-for-bit
+    the pre-refactor behaviour.
+    """
+    n = min(n, len(scores))
+    if n <= 0:
+        return np.empty(0, dtype=np.int64)
+    top = np.argpartition(-scores, n - 1)[:n]
+    return top[np.argsort(-scores[top], kind="stable")]
+
+
+class VectorIndex(ABC):
+    """Nearest-neighbour search over the rows of a fixed matrix.
+
+    Instances are immutable after construction: a model retrain builds a
+    fresh index and swaps it in atomically (see
+    :meth:`repro.core.pipeline.NetworkObserverProfiler.train_on_sequences`).
+    """
+
+    #: short backend identifier ("exact" / "blocked" / "ivf")
+    name: str = "?"
+
+    def __init__(
+        self,
+        vectors: np.ndarray,
+        metric: str = "cosine",
+        normalized: bool = False,
+        registry: MetricsRegistry | None = None,
+    ):
+        vectors = np.asarray(vectors)
+        if vectors.ndim != 2:
+            raise ValueError("index vectors must be a 2-D matrix")
+        if vectors.shape[0] == 0:
+            raise ValueError("cannot index an empty matrix")
+        if metric not in METRICS:
+            raise ValueError(
+                f"unknown metric {metric!r}; choose from {METRICS}"
+            )
+        self.metric = metric
+        if metric == "cosine" and not normalized:
+            vectors = unit_rows(np.asarray(vectors, dtype=np.float64))
+        self._vectors = vectors
+        registry = registry if registry is not None else NULL_REGISTRY
+        self.registry = registry
+        self._measure = not registry.null
+        self._queries_total = registry.counter(
+            "index_queries_total",
+            "Vector-index queries served (batch = one per query row).",
+            labelnames=("backend",),
+        ).labels(backend=self.name)
+        self._scanned_total = registry.counter(
+            "index_rows_scanned_total",
+            "Candidate rows scored across all queries (exhaustive "
+            "backends scan |V| per query; IVF scans the probed cells).",
+            labelnames=("backend",),
+        ).labels(backend=self.name)
+        self._search_seconds = registry.histogram(
+            "index_search_seconds",
+            "Wall time per search call (batched calls count once).",
+            labelnames=("backend",),
+        ).labels(backend=self.name)
+
+    # -- shape -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._vectors.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self._vectors.shape[1]
+
+    # -- scoring helpers --------------------------------------------------------
+
+    def _prepare_query(self, query: np.ndarray) -> np.ndarray:
+        """Validate and (for cosine) unit-normalize one query vector."""
+        query = np.asarray(query, dtype=self._vectors.dtype)
+        if query.ndim != 1 or query.shape[0] != self.dim:
+            raise ValueError(
+                f"query must be a vector of dim {self.dim}, "
+                f"got shape {query.shape}"
+            )
+        if self.metric == "cosine":
+            norm = np.linalg.norm(query)
+            if norm < 1e-12:
+                return np.zeros_like(query)
+            return query / norm
+        return query
+
+    def _prepare_queries(self, queries: np.ndarray) -> np.ndarray:
+        queries = np.asarray(queries, dtype=self._vectors.dtype)
+        if queries.ndim != 2 or queries.shape[1] != self.dim:
+            raise ValueError(
+                f"queries must be (batch, {self.dim}), "
+                f"got shape {queries.shape}"
+            )
+        if self.metric == "cosine":
+            return unit_rows(queries)
+        return queries
+
+    # -- the contract ----------------------------------------------------------
+
+    @abstractmethod
+    def _search_prepared(
+        self, query: np.ndarray, n: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(ids, scores) for one prepared query; both length <= n."""
+
+    def _search_batch_prepared(
+        self, queries: np.ndarray, n: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Default batch path: per-row search, padded rectangular."""
+        n = min(n, len(self))
+        ids = np.full((queries.shape[0], n), PAD_ID, dtype=np.int64)
+        scores = np.full((queries.shape[0], n), -np.inf)
+        for row, query in enumerate(queries):
+            row_ids, row_scores = self._search_prepared(query, n)
+            ids[row, : len(row_ids)] = row_ids
+            scores[row, : len(row_scores)] = row_scores
+        return ids, scores
+
+    def search(
+        self, query: np.ndarray, n: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The up-to-``n`` best rows for one query.
+
+        Returns ``(ids, scores)`` sorted best-first.  Fewer than ``n``
+        results come back when ``n`` exceeds the matrix (every backend)
+        or the probed cells held fewer candidates (IVF); ``n <= 0``
+        returns empty arrays rather than misbehaving.
+        """
+        if n <= 0:
+            return (np.empty(0, dtype=np.int64), np.empty(0))
+        query = self._prepare_query(query)
+        if not self._measure:
+            return self._search_prepared(query, n)
+        with self._search_seconds.time():
+            ids, scores = self._search_prepared(query, n)
+        self._queries_total.inc()
+        return ids, scores
+
+    def search_batch(
+        self, queries: np.ndarray, n: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Best rows for many queries at once: ``(B, <=n)`` arrays.
+
+        Rows with fewer results are right-padded with ``PAD_ID`` /
+        ``-inf`` so the result stays rectangular; callers mask on
+        ``ids >= 0``.
+        """
+        queries = self._prepare_queries(queries)
+        if n <= 0 or queries.shape[0] == 0:
+            return (
+                np.empty((queries.shape[0], 0), dtype=np.int64),
+                np.empty((queries.shape[0], 0)),
+            )
+        if not self._measure:
+            return self._search_batch_prepared(queries, n)
+        with self._search_seconds.time():
+            ids, scores = self._search_batch_prepared(queries, n)
+        self._queries_total.inc(queries.shape[0])
+        return ids, scores
+
+    def scores_all(self, query: np.ndarray) -> np.ndarray:
+        """Scores of the query against **every** row (exhaustive).
+
+        Exact for every backend — IVF keeps the full matrix for
+        re-ranking, so "to all" queries never pay a recall penalty.
+        """
+        query = self._prepare_query(query)
+        if self._measure:
+            self._queries_total.inc()
+            self._scanned_total.inc(len(self))
+        return self._scores_all_prepared(query)
+
+    def _scores_all_prepared(self, query: np.ndarray) -> np.ndarray:
+        if self.metric == "cosine":
+            return self._vectors @ query
+        deltas = self._vectors - query
+        return -np.einsum("ij,ij->i", deltas, deltas)
+
+
+def default_num_clusters(size: int) -> int:
+    """The IVF default: ~sqrt(|V|) cells, clamped to the matrix."""
+    return max(1, min(size, int(round(math.sqrt(size)))))
+
+
+def default_nprobe(num_clusters: int) -> int:
+    """Recall-first default: probe half the cells (see DESIGN.md)."""
+    return max(1, (num_clusters + 1) // 2)
+
+
+def build_index(
+    vectors: np.ndarray,
+    metric: str = "cosine",
+    config: IndexConfig | None = None,
+    normalized: bool = False,
+    registry: MetricsRegistry | None = None,
+) -> VectorIndex:
+    """Construct the backend named by ``config.backend``."""
+    from repro.index.exact import BlockedExactIndex, ExactIndex
+    from repro.index.ivf import IVFIndex
+
+    config = config or IndexConfig()
+    config.validate()
+    if config.backend == "exact":
+        return ExactIndex(
+            vectors, metric=metric, normalized=normalized,
+            registry=registry,
+        )
+    if config.backend == "blocked":
+        return BlockedExactIndex(
+            vectors, metric=metric, normalized=normalized,
+            block_rows=config.block_rows, registry=registry,
+        )
+    return IVFIndex(
+        vectors, metric=metric, normalized=normalized,
+        num_clusters=config.num_clusters, nprobe=config.nprobe,
+        kmeans_iterations=config.kmeans_iterations,
+        seed=config.seed, registry=registry,
+    )

@@ -165,6 +165,44 @@ class TestWord2VecFormat:
             HostnameEmbeddings.load_word2vec_format(path)
 
 
+class TestDegenerateQueries:
+    """Regression: n <= 0 and one-host vocabularies used to crash in
+    ``np.argpartition`` before the index layer clamped them."""
+
+    def test_most_similar_non_positive_n(self, toy):
+        assert toy.most_similar("a.com", n=0) == []
+        assert toy.most_similar("a.com", n=-5) == []
+
+    def test_nearest_to_vector_non_positive_n(self, toy):
+        ids, sims = toy.nearest_to_vector(np.array([1.0, 0.0]), n=0)
+        assert len(ids) == 0 and len(sims) == 0
+        ids, _ = toy.nearest_to_vector(np.array([1.0, 0.0]), n=-3)
+        assert len(ids) == 0
+
+    def test_nearest_to_vector_n_clamped_to_vocabulary(self, toy):
+        ids, sims = toy.nearest_to_vector(np.array([1.0, 0.0]), n=50)
+        assert len(ids) == len(toy)
+        assert (np.diff(sims) <= 0).all()
+
+    def test_one_host_vocabulary(self):
+        vocab = Vocabulary(Counter({"only.com": 3}))
+        embeddings = HostnameEmbeddings(np.array([[1.0, 0.0]]), vocab)
+        # exclude_self leaves nothing to return; historically the search
+        # asked for n + 1 of a 1-row matrix and argpartition blew up.
+        assert embeddings.most_similar("only.com", n=5) == []
+        with_self = embeddings.most_similar(
+            "only.com", n=5, exclude_self=False
+        )
+        assert with_self == [("only.com", pytest.approx(1.0))]
+        ids, _ = embeddings.nearest_to_vector(np.array([1.0, 0.0]), n=10)
+        assert ids.tolist() == [0]
+
+    def test_one_host_vocabulary_non_positive_n(self):
+        vocab = Vocabulary(Counter({"only.com": 3}))
+        embeddings = HostnameEmbeddings(np.array([[1.0, 0.0]]), vocab)
+        assert embeddings.most_similar("only.com", n=0) == []
+
+
 class TestTrainedEmbeddings:
     """Sanity on real (fixture) embeddings trained on the synthetic trace."""
 

@@ -6,7 +6,8 @@ import numpy as np
 import pytest
 
 from repro.core.embeddings import HostnameEmbeddings
-from repro.core.profiler import SessionProfiler
+from repro.core.profiler import SessionProfile, SessionProfiler
+from repro.core.session import first_visits
 from repro.core.vocabulary import Vocabulary
 
 
@@ -174,3 +175,125 @@ class TestTopCategories:
             scores.append(affinity(oracle, profile.categories))
         assert len(scores) > 20
         assert float(np.mean(scores)) > 0.4
+
+
+class TestVectorizedParity:
+    """The vectorized Eq. 3/4 path is a refactor, not a change.
+
+    Profiles must be bitwise-identical to the historical per-neighbour
+    ``host_of`` loop (the in-session-labelled exclusion moved to a vocab-id
+    mask), and the batched ``profile_sessions`` path must match the
+    sequential ``profile`` path window-for-window on the exact backend.
+    """
+
+    @staticmethod
+    def _reference_profile(profiler, hostnames):
+        """The pre-refactor per-neighbour loop, kept as an oracle."""
+        embeddings = profiler.embeddings
+        session_hosts = first_visits(hostnames)
+        if not session_hosts:
+            return profiler._empty_profile(0, 0)
+        session_vector = embeddings.aggregate(
+            session_hosts, how=profiler.aggregation
+        )
+        known = sum(1 for h in session_hosts if h in embeddings)
+        numerator = np.zeros(profiler.num_categories)
+        denominator = 0.0
+        support = 0
+        in_session = [h for h in session_hosts if h in profiler.labelled]
+        for hostname in in_session:
+            numerator = numerator + profiler.labelled[hostname]
+            denominator += 1.0
+            support += 1
+        if session_vector is not None:
+            ids, sims = profiler.index.search(
+                session_vector, profiler.neighbourhood_size
+            )
+            if profiler.recentre_alpha:
+                ambient = profiler.ambient_similarity(session_vector)
+                if ambient < 1.0:
+                    sims = (sims - ambient) / (1.0 - ambient)
+            skip = set(in_session)
+            for host_id, sim in zip(ids, sims):
+                hostname = embeddings.vocabulary.host_of(int(host_id))
+                if hostname not in profiler.labelled or hostname in skip:
+                    continue
+                alpha = max(float(sim), 0.0)
+                if alpha <= 0.0:
+                    continue
+                numerator = numerator + alpha * np.asarray(
+                    profiler.labelled[hostname], dtype=np.float64
+                )
+                denominator += alpha
+                support += 1
+        if denominator == 0.0:
+            return profiler._empty_profile(len(session_hosts), known)
+        return SessionProfile(
+            categories=numerator / denominator,
+            session_size=len(session_hosts),
+            known_hosts=known,
+            support=support,
+        )
+
+    @pytest.mark.parametrize("recentre", [True, False])
+    def test_profile_bitwise_identical_to_reference_loop(
+        self, embeddings, labelled, rng, recentre
+    ):
+        profiler = SessionProfiler(
+            embeddings, labelled, recentre_alpha=recentre
+        )
+        hosts = embeddings.vocabulary.hosts
+        labelled_in_vocab = [h for h in labelled if h in embeddings]
+        non_empty = 0
+        for trial in range(10):
+            session = [
+                hosts[int(i)] for i in rng.integers(len(hosts), size=8)
+            ]
+            if trial % 2:
+                # Labelled hosts in the session exercise the exclusion
+                # mask: they must vote once (alpha = 1), not twice.
+                session = session + labelled_in_vocab[:3]
+            got = profiler.profile(session)
+            want = self._reference_profile(profiler, session)
+            np.testing.assert_array_equal(got.categories, want.categories)
+            assert got.support == want.support
+            assert got.known_hosts == want.known_hosts
+            assert got.session_size == want.session_size
+            non_empty += not got.is_empty
+        assert non_empty > 0   # the comparison must exercise real votes
+
+    def test_profile_sessions_matches_sequential_bitwise(
+        self, embeddings, labelled, rng
+    ):
+        profiler = SessionProfiler(embeddings, labelled)
+        hosts = embeddings.vocabulary.hosts
+        sessions = [
+            [hosts[int(i)] for i in rng.integers(len(hosts), size=size)]
+            for size in (1, 3, 8, 20)
+        ]
+        sessions.append([])                      # empty window
+        sessions.append(["never-seen.example"])  # unknown hosts only
+        batched = profiler.profile_sessions(sessions)
+        assert len(batched) == len(sessions)
+        for session, got in zip(sessions, batched):
+            want = profiler.profile(session)
+            np.testing.assert_array_equal(got.categories, want.categories)
+            assert got.support == want.support
+            assert got.is_empty == want.is_empty
+
+
+class TestAmbientCache:
+    """The recentring term is served from the cached mean unit row."""
+
+    def test_matches_full_vocabulary_scan(self, embeddings, labelled, rng):
+        profiler = SessionProfiler(embeddings, labelled)
+        for _ in range(5):
+            vector = rng.normal(size=embeddings.dim)
+            full_scan = float(embeddings.cosine_to_all(vector).mean())
+            assert profiler.ambient_similarity(vector) == pytest.approx(
+                full_scan, rel=1e-9, abs=1e-12
+            )
+
+    def test_zero_vector_is_zero(self, embeddings, labelled):
+        profiler = SessionProfiler(embeddings, labelled)
+        assert profiler.ambient_similarity(np.zeros(embeddings.dim)) == 0.0

@@ -1,0 +1,88 @@
+"""Exact <-> IVF parity (satellite of the index subsystem PR).
+
+Two guarantees back the recall knob:
+
+* ``nprobe == num_clusters`` degenerates IVF to an exhaustive scan whose
+  ordering matches :class:`ExactIndex` exactly — property-tested over
+  random matrices, metrics and cluster counts;
+* at the *default* ``nprobe`` (half the cells), recall against the exact
+  top-N stays >= 0.95 on a clustered embedding fixture shaped like the
+  trained hostname space (the same planting scheme as
+  ``benchmarks/bench_index.py``, smaller so it runs in tier-1 time).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index import ExactIndex, IVFIndex
+
+
+@st.composite
+def index_problems(draw):
+    size = draw(st.integers(min_value=4, max_value=40))
+    dim = draw(st.integers(min_value=2, max_value=6))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    rng = np.random.default_rng(seed)
+    matrix = rng.normal(size=(size, dim))
+    query = rng.normal(size=dim)
+    num_clusters = draw(st.integers(min_value=1, max_value=size))
+    n = draw(st.integers(min_value=1, max_value=size + 5))
+    metric = draw(st.sampled_from(["cosine", "euclidean"]))
+    return matrix, query, num_clusters, n, metric
+
+
+@given(index_problems())
+@settings(max_examples=60, deadline=None)
+def test_full_probe_ivf_matches_exact_ordering(problem):
+    matrix, query, num_clusters, n, metric = problem
+    exact = ExactIndex(matrix, metric=metric)
+    ivf = IVFIndex(
+        matrix,
+        metric=metric,
+        num_clusters=num_clusters,
+        nprobe=num_clusters,   # probe everything: recall must be 1.0
+    )
+    exact_ids, exact_scores = exact.search(query, n)
+    ivf_ids, ivf_scores = ivf.search(query, n)
+    np.testing.assert_array_equal(ivf_ids, exact_ids)
+    np.testing.assert_array_equal(ivf_scores, exact_scores)
+
+
+def test_default_nprobe_recall_on_clustered_fixture():
+    """recall@N >= 0.95 at the default (half the cells probed)."""
+    rng = np.random.default_rng(12345)
+    size, dim, top_n = 4096, 32, 1000
+    centers = rng.normal(size=(16, dim))
+    centers /= np.linalg.norm(centers, axis=1, keepdims=True)
+    assignment = rng.integers(16, size=size)
+    matrix = centers[assignment] + 0.12 * rng.normal(size=(size, dim))
+    matrix /= np.linalg.norm(matrix, axis=1, keepdims=True)
+    queries = matrix[rng.integers(size, size=50)] + 0.04 * rng.normal(
+        size=(50, dim)
+    )
+
+    exact = ExactIndex(matrix, metric="cosine", normalized=True)
+    ivf = IVFIndex(matrix, metric="cosine", normalized=True)
+    assert ivf.nprobe == (ivf.num_clusters + 1) // 2
+
+    hits = 0
+    for query in queries:
+        truth, _ = exact.search(query, top_n)
+        got, _ = ivf.search(query, top_n)
+        hits += np.isin(truth, got).sum()
+    recall = hits / (len(queries) * top_n)
+    assert recall >= 0.95, f"recall@{top_n} {recall:.4f} < 0.95"
+
+
+def test_low_nprobe_trades_recall_for_fewer_rows_scanned():
+    """The knob moves the right way: fewer probes -> fewer candidates."""
+    rng = np.random.default_rng(7)
+    matrix = rng.normal(size=(500, 8))
+    ivf = IVFIndex(matrix, num_clusters=20, nprobe=20)
+    query = rng.normal(size=8)
+    sizes = [
+        len(ivf._candidates(ivf._prepare_query(query), nprobe))
+        for nprobe in (1, 5, 20)
+    ]
+    assert sizes[0] < sizes[1] < sizes[2] == 500

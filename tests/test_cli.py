@@ -33,6 +33,10 @@ class TestParser:
             ["train", "--metrics-out", "m.json", "--trace-out", "t.json"],
             ["observe", "c.pcap", "--metrics-out", "m.prom"],
             ["metrics-dump", "m.json", "--grep", "stream_"],
+            ["neighbours", "v.npz", "a.com", "--index-backend", "ivf",
+             "--index-nprobe", "4"],
+            ["experiment", "--index-backend", "blocked"],
+            ["stream", "c.pcap", "--train", "--index-backend", "ivf"],
         ],
     )
     def test_known_commands_parse(self, argv):
@@ -42,6 +46,13 @@ class TestParser:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["profile-the-world"])
+
+    def test_unknown_index_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["neighbours", "v.npz", "a.com",
+                 "--index-backend", "faiss"]
+            )
 
 
 class TestCommands:
@@ -81,6 +92,27 @@ class TestCommands:
         first_line = out_path.read_text().splitlines()[0]
         count, dim = first_line.split()
         assert int(count) > 0 and int(dim) == 100
+
+    def test_neighbours_index_backends_agree(self, tmp_path, capsys):
+        """Every --index-backend answers the same nearest-host query."""
+        out_path = tmp_path / "emb.npz"
+        main(["train", *self.WORLD, "--epochs", "2",
+              "--output", str(out_path)])
+        from repro.core import HostnameEmbeddings
+
+        host = HostnameEmbeddings.load(out_path).vocabulary.host_of(0)
+        outputs = {}
+        for backend in ("exact", "blocked", "ivf"):
+            capsys.readouterr()
+            assert main(
+                ["neighbours", str(out_path), host, "-n", "3",
+                 "--index-backend", backend]
+            ) == 0
+            lines = capsys.readouterr().out.strip().splitlines()
+            assert len(lines) == 3
+            outputs[backend] = [line.split()[-1] for line in lines]
+        # blocked is exhaustive too: same hosts as exact, same order
+        assert outputs["blocked"] == outputs["exact"]
 
     def test_neighbours_unknown_host(self, tmp_path, capsys):
         out_path = tmp_path / "emb.npz"
