@@ -13,7 +13,14 @@ Exposes the reproduction's main entry points without writing any code:
 * ``stream``       — run the fault-tolerant streaming runtime over a pcap
                      (lateness tolerance, quarantine, checkpoint/restore;
                      ``--train`` adds an in-process daily retrain);
+* ``store``        — list / rollback / gc the model generation store;
 * ``metrics-dump`` — pretty-print a saved metrics snapshot.
+
+The ``train``, ``stream`` and ``experiment`` commands accept
+``--store DIR``: trained models are published into a generation store
+(embeddings + vector index + profiler config, atomically, with content
+digests) and ``stream --store`` warm-restarts serving from the latest
+generation without retraining or re-clustering.
 
 The ``experiment``, ``train``, ``observe`` and ``stream`` commands accept
 ``--metrics-out PATH`` (``.json`` → snapshot, anything else → Prometheus
@@ -62,6 +69,40 @@ def _index_config(args: argparse.Namespace):
 
     return IndexConfig(
         backend=args.index_backend, nprobe=args.index_nprobe
+    )
+
+
+def _open_store(args: argparse.Namespace, registry, tracer):
+    """Open the ``--store`` directory as an ArtifactStore, if given."""
+    store_dir = getattr(args, "store", None)
+    if not store_dir:
+        return None
+    from repro.store import ArtifactStore
+
+    return ArtifactStore(Path(store_dir), registry=registry, tracer=tracer)
+
+
+def _labelled_world(seed: int, sites: int):
+    """Rebuild the labelled set H_L from the seeded synthetic world.
+
+    Profiling against a stored model needs the same labelled hostnames
+    the publisher used, so ``--seed``/``--sites`` must match the run
+    that trained the generation.
+    """
+    from repro.ontology import OntologyLabeler, build_default_taxonomy
+    from repro.traffic import SyntheticWeb, WebConfig
+    from repro.utils.randomness import derive_rng
+
+    taxonomy = build_default_taxonomy()
+    web = SyntheticWeb.generate(
+        taxonomy, derive_rng(seed, "web"), WebConfig(num_sites=sites)
+    )
+    labeler = OntologyLabeler(taxonomy)
+    return labeler.build_labelled_set(
+        web.ground_truth(),
+        universe_size=len(web.all_hostnames()),
+        rng=derive_rng(seed, "labeler"),
+        popularity=web.popularity(),
     )
 
 
@@ -117,9 +158,16 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         f"(seed {args.seed}, {config.profiling_days} profiling days)..."
     )
     registry, tracer = _telemetry(args)
-    result = ExperimentRunner(config, registry=registry, tracer=tracer).run()
+    store = _open_store(args, registry, tracer)
+    result = ExperimentRunner(
+        config, registry=registry, tracer=tracer, store=store
+    ).run()
     print()
     print(result.summary())
+    if store is not None:
+        latest = store.latest()
+        if latest is not None:
+            print(f"store: serving {latest.describe()}")
     _write_telemetry(args, registry, tracer)
     return 0
 
@@ -179,6 +227,26 @@ def cmd_train(args: argparse.Namespace) -> int:
     else:
         embeddings.save(output)
     print(f"saved {len(embeddings)} vectors to {output}")
+    store = _open_store(args, registry, tracer)
+    if store is not None:
+        from repro.index import build_index
+        from repro.store import publish_model
+
+        index = build_index(
+            embeddings.unit_vectors,
+            metric="cosine",
+            config=_index_config(args),
+            normalized=True,
+            registry=registry,
+        )
+        embeddings.bind_index(index)
+        record = publish_model(
+            store, embeddings, index,
+            created_from_day=args.days - 1,
+            extra={"vocabulary_size": len(embeddings),
+                   "dim": embeddings.dim},
+        )
+        print(f"published {record.describe()}")
     _write_telemetry(args, registry, tracer)
     return 0
 
@@ -303,35 +371,31 @@ class _SequenceTrainer:
     def profiler(self):
         return self._pipeline.profiler
 
+    def publish_generation(self, store, day=None):
+        return self._pipeline.publish_generation(store, day=day)
 
-def _train_stream_model(args, events, stream, registry, tracer) -> list:
+    def load_generation(self, store, generation_id=None):
+        return self._pipeline.load_generation(store, generation_id)
+
+
+def _train_stream_model(
+    args, events, stream, registry, tracer, store=None
+) -> list:
     """The ``stream --train`` path: train on the first ``--train-split``
     of observed events (through the retrain supervisor, so a failed train
     degrades instead of crashing) and return the events left to stream.
 
     The labelled set H_L is rebuilt from the same seeded synthetic world
     the capture was synthesized from, so ``--seed``/``--sites`` must match
-    the ``synthesize`` invocation that produced the pcap.
+    the ``synthesize`` invocation that produced the pcap.  With ``store``
+    attached the trained model is also published as a generation a later
+    ``stream --store`` run can warm-restart from.
     """
     from repro.core.pipeline import NetworkObserverProfiler, PipelineConfig
     from repro.core.skipgram import SkipGramConfig
     from repro.core.supervisor import RetrainSupervisor
-    from repro.ontology import OntologyLabeler, build_default_taxonomy
-    from repro.traffic import SyntheticWeb, WebConfig
-    from repro.utils.randomness import derive_rng
 
-    taxonomy = build_default_taxonomy()
-    web = SyntheticWeb.generate(
-        taxonomy, derive_rng(args.seed, "web"),
-        WebConfig(num_sites=args.sites),
-    )
-    labeler = OntologyLabeler(taxonomy)
-    labelled = labeler.build_labelled_set(
-        web.ground_truth(),
-        universe_size=len(web.all_hostnames()),
-        rng=derive_rng(args.seed, "labeler"),
-        popularity=web.popularity(),
-    )
+    labelled = _labelled_world(args.seed, args.sites)
     split = max(1, int(len(events) * args.train_split))
     per_client: dict[str, list[str]] = {}
     for event in events[:split]:
@@ -353,13 +417,17 @@ def _train_stream_model(args, events, stream, registry, tracer) -> list:
     )
     supervisor = RetrainSupervisor(
         _SequenceTrainer(pipeline, sequences), stream=stream,
-        registry=registry, tracer=tracer,
+        registry=registry, tracer=tracer, store=store,
     )
     outcome = supervisor.retrain(None, 0)
     if outcome.succeeded:
+        published = (
+            f"; published generation {outcome.generation}"
+            if outcome.generation else ""
+        )
         print(
             f"trained on {len(sequences)} client sequences "
-            f"({split} events); model swapped into the stream"
+            f"({split} events); model swapped into the stream{published}"
         )
     else:
         print(
@@ -377,21 +445,45 @@ def cmd_stream(args: argparse.Namespace) -> int:
     from repro.netobs.pcap import read_pcap
 
     registry, tracer = _telemetry(args)
+    store = _open_store(args, registry, tracer)
+    # A populated --store can re-arm the serving model without retraining:
+    # rebuild the labelled world and load store.latest() into a pipeline.
+    pipeline = None
+    if store is not None and not args.train and store.latest() is not None:
+        from repro.core.pipeline import (
+            NetworkObserverProfiler,
+            PipelineConfig,
+        )
+
+        pipeline = NetworkObserverProfiler(
+            _labelled_world(args.seed, args.sites),
+            config=PipelineConfig(index=_index_config(args)),
+            registry=registry,
+            tracer=tracer,
+        )
     checkpoint = Path(args.checkpoint) if args.checkpoint else None
     if checkpoint is not None and checkpoint.exists():
         stream = StreamingProfiler.restore(
-            checkpoint, registry=registry, tracer=tracer
+            checkpoint, registry=registry, tracer=tracer,
+            store=store if pipeline is not None else None,
+            pipeline=pipeline,
         )
         stream.config.max_lateness_seconds = args.max_lateness_seconds
         print(
             f"restored {stream.active_clients} client sessions "
             f"from {checkpoint}"
         )
+        if pipeline is not None and stream.has_model:
+            print(f"warm restart: serving {store.latest().describe()}")
     else:
         stream = StreamingProfiler(
             StreamingConfig(max_lateness_seconds=args.max_lateness_seconds),
             registry=registry, tracer=tracer,
         )
+        if pipeline is not None:
+            record = pipeline.load_generation(store)
+            stream.swap_model(pipeline.profiler)
+            print(f"serving stored {record.describe()}")
     observer = NetworkObserver(
         ObserverConfig(
             vantage=args.vantage,
@@ -407,7 +499,9 @@ def cmd_stream(args: argparse.Namespace) -> int:
             if event is not None:
                 events.append(event)
     if args.train:
-        events = _train_stream_model(args, events, stream, registry, tracer)
+        events = _train_stream_model(
+            args, events, stream, registry, tracer, store=store
+        )
     emissions = 0
     with tracer.span("stream.ingest", events=len(events)):
         for event in events:
@@ -433,6 +527,38 @@ def cmd_stream(args: argparse.Namespace) -> int:
         stream.checkpoint(checkpoint)
         print(f"checkpointed {stream.active_clients} sessions to {checkpoint}")
     _write_telemetry(args, registry, tracer)
+    return 0
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    """Inspect and operate a model generation store."""
+    from repro.store import ArtifactStore, StoreError
+
+    store = ArtifactStore(Path(args.dir))
+    if args.action == "list":
+        records = store.list_generations()
+        if not records:
+            print("store is empty")
+            return 0
+        latest = store.latest_id()
+        for record in records:
+            marker = "*" if record.generation_id == latest else " "
+            print(f"{marker} {record.describe()}")
+        return 0
+    if args.action == "rollback":
+        try:
+            record = store.rollback()
+        except StoreError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        print(f"rolled back; now serving {record.describe()}")
+        return 0
+    # gc
+    removed = store.gc(keep_n=args.keep)
+    if removed:
+        print(f"removed {len(removed)} generation(s): {', '.join(removed)}")
+    else:
+        print("nothing to remove")
     return 0
 
 
@@ -485,6 +611,14 @@ def build_parser() -> argparse.ArgumentParser:
             "default = half the cells)",
         )
 
+    def add_store_args(p):
+        p.add_argument(
+            "--store", default=None, metavar="DIR",
+            help="model generation store directory: trained models are "
+            "published as rollback-able generations; serving restores "
+            "from the latest one (see DESIGN.md, 'Persistence')",
+        )
+
     def add_telemetry_args(p):
         p.add_argument(
             "--metrics-out", default=None, metavar="PATH",
@@ -514,6 +648,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="base backoff seconds between retrain retries",
     )
     add_index_args(p)
+    add_store_args(p)
     add_telemetry_args(p)
     p.set_defaults(func=cmd_experiment)
 
@@ -528,6 +663,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default="embeddings.npz",
         help=".npz archive or .txt (word2vec text format)",
     )
+    add_index_args(p)
+    add_store_args(p)
     add_telemetry_args(p)
     p.set_defaults(func=cmd_train)
 
@@ -612,8 +749,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="world size for rebuilding the labelled set (--train)",
     )
     add_index_args(p)
+    add_store_args(p)
     add_telemetry_args(p)
     p.set_defaults(func=cmd_stream)
+
+    p = sub.add_parser(
+        "store",
+        help="inspect and operate a model generation store",
+    )
+    p.add_argument(
+        "action", choices=("list", "rollback", "gc"),
+        help="list generations, repoint LATEST at the previous one, "
+        "or delete all but the newest --keep",
+    )
+    p.add_argument("dir", help="store directory (as passed to --store)")
+    p.add_argument(
+        "--keep", type=int, default=3, metavar="N",
+        help="generations to keep during gc (default 3; the serving "
+        "generation is always kept)",
+    )
+    p.set_defaults(func=cmd_store)
 
     p = sub.add_parser(
         "metrics-dump",

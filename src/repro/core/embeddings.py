@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.core.vocabulary import Vocabulary
 from repro.index.base import unit_rows as _unit_rows
+from repro.utils.serialization import save_npz_deterministic
 
 if TYPE_CHECKING:
     from repro.index.base import VectorIndex
@@ -177,14 +178,31 @@ class HostnameEmbeddings:
 
     # -- persistence ------------------------------------------------------------------
 
+    #: Archive format written by :meth:`save`.  Version 2 stores hosts as
+    #: a plain unicode array (no pickle) in the *exact* row order of the
+    #: vector matrix, which :meth:`load` preserves verbatim — tied counts
+    #: can never permute host→row alignment through a round-trip.
+    FORMAT_VERSION = 2
+
     def save(self, path: str | Path) -> None:
-        """Serialize to an .npz archive (vectors + vocabulary + counts)."""
-        path = Path(path)
-        np.savez_compressed(
-            path,
-            vectors=self.vectors,
-            hosts=np.array(self.vocabulary.hosts, dtype=object),
-            counts=self.vocabulary.counts,
+        """Serialize to an ``.npz`` archive (vectors + vocabulary + counts).
+
+        Crash-safe and digest-stable: the archive is written to a
+        ``.tmp`` sibling and ``os.replace``d into place (a crash mid-write
+        can no longer leave a corrupt file at the final path), with
+        deterministic bytes so saving the same model twice yields the
+        same SHA-256 (the artifact store's manifests rely on this).
+        """
+        save_npz_deterministic(
+            Path(path),
+            {
+                "format_version": np.asarray(
+                    self.FORMAT_VERSION, dtype=np.int64
+                ),
+                "vectors": self.vectors,
+                "hosts": np.asarray(self.vocabulary.hosts, dtype=np.str_),
+                "counts": self.vocabulary.counts.astype(np.int64),
+            },
         )
 
     @classmethod
@@ -193,14 +211,24 @@ class HostnameEmbeddings:
 
         with np.load(Path(path), allow_pickle=True) as archive:
             hosts = [str(h) for h in archive["hosts"]]
-            counts = Counter(
-                dict(zip(hosts, (int(c) for c in archive["counts"])))
-            )
-            vocabulary = Vocabulary(counts, min_count=1)
-            # Vocabulary re-sorts by count; realign the vector rows.
-            row_of = {host: row for row, host in enumerate(hosts)}
-            order = [row_of[h] for h in vocabulary.hosts]
-            vectors = archive["vectors"][order]
+            counts = [int(c) for c in archive["counts"]]
+            if "format_version" in archive.files:
+                # v2+: the saved row order is authoritative; rebuild the
+                # vocabulary in place so save → load is bitwise-identical
+                # even when counts tie.
+                vocabulary = Vocabulary.from_ordered(
+                    hosts, counts, min_count=1
+                )
+                vectors = np.asarray(archive["vectors"], dtype=np.float64)
+            else:
+                # Legacy v1 archives: Vocabulary re-sorts by count, so
+                # realign the vector rows to the rebuilt order.
+                vocabulary = Vocabulary(
+                    Counter(dict(zip(hosts, counts))), min_count=1
+                )
+                row_of = {host: row for row, host in enumerate(hosts)}
+                order = [row_of[h] for h in vocabulary.hosts]
+                vectors = archive["vectors"][order]
         return cls(vectors, vocabulary)
 
     def save_word2vec_format(self, path: str | Path) -> None:

@@ -13,6 +13,7 @@ Glues the pieces into the deployment loop of the paper's Section 5.4:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -28,6 +29,9 @@ from repro.traffic.blocklists import TrackerFilter
 from repro.traffic.events import Request
 from repro.traffic.generator import Trace
 from repro.utils.timeutils import minutes
+
+if TYPE_CHECKING:
+    from repro.store import ArtifactStore, GenerationRecord
 
 
 @dataclass
@@ -171,22 +175,103 @@ class NetworkObserverProfiler:
 
     # -- persistence -------------------------------------------------------------
 
-    def save_model(self, path) -> None:
-        """Snapshot the serving embeddings to an ``.npz`` archive.
+    def _profiler_config(self) -> dict:
+        """The serving knobs a generation must carry to be self-contained."""
+        return {
+            "neighbourhood_size": self.config.neighbourhood_size,
+            "max_neighbourhood_fraction":
+                self.config.max_neighbourhood_fraction,
+            "aggregation": self.config.aggregation,
+            "session_minutes": self.config.session_minutes,
+            "report_interval_minutes": self.config.report_interval_minutes,
+        }
 
-        Together with :meth:`StreamingProfiler.checkpoint` this is the
-        observer's crash-recovery state: the session windows live in the
-        stream checkpoint, the model lives here.
+    def publish_generation(
+        self, store: "ArtifactStore", day: int | None = None
+    ) -> "GenerationRecord":
+        """Publish the serving model as one atomic store generation.
+
+        Embeddings, the bound vector index, and the profiler config land
+        in a single transaction (scratch dir + rename), so a reader never
+        observes embeddings from one retrain next to the index of
+        another.  Together with :meth:`StreamingProfiler.checkpoint` this
+        is the observer's complete crash-recovery state: session windows
+        in the stream checkpoint, the model in the store.
         """
-        self.embeddings.save(path)
+        from repro.store import publish_model
 
-    def load_model(self, path) -> None:
-        """Restore embeddings saved by :meth:`save_model` and start serving
-        them (rebuilds the session profiler against the labelled set)."""
-        embeddings = HostnameEmbeddings.load(path)
-        profiler = self._build_profiler(embeddings)
+        return publish_model(
+            store,
+            self.embeddings,
+            self.embeddings.index,
+            profiler_config=self._profiler_config(),
+            created_from_day=day,
+            extra={
+                "vocabulary_size": len(self.embeddings),
+                "dim": self.embeddings.dim,
+            },
+        )
+
+    def load_generation(
+        self, store: "ArtifactStore", generation_id: str | None = None
+    ) -> "GenerationRecord":
+        """Serve a stored generation (``latest`` unless named).
+
+        Every component is digest-verified before deserialization, the
+        saved index is *loaded*, not rebuilt (IVF centroids come back
+        as published — no re-clustering), and the session profiler is
+        reassembled from the generation's own config, so the restored
+        observer scores sessions exactly as the one that published.
+        """
+        import json as _json
+
+        from repro.index.base import load_index
+        from repro.store import (
+            EMBEDDINGS_COMPONENT,
+            INDEX_COMPONENT,
+            PROFILER_CONFIG_COMPONENT,
+        )
+
+        record = store.restore(generation_id)
+        embeddings = HostnameEmbeddings.load(
+            record.component_path(EMBEDDINGS_COMPONENT)
+        )
+        if record.has_component(INDEX_COMPONENT):
+            index = load_index(
+                record.component_path(INDEX_COMPONENT),
+                registry=self.registry,
+            )
+            embeddings.bind_index(index)
+        else:
+            # Generations published without a prebuilt index (foreign
+            # tooling) fall back to this pipeline's configured backend.
+            index = None
+        serving = self._profiler_config()
+        if record.has_component(PROFILER_CONFIG_COMPONENT):
+            serving.update(
+                _json.loads(
+                    record.component_path(
+                        PROFILER_CONFIG_COMPONENT
+                    ).read_text()
+                )
+            )
+        if index is None:
+            profiler = self._build_profiler(embeddings)
+        else:
+            profiler = SessionProfiler(
+                embeddings,
+                self.labelled,
+                neighbourhood_size=int(serving["neighbourhood_size"]),
+                aggregation=serving["aggregation"],
+                max_neighbourhood_fraction=float(
+                    serving["max_neighbourhood_fraction"]
+                ),
+                registry=self.registry,
+                index=index,
+            )
         self._embeddings = embeddings
         self._profiler = profiler
+        return record
 
     # -- profiling ---------------------------------------------------------------
 

@@ -33,6 +33,27 @@ from repro.traffic.blocklists import TrackerFilter
 from repro.utils.timeutils import minutes
 
 
+#: Checkpoint snapshot versions :meth:`StreamingProfiler.restore` accepts.
+SUPPORTED_CHECKPOINT_VERSIONS = (1,)
+
+
+class CheckpointVersionError(ValueError):
+    """A checkpoint snapshot's version is outside the supported range.
+
+    Raised instead of a bare ``ValueError`` so operators (and upgrade
+    tooling) can distinguish "snapshot from an incompatible release" from
+    garden-variety bad input; the message names the supported range.
+    """
+
+    def __init__(self, found):
+        self.found = found
+        versions = ", ".join(str(v) for v in SUPPORTED_CHECKPOINT_VERSIONS)
+        super().__init__(
+            f"unsupported checkpoint version {found!r}; this build "
+            f"supports version(s) {versions}"
+        )
+
+
 @dataclass(frozen=True)
 class ProfileEmission:
     """One profile produced by the stream."""
@@ -263,9 +284,9 @@ class StreamingProfiler:
 
         Captures per-client windows, report grids and counters so a crashed
         observer resumes mid-day without losing session state.  The model
-        itself is *not* serialized — snapshot the embeddings alongside with
-        :meth:`HostnameEmbeddings.save` (or the pipeline's ``save_model``)
-        and rebuild the profiler on restore.
+        itself is *not* serialized here — it lives in the artifact store
+        as a published generation (the pipeline's ``publish_generation``);
+        pass ``store``/``pipeline`` to :meth:`restore` to reattach it.
         """
         path = Path(path)
         snapshot = {
@@ -305,20 +326,36 @@ class StreamingProfiler:
         tracker_filter: TrackerFilter | None = None,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        store=None,
+        pipeline=None,
     ) -> "StreamingProfiler":
         """Rebuild a profiler from a :meth:`checkpoint` snapshot.
 
-        The restored instance has no model (``has_model`` is False) until
-        the caller swaps one in — emissions resume on the original report
-        grids either way.  Counters are restored onto the registry, so a
-        metrics snapshot taken after restore matches one taken before the
-        checkpoint exactly.
+        Without a ``store``, the restored instance has no model
+        (``has_model`` is False) until the caller swaps one in —
+        emissions resume on the original report grids either way.
+        Counters are restored onto the registry, so a metrics snapshot
+        taken after restore matches one taken before the checkpoint
+        exactly.
+
+        Pass ``store`` (an :class:`~repro.store.ArtifactStore`) together
+        with ``pipeline`` (a :class:`NetworkObserverProfiler` built
+        against the labelled set) and the killed observer comes back in
+        one call with *both* halves of its state: session windows from
+        the checkpoint, and the serving model from ``store.latest()``
+        (digest-verified, index loaded rather than rebuilt).  An empty
+        store restores session state only.
+
+        Snapshots outside :data:`SUPPORTED_CHECKPOINT_VERSIONS` raise
+        :class:`CheckpointVersionError`.
         """
-        snapshot = json.loads(Path(path).read_text())
-        if snapshot.get("version") != 1:
+        if (store is None) != (pipeline is None):
             raise ValueError(
-                f"unsupported checkpoint version {snapshot.get('version')!r}"
+                "store and pipeline must be provided together"
             )
+        snapshot = json.loads(Path(path).read_text())
+        if snapshot.get("version") not in SUPPORTED_CHECKPOINT_VERSIONS:
+            raise CheckpointVersionError(snapshot.get("version"))
         stream = cls(
             config=StreamingConfig(**snapshot["config"]),
             tracker_filter=tracker_filter,
@@ -341,6 +378,12 @@ class StreamingProfiler:
             )
             stream._clients[client] = state
         stream._active_clients_gauge.set(len(stream._clients))
+        if store is not None and store.latest() is not None:
+            pipeline.load_generation(store)
+            # Direct attach, not swap_model(): a warm restart resumes the
+            # model that was already serving, so the swap counter (which
+            # was just restored from the snapshot) must not advance.
+            stream._profiler = pipeline.profiler
         return stream
 
     # -- housekeeping ---------------------------------------------------------

@@ -66,6 +66,8 @@ class RetrainOutcome:
     backoff_seconds: tuple[float, ...]   # delay taken before each retry
     error: str | None                    # last failure, if any
     stats: TrainStats | None
+    generation: str | None = None        # store generation published
+    rolled_back: bool = False            # validation failed, store rolled back
 
 
 class RetrainSupervisor:
@@ -77,6 +79,15 @@ class RetrainSupervisor:
     (a :class:`repro.core.streaming.StreamingProfiler`) is attached, a
     successful retrain is atomically swapped into it; on failure the
     stream keeps the model it already serves.
+
+    When ``store`` (an :class:`~repro.store.ArtifactStore`) is attached,
+    every successful retrain is published as a generation — the pipeline
+    must then also provide ``publish_generation(store, day)`` /
+    ``load_generation(store)``.  ``validate`` is an optional callable
+    receiving the pipeline after a successful train; returning False (or
+    raising) marks the new model bad: the published generation is rolled
+    back, the previous one is reloaded into the pipeline, the stream
+    keeps serving what it already had, and the day counts as lost.
     """
 
     def __init__(
@@ -87,9 +98,13 @@ class RetrainSupervisor:
         sleep=None,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        store=None,
+        validate=None,
     ):
         self.pipeline = pipeline
         self.stream = stream
+        self.store = store
+        self.validate = validate
         self.config = config or SupervisorConfig()
         self.config.validate()
         self._sleep = sleep if sleep is not None else (lambda seconds: None)
@@ -127,6 +142,22 @@ class RetrainSupervisor:
         self._staleness_gauge = m.gauge(
             "retrain_staleness_days",
             "Days the serving model lags the newest requested retrain day.",
+        )
+        self._generations_published_total = m.counter(
+            "retrain_generations_published_total",
+            "Store generations published by successful retrains.",
+        )
+        self._publish_failures_total = m.counter(
+            "retrain_publish_failures_total",
+            "Retrains whose store publish failed (model served unpersisted).",
+        )
+        self._validation_failures_total = m.counter(
+            "retrain_validation_failures_total",
+            "Retrained models rejected by post-train validation.",
+        )
+        self._rollbacks_total = m.counter(
+            "retrain_rollbacks_total",
+            "Store rollbacks triggered by failed validation.",
         )
 
     # -- registry-backed counters --------------------------------------------
@@ -178,6 +209,84 @@ class RetrainSupervisor:
         if len(self.errors) < self.config.max_recorded_errors:
             self.errors.append((day, f"{type(error).__name__}: {error}"))
 
+    # -- store integration ---------------------------------------------------
+
+    def _publish(self, day: int) -> str | None:
+        """Publish the just-trained model as a store generation.
+
+        A publish failure (disk full, permissions) must not undo a
+        successful retrain: the in-memory model keeps serving, the error
+        is recorded, and the generation id comes back None.
+        """
+        if self.store is None:
+            return None
+        try:
+            record = self.pipeline.publish_generation(self.store, day=day)
+        except Exception as error:
+            self._publish_failures_total.inc()
+            self._record_error(day, error)
+            log.error(
+                "generation publish failed; serving unpersisted model",
+                day=day, error=f"{type(error).__name__}: {error}",
+            )
+            return None
+        self._generations_published_total.inc()
+        return record.generation_id
+
+    def _run_validation(self) -> Exception | None:
+        """None if the freshly trained model passes; the failure otherwise."""
+        try:
+            verdict = self.validate(self.pipeline)
+        except Exception as error:
+            return error
+        if verdict is False:
+            return ValueError("post-train validation returned False")
+        return None
+
+    def _handle_validation_failure(
+        self, day: int, generation_id: str | None
+    ) -> bool:
+        """Undo a bad publish; True if a previous generation now serves.
+
+        Rolls the store back to the previous generation, reloads it into
+        the pipeline (so direct ``pipeline.profiler`` callers also serve
+        the known-good model again), and retracts the rejected
+        generation so no later rollback can ever land on it.  When the
+        bad generation was the first ever, it is simply retracted — the
+        store empties and the stream keeps whatever it already served.
+        """
+        if self.store is None or generation_id is None:
+            return False
+        from repro.store import StoreError
+
+        try:
+            previous = self.store.rollback()
+        except StoreError:
+            self.store.retract(generation_id)
+            log.error(
+                "first-ever generation failed validation; retracted",
+                day=day, generation=generation_id,
+            )
+            return False
+        self._rollbacks_total.inc()
+        self.store.retract(generation_id)
+        try:
+            self.pipeline.load_generation(self.store)
+        except Exception as error:
+            self._record_error(day, error)
+            log.error(
+                "reloading previous generation failed",
+                day=day, generation=previous.generation_id,
+                error=f"{type(error).__name__}: {error}",
+            )
+            return True
+        log.warning(
+            "validation failed; rolled back to previous generation",
+            day=day, rejected=generation_id,
+            now_serving=previous.generation_id,
+        )
+        return True
+
     # -- the supervised retrain ----------------------------------------------
 
     def retrain(self, trace, day: int) -> RetrainOutcome:
@@ -214,6 +323,25 @@ class RetrainSupervisor:
                     continue
                 succeeded = True
                 break
+        generation_id = None
+        rolled_back = False
+        if succeeded:
+            # Publish first, validate second: a rejected model is rolled
+            # back through the same pointer swap an operator would use,
+            # so the recovery path is exercised on every bad retrain.
+            generation_id = self._publish(day)
+            if self.validate is not None:
+                validation_error = self._run_validation()
+                if validation_error is not None:
+                    succeeded = False
+                    stats = None   # the rejected model's stats don't count
+                    last_error = validation_error
+                    self._record_error(day, validation_error)
+                    self._validation_failures_total.inc()
+                    rolled_back = self._handle_validation_failure(
+                        day, generation_id
+                    )
+                    generation_id = None
         if succeeded:
             self._successes_total.inc()
             self._consecutive_failures_gauge.set(0)
@@ -222,6 +350,7 @@ class RetrainSupervisor:
                 "retrain published",
                 day=day,
                 index_backend=self._index_backend(),
+                generation=generation_id,
             )
             if self.stream is not None:
                 # The profiler carries its freshly built vector index, so
@@ -248,6 +377,8 @@ class RetrainSupervisor:
             error=None if last_error is None else
             f"{type(last_error).__name__}: {last_error}",
             stats=stats,
+            generation=generation_id,
+            rolled_back=rolled_back,
         )
         self.history.append(outcome)
         return outcome

@@ -45,6 +45,32 @@ class Vocabulary:
             counts.update(sequence)
         return cls(counts, min_count=min_count)
 
+    @classmethod
+    def from_ordered(
+        cls,
+        hosts: Iterable[str],
+        counts: Iterable[int],
+        min_count: int = 1,
+    ) -> "Vocabulary":
+        """Rebuild a vocabulary in an explicitly given host order.
+
+        The persistence path: a saved model's host→row mapping is
+        authoritative, so loading must *not* re-derive the order from the
+        counts (re-sorting is how tied counts can permute rows against
+        the saved matrix).  Hosts below ``min_count`` are still dropped.
+        """
+        vocabulary = cls(min_count=min_count)
+        for host, count in zip(hosts, counts):
+            count = int(count)
+            if count < min_count:
+                continue
+            if host in vocabulary._ids:
+                raise ValueError(f"duplicate hostname {host!r}")
+            vocabulary._ids[host] = len(vocabulary._hosts)
+            vocabulary._hosts.append(host)
+            vocabulary._counts.append(count)
+        return vocabulary
+
     # -- mapping -------------------------------------------------------------
 
     def __len__(self) -> int:

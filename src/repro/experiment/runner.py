@@ -152,6 +152,7 @@ class ExperimentRunner:
         config: ExperimentConfig | None = None,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        store=None,
     ):
         self.config = config or ExperimentConfig()
         self.config.validate()
@@ -162,6 +163,9 @@ class ExperimentRunner:
         # supervisor) then build their own private registry.
         self.registry = registry
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        # Optional ArtifactStore: every daily retrain then publishes a
+        # rollback-able generation (embeddings + index + config).
+        self.store = store
         # Set by run(): the retrain supervisor, for staleness inspection.
         self.supervisor: RetrainSupervisor | None = None
 
@@ -313,6 +317,7 @@ class ExperimentRunner:
         supervisor = RetrainSupervisor(
             world.profiler, config=cfg.retrain,
             registry=self.registry, tracer=self.tracer,
+            store=self.store,
         )
         self.supervisor = supervisor
         first = cfg.first_profiling_day

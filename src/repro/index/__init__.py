@@ -10,6 +10,7 @@ index") for the backend matrix and the retrain swap semantics.
 
 from repro.index.base import (
     BACKENDS,
+    INDEX_FORMAT,
     METRICS,
     PAD_ID,
     IndexConfig,
@@ -17,6 +18,7 @@ from repro.index.base import (
     build_index,
     default_nprobe,
     default_num_clusters,
+    load_index,
     top_ids_desc,
     unit_rows,
 )
@@ -25,6 +27,7 @@ from repro.index.ivf import IVFIndex
 
 __all__ = [
     "BACKENDS",
+    "INDEX_FORMAT",
     "METRICS",
     "PAD_ID",
     "BlockedExactIndex",
@@ -35,6 +38,7 @@ __all__ = [
     "build_index",
     "default_nprobe",
     "default_num_clusters",
+    "load_index",
     "top_ids_desc",
     "unit_rows",
 ]

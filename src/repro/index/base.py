@@ -24,13 +24,16 @@ compute, and one ordering rule serves both metrics).
 
 from __future__ import annotations
 
+import json
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.utils.serialization import save_npz_deterministic
 
 #: Sentinel id used to pad rectangular batch results when a backend
 #: returns fewer than ``n`` candidates (IVF with few probed clusters).
@@ -38,6 +41,9 @@ PAD_ID = -1
 
 METRICS = ("cosine", "euclidean")
 BACKENDS = ("exact", "blocked", "ivf")
+
+#: Format marker in saved index archives (see :meth:`VectorIndex.save`).
+INDEX_FORMAT = "repro-index-v1"
 
 
 @dataclass
@@ -261,6 +267,55 @@ class VectorIndex(ABC):
         deltas = self._vectors - query
         return -np.einsum("ij,ij->i", deltas, deltas)
 
+    # -- persistence -----------------------------------------------------------
+
+    def _save_state(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """(hyperparam meta, extra arrays) a backend needs to restore.
+
+        The base contract persists nothing beyond the vectors; backends
+        with build-time state (block size, centroids, assignments)
+        override this so :func:`load_index` can reconstruct them without
+        redoing the build.
+        """
+        return {}, {}
+
+    def describe(self) -> dict:
+        """Backend + hyperparams, as recorded in generation manifests."""
+        meta, _ = self._save_state()
+        return {
+            "backend": self.name,
+            "metric": self.metric,
+            "size": len(self),
+            "dim": self.dim,
+            **meta,
+        }
+
+    def save(self, path: str | Path) -> None:
+        """Serialize the index (``.npz``, atomic + digest-stable).
+
+        The archive holds the stored vector matrix (already unit rows
+        for cosine), any backend-specific arrays, and a JSON header; a
+        retrained observer restores it with :func:`load_index` instead
+        of rebuilding — for IVF that means centroids and cell
+        assignments load as-is, with no re-clustering.
+        """
+        meta, arrays = self._save_state()
+        header = {
+            "format": INDEX_FORMAT,
+            "backend": self.name,
+            "metric": self.metric,
+            "size": len(self),
+            "dim": self.dim,
+            **meta,
+        }
+        payload = dict(arrays)
+        payload["vectors"] = self._vectors
+        payload["header"] = np.frombuffer(
+            json.dumps(header, sort_keys=True).encode("utf-8"),
+            dtype=np.uint8,
+        )
+        save_npz_deterministic(path, payload)
+
 
 def default_num_clusters(size: int) -> int:
     """The IVF default: ~sqrt(|V|) cells, clamped to the matrix."""
@@ -301,3 +356,53 @@ def build_index(
         kmeans_iterations=config.kmeans_iterations,
         seed=config.seed, registry=registry,
     )
+
+
+def load_index(
+    path: str | Path,
+    registry: MetricsRegistry | None = None,
+) -> VectorIndex:
+    """Restore an index saved with :meth:`VectorIndex.save`.
+
+    Dispatches on the archive's backend header.  Restoring never redoes
+    build work: exact and blocked archives are plain matrix loads, and
+    IVF archives carry their centroids and cell assignments, so a daily
+    rollover (or a crash recovery) serves the same clustering it
+    published instead of paying k-means again.
+    """
+    from repro.index.exact import BlockedExactIndex, ExactIndex
+    from repro.index.ivf import IVFIndex
+
+    path = Path(path)
+    with np.load(path) as archive:
+        if "header" not in archive.files:
+            raise ValueError(f"{path} is not a saved vector index")
+        header = json.loads(bytes(archive["header"]).decode("utf-8"))
+        if header.get("format") != INDEX_FORMAT:
+            raise ValueError(
+                f"{path}: unsupported index format "
+                f"{header.get('format')!r} (expected {INDEX_FORMAT})"
+            )
+        vectors = archive["vectors"]
+        backend = header.get("backend")
+        # Stored vectors are already normalized for cosine, so every
+        # reconstruction below passes normalized=True.
+        if backend == "exact":
+            return ExactIndex(
+                vectors, metric=header["metric"], normalized=True,
+                registry=registry,
+            )
+        if backend == "blocked":
+            return BlockedExactIndex(
+                vectors, metric=header["metric"], normalized=True,
+                block_rows=int(header["block_rows"]), registry=registry,
+            )
+        if backend == "ivf":
+            return IVFIndex(
+                vectors, metric=header["metric"], normalized=True,
+                nprobe=int(header["nprobe"]),
+                centroids=archive["centroids"],
+                assignment=archive["assignment"],
+                registry=registry,
+            )
+    raise ValueError(f"{path}: unknown index backend {backend!r}")

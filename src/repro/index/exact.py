@@ -65,6 +65,11 @@ class BlockedExactIndex(VectorIndex):
                 "ij,ij->i", self._matrix32, self._matrix32
             )
 
+    def _save_state(self):
+        # The float32 matrix and squared norms are deterministic casts of
+        # the stored vectors; only the block size needs persisting.
+        return {"block_rows": self.block_rows}, {}
+
     def _block_neg_scores(
         self,
         queries32: np.ndarray,

@@ -92,16 +92,46 @@ class IVFIndex(VectorIndex):
         kmeans_iterations: int = 10,
         seed: int = 0,
         registry=None,
+        centroids: np.ndarray | None = None,
+        assignment: np.ndarray | None = None,
     ):
+        """Pass ``centroids`` *and* ``assignment`` together to restore a
+        previously built quantizer (the :func:`~repro.index.base.load_index`
+        path): k-means is skipped entirely and the saved clustering
+        serves as-is."""
         super().__init__(
             vectors, metric=metric, normalized=normalized,
             registry=registry,
         )
         size = len(self)
-        self.num_clusters = (
-            min(size, num_clusters) if num_clusters is not None
-            else default_num_clusters(size)
-        )
+        if (centroids is None) != (assignment is None):
+            raise ValueError(
+                "centroids and assignment must be provided together"
+            )
+        if centroids is not None:
+            centroids = np.asarray(centroids, dtype=np.float64)
+            assignment = np.asarray(assignment, dtype=np.int64)
+            if assignment.shape != (size,):
+                raise ValueError(
+                    f"assignment covers {assignment.shape[0]} rows, "
+                    f"index has {size}"
+                )
+            if centroids.ndim != 2 or centroids.shape[1] != self.dim:
+                raise ValueError(
+                    f"centroids must be (cells, {self.dim}), got "
+                    f"{centroids.shape}"
+                )
+            if assignment.size and not (
+                0 <= assignment.min() and assignment.max()
+                < centroids.shape[0]
+            ):
+                raise ValueError("assignment references unknown cells")
+            self.num_clusters = centroids.shape[0]
+        else:
+            self.num_clusters = (
+                min(size, num_clusters) if num_clusters is not None
+                else default_num_clusters(size)
+            )
         self.nprobe = min(
             self.num_clusters,
             nprobe if nprobe is not None
@@ -109,28 +139,37 @@ class IVFIndex(VectorIndex):
         )
         if self.nprobe < 1:
             raise ValueError("nprobe must be >= 1")
-        build_seconds = self.registry.histogram(
-            "index_build_seconds",
-            "Wall time to build (cluster) an index.",
-            labelnames=("backend",),
-        ).labels(backend=self.name)
-        with build_seconds.time():
-            self._centroids, assignment = _kmeans(
-                np.asarray(self._vectors, dtype=np.float64),
-                self.num_clusters,
-                kmeans_iterations,
-                np.random.default_rng(seed),
-                spherical=(metric == "cosine"),
-            )
-            order = np.argsort(assignment, kind="stable")
-            boundaries = np.searchsorted(
-                assignment[order], np.arange(self.num_clusters + 1)
-            )
-            # Row ids per cell, ascending within each cell (stable ties).
-            self._cells = [
-                order[boundaries[c]:boundaries[c + 1]]
-                for c in range(self.num_clusters)
-            ]
+        if centroids is None:
+            build_seconds = self.registry.histogram(
+                "index_build_seconds",
+                "Wall time to build (cluster) an index.",
+                labelnames=("backend",),
+            ).labels(backend=self.name)
+            with build_seconds.time():
+                centroids, assignment = _kmeans(
+                    np.asarray(self._vectors, dtype=np.float64),
+                    self.num_clusters,
+                    kmeans_iterations,
+                    np.random.default_rng(seed),
+                    spherical=(metric == "cosine"),
+                )
+        self._centroids = centroids
+        self._assignment = assignment
+        order = np.argsort(assignment, kind="stable")
+        boundaries = np.searchsorted(
+            assignment[order], np.arange(self.num_clusters + 1)
+        )
+        # Row ids per cell, ascending within each cell (stable ties).
+        self._cells = [
+            order[boundaries[c]:boundaries[c + 1]]
+            for c in range(self.num_clusters)
+        ]
+
+    def _save_state(self):
+        return (
+            {"num_clusters": self.num_clusters, "nprobe": self.nprobe},
+            {"centroids": self._centroids, "assignment": self._assignment},
+        )
 
     def _centroid_scores(self, query: np.ndarray) -> np.ndarray:
         if self.metric == "cosine":

@@ -122,6 +122,71 @@ class TestPersistence:
                 hostname
             ) == toy.vocabulary.count_of(hostname)
 
+    def test_tied_counts_roundtrip_bitwise_identical(self, tmp_path):
+        # Regression: with tied counts the load-time re-sort used to be
+        # free to permute host -> row alignment.  v2 archives make the
+        # saved row order authoritative, so save -> load -> save is
+        # byte-for-byte stable and every vector survives verbatim.
+        vocab = Vocabulary(
+            Counter({"x.com": 3, "a.com": 3, "m.com": 3, "z.com": 3})
+        )
+        rng = np.random.default_rng(7)
+        original = HostnameEmbeddings(rng.normal(size=(4, 5)), vocab)
+        first = tmp_path / "first.npz"
+        original.save(first)
+        loaded = HostnameEmbeddings.load(first)
+        assert loaded.vocabulary.hosts == original.vocabulary.hosts
+        assert np.array_equal(loaded.vectors, original.vectors)
+        second = tmp_path / "second.npz"
+        loaded.save(second)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_save_is_digest_stable(self, toy, tmp_path):
+        first, second = tmp_path / "a.npz", tmp_path / "b.npz"
+        toy.save(first)
+        toy.save(second)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_save_leaves_no_tmp_sibling(self, toy, tmp_path):
+        path = tmp_path / "emb.npz"
+        toy.save(path)
+        assert [p.name for p in tmp_path.iterdir()] == ["emb.npz"]
+
+    def test_interrupted_save_preserves_previous_archive(
+        self, toy, tmp_path, monkeypatch
+    ):
+        import os
+
+        path = tmp_path / "emb.npz"
+        toy.save(path)
+        before = path.read_bytes()
+
+        def explode(src, dst):
+            raise OSError("power cut")
+
+        monkeypatch.setattr(os, "replace", explode)
+        with pytest.raises(OSError):
+            toy.save(path)
+        assert path.read_bytes() == before
+
+    def test_legacy_v1_archive_still_loads(self, tmp_path):
+        # Pre-format_version archives stored hosts/counts and relied on
+        # the load-time re-sort; the realignment path must keep reading
+        # them.  Hosts deliberately saved out of count order.
+        path = tmp_path / "legacy.npz"
+        vectors = np.array([[1.0, 0.0], [0.0, 1.0], [0.5, 0.5]])
+        np.savez(
+            path,
+            vectors=vectors,
+            hosts=np.asarray(["low.com", "high.com", "mid.com"]),
+            counts=np.asarray([1, 9, 4]),
+        )
+        loaded = HostnameEmbeddings.load(path)
+        assert loaded.vocabulary.hosts == ["high.com", "mid.com", "low.com"]
+        assert np.allclose(loaded.vector("low.com"), [1.0, 0.0])
+        assert np.allclose(loaded.vector("high.com"), [0.0, 1.0])
+        assert np.allclose(loaded.vector("mid.com"), [0.5, 0.5])
+
 
 class TestWord2VecFormat:
     def test_roundtrip(self, toy, tmp_path):
@@ -163,6 +228,25 @@ class TestWord2VecFormat:
         path.write_text("2 2\na.com 0.1 0.2\n")
         with pytest.raises(ValueError, match="promised"):
             HostnameEmbeddings.load_word2vec_format(path)
+
+    def test_loaded_counts_are_rank_based(self, toy, tmp_path):
+        # The text format carries no frequencies, so load synthesizes
+        # rank-based counts: first line = highest count, descending by 1.
+        path = tmp_path / "vectors.txt"
+        toy.save_word2vec_format(path)
+        loaded = HostnameEmbeddings.load_word2vec_format(path)
+        counts = [
+            loaded.vocabulary.count_of(h) for h in loaded.vocabulary.hosts
+        ]
+        assert counts == [len(toy) - i for i in range(len(toy))]
+
+    def test_double_roundtrip_is_stable(self, toy, tmp_path):
+        first, second = tmp_path / "a.txt", tmp_path / "b.txt"
+        toy.save_word2vec_format(first)
+        HostnameEmbeddings.load_word2vec_format(first).save_word2vec_format(
+            second
+        )
+        assert first.read_text() == second.read_text()
 
 
 class TestDegenerateQueries:

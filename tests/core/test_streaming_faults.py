@@ -165,6 +165,44 @@ class TestCheckpointRestore:
         with pytest.raises(ValueError, match="version"):
             StreamingProfiler.restore(path)
 
+    def test_version_error_is_typed_and_names_supported_range(
+        self, tmp_path
+    ):
+        from repro.core.streaming import (
+            SUPPORTED_CHECKPOINT_VERSIONS,
+            CheckpointVersionError,
+        )
+
+        path = tmp_path / "state.json"
+        path.write_text('{"version": 99}')
+        with pytest.raises(CheckpointVersionError) as excinfo:
+            StreamingProfiler.restore(path)
+        assert excinfo.value.found == 99
+        for version in SUPPORTED_CHECKPOINT_VERSIONS:
+            assert str(version) in str(excinfo.value)
+
+    def test_missing_version_rejected(self, tmp_path):
+        from repro.core.streaming import CheckpointVersionError
+
+        path = tmp_path / "state.json"
+        path.write_text('{"config": {}}')
+        with pytest.raises(CheckpointVersionError) as excinfo:
+            StreamingProfiler.restore(path)
+        assert excinfo.value.found is None
+
+    def test_store_requires_pipeline_and_vice_versa(
+        self, profiler, embeddings, tmp_path
+    ):
+        host = embeddings.vocabulary.host_of(0)
+        stream = _stream(profiler)
+        stream.ingest(_event(host, 0.0))
+        path = tmp_path / "state.json"
+        stream.checkpoint(path)
+        with pytest.raises(ValueError, match="together"):
+            StreamingProfiler.restore(path, store=object())
+        with pytest.raises(ValueError, match="together"):
+            StreamingProfiler.restore(path, pipeline=object())
+
 
 class TestIdleGapEdgePaths:
     """Satellite coverage: evict_idle and grid catch-up over long gaps."""

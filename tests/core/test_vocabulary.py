@@ -56,6 +56,38 @@ class TestMapping:
         assert vocab.count_of("b.com") == 1
 
 
+class TestFromOrdered:
+    def test_explicit_order_is_preserved(self):
+        # Deliberately NOT count order: the persistence path trusts the
+        # saved row order instead of re-sorting.
+        vocab = Vocabulary.from_ordered(
+            ["z.com", "a.com", "m.com"], [1, 5, 3]
+        )
+        assert vocab.hosts == ["z.com", "a.com", "m.com"]
+        assert vocab.count_of("z.com") == 1
+        assert vocab.id_of("m.com") == 2
+
+    def test_min_count_still_prunes(self):
+        vocab = Vocabulary.from_ordered(
+            ["a.com", "b.com", "c.com"], [5, 1, 3], min_count=2
+        )
+        assert vocab.hosts == ["a.com", "c.com"]
+
+    def test_duplicate_host_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Vocabulary.from_ordered(["a.com", "a.com"], [2, 3])
+
+    def test_matches_counter_construction_when_order_agrees(self):
+        counts = Counter({"a.com": 9, "b.com": 4, "c.com": 2})
+        sorted_vocab = Vocabulary(counts)
+        ordered = Vocabulary.from_ordered(
+            sorted_vocab.hosts,
+            [sorted_vocab.count_of(h) for h in sorted_vocab.hosts],
+        )
+        assert ordered.hosts == sorted_vocab.hosts
+        assert np.array_equal(ordered.counts, sorted_vocab.counts)
+
+
 class TestEncode:
     def test_drops_oov(self, vocab):
         encoded = vocab.encode(["a.com", "zzz.com", "b.com"])

@@ -125,6 +125,25 @@ class TestRun:
         assert a.ad_network.by_user_day == b.ad_network.by_user_day
 
 
+class TestStoreIntegration:
+    def test_each_profiling_day_publishes_a_generation(self, tmp_path):
+        from repro.store import ArtifactStore
+
+        config = ExperimentConfig.small(seed=11)
+        config.profiling_days = 2
+        store = ArtifactStore(tmp_path / "models")
+        runner = ExperimentRunner(config, store=store)
+        runner.run()
+        records = store.list_generations()
+        assert len(records) == config.profiling_days
+        assert store.latest_id() == records[-1].generation_id
+        # Generations carry the day they were trained from, in order.
+        days = [r.created_from_day for r in records]
+        assert days == sorted(days)
+        assert runner.supervisor.history[-1].generation == \
+            records[-1].generation_id
+
+
 class TestDeterminism:
     def test_same_seed_same_result(self):
         config = ExperimentConfig.small(seed=5)

@@ -37,6 +37,12 @@ class TestParser:
              "--index-nprobe", "4"],
             ["experiment", "--index-backend", "blocked"],
             ["stream", "c.pcap", "--train", "--index-backend", "ivf"],
+            ["train", "--store", "models"],
+            ["stream", "c.pcap", "--store", "models"],
+            ["experiment", "--store", "models"],
+            ["store", "list", "models"],
+            ["store", "rollback", "models"],
+            ["store", "gc", "models", "--keep", "2"],
         ],
     )
     def test_known_commands_parse(self, argv):
@@ -46,6 +52,10 @@ class TestParser:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["profile-the-world"])
+
+    def test_unknown_store_action_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["store", "drop-everything", "models"])
 
     def test_unknown_index_backend_rejected(self):
         with pytest.raises(SystemExit):
@@ -173,6 +183,95 @@ class TestCommands:
             ["stream", str(pcap), "--checkpoint", str(state)]
         ) == 0
         assert "restored" in capsys.readouterr().out
+
+
+class TestStoreCli:
+    """The --store / store subcommand surface, on a tiny world."""
+
+    WORLD = ["--seed", "5", "--sites", "120", "--users", "12", "--days", "1"]
+
+    @pytest.fixture(scope="class")
+    def published(self, tmp_path_factory):
+        """A store holding two trained generations + a matching pcap."""
+        root = tmp_path_factory.mktemp("store-cli")
+        store_dir = root / "models"
+        for epochs in ("2", "3"):
+            assert main(
+                ["train", *self.WORLD, "--epochs", epochs,
+                 "--output", str(root / f"emb{epochs}.npz"),
+                 "--store", str(store_dir)]
+            ) == 0
+        pcap = root / "capture.pcap"
+        main(["synthesize", *self.WORLD, "--output", str(pcap)])
+        return store_dir, pcap
+
+    def _copy(self, published, tmp_path):
+        import shutil
+
+        store_dir, _ = published
+        clone = tmp_path / "models"
+        shutil.copytree(store_dir, clone)
+        return clone
+
+    def test_list_marks_serving_generation(self, published, capsys):
+        store_dir, _ = published
+        capsys.readouterr()
+        assert main(["store", "list", str(store_dir)]) == 0
+        lines = capsys.readouterr().out.rstrip().splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("  g000001")
+        assert lines[1].startswith("* g000002")
+
+    def test_list_empty_store(self, tmp_path, capsys):
+        capsys.readouterr()
+        assert main(["store", "list", str(tmp_path / "empty")]) == 0
+        assert "store is empty" in capsys.readouterr().out
+
+    def test_rollback_then_gc(self, published, tmp_path, capsys):
+        store_dir = self._copy(published, tmp_path)
+        capsys.readouterr()
+        assert main(["store", "rollback", str(store_dir)]) == 0
+        assert "now serving g000001" in capsys.readouterr().out
+        # gc keeps the serving generation even though it is not newest.
+        assert main(["store", "gc", str(store_dir), "--keep", "1"]) == 0
+        assert "nothing to remove" in capsys.readouterr().out
+        assert main(["store", "list", str(store_dir)]) == 0
+        assert "* g000001" in capsys.readouterr().out
+
+    def test_rollback_past_oldest_fails(self, published, tmp_path, capsys):
+        store_dir = self._copy(published, tmp_path)
+        main(["store", "rollback", str(store_dir)])
+        capsys.readouterr()
+        assert main(["store", "rollback", str(store_dir)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_stream_serves_stored_generation(self, published, capsys):
+        store_dir, pcap = published
+        capsys.readouterr()
+        assert main(
+            ["stream", str(pcap), "--seed", "5", "--sites", "120",
+             "--store", str(store_dir)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "serving stored g000002" in out
+        assert "profiles emitted (index:" in out
+
+    def test_stream_checkpoint_warm_restart(
+        self, published, tmp_path, capsys
+    ):
+        store_dir, pcap = published
+        state = tmp_path / "state.json"
+        main(["stream", str(pcap), "--seed", "5", "--sites", "120",
+              "--store", str(store_dir), "--checkpoint", str(state)])
+        capsys.readouterr()
+        # The restart restores sessions AND re-arms the model in one run.
+        assert main(
+            ["stream", str(pcap), "--seed", "5", "--sites", "120",
+             "--store", str(store_dir), "--checkpoint", str(state)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "restored" in out
+        assert "warm restart: serving g000002" in out
 
 
 class TestTelemetry:
