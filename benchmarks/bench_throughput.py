@@ -111,9 +111,14 @@ def test_instrumentation_overhead(paper_world, report_sink):
     """Instrumented training must cost within a few percent of bare.
 
     Bare = the no-op registry/tracer defaults; instrumented = a real
-    registry plus a real tracer, i.e. exactly what ``--metrics-out`` pays.
+    registry plus a real tracer **with the admin HTTP endpoint attached
+    and scraped**, i.e. exactly what ``--metrics-out --admin-port`` pays.
     Medians of interleaved runs keep machine noise out of the ratio.
     """
+    import urllib.request
+
+    from repro.obs.server import AdminServer
+
     corpus = day_corpus(paper_world.trace, 0)[:400]
 
     def train(registry=None, tracer=None) -> float:
@@ -126,14 +131,20 @@ def test_instrumentation_overhead(paper_world, report_sink):
         return time.perf_counter() - started
 
     train()  # warm-up (allocator, caches)
+    registry = MetricsRegistry()
     bare, instrumented = [], []
-    for _ in range(3):
-        bare.append(train())
-        instrumented.append(train(MetricsRegistry(), Tracer()))
+    with AdminServer(registry) as admin:
+        for _ in range(3):
+            bare.append(train())
+            instrumented.append(train(registry, Tracer()))
+            # a live scrape between runs proves the plane is really up
+            with urllib.request.urlopen(admin.url("/metrics")) as response:
+                assert response.status == 200
     ratio = statistics.median(instrumented) / statistics.median(bare)
 
     lines = [
-        "Telemetry overhead (SGNS training, 2 epochs x 400 sequences)",
+        "Telemetry overhead (SGNS training, 2 epochs x 400 sequences,",
+        "admin endpoint attached to the instrumented registry)",
         f"bare:         {statistics.median(bare) * 1e3:.1f} ms (median of 3)",
         f"instrumented: {statistics.median(instrumented) * 1e3:.1f} ms",
         f"overhead ratio: {ratio:.3f}x",

@@ -14,7 +14,15 @@ Exposes the reproduction's main entry points without writing any code:
                      (lateness tolerance, quarantine, checkpoint/restore;
                      ``--train`` adds an in-process daily retrain);
 * ``store``        — list / rollback / gc the model generation store;
-* ``metrics-dump`` — pretty-print a saved metrics snapshot.
+* ``metrics-dump`` — pretty-print a saved metrics snapshot;
+* ``doctor``       — assemble a one-directory debug bundle (live admin
+                     scrape and/or offline store/telemetry files).
+
+``stream`` and ``experiment`` accept ``--admin-port`` to serve the live
+operations plane (``/metrics`` ``/healthz`` ``/readyz`` ``/varz``
+``/generations`` ``/drift/latest``); ``stream --train`` adds
+``--drift-gate`` / ``--drift-inject`` for the generation drift monitor
+(see DESIGN.md, "Live operations plane").
 
 The ``train``, ``stream`` and ``experiment`` commands accept
 ``--store DIR``: trained models are published into a generation store
@@ -159,9 +167,21 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     )
     registry, tracer = _telemetry(args)
     store = _open_store(args, registry, tracer)
-    result = ExperimentRunner(
+    runner = ExperimentRunner(
         config, registry=registry, tracer=tracer, store=store
-    ).run()
+    )
+    admin = _start_admin(args, registry, tracer)
+    if admin is not None:
+        # Thunks: the runner builds its pipeline and supervisor mid-run,
+        # and the admin plane sees each the moment it exists.
+        admin.attach(
+            store=store,
+            supervisor=lambda: runner.supervisor,
+            pipeline=lambda: (
+                runner._world.profiler if runner._world is not None else None
+            ),
+        )
+    result = runner.run()
     print()
     print(result.summary())
     if store is not None:
@@ -169,6 +189,8 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         if latest is not None:
             print(f"store: serving {latest.describe()}")
     _write_telemetry(args, registry, tracer)
+    if admin is not None:
+        admin.stop()
     return 0
 
 
@@ -371,15 +393,70 @@ class _SequenceTrainer:
     def profiler(self):
         return self._pipeline.profiler
 
-    def publish_generation(self, store, day=None):
-        return self._pipeline.publish_generation(store, day=day)
+    def publish_generation(self, store, day=None, drift_report=None):
+        return self._pipeline.publish_generation(
+            store, day=day, drift_report=drift_report
+        )
 
     def load_generation(self, store, generation_id=None):
         return self._pipeline.load_generation(store, generation_id)
 
 
+def _shuffled_sequences(
+    sequences: list[list[str]], seed: int
+) -> list[list[str]]:
+    """Seeded hostname permutation over training sequences.
+
+    The drift-injection primitive: the vocabulary is unchanged (zero
+    churn) but every hostname is relabelled to a random other one, so
+    co-occurrence — and with it the embedding neighbourhoods and the
+    category distributions — is scrambled.  A drift gate that misses
+    this would miss anything.
+    """
+    from repro.utils.randomness import derive_rng
+
+    hosts = sorted({host for sequence in sequences for host in sequence})
+    permuted = list(hosts)
+    derive_rng(seed, "drift-inject").shuffle(permuted)
+    mapping = dict(zip(hosts, permuted))
+    return [[mapping[host] for host in sequence] for sequence in sequences]
+
+
+def _drift_monitor(args, registry, tracer):
+    """Build the stream's DriftMonitor when drift options ask for one."""
+    if not (getattr(args, "drift_gate", False)
+            or getattr(args, "drift_inject", None)):
+        return None
+    from repro.obs.drift import DriftConfig, DriftMonitor
+
+    config = DriftConfig(seed=args.seed, gate=args.drift_gate)
+    if args.drift_max_jsd is not None:
+        config.max_category_jsd = args.drift_max_jsd
+    if args.drift_max_churn is not None:
+        config.max_vocab_churn = args.drift_max_churn
+    return DriftMonitor(config, registry=registry, tracer=tracer)
+
+
+def _start_admin(args, registry, tracer):
+    """Start the admin HTTP server when ``--admin-port`` is given."""
+    if getattr(args, "admin_port", None) is None:
+        return None
+    from repro.obs import logging as obslog
+    from repro.obs.server import AdminServer
+
+    admin = AdminServer(
+        registry,
+        host=args.admin_host,
+        port=args.admin_port,
+        tracer=tracer,
+        run_id=obslog.get_run_id(),
+    ).start()
+    print(f"admin server listening on {admin.url()}")
+    return admin
+
+
 def _train_stream_model(
-    args, events, stream, registry, tracer, store=None
+    args, events, stream, registry, tracer, store=None, admin=None
 ) -> list:
     """The ``stream --train`` path: train on the first ``--train-split``
     of observed events (through the retrain supervisor, so a failed train
@@ -390,6 +467,12 @@ def _train_stream_model(
     the ``synthesize`` invocation that produced the pcap.  With ``store``
     attached the trained model is also published as a generation a later
     ``stream --store`` run can warm-restart from.
+
+    ``--drift-gate`` attaches a :class:`~repro.obs.drift.DriftMonitor` to
+    the supervisor; ``--drift-inject label-shuffle`` then runs a *second*
+    retrain on hostname-permuted sequences — a seeded catastrophic-drift
+    rehearsal that must trip the gate and roll serving back to the first
+    generation (the CI ``ops`` job asserts exactly that).
     """
     from repro.core.pipeline import NetworkObserverProfiler, PipelineConfig
     from repro.core.skipgram import SkipGramConfig
@@ -415,10 +498,14 @@ def _train_stream_model(
         registry=registry,
         tracer=tracer,
     )
+    trainer = _SequenceTrainer(pipeline, sequences)
     supervisor = RetrainSupervisor(
-        _SequenceTrainer(pipeline, sequences), stream=stream,
+        trainer, stream=stream,
         registry=registry, tracer=tracer, store=store,
+        drift_monitor=_drift_monitor(args, registry, tracer),
     )
+    if admin is not None:
+        admin.attach(supervisor=supervisor, pipeline=pipeline)
     outcome = supervisor.retrain(None, 0)
     if outcome.succeeded:
         published = (
@@ -435,6 +522,24 @@ def _train_stream_model(
             f"({outcome.error}); streaming without a model",
             file=sys.stderr,
         )
+    if getattr(args, "drift_inject", None) and outcome.succeeded:
+        trainer.sequences = _shuffled_sequences(sequences, args.seed)
+        injected = supervisor.retrain(None, 1)
+        report = supervisor.last_drift_report
+        if report is not None:
+            print(f"drift injection: {report.summary()}")
+        if injected.succeeded:
+            print(
+                "drift injection was NOT rejected; serving generation "
+                f"{injected.generation}",
+                file=sys.stderr,
+            )
+        else:
+            serving = store.latest_id() if store is not None else None
+            print(
+                "drift gate rejected injected retrain; "
+                f"rolled back to {serving or 'in-memory model'}"
+            )
     return events[split:]
 
 
@@ -446,6 +551,24 @@ def cmd_stream(args: argparse.Namespace) -> int:
 
     registry, tracer = _telemetry(args)
     store = _open_store(args, registry, tracer)
+    # The admin plane comes up before any pcap work so liveness probes
+    # answer from the first moment of a (possibly long) run.
+    admin = _start_admin(args, registry, tracer)
+    if admin is not None and store is not None:
+        admin.attach(store=store)
+    flusher = None
+    if args.metrics_flush_interval is not None:
+        if not args.metrics_out:
+            print(
+                "error: --metrics-flush-interval requires --metrics-out",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.obs.flush import MetricsFlusher
+
+        flusher = MetricsFlusher(
+            registry, args.metrics_out, args.metrics_flush_interval
+        ).start()
     # A populated --store can re-arm the serving model without retraining:
     # rebuild the labelled world and load store.latest() into a pipeline.
     pipeline = None
@@ -482,8 +605,15 @@ def cmd_stream(args: argparse.Namespace) -> int:
         )
         if pipeline is not None:
             record = pipeline.load_generation(store)
-            stream.swap_model(pipeline.profiler)
+            stream.swap_model(
+                pipeline.profiler, generation=record.generation_id
+            )
             print(f"serving stored {record.describe()}")
+    if admin is not None:
+        admin.attach(
+            stream=stream, pipeline=pipeline,
+            checkpoint_path=checkpoint,
+        )
     observer = NetworkObserver(
         ObserverConfig(
             vantage=args.vantage,
@@ -500,7 +630,7 @@ def cmd_stream(args: argparse.Namespace) -> int:
                 events.append(event)
     if args.train:
         events = _train_stream_model(
-            args, events, stream, registry, tracer, store=store
+            args, events, stream, registry, tracer, store=store, admin=admin
         )
     emissions = 0
     with tracer.span("stream.ingest", events=len(events)):
@@ -526,7 +656,18 @@ def cmd_stream(args: argparse.Namespace) -> int:
     if checkpoint is not None:
         stream.checkpoint(checkpoint)
         print(f"checkpointed {stream.active_clients} sessions to {checkpoint}")
+    if args.linger > 0:
+        # Keep the admin plane (and the flusher) alive so operators and
+        # CI can probe a finished-but-resident run.
+        import time as _time
+
+        print(f"lingering {args.linger:g}s (admin plane stays up)...")
+        _time.sleep(args.linger)
+    if flusher is not None:
+        flusher.stop()
     _write_telemetry(args, registry, tracer)
+    if admin is not None:
+        admin.stop()
     return 0
 
 
@@ -554,11 +695,45 @@ def cmd_store(args: argparse.Namespace) -> int:
         print(f"rolled back; now serving {record.describe()}")
         return 0
     # gc
-    removed = store.gc(keep_n=args.keep)
+    removed = store.gc(keep_n=args.keep, dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
     if removed:
-        print(f"removed {len(removed)} generation(s): {', '.join(removed)}")
+        print(f"{verb} {len(removed)} generation(s): {', '.join(removed)}")
     else:
         print("nothing to remove")
+    return 0
+
+
+def cmd_doctor(args: argparse.Namespace) -> int:
+    """Assemble a debug bundle from whatever sources are reachable."""
+    from repro.obs.doctor import collect_bundle
+
+    store = None
+    if args.store:
+        from repro.store import ArtifactStore
+
+        store = ArtifactStore(Path(args.store))
+    manifest = collect_bundle(
+        args.out,
+        admin_url=args.admin_url,
+        store=store,
+        metrics_path=args.metrics,
+        trace_path=args.trace,
+        config=vars(args),
+        timeout=args.timeout,
+    )
+    collected = manifest["collected"]
+    errors = manifest["errors"]
+    print(f"doctor bundle written to {args.out}:")
+    for filename in sorted(collected):
+        print(f"  {filename}  <- {collected[filename]}")
+    for source in sorted(errors):
+        print(f"  ! {source}: {errors[source]}", file=sys.stderr)
+    # config.json is synthesised from the doctor's own arguments, so it
+    # doesn't count as evidence that anything was actually reachable.
+    if not (set(collected) - {"config.json"}):
+        print("  (nothing reachable; see bundle.json)", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -631,6 +806,18 @@ def build_parser() -> argparse.ArgumentParser:
             "(chrome://tracing / Perfetto)",
         )
 
+    def add_admin_args(p):
+        p.add_argument(
+            "--admin-port", type=int, default=None, metavar="PORT",
+            help="serve the admin plane on this loopback port "
+            "(/metrics /healthz /readyz /varz /generations /drift/latest; "
+            "0 = ephemeral)",
+        )
+        p.add_argument(
+            "--admin-host", default="127.0.0.1", metavar="HOST",
+            help="admin bind address (default 127.0.0.1)",
+        )
+
     p = sub.add_parser(
         "experiment", help="run the Section-5 ad experiment"
     )
@@ -650,6 +837,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_index_args(p)
     add_store_args(p)
     add_telemetry_args(p)
+    add_admin_args(p)
     p.set_defaults(func=cmd_experiment)
 
     p = sub.add_parser("diversity", help="Figure 2 core/CCDF analysis")
@@ -748,9 +936,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--sites", type=int, default=500,
         help="world size for rebuilding the labelled set (--train)",
     )
+    p.add_argument(
+        "--drift-gate", action="store_true",
+        help="veto a --train retrain whose drift check breaches the "
+        "configured thresholds (rollback + retract, see DESIGN.md)",
+    )
+    p.add_argument(
+        "--drift-inject", choices=("label-shuffle",), default=None,
+        help="after the normal retrain, run a second retrain on "
+        "hostname-permuted sequences — a seeded drift rehearsal that "
+        "must trip the gate",
+    )
+    p.add_argument(
+        "--drift-max-jsd", type=float, default=None, metavar="X",
+        help="gate threshold: max category-distribution JSD (default "
+        "from DriftConfig)",
+    )
+    p.add_argument(
+        "--drift-max-churn", type=float, default=None, metavar="X",
+        help="gate threshold: max vocabulary churn (1 - Jaccard)",
+    )
+    p.add_argument(
+        "--metrics-flush-interval", type=float, default=None,
+        metavar="SECONDS",
+        help="rewrite --metrics-out atomically on this cadence so a "
+        "killed run still leaves a recent snapshot (default off)",
+    )
+    p.add_argument(
+        "--linger", type=float, default=0.0, metavar="SECONDS",
+        help="keep the process (and admin plane) alive this long after "
+        "the capture is fully processed",
+    )
     add_index_args(p)
     add_store_args(p)
     add_telemetry_args(p)
+    add_admin_args(p)
     p.set_defaults(func=cmd_stream)
 
     p = sub.add_parser(
@@ -768,7 +988,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="generations to keep during gc (default 3; the serving "
         "generation is always kept)",
     )
+    p.add_argument(
+        "--dry-run", action="store_true",
+        help="gc only: report what would be removed without deleting",
+    )
     p.set_defaults(func=cmd_store)
+
+    p = sub.add_parser(
+        "doctor",
+        help="assemble a debug bundle (metrics, drift, generations, "
+        "config) into one directory",
+    )
+    p.add_argument(
+        "--out", default="doctor-bundle", metavar="DIR",
+        help="bundle output directory (default ./doctor-bundle)",
+    )
+    p.add_argument(
+        "--admin-url", default=None, metavar="URL",
+        help="scrape a live admin plane (e.g. http://127.0.0.1:8321)",
+    )
+    p.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="read generation manifests and drift reports offline",
+    )
+    p.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="copy a metrics file a run already wrote",
+    )
+    p.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="copy a Chrome trace a run already wrote",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=5.0,
+        help="per-route HTTP timeout in seconds (default 5)",
+    )
+    p.set_defaults(func=cmd_doctor)
 
     p = sub.add_parser(
         "metrics-dump",

@@ -187,7 +187,10 @@ class NetworkObserverProfiler:
         }
 
     def publish_generation(
-        self, store: "ArtifactStore", day: int | None = None
+        self,
+        store: "ArtifactStore",
+        day: int | None = None,
+        drift_report: dict | None = None,
     ) -> "GenerationRecord":
         """Publish the serving model as one atomic store generation.
 
@@ -196,7 +199,9 @@ class NetworkObserverProfiler:
         observes embeddings from one retrain next to the index of
         another.  Together with :meth:`StreamingProfiler.checkpoint` this
         is the observer's complete crash-recovery state: session windows
-        in the stream checkpoint, the model in the store.
+        in the stream checkpoint, the model in the store.  When the
+        supervisor ran a drift check, its report (a plain dict) is
+        published alongside as the ``drift.json`` component.
         """
         from repro.store import publish_model
 
@@ -210,6 +215,7 @@ class NetworkObserverProfiler:
                 "vocabulary_size": len(self.embeddings),
                 "dim": self.embeddings.dim,
             },
+            drift_report=drift_report,
         )
 
     def load_generation(

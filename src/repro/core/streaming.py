@@ -109,6 +109,12 @@ class StreamingProfiler:
         self.tracker_filter = tracker_filter
         self._profiler: SessionProfiler | None = None
         self._clients: dict[str, _ClientState] = {}
+        # Operational facts the admin plane reports (/varz, /readyz):
+        # which store generation the serving model came from (None for a
+        # model swapped in without one) and when the last checkpoint hit
+        # disk (wall clock; None until the first checkpoint).
+        self.serving_generation: str | None = None
+        self.last_checkpoint_time: float | None = None
         # All counters live on the registry — checkpoints, telemetry
         # exports and the legacy attribute reads below see one source of
         # truth, and direct attribute mutation is impossible.
@@ -184,14 +190,19 @@ class StreamingProfiler:
             return None
         return getattr(self._profiler, "index_backend", None)
 
-    def swap_model(self, profiler: SessionProfiler) -> None:
+    def swap_model(
+        self, profiler: SessionProfiler, generation: str | None = None
+    ) -> None:
         """Atomically replace the profiling model (the daily retrain).
 
         The profiler arrives with its vector index already built and
         bound (see ``NetworkObserverProfiler._build_profiler``), so the
         swap publishes model and index together in one assignment.
+        ``generation`` names the store generation this model came from,
+        for the admin plane; an unpersisted model clears it.
         """
         self._profiler = profiler
+        self.serving_generation = generation
         self._swaps_total.inc()
 
     # -- event ingestion -------------------------------------------------------
@@ -318,6 +329,7 @@ class StreamingProfiler:
         scratch = path.with_name(path.name + ".tmp")
         scratch.write_text(json.dumps(snapshot))
         os.replace(scratch, path)
+        self.last_checkpoint_time = time.time()
 
     @classmethod
     def restore(
@@ -379,11 +391,12 @@ class StreamingProfiler:
             stream._clients[client] = state
         stream._active_clients_gauge.set(len(stream._clients))
         if store is not None and store.latest() is not None:
-            pipeline.load_generation(store)
+            record = pipeline.load_generation(store)
             # Direct attach, not swap_model(): a warm restart resumes the
             # model that was already serving, so the swap counter (which
             # was just restored from the snapshot) must not advance.
             stream._profiler = pipeline.profiler
+            stream.serving_generation = record.generation_id
         return stream
 
     # -- housekeeping ---------------------------------------------------------

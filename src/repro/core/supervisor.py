@@ -88,6 +88,16 @@ class RetrainSupervisor:
     raising) marks the new model bad: the published generation is rolled
     back, the previous one is reloaded into the pipeline, the stream
     keeps serving what it already had, and the day counts as lost.
+
+    When ``drift_monitor`` (a :class:`~repro.obs.drift.DriftMonitor`) is
+    attached, every retrain that has a serving model to compare against
+    runs a drift check; the report is published inside the new
+    generation, kept as ``last_drift_report`` for the admin plane, and —
+    when the monitor's config has ``gate`` set — a threshold breach is
+    handled exactly like a validation failure: rollback + retract, the
+    previous generation keeps serving.  While the post-train checks run,
+    ``validating`` is True (surfaced as the ``retrain_validating`` gauge
+    and flipping ``/readyz`` on an attached admin server).
     """
 
     def __init__(
@@ -100,11 +110,15 @@ class RetrainSupervisor:
         tracer: Tracer | None = None,
         store=None,
         validate=None,
+        drift_monitor=None,
     ):
         self.pipeline = pipeline
         self.stream = stream
         self.store = store
         self.validate = validate
+        self.drift_monitor = drift_monitor
+        self.last_drift_report = None
+        self.validating = False
         self.config = config or SupervisorConfig()
         self.config.validate()
         self._sleep = sleep if sleep is not None else (lambda seconds: None)
@@ -159,6 +173,14 @@ class RetrainSupervisor:
             "retrain_rollbacks_total",
             "Store rollbacks triggered by failed validation.",
         )
+        self._drift_gate_breaches_total = m.counter(
+            "drift_gate_breaches_total",
+            "Retrained models vetoed by the drift gate.",
+        )
+        self._validating_gauge = m.gauge(
+            "retrain_validating",
+            "1 while post-train validation/drift checks run, else 0.",
+        )
 
     # -- registry-backed counters --------------------------------------------
 
@@ -211,7 +233,7 @@ class RetrainSupervisor:
 
     # -- store integration ---------------------------------------------------
 
-    def _publish(self, day: int) -> str | None:
+    def _publish(self, day: int, drift_report=None) -> str | None:
         """Publish the just-trained model as a store generation.
 
         A publish failure (disk full, permissions) must not undo a
@@ -221,7 +243,15 @@ class RetrainSupervisor:
         if self.store is None:
             return None
         try:
-            record = self.pipeline.publish_generation(self.store, day=day)
+            if drift_report is None:
+                # Keyword omitted on purpose: duck-typed pipelines that
+                # predate drift reports stay publishable.
+                record = self.pipeline.publish_generation(self.store, day=day)
+            else:
+                record = self.pipeline.publish_generation(
+                    self.store, day=day,
+                    drift_report=drift_report.to_dict(),
+                )
         except Exception as error:
             self._publish_failures_total.inc()
             self._record_error(day, error)
@@ -287,6 +317,51 @@ class RetrainSupervisor:
         )
         return True
 
+    # -- drift gate ----------------------------------------------------------
+
+    def _serving_profiler(self):
+        """The profiler serving *before* this retrain, or None."""
+        try:
+            return self.pipeline.profiler
+        except Exception:
+            return None
+
+    def _drift_check(self, serving_profiler, serving_generation, day: int):
+        """Compare candidate vs serving; None when nothing to compare.
+
+        The comparison itself must never turn a good retrain into a lost
+        day — an exception inside the monitor is recorded and the check
+        is treated as absent (no report, no gate).
+        """
+        if self.drift_monitor is None or serving_profiler is None:
+            return None
+        if self.stream is not None:
+            from repro.obs.drift import stream_health_rates
+
+            quarantine_rate, late_rate = stream_health_rates(
+                self.stream.registry
+            )
+        else:
+            quarantine_rate = late_rate = None
+        try:
+            report = self.drift_monitor.compare(
+                serving_profiler,
+                self.pipeline.profiler,
+                serving_generation=serving_generation,
+                candidate_day=day,
+                quarantine_rate=quarantine_rate,
+                late_drop_rate=late_rate,
+            )
+        except Exception as error:
+            self._record_error(day, error)
+            log.error(
+                "drift check failed; retrain proceeds ungated",
+                day=day, error=f"{type(error).__name__}: {error}",
+            )
+            return None
+        self.last_drift_report = report
+        return report
+
     # -- the supervised retrain ----------------------------------------------
 
     def retrain(self, trace, day: int) -> RetrainOutcome:
@@ -300,6 +375,14 @@ class RetrainSupervisor:
         last_error: Exception | None = None
         stats: TrainStats | None = None
         succeeded = False
+        # train_on_day replaces the pipeline's profiler in place, so the
+        # serving side of the drift comparison must be captured now.
+        serving_profiler = None
+        serving_generation = None
+        if self.drift_monitor is not None:
+            serving_profiler = self._serving_profiler()
+            if self.store is not None:
+                serving_generation = self.store.latest_id()
         with self.tracer.span("retrain.day", day=day):
             for attempt in range(1, self.config.max_attempts + 1):
                 self._attempts_total.inc()
@@ -326,22 +409,52 @@ class RetrainSupervisor:
         generation_id = None
         rolled_back = False
         if succeeded:
-            # Publish first, validate second: a rejected model is rolled
-            # back through the same pointer swap an operator would use,
-            # so the recovery path is exercised on every bad retrain.
-            generation_id = self._publish(day)
-            if self.validate is not None:
-                validation_error = self._run_validation()
-                if validation_error is not None:
+            self.validating = True
+            self._validating_gauge.set(1)
+            try:
+                drift_report = self._drift_check(
+                    serving_profiler, serving_generation, day
+                )
+                # Publish first, validate second: a rejected model is
+                # rolled back through the same pointer swap an operator
+                # would use, so the recovery path is exercised on every
+                # bad retrain.  The drift report (if any) is published
+                # inside the generation even when the gate then vetoes
+                # it — the retracted generation's post-mortem rides in
+                # last_drift_report.
+                generation_id = self._publish(day, drift_report)
+                failure = None
+                if self.validate is not None:
+                    failure = self._run_validation()
+                    if failure is not None:
+                        self._validation_failures_total.inc()
+                if (
+                    failure is None
+                    and drift_report is not None
+                    and self.drift_monitor.config.gate
+                    and not drift_report.ok
+                ):
+                    failure = ValueError(
+                        "drift gate breached: "
+                        + ", ".join(drift_report.breaches)
+                    )
+                    self._drift_gate_breaches_total.inc()
+                    log.error(
+                        "drift gate breached; rejecting retrained model",
+                        day=day, breaches=list(drift_report.breaches),
+                    )
+                if failure is not None:
                     succeeded = False
                     stats = None   # the rejected model's stats don't count
-                    last_error = validation_error
-                    self._record_error(day, validation_error)
-                    self._validation_failures_total.inc()
+                    last_error = failure
+                    self._record_error(day, failure)
                     rolled_back = self._handle_validation_failure(
                         day, generation_id
                     )
                     generation_id = None
+            finally:
+                self.validating = False
+                self._validating_gauge.set(0)
         if succeeded:
             self._successes_total.inc()
             self._consecutive_failures_gauge.set(0)
@@ -355,7 +468,9 @@ class RetrainSupervisor:
             if self.stream is not None:
                 # The profiler carries its freshly built vector index, so
                 # this swap publishes model + index atomically.
-                self.stream.swap_model(self.pipeline.profiler)
+                self.stream.swap_model(
+                    self.pipeline.profiler, generation=generation_id
+                )
         else:
             self._consecutive_failures_gauge.inc()
             self._failed_days_total.inc()

@@ -10,6 +10,15 @@ components (SGNS training, per-session profiling) default to the no-op
 real instrument is passed in.
 """
 
+from repro.obs.doctor import collect_bundle
+from repro.obs.drift import (
+    DriftConfig,
+    DriftMonitor,
+    DriftReport,
+    EwmaDetector,
+    stream_health_rates,
+)
+from repro.obs.flush import MetricsFlusher
 from repro.obs.logging import (
     JsonLogger,
     bind_tracer,
@@ -30,27 +39,37 @@ from repro.obs.metrics import (
     NULL_REGISTRY,
     NullRegistry,
 )
+from repro.obs.server import PROMETHEUS_CONTENT_TYPE, AdminServer
 from repro.obs.tracing import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
+    "AdminServer",
     "Counter",
     "DEFAULT_BUCKETS",
+    "DriftConfig",
+    "DriftMonitor",
+    "DriftReport",
+    "EwmaDetector",
     "Gauge",
     "Histogram",
     "JsonLogger",
     "MetricError",
+    "MetricsFlusher",
     "MetricsRegistry",
     "NULL_REGISTRY",
     "NULL_TRACER",
     "NullRegistry",
     "NullTracer",
+    "PROMETHEUS_CONTENT_TYPE",
     "Span",
     "Tracer",
     "bind_tracer",
+    "collect_bundle",
     "get_logger",
     "get_run_id",
     "new_run_id",
     "set_level",
     "set_run_id",
     "set_stream",
+    "stream_health_rates",
 ]

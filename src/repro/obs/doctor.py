@@ -1,0 +1,187 @@
+"""``repro doctor``: one-directory debug bundle for post-mortems.
+
+When a long-running observer misbehaves, the facts are scattered: live
+metrics behind the admin port, drift reports inside store generations,
+traces and snapshots in whatever files the run was started with.
+:func:`collect_bundle` gathers everything reachable into a single
+directory an operator can attach to a ticket:
+
+================  ==========================================================
+file              contents
+================  ==========================================================
+``metrics.prom``  Prometheus exposition (live scrape or copied snapshot)
+``varz.json``     ``/varz`` process snapshot (live only)
+``readyz.json``   ``/readyz`` verdict + body, with the HTTP status
+``healthz.json``  ``/healthz`` body (live only)
+``generations.json``  store manifest list (live route or offline store)
+``drift.json``    latest drift report (live route or newest generation)
+``trace.json``    Chrome trace copied from ``--trace``
+``config.json``   the resolved CLI configuration of the doctor run target
+``bundle.json``   what was collected, from where, and what failed
+================  ==========================================================
+
+Every source is optional and every failure is recorded rather than
+raised — a half-dead process should still yield a half-full bundle.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+from repro.obs.logging import get_logger
+from repro.utils.serialization import atomic_write_json, atomic_write_text
+
+log = get_logger("obs.doctor")
+
+#: Admin routes fetched live, mapped to bundle filenames.
+_LIVE_ROUTES = (
+    ("/metrics", "metrics.prom"),
+    ("/healthz", "healthz.json"),
+    ("/readyz", "readyz.json"),
+    ("/varz", "varz.json"),
+    ("/generations", "generations.json"),
+    ("/drift/latest", "drift.json"),
+)
+
+
+def _fetch(url: str, timeout: float) -> tuple[int | None, str]:
+    """(status, body) for a GET; (None, error) when unreachable.
+
+    Non-200 statuses are *data* here — a 503 ``/readyz`` is exactly what
+    a post-mortem wants to capture.
+    """
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return response.status, response.read().decode()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read().decode()
+    except (urllib.error.URLError, OSError, ValueError) as error:
+        return None, f"{type(error).__name__}: {error}"
+
+
+def collect_bundle(
+    out_dir: str | Path,
+    admin_url: str | None = None,
+    store=None,
+    metrics_path: str | Path | None = None,
+    trace_path: str | Path | None = None,
+    config: dict | None = None,
+    timeout: float = 5.0,
+) -> dict:
+    """Assemble a debug bundle in ``out_dir``; returns the bundle manifest.
+
+    ``admin_url`` scrapes a live process; ``store`` (an
+    :class:`~repro.store.ArtifactStore`) reads generation manifests and
+    drift reports offline; ``metrics_path`` / ``trace_path`` copy
+    telemetry files a run already wrote.  Live routes win over offline
+    sources for the same filename; nothing reachable is an empty-but-
+    valid bundle whose manifest says so.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    collected: dict[str, str] = {}     # filename -> source
+    errors: dict[str, str] = {}        # source -> what went wrong
+
+    if admin_url is not None:
+        base = admin_url.rstrip("/")
+        for route, filename in _LIVE_ROUTES:
+            status, body = _fetch(base + route, timeout)
+            if status is None:
+                errors[route] = body
+                continue
+            if route == "/readyz":
+                # Keep the status alongside the body: 503-during-retrain
+                # vs 503-no-model is the whole point of the capture.
+                try:
+                    parsed = json.loads(body)
+                except ValueError:
+                    parsed = {"raw": body}
+                atomic_write_json(
+                    out / filename, {"status": status, "body": parsed}
+                )
+            elif status != 200:
+                errors[route] = f"HTTP {status}"
+                continue
+            else:
+                atomic_write_text(out / filename, body)
+            collected[filename] = base + route
+
+    if store is not None:
+        try:
+            if "generations.json" not in collected:
+                serving = store.latest_id()
+                atomic_write_json(out / "generations.json", {
+                    "serving": serving,
+                    "generations": [
+                        {
+                            "generation_id": record.generation_id,
+                            "created_from_day": record.created_from_day,
+                            "created_at": record.created_at,
+                            "components": sorted(record.components),
+                            "serving": record.generation_id == serving,
+                        }
+                        for record in store.list_generations()
+                    ],
+                })
+                collected["generations.json"] = str(store.root)
+            if "drift.json" not in collected:
+                from repro.store import DRIFT_REPORT_COMPONENT
+
+                for record in reversed(store.list_generations()):
+                    if record.has_component(DRIFT_REPORT_COMPONENT):
+                        shutil.copyfile(
+                            record.component_path(DRIFT_REPORT_COMPONENT),
+                            out / "drift.json",
+                        )
+                        collected["drift.json"] = record.generation_id
+                        break
+        except Exception as error:
+            errors["store"] = f"{type(error).__name__}: {error}"
+
+    for source, filename in (
+        (metrics_path, "metrics.prom"), (trace_path, "trace.json"),
+    ):
+        if source is None or filename in collected:
+            continue
+        source = Path(source)
+        if source.is_file():
+            shutil.copyfile(source, out / filename)
+            collected[filename] = str(source)
+        else:
+            errors[str(source)] = "file not found"
+
+    if config is not None:
+        atomic_write_json(out / "config.json", _json_safe(config))
+        collected["config.json"] = "resolved configuration"
+
+    manifest = {
+        "format": "repro-doctor-v1",
+        "created_at": time.time(),
+        "admin_url": admin_url,
+        "collected": collected,
+        "errors": errors,
+    }
+    atomic_write_json(out / "bundle.json", manifest)
+    log.info(
+        "doctor bundle written",
+        out=str(out), files=sorted(collected), errors=sorted(errors),
+    )
+    return manifest
+
+
+def _json_safe(config: dict) -> dict:
+    """Resolved CLI namespaces may hold Paths and such; stringify them."""
+    safe = {}
+    for key, value in config.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            safe[key] = value
+        elif isinstance(value, (list, tuple)):
+            safe[key] = [str(item) for item in value]
+        else:
+            safe[key] = str(value)
+    return safe

@@ -55,10 +55,22 @@ class MetricError(ValueError):
 
 
 def _format_value(value: float) -> str:
-    """Prometheus sample formatting: integers without the trailing .0."""
+    """Prometheus sample formatting: integers without the trailing .0.
+
+    Non-finite values use the spec spellings (``+Inf``, ``-Inf``,
+    ``NaN``) — ``repr(float("inf"))`` would emit ``inf``, which scrapers
+    reject.
+    """
+    value = float(value)
+    if value != value:
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
     if value == int(value) and abs(value) < 1e15:
         return str(int(value))
-    return repr(float(value))
+    return repr(value)
 
 
 def _format_bound(bound: float) -> str:

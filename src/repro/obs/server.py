@@ -1,0 +1,382 @@
+"""Admin HTTP endpoint: the live operations plane of a running observer.
+
+A deployed eavesdropper is a long-running process (continuous ingest,
+daily retrains, generation rollovers) whose interesting state — what is
+serving, how stale it is, whether the last retrain drifted — lives in
+memory.  :class:`AdminServer` exposes that state over plain HTTP on a
+loopback port, stdlib only:
+
+=================  =========================================================
+route              serves
+=================  =========================================================
+``/metrics``       Prometheus text exposition of the live registry
+``/healthz``       process liveness (200 as long as the thread answers)
+``/readyz``        200 iff a model generation is loaded **and** the
+                   supervisor is not mid-validation; 503 otherwise, with
+                   a JSON body explaining which condition failed
+``/varz``          JSON snapshot: run_id, serving generation, index
+                   backend, uptime, checkpoint age, stream/supervisor
+                   counters
+``/generations``   the artifact store's manifest list
+``/drift/latest``  the most recent :class:`~repro.obs.drift.DriftReport`
+=================  =========================================================
+
+Readiness semantics (also documented in README "Operations"): the gate
+window is *validation*, not degradation.  While the supervisor runs its
+post-train checks (``supervisor.validating``), a rollback may be about
+to replace the serving pointer, so load balancers should hold traffic —
+``/readyz`` returns 503.  A *degraded* supervisor (consecutive lost
+days) keeps serving the last good generation by design; that is exactly
+the failure mode this system exists to survive, so ``/readyz`` stays 200
+and reports ``degraded: true`` in the body for alerting.
+
+The server threads only ever *read* shared state (the registry locks
+internally; generations are immutable; model swaps are single
+assignments), so attaching it to a live stream is safe without any
+cooperation from the hot path.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.logging import get_logger, get_run_id
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NULL_TRACER, Tracer
+
+log = get_logger("obs.server")
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _resolve(target):
+    """Attachment targets may be objects or zero-arg callables.
+
+    Callables let a caller attach state that does not exist yet — e.g.
+    the experiment runner's supervisor, which is created mid-run — and
+    have the server see it the moment it appears.
+    """
+    return target() if callable(target) else target
+
+
+class AdminServer:
+    """Loopback HTTP admin plane over a live metrics registry.
+
+    Construct with the registry, :meth:`attach` whatever operational
+    state exists (stream, store, supervisor, pipeline), then
+    :meth:`start`.  ``port=0`` binds an ephemeral port (read it back
+    from :attr:`port` after start); the route handlers are also plain
+    methods (:meth:`ready`, :meth:`varz`, ...) so tests and the
+    ``doctor`` bundle can ask the same questions without HTTP.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        tracer: Tracer | None = None,
+        run_id: str | None = None,
+    ):
+        self.registry = registry
+        self.host = host
+        self._requested_port = port
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.run_id = run_id
+        self._stream = None
+        self._store = None
+        self._supervisor = None
+        self._pipeline = None
+        self._checkpoint_path = None
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+        self._started_at: float | None = None
+        self._requests_total = registry.counter(
+            "admin_requests_total",
+            "Admin-endpoint requests served, by route and status.",
+            labelnames=("route", "status"),
+        )
+
+    def attach(
+        self,
+        stream=None,
+        store=None,
+        supervisor=None,
+        pipeline=None,
+        checkpoint_path=None,
+    ) -> "AdminServer":
+        """Attach live state; each argument may be the object or a thunk.
+
+        Only non-None arguments are updated, so components can attach
+        themselves as they come up.  Returns self for chaining.
+        """
+        if stream is not None:
+            self._stream = stream
+        if store is not None:
+            self._store = store
+        if supervisor is not None:
+            self._supervisor = supervisor
+        if pipeline is not None:
+            self._pipeline = pipeline
+        if checkpoint_path is not None:
+            self._checkpoint_path = checkpoint_path
+        return self
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "AdminServer":
+        if self._httpd is not None:
+            raise RuntimeError("admin server already started")
+        server = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self):  # noqa: N802 (stdlib handler contract)
+                server._handle(self)
+
+            def log_message(self, format, *args):
+                pass   # requests go to admin_requests_total, not stderr
+
+        self._httpd = ThreadingHTTPServer(
+            (self.host, self._requested_port), _Handler
+        )
+        self._httpd.daemon_threads = True
+        self._started_at = time.time()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="admin-server",
+            daemon=True,
+        )
+        self._thread.start()
+        log.info("admin server listening", host=self.host, port=self.port)
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` after :meth:`start`)."""
+        if self._httpd is not None:
+            return self._httpd.server_address[1]
+        return self._requested_port
+
+    def url(self, path: str = "") -> str:
+        return f"http://{self.host}:{self.port}{path}"
+
+    def __enter__(self) -> "AdminServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- state questions (HTTP-free, reused by tests and doctor) -------------
+
+    def model_loaded(self) -> bool:
+        stream = _resolve(self._stream)
+        if stream is not None:
+            return bool(stream.has_model)
+        pipeline = _resolve(self._pipeline)
+        if pipeline is not None:
+            return bool(getattr(pipeline, "is_trained", False))
+        return False
+
+    def ready(self) -> tuple[bool, dict]:
+        """(ready?, explanatory body) — the ``/readyz`` contract."""
+        supervisor = _resolve(self._supervisor)
+        loaded = self.model_loaded()
+        validating = bool(supervisor.validating) if supervisor else False
+        ready = loaded and not validating
+        body = {
+            "ready": ready,
+            "model_loaded": loaded,
+            "validating": validating,
+            "serving_generation": self._serving_generation(),
+        }
+        if supervisor is not None:
+            body["degraded"] = bool(supervisor.is_degraded)
+            body["consecutive_failures"] = supervisor.consecutive_failures
+        return ready, body
+
+    def _serving_generation(self) -> str | None:
+        stream = _resolve(self._stream)
+        if stream is not None:
+            generation = getattr(stream, "serving_generation", None)
+            if generation is not None:
+                return generation
+        store = _resolve(self._store)
+        if store is not None:
+            return store.latest_id()
+        return None
+
+    def _index_backend(self) -> str | None:
+        stream = _resolve(self._stream)
+        if stream is not None and stream.index_backend is not None:
+            return stream.index_backend
+        pipeline = _resolve(self._pipeline)
+        if pipeline is not None:
+            try:
+                return pipeline.profiler.index_backend
+            except Exception:
+                return None
+        return None
+
+    def varz(self) -> dict:
+        """The ``/varz`` JSON: one glance at what this process is doing."""
+        now = time.time()
+        stream = _resolve(self._stream)
+        supervisor = _resolve(self._supervisor)
+        body: dict = {
+            "run_id": self.run_id or get_run_id(),
+            "uptime_seconds": (
+                None if self._started_at is None
+                else round(now - self._started_at, 3)
+            ),
+            "serving_generation": self._serving_generation(),
+            "index_backend": self._index_backend(),
+            "model_loaded": self.model_loaded(),
+        }
+        if stream is not None:
+            checkpoint_time = stream.last_checkpoint_time
+            body["stream"] = {
+                "events_seen": stream.events_seen,
+                "profiles_emitted": stream.profiles_emitted,
+                "model_swaps": stream.model_swaps,
+                "active_clients": stream.active_clients,
+                "checkpoint_age_seconds": (
+                    None if checkpoint_time is None
+                    else round(now - checkpoint_time, 3)
+                ),
+            }
+        if supervisor is not None:
+            body["supervisor"] = {
+                "successes": supervisor.successes,
+                "failed_days": len(supervisor.failed_days),
+                "consecutive_failures": supervisor.consecutive_failures,
+                "degraded": bool(supervisor.is_degraded),
+                "validating": bool(supervisor.validating),
+                "last_success_day": supervisor.last_success_day,
+            }
+        return body
+
+    def generations(self) -> dict | None:
+        """The ``/generations`` JSON; None without an attached store."""
+        store = _resolve(self._store)
+        if store is None:
+            return None
+        serving = store.latest_id()
+        return {
+            "serving": serving,
+            "generations": [
+                {
+                    "generation_id": record.generation_id,
+                    "created_from_day": record.created_from_day,
+                    "created_at": record.created_at,
+                    "components": sorted(record.components),
+                    "index_backend": record.index_meta.get("backend"),
+                    "serving": record.generation_id == serving,
+                }
+                for record in store.list_generations()
+            ],
+        }
+
+    def drift_latest(self) -> dict | None:
+        """Most recent drift report: live supervisor first, then store."""
+        supervisor = _resolve(self._supervisor)
+        if supervisor is not None:
+            report = getattr(supervisor, "last_drift_report", None)
+            if report is not None:
+                return report.to_dict()
+        store = _resolve(self._store)
+        if store is not None:
+            from repro.store import DRIFT_REPORT_COMPONENT
+
+            for record in reversed(store.list_generations()):
+                if record.has_component(DRIFT_REPORT_COMPONENT):
+                    return json.loads(
+                        record.component_path(
+                            DRIFT_REPORT_COMPONENT
+                        ).read_text()
+                    )
+        return None
+
+    # -- request dispatch ----------------------------------------------------
+
+    def _handle(self, handler: BaseHTTPRequestHandler) -> None:
+        route = handler.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            if route == "/metrics":
+                status, content_type, payload = (
+                    200, PROMETHEUS_CONTENT_TYPE,
+                    self.registry.to_prometheus().encode(),
+                )
+            elif route == "/healthz":
+                status, content_type, payload = (
+                    200, "application/json", b'{"ok": true}\n'
+                )
+            elif route == "/readyz":
+                ready, body = self.ready()
+                status = 200 if ready else 503
+                content_type, payload = "application/json", _json_bytes(body)
+            elif route == "/varz":
+                status, content_type, payload = (
+                    200, "application/json", _json_bytes(self.varz())
+                )
+            elif route == "/generations":
+                body = self.generations()
+                if body is None:
+                    status, content_type, payload = _not_found(
+                        "no artifact store attached"
+                    )
+                else:
+                    status, content_type, payload = (
+                        200, "application/json", _json_bytes(body)
+                    )
+            elif route == "/drift/latest":
+                body = self.drift_latest()
+                if body is None:
+                    status, content_type, payload = _not_found(
+                        "no drift report yet"
+                    )
+                else:
+                    status, content_type, payload = (
+                        200, "application/json", _json_bytes(body)
+                    )
+            else:
+                status, content_type, payload = _not_found(
+                    f"unknown route {route!r}"
+                )
+                route = "<other>"   # unbounded label values are a leak
+        except Exception as error:   # a broken route must not kill serving
+            status = 500
+            content_type = "application/json"
+            payload = _json_bytes(
+                {"error": f"{type(error).__name__}: {error}"}
+            )
+            log.error(
+                "admin route failed", route=route,
+                error=f"{type(error).__name__}: {error}",
+            )
+        self._requests_total.labels(route=route, status=str(status)).inc()
+        handler.send_response(status)
+        handler.send_header("Content-Type", content_type)
+        handler.send_header("Content-Length", str(len(payload)))
+        handler.end_headers()
+        handler.wfile.write(payload)
+
+
+def _json_bytes(body: dict) -> bytes:
+    return (json.dumps(body, indent=2, sort_keys=True) + "\n").encode()
+
+
+def _not_found(reason: str) -> tuple[int, str, bytes]:
+    return 404, "application/json", _json_bytes({"error": reason})

@@ -7,6 +7,7 @@ model generations") for the layout and the recovery walkthrough.
 """
 
 from repro.store.artifacts import (
+    DRIFT_REPORT_COMPONENT,
     EMBEDDINGS_COMPONENT,
     INDEX_COMPONENT,
     LATEST_NAME,
@@ -22,6 +23,7 @@ from repro.store.artifacts import (
 )
 
 __all__ = [
+    "DRIFT_REPORT_COMPONENT",
     "EMBEDDINGS_COMPONENT",
     "INDEX_COMPONENT",
     "LATEST_NAME",

@@ -72,6 +72,7 @@ LATEST_NAME = "LATEST"
 EMBEDDINGS_COMPONENT = "embeddings.npz"
 INDEX_COMPONENT = "index.npz"
 PROFILER_CONFIG_COMPONENT = "profiler.json"
+DRIFT_REPORT_COMPONENT = "drift.json"
 
 _GENERATION_RE = re.compile(r"^g(\d{6,})$")
 _COMPONENT_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
@@ -435,11 +436,13 @@ class ArtifactStore:
             self._generations_gauge.set(len(remaining))
         log.warning("generation retracted", generation=generation_id)
 
-    def gc(self, keep_n: int) -> list[str]:
+    def gc(self, keep_n: int, dry_run: bool = False) -> list[str]:
         """Delete all but the newest ``keep_n`` generations.
 
         The serving generation is always kept, even if a rollback made
         it older than the ``keep_n`` newest.  Returns the removed ids.
+        With ``dry_run`` nothing is deleted and no metrics move — the
+        returned list is what a real gc *would* remove.
         """
         if keep_n < 1:
             raise ValueError("keep_n must be >= 1")
@@ -450,6 +453,12 @@ class ArtifactStore:
             if current is not None:
                 keep.add(current)
             removed = [gid for gid in ids if gid not in keep]
+            if dry_run:
+                log.info(
+                    "store gc dry-run",
+                    would_remove=removed, kept=sorted(keep),
+                )
+                return removed
             for gid in removed:
                 shutil.rmtree(self.generations_dir / gid)
             if removed:
@@ -467,6 +476,7 @@ def publish_model(
     profiler_config: dict | None = None,
     created_from_day: int | None = None,
     extra: dict | None = None,
+    drift_report: dict | None = None,
 ) -> GenerationRecord:
     """Publish an embeddings + index (+ optional profiler config) trio.
 
@@ -475,6 +485,10 @@ def publish_model(
     the ``train --store`` CLI path — so all generations in a store are
     mutually loadable.  ``embeddings`` and ``index`` only need ``save``
     methods (duck-typed to avoid a core → store import cycle).
+    ``drift_report`` (the ``to_dict()`` of a
+    :class:`~repro.obs.drift.DriftReport`) rides along as the
+    ``drift.json`` component, so every generation carries the drift
+    check that admitted it.
     """
     components: dict[str, Callable[[Path], None]] = {
         EMBEDDINGS_COMPONENT: embeddings.save,
@@ -484,6 +498,12 @@ def publish_model(
         components[PROFILER_CONFIG_COMPONENT] = (
             lambda path, cfg=dict(profiler_config): atomic_write_json(
                 path, cfg
+            )
+        )
+    if drift_report is not None:
+        components[DRIFT_REPORT_COMPONENT] = (
+            lambda path, report=dict(drift_report): atomic_write_json(
+                path, report
             )
         )
     return store.publish(

@@ -1,0 +1,149 @@
+"""Tests for the ``repro doctor`` debug-bundle collector."""
+
+import json
+from pathlib import Path
+
+from repro.obs.doctor import collect_bundle
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.server import AdminServer
+from repro.store import DRIFT_REPORT_COMPONENT, ArtifactStore
+from repro.utils.serialization import atomic_write_json
+
+
+def _publish(store, drift_report=None):
+    components = {"model.bin": lambda path: path.write_bytes(b"weights")}
+    if drift_report is not None:
+        components[DRIFT_REPORT_COMPONENT] = (
+            lambda path: atomic_write_json(path, drift_report)
+        )
+    return store.publish(components)
+
+
+class TestLiveBundle:
+    def test_collects_every_reachable_route(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("events_total", "Events.").inc(5)
+        store = ArtifactStore(tmp_path / "store")
+        _publish(store, drift_report={"format": "repro-drift-v1", "ok": True})
+        with AdminServer(registry, run_id="doctor-test") as admin:
+            admin.attach(store=store)
+            manifest = collect_bundle(
+                tmp_path / "bundle", admin_url=admin.url()
+            )
+        out = tmp_path / "bundle"
+        assert manifest["format"] == "repro-doctor-v1"
+        assert "events_total 5" in (out / "metrics.prom").read_text()
+        assert json.loads((out / "healthz.json").read_text()) == {"ok": True}
+        generations = json.loads((out / "generations.json").read_text())
+        assert generations["serving"] == "g000001"
+        assert json.loads((out / "drift.json").read_text())["ok"] is True
+        varz = json.loads((out / "varz.json").read_text())
+        assert varz["run_id"] == "doctor-test"
+        saved = json.loads((out / "bundle.json").read_text())
+        assert saved["collected"] == manifest["collected"]
+        assert manifest["errors"] == {}
+
+    def test_not_ready_readyz_is_captured_not_an_error(self, tmp_path):
+        with AdminServer(MetricsRegistry()) as admin:
+            manifest = collect_bundle(
+                tmp_path / "bundle", admin_url=admin.url()
+            )
+        readyz = json.loads((tmp_path / "bundle" / "readyz.json").read_text())
+        assert readyz["status"] == 503
+        assert readyz["body"]["ready"] is False
+        assert "readyz.json" in manifest["collected"]
+        # Routes that legitimately 404 on a bare server are errors...
+        assert "/generations" in manifest["errors"]
+        # ...but never abort the rest of the collection.
+        assert "metrics.prom" in manifest["collected"]
+
+    def test_unreachable_admin_still_writes_a_manifest(self, tmp_path):
+        manifest = collect_bundle(
+            tmp_path / "bundle",
+            admin_url="http://127.0.0.1:9",   # discard port: nothing listens
+            timeout=0.5,
+        )
+        assert manifest["collected"] == {}
+        assert "/metrics" in manifest["errors"]
+        assert (tmp_path / "bundle" / "bundle.json").is_file()
+
+
+class TestOfflineBundle:
+    def test_reads_store_and_copies_files(self, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        _publish(store)
+        _publish(store, drift_report={
+            "format": "repro-drift-v1", "breaches": ["category_jsd"],
+        })
+        metrics = tmp_path / "final.prom"
+        metrics.write_text("events_total 9\n")
+        manifest = collect_bundle(
+            tmp_path / "bundle",
+            store=store,
+            metrics_path=metrics,
+            config={"seed": 42, "store": Path("/somewhere/models")},
+        )
+        out = tmp_path / "bundle"
+        generations = json.loads((out / "generations.json").read_text())
+        assert [g["generation_id"] for g in generations["generations"]] == [
+            "g000001", "g000002"
+        ]
+        # drift.json comes from the newest generation that has one
+        assert manifest["collected"]["drift.json"] == "g000002"
+        drift = json.loads((out / "drift.json").read_text())
+        assert drift["breaches"] == ["category_jsd"]
+        assert (out / "metrics.prom").read_text() == "events_total 9\n"
+        config = json.loads((out / "config.json").read_text())
+        assert config["seed"] == 42
+        assert config["store"] == "/somewhere/models"   # Path stringified
+
+    def test_rolled_back_store_reports_retracted_drift(self, tmp_path):
+        # After a gate trip the rejected generation is retracted: the
+        # bundle falls back to the newest surviving report.
+        store = ArtifactStore(tmp_path / "store")
+        _publish(store, drift_report={"format": "repro-drift-v1", "n": 1})
+        _publish(store, drift_report={"format": "repro-drift-v1", "n": 2})
+        store.rollback()
+        store.retract("g000002")
+        manifest = collect_bundle(tmp_path / "bundle", store=store)
+        assert manifest["collected"]["drift.json"] == "g000001"
+
+    def test_missing_file_sources_are_recorded(self, tmp_path):
+        manifest = collect_bundle(
+            tmp_path / "bundle",
+            metrics_path=tmp_path / "nope.prom",
+            trace_path=tmp_path / "nope.json",
+        )
+        assert manifest["collected"] == {}
+        assert len(manifest["errors"]) == 2
+
+    def test_empty_bundle_is_valid(self, tmp_path):
+        manifest = collect_bundle(tmp_path / "bundle")
+        assert manifest["collected"] == {}
+        assert manifest["errors"] == {}
+        assert json.loads(
+            (tmp_path / "bundle" / "bundle.json").read_text()
+        )["format"] == "repro-doctor-v1"
+
+
+class TestDriftReportFlow:
+    def test_live_drift_route_wins_over_store(self, tmp_path):
+        registry = MetricsRegistry()
+        store = ArtifactStore(tmp_path / "store")
+        _publish(store, drift_report={"format": "repro-drift-v1", "n": 1})
+
+        class _Supervisor:
+            validating = False
+            is_degraded = False
+            consecutive_failures = 0
+
+            class last_drift_report:   # duck: only to_dict is called
+                @staticmethod
+                def to_dict():
+                    return {"format": "repro-drift-v1", "n": 99}
+
+        with AdminServer(registry) as admin:
+            admin.attach(store=store, supervisor=_Supervisor())
+            collect_bundle(tmp_path / "bundle", admin_url=admin.url())
+        drift = json.loads((tmp_path / "bundle" / "drift.json").read_text())
+        assert drift["n"] == 99

@@ -1,0 +1,63 @@
+"""Tests for the periodic metrics-snapshot flusher."""
+
+import json
+import time
+
+import pytest
+
+from repro.obs.flush import MetricsFlusher
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestMetricsFlusher:
+    def test_interval_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            MetricsFlusher(MetricsRegistry(), tmp_path / "m.prom", 0)
+
+    def test_flush_now_writes_prometheus_text(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("events_total", "Events.").inc(7)
+        flusher = MetricsFlusher(registry, tmp_path / "m.prom", 60)
+        flusher.flush_now()
+        text = (tmp_path / "m.prom").read_text()
+        assert "events_total 7" in text
+        assert registry.counter("metrics_flushes_total").value == 1
+
+    def test_json_suffix_selects_json_snapshot(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("events_total", "Events.").inc(2)
+        MetricsFlusher(registry, tmp_path / "m.json", 60).flush_now()
+        snapshot = json.loads((tmp_path / "m.json").read_text())
+        assert snapshot["format"] == "repro-metrics-v1"
+
+    def test_background_thread_rewrites_the_snapshot(self, tmp_path):
+        registry = MetricsRegistry()
+        counter = registry.counter("events_total", "Events.")
+        path = tmp_path / "m.prom"
+        with MetricsFlusher(registry, path, 0.05):
+            counter.inc(1)
+            deadline = time.time() + 5
+            while time.time() < deadline:
+                if path.is_file() and "events_total 1" in path.read_text():
+                    break
+                time.sleep(0.02)
+            else:
+                pytest.fail("flusher never wrote the snapshot")
+        # stop() performed a final flush; file reflects the final state
+        assert "events_total 1" in path.read_text()
+        assert registry.counter("metrics_flushes_total").value >= 2
+
+    def test_stop_without_final_flush(self, tmp_path):
+        registry = MetricsRegistry()
+        flusher = MetricsFlusher(registry, tmp_path / "m.prom", 60).start()
+        flusher.stop(final_flush=False)
+        assert not (tmp_path / "m.prom").exists()
+
+    def test_double_start_rejected(self, tmp_path):
+        flusher = MetricsFlusher(MetricsRegistry(), tmp_path / "m.prom", 60)
+        flusher.start()
+        try:
+            with pytest.raises(RuntimeError):
+                flusher.start()
+        finally:
+            flusher.stop(final_flush=False)

@@ -217,6 +217,42 @@ class TestExport:
         assert flat['lat_seconds_bucket{le="0.1"}'] == 1.0
 
 
+class TestExpositionEdgeCases:
+    def test_non_finite_values_use_prometheus_spellings(self):
+        registry = MetricsRegistry()
+        registry.gauge("pos").set(float("inf"))
+        registry.gauge("neg").set(float("-inf"))
+        registry.gauge("nan").set(float("nan"))
+        text = registry.to_prometheus()
+        # `repr()` spellings (inf/-inf/nan) are not valid exposition
+        # values; scrapers require +Inf / -Inf / NaN.
+        assert "pos +Inf" in text
+        assert "neg -Inf" in text
+        assert "nan NaN" in text
+        assert "inf\n" not in text.replace("+Inf", "").replace("-Inf", "")
+
+    def test_hostname_label_with_quote_and_newline(self):
+        # Regression: a hostile SNI used as a label value must not be able
+        # to break the exposition format (or smuggle in extra samples).
+        registry = MetricsRegistry()
+        hostname = 'evil"host\nname.example\\'
+        registry.counter(
+            "stream_quarantined_hosts_total", labelnames=("hostname",)
+        ).labels(hostname=hostname).inc()
+        text = registry.to_prometheus()
+        line = next(
+            sample for sample in text.splitlines()
+            if sample.startswith("stream_quarantined_hosts_total{")
+        )
+        assert line == (
+            'stream_quarantined_hosts_total'
+            '{hostname="evil\\"host\\nname.example\\\\"} 1'
+        )
+        # every physical line still parses as comment or sample
+        for physical in text.splitlines():
+            assert physical.startswith("#") or " " in physical
+
+
 class TestNullRegistry:
     def test_everything_is_a_no_op(self):
         registry = NullRegistry()

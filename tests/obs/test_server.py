@@ -1,0 +1,305 @@
+"""Tests for the admin HTTP endpoint (the live operations plane)."""
+
+import json
+import re
+import threading
+import urllib.error
+import urllib.request
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.streaming import StreamingConfig, StreamingProfiler
+from repro.netobs.flows import HostnameEvent
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.server import PROMETHEUS_CONTENT_TYPE, AdminServer
+
+_PROM_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? "
+    r"(?:[0-9.eE+-]+|\+Inf|-Inf|NaN)$"
+)
+
+
+def parse_prometheus(text):
+    """name{labels} -> float for every sample; asserts each line parses."""
+    samples = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        assert _PROM_LINE.match(line), f"unparseable exposition line: {line!r}"
+        key, value = line.rsplit(" ", 1)
+        samples[key] = float(value)
+    return samples
+
+
+def _get(url):
+    """(status, content_type, body) without raising on 4xx/5xx."""
+    try:
+        with urllib.request.urlopen(url, timeout=5) as response:
+            return (
+                response.status,
+                response.headers.get("Content-Type"),
+                response.read().decode(),
+            )
+    except urllib.error.HTTPError as error:
+        return error.code, error.headers.get("Content-Type"), (
+            error.read().decode()
+        )
+
+
+def _fake_supervisor(**overrides):
+    state = dict(
+        validating=False, is_degraded=False, consecutive_failures=0,
+        successes=1, failed_days=[], last_success_day=0,
+        last_drift_report=None,
+    )
+    state.update(overrides)
+    return SimpleNamespace(**state)
+
+
+def _event(host, t, client="10.0.0.1"):
+    return HostnameEvent(
+        client_ip=client, timestamp=t, hostname=host, source="tls-sni"
+    )
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+@pytest.fixture()
+def server(registry):
+    with AdminServer(registry, run_id="test-run") as admin:
+        yield admin
+
+
+class TestRoutes:
+    def test_metrics_serves_prometheus(self, server, registry):
+        registry.counter("events_total", "Events.").inc(3)
+        status, content_type, body = _get(server.url("/metrics"))
+        assert status == 200
+        assert content_type == PROMETHEUS_CONTENT_TYPE
+        assert parse_prometheus(body)["events_total"] == 3.0
+
+    def test_healthz_is_always_ok(self, server):
+        status, _, body = _get(server.url("/healthz"))
+        assert status == 200
+        assert json.loads(body) == {"ok": True}
+
+    def test_unknown_route_is_404_with_bounded_label(self, server, registry):
+        status, _, body = _get(server.url("/secrets"))
+        assert status == 404
+        assert "unknown route" in json.loads(body)["error"]
+        requests = registry.counter(
+            "admin_requests_total", labelnames=("route", "status")
+        )
+        assert requests.value_of(route="<other>", status="404") == 1
+
+    def test_trailing_slash_is_normalised(self, server):
+        status, _, _ = _get(server.url("/healthz/"))
+        assert status == 200
+
+    def test_generations_404_without_store(self, server):
+        status, _, body = _get(server.url("/generations"))
+        assert status == 404
+        assert "store" in json.loads(body)["error"]
+
+    def test_drift_latest_404_without_reports(self, server):
+        status, _, _ = _get(server.url("/drift/latest"))
+        assert status == 404
+
+    def test_drift_latest_serves_supervisor_report(self, server):
+        report = SimpleNamespace(to_dict=lambda: {"ok": False, "breaches": []})
+        server.attach(supervisor=_fake_supervisor(last_drift_report=report))
+        status, _, body = _get(server.url("/drift/latest"))
+        assert status == 200
+        assert json.loads(body)["ok"] is False
+
+    def test_broken_route_returns_500_and_keeps_serving(self, server):
+        class _Exploding:
+            @property
+            def validating(self):
+                raise RuntimeError("boom")
+
+            is_degraded = False
+            consecutive_failures = 0
+
+        server.attach(supervisor=_Exploding())
+        status, _, body = _get(server.url("/readyz"))
+        assert status == 500
+        assert "boom" in json.loads(body)["error"]
+        status, _, _ = _get(server.url("/healthz"))   # still alive
+        assert status == 200
+
+    def test_ephemeral_port_is_resolved(self, registry):
+        admin = AdminServer(registry)
+        assert admin.port == 0
+        with admin:
+            assert admin.port != 0
+
+
+class TestReadyz:
+    def test_not_ready_without_a_model(self, server):
+        server.attach(stream=StreamingProfiler(StreamingConfig()))
+        status, _, body = _get(server.url("/readyz"))
+        assert status == 503
+        payload = json.loads(body)
+        assert payload["ready"] is False
+        assert payload["model_loaded"] is False
+
+    def test_ready_once_a_model_serves(self, server):
+        stream = StreamingProfiler(StreamingConfig())
+        stream.swap_model(SimpleNamespace(), generation="g000007")
+        server.attach(stream=stream)
+        status, _, body = _get(server.url("/readyz"))
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["ready"] is True
+        assert payload["serving_generation"] == "g000007"
+
+    def test_validation_window_flips_readiness(self, server):
+        stream = StreamingProfiler(StreamingConfig())
+        stream.swap_model(SimpleNamespace())
+        supervisor = _fake_supervisor(validating=True)
+        server.attach(stream=stream, supervisor=supervisor)
+        status, _, body = _get(server.url("/readyz"))
+        assert status == 503
+        assert json.loads(body)["validating"] is True
+        # ... and recovers the moment the check window closes.
+        supervisor.validating = False
+        status, _, body = _get(server.url("/readyz"))
+        assert status == 200
+        assert json.loads(body)["validating"] is False
+
+    def test_degraded_supervisor_stays_ready(self, server):
+        # Serving stale is the designed failure mode, not an outage:
+        # degradation is reported in the body but never flips readiness.
+        stream = StreamingProfiler(StreamingConfig())
+        stream.swap_model(SimpleNamespace())
+        server.attach(
+            stream=stream,
+            supervisor=_fake_supervisor(
+                is_degraded=True, consecutive_failures=2
+            ),
+        )
+        status, _, body = _get(server.url("/readyz"))
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["degraded"] is True
+        assert payload["consecutive_failures"] == 2
+
+    def test_thunk_attachment_resolves_late(self, server):
+        holder = {"supervisor": None}
+        stream = StreamingProfiler(StreamingConfig())
+        stream.swap_model(SimpleNamespace())
+        server.attach(
+            stream=stream, supervisor=lambda: holder["supervisor"]
+        )
+        status, _, _ = _get(server.url("/readyz"))
+        assert status == 200
+        holder["supervisor"] = _fake_supervisor(validating=True)
+        status, _, _ = _get(server.url("/readyz"))
+        assert status == 503
+
+
+class TestVarz:
+    def test_reports_process_and_stream_state(self, server, tmp_path):
+        stream = StreamingProfiler(StreamingConfig())
+        stream.swap_model(
+            SimpleNamespace(index_backend="exact"), generation="g000001"
+        )
+        stream.ingest(_event("a.com", 0.0))
+        stream.checkpoint(tmp_path / "state.json")
+        server.attach(stream=stream, supervisor=_fake_supervisor())
+        status, _, body = _get(server.url("/varz"))
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["run_id"] == "test-run"
+        assert payload["uptime_seconds"] >= 0
+        assert payload["serving_generation"] == "g000001"
+        assert payload["index_backend"] == "exact"
+        assert payload["model_loaded"] is True
+        assert payload["stream"]["events_seen"] == 1
+        assert payload["stream"]["model_swaps"] == 1
+        assert payload["stream"]["checkpoint_age_seconds"] >= 0
+        assert payload["supervisor"]["successes"] == 1
+        assert payload["supervisor"]["degraded"] is False
+
+    def test_minimal_varz_without_attachments(self, server):
+        status, _, body = _get(server.url("/varz"))
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["serving_generation"] is None
+        assert payload["model_loaded"] is False
+        assert "stream" not in payload
+        assert "supervisor" not in payload
+
+
+class TestConcurrentScrapes:
+    def test_metrics_parse_and_stay_monotonic_during_ingest(self, registry):
+        """Hammer /metrics from threads while the stream ingests.
+
+        Every scrape must be a parseable exposition and the event counter
+        must never go backwards — the registry's locking is what makes a
+        scrape mid-ingest safe.
+        """
+        stream = StreamingProfiler(StreamingConfig(), registry=registry)
+        with AdminServer(registry) as admin:
+            url = admin.url("/metrics")
+            failures = []
+            seen = {i: [] for i in range(4)}
+
+            def scrape(worker):
+                try:
+                    for _ in range(25):
+                        status, _, body = _get(url)
+                        assert status == 200
+                        samples = parse_prometheus(body)
+                        seen[worker].append(
+                            samples.get("stream_events_total", 0.0)
+                        )
+                except Exception as error:   # surfaces in the main thread
+                    failures.append(f"{type(error).__name__}: {error}")
+
+            threads = [
+                threading.Thread(target=scrape, args=(i,)) for i in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for step in range(600):
+                stream.ingest(
+                    _event(f"host{step % 40}.com", float(step),
+                           client=f"10.0.0.{step % 8}")
+                )
+            for thread in threads:
+                thread.join(timeout=30)
+            assert not failures, failures
+            for worker, values in seen.items():
+                assert len(values) == 25
+                assert values == sorted(values), (
+                    f"counter went backwards in worker {worker}"
+                )
+            assert stream.events_seen == 600
+
+
+class TestLifecycle:
+    def test_double_start_rejected(self, registry):
+        with AdminServer(registry) as admin:
+            with pytest.raises(RuntimeError):
+                admin.start()
+
+    def test_stop_is_idempotent(self, registry):
+        admin = AdminServer(registry).start()
+        admin.stop()
+        admin.stop()
+
+    def test_request_counter_by_route(self, server, registry):
+        _get(server.url("/metrics"))
+        _get(server.url("/healthz"))
+        _get(server.url("/healthz"))
+        requests = registry.counter(
+            "admin_requests_total", labelnames=("route", "status")
+        )
+        assert requests.value_of(route="/healthz", status="200") == 2
+        assert requests.value_of(route="/metrics", status="200") >= 1

@@ -208,6 +208,26 @@ class TestRollbackRetractGc:
         with pytest.raises(ValueError):
             store.gc(keep_n=0)
 
+    def test_gc_dry_run_deletes_nothing(self, store):
+        for _ in range(4):
+            _publish(store)
+        store.rollback()            # serving g000003, newest g000004
+        would_remove = store.gc(keep_n=1, dry_run=True)
+        assert would_remove == ["g000001", "g000002"]
+        # nothing was deleted, no metrics moved, serving unchanged
+        remaining = [r.generation_id for r in store.list_generations()]
+        assert remaining == ["g000001", "g000002", "g000003", "g000004"]
+        assert store.latest_id() == "g000003"
+        assert store._gc_removed_total.value == 0
+        assert store._generations_gauge.value == 4
+        # and a real gc removes exactly what the dry run predicted,
+        # retaining the (older-than-keep_n) serving generation
+        assert store.gc(keep_n=1) == would_remove
+        assert [r.generation_id for r in store.list_generations()] == [
+            "g000003", "g000004"
+        ]
+        assert store.latest_id() == "g000003"
+
 
 class TestMetrics:
     def test_counters_and_gauge_track_operations(self, tmp_path):

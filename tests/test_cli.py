@@ -43,6 +43,20 @@ class TestParser:
             ["store", "list", "models"],
             ["store", "rollback", "models"],
             ["store", "gc", "models", "--keep", "2"],
+            ["store", "gc", "models", "--keep", "2", "--dry-run"],
+            ["stream", "c.pcap", "--admin-port", "8321",
+             "--admin-host", "0.0.0.0"],
+            ["stream", "c.pcap", "--train", "--admin-port", "0",
+             "--drift-gate", "--drift-inject", "label-shuffle"],
+            ["stream", "c.pcap", "--drift-gate", "--drift-max-jsd", "0.1",
+             "--drift-max-churn", "0.9"],
+            ["stream", "c.pcap", "--metrics-out", "m.prom",
+             "--metrics-flush-interval", "5", "--linger", "2"],
+            ["experiment", "--admin-port", "8321"],
+            ["doctor", "--out", "bundle",
+             "--admin-url", "http://127.0.0.1:8321"],
+            ["doctor", "--store", "models", "--metrics", "m.prom",
+             "--trace", "t.json", "--timeout", "2"],
         ],
     )
     def test_known_commands_parse(self, argv):
@@ -62,6 +76,12 @@ class TestParser:
             build_parser().parse_args(
                 ["neighbours", "v.npz", "a.com",
                  "--index-backend", "faiss"]
+            )
+
+    def test_unknown_drift_injection_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["stream", "c.pcap", "--drift-inject", "vocab-wipe"]
             )
 
 
@@ -238,6 +258,37 @@ class TestStoreCli:
         assert main(["store", "list", str(store_dir)]) == 0
         assert "* g000001" in capsys.readouterr().out
 
+    def test_gc_dry_run_predicts_without_deleting(
+        self, published, tmp_path, capsys
+    ):
+        store_dir = self._copy(published, tmp_path)
+        capsys.readouterr()
+        assert main(
+            ["store", "gc", str(store_dir), "--keep", "1", "--dry-run"]
+        ) == 0
+        assert "would remove 1 generation(s): g000001" in (
+            capsys.readouterr().out
+        )
+        # nothing was deleted: both generations still list
+        assert main(["store", "list", str(store_dir)]) == 0
+        assert len(capsys.readouterr().out.rstrip().splitlines()) == 2
+        # the real gc removes exactly what the dry run predicted
+        assert main(["store", "gc", str(store_dir), "--keep", "1"]) == 0
+        assert "removed 1 generation(s): g000001" in capsys.readouterr().out
+
+    def test_gc_dry_run_retains_serving_generation(
+        self, published, tmp_path, capsys
+    ):
+        store_dir = self._copy(published, tmp_path)
+        main(["store", "rollback", str(store_dir)])   # serving g000001
+        capsys.readouterr()
+        assert main(
+            ["store", "gc", str(store_dir), "--keep", "1", "--dry-run"]
+        ) == 0
+        # keep-1 would normally leave only g000002, but the rolled-back
+        # serving generation is never a gc candidate.
+        assert "nothing to remove" in capsys.readouterr().out
+
     def test_rollback_past_oldest_fails(self, published, tmp_path, capsys):
         store_dir = self._copy(published, tmp_path)
         main(["store", "rollback", str(store_dir)])
@@ -272,6 +323,75 @@ class TestStoreCli:
         out = capsys.readouterr().out
         assert "restored" in out
         assert "warm restart: serving g000002" in out
+
+
+class TestOpsCli:
+    """The live operations plane: admin endpoint, drift gate, doctor."""
+
+    WORLD = ["--seed", "5", "--sites", "120", "--users", "12", "--days", "1"]
+
+    def test_drift_injection_trips_the_gate(self, tmp_path, capsys):
+        pcap = tmp_path / "capture.pcap"
+        main(["synthesize", *self.WORLD, "--output", str(pcap)])
+        capsys.readouterr()
+        assert main(
+            ["stream", str(pcap), "--train", "--seed", "5",
+             "--sites", "120", "--train-epochs", "2",
+             "--store", str(tmp_path / "models"),
+             "--admin-port", "0", "--drift-gate",
+             "--drift-inject", "label-shuffle"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "admin server listening on http://127.0.0.1:" in out
+        assert "published generation g000001" in out
+        assert "drift injection: drift vs g000001" in out
+        assert "BREACH" in out
+        assert "drift gate rejected injected retrain" in out
+        assert "rolled back to g000001" in out
+        # the rejected generation was retracted from the store
+        capsys.readouterr()
+        assert main(["store", "list", str(tmp_path / "models")]) == 0
+        lines = capsys.readouterr().out.rstrip().splitlines()
+        assert len(lines) == 1
+        assert lines[0].startswith("* g000001")
+
+    def test_flush_interval_requires_metrics_out(self, tmp_path, capsys):
+        pcap = tmp_path / "capture.pcap"
+        main(["synthesize", *self.WORLD, "--output", str(pcap)])
+        capsys.readouterr()
+        assert main(
+            ["stream", str(pcap), "--metrics-flush-interval", "1"]
+        ) == 2
+        assert "--metrics-out" in capsys.readouterr().err
+
+    def test_doctor_offline_bundle(self, tmp_path, capsys):
+        pcap = tmp_path / "capture.pcap"
+        main(["synthesize", *self.WORLD, "--output", str(pcap)])
+        main(["stream", str(pcap), "--train", "--seed", "5",
+              "--sites", "120", "--train-epochs", "2",
+              "--store", str(tmp_path / "models"),
+              "--metrics-out", str(tmp_path / "final.prom")])
+        capsys.readouterr()
+        bundle = tmp_path / "bundle"
+        assert main(
+            ["doctor", "--out", str(bundle),
+             "--store", str(tmp_path / "models"),
+             "--metrics", str(tmp_path / "final.prom")]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "doctor bundle written" in out
+        assert (bundle / "bundle.json").is_file()
+        assert (bundle / "generations.json").is_file()
+        assert (bundle / "metrics.prom").is_file()
+        assert (bundle / "config.json").is_file()
+
+    def test_doctor_with_nothing_reachable_fails(self, tmp_path, capsys):
+        capsys.readouterr()
+        assert main(
+            ["doctor", "--out", str(tmp_path / "bundle"),
+             "--admin-url", "http://127.0.0.1:9", "--timeout", "0.5"]
+        ) == 1
+        assert "nothing reachable" in capsys.readouterr().err
 
 
 class TestTelemetry:
