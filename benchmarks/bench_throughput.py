@@ -159,6 +159,76 @@ def test_instrumentation_overhead(paper_world, report_sink):
     assert ratio < 1.10, "telemetry must not slow the training hot path"
 
 
+def test_introspection_overhead(report_sink):
+    """The deep introspection plane must also stay within 10%.
+
+    Bare = the default no-op registry/tracer on the streaming ingest
+    path; instrumented = what ``--trace-sample-rate 0.01 --profile
+    --flight-dump`` pays: a real registry, 1% head-sampled tracing, the
+    100 Hz sampling profiler running, and the flight recorder keeping
+    digests.  Ingest is the hot path a line-rate observer cares about.
+    """
+    from repro.core.streaming import StreamingConfig, StreamingProfiler
+    from repro.netobs.flows import HostnameEvent
+    from repro.obs.flight import FlightRecorder
+    from repro.obs.profile import SamplingProfiler
+    from repro.obs.tracing import HeadSampler
+
+    events = [
+        HostnameEvent(
+            client_ip=f"10.0.0.{i % 16}",
+            timestamp=float(i // 16),
+            hostname=f"host{i % 64}.example.com",
+            source="tls-sni",
+        )
+        for i in range(20_000)
+    ]
+
+    def ingest_all(stream) -> float:
+        started = time.perf_counter()
+        for event in events:
+            stream.ingest(event)
+        return time.perf_counter() - started
+
+    ingest_all(StreamingProfiler(StreamingConfig()))  # warm-up
+    bare, instrumented = [], []
+    registry = MetricsRegistry()
+    profiler = SamplingProfiler(hz=100.0, registry=registry)
+    profiler.start()
+    try:
+        for _ in range(3):
+            bare.append(ingest_all(StreamingProfiler(StreamingConfig())))
+            instrumented.append(
+                ingest_all(
+                    StreamingProfiler(
+                        StreamingConfig(),
+                        registry=registry,
+                        tracer=Tracer(),
+                        trace_sampler=HeadSampler(0.01),
+                        flight=FlightRecorder(registry=registry),
+                    )
+                )
+            )
+    finally:
+        profiler.stop()
+    ratio = statistics.median(instrumented) / statistics.median(bare)
+
+    lines = [
+        "Introspection overhead (streaming ingest, 20k events,",
+        "1% trace sampling + 100 Hz profiler + flight recorder)",
+        f"bare:         {statistics.median(bare) * 1e3:.1f} ms (median of 3)",
+        f"instrumented: {statistics.median(instrumented) * 1e3:.1f} ms",
+        f"overhead ratio: {ratio:.3f}x",
+    ]
+    report_sink("throughput_introspection", "\n".join(lines))
+    _emit(
+        "bench_introspection_overhead_ratio",
+        "Instrumented / bare streaming ingest wall time (1.0 = free).",
+        ratio,
+    )
+    assert ratio < 1.10, "introspection must not slow the ingest hot path"
+
+
 def test_bench_snapshot_is_valid():
     """The emitted snapshot parses and carries the bench gauges."""
     path = OUT_DIR / "BENCH_throughput.json"

@@ -39,6 +39,15 @@ The ``experiment``, ``stream`` and ``neighbours`` commands accept
 ``--index-backend {exact,blocked,ivf}`` (and ``--index-nprobe`` for the
 IVF recall knob) to pick the vector-index backend behind every
 nearest-neighbour search; see DESIGN.md ("Vector index").
+
+The deep introspection plane (DESIGN.md, "Deep introspection"):
+``stream`` and ``experiment`` accept ``--trace-sample-rate`` (head-
+sampled request-scoped traces with histogram exemplars), ``--slo``
+(burn-rate alerting served at ``/slo`` and ``/alerts``), ``--profile``
+(continuous stack sampling, flamegraph + speedscope artifacts) and
+``--flight-dump`` (crash-dumped flight-recorder ring); ``stream
+--chaos-profile-delay`` injects a latency spike to rehearse the SLO
+alert end to end.
 """
 
 from __future__ import annotations
@@ -128,6 +137,82 @@ def _telemetry(args: argparse.Namespace):
     return registry, tracer
 
 
+class _Introspection:
+    """The deep-introspection plane behind ``--trace-sample-rate`` /
+    ``--slo`` / ``--profile`` / ``--flight-dump``.
+
+    Builds only the pieces the flags asked for, attaches them to the
+    admin plane, and on :meth:`finish` tears them down — writing the
+    promised profile artifacts and a final flight dump.  Every field is
+    None when its flag is off, so callers can pass them through
+    unconditionally.
+    """
+
+    def __init__(self, args: argparse.Namespace, registry, tracer):
+        from repro.obs import (
+            FlightRecorder,
+            HeadSampler,
+            SLOEngine,
+            SamplingProfiler,
+        )
+
+        rate = getattr(args, "trace_sample_rate", 0.0) or 0.0
+        self.sampler = HeadSampler(rate) if rate > 0 else None
+        self.flight = None
+        self.flight_path = getattr(args, "flight_dump", None)
+        if self.flight_path:
+            self.flight = FlightRecorder(registry=registry)
+            # Crash hooks make the ring survive what the run does not.
+            self.flight.install_crash_hooks(self.flight_path)
+        self.slo = None
+        if getattr(args, "slo", False):
+            self.slo = SLOEngine(
+                registry,
+                fast_window_seconds=args.slo_fast_window,
+                slow_window_seconds=args.slo_slow_window,
+            )
+            if self.flight is not None:
+                self.slo.on_transition.append(self.flight.slo_observer)
+            self.slo.start(interval_seconds=args.slo_interval)
+        self.profiler = None
+        self.profile_out = getattr(args, "profile_out", None) or "profile"
+        if getattr(args, "profile", False):
+            self.profiler = SamplingProfiler(
+                hz=args.profile_hz, registry=registry
+            ).start()
+
+    def attach(self, admin) -> None:
+        if admin is None:
+            return
+        admin.attach(
+            slo_engine=self.slo,
+            profiler=self.profiler,
+            flight=self.flight,
+            flight_path=self.flight_path,
+        )
+
+    def finish(self) -> None:
+        """Stop background threads and write the flagged artifacts."""
+        if self.slo is not None:
+            # One last evaluation so the final metrics snapshot carries
+            # the end-of-run burn rates and transition counters.
+            self.slo.evaluate()
+            self.slo.stop()
+        if self.profiler is not None:
+            self.profiler.stop()
+            collapsed = Path(f"{self.profile_out}.collapsed")
+            speedscope = Path(f"{self.profile_out}.speedscope.json")
+            self.profiler.write_collapsed(collapsed)
+            self.profiler.write_speedscope(speedscope)
+            print(
+                f"profile: {self.profiler.samples} samples -> {collapsed} "
+                f"(flamegraph.pl) + {speedscope} (speedscope)"
+            )
+        if self.flight is not None and self.flight_path:
+            self.flight.dump(self.flight_path, reason="exit")
+            print(f"flight recorder dumped to {self.flight_path}")
+
+
 def _write_telemetry(args: argparse.Namespace, registry, tracer) -> None:
     """Honour ``--metrics-out`` / ``--trace-out`` if the command has them."""
     metrics_out = getattr(args, "metrics_out", None)
@@ -167,8 +252,10 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     )
     registry, tracer = _telemetry(args)
     store = _open_store(args, registry, tracer)
+    intro = _Introspection(args, registry, tracer)
     runner = ExperimentRunner(
-        config, registry=registry, tracer=tracer, store=store
+        config, registry=registry, tracer=tracer, store=store,
+        flight=intro.flight,
     )
     admin = _start_admin(args, registry, tracer)
     if admin is not None:
@@ -181,6 +268,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
                 runner._world.profiler if runner._world is not None else None
             ),
         )
+    intro.attach(admin)
     result = runner.run()
     print()
     print(result.summary())
@@ -188,6 +276,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         latest = store.latest()
         if latest is not None:
             print(f"store: serving {latest.describe()}")
+    intro.finish()
     _write_telemetry(args, registry, tracer)
     if admin is not None:
         admin.stop()
@@ -355,9 +444,16 @@ def cmd_observe(args: argparse.Namespace) -> int:
     from repro.netobs.pcap import read_pcap
 
     registry, tracer = _telemetry(args)
+    sampler = None
+    if getattr(args, "trace_sample_rate", 0.0):
+        from repro.obs import HeadSampler
+
+        sampler = HeadSampler(args.trace_sample_rate)
     observer = NetworkObserver(
         ObserverConfig(vantage=args.vantage, max_flows=args.max_flows),
         registry=registry,
+        tracer=tracer,
+        trace_sampler=sampler,
     )
     with tracer.span("observe.pcap", pcap=str(args.pcap)):
         for packet in read_pcap(args.pcap):
@@ -456,7 +552,8 @@ def _start_admin(args, registry, tracer):
 
 
 def _train_stream_model(
-    args, events, stream, registry, tracer, store=None, admin=None
+    args, events, stream, registry, tracer,
+    store=None, admin=None, flight=None,
 ) -> list:
     """The ``stream --train`` path: train on the first ``--train-split``
     of observed events (through the retrain supervisor, so a failed train
@@ -503,6 +600,7 @@ def _train_stream_model(
         trainer, stream=stream,
         registry=registry, tracer=tracer, store=store,
         drift_monitor=_drift_monitor(args, registry, tracer),
+        flight=flight,
     )
     if admin is not None:
         admin.attach(supervisor=supervisor, pipeline=pipeline)
@@ -551,11 +649,13 @@ def cmd_stream(args: argparse.Namespace) -> int:
 
     registry, tracer = _telemetry(args)
     store = _open_store(args, registry, tracer)
+    intro = _Introspection(args, registry, tracer)
     # The admin plane comes up before any pcap work so liveness probes
     # answer from the first moment of a (possibly long) run.
     admin = _start_admin(args, registry, tracer)
     if admin is not None and store is not None:
         admin.attach(store=store)
+    intro.attach(admin)
     flusher = None
     if args.metrics_flush_interval is not None:
         if not args.metrics_out:
@@ -591,6 +691,8 @@ def cmd_stream(args: argparse.Namespace) -> int:
             store=store if pipeline is not None else None,
             pipeline=pipeline,
         )
+        stream.trace_sampler = intro.sampler
+        stream.flight = intro.flight
         stream.config.max_lateness_seconds = args.max_lateness_seconds
         print(
             f"restored {stream.active_clients} client sessions "
@@ -602,6 +704,7 @@ def cmd_stream(args: argparse.Namespace) -> int:
         stream = StreamingProfiler(
             StreamingConfig(max_lateness_seconds=args.max_lateness_seconds),
             registry=registry, tracer=tracer,
+            trace_sampler=intro.sampler, flight=intro.flight,
         )
         if pipeline is not None:
             record = pipeline.load_generation(store)
@@ -614,6 +717,12 @@ def cmd_stream(args: argparse.Namespace) -> int:
             stream=stream, pipeline=pipeline,
             checkpoint_path=checkpoint,
         )
+    if args.chaos_profile_delay:
+        stream.set_chaos_profile_delay(args.chaos_profile_delay)
+        print(
+            f"chaos: delaying every profile by "
+            f"{args.chaos_profile_delay:g}s (SLO alert rehearsal)"
+        )
     observer = NetworkObserver(
         ObserverConfig(
             vantage=args.vantage,
@@ -621,7 +730,10 @@ def cmd_stream(args: argparse.Namespace) -> int:
             quarantine_capacity=args.quarantine_capacity,
         ),
         registry=registry,
+        tracer=tracer,
+        trace_sampler=intro.sampler,
     )
+    observer.quarantine.flight = intro.flight
     with tracer.span("stream.observe", pcap=str(args.pcap)):
         events = []
         for packet in read_pcap(args.pcap):
@@ -630,7 +742,8 @@ def cmd_stream(args: argparse.Namespace) -> int:
                 events.append(event)
     if args.train:
         events = _train_stream_model(
-            args, events, stream, registry, tracer, store=store, admin=admin
+            args, events, stream, registry, tracer,
+            store=store, admin=admin, flight=intro.flight,
         )
     emissions = 0
     with tracer.span("stream.ingest", events=len(events)):
@@ -665,6 +778,7 @@ def cmd_stream(args: argparse.Namespace) -> int:
         _time.sleep(args.linger)
     if flusher is not None:
         flusher.stop()
+    intro.finish()
     _write_telemetry(args, registry, tracer)
     if admin is not None:
         admin.stop()
@@ -719,8 +833,10 @@ def cmd_doctor(args: argparse.Namespace) -> int:
         store=store,
         metrics_path=args.metrics,
         trace_path=args.trace,
+        flight_path=args.flight,
         config=vars(args),
         timeout=args.timeout,
+        profile_seconds=args.profile_seconds,
     )
     collected = manifest["collected"]
     errors = manifest["errors"]
@@ -806,6 +922,57 @@ def build_parser() -> argparse.ArgumentParser:
             "(chrome://tracing / Perfetto)",
         )
 
+    def add_introspection_args(p):
+        p.add_argument(
+            "--trace-sample-rate", type=float, default=0.0, metavar="RATE",
+            help="head-sample this fraction of clients into request-"
+            "scoped traces (deterministic per client id); latency "
+            "histograms keep a sampled trace id per bucket, exported as "
+            "OpenMetrics exemplars at /metrics?format=openmetrics",
+        )
+        p.add_argument(
+            "--slo", action="store_true",
+            help="evaluate the stock SLOs (profile p99 latency, "
+            "quarantine ratio, recall floor) with multi-window burn-rate "
+            "alerting, served at /slo and /alerts",
+        )
+        p.add_argument(
+            "--slo-fast-window", type=float, default=300.0,
+            metavar="SECONDS",
+            help="fast burn window (default 300; CI shrinks this so "
+            "alerts fire and clear within a job)",
+        )
+        p.add_argument(
+            "--slo-slow-window", type=float, default=3600.0,
+            metavar="SECONDS",
+            help="slow burn window confirming real budget loss "
+            "(default 3600)",
+        )
+        p.add_argument(
+            "--slo-interval", type=float, default=5.0, metavar="SECONDS",
+            help="background evaluation cadence (default 5)",
+        )
+        p.add_argument(
+            "--profile", action="store_true",
+            help="run the ~100 Hz sampling profiler for the whole "
+            "command and write BASE.collapsed (flamegraph.pl) and "
+            "BASE.speedscope.json on exit",
+        )
+        p.add_argument(
+            "--profile-hz", type=float, default=100.0, metavar="HZ",
+            help="sampling frequency for --profile (default 100)",
+        )
+        p.add_argument(
+            "--profile-out", default="profile", metavar="BASE",
+            help="artifact basename for --profile (default ./profile)",
+        )
+        p.add_argument(
+            "--flight-dump", default=None, metavar="PATH",
+            help="keep a flight-recorder ring of recent structured "
+            "events; dumped here on crash, SIGTERM and exit (also "
+            "served live at /flight)",
+        )
+
     def add_admin_args(p):
         p.add_argument(
             "--admin-port", type=int, default=None, metavar="PORT",
@@ -838,6 +1005,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_store_args(p)
     add_telemetry_args(p)
     add_admin_args(p)
+    add_introspection_args(p)
     p.set_defaults(func=cmd_experiment)
 
     p = sub.add_parser("diversity", help="Figure 2 core/CCDF analysis")
@@ -896,6 +1064,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--max-hosts", type=int, default=8)
     p.add_argument("--max-flows", type=int, default=1_000_000)
+    p.add_argument(
+        "--trace-sample-rate", type=float, default=0.0, metavar="RATE",
+        help="head-sample this fraction of clients into request-scoped "
+        "traces (see the stream command)",
+    )
     add_telemetry_args(p)
     p.set_defaults(func=cmd_observe)
 
@@ -967,10 +1140,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="keep the process (and admin plane) alive this long after "
         "the capture is fully processed",
     )
+    p.add_argument(
+        "--chaos-profile-delay", type=float, default=0.0, metavar="SECONDS",
+        help="inject this sleep into every session profile (latency-"
+        "spike rehearsal: with --slo the burn-rate alert must fire at "
+        "/alerts and clear once the spike ends; CI asserts exactly that)",
+    )
     add_index_args(p)
     add_store_args(p)
     add_telemetry_args(p)
     add_admin_args(p)
+    add_introspection_args(p)
     p.set_defaults(func=cmd_stream)
 
     p = sub.add_parser(
@@ -1020,8 +1200,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="copy a Chrome trace a run already wrote",
     )
     p.add_argument(
+        "--flight", default=None, metavar="PATH",
+        help="copy a flight-recorder dump a run already wrote "
+        "(a live /flight scrape wins over this)",
+    )
+    p.add_argument(
         "--timeout", type=float, default=5.0,
         help="per-route HTTP timeout in seconds (default 5)",
+    )
+    p.add_argument(
+        "--profile-seconds", type=float, default=5.0, metavar="SECONDS",
+        help="length of the on-demand CPU profile burst requested from "
+        "a live admin plane (0 disables; default 5)",
     )
     p.set_defaults(func=cmd_doctor)
 

@@ -159,6 +159,7 @@ class NetworkObserverProfiler:
             max_neighbourhood_fraction=self.config.max_neighbourhood_fraction,
             registry=self.registry,
             index=index,
+            tracer=self.tracer,
         )
 
     def train_on_day(self, trace: Trace, day: int) -> TrainStats:
@@ -274,6 +275,7 @@ class NetworkObserverProfiler:
                 ),
                 registry=self.registry,
                 index=index,
+                tracer=self.tracer,
             )
         self._embeddings = embeddings
         self._profiler = profiler

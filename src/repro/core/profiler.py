@@ -28,7 +28,12 @@ import numpy as np
 
 from repro.core.embeddings import HostnameEmbeddings
 from repro.core.session import first_visits
-from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_FAST,
+    NULL_REGISTRY,
+    MetricsRegistry,
+)
+from repro.obs.tracing import NULL_TRACER, Tracer, current_exemplar
 from repro.ontology.taxonomy import Category, Taxonomy
 
 if TYPE_CHECKING:
@@ -74,6 +79,7 @@ class SessionProfiler:
         recentre_alpha: bool = True,
         registry: MetricsRegistry | None = None,
         index: "VectorIndex | None" = None,
+        tracer: Tracer | None = None,
     ):
         """``neighbourhood_size`` is the paper's N = 1000 — but the paper
         draws it from a 470K-host space (~0.2 % of the vocabulary).  To
@@ -117,6 +123,17 @@ class SessionProfiler:
         # takes timestamps when a real registry is attached.
         self.registry = registry if registry is not None else NULL_REGISTRY
         self._measure = not self.registry.null
+        # The tracer stamps "profile.session" spans onto sampled traces;
+        # it is also bound onto the index so "index.search" spans land in
+        # the same trace tree (the exemplar -> trace contract).
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if not self.tracer.null:
+            self._index.tracer = self.tracer
+        # Chaos rehearsal knob (CLI --chaos-profile-delay): an injected
+        # sleep inside the timed profiling path, so operators and CI can
+        # trip the profile-latency SLO on purpose and watch the alert
+        # fire and clear.  Off (0.0) in any real deployment.
+        self.chaos_delay_seconds = 0.0
         self._sessions_total = self.registry.counter(
             "profile_sessions_total", "Session windows profiled."
         )
@@ -127,6 +144,7 @@ class SessionProfiler:
         self._latency = self.registry.histogram(
             "profile_latency_seconds",
             "Wall time to compute one session's category vector.",
+            buckets=LATENCY_BUCKETS_FAST,
         )
         self._batches_total = self.registry.counter(
             "profile_batches_total",
@@ -135,6 +153,7 @@ class SessionProfiler:
         self._batch_latency = self.registry.histogram(
             "profile_batch_latency_seconds",
             "Wall time to profile one batch of session windows.",
+            buckets=LATENCY_BUCKETS_FAST,
         )
 
         dims = {v.shape for v in labelled.values()}
@@ -198,11 +217,23 @@ class SessionProfiler:
 
     def profile(self, hostnames: Iterable[str]) -> SessionProfile:
         """Profile one session given its (deduplicated) hostnames."""
-        if not self._measure:
+        exemplar = current_exemplar()
+        if (
+            not self._measure and exemplar is None
+            and not self.chaos_delay_seconds
+        ):
             return self._profile(hostnames)
         started = time.perf_counter()
-        result = self._profile(hostnames)
-        self._latency.observe(time.perf_counter() - started)
+        if self.chaos_delay_seconds:
+            time.sleep(self.chaos_delay_seconds)
+        if exemplar is not None and not self.tracer.null:
+            with self.tracer.span("profile.session"):
+                result = self._profile(hostnames)
+        else:
+            result = self._profile(hostnames)
+        self._latency.observe(
+            time.perf_counter() - started, exemplar=exemplar
+        )
         self._sessions_total.inc()
         if result.is_empty:
             self._empty_total.inc()
@@ -219,6 +250,14 @@ class SessionProfiler:
         one python-level scan per session.  Results match :meth:`profile`
         session-for-session (bitwise, on the exact backend).
         """
+        if current_exemplar() is not None and not self.tracer.null:
+            with self.tracer.span("profile.batch"):
+                return self._profile_sessions(sessions)
+        return self._profile_sessions(sessions)
+
+    def _profile_sessions(
+        self, sessions: Iterable[Iterable[str]]
+    ) -> list[SessionProfile]:
         started = time.perf_counter() if self._measure else 0.0
         prepared = [first_visits(hosts) for hosts in sessions]
         vectors: list[np.ndarray | None] = [
@@ -249,7 +288,9 @@ class SessionProfiler:
                 self._vote(hosts, vectors[i], neighbours)
             )
         if self._measure:
-            self._batch_latency.observe(time.perf_counter() - started)
+            self._batch_latency.observe(
+                time.perf_counter() - started, exemplar=current_exemplar()
+            )
             self._batches_total.inc()
             self._sessions_total.inc(len(results))
             self._empty_total.inc(

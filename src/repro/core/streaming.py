@@ -27,8 +27,14 @@ from pathlib import Path
 from repro.core.profiler import SessionProfile, SessionProfiler
 from repro.core.session import first_visits
 from repro.netobs.flows import HostnameEvent
-from repro.obs.metrics import MetricsRegistry
-from repro.obs.tracing import NULL_TRACER, Tracer
+from repro.obs.metrics import LATENCY_BUCKETS_FAST, MetricsRegistry
+from repro.obs.tracing import (
+    NULL_TRACER,
+    HeadSampler,
+    Tracer,
+    current_exemplar,
+    use_trace,
+)
 from repro.traffic.blocklists import TrackerFilter
 from repro.utils.timeutils import minutes
 
@@ -103,10 +109,23 @@ class StreamingProfiler:
         tracker_filter: TrackerFilter | None = None,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        trace_sampler: HeadSampler | None = None,
+        flight=None,
     ):
         self.config = config or StreamingConfig()
         self.config.validate()
         self.tracker_filter = tracker_filter
+        # Request-scoped tracing: the head sampler decides (per client,
+        # deterministically) whether an event starts a trace; sampled
+        # ingests become root spans whose children — profile.session,
+        # index.search — are stamped wherever they run.  The flight
+        # recorder (if any) keeps digests of sampled ingests and state
+        # transitions for post-mortems.
+        self.trace_sampler = trace_sampler
+        self.flight = flight
+        # Copied onto every profiler swapped in (see SessionProfiler.
+        # chaos_delay_seconds): the CLI's latency-spike rehearsal.
+        self.chaos_profile_delay_seconds = 0.0
         self._profiler: SessionProfiler | None = None
         self._clients: dict[str, _ClientState] = {}
         # Operational facts the admin plane reports (/varz, /readyz):
@@ -150,6 +169,7 @@ class StreamingProfiler:
         self._emit_latency = m.histogram(
             "stream_emit_latency_seconds",
             "Wall time to compute one emitted profile at a report tick.",
+            buckets=LATENCY_BUCKETS_FAST,
         )
 
     # -- registry-backed counters -------------------------------------------
@@ -202,8 +222,24 @@ class StreamingProfiler:
         for the admin plane; an unpersisted model clears it.
         """
         self._profiler = profiler
+        if self.chaos_profile_delay_seconds:
+            profiler.chaos_delay_seconds = self.chaos_profile_delay_seconds
         self.serving_generation = generation
         self._swaps_total.inc()
+        if self.flight is not None:
+            self.flight.record(
+                "state", "model-swap", generation=generation,
+                backend=self.index_backend,
+            )
+
+    def set_chaos_profile_delay(self, seconds: float) -> None:
+        """Arm the latency-spike rehearsal: the serving profiler (and any
+        profiler swapped in later) sleeps this long inside its timed
+        profiling path, inflating ``profile_latency_seconds`` so the SLO
+        engine's burn-rate alert can be exercised end to end."""
+        self.chaos_profile_delay_seconds = float(seconds)
+        if self._profiler is not None:
+            self._profiler.chaos_delay_seconds = float(seconds)
 
     # -- event ingestion -------------------------------------------------------
 
@@ -230,7 +266,38 @@ class StreamingProfiler:
         in timestamp order (it joins subsequent windows but fires no tick);
         older stragglers are counted in ``late_events_dropped`` and
         discarded.
+
+        Tracing: an event whose ``trace`` field carries a context (set by
+        a sampled :meth:`NetworkObserver.ingest <repro.netobs.observer.
+        NetworkObserver.ingest>`) joins that trace; otherwise, with a
+        ``trace_sampler`` attached, a sampled client's event starts a
+        fresh one.  Either way the ``stream.ingest`` span plus any
+        tick-fired profile and index search land in one trace, and the
+        latency histograms export that trace id as their exemplar.
+        Unsampled events take the bare path.
         """
+        if self.tracer.null:
+            return self._ingest(event)
+        ctx = getattr(event, "trace", None)
+        if ctx is None and self.trace_sampler is not None:
+            ctx = self.trace_sampler.start(event.client_ip)
+        if ctx is None:
+            return self._ingest(event)
+        with use_trace(ctx):
+            with self.tracer.span(
+                "stream.ingest", client=event.client_ip,
+                host=event.hostname,
+            ):
+                emission = self._ingest(event)
+        if self.flight is not None:
+            self.flight.record(
+                "flow", event.hostname, client=event.client_ip,
+                source=event.source, trace_id=ctx.trace_id,
+                emitted=emission is not None,
+            )
+        return emission
+
+    def _ingest(self, event: HostnameEvent) -> ProfileEmission | None:
         self._events_total.inc()
         if self.tracker_filter is not None and self.tracker_filter.blocks(
             event.hostname
@@ -271,7 +338,9 @@ class StreamingProfiler:
             return None
         emit_start = time.perf_counter()
         profile = self._profiler.profile(list(window_hosts))
-        self._emit_latency.observe(time.perf_counter() - emit_start)
+        self._emit_latency.observe(
+            time.perf_counter() - emit_start, exemplar=current_exemplar()
+        )
         self._profiles_total.inc()
         return ProfileEmission(
             client=event.client_ip,

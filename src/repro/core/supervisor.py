@@ -21,7 +21,13 @@ from dataclasses import dataclass
 from repro.core.skipgram import TrainStats
 from repro.obs.logging import get_logger
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.tracing import NULL_TRACER, Tracer
+from repro.obs.tracing import (
+    NULL_TRACER,
+    TraceContext,
+    Tracer,
+    new_trace_id,
+    use_trace,
+)
 from repro.utils.randomness import derive_rng
 
 log = get_logger("core.supervisor")
@@ -111,12 +117,16 @@ class RetrainSupervisor:
         store=None,
         validate=None,
         drift_monitor=None,
+        flight=None,
     ):
         self.pipeline = pipeline
         self.stream = stream
         self.store = store
         self.validate = validate
         self.drift_monitor = drift_monitor
+        # Optional flight recorder: retrain lifecycle transitions (publish,
+        # rollback, drift-gate vetoes, lost days) become post-mortem events.
+        self.flight = flight
         self.last_drift_report = None
         self.validating = False
         self.config = config or SupervisorConfig()
@@ -360,6 +370,11 @@ class RetrainSupervisor:
             )
             return None
         self.last_drift_report = report
+        if self.flight is not None:
+            self.flight.record(
+                "drift", "drift-check", day=day, ok=report.ok,
+                breaches=list(report.breaches),
+            )
         return report
 
     # -- the supervised retrain ----------------------------------------------
@@ -370,7 +385,17 @@ class RetrainSupervisor:
         On success the new model starts serving (and is swapped into the
         attached stream).  After ``max_attempts`` failures the previous
         model keeps serving and the day is recorded as lost.
+
+        Each retrain runs under its own :class:`TraceContext`, so the
+        ``retrain.day`` span and everything opened beneath it (training,
+        publish, validation) form one trace.
         """
+        if self.tracer.null:
+            return self._retrain(trace, day)
+        with use_trace(TraceContext(trace_id=new_trace_id())):
+            return self._retrain(trace, day)
+
+    def _retrain(self, trace, day: int) -> RetrainOutcome:
         delays: list[float] = []
         last_error: Exception | None = None
         stats: TrainStats | None = None
@@ -451,6 +476,13 @@ class RetrainSupervisor:
                     rolled_back = self._handle_validation_failure(
                         day, generation_id
                     )
+                    if self.flight is not None:
+                        self.flight.record(
+                            "state", "retrain-rejected", day=day,
+                            rejected=generation_id,
+                            rolled_back=rolled_back,
+                            reason=str(failure),
+                        )
                     generation_id = None
             finally:
                 self.validating = False
@@ -465,6 +497,11 @@ class RetrainSupervisor:
                 index_backend=self._index_backend(),
                 generation=generation_id,
             )
+            if self.flight is not None:
+                self.flight.record(
+                    "state", "retrain-published", day=day,
+                    generation=generation_id,
+                )
             if self.stream is not None:
                 # The profiler carries its freshly built vector index, so
                 # this swap publishes model + index atomically.
@@ -480,6 +517,11 @@ class RetrainSupervisor:
                 day=day, attempts=attempt,
                 consecutive_failures=self.consecutive_failures,
             )
+            if self.flight is not None:
+                self.flight.record(
+                    "state", "retrain-day-lost", day=day,
+                    consecutive_failures=self.consecutive_failures,
+                )
         self._staleness_gauge.set(
             0 if self.last_success_day is None
             else max(0, day - self.last_success_day)

@@ -153,6 +153,7 @@ class ExperimentRunner:
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         store=None,
+        flight=None,
     ):
         self.config = config or ExperimentConfig()
         self.config.validate()
@@ -166,6 +167,9 @@ class ExperimentRunner:
         # Optional ArtifactStore: every daily retrain then publishes a
         # rollback-able generation (embeddings + index + config).
         self.store = store
+        # Optional FlightRecorder: retrain lifecycle events (publish,
+        # rollback, lost days) land in the post-mortem ring.
+        self.flight = flight
         # Set by run(): the retrain supervisor, for staleness inspection.
         self.supervisor: RetrainSupervisor | None = None
 
@@ -317,7 +321,7 @@ class ExperimentRunner:
         supervisor = RetrainSupervisor(
             world.profiler, config=cfg.retrain,
             registry=self.registry, tracer=self.tracer,
-            store=self.store,
+            store=self.store, flight=self.flight,
         )
         self.supervisor = supervisor
         first = cfg.first_profiling_day

@@ -26,13 +26,19 @@ from __future__ import annotations
 
 import json
 import math
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
-from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_FAST,
+    NULL_REGISTRY,
+    MetricsRegistry,
+)
+from repro.obs.tracing import NULL_TRACER, current_exemplar
 from repro.utils.serialization import save_npz_deterministic
 
 #: Sentinel id used to pad rectangular batch results when a backend
@@ -132,6 +138,10 @@ class VectorIndex(ABC):
         registry = registry if registry is not None else NULL_REGISTRY
         self.registry = registry
         self._measure = not registry.null
+        # Rebindable after construction (SessionProfiler binds its tracer
+        # here) so sampled traces get "index.search" spans without the
+        # factory chain having to thread a tracer argument.
+        self.tracer = NULL_TRACER
         self._queries_total = registry.counter(
             "index_queries_total",
             "Vector-index queries served (batch = one per query row).",
@@ -147,6 +157,7 @@ class VectorIndex(ABC):
             "index_search_seconds",
             "Wall time per search call (batched calls count once).",
             labelnames=("backend",),
+            buckets=LATENCY_BUCKETS_FAST,
         ).labels(backend=self.name)
 
     # -- shape -----------------------------------------------------------------
@@ -220,10 +231,19 @@ class VectorIndex(ABC):
         if n <= 0:
             return (np.empty(0, dtype=np.int64), np.empty(0))
         query = self._prepare_query(query)
-        if not self._measure:
+        traced = not self.tracer.null and current_exemplar() is not None
+        if not self._measure and not traced:
             return self._search_prepared(query, n)
-        with self._search_seconds.time():
+        exemplar = current_exemplar()
+        started = time.perf_counter()
+        if traced:
+            with self.tracer.span("index.search", backend=self.name):
+                ids, scores = self._search_prepared(query, n)
+        else:
             ids, scores = self._search_prepared(query, n)
+        self._search_seconds.observe(
+            time.perf_counter() - started, exemplar=exemplar
+        )
         self._queries_total.inc()
         return ids, scores
 
@@ -242,10 +262,22 @@ class VectorIndex(ABC):
                 np.empty((queries.shape[0], 0), dtype=np.int64),
                 np.empty((queries.shape[0], 0)),
             )
-        if not self._measure:
+        traced = not self.tracer.null and current_exemplar() is not None
+        if not self._measure and not traced:
             return self._search_batch_prepared(queries, n)
-        with self._search_seconds.time():
+        exemplar = current_exemplar()
+        started = time.perf_counter()
+        if traced:
+            with self.tracer.span(
+                "index.search", backend=self.name,
+                batch=int(queries.shape[0]),
+            ):
+                ids, scores = self._search_batch_prepared(queries, n)
+        else:
             ids, scores = self._search_batch_prepared(queries, n)
+        self._search_seconds.observe(
+            time.perf_counter() - started, exemplar=exemplar
+        )
         self._queries_total.inc(queries.shape[0])
         return ids, scores
 

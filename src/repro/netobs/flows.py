@@ -11,12 +11,13 @@ packet of the same flow is attributed to the known flow and emits nothing.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.netobs import dnswire, quic, tls
 from repro.netobs.packets import IP_PROTO_TCP, IP_PROTO_UDP, Packet
 from repro.netobs.quarantine import Quarantine
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NULL_TRACER, current_exemplar
 
 PORT_HTTPS = 443
 PORT_DNS = 53
@@ -24,12 +25,20 @@ PORT_DNS = 53
 
 @dataclass(frozen=True)
 class HostnameEvent:
-    """One observed (client, time, hostname) fact."""
+    """One observed (client, time, hostname) fact.
+
+    ``trace`` carries the request-scoped
+    :class:`~repro.obs.tracing.TraceContext` from the observer into the
+    streaming profiler, so one sampled session's ingest, profile and
+    index-search spans land in one trace.  It is provenance, not
+    identity: excluded from equality and repr, and never serialized.
+    """
 
     client_ip: str
     timestamp: float
     hostname: str
     source: str  # "tls-sni" | "quic-sni" | "dns"
+    trace: object | None = field(default=None, compare=False, repr=False)
 
 
 @dataclass
@@ -68,6 +77,9 @@ class FlowTable:
         self.max_flows = max_flows
         self.ip_only = ip_only
         self.quarantine = quarantine
+        # Rebindable, like VectorIndex.tracer: the observer binds its
+        # tracer here so sampled ingests get a "netobs.flow" child span.
+        self.tracer = NULL_TRACER
         self._flows: OrderedDict[tuple, bool] = OrderedDict()
         # Counters live on the registry; ``stats`` is a view over them so
         # telemetry exports and callers read the same numbers.
@@ -127,6 +139,12 @@ class FlowTable:
 
     def observe(self, packet: Packet) -> HostnameEvent | None:
         """Feed one packet; returns a new hostname event or None."""
+        if not self.tracer.null and current_exemplar() is not None:
+            with self.tracer.span("netobs.flow", protocol=packet.protocol):
+                return self._observe(packet)
+        return self._observe(packet)
+
+    def _observe(self, packet: Packet) -> HostnameEvent | None:
         self._packets_total.inc()
         key = packet.flow_key
         if key in self._flows:

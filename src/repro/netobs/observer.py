@@ -13,7 +13,7 @@ exports them in the representation the profiling core consumes.  The
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.netobs.dnswire import DNSParseError
 from repro.netobs.flows import FlowTable, HostnameEvent
@@ -22,6 +22,7 @@ from repro.netobs.quarantine import Quarantine
 from repro.netobs.quic import QUICParseError
 from repro.netobs.tls import TLSParseError
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import NULL_TRACER, HeadSampler, Tracer, use_trace
 from repro.traffic.events import HostKind, Request
 
 # Malformed-input errors the observer quarantines instead of propagating.
@@ -67,10 +68,18 @@ class NetworkObserver:
         self,
         config: ObserverConfig | None = None,
         registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        trace_sampler: HeadSampler | None = None,
     ):
         self.config = config or ObserverConfig()
         self.config.validate()
         self._accepted_sources = _VANTAGE_SOURCES[self.config.vantage]
+        # Request-scoped tracing: ``trace_sampler`` decides per client
+        # (deterministically) whether a packet's ingest starts a trace;
+        # the resulting context rides out on ``HostnameEvent.trace`` so
+        # downstream consumers join the same trace tree.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.trace_sampler = trace_sampler
         # One registry covers the observer, its flow table and quarantine;
         # pass a shared one to fold them into a pipeline-wide export.
         self.registry = registry if registry is not None else MetricsRegistry()
@@ -85,6 +94,8 @@ class NetworkObserver:
             quarantine=self.quarantine,
             registry=self.registry,
         )
+        if not self.tracer.null:
+            self.flow_table.tracer = self.tracer
         self._events: dict[str, list[HostnameEvent]] = defaultdict(list)
         self._clients_gauge = self.registry.gauge(
             "netobs_clients",
@@ -101,7 +112,27 @@ class NetworkObserver:
         Never raises on malformed payloads: wire-format errors are counted
         and sampled into :attr:`quarantine`, and the packet is skipped —
         a live observer must survive whatever the wire carries.
+
+        With a ``trace_sampler``, a sampled client's packet opens a
+        ``netobs.ingest`` root span (flow-table work becomes its child)
+        and the emitted event carries the trace context onward.
         """
+        if self.trace_sampler is None or self.tracer.null:
+            return self._ingest(packet)
+        ctx = self.trace_sampler.start(packet.src_ip)
+        if ctx is None:
+            return self._ingest(packet)
+        with use_trace(ctx):
+            with self.tracer.span(
+                "netobs.ingest", client=packet.src_ip
+            ) as span:
+                event = self._ingest(packet)
+        if event is None:
+            return None
+        # Downstream spans become children of the ingest span.
+        return replace(event, trace=ctx.child(span.span_id))
+
+    def _ingest(self, packet: Packet) -> HostnameEvent | None:
         try:
             event = self.flow_table.observe(packet)
         except _WIRE_ERRORS as error:

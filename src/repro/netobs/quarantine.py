@@ -58,6 +58,10 @@ class Quarantine:
         self.capacity = capacity
         self.sample_bytes = sample_bytes
         self.registry = registry if registry is not None else MetricsRegistry()
+        # Rebindable flight recorder: quarantine decisions are exactly
+        # the "what was it rejecting right before it died" evidence a
+        # post-mortem wants, so each admission becomes a flight event.
+        self.flight = None
         self._records: deque[QuarantineRecord] = deque(maxlen=capacity or None)
         self._admitted_total = self.registry.counter(
             "quarantine_admitted_total",
@@ -102,6 +106,11 @@ class Quarantine:
         if self.capacity:
             self._records.append(record)
         self._records_kept.set(len(self._records))
+        if self.flight is not None:
+            self.flight.record(
+                "quarantine", record.kind, context=context,
+                error=record.error, payload_length=record.payload_length,
+            )
         return record
 
     @property

@@ -1,4 +1,4 @@
-"""Observability substrate: metrics registry, span tracing, JSON logging.
+"""Observability substrate: metrics, tracing, SLOs, profiling, forensics.
 
 One telemetry story for the whole pipeline.  Components accept an
 optional ``registry`` (:class:`MetricsRegistry`) and ``tracer``
@@ -8,9 +8,22 @@ private real registry so their counters always count, while hot-path
 components (SGNS training, per-session profiling) default to the no-op
 :data:`NULL_REGISTRY` / :data:`NULL_TRACER` and pay nothing unless a
 real instrument is passed in.
+
+On top of the aggregate layer sits the deep introspection plane:
+
+* request-scoped tracing — :class:`TraceContext` + :class:`HeadSampler`
+  thread one sampled session's journey (ingest → profile → index
+  search) into a single trace, and latency histograms export the trace
+  id as an OpenMetrics exemplar;
+* :class:`SLOEngine` — declarative objectives with multi-window
+  burn-rate alerting, served at ``/slo`` and ``/alerts``;
+* :class:`SamplingProfiler` — continuous ~100 Hz stack sampling with
+  flamegraph/speedscope export, on demand via ``/profile``;
+* :class:`FlightRecorder` — a bounded ring of recent structured events
+  dumped on crash, SIGTERM or demand, collected by ``repro doctor``.
 """
 
-from repro.obs.doctor import collect_bundle
+from repro.obs.doctor import collect_bundle, read_bundle
 from repro.obs.drift import (
     DriftConfig,
     DriftMonitor,
@@ -18,6 +31,7 @@ from repro.obs.drift import (
     EwmaDetector,
     stream_health_rates,
 )
+from repro.obs.flight import FlightRecorder
 from repro.obs.flush import MetricsFlusher
 from repro.obs.logging import (
     JsonLogger,
@@ -31,6 +45,9 @@ from repro.obs.logging import (
 )
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
+    LATENCY_BUCKETS_FAST,
+    LATENCY_BUCKETS_SLOW,
+    SIZE_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -38,9 +55,22 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NULL_REGISTRY,
     NullRegistry,
+    validate_buckets,
 )
+from repro.obs.profile import SamplingProfiler
 from repro.obs.server import PROMETHEUS_CONTENT_TYPE, AdminServer
-from repro.obs.tracing import NULL_TRACER, NullTracer, Span, Tracer
+from repro.obs.slo import SLO, SLOEngine, SLOState, default_slos
+from repro.obs.tracing import (
+    HeadSampler,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TraceContext,
+    Tracer,
+    current_exemplar,
+    current_trace,
+    use_trace,
+)
 
 __all__ = [
     "AdminServer",
@@ -50,9 +80,13 @@ __all__ = [
     "DriftMonitor",
     "DriftReport",
     "EwmaDetector",
+    "FlightRecorder",
     "Gauge",
+    "HeadSampler",
     "Histogram",
     "JsonLogger",
+    "LATENCY_BUCKETS_FAST",
+    "LATENCY_BUCKETS_SLOW",
     "MetricError",
     "MetricsFlusher",
     "MetricsRegistry",
@@ -61,15 +95,27 @@ __all__ = [
     "NullRegistry",
     "NullTracer",
     "PROMETHEUS_CONTENT_TYPE",
+    "SIZE_BUCKETS",
+    "SLO",
+    "SLOEngine",
+    "SLOState",
+    "SamplingProfiler",
     "Span",
+    "TraceContext",
     "Tracer",
     "bind_tracer",
     "collect_bundle",
+    "current_exemplar",
+    "current_trace",
+    "default_slos",
     "get_logger",
     "get_run_id",
     "new_run_id",
+    "read_bundle",
     "set_level",
     "set_run_id",
     "set_stream",
     "stream_health_rates",
+    "use_trace",
+    "validate_buckets",
 ]

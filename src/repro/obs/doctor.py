@@ -15,6 +15,10 @@ file              contents
 ``healthz.json``  ``/healthz`` body (live only)
 ``generations.json``  store manifest list (live route or offline store)
 ``drift.json``    latest drift report (live route or newest generation)
+``slo.json``      ``/slo`` objective states with burn rates (live only)
+``alerts.json``   ``/alerts`` firing objectives (live only)
+``flight.json``   flight-recorder ring dump (``/flight`` or a dump file)
+``profile.collapsed``  on-demand CPU profile, flamegraph.pl format
 ``trace.json``    Chrome trace copied from ``--trace``
 ``config.json``   the resolved CLI configuration of the doctor run target
 ``bundle.json``   what was collected, from where, and what failed
@@ -22,6 +26,13 @@ file              contents
 
 Every source is optional and every failure is recorded rather than
 raised — a half-dead process should still yield a half-full bundle.
+Offline runs (no ``admin_url``) record the absence of the live-only
+captures (SLO states, alerts, the on-demand profile) in the manifest's
+``errors`` map instead of failing.
+
+Manifest format: ``repro-doctor-v2``.  v2 adds the introspection-plane
+captures above; everything a v1 bundle contained keeps its filename and
+shape, so v1 bundles remain readable (see ``read_bundle``).
 """
 
 from __future__ import annotations
@@ -46,7 +57,21 @@ _LIVE_ROUTES = (
     ("/varz", "varz.json"),
     ("/generations", "generations.json"),
     ("/drift/latest", "drift.json"),
+    ("/slo", "slo.json"),
+    ("/alerts", "alerts.json"),
+    ("/flight", "flight.json"),
 )
+
+#: Bundle manifest formats :func:`read_bundle` accepts.
+SUPPORTED_BUNDLE_FORMATS = ("repro-doctor-v1", "repro-doctor-v2")
+
+#: Live-only captures whose absence an offline bundle must explain.
+_LIVE_ONLY = {
+    "/slo": "slo.json",
+    "/alerts": "alerts.json",
+    "/flight": "flight.json",
+    "/profile": "profile.collapsed",
+}
 
 
 def _fetch(url: str, timeout: float) -> tuple[int | None, str]:
@@ -70,17 +95,22 @@ def collect_bundle(
     store=None,
     metrics_path: str | Path | None = None,
     trace_path: str | Path | None = None,
+    flight_path: str | Path | None = None,
     config: dict | None = None,
     timeout: float = 5.0,
+    profile_seconds: float = 5.0,
 ) -> dict:
     """Assemble a debug bundle in ``out_dir``; returns the bundle manifest.
 
-    ``admin_url`` scrapes a live process; ``store`` (an
-    :class:`~repro.store.ArtifactStore`) reads generation manifests and
-    drift reports offline; ``metrics_path`` / ``trace_path`` copy
-    telemetry files a run already wrote.  Live routes win over offline
-    sources for the same filename; nothing reachable is an empty-but-
-    valid bundle whose manifest says so.
+    ``admin_url`` scrapes a live process — including its ``/slo`` and
+    ``/alerts`` states, its flight-recorder ring, and (when
+    ``profile_seconds`` > 0) an on-demand CPU profile burst; ``store``
+    (an :class:`~repro.store.ArtifactStore`) reads generation manifests
+    and drift reports offline; ``metrics_path`` / ``trace_path`` /
+    ``flight_path`` copy telemetry files a run already wrote.  Live
+    routes win over offline sources for the same filename; nothing
+    reachable is an empty-but-valid bundle whose manifest says so, with
+    live-only captures (SLO, alerts, profile) explicitly noted absent.
     """
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
@@ -110,6 +140,26 @@ def collect_bundle(
             else:
                 atomic_write_text(out / filename, body)
             collected[filename] = base + route
+        if profile_seconds > 0:
+            route = (
+                f"/profile?seconds={profile_seconds:g}&format=collapsed"
+            )
+            # The burst blocks server-side for its full duration, so the
+            # fetch timeout must outlast it.
+            status, body = _fetch(
+                base + route, timeout + profile_seconds
+            )
+            if status == 200:
+                atomic_write_text(out / "profile.collapsed", body)
+                collected["profile.collapsed"] = base + route
+            else:
+                errors["/profile"] = (
+                    body if status is None else f"HTTP {status}"
+                )
+    else:
+        for route, filename in _LIVE_ONLY.items():
+            if filename not in collected:
+                errors[route] = "not collected: no live admin endpoint"
 
     if store is not None:
         try:
@@ -145,6 +195,7 @@ def collect_bundle(
 
     for source, filename in (
         (metrics_path, "metrics.prom"), (trace_path, "trace.json"),
+        (flight_path, "flight.json"),
     ):
         if source is None or filename in collected:
             continue
@@ -160,7 +211,7 @@ def collect_bundle(
         collected["config.json"] = "resolved configuration"
 
     manifest = {
-        "format": "repro-doctor-v1",
+        "format": "repro-doctor-v2",
         "created_at": time.time(),
         "admin_url": admin_url,
         "collected": collected,
@@ -171,6 +222,25 @@ def collect_bundle(
         "doctor bundle written",
         out=str(out), files=sorted(collected), errors=sorted(errors),
     )
+    return manifest
+
+
+def read_bundle(bundle_dir: str | Path) -> dict:
+    """Load a doctor bundle's manifest, accepting every supported format.
+
+    v1 bundles (pre-introspection-plane) have no ``slo.json`` /
+    ``alerts.json`` / ``flight.json`` / ``profile.collapsed`` entries;
+    readers treat those exactly like a v2 offline bundle that noted
+    their absence.  Unknown formats raise ``ValueError`` naming the
+    supported range.
+    """
+    manifest = json.loads((Path(bundle_dir) / "bundle.json").read_text())
+    fmt = manifest.get("format")
+    if fmt not in SUPPORTED_BUNDLE_FORMATS:
+        raise ValueError(
+            f"unsupported bundle format {fmt!r}; this build reads "
+            + ", ".join(SUPPORTED_BUNDLE_FORMATS)
+        )
     return manifest
 
 

@@ -49,9 +49,68 @@ DEFAULT_BUCKETS = (
     0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
 )
 
+# Named presets so call sites stop hand-rolling bucket tuples: pick by
+# the latency regime being measured, not by copy-pasting floats.
+#: Hot-path operations: packet parses, per-session profiling, index
+#: searches — 100 µs to 1 s with dense sub-10 ms resolution.
+LATENCY_BUCKETS_FAST = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0,
+)
+#: Batch operations: training epochs, retrains, store publishes —
+#: 10 ms to 10 minutes.
+LATENCY_BUCKETS_SLOW = (
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+    30.0, 60.0, 120.0, 300.0, 600.0,
+)
+#: Payload/object sizes in bytes, powers of four from 64 B to 16 MiB.
+SIZE_BUCKETS = (
+    64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0,
+    262144.0, 1048576.0, 4194304.0, 16777216.0,
+)
+
 
 class MetricError(ValueError):
-    """Invalid metric name, label set, or conflicting re-registration."""
+    """Invalid metric name, label set, bucket layout, or conflicting
+    re-registration."""
+
+
+def validate_buckets(buckets) -> tuple[float, ...]:
+    """Normalize and validate histogram bucket bounds.
+
+    Accepts any iterable of numbers; a trailing ``+Inf`` is tolerated and
+    stripped (the overflow bucket is implicit).  Rejects — with a
+    :class:`MetricError` naming the problem — empty layouts, non-finite
+    bounds, duplicates, and out-of-order bounds, instead of silently
+    reordering them (a silently sorted tuple hides a typo at the call
+    site until a dashboard looks wrong).
+    """
+    try:
+        bounds = tuple(float(b) for b in buckets)
+    except (TypeError, ValueError) as error:
+        raise MetricError(f"histogram buckets must be numbers: {error}")
+    if bounds and bounds[-1] == float("inf"):
+        bounds = bounds[:-1]  # +Inf is implicit
+    if not bounds:
+        raise MetricError(
+            "histogram needs at least one finite bucket bound"
+        )
+    for bound in bounds:
+        if bound != bound or bound in (float("inf"), float("-inf")):
+            raise MetricError(
+                f"histogram bucket bounds must be finite, got {bound!r}"
+            )
+    for lower, upper in zip(bounds, bounds[1:]):
+        if lower == upper:
+            raise MetricError(
+                f"duplicate histogram bucket bound {lower!r}"
+            )
+        if lower > upper:
+            raise MetricError(
+                f"histogram bucket bounds must be ascending: "
+                f"{lower!r} precedes {upper!r}"
+            )
+    return bounds
 
 
 def _format_value(value: float) -> str:
@@ -163,23 +222,35 @@ class Histogram:
     Bucket semantics are Prometheus's: a bucket with upper bound ``le``
     counts observations with ``value <= le`` — a value exactly on a
     boundary lands in that boundary's bucket, not the next one.
+
+    Each bucket can retain one *exemplar*: the trace id of a recent
+    observation that landed in it (plus the observed value and a
+    timestamp).  A p99 outlier in the +Inf bucket then links straight to
+    its trace tree via :meth:`Tracer.trace_spans`.
     """
 
-    __slots__ = ("_bounds", "_counts", "_sum", "_count", "_lock")
+    __slots__ = (
+        "_bounds", "_counts", "_sum", "_count", "_lock", "_exemplars",
+    )
 
     def __init__(self, buckets: tuple[float, ...]) -> None:
-        self._bounds = buckets  # ascending, +Inf excluded
-        self._counts = [0] * (len(buckets) + 1)  # trailing slot is +Inf
+        self._bounds = validate_buckets(buckets)  # ascending, +Inf excluded
+        self._counts = [0] * (len(self._bounds) + 1)  # trailing slot is +Inf
+        self._exemplars: list[tuple[str, float, float] | None] = (
+            [None] * (len(self._bounds) + 1)
+        )
         self._sum = 0.0
         self._count = 0
         self._lock = threading.Lock()
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: str | None = None) -> None:
         index = bisect.bisect_left(self._bounds, value)
         with self._lock:
             self._counts[index] += 1
             self._sum += value
             self._count += 1
+            if exemplar is not None:
+                self._exemplars[index] = (exemplar, value, time.time())
 
     @contextmanager
     def time(self):
@@ -209,6 +280,17 @@ class Histogram:
             out.append((bound, running))
         out.append((float("inf"), running + counts[-1]))
         return out
+
+    def exemplars(self) -> dict[float, tuple[str, float, float]]:
+        """{bucket upper bound: (trace_id, value, unix ts)} where retained."""
+        with self._lock:
+            retained = list(self._exemplars)
+        bounds = list(self._bounds) + [float("inf")]
+        return {
+            bound: exemplar
+            for bound, exemplar in zip(bounds, retained)
+            if exemplar is not None
+        }
 
 
 # -- families ---------------------------------------------------------------
@@ -321,11 +403,14 @@ class HistogramFamily(_Family):
     def _make_child(self) -> Histogram:
         return Histogram(self.buckets)
 
-    def observe(self, value: float) -> None:
-        self._sole_child().observe(value)
+    def observe(self, value: float, exemplar: str | None = None) -> None:
+        self._sole_child().observe(value, exemplar=exemplar)
 
     def time(self):
         return self._sole_child().time()
+
+    def exemplars(self) -> dict[float, tuple[str, float, float]]:
+        return self._sole_child().exemplars()
 
     @property
     def sum(self) -> float:
@@ -408,11 +493,7 @@ class MetricsRegistry:
         labelnames: tuple[str, ...] = (),
         buckets: tuple[float, ...] = DEFAULT_BUCKETS,
     ) -> HistogramFamily:
-        buckets = tuple(sorted(float(b) for b in buckets))
-        if not buckets:
-            raise MetricError("histogram needs at least one bucket")
-        if buckets[-1] == float("inf"):
-            buckets = buckets[:-1]  # +Inf is implicit
+        buckets = validate_buckets(buckets)
         family = self._register(
             HistogramFamily, name, help, labelnames, buckets=buckets
         )
@@ -435,7 +516,7 @@ class MetricsRegistry:
             series = []
             for labels, child in family.samples():
                 if family.kind == "histogram":
-                    series.append({
+                    entry = {
                         "labels": labels,
                         "count": child.count,
                         "sum": child.sum,
@@ -443,7 +524,19 @@ class MetricsRegistry:
                             _format_bound(bound): count
                             for bound, count in child.cumulative_buckets()
                         },
-                    })
+                    }
+                    exemplars = child.exemplars()
+                    if exemplars:
+                        entry["exemplars"] = {
+                            _format_bound(bound): {
+                                "trace_id": trace_id,
+                                "value": value,
+                                "timestamp": timestamp,
+                            }
+                            for bound, (trace_id, value, timestamp)
+                            in exemplars.items()
+                        }
+                    series.append(entry)
                 else:
                     series.append({"labels": labels, "value": child.value})
             metrics.append({
@@ -460,6 +553,20 @@ class MetricsRegistry:
 
     def to_prometheus(self) -> str:
         """Prometheus text exposition format (version 0.0.4)."""
+        return self._exposition(exemplars=False)
+
+    def to_openmetrics(self) -> str:
+        """OpenMetrics-style exposition with histogram bucket exemplars.
+
+        Identical to :meth:`to_prometheus` except each bucket sample that
+        retains an exemplar carries the ``# {trace_id="..."} value ts``
+        suffix, and the output is terminated with ``# EOF``.  Scrapers
+        that reject exemplar syntax should keep using ``/metrics`` in its
+        default (0.0.4) shape.
+        """
+        return self._exposition(exemplars=True) + "# EOF\n"
+
+    def _exposition(self, exemplars: bool) -> str:
         lines: list[str] = []
         for family in self.families():
             if family.help:
@@ -470,13 +577,21 @@ class MetricsRegistry:
             for labels, child in family.samples():
                 suffix = _label_suffix(labels)
                 if family.kind == "histogram":
+                    retained = child.exemplars() if exemplars else {}
                     for bound, count in child.cumulative_buckets():
                         bucket_labels = dict(labels)
                         bucket_labels["le"] = _format_bound(bound)
-                        lines.append(
+                        line = (
                             f"{family.name}_bucket"
                             f"{_label_suffix(bucket_labels)} {count}"
                         )
+                        if bound in retained:
+                            trace_id, value, timestamp = retained[bound]
+                            line += (
+                                f' # {{trace_id="{_escape_label(trace_id)}"}}'
+                                f" {_format_value(value)} {timestamp:.6f}"
+                            )
+                        lines.append(line)
                     lines.append(
                         f"{family.name}_sum{suffix} "
                         f"{_format_value(child.sum)}"
@@ -563,8 +678,11 @@ class _NullMetric:
     def set(self, value: float) -> None:
         pass
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: str | None = None) -> None:
         pass
+
+    def exemplars(self) -> dict:
+        return {}
 
     def reset(self, value: float = 0.0) -> None:
         pass

@@ -1,0 +1,241 @@
+"""Continuous sampling profiler: stack samples into folded-stack counts.
+
+A daemon thread wakes ~``hz`` times per second, snapshots every thread's
+Python stack via :func:`sys._current_frames`, and folds each stack into a
+``root;caller;...;leaf`` key with a hit counter — the classic
+collapsed-stack shape.  No interpreter hooks, no per-call overhead: cost
+is bounded by sample rate × stack depth, independent of how hot the
+profiled code is, which is what lets it run *continuously* in production
+(the throughput benchmark budgets the whole introspection plane, this
+profiler at 100 Hz included, under a 1.10x ratio).
+
+Exports:
+
+* :meth:`SamplingProfiler.to_collapsed` — one ``stack count`` line per
+  folded stack, directly consumable by ``flamegraph.pl`` and by
+  https://www.speedscope.app (drag-and-drop).
+* :meth:`SamplingProfiler.to_speedscope` — native speedscope JSON
+  (``"$schema": https://www.speedscope.app/file-format-schema.json``),
+  one sampled profile per observed thread.
+
+Frames are keyed ``function (module:line)`` using the *definition* line,
+so all samples inside one function fold together.  The profiler's own
+sampling thread is excluded.  Wire-up: ``--profile`` on ``repro stream``
+/ ``repro experiment`` runs it for the whole command and writes both
+exports next to the other run artifacts; ``/profile?seconds=N`` on the
+admin server runs a bounded burst on demand and streams the result back.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from collections import Counter
+
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+
+DEFAULT_HZ = 100.0
+MAX_STACK_DEPTH = 128
+
+
+def _fold(frame) -> str:
+    """Fold one thread's stack, outermost first: ``a (m:1);b (m:9)``."""
+    parts: list[str] = []
+    depth = 0
+    while frame is not None and depth < MAX_STACK_DEPTH:
+        code = frame.f_code
+        module = code.co_filename.rsplit("/", 1)[-1]
+        parts.append(f"{code.co_name} ({module}:{code.co_firstlineno})")
+        frame = frame.f_back
+        depth += 1
+    parts.reverse()
+    return ";".join(parts)
+
+
+class SamplingProfiler:
+    """Samples ``sys._current_frames()`` on a daemon thread.
+
+    Thread-safe; reusable (start → stop → start accumulates into the
+    same counts unless :meth:`reset` is called between runs).
+    """
+
+    def __init__(
+        self,
+        hz: float = DEFAULT_HZ,
+        registry: MetricsRegistry = NULL_REGISTRY,
+    ):
+        if hz <= 0:
+            raise ValueError(f"sample rate must be positive, got {hz}")
+        self.hz = float(hz)
+        self.interval = 1.0 / self.hz
+        self._lock = threading.Lock()
+        self._counts: Counter[str] = Counter()
+        self._samples = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._started_at: float | None = None
+        self._wall_sampled = 0.0
+        self._samples_total = registry.counter(
+            "profile_samples_total",
+            "Stack samples taken by the continuous profiler.",
+        )
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    @property
+    def samples(self) -> int:
+        with self._lock:
+            return self._samples
+
+    def start(self) -> "SamplingProfiler":
+        if self.running:
+            raise RuntimeError("profiler already running")
+        self._stop.clear()
+        self._started_at = time.perf_counter()
+        self._thread = threading.Thread(
+            target=self._run, name="sampling-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5.0)
+            self._thread = None
+        if self._started_at is not None:
+            self._wall_sampled += time.perf_counter() - self._started_at
+            self._started_at = None
+        return self
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts.clear()
+            self._samples = 0
+            self._wall_sampled = 0.0
+
+    def run_for(self, seconds: float) -> "SamplingProfiler":
+        """Blocking bounded burst (the ``/profile?seconds=N`` path)."""
+        self.start()
+        try:
+            time.sleep(max(0.0, seconds))
+        finally:
+            self.stop()
+        return self
+
+    def _run(self) -> None:
+        me = threading.get_ident()
+        # Sleep against a perf_counter deadline so sampling cadence does
+        # not drift with the cost of the sample itself.
+        next_tick = time.perf_counter()
+        while not self._stop.is_set():
+            frames = sys._current_frames()
+            folded = [
+                _fold(frame)
+                for ident, frame in frames.items()
+                if ident != me
+            ]
+            with self._lock:
+                for stack in folded:
+                    if stack:
+                        self._counts[stack] += 1
+                self._samples += 1
+            self._samples_total.inc()
+            next_tick += self.interval
+            delay = next_tick - time.perf_counter()
+            if delay > 0:
+                self._stop.wait(delay)
+            else:
+                # Fell behind (GIL contention, slow fold): re-anchor
+                # rather than firing a catch-up burst.
+                next_tick = time.perf_counter()
+
+    # -- exports -------------------------------------------------------------
+
+    def folded(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._counts)
+
+    def to_collapsed(self) -> str:
+        """flamegraph.pl-compatible ``stack count`` lines (sorted)."""
+        counts = self.folded()
+        return "".join(
+            f"{stack} {count}\n" for stack, count in sorted(counts.items())
+        )
+
+    def to_speedscope(self, name: str = "repro") -> dict:
+        """The speedscope JSON file-format object (sampled profile)."""
+        counts = self.folded()
+        frame_index: dict[str, int] = {}
+        frames: list[dict] = []
+        samples: list[list[int]] = []
+        weights: list[int] = []
+        for stack, count in sorted(counts.items()):
+            indices = []
+            for part in stack.split(";"):
+                if part not in frame_index:
+                    frame_index[part] = len(frames)
+                    frames.append({"name": part})
+                indices.append(frame_index[part])
+            samples.append(indices)
+            weights.append(count)
+        total = sum(weights)
+        return {
+            "$schema": "https://www.speedscope.app/file-format-schema.json",
+            "name": name,
+            "activeProfileIndex": 0,
+            "exporter": "repro-obs-profile",
+            "shared": {"frames": frames},
+            "profiles": [
+                {
+                    "type": "sampled",
+                    "name": name,
+                    "unit": "none",
+                    "startValue": 0,
+                    "endValue": total,
+                    "samples": samples,
+                    "weights": weights,
+                }
+            ],
+        }
+
+    def write_collapsed(self, path) -> int:
+        """Write the collapsed-stack file; returns distinct stack count."""
+        from pathlib import Path
+
+        counts = self.folded()
+        Path(path).write_text(self.to_collapsed())
+        return len(counts)
+
+    def write_speedscope(self, path, name: str = "repro") -> int:
+        from pathlib import Path
+
+        doc = self.to_speedscope(name=name)
+        Path(path).write_text(json.dumps(doc))
+        return len(doc["profiles"][0]["samples"])
+
+    def report(self) -> dict:
+        """JSON summary for ``/profile`` responses and doctor bundles."""
+        with self._lock:
+            counts = dict(self._counts)
+            samples = self._samples
+            wall = self._wall_sampled
+            if self._started_at is not None:
+                wall += time.perf_counter() - self._started_at
+        top = sorted(counts.items(), key=lambda kv: -kv[1])[:25]
+        return {
+            "format": "repro-profile-v1",
+            "hz": self.hz,
+            "samples": samples,
+            "wall_seconds": round(wall, 3),
+            "distinct_stacks": len(counts),
+            "running": self.running,
+            "top_stacks": [
+                {"stack": stack, "count": count} for stack, count in top
+            ],
+        }

@@ -19,7 +19,20 @@ route              serves
                    counters
 ``/generations``   the artifact store's manifest list
 ``/drift/latest``  the most recent :class:`~repro.obs.drift.DriftReport`
+``/slo``           every declared objective with burn rates and budgets
+``/alerts``        only the objectives whose multi-window alert is firing
+``/profile``       the continuous profiler's report, or an on-demand
+                   bounded burst (``?seconds=N``, collapsed/speedscope
+                   via ``?format=...``)
+``/flight``        the flight recorder's ring (``?dump=1`` also writes
+                   the configured dump file atomically)
 =================  =========================================================
+
+Query parameters are validated before any work happens: unknown
+parameters, non-numeric numbers, out-of-range values, and oversized
+query strings are client errors (4xx) — a garbage request can never 500
+or tie up the process (``/profile`` bursts are bounded to
+``MAX_PROFILE_SECONDS``).
 
 Readiness semantics (also documented in README "Operations"): the gate
 window is *validation*, not degradation.  While the supervisor runs its
@@ -42,6 +55,7 @@ import json
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qsl
 
 from repro.obs.logging import get_logger, get_run_id
 from repro.obs.metrics import MetricsRegistry
@@ -50,6 +64,57 @@ from repro.obs.tracing import NULL_TRACER, Tracer
 log = get_logger("obs.server")
 
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+MAX_QUERY_LENGTH = 1024
+MAX_PROFILE_SECONDS = 60.0
+
+
+class _ParamError(ValueError):
+    """A client sent a query string we refuse to act on (HTTP 400)."""
+
+
+def _parse_query(raw: str, allowed: tuple[str, ...]) -> dict[str, str]:
+    """Validated query parameters; raises :class:`_ParamError` on junk."""
+    if not raw:
+        return {}
+    if len(raw) > MAX_QUERY_LENGTH:
+        raise _ParamError(
+            f"query string too long ({len(raw)} > {MAX_QUERY_LENGTH})"
+        )
+    params: dict[str, str] = {}
+    for key, value in parse_qsl(raw, keep_blank_values=True):
+        if key not in allowed:
+            raise _ParamError(
+                f"unknown parameter {key!r}; allowed: {sorted(allowed)}"
+            )
+        if key in params:
+            raise _ParamError(f"duplicate parameter {key!r}")
+        params[key] = value
+    return params
+
+
+def _parse_number(
+    params: dict[str, str],
+    key: str,
+    default: float,
+    minimum: float,
+    maximum: float,
+) -> float:
+    raw = params.get(key)
+    if raw is None:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise _ParamError(f"{key} must be a number, got {raw!r}") from None
+    if value != value or not minimum <= value <= maximum:
+        raise _ParamError(
+            f"{key} must be in [{minimum:g}, {maximum:g}], got {raw!r}"
+        )
+    return value
 
 
 def _resolve(target):
@@ -91,6 +156,10 @@ class AdminServer:
         self._supervisor = None
         self._pipeline = None
         self._checkpoint_path = None
+        self._slo_engine = None
+        self._profiler = None
+        self._flight = None
+        self._flight_path = None
         self._httpd: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
         self._started_at: float | None = None
@@ -107,6 +176,10 @@ class AdminServer:
         supervisor=None,
         pipeline=None,
         checkpoint_path=None,
+        slo_engine=None,
+        profiler=None,
+        flight=None,
+        flight_path=None,
     ) -> "AdminServer":
         """Attach live state; each argument may be the object or a thunk.
 
@@ -123,6 +196,14 @@ class AdminServer:
             self._pipeline = pipeline
         if checkpoint_path is not None:
             self._checkpoint_path = checkpoint_path
+        if slo_engine is not None:
+            self._slo_engine = slo_engine
+        if profiler is not None:
+            self._profiler = profiler
+        if flight is not None:
+            self._flight = flight
+        if flight_path is not None:
+            self._flight_path = flight_path
         return self
 
     # -- lifecycle -----------------------------------------------------------
@@ -309,29 +390,119 @@ class AdminServer:
                     )
         return None
 
+    def slo_report(self) -> dict | None:
+        """The ``/slo`` JSON; None without an attached engine."""
+        engine = _resolve(self._slo_engine)
+        if engine is None:
+            return None
+        return engine.slo_report()
+
+    def alerts_report(self) -> dict | None:
+        """The ``/alerts`` JSON; None without an attached engine."""
+        engine = _resolve(self._slo_engine)
+        if engine is None:
+            return None
+        return engine.alerts_report()
+
+    def profile_burst(self, seconds: float, hz: float):
+        """A bounded on-demand burst on a *fresh* profiler instance.
+
+        Each request gets its own sampler, so concurrent bursts (or a
+        burst alongside the continuous profiler) never contend on state.
+        """
+        from repro.obs.profile import SamplingProfiler
+
+        profiler = SamplingProfiler(hz=hz, registry=self.registry)
+        profiler.run_for(seconds)
+        return profiler
+
+    def flight_report(self, dump: bool = False) -> dict | None:
+        """The ``/flight`` JSON; None without an attached recorder."""
+        flight = _resolve(self._flight)
+        if flight is None:
+            return None
+        body = flight.report(reason="admin-route")
+        if dump and self._flight_path is not None:
+            body["dump_path"] = str(
+                flight.dump(self._flight_path, reason="admin-route")
+            )
+        return body
+
+    def _serve_profile(self, query: str) -> tuple[int, str, bytes]:
+        """The ``/profile`` route: continuous report or bounded burst."""
+        params = _parse_query(query, ("seconds", "hz", "format"))
+        fmt = params.get("format", "report")
+        if fmt not in ("report", "collapsed", "speedscope"):
+            raise _ParamError(
+                f"format must be report, collapsed or speedscope, "
+                f"got {fmt!r}"
+            )
+        if "seconds" in params:
+            seconds = _parse_number(
+                params, "seconds", 5.0, 0.1, MAX_PROFILE_SECONDS
+            )
+            hz = _parse_number(params, "hz", 100.0, 1.0, 1000.0)
+            profiler = self.profile_burst(seconds, hz)
+        else:
+            if "hz" in params:
+                raise _ParamError("hz only applies to ?seconds= bursts")
+            profiler = _resolve(self._profiler)
+            if profiler is None:
+                return _not_found(
+                    "no continuous profiler attached; "
+                    "request a burst with ?seconds=N"
+                )
+        if fmt == "collapsed":
+            return 200, "text/plain; charset=utf-8", (
+                profiler.to_collapsed().encode()
+            )
+        if fmt == "speedscope":
+            return 200, "application/json", (
+                json.dumps(profiler.to_speedscope()) + "\n"
+            ).encode()
+        return 200, "application/json", _json_bytes(profiler.report())
+
     # -- request dispatch ----------------------------------------------------
 
     def _handle(self, handler: BaseHTTPRequestHandler) -> None:
-        route = handler.path.split("?", 1)[0].rstrip("/") or "/"
+        path, _, query = handler.path.partition("?")
+        route = path.rstrip("/") or "/"
         try:
             if route == "/metrics":
-                status, content_type, payload = (
-                    200, PROMETHEUS_CONTENT_TYPE,
-                    self.registry.to_prometheus().encode(),
-                )
+                params = _parse_query(query, ("format",))
+                fmt = params.get("format", "prometheus")
+                if fmt == "prometheus":
+                    status, content_type, payload = (
+                        200, PROMETHEUS_CONTENT_TYPE,
+                        self.registry.to_prometheus().encode(),
+                    )
+                elif fmt == "openmetrics":
+                    status, content_type, payload = (
+                        200, OPENMETRICS_CONTENT_TYPE,
+                        self.registry.to_openmetrics().encode(),
+                    )
+                else:
+                    raise _ParamError(
+                        f"format must be prometheus or openmetrics, "
+                        f"got {fmt!r}"
+                    )
             elif route == "/healthz":
+                _parse_query(query, ())
                 status, content_type, payload = (
                     200, "application/json", b'{"ok": true}\n'
                 )
             elif route == "/readyz":
+                _parse_query(query, ())
                 ready, body = self.ready()
                 status = 200 if ready else 503
                 content_type, payload = "application/json", _json_bytes(body)
             elif route == "/varz":
+                _parse_query(query, ())
                 status, content_type, payload = (
                     200, "application/json", _json_bytes(self.varz())
                 )
             elif route == "/generations":
+                _parse_query(query, ())
                 body = self.generations()
                 if body is None:
                     status, content_type, payload = _not_found(
@@ -342,10 +513,49 @@ class AdminServer:
                         200, "application/json", _json_bytes(body)
                     )
             elif route == "/drift/latest":
+                _parse_query(query, ())
                 body = self.drift_latest()
                 if body is None:
                     status, content_type, payload = _not_found(
                         "no drift report yet"
+                    )
+                else:
+                    status, content_type, payload = (
+                        200, "application/json", _json_bytes(body)
+                    )
+            elif route == "/slo":
+                _parse_query(query, ())
+                body = self.slo_report()
+                if body is None:
+                    status, content_type, payload = _not_found(
+                        "no SLO engine attached"
+                    )
+                else:
+                    status, content_type, payload = (
+                        200, "application/json", _json_bytes(body)
+                    )
+            elif route == "/alerts":
+                _parse_query(query, ())
+                body = self.alerts_report()
+                if body is None:
+                    status, content_type, payload = _not_found(
+                        "no SLO engine attached"
+                    )
+                else:
+                    status, content_type, payload = (
+                        200, "application/json", _json_bytes(body)
+                    )
+            elif route == "/profile":
+                status, content_type, payload = self._serve_profile(query)
+            elif route == "/flight":
+                params = _parse_query(query, ("dump",))
+                dump = params.get("dump")
+                if dump is not None and dump not in ("0", "1"):
+                    raise _ParamError(f"dump must be 0 or 1, got {dump!r}")
+                body = self.flight_report(dump=dump == "1")
+                if body is None:
+                    status, content_type, payload = _not_found(
+                        "no flight recorder attached"
                     )
                 else:
                     status, content_type, payload = (
@@ -356,6 +566,10 @@ class AdminServer:
                     f"unknown route {route!r}"
                 )
                 route = "<other>"   # unbounded label values are a leak
+        except _ParamError as error:
+            status = 400
+            content_type = "application/json"
+            payload = _json_bytes({"error": str(error)})
         except Exception as error:   # a broken route must not kill serving
             status = 500
             content_type = "application/json"

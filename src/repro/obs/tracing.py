@@ -16,12 +16,29 @@ opening thread.  Two exports:
 * :meth:`Tracer.summary` — a human-readable table aggregated by span
   name (calls, total/mean wall, total CPU), for CLI output and logs.
 
+Timestamp basis: every duration and every span start is measured on
+``time.perf_counter()`` (monotonic); a single wall-clock anchor taken at
+tracer construction maps perf offsets back to epoch seconds for display.
+An NTP step mid-run therefore cannot produce negative durations or a
+misordered Chrome trace — the wall clock is consulted exactly once.
+
+Request-scoped tracing: a :class:`TraceContext` (trace_id, span_id,
+sampling decision) rides a :mod:`contextvars` variable.  Components that
+open spans while a *sampled* context is active get trace/span/parent ids
+stamped onto their spans automatically, so one session's journey —
+ingest → profile → index search — can be reassembled across components
+with :meth:`Tracer.trace_spans`.  :class:`HeadSampler` makes the head
+decision deterministically from the client id, so the same clients are
+sampled on every shard and every replay.
+
 :class:`NullTracer` is the no-op default for instrumented code paths, so
 tracing costs nothing unless a real tracer is passed in.
 """
 
 from __future__ import annotations
 
+import contextvars
+import hashlib
 import json
 import os
 import threading
@@ -30,6 +47,112 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 
+# -- request-scoped trace context -------------------------------------------
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One request's identity: which trace it belongs to and whether the
+    head-based sampling decision kept it.
+
+    ``span_id`` is the id of the innermost open span (the parent of the
+    next span opened under this context); a fresh context has no open
+    span yet, so its ``span_id`` is the empty string.
+    """
+
+    trace_id: str
+    span_id: str = ""
+    sampled: bool = True
+
+    def child(self, span_id: str) -> "TraceContext":
+        return TraceContext(self.trace_id, span_id, self.sampled)
+
+
+_CURRENT_TRACE: contextvars.ContextVar[TraceContext | None] = (
+    contextvars.ContextVar("repro_trace_context", default=None)
+)
+
+
+def current_trace() -> TraceContext | None:
+    """The active :class:`TraceContext`, if any (sampled or not)."""
+    return _CURRENT_TRACE.get()
+
+
+def current_exemplar() -> str | None:
+    """The active *sampled* trace id — what a histogram exemplar records."""
+    ctx = _CURRENT_TRACE.get()
+    if ctx is not None and ctx.sampled:
+        return ctx.trace_id
+    return None
+
+
+@contextmanager
+def use_trace(ctx: TraceContext | None):
+    """Install ``ctx`` as the active trace context for the block."""
+    token = _CURRENT_TRACE.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _CURRENT_TRACE.reset(token)
+
+
+def new_trace_id() -> str:
+    return os.urandom(8).hex()
+
+
+def new_span_id() -> str:
+    return os.urandom(4).hex()
+
+
+class HeadSampler:
+    """Deterministic head-based sampling keyed on the client id.
+
+    The decision hashes ``client_id`` (salted), so a given client is
+    either always traced or never traced at a given rate — the property
+    that lets per-shard traces line up and replays reproduce.  ``rate``
+    is the sampled fraction in [0, 1].
+    """
+
+    # Decisions are deterministic per client, so they cache perfectly;
+    # the bound only exists to keep a churning client space (spoofed
+    # addresses) from growing the dict without limit.
+    _CACHE_LIMIT = 1 << 16
+
+    def __init__(self, rate: float, salt: str = "trace"):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"sample rate must be in [0, 1], got {rate}")
+        self.rate = float(rate)
+        self.salt = salt
+        # Compare in integer space so rate=1.0 keeps everything and
+        # rate=0.0 keeps nothing, with no float-edge surprises.
+        self._threshold = int(self.rate * (1 << 32))
+        self._decisions: dict[str, bool] = {}
+
+    def sampled(self, client_id: str) -> bool:
+        if self._threshold == 0:
+            return False
+        if self._threshold >= (1 << 32):
+            return True
+        decision = self._decisions.get(client_id)
+        if decision is None:
+            digest = hashlib.blake2b(
+                f"{self.salt}:{client_id}".encode(), digest_size=4
+            ).digest()
+            decision = int.from_bytes(digest, "big") < self._threshold
+            if len(self._decisions) >= self._CACHE_LIMIT:
+                self._decisions.clear()
+            self._decisions[client_id] = decision
+        return decision
+
+    def start(self, client_id: str) -> TraceContext | None:
+        """A fresh root context for a sampled client; None otherwise."""
+        if not self.sampled(client_id):
+            return None
+        return TraceContext(trace_id=new_trace_id())
+
+
+# -- spans ------------------------------------------------------------------
+
 
 @dataclass
 class Span:
@@ -37,11 +160,14 @@ class Span:
 
     name: str
     tags: dict
-    start_wall: float            # epoch seconds (time.time)
-    duration: float = 0.0        # wall seconds
+    start_wall: float            # epoch seconds, derived from perf_counter
+    duration: float = 0.0        # wall seconds (monotonic basis)
     cpu_time: float = 0.0        # process CPU seconds
     thread_id: int = 0
     children: list["Span"] = field(default_factory=list)
+    trace_id: str | None = None      # set when a sampled context was active
+    span_id: str | None = None
+    parent_span_id: str | None = None
 
     def walk(self):
         """This span, then every descendant (depth first)."""
@@ -59,6 +185,11 @@ class Tracer:
         self._roots: list[Span] = []
         self._lock = threading.Lock()
         self._local = threading.local()
+        # The one wall-clock read of this tracer's lifetime: all span
+        # starts are perf_counter offsets from this anchor, so a stepped
+        # wall clock cannot skew or reorder the recorded timeline.
+        self._anchor_wall = time.time()
+        self._anchor_perf = time.perf_counter()
 
     def _stack(self) -> list[Span]:
         stack = getattr(self._local, "stack", None)
@@ -68,14 +199,31 @@ class Tracer:
 
     @contextmanager
     def span(self, name: str, **tags):
-        """Open a span for the duration of the ``with`` block."""
+        """Open a span for the duration of the ``with`` block.
+
+        If a sampled :class:`TraceContext` is active (see
+        :func:`use_trace`), the span joins that trace: it records the
+        trace id, a fresh span id, and its parent's span id, and becomes
+        the parent of any span opened inside the block — across
+        component boundaries, not just this tracer's thread stack.
+        """
         record = Span(
             name=name,
             tags=tags,
-            start_wall=time.time(),
+            start_wall=0.0,
             thread_id=threading.get_ident(),
         )
+        ctx = _CURRENT_TRACE.get()
+        token = None
+        if ctx is not None and ctx.sampled:
+            record.trace_id = ctx.trace_id
+            record.span_id = new_span_id()
+            record.parent_span_id = ctx.span_id or None
+            token = _CURRENT_TRACE.set(ctx.child(record.span_id))
         start_perf = time.perf_counter()
+        record.start_wall = self._anchor_wall + (
+            start_perf - self._anchor_perf
+        )
         start_cpu = time.process_time()
         stack = self._stack()
         stack.append(record)
@@ -85,6 +233,8 @@ class Tracer:
             record.duration = time.perf_counter() - start_perf
             record.cpu_time = time.process_time() - start_cpu
             stack.pop()
+            if token is not None:
+                _CURRENT_TRACE.reset(token)
             if stack:
                 stack[-1].children.append(record)
             else:
@@ -100,6 +250,23 @@ class Tracer:
         """Completed root spans (their subtrees hang off ``children``)."""
         with self._lock:
             return list(self._roots)
+
+    def trace_spans(self, trace_id: str) -> list[Span]:
+        """Every completed span belonging to ``trace_id``, start-ordered.
+
+        A trace can cross component (and thread) boundaries, so its spans
+        may live under several roots; this reassembles them.  This is the
+        exemplar contract: a trace_id exported from a latency histogram
+        bucket resolves here to the full ingest → profile → search tree.
+        """
+        found = [
+            span
+            for root in self.spans()
+            for span in root.walk()
+            if span.trace_id == trace_id
+        ]
+        found.sort(key=lambda s: s.start_wall)
+        return found
 
     # -- exports -------------------------------------------------------------
 
@@ -117,9 +284,16 @@ class Tracer:
                     "pid": os.getpid(),
                     "tid": span.thread_id,
                 }
-                if span.tags or span.cpu_time:
+                if span.tags or span.cpu_time or span.trace_id:
                     event["args"] = dict(span.tags)
                     event["args"]["cpu_time_s"] = round(span.cpu_time, 6)
+                    if span.trace_id:
+                        event["args"]["trace_id"] = span.trace_id
+                        event["args"]["span_id"] = span.span_id
+                        if span.parent_span_id:
+                            event["args"]["parent_span_id"] = (
+                                span.parent_span_id
+                            )
                 events.append(event)
         return {"traceEvents": events, "displayTimeUnit": "ms"}
 

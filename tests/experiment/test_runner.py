@@ -144,6 +144,22 @@ class TestStoreIntegration:
             records[-1].generation_id
 
 
+class TestFlightIntegration:
+    def test_retrain_lifecycle_lands_in_flight_ring(self):
+        from repro.obs.flight import FlightRecorder
+
+        config = ExperimentConfig.small(seed=11)
+        config.profiling_days = 1
+        flight = FlightRecorder()
+        runner = ExperimentRunner(config, flight=flight)
+        runner.run()
+        assert runner.supervisor.flight is flight
+        kinds = {event["kind"] for event in flight.events()}
+        assert "state" in kinds
+        names = {event["name"] for event in flight.events()}
+        assert "retrain-published" in names
+
+
 class TestDeterminism:
     def test_same_seed_same_result(self):
         config = ExperimentConfig.small(seed=5)

@@ -1,11 +1,16 @@
 """Tests for the ``repro doctor`` debug-bundle collector."""
 
 import json
+import time
 from pathlib import Path
 
-from repro.obs.doctor import collect_bundle
+import pytest
+
+from repro.obs.doctor import collect_bundle, read_bundle
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.server import AdminServer
+from repro.obs.slo import SLOEngine
 from repro.store import DRIFT_REPORT_COMPONENT, ArtifactStore
 from repro.utils.serialization import atomic_write_json
 
@@ -25,13 +30,20 @@ class TestLiveBundle:
         registry.counter("events_total", "Events.").inc(5)
         store = ArtifactStore(tmp_path / "store")
         _publish(store, drift_report={"format": "repro-drift-v1", "ok": True})
+        flight = FlightRecorder(capacity=16)
+        flight.record("state", "test-start")
         with AdminServer(registry, run_id="doctor-test") as admin:
-            admin.attach(store=store)
+            admin.attach(
+                store=store,
+                slo_engine=SLOEngine(registry),
+                flight=flight,
+            )
             manifest = collect_bundle(
-                tmp_path / "bundle", admin_url=admin.url()
+                tmp_path / "bundle", admin_url=admin.url(),
+                profile_seconds=0.2,
             )
         out = tmp_path / "bundle"
-        assert manifest["format"] == "repro-doctor-v1"
+        assert manifest["format"] == "repro-doctor-v2"
         assert "events_total 5" in (out / "metrics.prom").read_text()
         assert json.loads((out / "healthz.json").read_text()) == {"ok": True}
         generations = json.loads((out / "generations.json").read_text())
@@ -39,6 +51,14 @@ class TestLiveBundle:
         assert json.loads((out / "drift.json").read_text())["ok"] is True
         varz = json.loads((out / "varz.json").read_text())
         assert varz["run_id"] == "doctor-test"
+        slo = json.loads((out / "slo.json").read_text())
+        assert slo["format"] == "repro-slo-v1"
+        alerts = json.loads((out / "alerts.json").read_text())
+        assert alerts["format"] == "repro-alerts-v1"
+        captured = json.loads((out / "flight.json").read_text())
+        assert captured["format"] == "repro-flight-v1"
+        assert captured["events"][0]["name"] == "test-start"
+        assert "profile.collapsed" in manifest["collected"]
         saved = json.loads((out / "bundle.json").read_text())
         assert saved["collected"] == manifest["collected"]
         assert manifest["errors"] == {}
@@ -46,7 +66,8 @@ class TestLiveBundle:
     def test_not_ready_readyz_is_captured_not_an_error(self, tmp_path):
         with AdminServer(MetricsRegistry()) as admin:
             manifest = collect_bundle(
-                tmp_path / "bundle", admin_url=admin.url()
+                tmp_path / "bundle", admin_url=admin.url(),
+                profile_seconds=0,
             )
         readyz = json.loads((tmp_path / "bundle" / "readyz.json").read_text())
         assert readyz["status"] == 503
@@ -115,15 +136,65 @@ class TestOfflineBundle:
             trace_path=tmp_path / "nope.json",
         )
         assert manifest["collected"] == {}
-        assert len(manifest["errors"]) == 2
+        assert manifest["errors"][str(tmp_path / "nope.prom")] == (
+            "file not found"
+        )
+        assert manifest["errors"][str(tmp_path / "nope.json")] == (
+            "file not found"
+        )
 
     def test_empty_bundle_is_valid(self, tmp_path):
         manifest = collect_bundle(tmp_path / "bundle")
         assert manifest["collected"] == {}
-        assert manifest["errors"] == {}
+        # Live-only captures are explicitly noted absent, not silently
+        # missing: an offline bundle says why there is no SLO state.
+        for route in ("/slo", "/alerts", "/flight", "/profile"):
+            assert "no live admin endpoint" in manifest["errors"][route]
         assert json.loads(
             (tmp_path / "bundle" / "bundle.json").read_text()
-        )["format"] == "repro-doctor-v1"
+        )["format"] == "repro-doctor-v2"
+
+    def test_copies_flight_dump_file(self, tmp_path):
+        flight = FlightRecorder(capacity=4)
+        flight.record("crash", "sigterm")
+        dump = tmp_path / "flight.json"
+        flight.dump(dump, reason="sigterm")
+        manifest = collect_bundle(tmp_path / "bundle", flight_path=dump)
+        saved = json.loads(
+            (tmp_path / "bundle" / "flight.json").read_text()
+        )
+        assert saved["reason"] == "sigterm"
+        assert manifest["collected"]["flight.json"] == str(dump)
+
+
+class TestReadBundle:
+    def test_reads_v2_bundle(self, tmp_path):
+        collect_bundle(tmp_path / "bundle")
+        manifest = read_bundle(tmp_path / "bundle")
+        assert manifest["format"] == "repro-doctor-v2"
+
+    def test_reads_v1_bundle(self, tmp_path):
+        # A bundle written by the previous release: v1 format marker, no
+        # introspection-plane files.  Must load without complaint.
+        out = tmp_path / "old-bundle"
+        out.mkdir()
+        atomic_write_json(out / "bundle.json", {
+            "format": "repro-doctor-v1",
+            "created_at": time.time(),
+            "admin_url": None,
+            "collected": {"metrics.prom": "/tmp/final.prom"},
+            "errors": {},
+        })
+        manifest = read_bundle(out)
+        assert manifest["format"] == "repro-doctor-v1"
+        assert "slo.json" not in manifest["collected"]
+
+    def test_rejects_unknown_format(self, tmp_path):
+        out = tmp_path / "future-bundle"
+        out.mkdir()
+        atomic_write_json(out / "bundle.json", {"format": "repro-doctor-v9"})
+        with pytest.raises(ValueError, match="repro-doctor-v2"):
+            read_bundle(out)
 
 
 class TestDriftReportFlow:
@@ -144,6 +215,9 @@ class TestDriftReportFlow:
 
         with AdminServer(registry) as admin:
             admin.attach(store=store, supervisor=_Supervisor())
-            collect_bundle(tmp_path / "bundle", admin_url=admin.url())
+            collect_bundle(
+                tmp_path / "bundle", admin_url=admin.url(),
+                profile_seconds=0,
+            )
         drift = json.loads((tmp_path / "bundle" / "drift.json").read_text())
         assert drift["n"] == 99

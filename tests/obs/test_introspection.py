@@ -1,0 +1,154 @@
+"""End-to-end introspection: one trace from packet to profile.
+
+The acceptance contract for the tracing plane: with head sampling on,
+an exemplar trace id exported by the ``profile_latency_seconds``
+histogram must resolve — via :meth:`Tracer.trace_spans` — to a complete
+trace tree covering ingest, streaming, profiling and the index search.
+"""
+
+from collections import Counter
+
+import numpy as np
+
+from repro.core.embeddings import HostnameEmbeddings
+from repro.core.profiler import SessionProfiler
+from repro.core.streaming import StreamingConfig, StreamingProfiler
+from repro.core.vocabulary import Vocabulary
+from repro.netobs.capture import TrafficSynthesizer
+from repro.netobs.observer import NetworkObserver, ObserverConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import HeadSampler, Tracer
+from repro.traffic.events import HostKind, Request
+
+
+def _toy_profiler(registry, tracer):
+    vocab = Vocabulary(
+        Counter({"t1.com": 4, "t2.com": 3, "s1.com": 2, "s2.com": 1})
+    )
+    vectors = np.array(
+        [[1.0, 0.05], [0.95, 0.1], [0.05, 1.0], [0.1, 0.95]]
+    )
+    labelled = {
+        "t1.com": np.array([1.0, 0.0, 0.0]),
+        "s1.com": np.array([0.0, 1.0, 0.0]),
+    }
+    return SessionProfiler(
+        HostnameEmbeddings(vectors, vocab), labelled,
+        registry=registry, tracer=tracer,
+    )
+
+
+def _requests(hosts, *, step_seconds=30.0, repeats=4):
+    requests = []
+    t = 0.0
+    for _ in range(repeats):
+        for host in hosts:
+            requests.append(
+                Request(
+                    user_id=0, timestamp=t, hostname=host,
+                    kind=HostKind.SITE, site_domain=host,
+                )
+            )
+            t += step_seconds
+    return requests
+
+
+class TestPacketToProfileTrace:
+    def test_exemplar_resolves_to_full_trace_tree(self):
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        sampler = HeadSampler(1.0)
+
+        observer = NetworkObserver(
+            ObserverConfig(vantage="sni"), registry=registry,
+            tracer=tracer, trace_sampler=sampler,
+        )
+        stream = StreamingProfiler(
+            StreamingConfig(
+                session_minutes=20.0, report_interval_minutes=1.0
+            ),
+            registry=registry, tracer=tracer, trace_sampler=sampler,
+        )
+        stream.swap_model(_toy_profiler(registry, tracer))
+
+        # Packets on the wire -> observer -> stream; 30 s apart, so the
+        # 1-minute report grid fires several profile ticks.
+        synth = TrafficSynthesizer(seed=7)
+        packets = synth.synthesize(
+            _requests(("t1.com", "t2.com", "s1.com", "s2.com"))
+        )
+        emissions = []
+        for packet in packets:
+            event = observer.ingest(packet)
+            if event is None:
+                continue
+            assert event.trace is not None    # rate 1.0: always sampled
+            emission = stream.ingest(event)
+            if emission is not None:
+                emissions.append(emission)
+        assert emissions, "no profile tick fired; widen the timeline"
+
+        # The latency histogram exported an exemplar trace id.
+        latency = next(
+            f for f in registry.families()
+            if f.name == "profile_latency_seconds"
+        )
+        exemplars = latency.exemplars()
+        assert exemplars, "profile_latency_seconds retained no exemplar"
+        trace_id, _, _ = next(iter(exemplars.values()))
+
+        # ... and that id resolves to the complete request tree.
+        spans = tracer.trace_spans(trace_id)
+        names = [span.name for span in spans]
+        for expected in (
+            "netobs.ingest", "stream.ingest",
+            "profile.session", "index.search",
+        ):
+            assert expected in names, f"{expected} missing from {names}"
+
+        # Parentage: one connected tree rooted at the packet ingest.
+        by_id = {span.span_id: span for span in spans}
+        ingest = next(s for s in spans if s.name == "netobs.ingest")
+        assert ingest.parent_span_id is None
+        stream_span = next(s for s in spans if s.name == "stream.ingest")
+        assert stream_span.parent_span_id == ingest.span_id
+        search = next(s for s in spans if s.name == "index.search")
+        # Walking up from the index search reaches the ingest root
+        # through the profiling and streaming layers.
+        node, lineage = search, []
+        while node.parent_span_id is not None:
+            node = by_id[node.parent_span_id]
+            lineage.append(node.name)
+        assert node is ingest
+        assert "profile.session" in lineage
+        assert "stream.ingest" in lineage
+
+        # The exemplar also rides out in the OpenMetrics exposition.
+        exposition = registry.to_openmetrics()
+        assert f'trace_id="{trace_id}"' in exposition
+
+    def test_unsampled_run_records_no_spans(self):
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        sampler = HeadSampler(0.0)
+        observer = NetworkObserver(
+            ObserverConfig(vantage="sni"), registry=registry,
+            tracer=tracer, trace_sampler=sampler,
+        )
+        stream = StreamingProfiler(
+            StreamingConfig(report_interval_minutes=1.0),
+            registry=registry, tracer=tracer, trace_sampler=sampler,
+        )
+        stream.swap_model(_toy_profiler(registry, tracer))
+        synth = TrafficSynthesizer(seed=7)
+        for packet in synth.synthesize(_requests(("t1.com", "t2.com"))):
+            event = observer.ingest(packet)
+            if event is not None:
+                assert event.trace is None
+                stream.ingest(event)
+        assert tracer.spans() == []
+        latency = next(
+            f for f in registry.families()
+            if f.name == "profile_latency_seconds"
+        )
+        assert latency.exemplars() == {}

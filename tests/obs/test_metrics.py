@@ -6,10 +6,14 @@ import threading
 import pytest
 
 from repro.obs.metrics import (
+    LATENCY_BUCKETS_FAST,
+    LATENCY_BUCKETS_SLOW,
     NULL_REGISTRY,
+    SIZE_BUCKETS,
     MetricError,
     MetricsRegistry,
     NullRegistry,
+    validate_buckets,
 )
 
 
@@ -272,3 +276,92 @@ class TestNullRegistry:
     def test_shared_singleton_flags(self):
         assert NULL_REGISTRY.null
         assert not MetricsRegistry().null
+
+class TestBucketValidation:
+    def test_presets_are_valid_and_sorted(self):
+        for preset in (
+            LATENCY_BUCKETS_FAST, LATENCY_BUCKETS_SLOW, SIZE_BUCKETS
+        ):
+            assert validate_buckets(preset) == preset
+            assert list(preset) == sorted(preset)
+
+    def test_empty_layout_rejected(self):
+        with pytest.raises(MetricError, match="at least one"):
+            validate_buckets(())
+
+    def test_only_inf_rejected(self):
+        # A lone +Inf is stripped (implicit overflow), leaving nothing.
+        with pytest.raises(MetricError, match="at least one"):
+            validate_buckets((float("inf"),))
+
+    def test_unsorted_rejected_not_silently_sorted(self):
+        with pytest.raises(MetricError, match="ascending"):
+            validate_buckets((0.1, 0.05, 0.5))
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(MetricError, match="duplicate"):
+            validate_buckets((0.1, 0.1, 0.5))
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(MetricError, match="finite"):
+            validate_buckets((0.1, float("nan")))
+        with pytest.raises(MetricError, match="finite"):
+            validate_buckets((float("-inf"), 0.1))
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(MetricError, match="numbers"):
+            validate_buckets(("fast", "slow"))
+
+    def test_histogram_construction_validates(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricError):
+            registry.histogram("h_seconds", "H.", buckets=(2.0, 1.0))
+
+
+class TestExemplars:
+    def test_bucket_retains_latest_exemplar(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "lat_seconds", "L.", buckets=(0.1, 1.0)
+        )
+        histogram.observe(0.05, exemplar="aaaa")
+        histogram.observe(0.07, exemplar="bbbb")   # same bucket: replaces
+        histogram.observe(0.5)                     # no exemplar: no change
+        histogram.observe(5.0, exemplar="cccc")    # +Inf bucket
+        exemplars = histogram.exemplars()
+        assert exemplars[0.1][0] == "bbbb"
+        assert exemplars[float("inf")][0] == "cccc"
+        assert 1.0 not in exemplars
+
+    def test_snapshot_carries_exemplars(self):
+        registry = MetricsRegistry()
+        registry.histogram(
+            "lat_seconds", "L.", buckets=(0.1, 1.0)
+        ).observe(0.05, exemplar="deadbeef")
+        (family,) = json.loads(registry.to_json())["metrics"]
+        exemplars = family["series"][0]["exemplars"]
+        assert exemplars["0.1"]["trace_id"] == "deadbeef"
+        assert exemplars["0.1"]["value"] == 0.05
+
+    def test_default_exposition_has_no_exemplar_syntax(self):
+        # The CI ops job parses /metrics with a strict 0.0.4 regex; the
+        # exemplar suffix only appears in the opt-in OpenMetrics shape.
+        registry = MetricsRegistry()
+        registry.histogram(
+            "lat_seconds", "L.", buckets=(0.1,)
+        ).observe(0.05, exemplar="deadbeef")
+        assert "deadbeef" not in registry.to_prometheus()
+        assert "# {" not in registry.to_prometheus()
+
+    def test_openmetrics_exposition_carries_exemplars_and_eof(self):
+        registry = MetricsRegistry()
+        registry.histogram(
+            "lat_seconds", "L.", buckets=(0.1,)
+        ).observe(0.05, exemplar="deadbeef")
+        text = registry.to_openmetrics()
+        assert '# {trace_id="deadbeef"} 0.05' in text
+        assert text.endswith("# EOF\n")
+
+    def test_null_registry_swallows_exemplars(self):
+        NULL_REGISTRY.histogram("h", "H.").observe(0.1, exemplar="x")
+        assert NULL_REGISTRY.histogram("h", "H.").exemplars() == {}

@@ -1,0 +1,141 @@
+"""Tests for the continuous sampling profiler."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import SamplingProfiler, _fold
+
+
+def _busy(stop: threading.Event) -> None:
+    while not stop.is_set():
+        sum(range(2000))
+
+
+class TestSampling:
+    def test_captures_a_busy_thread(self):
+        stop = threading.Event()
+        worker = threading.Thread(target=_busy, args=(stop,), daemon=True)
+        worker.start()
+        try:
+            profiler = SamplingProfiler(hz=250.0)
+            profiler.run_for(0.3)
+        finally:
+            stop.set()
+            worker.join()
+        assert profiler.samples > 10
+        stacks = profiler.folded()
+        assert any("_busy" in stack for stack in stacks)
+        # The profiler's own sampling thread never profiles itself.
+        assert not any("sampling-profiler" in stack for stack in stacks)
+        assert not any("_run" in stack.split(";")[-1].split(" ")[0]
+                       for stack in stacks if "profile.py" in stack)
+
+    def test_start_stop_lifecycle(self):
+        profiler = SamplingProfiler(hz=200.0)
+        assert not profiler.running
+        profiler.start()
+        assert profiler.running
+        with pytest.raises(RuntimeError):
+            profiler.start()
+        profiler.stop()
+        assert not profiler.running
+        profiler.stop()   # idempotent
+
+    def test_reset_clears_counts(self):
+        profiler = SamplingProfiler(hz=500.0)
+        profiler.run_for(0.05)
+        profiler.reset()
+        assert profiler.samples == 0
+        assert profiler.folded() == {}
+
+    def test_invalid_hz_rejected(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=0)
+
+    def test_samples_counter_exported(self):
+        registry = MetricsRegistry()
+        SamplingProfiler(hz=500.0, registry=registry).run_for(0.05)
+        assert registry.counter("profile_samples_total").value > 0
+
+
+class TestFold:
+    def test_folds_outermost_first(self):
+        import sys
+
+        frame = sys._getframe()
+        folded = _fold(frame)
+        parts = folded.split(";")
+        assert "test_folds_outermost_first" in parts[-1]
+        assert "test_profile.py" in parts[-1]
+
+
+class TestExports:
+    def _profiled(self) -> SamplingProfiler:
+        stop = threading.Event()
+        worker = threading.Thread(target=_busy, args=(stop,), daemon=True)
+        worker.start()
+        profiler = SamplingProfiler(hz=400.0)
+        profiler.run_for(0.15)
+        stop.set()
+        worker.join()
+        return profiler
+
+    def test_collapsed_format(self, tmp_path):
+        profiler = self._profiled()
+        text = profiler.to_collapsed()
+        assert text
+        for line in text.strip().splitlines():
+            stack, _, count = line.rpartition(" ")
+            assert stack
+            assert int(count) > 0
+        path = tmp_path / "prof.collapsed"
+        written = profiler.write_collapsed(path)
+        assert written == len(text.strip().splitlines())
+        assert path.read_text() == text
+
+    def test_speedscope_format(self, tmp_path):
+        profiler = self._profiled()
+        doc = profiler.to_speedscope(name="unit")
+        assert doc["$schema"].startswith("https://www.speedscope.app/")
+        (profile,) = doc["profiles"]
+        assert profile["type"] == "sampled"
+        assert len(profile["samples"]) == len(profile["weights"])
+        frame_count = len(doc["shared"]["frames"])
+        for sample in profile["samples"]:
+            assert all(0 <= index < frame_count for index in sample)
+        path = tmp_path / "prof.speedscope.json"
+        profiler.write_speedscope(path, name="unit")
+        assert json.loads(path.read_text())["name"] == "unit"
+
+    def test_report_shape(self):
+        profiler = self._profiled()
+        report = profiler.report()
+        assert report["format"] == "repro-profile-v1"
+        assert report["samples"] == profiler.samples
+        assert report["wall_seconds"] > 0
+        assert not report["running"]
+        assert len(report["top_stacks"]) <= 25
+        if report["top_stacks"]:
+            assert report["top_stacks"][0]["count"] >= (
+                report["top_stacks"][-1]["count"]
+            )
+
+    def test_empty_profiler_exports_cleanly(self):
+        profiler = SamplingProfiler()
+        assert profiler.to_collapsed() == ""
+        doc = profiler.to_speedscope()
+        assert doc["profiles"][0]["samples"] == []
+        assert profiler.report()["samples"] == 0
+
+
+class TestPacing:
+    def test_sample_rate_is_roughly_honoured(self):
+        # 200 Hz over 0.5 s should land within a factor of ~2 of the
+        # target even on a loaded CI box (deadline pacing re-anchors
+        # instead of bursting).
+        profiler = SamplingProfiler(hz=200.0)
+        profiler.run_for(0.5)
+        assert 30 <= profiler.samples <= 220

@@ -11,8 +11,15 @@ import pytest
 
 from repro.core.streaming import StreamingConfig, StreamingProfiler
 from repro.netobs.flows import HostnameEvent
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.server import PROMETHEUS_CONTENT_TYPE, AdminServer
+from repro.obs.profile import SamplingProfiler
+from repro.obs.server import (
+    MAX_QUERY_LENGTH,
+    PROMETHEUS_CONTENT_TYPE,
+    AdminServer,
+)
+from repro.obs.slo import SLOEngine
 
 _PROM_LINE = re.compile(
     r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? "
@@ -281,6 +288,221 @@ class TestConcurrentScrapes:
                     f"counter went backwards in worker {worker}"
                 )
             assert stream.events_seen == 600
+
+
+class TestIntrospectionRoutes:
+    def test_slo_and_alerts_404_without_engine(self, server):
+        assert _get(server.url("/slo"))[0] == 404
+        assert _get(server.url("/alerts"))[0] == 404
+
+    def test_slo_and_alerts_serve_engine_reports(self, server, registry):
+        registry.counter("stream_events_total", "E.").inc(100)
+        engine = SLOEngine(registry)
+        engine.evaluate()
+        server.attach(slo_engine=engine)
+        status, _, body = _get(server.url("/slo"))
+        assert status == 200
+        assert json.loads(body)["format"] == "repro-slo-v1"
+        status, _, body = _get(server.url("/alerts"))
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["format"] == "repro-alerts-v1"
+        assert payload["count"] == 0
+
+    def test_profile_404_without_profiler_and_no_burst(self, server):
+        status, _, body = _get(server.url("/profile"))
+        assert status == 404
+        assert "burst" in json.loads(body)["error"]
+
+    def test_profile_burst_returns_fresh_report(self, server):
+        status, _, body = _get(
+            server.url("/profile?seconds=0.1&hz=50")
+        )
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["format"] == "repro-profile-v1"
+        assert payload["wall_seconds"] >= 0.1
+
+    def test_profile_serves_attached_continuous_profiler(self, server):
+        profiler = SamplingProfiler(hz=200.0)
+        profiler.run_for(0.05)
+        server.attach(profiler=profiler)
+        status, _, body = _get(server.url("/profile"))
+        assert status == 200
+        assert json.loads(body)["samples"] == profiler.samples
+        status, _, body = _get(server.url("/profile?format=speedscope"))
+        assert status == 200
+        assert "$schema" in json.loads(body)
+
+    def test_flight_route_reports_and_dumps(self, server, tmp_path):
+        flight = FlightRecorder(capacity=16)
+        flight.record("state", "hello")
+        dump_path = tmp_path / "flight.json"
+        server.attach(flight=flight, flight_path=dump_path)
+        status, _, body = _get(server.url("/flight"))
+        assert status == 200
+        assert json.loads(body)["kinds"] == {"state": 1}
+        assert not dump_path.exists()
+        status, _, body = _get(server.url("/flight?dump=1"))
+        assert status == 200
+        assert json.loads(body)["dump_path"] == str(dump_path)
+        saved = json.loads(dump_path.read_text())
+        assert saved["events"][0]["name"] == "hello"
+
+
+class TestAdversarialParams:
+    """Garbage in must mean 4xx out — a scrape can never 500 a route."""
+
+    ROUTES = (
+        "/metrics", "/healthz", "/readyz", "/varz", "/generations",
+        "/drift/latest", "/slo", "/alerts", "/profile", "/flight",
+    )
+
+    def _assert_client_error(self, server, target):
+        status, _, body = _get(server.url(target))
+        assert 400 <= status < 500, (
+            f"{target} returned {status}: {body[:200]}"
+        )
+
+    def test_unknown_params_rejected_on_every_route(self, server):
+        for route in self.ROUTES:
+            self._assert_client_error(server, f"{route}?bogus=1")
+
+    def test_oversized_query_rejected_on_every_route(self, server):
+        huge = "x" * (MAX_QUERY_LENGTH + 1)
+        for route in self.ROUTES:
+            self._assert_client_error(server, f"{route}?{huge}")
+
+    def test_garbage_values_are_4xx_never_500(self, server):
+        for target in (
+            "/metrics?format=yaml",
+            "/metrics?format=prometheus&format=prometheus",
+            "/profile?seconds=abc",
+            "/profile?seconds=-1",
+            "/profile?seconds=nan",
+            "/profile?seconds=1e308",
+            "/profile?seconds=0.2&hz=999999",
+            "/profile?hz=100",               # hz without seconds
+            "/profile?seconds=0.2&format=pprof",
+            "/flight?dump=yes",
+            "/flight?dump=1&dump=1",
+            "/readyz?verbose=1",
+            "/slo?window=fast",
+        ):
+            self._assert_client_error(server, target)
+
+    def test_server_still_healthy_after_abuse(self, server):
+        for route in self.ROUTES:
+            _get(server.url(f"{route}?bogus=1"))
+        status, _, _ = _get(server.url("/healthz"))
+        assert status == 200
+
+
+class TestConcurrentIntrospection:
+    def test_profile_metrics_slo_race_live_ingest(self, registry):
+        """/profile bursts, /metrics and /slo scrapes race live ingest.
+
+        Every response must be well-formed with a 2xx status — the
+        introspection plane reads shared state while the stream mutates
+        it, and the locking has to hold under that pressure.
+        """
+        stream = StreamingProfiler(StreamingConfig(), registry=registry)
+        engine = SLOEngine(registry)
+        profiler = SamplingProfiler(hz=100.0, registry=registry)
+        profiler.start()
+        try:
+            with AdminServer(registry) as admin:
+                admin.attach(slo_engine=engine, profiler=profiler)
+                failures = []
+
+                def hit(path, checker):
+                    try:
+                        for _ in range(10):
+                            status, _, body = _get(admin.url(path))
+                            assert status == 200, f"{path}: {status}"
+                            checker(body)
+                    except Exception as error:
+                        failures.append(
+                            f"{path}: {type(error).__name__}: {error}"
+                        )
+
+                threads = [
+                    threading.Thread(
+                        target=hit,
+                        args=("/metrics", parse_prometheus),
+                    ),
+                    threading.Thread(
+                        target=hit,
+                        args=(
+                            "/slo",
+                            lambda b: json.loads(b)["objectives"],
+                        ),
+                    ),
+                    threading.Thread(
+                        target=hit,
+                        args=(
+                            "/profile",
+                            lambda b: json.loads(b)["format"],
+                        ),
+                    ),
+                    threading.Thread(
+                        target=hit,
+                        args=(
+                            "/profile?seconds=0.1&hz=50",
+                            lambda b: json.loads(b)["samples"],
+                        ),
+                    ),
+                ]
+                for thread in threads:
+                    thread.start()
+                for step in range(400):
+                    stream.ingest(
+                        _event(f"h{step % 20}.com", float(step),
+                               client=f"10.0.0.{step % 4}")
+                    )
+                for thread in threads:
+                    thread.join(timeout=60)
+                assert not failures, failures
+        finally:
+            profiler.stop()
+
+    def test_flight_dump_races_concurrent_writes(self, registry, tmp_path):
+        """Admin-triggered dumps while writers hammer the ring.
+
+        Each dump response must be 200 and the file it names must parse
+        as coherent JSON — the dump snapshots the ring under its lock.
+        """
+        flight = FlightRecorder(capacity=64, registry=registry)
+        dump_path = tmp_path / "flight.json"
+        stop = threading.Event()
+
+        def writer(worker):
+            i = 0
+            while not stop.is_set():
+                flight.record("flow", f"w{worker}-{i}", worker=worker)
+                i += 1
+
+        writers = [
+            threading.Thread(target=writer, args=(w,), daemon=True)
+            for w in range(3)
+        ]
+        for thread in writers:
+            thread.start()
+        try:
+            with AdminServer(registry) as admin:
+                admin.attach(flight=flight, flight_path=dump_path)
+                for _ in range(10):
+                    status, _, body = _get(admin.url("/flight?dump=1"))
+                    assert status == 200
+                    assert json.loads(body)["dump_path"] == str(dump_path)
+                    saved = json.loads(dump_path.read_text())
+                    assert len(saved["events"]) <= 64
+                    sequences = [e["seq"] for e in saved["events"]]
+                    assert sequences == sorted(sequences)
+        finally:
+            stop.set()
+            for thread in writers:
+                thread.join()
 
 
 class TestLifecycle:

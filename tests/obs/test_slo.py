@@ -1,0 +1,298 @@
+"""Tests for the SLO engine: burn rates, multi-window alerting, reports."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    SLO,
+    SLOEngine,
+    default_slos,
+    estimate_quantile,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _latency_slo(threshold: float = 0.05) -> SLO:
+    return SLO(
+        name="lat-p99",
+        kind="latency",
+        metric="op_seconds",
+        quantile=0.99,
+        threshold=threshold,
+    )
+
+
+def _ratio_slo(threshold: float = 0.01) -> SLO:
+    return SLO(
+        name="bad-ratio",
+        kind="ratio",
+        numerator="bad_total",
+        denominator="all_total",
+        threshold=threshold,
+    )
+
+
+def _engine(registry, slos, clock, fast=10.0, slow=60.0) -> SLOEngine:
+    return SLOEngine(
+        registry,
+        slos=slos,
+        fast_window_seconds=fast,
+        slow_window_seconds=slow,
+        clock=clock,
+    )
+
+
+class TestValidation:
+    def test_default_slos_validate(self):
+        for slo in default_slos():
+            slo.validate()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            SLO(name="x", kind="nope", threshold=1.0).validate()
+
+    def test_latency_requires_metric_and_sane_quantile(self):
+        with pytest.raises(ValueError, match="metric"):
+            SLO(name="x", kind="latency", threshold=0.1).validate()
+        with pytest.raises(ValueError, match="quantile"):
+            SLO(
+                name="x", kind="latency", metric="m",
+                threshold=0.1, quantile=1.5,
+            ).validate()
+
+    def test_ratio_requires_both_families(self):
+        with pytest.raises(ValueError, match="numerator"):
+            SLO(
+                name="x", kind="ratio", threshold=0.1, numerator="n"
+            ).validate()
+
+    def test_window_ordering_enforced(self):
+        with pytest.raises(ValueError, match="slow window"):
+            SLOEngine(
+                MetricsRegistry(),
+                slos=[_ratio_slo()],
+                fast_window_seconds=60,
+                slow_window_seconds=5,
+            )
+
+
+class TestQuantileEstimator:
+    def test_interpolates_within_bucket(self):
+        # 100 observations, 90 at/below 0.1, all 100 at/below 1.0:
+        # p95 sits halfway into the (0.1, 1.0] bucket.
+        buckets = [(0.1, 90.0), (1.0, 100.0), (float("inf"), 100.0)]
+        estimate = estimate_quantile(buckets, 0.95)
+        assert 0.1 < estimate <= 1.0
+        assert abs(estimate - 0.55) < 1e-9
+
+    def test_overflow_quantile_reports_last_finite_bound(self):
+        buckets = [(0.1, 0.0), (float("inf"), 100.0)]
+        assert estimate_quantile(buckets, 0.99) == 0.1
+
+    def test_no_data_returns_none(self):
+        assert estimate_quantile([], 0.99) is None
+        assert estimate_quantile([(0.1, 0.0)], 0.99) is None
+
+
+class TestRatioObjective:
+    def test_quiet_stream_is_ok(self):
+        registry = MetricsRegistry()
+        registry.counter("all_total").inc(1000)
+        clock = FakeClock()
+        engine = _engine(registry, [_ratio_slo()], clock)
+        state = engine.evaluate()["bad-ratio"]
+        assert state.ok and not state.alerting
+
+    def test_spike_fires_then_clears_when_fast_window_recovers(self):
+        registry = MetricsRegistry()
+        bad = registry.counter("bad_total")
+        total = registry.counter("all_total")
+        clock = FakeClock()
+        engine = _engine(registry, [_ratio_slo(0.01)], clock)
+        engine.evaluate()                    # baseline
+        # Spike: every event bad for a few seconds -> burn 100x budget.
+        for _ in range(3):
+            clock.advance(1.0)
+            bad.inc(50)
+            total.inc(50)
+            state = engine.evaluate()["bad-ratio"]
+        assert state.alerting
+        assert state.burn_fast >= engine.fast_burn_threshold
+        assert state.burn_slow >= engine.slow_burn_threshold
+        transitions = registry.counter(
+            "slo_alert_transitions_total", labelnames=("slo", "direction")
+        )
+        assert transitions.value_of(slo="bad-ratio", direction="fire") == 1
+        # Recovery: healthy traffic pushes the spike out of the fast
+        # window; the slow window still remembers it (that's the point
+        # of multi-window alerting: fast clears, slow confirms).
+        for _ in range(12):
+            clock.advance(1.0)
+            total.inc(50)
+            state = engine.evaluate()["bad-ratio"]
+        assert not state.alerting
+        assert state.burn_fast < engine.fast_burn_threshold
+        assert transitions.value_of(slo="bad-ratio", direction="clear") == 1
+
+    def test_transition_observers_see_both_flips(self):
+        registry = MetricsRegistry()
+        bad = registry.counter("bad_total")
+        total = registry.counter("all_total")
+        clock = FakeClock()
+        engine = _engine(registry, [_ratio_slo(0.01)], clock)
+        seen = []
+        engine.on_transition.append(
+            lambda name, active, state: seen.append((name, active))
+        )
+        engine.evaluate()
+        clock.advance(1.0)
+        bad.inc(10)
+        total.inc(10)
+        engine.evaluate()
+        for _ in range(12):
+            clock.advance(1.0)
+            total.inc(50)
+            engine.evaluate()
+        assert seen == [("bad-ratio", True), ("bad-ratio", False)]
+
+    def test_no_events_is_skipped_not_alerting(self):
+        registry = MetricsRegistry()
+        clock = FakeClock()
+        engine = _engine(registry, [_ratio_slo()], clock)
+        state = engine.evaluate()["bad-ratio"]
+        assert state.skipped and not state.alerting
+
+
+class TestLatencyObjective:
+    def test_slow_observations_burn_the_budget(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "op_seconds", "Op.", buckets=(0.01, 0.05, 0.1, 1.0)
+        )
+        clock = FakeClock()
+        engine = _engine(registry, [_latency_slo(0.05)], clock)
+        engine.evaluate()
+        clock.advance(1.0)
+        for _ in range(100):
+            hist.observe(0.5)    # all above the 50 ms objective
+        state = engine.evaluate()["lat-p99"]
+        assert state.alerting
+        assert state.current > 0.05
+        assert state.budget_remaining == 0.0
+
+    def test_fast_observations_keep_it_ok(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "op_seconds", "Op.", buckets=(0.01, 0.05, 0.1, 1.0)
+        )
+        clock = FakeClock()
+        engine = _engine(registry, [_latency_slo(0.05)], clock)
+        engine.evaluate()
+        clock.advance(1.0)
+        for _ in range(100):
+            hist.observe(0.001)
+        state = engine.evaluate()["lat-p99"]
+        assert state.ok and not state.alerting
+        assert state.current <= 0.05
+        assert state.budget_remaining == 1.0
+
+
+class TestGaugeObjective:
+    def test_zero_gauge_is_not_yet_measured(self):
+        registry = MetricsRegistry()
+        registry.gauge("overlap", "O.")    # defaults to 0.0
+        slo = SLO(
+            name="floor", kind="gauge_min", metric="overlap", threshold=0.5
+        )
+        engine = _engine(registry, [slo], FakeClock())
+        state = engine.evaluate()["floor"]
+        assert state.skipped and not state.alerting
+
+    def test_floor_breach_alerts_immediately(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("overlap", "O.")
+        slo = SLO(
+            name="floor", kind="gauge_min", metric="overlap", threshold=0.5
+        )
+        engine = _engine(registry, [slo], FakeClock())
+        gauge.set(0.9)
+        assert engine.evaluate()["floor"].ok
+        gauge.set(0.2)
+        state = engine.evaluate()["floor"]
+        assert state.alerting and not state.ok
+
+    def test_ceiling_breach_alerts(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("lag", "L.")
+        slo = SLO(
+            name="ceil", kind="gauge_max", metric="lag", threshold=10.0
+        )
+        engine = _engine(registry, [slo], FakeClock())
+        gauge.set(50.0)
+        assert engine.evaluate()["ceil"].alerting
+
+
+class TestReports:
+    def test_slo_report_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("all_total").inc(10)
+        engine = _engine(registry, [_ratio_slo()], FakeClock())
+        report = engine.slo_report()
+        assert report["format"] == "repro-slo-v1"
+        (objective,) = report["objectives"]
+        assert objective["name"] == "bad-ratio"
+        assert objective["budget"] == 0.01
+
+    def test_alerts_report_lists_only_firing(self):
+        registry = MetricsRegistry()
+        bad = registry.counter("bad_total")
+        total = registry.counter("all_total")
+        clock = FakeClock()
+        engine = _engine(registry, [_ratio_slo(0.01)], clock)
+        engine.evaluate()
+        report = engine.alerts_report()
+        assert report["format"] == "repro-alerts-v1"
+        assert report["count"] == 0
+        clock.advance(1.0)
+        bad.inc(10)
+        total.inc(10)
+        report = engine.alerts_report()
+        assert report["count"] == 1
+        assert report["firing"][0]["name"] == "bad-ratio"
+
+    def test_background_thread_evaluates(self):
+        registry = MetricsRegistry()
+        registry.counter("all_total").inc(5)
+        engine = SLOEngine(registry, slos=[_ratio_slo()])
+        engine.start(interval_seconds=0.05)
+        try:
+            import time
+
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if registry.counter("slo_evaluations_total").value >= 2:
+                    break
+                time.sleep(0.02)
+            assert registry.counter("slo_evaluations_total").value >= 2
+        finally:
+            engine.stop()
+
+    def test_metrics_exported(self):
+        registry = MetricsRegistry()
+        registry.counter("all_total").inc(10)
+        engine = _engine(registry, [_ratio_slo()], FakeClock())
+        engine.evaluate()
+        text = registry.to_prometheus()
+        assert 'slo_burn_rate{slo="bad-ratio",window="fast"}' in text
+        assert 'slo_alert_active{slo="bad-ratio"}' in text
+        assert 'slo_error_budget_remaining{slo="bad-ratio"}' in text

@@ -2,8 +2,21 @@
 
 import json
 import threading
+import time
 
-from repro.obs.tracing import NULL_TRACER, NullTracer, Tracer
+import pytest
+
+import repro.obs.tracing as tracing
+from repro.obs.tracing import (
+    NULL_TRACER,
+    HeadSampler,
+    NullTracer,
+    TraceContext,
+    Tracer,
+    current_exemplar,
+    current_trace,
+    use_trace,
+)
 
 
 class TestSpans:
@@ -101,6 +114,127 @@ class TestExports:
 
     def test_empty_summary(self):
         assert Tracer().summary() == "trace: no spans recorded"
+
+
+class TestWallClockAnchor:
+    def test_backwards_wall_step_cannot_reorder_spans(self, monkeypatch):
+        # An NTP correction steps time.time() back an hour mid-run.  The
+        # tracer reads the wall clock exactly once (at construction);
+        # every span start is a perf_counter offset from that anchor, so
+        # the recorded timeline stays monotone with non-negative
+        # durations.  A naive time.time()-per-span implementation would
+        # place "after" an hour before "before".
+        tracer = Tracer()
+        with tracer.span("before"):
+            pass
+        real_time = time.time
+        monkeypatch.setattr(
+            tracing.time, "time", lambda: real_time() - 3600.0
+        )
+        with tracer.span("after"):
+            pass
+        before, after = tracer.spans()
+        assert after.start_wall >= before.start_wall
+        assert before.duration >= 0 and after.duration >= 0
+
+    def test_anchor_maps_to_epoch_seconds(self):
+        now = time.time()
+        tracer = Tracer()
+        with tracer.span("op"):
+            pass
+        (span,) = tracer.spans()
+        assert abs(span.start_wall - now) < 60.0
+
+
+class TestTraceContext:
+    def test_no_context_by_default(self):
+        assert current_trace() is None
+        assert current_exemplar() is None
+
+    def test_use_trace_scopes_the_context(self):
+        ctx = TraceContext(trace_id="abc123")
+        with use_trace(ctx):
+            assert current_trace() is ctx
+            assert current_exemplar() == "abc123"
+        assert current_trace() is None
+
+    def test_unsampled_context_yields_no_exemplar(self):
+        with use_trace(TraceContext(trace_id="abc123", sampled=False)):
+            assert current_trace() is not None
+            assert current_exemplar() is None
+
+    def test_spans_join_the_active_trace(self):
+        tracer = Tracer()
+        with use_trace(TraceContext(trace_id="t1")):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    pass
+        (outer,) = tracer.spans()
+        (inner,) = outer.children
+        assert outer.trace_id == inner.trace_id == "t1"
+        assert outer.parent_span_id is None
+        assert inner.parent_span_id == outer.span_id
+
+    def test_trace_spans_reassembles_across_roots(self):
+        # Ingest and profile run as separate roots (different components,
+        # possibly different threads) but share one trace; the child()
+        # hand-off parents the second root under the first span.
+        tracer = Tracer()
+        ctx = TraceContext(trace_id="t2")
+        with use_trace(ctx):
+            with tracer.span("netobs.ingest") as ingest:
+                pass
+        with use_trace(ctx.child(ingest.span_id)):
+            with tracer.span("profile.session"):
+                pass
+        spans = tracer.trace_spans("t2")
+        assert [s.name for s in spans] == [
+            "netobs.ingest", "profile.session"
+        ]
+        assert spans[1].parent_span_id == spans[0].span_id
+        assert tracer.trace_spans("missing") == []
+
+    def test_chrome_trace_carries_trace_ids(self):
+        tracer = Tracer()
+        with use_trace(TraceContext(trace_id="t3")):
+            with tracer.span("op"):
+                pass
+        (event,) = tracer.to_chrome_trace()["traceEvents"]
+        assert event["args"]["trace_id"] == "t3"
+        assert event["args"]["span_id"]
+
+
+class TestHeadSampler:
+    def test_rate_bounds(self):
+        clients = [f"10.0.0.{i}" for i in range(64)]
+        keep_all = HeadSampler(1.0)
+        keep_none = HeadSampler(0.0)
+        assert all(keep_all.sampled(c) for c in clients)
+        assert not any(keep_none.sampled(c) for c in clients)
+
+    def test_decision_is_deterministic_per_client(self):
+        sampler = HeadSampler(0.5)
+        again = HeadSampler(0.5)
+        for client in ("10.0.0.1", "10.0.0.2", "192.168.7.9"):
+            assert sampler.sampled(client) == again.sampled(client)
+
+    def test_rate_is_approximately_honoured(self):
+        sampler = HeadSampler(0.25)
+        kept = sum(
+            sampler.sampled(f"client-{i}") for i in range(4000)
+        )
+        assert 0.20 < kept / 4000 < 0.30
+
+    def test_start_returns_context_only_when_sampled(self):
+        ctx = HeadSampler(1.0).start("10.0.0.1")
+        assert ctx is not None and ctx.sampled
+        assert HeadSampler(0.0).start("10.0.0.1") is None
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            HeadSampler(-0.1)
+        with pytest.raises(ValueError):
+            HeadSampler(1.5)
 
 
 class TestNullTracer:
