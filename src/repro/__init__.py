@@ -29,13 +29,14 @@ from repro.core import (
     SkipGramModel,
 )
 from repro.experiment import ExperimentConfig, ExperimentResult, ExperimentRunner
-from repro.world import World, make_world
+from repro.world import LazyWorld, World, make_lazy_world, make_world
 
 __all__ = [
     "ExperimentConfig",
     "ExperimentResult",
     "ExperimentRunner",
     "HostnameEmbeddings",
+    "LazyWorld",
     "NetworkObserverProfiler",
     "PipelineConfig",
     "SessionProfile",
@@ -44,5 +45,6 @@ __all__ = [
     "SkipGramModel",
     "World",
     "__version__",
+    "make_lazy_world",
     "make_world",
 ]

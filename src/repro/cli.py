@@ -9,6 +9,12 @@ Exposes the reproduction's main entry points without writing any code:
 * ``neighbours``   — query a saved embedding file for similar hostnames;
 * ``synthesize``   — write a synthetic browsing capture as a pcap file,
                      optionally with injected faults (``--chaos-*``);
+* ``worldgen``     — stream a seeded world out-of-core: time-ordered,
+                     resumable trace batches at any population size
+                     (``--population`` / ``--batch-events`` /
+                     ``--cursor``), with optional sharded or single-file
+                     output, an observe→profile smoke and generation
+                     stats (events/s, peak RSS);
 * ``observe``      — read a pcap, extract SNI hostnames per client;
 * ``stream``       — run the fault-tolerant streaming runtime over a pcap
                      (lateness tolerance, quarantine, checkpoint/restore;
@@ -58,26 +64,13 @@ from pathlib import Path
 
 
 def _build_world(seed: int, num_sites: int, num_users: int, days: int):
-    from repro.ontology import build_default_taxonomy
-    from repro.traffic import (
-        PopulationConfig,
-        SyntheticWeb,
-        TraceGenerator,
-        UserPopulation,
-        WebConfig,
-    )
-    from repro.utils.randomness import derive_rng
+    """Every subcommand builds worlds one way: through the world facade."""
+    from repro.world import make_world
 
-    taxonomy = build_default_taxonomy()
-    web = SyntheticWeb.generate(
-        taxonomy, derive_rng(seed, "web"), WebConfig(num_sites=num_sites)
+    world = make_world(
+        seed=seed, num_sites=num_sites, num_users=num_users, num_days=days
     )
-    population = UserPopulation.generate(
-        web, derive_rng(seed, "users"),
-        PopulationConfig(num_users=num_users),
-    )
-    trace = TraceGenerator(web, population, seed=seed).generate(days)
-    return taxonomy, web, population, trace
+    return world.taxonomy, world.web, world.population, world.trace
 
 
 def _index_config(args: argparse.Namespace):
@@ -106,21 +99,10 @@ def _labelled_world(seed: int, sites: int):
     the publisher used, so ``--seed``/``--sites`` must match the run
     that trained the generation.
     """
-    from repro.ontology import OntologyLabeler, build_default_taxonomy
-    from repro.traffic import SyntheticWeb, WebConfig
-    from repro.utils.randomness import derive_rng
+    from repro.world import build_labelled_set, build_web
 
-    taxonomy = build_default_taxonomy()
-    web = SyntheticWeb.generate(
-        taxonomy, derive_rng(seed, "web"), WebConfig(num_sites=sites)
-    )
-    labeler = OntologyLabeler(taxonomy)
-    return labeler.build_labelled_set(
-        web.ground_truth(),
-        universe_size=len(web.all_hostnames()),
-        rng=derive_rng(seed, "labeler"),
-        popularity=web.popularity(),
-    )
+    taxonomy, web = build_web(seed, sites)
+    return build_labelled_set(web, taxonomy, seed)
 
 
 def _telemetry(args: argparse.Namespace):
@@ -436,6 +418,205 @@ def cmd_synthesize(args: argparse.Namespace) -> int:
         )
     count = write_pcap(args.output, packets, linktype=LINKTYPE_ETHERNET)
     print(f"wrote {count} packets to {args.output}")
+    return 0
+
+
+def _peak_rss_mb() -> float:
+    """Peak resident set size of this process, in MiB."""
+    import resource
+
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB, macOS bytes.
+    return rss / 1024.0 if sys.platform != "darwin" else rss / 2**20
+
+
+def cmd_worldgen(args: argparse.Namespace) -> int:
+    """Stream a seeded world out-of-core; report generation stats."""
+    import time
+
+    from repro.traffic import (
+        GenerationCursor,
+        PopulationConfig,
+        ShardedTraceWriter,
+        save_trace,
+    )
+    from repro.world import make_lazy_world
+
+    registry, tracer = _telemetry(args)
+    population_config = PopulationConfig(num_users=args.population)
+    if args.sessions_mu is not None:
+        population_config.sessions_per_day_mu = args.sessions_mu
+    if args.sessions_sigma is not None:
+        population_config.sessions_per_day_sigma = args.sessions_sigma
+    world = make_lazy_world(
+        seed=args.seed,
+        num_sites=args.sites,
+        num_users=args.population,
+        num_days=args.days,
+        population_config=population_config,
+        batch_events=args.batch_events,
+        users_per_chunk=args.users_per_chunk,
+        spill_dir=args.spill_dir,
+        cache_profiles=args.cache_profiles,
+        registry=registry,
+        tracer=tracer,
+    )
+    cursor = None
+    cursor_path = Path(args.cursor) if args.cursor else None
+    if cursor_path is not None and cursor_path.exists():
+        cursor = GenerationCursor.load(cursor_path)
+        print(
+            f"resuming from cursor: day {cursor.day}, "
+            f"batch {cursor.batch_index} "
+            f"({cursor.events_emitted} events already emitted)"
+        )
+    writer = None
+    if args.shards:
+        writer = ShardedTraceWriter(
+            args.shards, events_per_shard=args.events_per_shard
+        )
+    observer = stream = synthesizer = None
+    observed_events = profile_emissions = observe_capped = 0
+    if args.observe:
+        from repro.core.streaming import StreamingConfig, StreamingProfiler
+        from repro.netobs import (
+            CaptureConfig,
+            NetworkObserver,
+            ObserverConfig,
+            TrafficSynthesizer,
+        )
+
+        # The default /16 client subnet caps out at 65536 users; wider
+        # populations get the /8 so every user keeps a distinct address.
+        subnet = "10.0" if args.population <= 65536 else "10"
+        synthesizer = TrafficSynthesizer(
+            seed=args.seed, config=CaptureConfig(client_subnet=subnet)
+        )
+        observer = NetworkObserver(
+            ObserverConfig(vantage="sni"),
+            registry=registry, tracer=tracer,
+        )
+        stream = StreamingProfiler(
+            StreamingConfig(), registry=registry, tracer=tracer
+        )
+    started = time.perf_counter()
+    batches = 0
+    events = 0
+
+    def pump():
+        nonlocal batches, events, observed_events, observe_capped
+        nonlocal profile_emissions
+        for batch in world.batches(cursor=cursor):
+            with tracer.span(
+                "worldgen.batch",
+                day=batch.day, index=batch.index, events=len(batch),
+            ):
+                batches += 1
+                events += len(batch)
+                if writer is not None:
+                    writer.write(batch)
+                if observer is not None:
+                    for request in batch.requests:
+                        if observed_events >= args.observe_max_events:
+                            observe_capped += 1
+                            continue
+                        observed_events += 1
+                        for packet in synthesizer.packets_for_request(
+                            request
+                        ):
+                            event = observer.ingest(packet)
+                            if (
+                                event is not None
+                                and stream.ingest(event) is not None
+                            ):
+                                profile_emissions += 1
+                if cursor_path is not None:
+                    batch.resume_cursor.save(cursor_path)
+            yield batch
+            if args.max_batches and batches >= args.max_batches:
+                break
+
+    if args.out:
+        count = save_trace(pump(), args.out)
+        print(f"wrote {count} requests to {args.out}")
+    else:
+        for _ in pump():
+            pass
+    if writer is not None:
+        manifest = writer.close()
+        print(
+            f"wrote {manifest['num_requests']} requests to "
+            f"{len(manifest['shards'])} shard(s) in {args.shards}"
+        )
+    elapsed = time.perf_counter() - started
+    generator = world.generator
+    rate = events / elapsed if elapsed > 0 else 0.0
+    peak_rss = _peak_rss_mb()
+    print(
+        f"worldgen: {args.population} users, {args.days} day(s), "
+        f"{events} events in {batches} batches"
+    )
+    print(
+        f"  {elapsed:.2f}s, {rate:,.0f} events/s, "
+        f"peak RSS {peak_rss:.1f} MiB, "
+        f"{generator.spill_shards} spill shard(s)"
+    )
+    print(
+        f"  profile cache: {world.population.cache_misses} realized, "
+        f"{world.population.cache_hits} hits"
+    )
+    if observer is not None:
+        stats = observer.flow_table.stats
+        if observe_capped:
+            print(
+                f"  observe: capped at {args.observe_max_events} events "
+                f"({observe_capped} not synthesized)"
+            )
+        print(
+            f"  observe: {observed_events} requests -> "
+            f"{stats.packets_seen} packets, {stats.events_emitted} "
+            f"hostname events, {stream.active_clients} clients, "
+            f"{profile_emissions} profiles emitted"
+        )
+    if cursor_path is not None:
+        print(f"cursor checkpointed to {cursor_path}")
+    if args.bench_out:
+        from repro.obs.metrics import MetricsRegistry
+
+        bench = MetricsRegistry()
+
+        def emit(name, help_text, value):
+            bench.gauge(name, help_text).set(value)
+
+        emit("bench_worldgen_users", "Population size.", args.population)
+        emit("bench_worldgen_days", "Days generated.", args.days)
+        emit("bench_worldgen_events", "Requests generated.", events)
+        emit("bench_worldgen_batches", "Batches emitted.", batches)
+        emit(
+            "bench_worldgen_events_per_second",
+            "Streamed generation throughput.", rate,
+        )
+        emit(
+            "bench_worldgen_peak_rss_mb",
+            "Peak resident set size, MiB.", peak_rss,
+        )
+        emit(
+            "bench_worldgen_spill_shards",
+            "External-merge shards spilled.", generator.spill_shards,
+        )
+        out_path = Path(args.bench_out)
+        if out_path.parent != Path("."):
+            out_path.parent.mkdir(parents=True, exist_ok=True)
+        out_path.write_text(bench.to_json(indent=2) + "\n")
+        print(f"bench metrics written to {out_path}")
+    _write_telemetry(args, registry, tracer)
+    if args.rss_limit_mb is not None and peak_rss > args.rss_limit_mb:
+        print(
+            f"error: peak RSS {peak_rss:.1f} MiB exceeds the "
+            f"--rss-limit-mb ceiling of {args.rss_limit_mb:g} MiB",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -1054,6 +1235,89 @@ def build_parser() -> argparse.ArgumentParser:
         help="max arrival delay (seconds) for reordered packets",
     )
     p.set_defaults(func=cmd_synthesize)
+
+    p = sub.add_parser(
+        "worldgen",
+        help="stream a seeded world out-of-core (resumable batches)",
+    )
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--sites", type=int, default=500)
+    p.add_argument(
+        "--population", type=int, default=100_000, metavar="N",
+        help="number of users; profiles are derived from seed + user id "
+        "on demand, never materialized as a list (default 100000)",
+    )
+    p.add_argument("--days", type=int, default=1)
+    p.add_argument(
+        "--batch-events", type=int, default=8192, metavar="N",
+        help="max requests per emitted batch — the stream's working-set "
+        "bound (default 8192)",
+    )
+    p.add_argument(
+        "--users-per-chunk", type=int, default=25_000, metavar="N",
+        help="users generated per external-merge chunk; smaller = less "
+        "memory, more spill shards (default 25000)",
+    )
+    p.add_argument(
+        "--cache-profiles", type=int, default=4096, metavar="N",
+        help="LRU size of realized user profiles (default 4096)",
+    )
+    p.add_argument(
+        "--sessions-mu", type=float, default=None, metavar="MU",
+        help="lognormal mu of sessions/day; strongly negative values "
+        "give the sparse activity used by million-user smokes",
+    )
+    p.add_argument(
+        "--sessions-sigma", type=float, default=None, metavar="SIGMA",
+        help="lognormal sigma of sessions/day",
+    )
+    p.add_argument(
+        "--spill-dir", default=None, metavar="DIR",
+        help="directory for external-merge spill shards "
+        "(default: a private temporary directory)",
+    )
+    p.add_argument(
+        "--cursor", default=None, metavar="PATH",
+        help="resume cursor checkpoint: loaded if it exists, rewritten "
+        "after every batch — kill and rerun to continue exactly-once",
+    )
+    p.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the stream to a single trace file (constant memory)",
+    )
+    p.add_argument(
+        "--shards", default=None, metavar="DIR",
+        help="write the stream as sharded JSONL + MANIFEST.json",
+    )
+    p.add_argument(
+        "--events-per-shard", type=int, default=250_000, metavar="N",
+        help="rotation threshold for --shards (default 250000)",
+    )
+    p.add_argument(
+        "--max-batches", type=int, default=None, metavar="N",
+        help="stop after N batches (the cursor stays valid for resume)",
+    )
+    p.add_argument(
+        "--observe", action="store_true",
+        help="smoke the full path per batch: synthesize packets, "
+        "observe at an SNI vantage, feed the streaming profiler",
+    )
+    p.add_argument(
+        "--observe-max-events", type=int, default=250_000, metavar="N",
+        help="cap on requests run through --observe; the cap is "
+        "reported, never silent (default 250000)",
+    )
+    p.add_argument(
+        "--bench-out", default=None, metavar="PATH",
+        help="write a BENCH_worldgen-style metrics snapshot (events/s, "
+        "peak RSS) as JSON",
+    )
+    p.add_argument(
+        "--rss-limit-mb", type=float, default=None, metavar="MB",
+        help="exit non-zero if peak RSS exceeds this ceiling",
+    )
+    add_telemetry_args(p)
+    p.set_defaults(func=cmd_worldgen)
 
     p = sub.add_parser(
         "observe", help="extract per-client hostnames from a pcap"

@@ -43,19 +43,20 @@ from repro.experiment.extension import SimulatedExtension
 from repro.obs.logging import get_logger
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import NULL_TRACER, Tracer
-from repro.ontology import OntologyLabeler, Taxonomy, build_default_taxonomy
+from repro.ontology import Taxonomy, build_default_taxonomy
 from repro.traffic import (
     HostKind,
     Request,
+    StreamingTraceGenerator,
     SyntheticWeb,
     Trace,
-    TraceGenerator,
     TrackerFilter,
     UserPopulation,
     build_blocklists,
 )
 from repro.utils.randomness import derive_rng
 from repro.utils.timeutils import minutes
+from repro.world import build_labelled_set
 
 log = get_logger("experiment.runner")
 
@@ -67,6 +68,7 @@ class ExperimentWorld:
     taxonomy: Taxonomy
     web: SyntheticWeb
     population: UserPopulation
+    generator: StreamingTraceGenerator
     trace: Trace
     labelled: dict[str, np.ndarray]
     tracker_filter: TrackerFilter
@@ -188,20 +190,20 @@ class ExperimentRunner:
         population = UserPopulation.generate(
             web, derive_rng(seed, "population"), cfg.population
         )
-        generator = TraceGenerator(
-            web, population, seed=seed, session_config=cfg.session
+        # Day slicing is driven by the streaming generator: the trace the
+        # profiling month consumes is its materialized (parity-pinned)
+        # batch stream, and the generator stays around for day re-slicing.
+        generator = StreamingTraceGenerator(
+            web, population, seed=seed, session_config=cfg.session,
+            registry=self.registry, tracer=self.tracer, flight=self.flight,
         )
-        trace = generator.generate(cfg.total_days)
+        trace = generator.materialize(cfg.total_days)
 
         tracker_filter = TrackerFilter(
             build_blocklists(web, derive_rng(seed, "blocklists"))
         )
-        labeler = OntologyLabeler(taxonomy, coverage=cfg.ontology_coverage)
-        labelled = labeler.build_labelled_set(
-            web.ground_truth(),
-            universe_size=len(web.all_hostnames()),
-            rng=derive_rng(seed, "labeler"),
-            popularity=web.popularity(),
+        labelled = build_labelled_set(
+            web, taxonomy, seed, coverage=cfg.ontology_coverage
         )
 
         database = AdDatabase.harvest(
@@ -245,6 +247,7 @@ class ExperimentRunner:
             taxonomy=taxonomy,
             web=web,
             population=population,
+            generator=generator,
             trace=trace,
             labelled=labelled,
             tracker_filter=tracker_filter,

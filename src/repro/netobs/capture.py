@@ -59,10 +59,26 @@ class TrafficSynthesizer:
         self._server_ips: dict[str, str] = {}
 
     def client_ip(self, user_id: int) -> str:
-        """Stable per-user client address in the configured subnet."""
-        if not 0 <= user_id < 65536:
-            raise ValueError("user_id must fit the /16 client subnet")
-        return f"{self.config.client_subnet}.{user_id // 256}.{user_id % 256}"
+        """Stable per-user client address in the configured subnet.
+
+        The prefix length sets the population the capture can carry: the
+        default ``"10.0"`` (/16) addresses 65536 clients; million-user
+        worlds use ``"10"`` (/8) for 16.7M.
+        """
+        prefix_octets = self.config.client_subnet.split(".")
+        free_octets = 4 - len(prefix_octets)
+        capacity = 256 ** free_octets
+        if not 0 <= user_id < capacity:
+            raise ValueError(
+                f"user_id must fit the /{8 * len(prefix_octets)} client "
+                f"subnet {self.config.client_subnet} "
+                f"({capacity} addresses)"
+            )
+        octets, value = [], user_id
+        for _ in range(free_octets):
+            octets.append(str(value % 256))
+            value //= 256
+        return ".".join(prefix_octets + octets[::-1])
 
     def server_ip(self, hostname: str) -> str:
         """Stable fake server address per hostname (hash-derived).

@@ -16,10 +16,30 @@ from repro.traffic.blocklists import (
     build_blocklists,
 )
 from repro.traffic.events import HostKind, Request, hostnames_of
-from repro.traffic.generator import DiurnalModel, Trace, TraceGenerator
-from repro.traffic.io import TraceFormatError, load_trace, save_trace
+from repro.traffic.generator import (
+    DiurnalModel,
+    GenerationCursor,
+    StreamingTraceGenerator,
+    Trace,
+    TraceBatch,
+    TraceGenerator,
+)
+from repro.traffic.io import (
+    ShardedTraceWriter,
+    TraceFormatError,
+    iter_trace,
+    iter_trace_shards,
+    load_trace,
+    load_trace_shards,
+    save_trace,
+)
 from repro.traffic.sessions import BrowsingModel, SessionConfig
-from repro.traffic.users import PopulationConfig, UserPopulation, UserProfile
+from repro.traffic.users import (
+    LazyUserPopulation,
+    PopulationConfig,
+    UserPopulation,
+    UserProfile,
+)
 from repro.traffic.web import (
     Site,
     SyntheticWeb,
@@ -32,13 +52,18 @@ __all__ = [
     "BrowsingModel",
     "DiurnalModel",
     "FilterStats",
+    "GenerationCursor",
     "HostKind",
+    "LazyUserPopulation",
     "PopulationConfig",
     "Request",
     "SessionConfig",
+    "ShardedTraceWriter",
     "Site",
+    "StreamingTraceGenerator",
     "SyntheticWeb",
     "Trace",
+    "TraceBatch",
     "TraceFormatError",
     "TraceGenerator",
     "TrackerFilter",
@@ -48,6 +73,9 @@ __all__ = [
     "WebConfig",
     "build_blocklists",
     "hostnames_of",
+    "iter_trace",
+    "iter_trace_shards",
     "load_trace",
+    "load_trace_shards",
     "save_trace",
 ]

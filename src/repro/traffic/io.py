@@ -1,4 +1,4 @@
-"""Trace persistence: gzipped JSON-lines.
+"""Trace persistence: gzipped JSON-lines, single-file or sharded.
 
 Synthetic traces take minutes to generate at study scale; persisting them
 makes experiments resumable and lets external tools (or a real data
@@ -10,88 +10,331 @@ one JSON object per request — so anything can produce it:
 ``k`` (host kind) and ``s`` (owning site) are ground-truth annotations;
 external data without them can use ``"k": "site"`` and ``"s": <hostname>``,
 which is all a real observer knows anyway.
+
+Two writers cover both ends of the scale:
+
+* :func:`save_trace` writes one ``.jsonl.gz`` file.  It accepts either a
+  materialized :class:`Trace` or the streaming-generator batch iterator —
+  the streamed path is constant-memory (the header's day range is fixed
+  up by writing the body first and prepending the header as a separate
+  gzip member, which any gzip reader transparently concatenates).
+* :class:`ShardedTraceWriter` appends batches into a directory of bounded
+  shards plus a manifest — the spill format for million-user worlds,
+  readable back as a stream (:func:`iter_trace_shards`) without ever
+  materializing the trace.
 """
 
 from __future__ import annotations
 
 import gzip
 import json
+import shutil
 from pathlib import Path
+from typing import Iterable, Iterator
 
 from repro.traffic.events import HostKind, Request
-from repro.traffic.generator import Trace
+from repro.traffic.generator import Trace, TraceBatch
 from repro.utils.timeutils import DAY_SECONDS
+
+TRACE_FORMAT = "repro-trace-v1"
+SHARDS_FORMAT = "repro-trace-shards-v1"
 
 
 class TraceFormatError(ValueError):
     """Raised for records that do not parse as requests."""
 
 
-def save_trace(trace: Trace, path: str | Path) -> int:
-    """Write the trace as gzipped JSON-lines; returns the request count."""
+def _record(day: int, request: Request) -> str:
+    return json.dumps(
+        {
+            "d": day,
+            "u": request.user_id,
+            "t": round(request.timestamp, 3),
+            "h": request.hostname,
+            "k": request.kind.value,
+            "s": request.site_domain,
+        }
+    )
+
+
+def _day_of(batch_or_request) -> int:
+    if isinstance(batch_or_request, TraceBatch):
+        return batch_or_request.day
+    return int(batch_or_request.timestamp // DAY_SECONDS)
+
+
+def _requests_of(batch_or_request) -> Iterable[Request]:
+    if isinstance(batch_or_request, TraceBatch):
+        return batch_or_request.requests
+    return (batch_or_request,)
+
+
+def _header(start_day: int, num_days: int) -> str:
+    return json.dumps(
+        {"format": TRACE_FORMAT, "start_day": start_day,
+         "num_days": num_days}
+    )
+
+
+def save_trace(
+    trace: Trace | Iterable,
+    path: str | Path,
+) -> int:
+    """Write a trace as gzipped JSON-lines; returns the request count.
+
+    ``trace`` is either a materialized :class:`Trace` or an iterable of
+    :class:`TraceBatch` / :class:`Request` (e.g.
+    ``StreamingTraceGenerator.batches(...)``).  The streamed path never
+    holds more than one batch in memory: the body is written first to a
+    sidecar file, then the final file is assembled as two concatenated
+    gzip members (header, body) — a format every gzip reader, including
+    :func:`load_trace`, already handles.
+    """
     path = Path(path)
+    if isinstance(trace, Trace):
+        count = 0
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write(_header(trace.start_day, len(trace)) + "\n")
+            for offset, day_requests in enumerate(trace.days):
+                day = trace.start_day + offset
+                for request in day_requests:
+                    handle.write(_record(day, request) + "\n")
+                    count += 1
+        return count
+
+    body = path.with_name(path.name + ".body")
     count = 0
-    with gzip.open(path, "wt", encoding="utf-8") as handle:
-        header = {"format": "repro-trace-v1", "start_day": trace.start_day,
-                  "num_days": len(trace)}
-        handle.write(json.dumps(header) + "\n")
-        for offset, day_requests in enumerate(trace.days):
-            for request in day_requests:
-                record = {
-                    "d": trace.start_day + offset,
-                    "u": request.user_id,
-                    "t": round(request.timestamp, 3),
-                    "h": request.hostname,
-                    "k": request.kind.value,
-                    "s": request.site_domain,
-                }
-                handle.write(json.dumps(record) + "\n")
-                count += 1
+    min_day: int | None = None
+    max_day: int | None = None
+    try:
+        with gzip.open(body, "wt", encoding="utf-8") as handle:
+            for item in trace:
+                day = _day_of(item)
+                min_day = day if min_day is None else min(min_day, day)
+                max_day = day if max_day is None else max(max_day, day)
+                for request in _requests_of(item):
+                    handle.write(_record(day, request) + "\n")
+                    count += 1
+        if min_day is None:
+            raise ValueError("cannot save an empty request stream")
+        with open(path, "wb") as out:
+            out.write(
+                gzip.compress(
+                    (_header(min_day, max_day - min_day + 1) + "\n").encode(
+                        "utf-8"
+                    )
+                )
+            )
+            with open(body, "rb") as body_handle:
+                shutil.copyfileobj(body_handle, out)
+    finally:
+        body.unlink(missing_ok=True)
     return count
+
+
+def _parse_record(line: str, line_number: int) -> tuple[Request, int | None]:
+    try:
+        record = json.loads(line)
+        request = Request(
+            user_id=int(record["u"]),
+            timestamp=float(record["t"]),
+            hostname=str(record["h"]),
+            kind=HostKind(record["k"]),
+            site_domain=str(record["s"]),
+        )
+        day = int(record["d"]) if "d" in record else None
+    except (json.JSONDecodeError, KeyError, ValueError) as exc:
+        raise TraceFormatError(f"line {line_number}: {exc}") from exc
+    return request, day
+
+
+def _read_header(handle) -> tuple[int, int]:
+    header_line = handle.readline()
+    try:
+        header = json.loads(header_line)
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"bad header: {exc}") from exc
+    if header.get("format") != TRACE_FORMAT:
+        raise TraceFormatError(f"unknown format {header.get('format')!r}")
+    return int(header["start_day"]), int(header["num_days"])
 
 
 def load_trace(path: str | Path) -> Trace:
     """Read a trace written by :func:`save_trace`."""
     path = Path(path)
     with gzip.open(path, "rt", encoding="utf-8") as handle:
-        header_line = handle.readline()
-        try:
-            header = json.loads(header_line)
-        except json.JSONDecodeError as exc:
-            raise TraceFormatError(f"bad header: {exc}") from exc
-        if header.get("format") != "repro-trace-v1":
-            raise TraceFormatError(
-                f"unknown format {header.get('format')!r}"
-            )
-        start_day = int(header["start_day"])
-        num_days = int(header["num_days"])
+        start_day, num_days = _read_header(handle)
         days: list[list[Request]] = [[] for _ in range(num_days)]
         for line_number, line in enumerate(handle, start=2):
             if not line.strip():
                 continue
-            try:
-                record = json.loads(line)
-                request = Request(
-                    user_id=int(record["u"]),
-                    timestamp=float(record["t"]),
-                    hostname=str(record["h"]),
-                    kind=HostKind(record["k"]),
-                    site_domain=str(record["s"]),
+            request, day = _parse_record(line, line_number)
+            if day is not None:
+                day_index = day - start_day
+            else:
+                # external data without day annotations: bucket by
+                # timestamp, clamping midnight spill to the last day
+                day_index = (
+                    int(request.timestamp // DAY_SECONDS) - start_day
                 )
-                if "d" in record:
-                    day_index = int(record["d"]) - start_day
-                else:
-                    # external data without day annotations: bucket by
-                    # timestamp, clamping midnight spill to the last day
-                    day_index = (
-                        int(request.timestamp // DAY_SECONDS) - start_day
-                    )
-                day_index = min(max(day_index, 0), num_days - 1)
-            except (json.JSONDecodeError, KeyError, ValueError) as exc:
-                raise TraceFormatError(
-                    f"line {line_number}: {exc}"
-                ) from exc
+            day_index = min(max(day_index, 0), num_days - 1)
             days[day_index].append(request)
     for day in days:
         day.sort(key=lambda r: (r.timestamp, r.user_id))
+    return Trace(days=days, start_day=start_day)
+
+
+def iter_trace(path: str | Path) -> Iterator[Request]:
+    """Stream a saved trace's requests in file order, without a Trace.
+
+    Files written from the streaming generator are already globally
+    time-ordered per day, so large-scale consumers can pipeline this
+    straight into the observer without ``load_trace``'s O(trace) memory.
+    """
+    path = Path(path)
+    with gzip.open(path, "rt", encoding="utf-8") as handle:
+        _read_header(handle)
+        for line_number, line in enumerate(handle, start=2):
+            if not line.strip():
+                continue
+            request, _ = _parse_record(line, line_number)
+            yield request
+
+
+# -- sharded spill format ----------------------------------------------------
+
+
+class ShardedTraceWriter:
+    """Append-only sharded trace writer (the out-of-core spill format).
+
+    Batches append into ``shard-NNNNN.jsonl.gz`` files of bounded size; a
+    ``MANIFEST.json`` written on close records the shard list and day
+    range.  Usable as a context manager; reading back is streamed via
+    :func:`iter_trace_shards`.
+    """
+
+    def __init__(
+        self, directory: str | Path, events_per_shard: int = 250_000
+    ):
+        if events_per_shard < 1:
+            raise ValueError("events_per_shard must be >= 1")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.events_per_shard = int(events_per_shard)
+        self.num_requests = 0
+        self.min_day: int | None = None
+        self.max_day: int | None = None
+        self.shards: list[str] = []
+        self._handle = None
+        self._shard_events = 0
+
+    def _roll(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+        name = f"shard-{len(self.shards):05d}.jsonl.gz"
+        self.shards.append(name)
+        self._handle = gzip.open(
+            self.directory / name, "wt", encoding="utf-8"
+        )
+        self._shard_events = 0
+
+    def write(self, batch_or_request) -> int:
+        """Append one TraceBatch (or single Request); returns events written."""
+        day = _day_of(batch_or_request)
+        self.min_day = day if self.min_day is None else min(self.min_day, day)
+        self.max_day = day if self.max_day is None else max(self.max_day, day)
+        written = 0
+        for request in _requests_of(batch_or_request):
+            if (
+                self._handle is None
+                or self._shard_events >= self.events_per_shard
+            ):
+                self._roll()
+            self._handle.write(_record(day, request) + "\n")
+            self._shard_events += 1
+            written += 1
+        self.num_requests += written
+        return written
+
+    def close(self) -> dict:
+        """Finalize shards and write the manifest; returns the manifest."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        if self.min_day is None:
+            raise ValueError("cannot finalize an empty sharded trace")
+        manifest = {
+            "format": SHARDS_FORMAT,
+            "start_day": self.min_day,
+            "num_days": self.max_day - self.min_day + 1,
+            "num_requests": self.num_requests,
+            "shards": self.shards,
+        }
+        (self.directory / "MANIFEST.json").write_text(
+            json.dumps(manifest, indent=2) + "\n"
+        )
+        return manifest
+
+    def __enter__(self) -> "ShardedTraceWriter":
+        return self
+
+    def __exit__(self, exc_type, exc_value, exc_tb) -> None:
+        if exc_type is None:
+            self.close()
+        elif self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+def read_shard_manifest(directory: str | Path) -> dict:
+    path = Path(directory) / "MANIFEST.json"
+    try:
+        manifest = json.loads(path.read_text())
+    except FileNotFoundError as exc:
+        raise TraceFormatError(f"no MANIFEST.json in {directory}") from exc
+    except json.JSONDecodeError as exc:
+        raise TraceFormatError(f"bad manifest: {exc}") from exc
+    if manifest.get("format") != SHARDS_FORMAT:
+        raise TraceFormatError(
+            f"unknown shard format {manifest.get('format')!r}"
+        )
+    return manifest
+
+
+def _iter_shard_records(
+    directory: Path,
+) -> Iterator[tuple[Request, int | None]]:
+    manifest = read_shard_manifest(directory)
+    for name in manifest["shards"]:
+        with gzip.open(
+            directory / name, "rt", encoding="utf-8"
+        ) as handle:
+            for line_number, line in enumerate(handle, start=1):
+                if not line.strip():
+                    continue
+                yield _parse_record(line, line_number)
+
+
+def iter_trace_shards(directory: str | Path) -> Iterator[Request]:
+    """Stream every request of a sharded trace in write order."""
+    for request, _ in _iter_shard_records(Path(directory)):
+        yield request
+
+
+def load_trace_shards(directory: str | Path) -> Trace:
+    """Materialize a sharded trace (small worlds / tests only)."""
+    directory = Path(directory)
+    manifest = read_shard_manifest(directory)
+    start_day = int(manifest["start_day"])
+    num_days = int(manifest["num_days"])
+    days: list[list[Request]] = [[] for _ in range(num_days)]
+    for request, day in _iter_shard_records(directory):
+        if day is not None:
+            day_index = day - start_day
+        else:
+            day_index = int(request.timestamp // DAY_SECONDS) - start_day
+        day_index = min(max(day_index, 0), num_days - 1)
+        days[day_index].append(request)
+    for day_requests in days:
+        day_requests.sort(key=lambda r: (r.timestamp, r.user_id))
     return Trace(days=days, start_day=start_day)

@@ -6,16 +6,30 @@ visits and — crucially — it is the ground truth against which profiling
 accuracy and ad clicks are evaluated: the paper's CTR experiment works
 precisely because real users click more on ads matching their real
 interests, and our click model does the same against these latent vectors.
+
+Two population implementations share the same sampling logic:
+
+* :class:`UserPopulation` materializes every profile up front from one
+  sequential generator (the historical behaviour — profile ``k`` depends
+  on the draws of profiles ``0..k-1``);
+* :class:`LazyUserPopulation` derives each profile independently from
+  ``derive_rng(seed, "population.user{u}")`` the moment it is asked for,
+  holding only a bounded LRU of realized profiles — the representation
+  that lets the streaming trace generator run at millions of users
+  without ever holding the population in RAM.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
 from repro.ontology.taxonomy import Taxonomy
 from repro.traffic.web import VERTICAL_POPULARITY, SyntheticWeb
+from repro.utils.randomness import derive_rng
 
 
 @dataclass
@@ -79,6 +93,67 @@ class UserProfile:
         return indices[int(rng.choice(len(indices), p=probs))]
 
 
+def _interest_space(web: SyntheticWeb) -> tuple[list[int], np.ndarray]:
+    """Categories a profile may land on, with vertical-popularity weights.
+
+    Interests may only land on categories that actually contain sites,
+    otherwise the browsing model would have nothing to visit.
+    """
+    taxonomy = web.taxonomy
+    populated = sorted(
+        idx
+        for idx in range(taxonomy.num_truncated)
+        if web.sites_in_category(idx)
+    )
+    if not populated:
+        raise ValueError("synthetic web has no categorized sites")
+    vertical_of = {
+        idx: taxonomy.path(taxonomy.truncated_categories()[idx])[0].name
+        for idx in populated
+    }
+    weights = np.array(
+        [VERTICAL_POPULARITY.get(vertical_of[idx], 0.5) for idx in populated]
+    )
+    return populated, weights / weights.sum()
+
+
+def _sample_profile(
+    user_id: int,
+    rng: np.random.Generator,
+    config: PopulationConfig,
+    populated: list[int],
+    category_probs: np.ndarray,
+) -> UserProfile:
+    """Draw one profile; the draw sequence is part of the seed contract."""
+    k = int(rng.integers(config.min_interests, config.max_interests + 1))
+    k = min(k, len(populated))
+    chosen = rng.choice(
+        len(populated), size=k, replace=False, p=category_probs
+    )
+    shares = rng.dirichlet(np.full(k, config.interest_concentration))
+    interests = {
+        populated[int(c)]: float(s)
+        for c, s in zip(chosen, shares)
+        if s > 0
+    }
+    # Degenerate Dirichlet draws can zero out everything but one
+    # component; re-normalize whatever survived.
+    total = sum(interests.values())
+    interests = {i: w / total for i, w in interests.items()}
+    return UserProfile(
+        user_id=user_id,
+        interests=interests,
+        core_affinity=float(rng.uniform(*config.core_affinity_range)),
+        explore_prob=float(rng.uniform(*config.explore_prob_range)),
+        sessions_per_day=float(
+            rng.lognormal(
+                config.sessions_per_day_mu,
+                config.sessions_per_day_sigma,
+            )
+        ),
+    )
+
+
 class UserPopulation:
     """Generates and holds the synthetic user base."""
 
@@ -95,6 +170,10 @@ class UserPopulation:
     def by_id(self, user_id: int) -> UserProfile:
         return self.users[user_id]
 
+    def profile(self, user_id: int) -> UserProfile:
+        """Provider-protocol alias for :meth:`by_id`."""
+        return self.by_id(user_id)
+
     @classmethod
     def generate(
         cls,
@@ -104,71 +183,117 @@ class UserPopulation:
     ) -> "UserPopulation":
         config = config or PopulationConfig()
         config.validate()
-        taxonomy = web.taxonomy
-
-        # Interests may only land on categories that actually contain sites,
-        # otherwise the browsing model would have nothing to visit.
-        populated = sorted(
-            idx
-            for idx in range(taxonomy.num_truncated)
-            if web.sites_in_category(idx)
-        )
-        if not populated:
-            raise ValueError("synthetic web has no categorized sites")
-        vertical_of = {
-            idx: taxonomy.path(taxonomy.truncated_categories()[idx])[0].name
-            for idx in populated
-        }
-        weights = np.array(
-            [VERTICAL_POPULARITY.get(vertical_of[idx], 0.5) for idx in populated]
-        )
-        category_probs = weights / weights.sum()
-
-        users: list[UserProfile] = []
-        for user_id in range(config.num_users):
-            k = int(
-                rng.integers(config.min_interests, config.max_interests + 1)
-            )
-            k = min(k, len(populated))
-            chosen = rng.choice(
-                len(populated), size=k, replace=False, p=category_probs
-            )
-            shares = rng.dirichlet(
-                np.full(k, config.interest_concentration)
-            )
-            interests = {
-                populated[int(c)]: float(s)
-                for c, s in zip(chosen, shares)
-                if s > 0
-            }
-            # Degenerate Dirichlet draws can zero out everything but one
-            # component; re-normalize whatever survived.
-            total = sum(interests.values())
-            interests = {i: w / total for i, w in interests.items()}
-            users.append(
-                UserProfile(
-                    user_id=user_id,
-                    interests=interests,
-                    core_affinity=float(
-                        rng.uniform(*config.core_affinity_range)
-                    ),
-                    explore_prob=float(
-                        rng.uniform(*config.explore_prob_range)
-                    ),
-                    sessions_per_day=float(
-                        rng.lognormal(
-                            config.sessions_per_day_mu,
-                            config.sessions_per_day_sigma,
-                        )
-                    ),
-                )
-            )
-        return cls(users, taxonomy)
+        populated, category_probs = _interest_space(web)
+        users = [
+            _sample_profile(user_id, rng, config, populated, category_probs)
+            for user_id in range(config.num_users)
+        ]
+        return cls(users, web.taxonomy)
 
     def interest_matrix(self) -> np.ndarray:
         """|users| x C matrix of latent interests (evaluation ground truth)."""
+        return np.concatenate(
+            [block for _, block in self.iter_interest_matrix(len(self) or 1)]
+        )
+
+    def iter_interest_matrix(
+        self, chunk_users: int = 10_000
+    ) -> Iterator[tuple[int, np.ndarray]]:
+        """Yield ``(first_user_id, block)`` chunks of the interest matrix.
+
+        The chunked form is the one large-population consumers should use:
+        a 10M x C float64 matrix does not fit in RAM, its 10k x C blocks do.
+        """
+        if chunk_users < 1:
+            raise ValueError("chunk_users must be >= 1")
         C = self.taxonomy.num_truncated
-        matrix = np.zeros((len(self.users), C), dtype=np.float64)
-        for row, user in enumerate(self.users):
-            matrix[row] = user.interest_vector(C)
-        return matrix
+        for start in range(0, len(self), chunk_users):
+            stop = min(start + chunk_users, len(self))
+            block = np.zeros((stop - start, C), dtype=np.float64)
+            for row, user_id in enumerate(range(start, stop)):
+                block[row] = self.profile(user_id).interest_vector(C)
+            yield start, block
+
+
+class LazyUserPopulation:
+    """A population that exists only as ``seed + user_id``.
+
+    Profiles are derived on demand from
+    ``derive_rng(seed, "population.user{u}")`` and kept in a bounded LRU,
+    so iterating a 10M-user population costs O(cache) memory.  Note the
+    derivation differs from :meth:`UserPopulation.generate` (independent
+    per-user streams vs one sequential stream), so the two classes produce
+    *different* profiles for the same seed — by design: lazy derivation is
+    what makes any single user reconstructible without the other millions.
+    """
+
+    def __init__(
+        self,
+        web: SyntheticWeb,
+        seed: int,
+        config: PopulationConfig | None = None,
+        cache_profiles: int = 4096,
+    ):
+        self.config = config or PopulationConfig()
+        self.config.validate()
+        if cache_profiles < 1:
+            raise ValueError("cache_profiles must be >= 1")
+        self.web = web
+        self.taxonomy = web.taxonomy
+        self.seed = int(seed)
+        self.cache_profiles = int(cache_profiles)
+        self._populated, self._category_probs = _interest_space(web)
+        self._cache: OrderedDict[int, UserProfile] = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def __len__(self) -> int:
+        return self.config.num_users
+
+    def __iter__(self) -> Iterator[UserProfile]:
+        for user_id in range(len(self)):
+            yield self.profile(user_id)
+
+    def profile(self, user_id: int) -> UserProfile:
+        """Realize (or recall) the profile of one user."""
+        if not 0 <= user_id < len(self):
+            raise ValueError(
+                f"user_id {user_id} outside population [0, {len(self) - 1}]"
+            )
+        cached = self._cache.get(user_id)
+        if cached is not None:
+            self._cache.move_to_end(user_id)
+            self.cache_hits += 1
+            return cached
+        self.cache_misses += 1
+        profile = _sample_profile(
+            user_id,
+            derive_rng(self.seed, f"population.user{user_id}"),
+            self.config,
+            self._populated,
+            self._category_probs,
+        )
+        self._cache[user_id] = profile
+        if len(self._cache) > self.cache_profiles:
+            self._cache.popitem(last=False)
+        return profile
+
+    def by_id(self, user_id: int) -> UserProfile:
+        return self.profile(user_id)
+
+    def interest_matrix(self) -> np.ndarray:
+        """Whole-population matrix; only for populations that fit in RAM."""
+        if len(self) > 100_000:
+            raise ValueError(
+                f"refusing to materialize a {len(self)}-user interest "
+                "matrix; use iter_interest_matrix()"
+            )
+        return np.concatenate(
+            [block for _, block in self.iter_interest_matrix(len(self) or 1)]
+        )
+
+    def iter_interest_matrix(
+        self, chunk_users: int = 10_000
+    ) -> Iterator[tuple[int, np.ndarray]]:
+        """Chunked interest matrix; realizes one chunk of profiles at a time."""
+        yield from UserPopulation.iter_interest_matrix(self, chunk_users)

@@ -29,6 +29,16 @@ class TestClientAddressing:
         with pytest.raises(ValueError):
             synth.client_ip(70_000)
 
+    def test_wide_subnet_for_million_user_worlds(self):
+        synth = TrafficSynthesizer(config=CaptureConfig(client_subnet="10"))
+        # layout matches the /16 default for ids that fit both
+        assert synth.client_ip(257) == "10.0.1.1"
+        assert synth.client_ip(1_000_000) == "10.15.66.64"
+        addresses = {synth.client_ip(u) for u in range(0, 2_000_000, 9999)}
+        assert len(addresses) == len(range(0, 2_000_000, 9999))
+        with pytest.raises(ValueError):
+            synth.client_ip(256**3)
+
     def test_server_ip_stable_per_hostname(self):
         synth = TrafficSynthesizer()
         assert synth.server_ip("a.com") == synth.server_ip("a.com")

@@ -22,6 +22,14 @@ class TestParser:
             ["synthesize", "--output", "c.pcap"],
             ["synthesize", "--chaos-corrupt", "0.1", "--chaos-drop", "0.05"],
             ["observe", "c.pcap", "--vantage", "dns"],
+            ["worldgen", "--population", "1000", "--batch-events", "256"],
+            ["worldgen", "--cursor", "c.json", "--out", "t.jsonl.gz",
+             "--shards", "shards", "--observe",
+             "--observe-max-events", "100", "--bench-out", "b.json",
+             "--rss-limit-mb", "500", "--sessions-mu", "-4"],
+            ["worldgen", "--spill-dir", "spill",
+             "--users-per-chunk", "100", "--max-batches", "3",
+             "--metrics-out", "m.json"],
             ["stream", "c.pcap", "--max-lateness-seconds", "30"],
             ["stream", "c.pcap", "--train", "--train-split", "0.6",
              "--train-epochs", "2", "--seed", "3", "--sites", "80"],
@@ -203,6 +211,70 @@ class TestCommands:
             ["stream", str(pcap), "--checkpoint", str(state)]
         ) == 0
         assert "restored" in capsys.readouterr().out
+
+
+class TestWorldgenCli:
+    """The out-of-core generation surface, on a tiny world."""
+
+    ARGS = ["worldgen", "--seed", "5", "--sites", "120",
+            "--population", "30", "--days", "1",
+            "--batch-events", "256", "--users-per-chunk", "10"]
+
+    def test_stream_to_file_with_bench(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl.gz"
+        bench = tmp_path / "bench.json"
+        assert main(
+            [*self.ARGS, "--out", str(out), "--bench-out", str(bench)]
+        ) == 0
+        text = capsys.readouterr().out
+        assert "events/s" in text
+        assert "spill shard" in text
+        from repro.traffic import load_trace
+
+        loaded = load_trace(out)
+        assert loaded.num_requests > 0
+        snapshot = json.loads(bench.read_text())
+        assert snapshot["format"] == "repro-metrics-v1"
+        names = {m["name"] for m in snapshot["metrics"]}
+        assert "bench_worldgen_events_per_second" in names
+        assert "bench_worldgen_peak_rss_mb" in names
+
+    def test_cursor_resume_continues_exactly(self, tmp_path, capsys):
+        """Kill after 3 batches, rerun with the cursor: the two sharded
+        outputs concatenate to exactly the uninterrupted run."""
+        cursor = tmp_path / "cursor.json"
+        full = tmp_path / "full"
+        first = tmp_path / "first"
+        rest = tmp_path / "rest"
+        assert main([*self.ARGS, "--shards", str(full)]) == 0
+        assert main(
+            [*self.ARGS, "--shards", str(first),
+             "--cursor", str(cursor), "--max-batches", "3"]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            [*self.ARGS, "--shards", str(rest), "--cursor", str(cursor)]
+        ) == 0
+        assert "resuming from cursor" in capsys.readouterr().out
+        from repro.traffic import iter_trace_shards
+
+        whole = list(iter_trace_shards(full))
+        assert whole
+        resumed = list(iter_trace_shards(first))
+        resumed += list(iter_trace_shards(rest))
+        assert resumed == whole
+
+    def test_rss_ceiling_enforced(self, capsys):
+        assert main([*self.ARGS, "--rss-limit-mb", "1"]) == 1
+        assert "exceeds the --rss-limit-mb" in capsys.readouterr().err
+
+    def test_observe_cap_is_reported(self, capsys):
+        assert main(
+            [*self.ARGS, "--observe", "--observe-max-events", "5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "observe: capped at 5 events" in out
+        assert "hostname events" in out
 
 
 class TestStoreCli:

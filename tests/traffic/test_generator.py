@@ -68,8 +68,18 @@ class TestGenerator:
         shifted = gen.generate(1, start_day=3)
         assert shifted.start_day == 3
         assert shifted.day(3)
-        with pytest.raises(IndexError):
+        with pytest.raises(ValueError, match=r"range \[3, 3\]"):
             shifted.day(5)
+
+    def test_day_below_range_no_wraparound(self, web, population):
+        """Regression: day(start_day - 1) used to wrap around via
+        Python's negative indexing and silently return the *last* day."""
+        gen = TraceGenerator(web, population, seed=77)
+        shifted = gen.generate(2, start_day=3)
+        with pytest.raises(ValueError, match=r"day 2 outside trace range"):
+            shifted.day(2)
+        with pytest.raises(ValueError, match=r"range \[3, 4\]"):
+            shifted.day(-1)
 
     def test_negative_day_rejected(self, web, population):
         gen = TraceGenerator(web, population, seed=77)

@@ -93,6 +93,87 @@ class TestRobustness:
         assert loaded.num_requests == trace.num_requests
 
 
+class TestStreamedSave:
+    """save_trace fed by the batch iterator (constant memory) must be
+    read-compatible with the legacy materialized format."""
+
+    TEST_SEED = 1234
+
+    def _streaming(self, web, population, **kwargs):
+        from repro.traffic import StreamingTraceGenerator
+
+        kwargs.setdefault("users_per_chunk", 9)
+        return StreamingTraceGenerator(
+            web, population, seed=self.TEST_SEED, **kwargs
+        )
+
+    def test_streamed_save_matches_legacy_file(
+        self, web, population, trace, tmp_path
+    ):
+        from repro.traffic.io import iter_trace
+
+        legacy_path = tmp_path / "legacy.jsonl.gz"
+        streamed_path = tmp_path / "streamed.jsonl.gz"
+        save_trace(trace, legacy_path)
+        count = save_trace(
+            self._streaming(web, population).batches(2), streamed_path
+        )
+        assert count == trace.num_requests
+        legacy = load_trace(legacy_path)
+        streamed = load_trace(streamed_path)
+        assert streamed.start_day == legacy.start_day
+        assert streamed.days == legacy.days
+        assert list(iter_trace(streamed_path)) == list(
+            iter_trace(legacy_path)
+        )
+
+    def test_iter_trace_streams_without_trace_object(
+        self, trace, tmp_path
+    ):
+        from repro.traffic.io import iter_trace
+
+        path = tmp_path / "trace.jsonl.gz"
+        save_trace(trace, path)
+        streamed = list(iter_trace(path))
+        flat = [r for day in trace.days for r in day]
+        assert len(streamed) == len(flat)
+        for a, b in zip(streamed, flat):
+            assert (a.user_id, a.hostname, a.kind, a.site_domain) == (
+                b.user_id, b.hostname, b.kind, b.site_domain
+            )
+            # persistence rounds timestamps to the millisecond
+            assert a.timestamp == pytest.approx(b.timestamp, abs=1e-3)
+
+    def test_empty_stream_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="empty"):
+            save_trace(iter(()), tmp_path / "empty.jsonl.gz")
+        assert not (tmp_path / "empty.jsonl.gz").exists()
+
+    def test_sharded_roundtrip(self, web, population, trace, tmp_path):
+        from repro.traffic.io import (
+            ShardedTraceWriter,
+            iter_trace_shards,
+            load_trace_shards,
+            read_shard_manifest,
+        )
+
+        directory = tmp_path / "shards"
+        with ShardedTraceWriter(directory, events_per_shard=500) as writer:
+            for batch in self._streaming(web, population).batches(2):
+                writer.write(batch)
+        manifest = read_shard_manifest(directory)
+        assert manifest["num_requests"] == trace.num_requests
+        assert len(manifest["shards"]) > 1  # rotation really happened
+        save_trace(trace, tmp_path / "legacy.jsonl.gz")
+        legacy = load_trace(tmp_path / "legacy.jsonl.gz")
+        loaded = load_trace_shards(directory)
+        assert loaded.start_day == legacy.start_day
+        assert loaded.days == legacy.days
+        assert list(iter_trace_shards(directory)) == [
+            r for day in legacy.days for r in day
+        ]
+
+
 class TestWorldBuilder:
     def test_make_world_components(self):
         from repro import make_world
