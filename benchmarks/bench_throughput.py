@@ -95,8 +95,10 @@ def test_profiling_throughput(paper_world, benchmark, report_sink):
         "",
         "Per-session work is one (V x d) matvec + a weighted vote over",
         "~100 labelled neighbours; sessions are independent, so the",
-        "paper's 'fully parallelizable / line rate' claim holds by",
-        "sharding users across cores.",
+        "paper's 'fully parallelizable / line rate' claim is realized",
+        "by repro.shard: clients hash-partition across worker",
+        "processes that map one shared read-only model (see",
+        "throughput_sharding.txt for the measured multi-core scaling).",
     ]
     report_sink("throughput_profiling", "\n".join(lines))
     _emit(
@@ -227,6 +229,145 @@ def test_introspection_overhead(report_sink):
         ratio,
     )
     assert ratio < 1.10, "introspection must not slow the ingest hot path"
+
+
+def test_bench_shard_scaling_efficiency(paper_world, report_sink):
+    """Sessions/second of the sharded runtime at N = 1, 2, 4 workers.
+
+    This is the paper's "fully parallelizable" claim made measurable:
+    the same day of traffic through a real worker fleet (spawned
+    processes, zero-copy mapped model), timed end-to-end after the
+    ready handshake.  Efficiency = speedup / N; the >= 0.7 floor is only
+    asserted where 4 physical cores exist (CI runners) — a 1-core box
+    still runs the bench and records its numbers honestly.
+    """
+    import os
+    import tempfile
+
+    from repro.shard import ShardCoordinator
+
+    world = paper_world
+    if not world.profiler.is_trained:
+        world.profiler.train_on_day(world.trace, 0)
+    events = [
+        (
+            f"10.0.{r.user_id // 256}.{r.user_id % 256}",
+            r.timestamp, r.hostname, "tls-sni",
+        )
+        for r in world.trace.day(1)
+    ][:60_000]
+
+    shard_registry = MetricsRegistry()
+
+    def emit_shard(name: str, help_text: str, value: float) -> None:
+        shard_registry.gauge(name, help_text).set(value)
+        OUT_DIR.mkdir(exist_ok=True)
+        (OUT_DIR / "BENCH_shard.json").write_text(
+            shard_registry.to_json(indent=2) + "\n"
+        )
+
+    # Workers inherit the environment at spawn: pin BLAS to one thread
+    # so N processes measure process parallelism, not thread contention.
+    saved_omp = os.environ.get("OMP_NUM_THREADS")
+    os.environ["OMP_NUM_THREADS"] = "1"
+    rates: dict[int, float] = {}
+    emissions: dict[int, list] = {}
+    try:
+        with tempfile.TemporaryDirectory() as tmp:
+            model_dir = str(
+                world.profiler.export_model_dir(Path(tmp) / "model")
+            )
+            for workers in (1, 2, 4):
+                coordinator = ShardCoordinator(
+                    workers,
+                    checkpoint_dir=Path(tmp) / f"ckpt-{workers}",
+                    model_dir=model_dir,
+                    labelled=world.labelled,
+                    stream_config={
+                        "session_minutes": 20.0,
+                        "report_interval_minutes": 10.0,
+                    },
+                    tracker_filter=world.tracker_filter,
+                    # Checkpoint only at finish: the bench measures
+                    # steady-state throughput, not durability cadence.
+                    checkpoint_every_batches=0,
+                )
+                coordinator.start()   # handshake outside the clock
+                try:
+                    started = time.perf_counter()
+                    for i in range(0, len(events), 4096):
+                        coordinator.dispatch(events[i:i + 4096])
+                    result = coordinator.finish()
+                    elapsed = time.perf_counter() - started
+                finally:
+                    coordinator.terminate()
+                rates[workers] = result.profiles_emitted / elapsed
+                emissions[workers] = result.emissions
+                emit_shard(
+                    f"bench_shard_sessions_per_second_w{workers}",
+                    f"Fleet profiling throughput at {workers} worker(s).",
+                    rates[workers],
+                )
+    finally:
+        if saved_omp is None:
+            os.environ.pop("OMP_NUM_THREADS", None)
+        else:
+            os.environ["OMP_NUM_THREADS"] = saved_omp
+
+    # Sharding must never change the answer, only the wall clock.
+    assert emissions[2] == emissions[1]
+    assert emissions[4] == emissions[1]
+
+    efficiency = {n: rates[n] / rates[1] / n for n in (2, 4)}
+    emit_shard(
+        "bench_shard_events", "Events replayed per run.", len(events)
+    )
+    emit_shard(
+        "bench_shard_sessions", "Profiles emitted per run.",
+        len(emissions[1]),
+    )
+    emit_shard(
+        "bench_shard_scaling_efficiency_w2",
+        "Speedup / N at 2 workers (1.0 = linear).", efficiency[2],
+    )
+    emit_shard(
+        "bench_shard_scaling_efficiency_w4",
+        "Speedup / N at 4 workers (1.0 = linear).", efficiency[4],
+    )
+    emit_shard(
+        "bench_shard_cpu_count", "Physical cores on the bench host.",
+        os.cpu_count() or 1,
+    )
+    _emit(
+        "bench_shard_sessions_per_second_w1",
+        "Fleet profiling throughput at 1 worker.", rates[1],
+    )
+    _emit(
+        "bench_shard_sessions_per_second_w4",
+        "Fleet profiling throughput at 4 workers.", rates[4],
+    )
+    _emit(
+        "bench_shard_scaling_efficiency_w4",
+        "Speedup / N at 4 workers (1.0 = linear).", efficiency[4],
+    )
+
+    lines = [
+        "Shard scaling (streamed profiling, spawned worker fleet,",
+        f"{len(events)} events, {len(emissions[1])} sessions emitted,",
+        f"{os.cpu_count()} core(s) on this host)",
+    ] + [
+        f"N={n}: {rates[n]:,.0f} sessions/s"
+        + (f"  (efficiency {efficiency[n]:.2f})" if n > 1 else "")
+        for n in (1, 2, 4)
+    ]
+    report_sink("throughput_sharding", "\n".join(lines))
+
+    cores = os.cpu_count() or 1
+    if cores >= 4:
+        assert efficiency[4] >= 0.7, (
+            f"4-worker efficiency {efficiency[4]:.2f} below the 0.7 "
+            f"floor on a {cores}-core host"
+        )
 
 
 def test_bench_snapshot_is_valid():

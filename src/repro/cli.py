@@ -214,6 +214,76 @@ def _write_telemetry(args: argparse.Namespace, registry, tracer) -> None:
         )
 
 
+def _run_sharded_stream(
+    events,
+    args: argparse.Namespace,
+    *,
+    labelled,
+    tracker_filter=None,
+    pipeline=None,
+    stream_config=None,
+    registry=None,
+    admin=None,
+    batch_size=4096,
+):
+    """Fan event ingest across ``--workers`` shard processes.
+
+    The parent never profiles: it exports the trained model once (as a
+    mappable directory every worker binds read-only — one copy of the
+    model pages for the whole fleet), hash-partitions the events by
+    client, and merges the per-shard emissions and metrics at the end.
+    Prints a fleet summary and returns the
+    :class:`~repro.shard.FleetResult`.
+    """
+    import tempfile
+
+    from repro.shard import ShardCoordinator
+
+    model_tmp = model_dir = None
+    if pipeline is not None and getattr(pipeline, "is_trained", False):
+        model_tmp = tempfile.TemporaryDirectory(
+            prefix="repro-shard-model-"
+        )
+        model_dir = str(pipeline.export_model_dir(model_tmp.name))
+    shard_tmp = None
+    shard_dir = getattr(args, "shard_dir", None)
+    if shard_dir is None:
+        shard_tmp = tempfile.TemporaryDirectory(prefix="repro-shard-ckpt-")
+        shard_dir = shard_tmp.name
+    coordinator = ShardCoordinator(
+        args.workers,
+        checkpoint_dir=shard_dir,
+        model_dir=model_dir,
+        labelled=labelled,
+        stream_config=stream_config or {},
+        tracker_filter=tracker_filter,
+        salt=getattr(args, "shard_salt", ""),
+        registry=registry,
+    )
+    if admin is not None:
+        admin.attach(coordinator=coordinator)
+    coordinator.start()
+    try:
+        for start in range(0, len(events), batch_size):
+            coordinator.dispatch(events[start:start + batch_size])
+            coordinator.poll()
+        result = coordinator.finish()
+    finally:
+        coordinator.terminate()
+        for tmp in (model_tmp, shard_tmp):
+            if tmp is not None:
+                tmp.cleanup()
+    per_shard = ", ".join(
+        f"#{s['shard_id']}: {s['events_seen']}" for s in result.per_shard
+    )
+    print(
+        f"shard fleet: {args.workers} workers, {result.events_seen} "
+        f"events, {result.profiles_emitted} profiles emitted, "
+        f"{result.restarts} restart(s) [{per_shard}]"
+    )
+    return result
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiment import ExperimentConfig, ExperimentRunner
 
@@ -254,6 +324,29 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     result = runner.run()
     print()
     print(result.summary())
+    if args.workers > 1:
+        # Sharded replay: the final day's traffic back through the
+        # month's trained model, distributed across worker processes.
+        world = runner.build()
+        day = world.trace.start_day + len(world.trace) - 1
+        events = [
+            (
+                f"10.0.{r.user_id // 256}.{r.user_id % 256}",
+                r.timestamp, r.hostname, "tls-sni",
+            )
+            for r in world.trace.day(day)
+        ]
+        print(
+            f"sharded replay: day {day}, {len(events)} events across "
+            f"{args.workers} workers"
+        )
+        _run_sharded_stream(
+            events, args,
+            labelled=world.labelled,
+            tracker_filter=world.tracker_filter,
+            pipeline=world.profiler,
+            registry=registry, admin=admin,
+        )
     if store is not None:
         latest = store.latest()
         if latest is not None:
@@ -475,7 +568,8 @@ def cmd_worldgen(args: argparse.Namespace) -> int:
         writer = ShardedTraceWriter(
             args.shards, events_per_shard=args.events_per_shard
         )
-    observer = stream = synthesizer = None
+    observer = stream = synthesizer = coordinator = None
+    shard_tmp = None
     observed_events = profile_emissions = observe_capped = 0
     if args.observe:
         from repro.core.streaming import StreamingConfig, StreamingProfiler
@@ -496,9 +590,30 @@ def cmd_worldgen(args: argparse.Namespace) -> int:
             ObserverConfig(vantage="sni"),
             registry=registry, tracer=tracer,
         )
-        stream = StreamingProfiler(
-            StreamingConfig(), registry=registry, tracer=tracer
-        )
+        if args.workers > 1:
+            # Synthesis and observation stay in the parent (both are
+            # order-dependent); only stream ingest fans out by client.
+            import tempfile
+
+            from repro.shard import ShardCoordinator
+
+            shard_dir = args.shard_dir
+            if shard_dir is None:
+                shard_tmp = tempfile.TemporaryDirectory(
+                    prefix="repro-shard-ckpt-"
+                )
+                shard_dir = shard_tmp.name
+            coordinator = ShardCoordinator(
+                args.workers,
+                checkpoint_dir=shard_dir,
+                salt=args.shard_salt,
+                registry=registry,
+            )
+            coordinator.start()
+        else:
+            stream = StreamingProfiler(
+                StreamingConfig(), registry=registry, tracer=tracer
+            )
     started = time.perf_counter()
     batches = 0
     events = 0
@@ -516,6 +631,7 @@ def cmd_worldgen(args: argparse.Namespace) -> int:
                 if writer is not None:
                     writer.write(batch)
                 if observer is not None:
+                    batch_events = []
                     for request in batch.requests:
                         if observed_events >= args.observe_max_events:
                             observe_capped += 1
@@ -525,11 +641,15 @@ def cmd_worldgen(args: argparse.Namespace) -> int:
                             request
                         ):
                             event = observer.ingest(packet)
-                            if (
-                                event is not None
-                                and stream.ingest(event) is not None
-                            ):
+                            if event is None:
+                                continue
+                            if coordinator is not None:
+                                batch_events.append(event)
+                            elif stream.ingest(event) is not None:
                                 profile_emissions += 1
+                    if coordinator is not None and batch_events:
+                        coordinator.dispatch(batch_events)
+                        coordinator.poll()
                 if cursor_path is not None:
                     batch.resume_cursor.save(cursor_path)
             yield batch
@@ -542,6 +662,15 @@ def cmd_worldgen(args: argparse.Namespace) -> int:
     else:
         for _ in pump():
             pass
+    fleet = None
+    if coordinator is not None:
+        try:
+            fleet = coordinator.finish()
+        finally:
+            coordinator.terminate()
+            if shard_tmp is not None:
+                shard_tmp.cleanup()
+        profile_emissions = fleet.profiles_emitted
     if writer is not None:
         manifest = writer.close()
         print(
@@ -572,12 +701,26 @@ def cmd_worldgen(args: argparse.Namespace) -> int:
                 f"  observe: capped at {args.observe_max_events} events "
                 f"({observe_capped} not synthesized)"
             )
+        clients = (
+            sum(s["active_clients"] for s in fleet.per_shard)
+            if fleet is not None else stream.active_clients
+        )
         print(
             f"  observe: {observed_events} requests -> "
             f"{stats.packets_seen} packets, {stats.events_emitted} "
-            f"hostname events, {stream.active_clients} clients, "
+            f"hostname events, {clients} clients, "
             f"{profile_emissions} profiles emitted"
         )
+        if fleet is not None:
+            per_shard = ", ".join(
+                f"#{s['shard_id']}: {s['events_seen']}"
+                for s in fleet.per_shard
+            )
+            print(
+                f"  shard fleet: {args.workers} workers, "
+                f"{fleet.events_seen} events, "
+                f"{fleet.restarts} restart(s) [{per_shard}]"
+            )
     if cursor_path is not None:
         print(f"cursor checkpointed to {cursor_path}")
     if args.bench_out:
@@ -604,6 +747,21 @@ def cmd_worldgen(args: argparse.Namespace) -> int:
             "bench_worldgen_spill_shards",
             "External-merge shards spilled.", generator.spill_shards,
         )
+        if fleet is not None:
+            emit(
+                "bench_worldgen_shard_workers",
+                "Shard worker processes fed by --observe.", args.workers,
+            )
+            emit(
+                "bench_worldgen_shard_profiles",
+                "Profiles emitted by the shard fleet.",
+                fleet.profiles_emitted,
+            )
+            emit(
+                "bench_worldgen_shard_restarts",
+                "Shard workers respawned from checkpoint.",
+                fleet.restarts,
+            )
         out_path = Path(args.bench_out)
         if out_path.parent != Path("."):
             out_path.parent.mkdir(parents=True, exist_ok=True)
@@ -828,6 +986,13 @@ def cmd_stream(args: argparse.Namespace) -> int:
     from repro.netobs import NetworkObserver, ObserverConfig
     from repro.netobs.pcap import read_pcap
 
+    if args.workers > 1 and args.train:
+        print(
+            "error: --workers does not combine with --train; train "
+            "into a --store first, then stream sharded from it",
+            file=sys.stderr,
+        )
+        return 2
     registry, tracer = _telemetry(args)
     store = _open_store(args, registry, tracer)
     intro = _Introspection(args, registry, tracer)
@@ -927,29 +1092,58 @@ def cmd_stream(args: argparse.Namespace) -> int:
             store=store, admin=admin, flight=intro.flight,
         )
     emissions = 0
-    with tracer.span("stream.ingest", events=len(events)):
-        for event in events:
-            if stream.ingest(event) is not None:
-                emissions += 1
+    fleet = None
+    if args.workers > 1:
+        with tracer.span(
+            "stream.shard", events=len(events), workers=args.workers
+        ):
+            fleet = _run_sharded_stream(
+                events, args,
+                labelled=_labelled_world(args.seed, args.sites),
+                pipeline=pipeline,
+                stream_config={
+                    "max_lateness_seconds": args.max_lateness_seconds,
+                },
+                registry=registry, admin=admin,
+            )
+        emissions = fleet.profiles_emitted
+    else:
+        with tracer.span("stream.ingest", events=len(events)):
+            for event in events:
+                if stream.ingest(event) is not None:
+                    emissions += 1
     stats = observer.flow_table.stats
     print(
         f"{stats.packets_seen} packets, {stats.events_emitted} events, "
         f"{stats.parse_failures} parse failures"
     )
     print(observer.quarantine.summary())
-    model_state = (
-        f"index: {stream.index_backend}" if stream.has_model
-        else "model loaded: False"
-    )
-    print(
-        f"stream: {stream.events_seen} events, {stream.active_clients} "
-        f"clients, {stream.late_events_reordered} late reordered, "
-        f"{stream.late_events_dropped} late dropped, "
-        f"{emissions} profiles emitted ({model_state})"
-    )
-    if checkpoint is not None:
+    if fleet is None:
+        model_state = (
+            f"index: {stream.index_backend}" if stream.has_model
+            else "model loaded: False"
+        )
+        print(
+            f"stream: {stream.events_seen} events, "
+            f"{stream.active_clients} clients, "
+            f"{stream.late_events_reordered} late reordered, "
+            f"{stream.late_events_dropped} late dropped, "
+            f"{emissions} profiles emitted ({model_state})"
+        )
+    else:
+        clients = sum(s["active_clients"] for s in fleet.per_shard)
+        print(
+            f"stream: {fleet.events_seen} events, {clients} clients, "
+            f"{emissions} profiles emitted across {args.workers} shards"
+        )
+    if checkpoint is not None and fleet is None:
         stream.checkpoint(checkpoint)
         print(f"checkpointed {stream.active_clients} sessions to {checkpoint}")
+    elif checkpoint is not None:
+        print(
+            "note: --checkpoint is per-shard under --workers; see "
+            "--shard-dir for the per-shard checkpoint files"
+        )
     if args.linger > 0:
         # Keep the admin plane (and the flusher) alive so operators and
         # CI can probe a finished-but-resident run.
@@ -1154,6 +1348,25 @@ def build_parser() -> argparse.ArgumentParser:
             "served live at /flight)",
         )
 
+    def add_shard_args(p):
+        p.add_argument(
+            "--workers", type=int, default=1, metavar="N",
+            help="fan stream ingest across N shard worker processes, "
+            "hash-partitioned by client ip; merged output is identical "
+            "to a single-process run (DESIGN.md 'Sharded runtime')",
+        )
+        p.add_argument(
+            "--shard-dir", default=None, metavar="DIR",
+            help="directory for per-shard checkpoints (default: a "
+            "private temporary directory); a killed worker restarts "
+            "from its shard's file here, losing only its own window",
+        )
+        p.add_argument(
+            "--shard-salt", default="", metavar="SALT",
+            help="salt mixed into the shard hash (re-sharding knob; "
+            "output is identical for any salt)",
+        )
+
     def add_admin_args(p):
         p.add_argument(
             "--admin-port", type=int, default=None, metavar="PORT",
@@ -1184,6 +1397,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_index_args(p)
     add_store_args(p)
+    add_shard_args(p)
     add_telemetry_args(p)
     add_admin_args(p)
     add_introspection_args(p)
@@ -1316,6 +1530,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--rss-limit-mb", type=float, default=None, metavar="MB",
         help="exit non-zero if peak RSS exceeds this ceiling",
     )
+    add_shard_args(p)
     add_telemetry_args(p)
     p.set_defaults(func=cmd_worldgen)
 
@@ -1412,6 +1627,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_index_args(p)
     add_store_args(p)
+    add_shard_args(p)
     add_telemetry_args(p)
     add_admin_args(p)
     add_introspection_args(p)

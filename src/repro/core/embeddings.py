@@ -30,6 +30,8 @@ class HostnameEmbeddings:
         vocabulary: Vocabulary,
         context_vectors: np.ndarray | None = None,
     ):
+        # asarray is a no-copy view for float64 input, so a read-only
+        # np.memmap passed by the sharded runtime stays mapped here.
         vectors = np.asarray(vectors, dtype=np.float64)
         if vectors.ndim != 2:
             raise ValueError("vectors must be a 2-D matrix")
@@ -92,8 +94,18 @@ class HostnameEmbeddings:
             )
         return self._index
 
-    def bind_index(self, index: "VectorIndex") -> None:
-        """Attach a prebuilt index (the daily retrain swaps one in)."""
+    def bind_index(
+        self, index: "VectorIndex", reuse_unit_rows: bool = False
+    ) -> None:
+        """Attach a prebuilt index (the daily retrain swaps one in).
+
+        ``reuse_unit_rows=True`` additionally adopts the index's stored
+        matrix as the cached unit-row matrix.  A cosine index persists
+        exactly the row-normalized embedding matrix, so this is bitwise
+        equivalent to recomputing it — but when the index was loaded
+        ``mmap_mode="r"`` it keeps every worker process on the shared
+        mapped pages instead of materializing a private |V| x d copy.
+        """
         if len(index) != len(self):
             raise ValueError(
                 f"index size {len(index)} != vocabulary size {len(self)}"
@@ -101,6 +113,8 @@ class HostnameEmbeddings:
         if index.metric != "cosine":
             raise ValueError("embeddings require a cosine index")
         self._index = index
+        if reuse_unit_rows:
+            self._unit = index.vectors
 
     # -- similarity --------------------------------------------------------------
 
@@ -184,7 +198,7 @@ class HostnameEmbeddings:
     #: can never permute host→row alignment through a round-trip.
     FORMAT_VERSION = 2
 
-    def save(self, path: str | Path) -> None:
+    def save(self, path: str | Path, compress: bool = True) -> None:
         """Serialize to an ``.npz`` archive (vectors + vocabulary + counts).
 
         Crash-safe and digest-stable: the archive is written to a
@@ -192,6 +206,8 @@ class HostnameEmbeddings:
         can no longer leave a corrupt file at the final path), with
         deterministic bytes so saving the same model twice yields the
         same SHA-256 (the artifact store's manifests rely on this).
+        ``compress=False`` writes mappable members so worker fleets can
+        :meth:`load` the archive with ``mmap_mode="r"`` zero-copy.
         """
         save_npz_deterministic(
             Path(path),
@@ -203,32 +219,61 @@ class HostnameEmbeddings:
                 "hosts": np.asarray(self.vocabulary.hosts, dtype=np.str_),
                 "counts": self.vocabulary.counts.astype(np.int64),
             },
+            compress=compress,
         )
 
     @classmethod
-    def load(cls, path: str | Path) -> "HostnameEmbeddings":
+    def load(
+        cls, path: str | Path, mmap_mode: str | None = None
+    ) -> "HostnameEmbeddings":
+        """Load a saved archive.
+
+        The deterministic npz format never contains pickled members, so
+        loading is strict (``allow_pickle=False``).  ``mmap_mode="r"``
+        maps the vector matrix read-only straight from the file via
+        :func:`~repro.utils.serialization.load_npz_mapped` — N worker
+        processes loading the same archive then share one physical copy
+        of the model pages.
+        """
         from collections import Counter
 
-        with np.load(Path(path), allow_pickle=True) as archive:
-            hosts = [str(h) for h in archive["hosts"]]
-            counts = [int(c) for c in archive["counts"]]
-            if "format_version" in archive.files:
+        from repro.utils.serialization import load_npz_mapped
+
+        path = Path(path)
+        if mmap_mode is not None:
+            mapped = load_npz_mapped(path, mmap_mode=mmap_mode)
+            archive_files = set(mapped)
+            get = mapped.__getitem__
+            closer = None
+        else:
+            npz = np.load(path, allow_pickle=False)
+            archive_files = set(npz.files)
+            get = npz.__getitem__
+            closer = npz.close
+        try:
+            hosts = [str(h) for h in get("hosts")]
+            counts = [int(c) for c in get("counts")]
+            if "format_version" in archive_files:
                 # v2+: the saved row order is authoritative; rebuild the
                 # vocabulary in place so save → load is bitwise-identical
                 # even when counts tie.
                 vocabulary = Vocabulary.from_ordered(
                     hosts, counts, min_count=1
                 )
-                vectors = np.asarray(archive["vectors"], dtype=np.float64)
+                vectors = np.asarray(get("vectors"), dtype=np.float64)
             else:
                 # Legacy v1 archives: Vocabulary re-sorts by count, so
-                # realign the vector rows to the rebuilt order.
+                # realign the vector rows to the rebuilt order (a copy,
+                # mapped or not — v1 predates zero-copy sharing).
                 vocabulary = Vocabulary(
                     Counter(dict(zip(hosts, counts))), min_count=1
                 )
                 row_of = {host: row for row, host in enumerate(hosts)}
                 order = [row_of[h] for h in vocabulary.hosts]
-                vectors = archive["vectors"][order]
+                vectors = get("vectors")[order]
+        finally:
+            if closer is not None:
+                closer()
         return cls(vectors, vocabulary)
 
     def save_word2vec_format(self, path: str | Path) -> None:

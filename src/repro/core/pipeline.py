@@ -220,7 +220,10 @@ class NetworkObserverProfiler:
         )
 
     def load_generation(
-        self, store: "ArtifactStore", generation_id: str | None = None
+        self,
+        store: "ArtifactStore",
+        generation_id: str | None = None,
+        mmap_mode: str | None = None,
     ) -> "GenerationRecord":
         """Serve a stored generation (``latest`` unless named).
 
@@ -229,6 +232,11 @@ class NetworkObserverProfiler:
         as published — no re-clustering), and the session profiler is
         reassembled from the generation's own config, so the restored
         observer scores sessions exactly as the one that published.
+
+        ``mmap_mode="r"`` loads the embedding and index matrices as
+        read-only maps (zero-copy across worker processes); it only
+        pays off on archives written ``compress=False`` — compressed
+        members silently fall back to eager read-only loads.
         """
         import json as _json
 
@@ -241,14 +249,18 @@ class NetworkObserverProfiler:
 
         record = store.restore(generation_id)
         embeddings = HostnameEmbeddings.load(
-            record.component_path(EMBEDDINGS_COMPONENT)
+            record.component_path(EMBEDDINGS_COMPONENT),
+            mmap_mode=mmap_mode,
         )
         if record.has_component(INDEX_COMPONENT):
             index = load_index(
                 record.component_path(INDEX_COMPONENT),
                 registry=self.registry,
+                mmap_mode=mmap_mode,
             )
-            embeddings.bind_index(index)
+            embeddings.bind_index(
+                index, reuse_unit_rows=mmap_mode is not None
+            )
         else:
             # Generations published without a prebuilt index (foreign
             # tooling) fall back to this pipeline's configured backend.
@@ -280,6 +292,88 @@ class NetworkObserverProfiler:
         self._embeddings = embeddings
         self._profiler = profiler
         return record
+
+    def export_model_dir(
+        self, directory, compress: bool = False
+    ) -> "Path":
+        """Write the serving model to a plain directory, mappable.
+
+        The sharded runtime's coordinator calls this once per fleet:
+        ``embeddings.npz`` + ``index.npz`` (``compress=False`` by
+        default, so workers can map them read-only and share one copy
+        of the pages) + ``profiler.json``.  Same component names as a
+        store generation, no store required.
+        """
+        from pathlib import Path as _Path
+
+        from repro.store import (
+            EMBEDDINGS_COMPONENT,
+            INDEX_COMPONENT,
+            PROFILER_CONFIG_COMPONENT,
+        )
+        from repro.utils.serialization import atomic_write_json
+
+        directory = _Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        self.embeddings.save(
+            directory / EMBEDDINGS_COMPONENT, compress=compress
+        )
+        self.embeddings.index.save(
+            directory / INDEX_COMPONENT, compress=compress
+        )
+        atomic_write_json(
+            directory / PROFILER_CONFIG_COMPONENT, self._profiler_config()
+        )
+        return directory
+
+    def load_model_dir(
+        self, directory, mmap_mode: str | None = "r"
+    ) -> None:
+        """Serve the model exported by :meth:`export_model_dir`.
+
+        The worker-side half of zero-copy sharing: defaults to
+        ``mmap_mode="r"`` so every worker process binds read-only maps
+        of the same archive files.
+        """
+        import json as _json
+        from pathlib import Path as _Path
+
+        from repro.index.base import load_index
+        from repro.store import (
+            EMBEDDINGS_COMPONENT,
+            INDEX_COMPONENT,
+            PROFILER_CONFIG_COMPONENT,
+        )
+
+        directory = _Path(directory)
+        embeddings = HostnameEmbeddings.load(
+            directory / EMBEDDINGS_COMPONENT, mmap_mode=mmap_mode
+        )
+        index = load_index(
+            directory / INDEX_COMPONENT,
+            registry=self.registry,
+            mmap_mode=mmap_mode,
+        )
+        embeddings.bind_index(
+            index, reuse_unit_rows=mmap_mode is not None
+        )
+        serving = self._profiler_config()
+        config_path = directory / PROFILER_CONFIG_COMPONENT
+        if config_path.exists():
+            serving.update(_json.loads(config_path.read_text()))
+        self._embeddings = embeddings
+        self._profiler = SessionProfiler(
+            embeddings,
+            self.labelled,
+            neighbourhood_size=int(serving["neighbourhood_size"]),
+            aggregation=serving["aggregation"],
+            max_neighbourhood_fraction=float(
+                serving["max_neighbourhood_fraction"]
+            ),
+            registry=self.registry,
+            index=index,
+            tracer=self.tracer,
+        )
 
     # -- profiling ---------------------------------------------------------------
 

@@ -65,6 +65,30 @@ class SessionProfile:
             if self.categories[i] > 0
         ]
 
+    def to_payload(self) -> dict:
+        """A JSON-safe dict that :meth:`from_payload` restores exactly.
+
+        Category floats survive via ``repr`` round-tripping (Python
+        floats serialize shortest-repr, which parses back bitwise), so
+        a profile that crossed a shard checkpoint or a worker queue
+        compares equal to one computed in-process.
+        """
+        return {
+            "categories": [float(v) for v in self.categories],
+            "session_size": self.session_size,
+            "known_hosts": self.known_hosts,
+            "support": self.support,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "SessionProfile":
+        return cls(
+            categories=np.asarray(payload["categories"], dtype=np.float64),
+            session_size=int(payload["session_size"]),
+            known_hosts=int(payload["known_hosts"]),
+            support=int(payload["support"]),
+        )
+
 
 class SessionProfiler:
     """Implements the paper's kNN profiling over learned embeddings."""

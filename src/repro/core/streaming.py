@@ -359,17 +359,14 @@ class StreamingProfiler:
 
     # -- checkpoint / restore -------------------------------------------------
 
-    def checkpoint(self, path: str | Path) -> None:
-        """Snapshot all session state to ``path`` (atomic JSON write).
+    def snapshot_state(self) -> dict:
+        """The checkpoint snapshot as a JSON-safe dict.
 
-        Captures per-client windows, report grids and counters so a crashed
-        observer resumes mid-day without losing session state.  The model
-        itself is *not* serialized here — it lives in the artifact store
-        as a published generation (the pipeline's ``publish_generation``);
-        pass ``store``/``pipeline`` to :meth:`restore` to reattach it.
+        Shared by :meth:`checkpoint` (which writes it to disk) and the
+        sharded runtime (which embeds it inside each worker's per-shard
+        checkpoint); :meth:`from_snapshot` is the inverse.
         """
-        path = Path(path)
-        snapshot = {
+        return {
             "version": 1,
             "config": {
                 "session_minutes": self.config.session_minutes,
@@ -395,6 +392,18 @@ class StreamingProfiler:
                 for client, state in self._clients.items()
             },
         }
+
+    def checkpoint(self, path: str | Path) -> None:
+        """Snapshot all session state to ``path`` (atomic JSON write).
+
+        Captures per-client windows, report grids and counters so a crashed
+        observer resumes mid-day without losing session state.  The model
+        itself is *not* serialized here — it lives in the artifact store
+        as a published generation (the pipeline's ``publish_generation``);
+        pass ``store``/``pipeline`` to :meth:`restore` to reattach it.
+        """
+        path = Path(path)
+        snapshot = self.snapshot_state()
         scratch = path.with_name(path.name + ".tmp")
         scratch.write_text(json.dumps(snapshot))
         os.replace(scratch, path)
@@ -435,6 +444,35 @@ class StreamingProfiler:
                 "store and pipeline must be provided together"
             )
         snapshot = json.loads(Path(path).read_text())
+        stream = cls.from_snapshot(
+            snapshot,
+            tracker_filter=tracker_filter,
+            registry=registry,
+            tracer=tracer,
+        )
+        if store is not None and store.latest() is not None:
+            record = pipeline.load_generation(store)
+            # Direct attach, not swap_model(): a warm restart resumes the
+            # model that was already serving, so the swap counter (which
+            # was just restored from the snapshot) must not advance.
+            stream._profiler = pipeline.profiler
+            stream.serving_generation = record.generation_id
+        return stream
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        snapshot: dict,
+        tracker_filter: TrackerFilter | None = None,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> "StreamingProfiler":
+        """Rebuild session state from a :meth:`snapshot_state` dict.
+
+        The in-memory half of :meth:`restore` — shard workers embed the
+        snapshot inside their own checkpoint files and rebuild from it
+        here without a standalone stream-checkpoint file.
+        """
         if snapshot.get("version") not in SUPPORTED_CHECKPOINT_VERSIONS:
             raise CheckpointVersionError(snapshot.get("version"))
         stream = cls(
@@ -459,13 +497,6 @@ class StreamingProfiler:
             )
             stream._clients[client] = state
         stream._active_clients_gauge.set(len(stream._clients))
-        if store is not None and store.latest() is not None:
-            record = pipeline.load_generation(store)
-            # Direct attach, not swap_model(): a warm restart resumes the
-            # model that was already serving, so the swap counter (which
-            # was just restored from the snapshot) must not advance.
-            stream._profiler = pipeline.profiler
-            stream.serving_generation = record.generation_id
         return stream
 
     # -- housekeeping ---------------------------------------------------------

@@ -169,6 +169,18 @@ class VectorIndex(ABC):
     def dim(self) -> int:
         return self._vectors.shape[1]
 
+    @property
+    def vectors(self) -> np.ndarray:
+        """The stored matrix (unit rows for cosine).  Do not mutate.
+
+        For a cosine index this is exactly the row-normalized embedding
+        matrix, which is why ``HostnameEmbeddings.bind_index(...,
+        reuse_unit_rows=True)`` can adopt it as its unit-row cache — and
+        when the index was loaded ``mmap_mode="r"``, keep a whole worker
+        fleet on one shared physical copy.
+        """
+        return self._vectors
+
     # -- scoring helpers --------------------------------------------------------
 
     def _prepare_query(self, query: np.ndarray) -> np.ndarray:
@@ -322,7 +334,7 @@ class VectorIndex(ABC):
             **meta,
         }
 
-    def save(self, path: str | Path) -> None:
+    def save(self, path: str | Path, compress: bool = True) -> None:
         """Serialize the index (``.npz``, atomic + digest-stable).
 
         The archive holds the stored vector matrix (already unit rows
@@ -330,6 +342,8 @@ class VectorIndex(ABC):
         retrained observer restores it with :func:`load_index` instead
         of rebuilding — for IVF that means centroids and cell
         assignments load as-is, with no re-clustering.
+        ``compress=False`` writes mappable members so a worker fleet can
+        :func:`load_index` the archive with ``mmap_mode="r"`` zero-copy.
         """
         meta, arrays = self._save_state()
         header = {
@@ -346,7 +360,7 @@ class VectorIndex(ABC):
             json.dumps(header, sort_keys=True).encode("utf-8"),
             dtype=np.uint8,
         )
-        save_npz_deterministic(path, payload)
+        save_npz_deterministic(path, payload, compress=compress)
 
 
 def default_num_clusters(size: int) -> int:
@@ -393,6 +407,7 @@ def build_index(
 def load_index(
     path: str | Path,
     registry: MetricsRegistry | None = None,
+    mmap_mode: str | None = None,
 ) -> VectorIndex:
     """Restore an index saved with :meth:`VectorIndex.save`.
 
@@ -401,21 +416,37 @@ def load_index(
     IVF archives carry their centroids and cell assignments, so a daily
     rollover (or a crash recovery) serves the same clustering it
     published instead of paying k-means again.
+
+    ``mmap_mode="r"`` binds the index to read-only mapped views of the
+    archive (see :func:`~repro.utils.serialization.load_npz_mapped`):
+    N worker processes restoring the same archive share one physical
+    copy of the vector matrix through the OS page cache.
     """
     from repro.index.exact import BlockedExactIndex, ExactIndex
     from repro.index.ivf import IVFIndex
+    from repro.utils.serialization import load_npz_mapped
 
     path = Path(path)
-    with np.load(path) as archive:
-        if "header" not in archive.files:
+    if mmap_mode is not None:
+        mapped = load_npz_mapped(path, mmap_mode=mmap_mode)
+        files = set(mapped)
+        get = mapped.__getitem__
+        closer = None
+    else:
+        npz = np.load(path, allow_pickle=False)
+        files = set(npz.files)
+        get = npz.__getitem__
+        closer = npz.close
+    try:
+        if "header" not in files:
             raise ValueError(f"{path} is not a saved vector index")
-        header = json.loads(bytes(archive["header"]).decode("utf-8"))
+        header = json.loads(bytes(get("header")).decode("utf-8"))
         if header.get("format") != INDEX_FORMAT:
             raise ValueError(
                 f"{path}: unsupported index format "
                 f"{header.get('format')!r} (expected {INDEX_FORMAT})"
             )
-        vectors = archive["vectors"]
+        vectors = get("vectors")
         backend = header.get("backend")
         # Stored vectors are already normalized for cosine, so every
         # reconstruction below passes normalized=True.
@@ -433,8 +464,11 @@ def load_index(
             return IVFIndex(
                 vectors, metric=header["metric"], normalized=True,
                 nprobe=int(header["nprobe"]),
-                centroids=archive["centroids"],
-                assignment=archive["assignment"],
+                centroids=get("centroids"),
+                assignment=get("assignment"),
                 registry=registry,
             )
-    raise ValueError(f"{path}: unknown index backend {backend!r}")
+        raise ValueError(f"{path}: unknown index backend {backend!r}")
+    finally:
+        if closer is not None:
+            closer()

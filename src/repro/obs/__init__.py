@@ -55,6 +55,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NULL_REGISTRY,
     NullRegistry,
+    merge_snapshots,
     validate_buckets,
 )
 from repro.obs.profile import SamplingProfiler
@@ -110,6 +111,7 @@ __all__ = [
     "default_slos",
     "get_logger",
     "get_run_id",
+    "merge_snapshots",
     "new_run_id",
     "read_bundle",
     "set_level",

@@ -646,6 +646,97 @@ class MetricsRegistry:
         """Delta between an earlier :meth:`snapshot` and the registry now."""
         return self.diff_snapshots(before, self.snapshot())
 
+    @staticmethod
+    def merge_snapshots(snapshots: list[dict]) -> dict:
+        """Merge per-process :meth:`snapshot` dicts into one fleet view.
+
+        The sharded runtime's aggregation: each worker keeps a private
+        registry (no cross-process locks on the hot path), the
+        coordinator merges the snapshots.  Counters and gauges sum per
+        (name, labels) series; histograms sum ``count``, ``sum`` and
+        each cumulative bucket — which requires identical bucket
+        layouts, and a mismatch raises :class:`MetricError` rather than
+        producing a silently wrong distribution.  Exemplars keep the
+        newest timestamp per bucket.  Series order is deterministic:
+        family names sorted, series sorted by label items.
+        """
+        merged: dict[str, dict] = {}
+        for snapshot in snapshots:
+            if snapshot.get("format") != "repro-metrics-v1":
+                raise MetricError(
+                    f"cannot merge snapshot format "
+                    f"{snapshot.get('format')!r}"
+                )
+            for family in snapshot.get("metrics", []):
+                name = family["name"]
+                home = merged.setdefault(name, {
+                    "name": name,
+                    "type": family["type"],
+                    "help": family["help"],
+                    "labelnames": list(family["labelnames"]),
+                    "series": {},
+                })
+                if home["type"] != family["type"]:
+                    raise MetricError(
+                        f"metric {name!r} is {home['type']} in one "
+                        f"snapshot and {family['type']} in another"
+                    )
+                for series in family["series"]:
+                    labels = series.get("labels", {})
+                    key = tuple(sorted(labels.items()))
+                    slot = home["series"].get(key)
+                    if family["type"] == "histogram":
+                        if slot is None:
+                            slot = {
+                                "labels": dict(labels),
+                                "count": 0,
+                                "sum": 0.0,
+                                "buckets": {
+                                    b: 0 for b in series["buckets"]
+                                },
+                            }
+                            home["series"][key] = slot
+                        if set(slot["buckets"]) != set(series["buckets"]):
+                            raise MetricError(
+                                f"histogram {name!r} has mismatched "
+                                f"bucket layouts across snapshots"
+                            )
+                        slot["count"] += series["count"]
+                        slot["sum"] += series["sum"]
+                        for bound, count in series["buckets"].items():
+                            slot["buckets"][bound] += count
+                        for bound, exemplar in series.get(
+                            "exemplars", {}
+                        ).items():
+                            existing = slot.setdefault(
+                                "exemplars", {}
+                            ).get(bound)
+                            if (
+                                existing is None
+                                or exemplar["timestamp"]
+                                > existing["timestamp"]
+                            ):
+                                slot["exemplars"][bound] = dict(exemplar)
+                    else:
+                        if slot is None:
+                            slot = {"labels": dict(labels), "value": 0.0}
+                            home["series"][key] = slot
+                        slot["value"] += series["value"]
+        metrics = []
+        for name in sorted(merged):
+            family = merged[name]
+            metrics.append({
+                "name": family["name"],
+                "type": family["type"],
+                "help": family["help"],
+                "labelnames": family["labelnames"],
+                "series": [
+                    family["series"][key]
+                    for key in sorted(family["series"])
+                ],
+            })
+        return {"format": "repro-metrics-v1", "metrics": metrics}
+
 
 # -- the no-op registry -----------------------------------------------------
 
@@ -742,3 +833,8 @@ class NullRegistry(MetricsRegistry):
 
 
 NULL_REGISTRY = NullRegistry()
+
+
+def merge_snapshots(snapshots: list[dict]) -> dict:
+    """Module-level alias of :meth:`MetricsRegistry.merge_snapshots`."""
+    return MetricsRegistry.merge_snapshots(snapshots)

@@ -26,6 +26,8 @@ route              serves
                    via ``?format=...``)
 ``/flight``        the flight recorder's ring (``?dump=1`` also writes
                    the configured dump file atomically)
+``/shards``        the shard coordinator's fleet state: per-worker pid,
+                   liveness, sequence cursors, restarts, checkpoints
 =================  =========================================================
 
 Query parameters are validated before any work happens: unknown
@@ -160,6 +162,7 @@ class AdminServer:
         self._profiler = None
         self._flight = None
         self._flight_path = None
+        self._coordinator = None
         self._httpd: ThreadingHTTPServer | None = None
         self._thread: threading.Thread | None = None
         self._started_at: float | None = None
@@ -180,6 +183,7 @@ class AdminServer:
         profiler=None,
         flight=None,
         flight_path=None,
+        coordinator=None,
     ) -> "AdminServer":
         """Attach live state; each argument may be the object or a thunk.
 
@@ -204,6 +208,8 @@ class AdminServer:
             self._flight = flight
         if flight_path is not None:
             self._flight_path = flight_path
+        if coordinator is not None:
+            self._coordinator = coordinator
         return self
 
     # -- lifecycle -----------------------------------------------------------
@@ -428,6 +434,13 @@ class AdminServer:
             )
         return body
 
+    def shards_report(self) -> dict | None:
+        """The ``/shards`` JSON; None without an attached coordinator."""
+        coordinator = _resolve(self._coordinator)
+        if coordinator is None:
+            return None
+        return coordinator.status()
+
     def _serve_profile(self, query: str) -> tuple[int, str, bytes]:
         """The ``/profile`` route: continuous report or bounded burst."""
         params = _parse_query(query, ("seconds", "hz", "format"))
@@ -540,6 +553,17 @@ class AdminServer:
                 if body is None:
                     status, content_type, payload = _not_found(
                         "no SLO engine attached"
+                    )
+                else:
+                    status, content_type, payload = (
+                        200, "application/json", _json_bytes(body)
+                    )
+            elif route == "/shards":
+                _parse_query(query, ())
+                body = self.shards_report()
+                if body is None:
+                    status, content_type, payload = _not_found(
+                        "no shard coordinator attached"
                     )
                 else:
                     status, content_type, payload = (

@@ -1,0 +1,442 @@
+"""The fleet: spawn shard workers, feed them, survive their deaths.
+
+The coordinator owns the only global view: it partitions each incoming
+event batch with the :class:`~repro.shard.router.ShardRouter`, stamps
+each shard's slice with a per-shard sequence number, and retains every
+sent batch until the owning worker *durably* acknowledges it (an ack is
+sent only after the worker's checkpoint hit disk).  That replay buffer
+is the whole fault story: when a worker dies — crash or ``kill -9`` —
+the coordinator respawns it with fresh queues (stale queued items would
+create sequence gaps), waits for the restored worker to report its
+checkpoint's ``next_seq``, and replays exactly the retained batches from
+there.  Delivery is at-least-once; the worker's sequence check makes
+application exactly-once, so the day completes with no duplicate and no
+dropped sessions.
+
+Results merge in one place: per-shard emissions concatenate and sort
+into the canonical ``(timestamp, client)`` order, and per-worker metric
+registries merge through :func:`repro.obs.merge_snapshots` into a single
+fleet snapshot the admin server can serve.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_module
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obs.metrics import MetricsRegistry
+from repro.shard.router import ShardRouter
+from repro.shard.worker import WorkerSpec, _worker_main
+
+#: Generous: a spawned worker imports numpy + repro and maps the model
+#: before it reports ready; CI runners under load need headroom.
+READY_TIMEOUT_SECONDS = 120.0
+
+
+class ShardWorkerError(RuntimeError):
+    """A worker reported an application error (not a kill)."""
+
+
+@dataclass
+class FleetResult:
+    """Merged output of a completed fleet run."""
+
+    emissions: list[dict]
+    per_shard: list[dict]
+    metrics: dict
+    restarts: int = 0
+
+    @property
+    def events_seen(self) -> int:
+        return sum(s["events_seen"] for s in self.per_shard)
+
+    @property
+    def profiles_emitted(self) -> int:
+        return sum(s["profiles_emitted"] for s in self.per_shard)
+
+
+@dataclass
+class _ShardState:
+    """Coordinator-side bookkeeping for one worker."""
+
+    process: object | None = None
+    inbox: object | None = None
+    outbox: object | None = None
+    sent_seq: int = 0          # next sequence number to assign
+    acked_seq: int = 0         # everything below is durable on disk
+    retained: dict = field(default_factory=dict)   # seq -> events
+    result: dict | None = None
+    restarts: int = 0
+
+
+def event_wire(event) -> tuple:
+    """A HostnameEvent as the 4-tuple that crosses worker queues."""
+    return (
+        event.client_ip, event.timestamp, event.hostname, event.source,
+    )
+
+
+class ShardCoordinator:
+    """Feed N shard workers from one event stream; merge their output."""
+
+    def __init__(
+        self,
+        num_shards: int,
+        checkpoint_dir: str | Path,
+        model_dir: str | Path | None = None,
+        labelled: dict | None = None,
+        stream_config: dict | None = None,
+        tracker_filter=None,
+        salt: str = "",
+        nat_groups: dict[str, str] | None = None,
+        checkpoint_every_batches: int = 1,
+        start_method: str = "spawn",
+        registry: MetricsRegistry | None = None,
+    ):
+        self.router = ShardRouter(
+            num_shards, salt=salt, nat_groups=nat_groups
+        )
+        self.num_shards = int(num_shards)
+        self.checkpoint_dir = Path(checkpoint_dir)
+        self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        self.model_dir = str(model_dir) if model_dir is not None else None
+        self.labelled = labelled or {}
+        self.stream_config = dict(stream_config or {})
+        self.tracker_filter = tracker_filter
+        self.checkpoint_every_batches = int(checkpoint_every_batches)
+        self._ctx = mp.get_context(start_method)
+        self._shards = [_ShardState() for _ in range(self.num_shards)]
+        self._started = False
+        self._finished = False
+        registry = registry if registry is not None else MetricsRegistry()
+        self.registry = registry
+        self._dispatched_total = registry.counter(
+            "shard_batches_dispatched_total",
+            "Sequenced batches sent to shard workers.",
+            labelnames=("shard",),
+        )
+        self._restarts_total = registry.counter(
+            "shard_worker_restarts_total",
+            "Workers respawned from their per-shard checkpoint.",
+            labelnames=("shard",),
+        )
+
+    # -- specs and paths -------------------------------------------------------
+
+    def shard_checkpoint_path(self, shard: int) -> Path:
+        return self.checkpoint_dir / f"shard-{shard:03d}.json"
+
+    def _spec(self, shard: int) -> WorkerSpec:
+        return WorkerSpec(
+            shard_id=shard,
+            num_shards=self.num_shards,
+            checkpoint_path=str(self.shard_checkpoint_path(shard)),
+            router=self.router.spec(),
+            model_dir=self.model_dir,
+            labelled=self.labelled,
+            stream_config=self.stream_config,
+            tracker_filter=self.tracker_filter,
+            checkpoint_every_batches=self.checkpoint_every_batches,
+        )
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn every worker and wait for the ready handshake."""
+        if self._started:
+            raise RuntimeError("coordinator already started")
+        self._started = True
+        for shard in range(self.num_shards):
+            self._spawn(shard)
+
+    def _spawn(self, shard: int) -> int:
+        """(Re)spawn one worker; returns its reported ``next_seq``.
+
+        Queues are always created fresh: a dead worker's inbox may hold
+        items it never applied, and re-delivering them to the restored
+        worker out of order would trip its sequence check.  The retained
+        buffer, not the old queue, is the source of truth for replay.
+        """
+        state = self._shards[shard]
+        self._discard_queues(state)
+        state.inbox = self._ctx.Queue()
+        state.outbox = self._ctx.Queue()
+        state.process = self._ctx.Process(
+            target=_worker_main,
+            args=(self._spec(shard), state.inbox, state.outbox),
+            daemon=True,
+            name=f"repro-shard-{shard}",
+        )
+        state.process.start()
+        message = self._get(shard, timeout=READY_TIMEOUT_SECONDS)
+        if message[0] == "error":
+            raise ShardWorkerError(
+                f"shard {shard} failed to start:\n{message[2]}"
+            )
+        if message[0] != "ready":
+            raise RuntimeError(
+                f"shard {shard}: expected ready, got {message[0]!r}"
+            )
+        next_seq = int(message[2])
+        # Everything below the checkpoint's cursor is durable — trim it;
+        # everything at or above it that we already sent is replayed.
+        state.acked_seq = max(state.acked_seq, next_seq)
+        for seq in sorted(state.retained):
+            if seq < next_seq:
+                del state.retained[seq]
+            else:
+                state.inbox.put(("batch", seq, state.retained[seq]))
+        return next_seq
+
+    @staticmethod
+    def _discard_queues(state: _ShardState) -> None:
+        """Release a dead worker's queues without joining their feeders.
+
+        A killed worker leaves unread pickles in its inbox pipe; the
+        queue's feeder thread blocks on that write forever, and the
+        default exit finalizer would join it — hanging the coordinator
+        process at shutdown.  ``cancel_join_thread`` severs that tie.
+        """
+        for old in (state.inbox, state.outbox):
+            if old is not None:
+                old.cancel_join_thread()
+                old.close()
+        state.inbox = None
+        state.outbox = None
+
+    def _get(self, shard: int, timeout: float):
+        """One message from a worker's outbox, watching for death."""
+        state = self._shards[shard]
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return state.outbox.get(timeout=0.2)
+            except queue_module.Empty:
+                if not state.process.is_alive():
+                    # Drain any last message the dying worker flushed.
+                    try:
+                        return state.outbox.get(timeout=0.2)
+                    except queue_module.Empty:
+                        raise _WorkerDied(shard) from None
+                if time.monotonic() > deadline:
+                    raise TimeoutError(
+                        f"shard {shard}: no message within {timeout}s"
+                    ) from None
+
+    def _restart(self, shard: int) -> None:
+        """Respawn a dead worker from its checkpoint and replay."""
+        state = self._shards[shard]
+        if state.process is not None:
+            state.process.join(timeout=5)
+        state.restarts += 1
+        self._restarts_total.labels(shard=str(shard)).inc()
+        self._spawn(shard)
+
+    def _drain_acks(self, shard: int) -> None:
+        """Trim the replay buffer on any durable acks that arrived."""
+        state = self._shards[shard]
+        while True:
+            try:
+                message = state.outbox.get_nowait()
+            except queue_module.Empty:
+                return
+            self._apply_message(shard, message)
+
+    def _apply_message(self, shard: int, message) -> None:
+        state = self._shards[shard]
+        kind = message[0]
+        if kind == "ack":
+            acked = int(message[2])
+            state.acked_seq = max(state.acked_seq, acked)
+            for seq in [s for s in state.retained if s < acked]:
+                del state.retained[seq]
+        elif kind == "done":
+            state.result = message[2]
+        elif kind == "error":
+            raise ShardWorkerError(
+                f"shard {shard} failed:\n{message[2]}"
+            )
+        else:
+            raise RuntimeError(
+                f"shard {shard}: unexpected message {kind!r}"
+            )
+
+    # -- feeding ----------------------------------------------------------------
+
+    def dispatch(self, events) -> None:
+        """Partition one global batch and send each shard its slice.
+
+        ``events`` are :class:`~repro.netobs.flows.HostnameEvent`s or
+        wire 4-tuples; each shard's slice preserves the global order of
+        its own clients' events, which is all per-client profiling state
+        depends on.
+        """
+        if not self._started:
+            raise RuntimeError("coordinator not started")
+        slices: dict[int, list[tuple]] = {}
+        for event in events:
+            wire = (
+                event if isinstance(event, tuple) else event_wire(event)
+            )
+            slices.setdefault(
+                self.router.shard_of(wire[0]), []
+            ).append(wire)
+        for shard, shard_events in slices.items():
+            self._send(shard, shard_events)
+
+    def _send(self, shard: int, events: list[tuple]) -> None:
+        state = self._shards[shard]
+        seq = state.sent_seq
+        state.retained[seq] = events
+        state.sent_seq += 1
+        self._dispatched_total.labels(shard=str(shard)).inc()
+        while True:
+            if not state.process.is_alive():
+                # Respawn replays everything retained (including this
+                # batch — it entered the buffer before the put).
+                self._restart(shard)
+                return
+            try:
+                state.inbox.put(("batch", seq, events), timeout=0.5)
+                break
+            except queue_module.Full:
+                continue
+        self._drain_acks(shard)
+
+    # -- completion ---------------------------------------------------------------
+
+    def finish(self) -> FleetResult:
+        """Flush the fleet: final checkpoints, results, merged metrics."""
+        if not self._started:
+            raise RuntimeError("coordinator not started")
+        if self._finished:
+            raise RuntimeError("coordinator already finished")
+        for shard in range(self.num_shards):
+            self._send_finish(shard)
+        for shard in range(self.num_shards):
+            self._await_done(shard)
+        for state in self._shards:
+            state.process.join(timeout=30)
+        self._finished = True
+        per_shard = [
+            {
+                "shard_id": state.result["shard_id"],
+                "events_seen": state.result["events_seen"],
+                "profiles_emitted": state.result["profiles_emitted"],
+                "active_clients": state.result["active_clients"],
+                "restarts": state.restarts,
+            }
+            for state in self._shards
+        ]
+        emissions = [
+            emission
+            for state in self._shards
+            for emission in state.result["emissions"]
+        ]
+        emissions.sort(key=lambda e: (e["timestamp"], e["client"]))
+        metrics = MetricsRegistry.merge_snapshots(
+            [state.result["metrics"] for state in self._shards]
+        )
+        return FleetResult(
+            emissions=emissions,
+            per_shard=per_shard,
+            metrics=metrics,
+            restarts=sum(state.restarts for state in self._shards),
+        )
+
+    def _send_finish(self, shard: int) -> None:
+        state = self._shards[shard]
+        while True:
+            if not state.process.is_alive():
+                self._restart(shard)
+            try:
+                state.inbox.put(("finish",), timeout=0.5)
+                return
+            except queue_module.Full:
+                continue
+
+    def _await_done(self, shard: int) -> None:
+        state = self._shards[shard]
+        while state.result is None:
+            try:
+                message = self._get(shard, timeout=READY_TIMEOUT_SECONDS)
+            except _WorkerDied:
+                # Died between our finish and its done: restore, replay,
+                # re-issue finish.
+                self._restart(shard)
+                self._send_finish(shard)
+                continue
+            self._apply_message(shard, message)
+
+    # -- liveness & introspection ---------------------------------------------
+
+    def poll(self) -> list[int]:
+        """Detect and restart dead workers; returns restarted shard ids.
+
+        Call between dispatches (the CLI does, once per trace batch) so
+        a kill during a lull is healed before more load arrives.
+        """
+        restarted = []
+        for shard, state in enumerate(self._shards):
+            if (
+                state.process is not None
+                and not state.process.is_alive()
+                and state.result is None
+                and not self._finished
+            ):
+                self._restart(shard)
+                restarted.append(shard)
+        return restarted
+
+    def status(self) -> dict:
+        """Fleet state for the admin server's ``/shards`` route."""
+        return {
+            "num_shards": self.num_shards,
+            "started": self._started,
+            "finished": self._finished,
+            "salt": self.router.salt,
+            "nat_groups": len(self.router.nat_groups),
+            "model_dir": self.model_dir,
+            "restarts": sum(s.restarts for s in self._shards),
+            "shards": [
+                {
+                    "shard_id": shard,
+                    "pid": (
+                        state.process.pid
+                        if state.process is not None else None
+                    ),
+                    "alive": (
+                        state.process is not None
+                        and state.process.is_alive()
+                    ),
+                    "sent_seq": state.sent_seq,
+                    "acked_seq": state.acked_seq,
+                    "retained_batches": len(state.retained),
+                    "restarts": state.restarts,
+                    "done": state.result is not None,
+                    "checkpoint": str(self.shard_checkpoint_path(shard)),
+                }
+                for shard, state in enumerate(self._shards)
+            ],
+        }
+
+    # -- hard shutdown -----------------------------------------------------------
+
+    def terminate(self) -> None:
+        """Kill every worker (tests and error paths; not a clean finish)."""
+        for state in self._shards:
+            if state.process is not None and state.process.is_alive():
+                state.process.terminate()
+                state.process.join(timeout=5)
+            self._discard_queues(state)
+
+
+class _WorkerDied(Exception):
+    """Internal: the worker exited without an error message (kill -9)."""
+
+    def __init__(self, shard: int):
+        self.shard = shard
+        super().__init__(f"shard {shard} worker died")

@@ -1,0 +1,77 @@
+"""Stable, NAT-aware client → shard assignment.
+
+The partition function must be (a) deterministic across processes and
+interpreter restarts — a worker restoring its checkpoint must agree with
+the coordinator about which clients it owns; (b) uniform enough that N
+workers get ~1/N of the clients; and (c) NAT-aware — clients the
+:class:`~repro.netobs.nat.NatBox` merges behind one egress address must
+land on the same shard, because the observer sees them as one client
+whose session window lives in exactly one worker.
+
+``blake2b`` (keyed by an optional salt) satisfies (a) and (b); Python's
+builtin ``hash`` does neither (``PYTHONHASHSEED`` randomizes it per
+process).  (c) is handled by hashing the client's *NAT group* — the
+egress identity — instead of the raw client id whenever a mapping is
+provided.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+class ShardRouter:
+    """Hash-partition client ids across ``num_shards`` workers."""
+
+    def __init__(
+        self,
+        num_shards: int,
+        salt: str = "",
+        nat_groups: dict[str, str] | None = None,
+    ):
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.num_shards = int(num_shards)
+        self.salt = str(salt)
+        self.nat_groups = dict(nat_groups) if nat_groups else {}
+
+    def group_of(self, client_id: str) -> str:
+        """The partition key: the NAT group if mapped, else the client."""
+        return self.nat_groups.get(client_id, client_id)
+
+    def shard_of(self, client_id: str) -> int:
+        """Which shard owns ``client_id``.  Stable across processes."""
+        digest = hashlib.blake2b(
+            f"{self.salt}:{self.group_of(client_id)}".encode("utf-8"),
+            digest_size=8,
+        ).digest()
+        return int.from_bytes(digest, "big") % self.num_shards
+
+    def assignments(self, client_ids) -> dict[str, int]:
+        return {client: self.shard_of(client) for client in client_ids}
+
+    # -- spawn-safe round-trip ------------------------------------------------
+    # Workers rebuild the router from primitives rather than receiving
+    # the object, so the spec stays picklable under the spawn start
+    # method regardless of how the router was constructed.
+
+    def spec(self) -> dict:
+        return {
+            "num_shards": self.num_shards,
+            "salt": self.salt,
+            "nat_groups": dict(self.nat_groups),
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "ShardRouter":
+        return cls(
+            num_shards=int(spec["num_shards"]),
+            salt=spec.get("salt", ""),
+            nat_groups=spec.get("nat_groups") or {},
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardRouter(num_shards={self.num_shards}, "
+            f"salt={self.salt!r}, nat_groups={len(self.nat_groups)})"
+        )

@@ -32,6 +32,7 @@ import json
 import os
 import tempfile
 import time
+import weakref
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -314,11 +315,27 @@ class StreamingTraceGenerator:
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         flight=None,
+        user_filter=None,
+        shard_key: str | None = None,
     ):
+        """``user_filter`` restricts generation to the user ids for which
+        ``user_filter(user_id)`` is true — the sharded runtime's per-shard
+        view of the same seeded world.  Because each (day, user) cell is
+        independently seeded, the filtered stream is exactly the full
+        stream restricted to those users, and users outside the filter
+        cost nothing (their sessions are never realized).  A filter must
+        come with a ``shard_key`` naming the partition; the key is folded
+        into :attr:`config_digest` so a cursor written under one shard
+        assignment can never silently resume a different one.
+        """
         if batch_events < 1:
             raise ValueError("batch_events must be >= 1")
         if users_per_chunk < 1:
             raise ValueError("users_per_chunk must be >= 1")
+        if (user_filter is None) != (shard_key is None):
+            raise ValueError(
+                "user_filter and shard_key must be provided together"
+            )
         self.web = web
         self.population = population
         self.seed = int(seed)
@@ -330,6 +347,12 @@ class StreamingTraceGenerator:
         self.registry = registry if registry is not None else NullRegistry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.flight = flight
+        self.user_filter = user_filter
+        self.shard_key = shard_key
+        # Live day iterators, so close() can shut them (and their spill
+        # directories) down deterministically.  Weak: an iterator that
+        # was consumed to exhaustion or GC'd drops out on its own.
+        self._active_iters: weakref.WeakSet = weakref.WeakSet()
         # Plain-int mirrors of the counters so stats survive NullRegistry.
         self.events_generated = 0
         self.batches_generated = 0
@@ -373,15 +396,20 @@ class StreamingTraceGenerator:
         assert that), so a cursor taken under one chunking resumes under
         another.
         """
-        material = ":".join(
-            [
-                str(self.seed),
-                str(len(self.population)),
-                str(self.batch_events),
-                repr(self.model.config),
-                repr(self.diurnal),
-            ]
-        )
+        parts = [
+            str(self.seed),
+            str(len(self.population)),
+            str(self.batch_events),
+            repr(self.model.config),
+            repr(self.diurnal),
+        ]
+        # A shard-filtered generator emits a different stream, so its
+        # cursors must not interchange with the full stream's (or with
+        # another shard's).  Unsharded digests stay byte-identical to
+        # pre-shard builds, keeping existing cursors valid.
+        if self.shard_key is not None:
+            parts.append(f"shard={self.shard_key}")
+        material = ":".join(parts)
         return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
 
     def _profile(self, user_id: int) -> UserProfile:
@@ -393,6 +421,10 @@ class StreamingTraceGenerator:
         """Requests of users [lo, hi) for one day, sorted like a legacy day."""
         requests: list[Request] = []
         for user_id in range(lo, hi):
+            if self.user_filter is not None and not self.user_filter(
+                user_id
+            ):
+                continue
             requests.extend(
                 user_day_requests(
                     self.model, self.diurnal, self.seed,
@@ -408,18 +440,43 @@ class StreamingTraceGenerator:
         Small populations (one chunk) stream straight from memory; larger
         ones spill each chunk's sorted day to a temp shard and heap-merge
         the shards, so memory stays bounded by the chunk size.
+
+        The returned iterator owns its spill directory: ``.close()`` (or
+        :meth:`close` on the generator itself, which closes every
+        outstanding iterator) removes the shards immediately, and a GC
+        finalizer backstops a consumer that abandons the iterator
+        mid-merge without closing it — cleanup never waits for
+        interpreter exit.
         """
         if day < 0:
             raise ValueError("day must be >= 0")
         num_users = len(self.population)
         if num_users <= self.users_per_chunk:
-            yield from self._chunk_requests(day, 0, num_users)
-            return
-        starts = range(0, num_users, self.users_per_chunk)
-        with tempfile.TemporaryDirectory(
+            iterator = self._iter_single_chunk(day, num_users)
+            self._active_iters.add(iterator)
+            return iterator
+        tmp = tempfile.TemporaryDirectory(
             prefix=f"worldgen-day{day}-",
             dir=self.spill_dir,
-        ) as tmp:
+        )
+        iterator = self._iter_spill_merge(day, num_users, tmp)
+        self._active_iters.add(iterator)
+        # The bound method holds tmp, not the iterator, so this fires
+        # exactly when the iterator dies; cleanup() is idempotent, so
+        # racing the normal finally-path is harmless.
+        weakref.finalize(iterator, tmp.cleanup)
+        return iterator
+
+    def _iter_single_chunk(
+        self, day: int, num_users: int
+    ) -> Iterator[Request]:
+        yield from self._chunk_requests(day, 0, num_users)
+
+    def _iter_spill_merge(
+        self, day: int, num_users: int, tmp
+    ) -> Iterator[Request]:
+        try:
+            starts = range(0, num_users, self.users_per_chunk)
             shard_paths: list[Path] = []
             with self.tracer.span(
                 "worldgen.spill", day=day, chunks=len(starts)
@@ -427,7 +484,7 @@ class StreamingTraceGenerator:
                 for chunk_index, lo in enumerate(starts):
                     hi = min(lo + self.users_per_chunk, num_users)
                     chunk = self._chunk_requests(day, lo, hi)
-                    path = Path(tmp) / f"shard-{chunk_index:05d}.jsonl"
+                    path = Path(tmp.name) / f"shard-{chunk_index:05d}.jsonl"
                     with open(path, "w", encoding="utf-8") as handle:
                         for r in chunk:
                             # Bare repr floats round-trip exactly, which the
@@ -452,6 +509,21 @@ class StreamingTraceGenerator:
             finally:
                 for handle in handles:
                     handle.close()
+        finally:
+            tmp.cleanup()
+
+    def close(self) -> None:
+        """Shut down every outstanding day iterator.
+
+        Raises ``GeneratorExit`` inside each live iterator, which runs
+        its cleanup path and removes any spill shards on disk *now* —
+        the hygiene a long-lived process (shard coordinator, admin-
+        served observer) needs when a consumer walks away from a batch
+        stream mid-merge.  Safe to call repeatedly; exhausted iterators
+        are no-ops.
+        """
+        for iterator in list(self._active_iters):
+            iterator.close()
 
     def day_requests(self, day: int) -> list[Request]:
         """Materialized single day (API parity with :class:`TraceGenerator`)."""
@@ -527,15 +599,21 @@ class StreamingTraceGenerator:
                     ),
                 )
 
-            for request in self.iter_day_requests(day):
-                pending.append(request)
-                day_events += 1
-                if len(pending) >= self.batch_events:
-                    batch = flush(pending, index)
-                    if batch is not None:
-                        yield batch
-                    pending = []
-                    index += 1
+            day_iter = self.iter_day_requests(day)
+            try:
+                for request in day_iter:
+                    pending.append(request)
+                    day_events += 1
+                    if len(pending) >= self.batch_events:
+                        batch = flush(pending, index)
+                        if batch is not None:
+                            yield batch
+                        pending = []
+                        index += 1
+            finally:
+                # A consumer abandoning this batch stream mid-day must
+                # not strand the day's spill shards until GC.
+                day_iter.close()
             if pending:
                 batch = flush(pending, index)
                 if batch is not None:

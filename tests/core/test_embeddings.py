@@ -188,6 +188,40 @@ class TestPersistence:
         assert np.allclose(loaded.vector("mid.com"), [0.5, 0.5])
 
 
+class TestZeroCopyLoad:
+    def test_mapped_load_matches_eager_bitwise(self, toy, tmp_path):
+        path = tmp_path / "emb.npz"
+        toy.save(path, compress=False)
+        eager = HostnameEmbeddings.load(path)
+        mapped = HostnameEmbeddings.load(path, mmap_mode="r")
+        assert mapped.vocabulary.hosts == eager.vocabulary.hosts
+        assert mapped.vectors.tobytes() == eager.vectors.tobytes()
+        assert isinstance(np.asanyarray(mapped.vectors).base, np.memmap) or (
+            not mapped.vectors.flags.writeable
+        )
+
+    def test_mapped_vectors_are_read_only(self, toy, tmp_path):
+        path = tmp_path / "emb.npz"
+        toy.save(path, compress=False)
+        mapped = HostnameEmbeddings.load(path, mmap_mode="r")
+        with pytest.raises((ValueError, RuntimeError)):
+            mapped.vectors[0, 0] = 1.0
+
+    def test_reuse_unit_rows_binds_index_matrix(self, toy, tmp_path):
+        from repro.index.base import load_index
+        from repro.index.exact import ExactIndex
+
+        path = tmp_path / "idx.npz"
+        ExactIndex(toy.unit_vectors, metric="cosine", normalized=True).save(
+            path, compress=False
+        )
+        index = load_index(path, mmap_mode="r")
+        fresh = HostnameEmbeddings(toy.vectors, toy.vocabulary)
+        fresh.bind_index(index, reuse_unit_rows=True)
+        assert fresh.unit_vectors is index.vectors
+        assert fresh.unit_vectors.tobytes() == toy.unit_vectors.tobytes()
+
+
 class TestWord2VecFormat:
     def test_roundtrip(self, toy, tmp_path):
         path = tmp_path / "vectors.txt"

@@ -365,3 +365,95 @@ class TestExemplars:
     def test_null_registry_swallows_exemplars(self):
         NULL_REGISTRY.histogram("h", "H.").observe(0.1, exemplar="x")
         assert NULL_REGISTRY.histogram("h", "H.").exemplars() == {}
+
+
+class TestMergeSnapshots:
+    """Fleet-level aggregation of per-worker registry snapshots."""
+
+    @staticmethod
+    def _worker_registry(events, latency):
+        registry = MetricsRegistry()
+        registry.counter("stream_events_total", "E.").inc(events)
+        registry.gauge("stream_active_clients", "C.").set(events / 2)
+        registry.histogram(
+            "emit_seconds", "L.", buckets=(0.1, 1.0)
+        ).observe(latency)
+        registry.counter(
+            "index_queries_total", "Q.", labelnames=("backend",)
+        ).labels(backend="exact").inc(events * 3)
+        return registry
+
+    def test_counters_gauges_and_histograms_sum(self):
+        a = self._worker_registry(10, 0.05)
+        b = self._worker_registry(4, 0.5)
+        merged = MetricsRegistry.merge_snapshots(
+            [a.snapshot(), b.snapshot()]
+        )
+        flat = MetricsRegistry.flatten(merged)
+        assert flat["stream_events_total"] == 14.0
+        assert flat["stream_active_clients"] == 7.0
+        assert flat["emit_seconds_count"] == 2.0
+        assert flat['emit_seconds_bucket{le="0.1"}'] == 1.0
+        assert flat['emit_seconds_bucket{le="+Inf"}'] == 2.0
+        assert flat['index_queries_total{backend="exact"}'] == 42.0
+
+    def test_merge_is_order_independent(self):
+        a = self._worker_registry(10, 0.05).snapshot()
+        b = self._worker_registry(4, 0.5).snapshot()
+        assert MetricsRegistry.merge_snapshots(
+            [a, b]
+        ) == MetricsRegistry.merge_snapshots([b, a])
+
+    def test_single_snapshot_round_trips(self):
+        snapshot = self._worker_registry(5, 0.2).snapshot()
+        merged = MetricsRegistry.merge_snapshots([snapshot])
+        assert MetricsRegistry.flatten(merged) == (
+            MetricsRegistry.flatten(snapshot)
+        )
+
+    def test_mismatched_bucket_layouts_rejected(self):
+        a = MetricsRegistry()
+        a.histogram("h_seconds", "H.", buckets=(0.1,)).observe(0.05)
+        b = MetricsRegistry()
+        b.histogram("h_seconds", "H.", buckets=(0.5,)).observe(0.05)
+        with pytest.raises(MetricError):
+            MetricsRegistry.merge_snapshots([a.snapshot(), b.snapshot()])
+
+    def test_mismatched_types_rejected(self):
+        a = MetricsRegistry()
+        a.counter("thing_total", "T.").inc()
+        b = MetricsRegistry()
+        b.gauge("thing_total", "T.").set(1)
+        with pytest.raises(MetricError):
+            MetricsRegistry.merge_snapshots([a.snapshot(), b.snapshot()])
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(MetricError):
+            MetricsRegistry.merge_snapshots([{"format": "bogus"}])
+
+    def test_newest_exemplar_wins(self):
+        a = MetricsRegistry()
+        a.histogram("h_seconds", "H.", buckets=(1.0,)).observe(
+            0.5, exemplar="older"
+        )
+        b = MetricsRegistry()
+        b.histogram("h_seconds", "H.", buckets=(1.0,)).observe(
+            0.5, exemplar="newer"
+        )
+        snap_a, snap_b = a.snapshot(), b.snapshot()
+        # Force a deterministic timestamp ordering.
+        snap_a["metrics"][0]["series"][0]["exemplars"]["1"][
+            "timestamp"
+        ] = 100.0
+        snap_b["metrics"][0]["series"][0]["exemplars"]["1"][
+            "timestamp"
+        ] = 200.0
+        merged = MetricsRegistry.merge_snapshots([snap_a, snap_b])
+        exemplar = merged["metrics"][0]["series"][0]["exemplars"]["1"]
+        assert exemplar["trace_id"] == "newer"
+
+    def test_module_level_alias(self):
+        from repro.obs import merge_snapshots
+
+        snapshot = self._worker_registry(1, 0.1).snapshot()
+        assert merge_snapshots([snapshot])["format"] == "repro-metrics-v1"

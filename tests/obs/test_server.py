@@ -349,6 +349,45 @@ class TestIntrospectionRoutes:
         saved = json.loads(dump_path.read_text())
         assert saved["events"][0]["name"] == "hello"
 
+    def test_shards_404_without_coordinator(self, server):
+        status, _, body = _get(server.url("/shards"))
+        assert status == 404
+        assert "coordinator" in json.loads(body)["error"]
+
+    def test_shards_serves_coordinator_status(self, server):
+        class _FakeFleet:
+            def status(self):
+                return {
+                    "num_shards": 2,
+                    "started": True,
+                    "finished": False,
+                    "shards": [
+                        {"shard_id": 0, "alive": True},
+                        {"shard_id": 1, "alive": True},
+                    ],
+                }
+
+        server.attach(coordinator=_FakeFleet())
+        status, _, body = _get(server.url("/shards"))
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["num_shards"] == 2
+        assert [s["shard_id"] for s in payload["shards"]] == [0, 1]
+
+    def test_shards_thunk_resolves_late(self, server):
+        fleet = {}
+        server.attach(coordinator=lambda: fleet.get("coordinator"))
+        assert _get(server.url("/shards"))[0] == 404
+
+        class _FakeFleet:
+            def status(self):
+                return {"num_shards": 4, "shards": []}
+
+        fleet["coordinator"] = _FakeFleet()
+        status, _, body = _get(server.url("/shards"))
+        assert status == 200
+        assert json.loads(body)["num_shards"] == 4
+
 
 class TestAdversarialParams:
     """Garbage in must mean 4xx out — a scrape can never 500 a route."""
@@ -356,6 +395,7 @@ class TestAdversarialParams:
     ROUTES = (
         "/metrics", "/healthz", "/readyz", "/varz", "/generations",
         "/drift/latest", "/slo", "/alerts", "/profile", "/flight",
+        "/shards",
     )
 
     def _assert_client_error(self, server, target):

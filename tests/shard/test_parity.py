@@ -1,0 +1,100 @@
+"""Shard parity: the fleet's merged output equals single-process output.
+
+The acceptance bar from the sharding design: for every worker count and
+every sharding (salt), merged emissions are *identical* — same profiles,
+same timestamps, same window hosts — to one StreamingProfiler consuming
+the same day.  Real spawned processes, tiny world, mapped model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.shard import ShardCoordinator
+
+from tests.shard.conftest import STREAM_CONFIG
+
+
+def _run_fleet(
+    num_shards, tmp_path, shard_model_dir, labelled, tracker_filter,
+    shard_events, salt, batch_size=500, checkpoint_every_batches=4,
+):
+    coordinator = ShardCoordinator(
+        num_shards,
+        checkpoint_dir=tmp_path / "ckpt",
+        model_dir=shard_model_dir,
+        labelled=labelled,
+        stream_config=STREAM_CONFIG,
+        tracker_filter=tracker_filter,
+        salt=salt,
+        checkpoint_every_batches=checkpoint_every_batches,
+    )
+    coordinator.start()
+    try:
+        for start in range(0, len(shard_events), batch_size):
+            coordinator.dispatch(shard_events[start:start + batch_size])
+        return coordinator.finish()
+    finally:
+        coordinator.terminate()
+
+
+@pytest.mark.parametrize("salt", ["", "alternate-sharding"])
+@pytest.mark.parametrize("num_shards", [1, 2, 4])
+def test_fleet_matches_single_process(
+    num_shards, salt, tmp_path, shard_model_dir, labelled,
+    tracker_filter, shard_events, reference_emissions,
+):
+    result = _run_fleet(
+        num_shards, tmp_path, shard_model_dir, labelled,
+        tracker_filter, shard_events, salt,
+    )
+    assert result.emissions == reference_emissions
+    assert result.events_seen == len(shard_events)
+    assert result.profiles_emitted == len(reference_emissions)
+    assert result.restarts == 0
+
+
+def test_fleet_metrics_merge_to_global_totals(
+    tmp_path, shard_model_dir, labelled, tracker_filter, shard_events,
+    reference_emissions,
+):
+    result = _run_fleet(
+        2, tmp_path, shard_model_dir, labelled, tracker_filter,
+        shard_events, salt="",
+    )
+    assert result.metrics["format"] == "repro-metrics-v1"
+    by_name = {f["name"]: f for f in result.metrics["metrics"]}
+    ingested = by_name["stream_events_total"]
+    total = sum(s["value"] for s in ingested["series"])
+    assert total == len(shard_events)
+    emitted = by_name["stream_profiles_total"]
+    assert sum(
+        s["value"] for s in emitted["series"]
+    ) == len(reference_emissions)
+
+
+def test_status_reports_the_whole_fleet(
+    tmp_path, shard_model_dir, labelled, tracker_filter, shard_events,
+):
+    coordinator = ShardCoordinator(
+        2,
+        checkpoint_dir=tmp_path / "ckpt",
+        model_dir=shard_model_dir,
+        labelled=labelled,
+        stream_config=STREAM_CONFIG,
+        tracker_filter=tracker_filter,
+    )
+    coordinator.start()
+    try:
+        coordinator.dispatch(shard_events[:200])
+        status = coordinator.status()
+        assert status["num_shards"] == 2
+        assert status["started"] and not status["finished"]
+        assert len(status["shards"]) == 2
+        for shard in status["shards"]:
+            assert shard["alive"]
+            assert isinstance(shard["pid"], int)
+        coordinator.finish()
+        assert coordinator.status()["finished"]
+    finally:
+        coordinator.terminate()

@@ -1,0 +1,95 @@
+"""ShardRouter: stability, uniformity, NAT co-location, spec round-trip."""
+
+import subprocess
+import sys
+
+from repro.shard import ShardRouter
+
+
+class TestStability:
+    def test_deterministic_within_process(self):
+        router = ShardRouter(4, salt="s")
+        clients = [f"10.0.0.{i}" for i in range(64)]
+        assert router.assignments(clients) == router.assignments(clients)
+
+    def test_deterministic_across_processes(self):
+        # Python's builtin hash is per-process randomized; the router
+        # must not be.  A fresh interpreter computes the same shard.
+        script = (
+            "import sys; sys.path.insert(0, 'src'); "
+            "from repro.shard import ShardRouter; "
+            "print(ShardRouter(4, salt='s').shard_of('10.0.0.7'))"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, check=True,
+        )
+        assert int(out.stdout) == ShardRouter(4, salt="s").shard_of(
+            "10.0.0.7"
+        )
+
+    def test_single_shard_takes_everything(self):
+        router = ShardRouter(1)
+        assert {
+            router.shard_of(f"c{i}") for i in range(100)
+        } == {0}
+
+    def test_salt_changes_the_partition(self):
+        clients = [f"10.0.0.{i}" for i in range(128)]
+        a = ShardRouter(4, salt="a").assignments(clients)
+        b = ShardRouter(4, salt="b").assignments(clients)
+        assert a != b
+
+
+class TestUniformity:
+    def test_roughly_balanced(self):
+        router = ShardRouter(4)
+        counts = [0, 0, 0, 0]
+        for i in range(4000):
+            counts[router.shard_of(f"10.{i % 256}.{i // 256}.1")] += 1
+        for count in counts:
+            assert 700 <= count <= 1300   # ±30% of fair share
+
+
+class TestNatAwareness:
+    def test_merged_clients_stay_colocated(self):
+        # Clients NATed behind one egress are one observed identity:
+        # their windows must live on one shard, whatever the salt.
+        nat_groups = {
+            "192.168.1.10": "203.0.113.5",
+            "192.168.1.11": "203.0.113.5",
+            "192.168.1.12": "203.0.113.5",
+        }
+        for salt in ("", "a", "b"):
+            router = ShardRouter(8, salt=salt, nat_groups=nat_groups)
+            shards = {
+                router.shard_of(client) for client in nat_groups
+            }
+            assert len(shards) == 1
+            # and they ride with their public address
+            assert shards == {router.shard_of("203.0.113.5")}
+
+    def test_unmapped_clients_unaffected(self):
+        with_nat = ShardRouter(
+            8, nat_groups={"192.168.1.10": "203.0.113.5"}
+        )
+        without = ShardRouter(8)
+        assert with_nat.shard_of("10.0.0.1") == without.shard_of(
+            "10.0.0.1"
+        )
+
+
+class TestSpecRoundTrip:
+    def test_round_trip(self):
+        router = ShardRouter(
+            4, salt="x", nat_groups={"a": "g", "b": "g"}
+        )
+        clone = ShardRouter.from_spec(router.spec())
+        clients = ["a", "b", "c", "10.0.0.1"]
+        assert clone.assignments(clients) == router.assignments(clients)
+
+    def test_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ShardRouter(0)
