@@ -148,8 +148,16 @@ class _Introspection:
             self.flight.install_crash_hooks(self.flight_path)
         self.slo = None
         if getattr(args, "slo", False):
+            from repro.obs import default_slos, fleet_slos
+
+            slos = default_slos()
+            if getattr(args, "workers", 1) > 1:
+                # Sharded runs also watch the fleet: a silent or lagging
+                # worker fires a straggler alert on /alerts.
+                slos += fleet_slos()
             self.slo = SLOEngine(
                 registry,
+                slos=slos,
                 fast_window_seconds=args.slo_fast_window,
                 slow_window_seconds=args.slo_slow_window,
             )
@@ -225,6 +233,8 @@ def _run_sharded_stream(
     registry=None,
     admin=None,
     batch_size=4096,
+    tracer=None,
+    intro=None,
 ):
     """Fan event ingest across ``--workers`` shard processes.
 
@@ -234,11 +244,20 @@ def _run_sharded_stream(
     client, and merges the per-shard emissions and metrics at the end.
     Prints a fleet summary and returns the
     :class:`~repro.shard.FleetResult`.
+
+    With an ``intro`` plane the fleet is live-observable: workers ship
+    telemetry frames the coordinator merges (``/metrics?scope=fleet``,
+    enriched ``/shards``), head-sampled traces cross the worker hop
+    (``/trace/<id>``), lifecycle events land in the flight recorder, and
+    the per-shard checkpoint dir also collects worker flight dumps.
     """
     import tempfile
 
     from repro.shard import ShardCoordinator
 
+    batch_size = getattr(args, "shard_batch_events", None) or batch_size
+    if batch_size <= 0:
+        raise SystemExit("--shard-batch-events must be positive")
     model_tmp = model_dir = None
     if pipeline is not None and getattr(pipeline, "is_trained", False):
         model_tmp = tempfile.TemporaryDirectory(
@@ -259,14 +278,28 @@ def _run_sharded_stream(
         tracker_filter=tracker_filter,
         salt=getattr(args, "shard_salt", ""),
         registry=registry,
+        tracer=tracer,
+        trace_sampler=intro.sampler if intro is not None else None,
+        flight=intro.flight if intro is not None else None,
+        worker_flight=bool(intro is not None and intro.flight is not None),
     )
     if admin is not None:
         admin.attach(coordinator=coordinator)
     coordinator.start()
+    chaos_delay = getattr(args, "chaos_dispatch_delay", 0.0) or 0.0
+    if chaos_delay:
+        print(
+            f"chaos: sleeping {chaos_delay:g}s between dispatch batches "
+            "(fleet probe rehearsal)"
+        )
     try:
         for start in range(0, len(events), batch_size):
             coordinator.dispatch(events[start:start + batch_size])
             coordinator.poll()
+            if chaos_delay:
+                import time as _time
+
+                _time.sleep(chaos_delay)
         result = coordinator.finish()
     finally:
         coordinator.terminate()
@@ -346,6 +379,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
             tracker_filter=world.tracker_filter,
             pipeline=world.profiler,
             registry=registry, admin=admin,
+            tracer=tracer, intro=intro,
         )
     if store is not None:
         latest = store.latest()
@@ -1105,6 +1139,7 @@ def cmd_stream(args: argparse.Namespace) -> int:
                     "max_lateness_seconds": args.max_lateness_seconds,
                 },
                 registry=registry, admin=admin,
+                tracer=tracer, intro=intro,
             )
         emissions = fleet.profiles_emitted
     else:
@@ -1212,6 +1247,7 @@ def cmd_doctor(args: argparse.Namespace) -> int:
         config=vars(args),
         timeout=args.timeout,
         profile_seconds=args.profile_seconds,
+        shard_dir=args.shard_dir,
     )
     collected = manifest["collected"]
     errors = manifest["errors"]
@@ -1365,6 +1401,13 @@ def build_parser() -> argparse.ArgumentParser:
             "--shard-salt", default="", metavar="SALT",
             help="salt mixed into the shard hash (re-sharding knob; "
             "output is identical for any salt)",
+        )
+        p.add_argument(
+            "--shard-batch-events", type=int, default=4096,
+            metavar="N",
+            help="events per dispatched shard batch (default 4096); "
+            "smaller batches mean finer-grained acks and a longer "
+            "mid-run window for live fleet probes",
         )
 
     def add_admin_args(p):
@@ -1625,6 +1668,13 @@ def build_parser() -> argparse.ArgumentParser:
         "spike rehearsal: with --slo the burn-rate alert must fire at "
         "/alerts and clear once the spike ends; CI asserts exactly that)",
     )
+    p.add_argument(
+        "--chaos-dispatch-delay", type=float, default=0.0,
+        metavar="SECONDS",
+        help="sleep this long between shard dispatch batches (stretches "
+        "a --workers run so live fleet probes and straggler injection "
+        "have a mid-run window to hit; CI uses this)",
+    )
     add_index_args(p)
     add_store_args(p)
     add_shard_args(p)
@@ -1683,6 +1733,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--flight", default=None, metavar="PATH",
         help="copy a flight-recorder dump a run already wrote "
         "(a live /flight scrape wins over this)",
+    )
+    p.add_argument(
+        "--shard-dir", default=None, metavar="DIR",
+        help="copy per-shard checkpoints and worker flight dumps from a "
+        "coordinator checkpoint directory into the bundle's shards/",
     )
     p.add_argument(
         "--timeout", type=float, default=5.0,

@@ -55,12 +55,14 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NULL_REGISTRY,
     NullRegistry,
+    label_snapshot,
     merge_snapshots,
+    snapshot_to_prometheus,
     validate_buckets,
 )
 from repro.obs.profile import SamplingProfiler
 from repro.obs.server import PROMETHEUS_CONTENT_TYPE, AdminServer
-from repro.obs.slo import SLO, SLOEngine, SLOState, default_slos
+from repro.obs.slo import SLO, SLOEngine, SLOState, default_slos, fleet_slos
 from repro.obs.tracing import (
     HeadSampler,
     NULL_TRACER,
@@ -70,6 +72,8 @@ from repro.obs.tracing import (
     Tracer,
     current_exemplar,
     current_trace,
+    span_from_wire,
+    span_to_wire,
     use_trace,
 )
 
@@ -109,14 +113,19 @@ __all__ = [
     "current_exemplar",
     "current_trace",
     "default_slos",
+    "fleet_slos",
     "get_logger",
     "get_run_id",
+    "label_snapshot",
     "merge_snapshots",
     "new_run_id",
     "read_bundle",
     "set_level",
     "set_run_id",
     "set_stream",
+    "snapshot_to_prometheus",
+    "span_from_wire",
+    "span_to_wire",
     "stream_health_rates",
     "use_trace",
     "validate_buckets",

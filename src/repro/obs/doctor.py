@@ -20,6 +20,11 @@ file              contents
 ``flight.json``   flight-recorder ring dump (``/flight`` or a dump file)
 ``profile.collapsed``  on-demand CPU profile, flamegraph.pl format
 ``trace.json``    Chrome trace copied from ``--trace``
+``shards.json``   ``/shards`` fleet state (live only; absence is explicit)
+``metrics_fleet.prom``  ``/metrics?scope=fleet`` merged fleet exposition
+``traces.json``   ``/trace`` index of reassembled cross-process traces
+``shards/``       per-shard checkpoints and worker flight dumps copied
+                  from ``--shard-dir`` (the coordinator checkpoint dir)
 ``config.json``   the resolved CLI configuration of the doctor run target
 ``bundle.json``   what was collected, from where, and what failed
 ================  ==========================================================
@@ -27,12 +32,15 @@ file              contents
 Every source is optional and every failure is recorded rather than
 raised — a half-dead process should still yield a half-full bundle.
 Offline runs (no ``admin_url``) record the absence of the live-only
-captures (SLO states, alerts, the on-demand profile) in the manifest's
-``errors`` map instead of failing.
+captures (SLO states, alerts, the on-demand profile, fleet state) in
+the manifest's ``errors`` map instead of failing; a live process with
+no shard coordinator attached records the fleet routes as ``absent``
+the same way.
 
-Manifest format: ``repro-doctor-v2``.  v2 adds the introspection-plane
-captures above; everything a v1 bundle contained keeps its filename and
-shape, so v1 bundles remain readable (see ``read_bundle``).
+Manifest format: ``repro-doctor-v3``.  v3 adds the fleet captures
+(``shards.json``, ``metrics_fleet.prom``, ``traces.json``, ``shards/``);
+everything a v1 or v2 bundle contained keeps its filename and shape, so
+older bundles remain readable (see ``read_bundle``).
 """
 
 from __future__ import annotations
@@ -60,10 +68,15 @@ _LIVE_ROUTES = (
     ("/slo", "slo.json"),
     ("/alerts", "alerts.json"),
     ("/flight", "flight.json"),
+    ("/shards", "shards.json"),
+    ("/metrics?scope=fleet", "metrics_fleet.prom"),
+    ("/trace", "traces.json"),
 )
 
 #: Bundle manifest formats :func:`read_bundle` accepts.
-SUPPORTED_BUNDLE_FORMATS = ("repro-doctor-v1", "repro-doctor-v2")
+SUPPORTED_BUNDLE_FORMATS = (
+    "repro-doctor-v1", "repro-doctor-v2", "repro-doctor-v3",
+)
 
 #: Live-only captures whose absence an offline bundle must explain.
 _LIVE_ONLY = {
@@ -71,6 +84,9 @@ _LIVE_ONLY = {
     "/alerts": "alerts.json",
     "/flight": "flight.json",
     "/profile": "profile.collapsed",
+    "/shards": "shards.json",
+    "/metrics?scope=fleet": "metrics_fleet.prom",
+    "/trace": "traces.json",
 }
 
 
@@ -99,6 +115,7 @@ def collect_bundle(
     config: dict | None = None,
     timeout: float = 5.0,
     profile_seconds: float = 5.0,
+    shard_dir: str | Path | None = None,
 ) -> dict:
     """Assemble a debug bundle in ``out_dir``; returns the bundle manifest.
 
@@ -107,10 +124,13 @@ def collect_bundle(
     ``profile_seconds`` > 0) an on-demand CPU profile burst; ``store``
     (an :class:`~repro.store.ArtifactStore`) reads generation manifests
     and drift reports offline; ``metrics_path`` / ``trace_path`` /
-    ``flight_path`` copy telemetry files a run already wrote.  Live
+    ``flight_path`` copy telemetry files a run already wrote, and
+    ``shard_dir`` (a coordinator's checkpoint directory) copies every
+    per-shard checkpoint and worker flight dump into ``shards/``.  Live
     routes win over offline sources for the same filename; nothing
     reachable is an empty-but-valid bundle whose manifest says so, with
-    live-only captures (SLO, alerts, profile) explicitly noted absent.
+    live-only captures (SLO, alerts, profile, fleet state) explicitly
+    noted absent.
     """
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
@@ -134,6 +154,18 @@ def collect_bundle(
                 atomic_write_json(
                     out / filename, {"status": status, "body": parsed}
                 )
+            elif status == 404:
+                # Routes that answer "nothing attached" (e.g. /shards
+                # without a coordinator) are recorded as explicitly
+                # absent, not as scrape failures.
+                try:
+                    reason = json.loads(body).get("error") or ""
+                except ValueError:
+                    reason = ""
+                errors[route] = (
+                    f"absent: {reason}" if reason else "absent: HTTP 404"
+                )
+                continue
             elif status != 200:
                 errors[route] = f"HTTP {status}"
                 continue
@@ -206,12 +238,26 @@ def collect_bundle(
         else:
             errors[str(source)] = "file not found"
 
+    if shard_dir is not None:
+        shard_dir = Path(shard_dir)
+        if shard_dir.is_dir():
+            shard_files = sorted(shard_dir.glob("shard-*.json"))
+            if shard_files:
+                (out / "shards").mkdir(exist_ok=True)
+                for source in shard_files:
+                    shutil.copyfile(source, out / "shards" / source.name)
+                    collected[f"shards/{source.name}"] = str(source)
+            else:
+                errors[str(shard_dir)] = "no shard-*.json files found"
+        else:
+            errors[str(shard_dir)] = "directory not found"
+
     if config is not None:
         atomic_write_json(out / "config.json", _json_safe(config))
         collected["config.json"] = "resolved configuration"
 
     manifest = {
-        "format": "repro-doctor-v2",
+        "format": "repro-doctor-v3",
         "created_at": time.time(),
         "admin_url": admin_url,
         "collected": collected,
@@ -229,8 +275,10 @@ def read_bundle(bundle_dir: str | Path) -> dict:
     """Load a doctor bundle's manifest, accepting every supported format.
 
     v1 bundles (pre-introspection-plane) have no ``slo.json`` /
-    ``alerts.json`` / ``flight.json`` / ``profile.collapsed`` entries;
-    readers treat those exactly like a v2 offline bundle that noted
+    ``alerts.json`` / ``flight.json`` / ``profile.collapsed`` entries,
+    and v2 bundles (pre-fleet-plane) none of the ``shards.json`` /
+    ``metrics_fleet.prom`` / ``traces.json`` / ``shards/`` captures;
+    readers treat those exactly like a newer offline bundle that noted
     their absence.  Unknown formats raise ``ValueError`` naming the
     supported range.
     """

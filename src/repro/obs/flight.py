@@ -49,7 +49,8 @@ DEFAULT_CAPACITY = 2048
 FORMAT = "repro-flight-v1"
 
 EVENT_KINDS = (
-    "span", "state", "quarantine", "drift", "slo", "flow", "crash"
+    "span", "state", "quarantine", "drift", "slo", "flow", "crash",
+    "worker",   # fleet lifecycle: shard spawn/crash/respawn/replay/done
 )
 
 

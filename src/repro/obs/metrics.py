@@ -838,3 +838,102 @@ NULL_REGISTRY = NullRegistry()
 def merge_snapshots(snapshots: list[dict]) -> dict:
     """Module-level alias of :meth:`MetricsRegistry.merge_snapshots`."""
     return MetricsRegistry.merge_snapshots(snapshots)
+
+
+# -- snapshot relabelling & exposition ---------------------------------------
+
+
+def label_snapshot(snapshot: dict, **labels: str) -> dict:
+    """A copy of ``snapshot`` with extra labels stamped on every series.
+
+    The fleet-merge primitive: the coordinator stamps each worker's
+    snapshot with ``shard="N"`` before merging, so per-shard series stay
+    distinguishable in the fleet exposition instead of summing away.
+    Stamping a label a series already carries is a :class:`MetricError`
+    (it would silently overwrite a real dimension).
+    """
+    if snapshot.get("format") != "repro-metrics-v1":
+        raise MetricError(
+            f"cannot relabel snapshot format {snapshot.get('format')!r}"
+        )
+    for name in labels:
+        if not _LABEL_RE.match(name):
+            raise MetricError(f"invalid label name {name!r}")
+    stamped = {str(k): str(v) for k, v in labels.items()}
+    metrics = []
+    for family in snapshot.get("metrics", []):
+        collision = set(stamped) & set(family["labelnames"])
+        if collision:
+            raise MetricError(
+                f"metric {family['name']!r} already carries label(s) "
+                f"{sorted(collision)}"
+            )
+        series = []
+        for entry in family["series"]:
+            entry = dict(entry)
+            entry["labels"] = {**entry.get("labels", {}), **stamped}
+            series.append(entry)
+        metrics.append({
+            **family,
+            "labelnames": list(family["labelnames"]) + sorted(stamped),
+            "series": series,
+        })
+    return {"format": "repro-metrics-v1", "metrics": metrics}
+
+
+def _parse_bound(spelling: str) -> float:
+    return float("inf") if spelling == "+Inf" else float(spelling)
+
+
+def snapshot_to_prometheus(snapshot: dict, exemplars: bool = False) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` dict as text exposition.
+
+    The live registries render themselves (:meth:`to_prometheus`); this
+    renders *merged* snapshots — the fleet view assembled from per-worker
+    snapshots that exist only as dicts on the coordinator.  Output
+    matches the live exposition shape sample for sample.
+    """
+    if snapshot.get("format") != "repro-metrics-v1":
+        raise MetricError(
+            f"cannot render snapshot format {snapshot.get('format')!r}"
+        )
+    lines: list[str] = []
+    for family in snapshot.get("metrics", []):
+        name = family["name"]
+        if family.get("help"):
+            lines.append(f"# HELP {name} {_escape_help(family['help'])}")
+        lines.append(f"# TYPE {name} {family['type']}")
+        for series in family["series"]:
+            labels = series.get("labels", {})
+            suffix = _label_suffix(labels)
+            if family["type"] == "histogram":
+                retained = series.get("exemplars", {}) if exemplars else {}
+                buckets = sorted(
+                    series["buckets"].items(),
+                    key=lambda item: _parse_bound(item[0]),
+                )
+                for bound, count in buckets:
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = bound
+                    line = (
+                        f"{name}_bucket"
+                        f"{_label_suffix(bucket_labels)} {count}"
+                    )
+                    exemplar = retained.get(bound)
+                    if exemplar is not None:
+                        trace_id = _escape_label(exemplar["trace_id"])
+                        line += (
+                            f' # {{trace_id="{trace_id}"}}'
+                            f" {_format_value(exemplar['value'])}"
+                            f" {exemplar['timestamp']:.6f}"
+                        )
+                    lines.append(line)
+                lines.append(
+                    f"{name}_sum{suffix} {_format_value(series['sum'])}"
+                )
+                lines.append(f"{name}_count{suffix} {series['count']}")
+            else:
+                lines.append(
+                    f"{name}{suffix} {_format_value(series['value'])}"
+                )
+    return "\n".join(lines) + "\n"

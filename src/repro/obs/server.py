@@ -9,7 +9,9 @@ loopback port, stdlib only:
 =================  =========================================================
 route              serves
 =================  =========================================================
-``/metrics``       Prometheus text exposition of the live registry
+``/metrics``       Prometheus text exposition of the live registry;
+                   ``?scope=fleet`` merges the shard workers' latest
+                   telemetry snapshots (``shard``-labelled) into it
 ``/healthz``       process liveness (200 as long as the thread answers)
 ``/readyz``        200 iff a model generation is loaded **and** the
                    supervisor is not mid-validation; 503 otherwise, with
@@ -27,7 +29,11 @@ route              serves
 ``/flight``        the flight recorder's ring (``?dump=1`` also writes
                    the configured dump file atomically)
 ``/shards``        the shard coordinator's fleet state: per-worker pid,
-                   liveness, sequence cursors, restarts, checkpoints
+                   liveness, sequence cursors, restarts, checkpoints,
+                   plus live telemetry (events/s, lag, heartbeat age)
+``/trace``         index of reassembled traces the tracer has seen
+``/trace/<id>``    one trace as a span tree — coordinator-side and
+                   adopted worker-side spans reassembled by parent ids
 =================  =========================================================
 
 Query parameters are validated before any work happens: unknown
@@ -60,8 +66,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qsl
 
 from repro.obs.logging import get_logger, get_run_id
-from repro.obs.metrics import MetricsRegistry
-from repro.obs.tracing import NULL_TRACER, Tracer
+from repro.obs.metrics import MetricsRegistry, snapshot_to_prometheus
+from repro.obs.tracing import NULL_TRACER, Tracer, span_to_wire
 
 log = get_logger("obs.server")
 
@@ -353,6 +359,17 @@ class AdminServer:
                 "validating": bool(supervisor.validating),
                 "last_success_day": supervisor.last_success_day,
             }
+        coordinator = _resolve(self._coordinator)
+        if coordinator is not None:
+            fleet = coordinator.status()
+            body["fleet"] = {
+                "workers": fleet["num_shards"],
+                "num_shards": fleet["num_shards"],
+                "salt": fleet["salt"],
+                "restarts": fleet["restarts"],
+                "started": fleet["started"],
+                "finished": fleet["finished"],
+            }
         return body
 
     def generations(self) -> dict | None:
@@ -441,6 +458,77 @@ class AdminServer:
             return None
         return coordinator.status()
 
+    def fleet_exposition(self) -> str | None:
+        """``/metrics?scope=fleet``: the coordinator's merged snapshot
+        (its own registry + every shard's latest telemetry frame,
+        ``shard``-labelled) rendered as Prometheus text.  None without
+        an attached coordinator."""
+        coordinator = _resolve(self._coordinator)
+        if coordinator is None:
+            return None
+        return snapshot_to_prometheus(
+            coordinator.fleet_metrics_snapshot(), exemplars=True
+        )
+
+    def traces_report(self, limit: int = 100) -> dict:
+        """The ``/trace`` index: recently completed traces, newest first."""
+        traces: dict[str, dict] = {}
+        for root in self.tracer.spans():
+            for span in root.walk():
+                if not span.trace_id:
+                    continue
+                entry = traces.setdefault(span.trace_id, {
+                    "trace_id": span.trace_id,
+                    "spans": 0,
+                    "start_wall": span.start_wall,
+                    "names": set(),
+                })
+                entry["spans"] += 1
+                entry["start_wall"] = min(
+                    entry["start_wall"], span.start_wall
+                )
+                entry["names"].add(span.name)
+        listing = sorted(
+            traces.values(), key=lambda e: e["start_wall"], reverse=True
+        )[:limit]
+        for entry in listing:
+            entry["names"] = sorted(entry["names"])
+        return {"count": len(traces), "traces": listing}
+
+    def trace_report(self, trace_id: str) -> dict | None:
+        """The ``/trace/<id>`` JSON: the trace's spans reassembled into
+        trees by parent span id (a span whose parent was not recorded —
+        e.g. the worker half arriving before the coordinator half is
+        queried — becomes its own root).  None for an unknown id."""
+        spans = self.tracer.trace_spans(trace_id)
+        if not spans:
+            return None
+        nodes = {}
+        for span in spans:
+            wire = span_to_wire(span, children=False)
+            wire["children"] = []
+            nodes[id(span)] = (span, wire)
+        by_span_id = {
+            span.span_id: wire
+            for span, wire in nodes.values()
+            if span.span_id
+        }
+        roots = []
+        for span, wire in nodes.values():
+            parent = (
+                by_span_id.get(span.parent_span_id)
+                if span.parent_span_id else None
+            )
+            if parent is not None and parent is not wire:
+                parent["children"].append(wire)
+            else:
+                roots.append(wire)
+        return {
+            "trace_id": trace_id,
+            "span_count": len(spans),
+            "roots": roots,
+        }
+
     def _serve_profile(self, query: str) -> tuple[int, str, bytes]:
         """The ``/profile`` route: continuous report or bounded burst."""
         params = _parse_query(query, ("seconds", "hz", "format"))
@@ -482,9 +570,29 @@ class AdminServer:
         route = path.rstrip("/") or "/"
         try:
             if route == "/metrics":
-                params = _parse_query(query, ("format",))
+                params = _parse_query(query, ("format", "scope"))
                 fmt = params.get("format", "prometheus")
-                if fmt == "prometheus":
+                scope = params.get("scope", "process")
+                if scope not in ("process", "fleet"):
+                    raise _ParamError(
+                        f"scope must be process or fleet, got {scope!r}"
+                    )
+                if scope == "fleet":
+                    if fmt != "prometheus":
+                        raise _ParamError(
+                            "scope=fleet renders a merged snapshot and "
+                            "supports format=prometheus only"
+                        )
+                    text = self.fleet_exposition()
+                    if text is None:
+                        status, content_type, payload = _not_found(
+                            "no shard coordinator attached"
+                        )
+                    else:
+                        status, content_type, payload = (
+                            200, PROMETHEUS_CONTENT_TYPE, text.encode()
+                        )
+                elif fmt == "prometheus":
                     status, content_type, payload = (
                         200, PROMETHEUS_CONTENT_TYPE,
                         self.registry.to_prometheus().encode(),
@@ -569,6 +677,29 @@ class AdminServer:
                     status, content_type, payload = (
                         200, "application/json", _json_bytes(body)
                     )
+            elif route == "/trace" or route.startswith("/trace/"):
+                _parse_query(query, ())
+                trace_id = route[len("/trace/"):] if route != "/trace" else ""
+                route = "/trace"   # one bounded label for every trace id
+                if not trace_id:
+                    status, content_type, payload = (
+                        200, "application/json",
+                        _json_bytes(self.traces_report()),
+                    )
+                elif "/" in trace_id:
+                    raise _ParamError(
+                        f"malformed trace id {trace_id!r}"
+                    )
+                else:
+                    body = self.trace_report(trace_id)
+                    if body is None:
+                        status, content_type, payload = _not_found(
+                            f"no spans recorded for trace {trace_id!r}"
+                        )
+                    else:
+                        status, content_type, payload = (
+                            200, "application/json", _json_bytes(body)
+                        )
             elif route == "/profile":
                 status, content_type, payload = self._serve_profile(query)
             elif route == "/flight":

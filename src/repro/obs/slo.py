@@ -119,6 +119,45 @@ def default_slos() -> list[SLO]:
     ]
 
 
+def fleet_slos(
+    max_heartbeat_age_seconds: float = 5.0,
+    max_lag_skew_batches: float = 256.0,
+) -> list[SLO]:
+    """Straggler objectives over the FleetMonitor's ``fleet_*`` gauges.
+
+    Both are ``gauge_max`` (instantaneous) objectives, so they fire the
+    evaluation after the condition appears and clear the evaluation
+    after it goes away — a SIGSTOPped worker fires ``fleet-straggler``
+    within one heartbeat timeout, and a SIGCONT (or a respawn that
+    resumes acking) clears it.  The gauges read 0.0 until the monitor's
+    first update, which the engine treats as "not yet measured".
+
+    ``stream --workers N --slo`` appends these to :func:`default_slos`.
+    """
+    return [
+        SLO(
+            name="fleet-straggler",
+            kind="gauge_max",
+            metric="fleet_max_heartbeat_age_seconds",
+            threshold=max_heartbeat_age_seconds,
+            description=(
+                "Every live shard worker heartbeats (ships a telemetry "
+                "frame) within the timeout; a silent worker is stuck."
+            ),
+        ),
+        SLO(
+            name="fleet-lag-skew",
+            kind="gauge_max",
+            metric="fleet_lag_skew_batches",
+            threshold=max_lag_skew_batches,
+            description=(
+                "No shard's unacked replay backlog may run away from "
+                "its peers'; skew means one worker is falling behind."
+            ),
+        ),
+    ]
+
+
 @dataclass
 class SLOState:
     """The evaluated condition of one SLO at one instant."""

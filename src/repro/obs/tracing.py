@@ -31,6 +31,16 @@ with :meth:`Tracer.trace_spans`.  :class:`HeadSampler` makes the head
 decision deterministically from the client id, so the same clients are
 sampled on every shard and every replay.
 
+Cross-process traces: a context serialized with
+:meth:`TraceContext.wire` crosses a process boundary (the sharded
+runtime puts it on the batch wire), the remote process installs it with
+:func:`TraceContext.from_wire` + :func:`use_trace`, and its completed
+span trees travel back as plain dicts (:func:`span_to_wire` /
+:func:`span_from_wire`).  :meth:`Tracer.adopt` grafts those remote
+trees into the local tracer, so :meth:`Tracer.trace_spans` reassembles
+one coordinator → worker → profile → index tree no matter which
+process timed each hop.
+
 :class:`NullTracer` is the no-op default for instrumented code paths, so
 tracing costs nothing unless a real tracer is passed in.
 """
@@ -66,6 +76,21 @@ class TraceContext:
 
     def child(self, span_id: str) -> "TraceContext":
         return TraceContext(self.trace_id, span_id, self.sampled)
+
+    def wire(self) -> tuple:
+        """The picklable form that crosses a process boundary.
+
+        Only sampled contexts are worth shipping, so the sampling bit is
+        implicit: :meth:`from_wire` always restores ``sampled=True``.
+        """
+        return (self.trace_id, self.span_id)
+
+    @staticmethod
+    def from_wire(wire) -> "TraceContext | None":
+        if wire is None:
+            return None
+        trace_id, span_id = wire
+        return TraceContext(str(trace_id), str(span_id), True)
 
 
 _CURRENT_TRACE: contextvars.ContextVar[TraceContext | None] = (
@@ -176,6 +201,44 @@ class Span:
             yield from child.walk()
 
 
+def span_to_wire(span: Span, children: bool = True) -> dict:
+    """A completed span (tree) as a JSON-safe dict for the telemetry wire."""
+    wire = {
+        "name": span.name,
+        "tags": dict(span.tags),
+        "start_wall": span.start_wall,
+        "duration": span.duration,
+        "cpu_time": span.cpu_time,
+        "thread_id": span.thread_id,
+        "trace_id": span.trace_id,
+        "span_id": span.span_id,
+        "parent_span_id": span.parent_span_id,
+    }
+    if children:
+        wire["children"] = [
+            span_to_wire(child, children=True) for child in span.children
+        ]
+    return wire
+
+
+def span_from_wire(wire: dict) -> Span:
+    """Rebuild a :class:`Span` tree from its :func:`span_to_wire` dict."""
+    return Span(
+        name=wire["name"],
+        tags=dict(wire.get("tags", {})),
+        start_wall=float(wire.get("start_wall", 0.0)),
+        duration=float(wire.get("duration", 0.0)),
+        cpu_time=float(wire.get("cpu_time", 0.0)),
+        thread_id=int(wire.get("thread_id", 0)),
+        children=[
+            span_from_wire(child) for child in wire.get("children", [])
+        ],
+        trace_id=wire.get("trace_id"),
+        span_id=wire.get("span_id"),
+        parent_span_id=wire.get("parent_span_id"),
+    )
+
+
 class Tracer:
     """Collects spans into per-thread trees; thread-safe."""
 
@@ -250,6 +313,33 @@ class Tracer:
         """Completed root spans (their subtrees hang off ``children``)."""
         with self._lock:
             return list(self._roots)
+
+    def adopt(self, root: Span) -> None:
+        """Graft a remote process's completed span tree into this tracer.
+
+        The sharded runtime's reassembly hook: workers export their
+        finished roots over the telemetry channel and the coordinator
+        adopts them, so :meth:`trace_spans` sees both sides of the hop.
+        """
+        with self._lock:
+            self._roots.append(root)
+
+    def drain_sampled(self) -> list[Span]:
+        """Remove and return completed roots that belong to some trace.
+
+        Roots whose subtree carries no trace id stay put (they are
+        process-local timing, not part of any cross-process trace); the
+        returned ones are the exporter's to ship exactly once.
+        """
+        with self._lock:
+            keep, drained = [], []
+            for root in self._roots:
+                if any(span.trace_id for span in root.walk()):
+                    drained.append(root)
+                else:
+                    keep.append(root)
+            self._roots = keep
+        return drained
 
     def trace_spans(self, trace_id: str) -> list[Span]:
         """Every completed span belonging to ``trace_id``, start-ordered.

@@ -28,19 +28,30 @@ event subsequence, per-client profiling state never crosses clients,
 and all workers map byte-identical model files — so the merged fleet
 emissions equal the single-process run's, which the parity tests pin
 over N ∈ {1, 2, 4} and multiple shardings.
+
+The fleet is observable while it runs, not only at finish: workers ship
+``repro-shard-telemetry-v1`` frames (metrics snapshot, heartbeat facts,
+exported trace spans) over their outbox, the coordinator caches and
+merges them (``/metrics?scope=fleet``, enriched ``/shards``), and
+:class:`FleetMonitor` turns the heartbeat stream into straggler/skew
+gauges the SLO engine can alert on.
 """
 
 from repro.shard.coordinator import FleetResult, ShardCoordinator
+from repro.shard.monitor import FleetMonitor
 from repro.shard.router import ShardRouter
 from repro.shard.worker import (
     SHARD_CHECKPOINT_FORMAT,
+    SHARD_TELEMETRY_FORMAT,
     ShardWorker,
     WorkerSpec,
 )
 
 __all__ = [
+    "FleetMonitor",
     "FleetResult",
     "SHARD_CHECKPOINT_FORMAT",
+    "SHARD_TELEMETRY_FORMAT",
     "ShardCoordinator",
     "ShardRouter",
     "ShardWorker",

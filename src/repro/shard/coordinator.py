@@ -17,17 +17,35 @@ Results merge in one place: per-shard emissions concatenate and sort
 into the canonical ``(timestamp, client)`` order, and per-worker metric
 registries merge through :func:`repro.obs.merge_snapshots` into a single
 fleet snapshot the admin server can serve.
+
+The coordinator is also the fleet's telemetry sink.  Workers ship
+``repro-shard-telemetry-v1`` frames on a dedicated per-shard telemetry
+queue (see :meth:`repro.shard.worker.ShardWorker.telemetry_frame`) —
+separate from the ack/control channel precisely so the fleet monitor's
+heartbeat thread and admin scrapes can drain frames while the dispatch
+loop is blocked or idle.  The coordinator caches the latest frame per
+shard, grafts any exported worker spans into
+its own tracer (cross-process trace reassembly), feeds the
+:class:`~repro.shard.monitor.FleetMonitor` heartbeat stream, and exposes
+the lot through :meth:`fleet_metrics_snapshot` and :meth:`status` —
+which back the admin server's ``/metrics?scope=fleet`` and ``/shards``
+routes.  When a head sampler is attached, :meth:`dispatch` stamps each
+sampled client's events with a ``(trace_id, span_id)`` wire context so
+the trace survives the coordinator→worker hop.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import queue as queue_module
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, label_snapshot
+from repro.obs.tracing import NULL_TRACER, span_from_wire, use_trace
+from repro.shard.monitor import FleetMonitor
 from repro.shard.router import ShardRouter
 from repro.shard.worker import WorkerSpec, _worker_main
 
@@ -65,11 +83,14 @@ class _ShardState:
     process: object | None = None
     inbox: object | None = None
     outbox: object | None = None
+    telemetry_q: object | None = None   # dedicated heartbeat/frame channel
     sent_seq: int = 0          # next sequence number to assign
     acked_seq: int = 0         # everything below is durable on disk
     retained: dict = field(default_factory=dict)   # seq -> events
     result: dict | None = None
     restarts: int = 0
+    telemetry: dict | None = None      # latest repro-shard-telemetry-v1 frame
+    telemetry_mono: float | None = None   # monotonic instant it arrived
 
 
 def event_wire(event) -> tuple:
@@ -95,6 +116,12 @@ class ShardCoordinator:
         checkpoint_every_batches: int = 1,
         start_method: str = "spawn",
         registry: MetricsRegistry | None = None,
+        tracer=None,
+        trace_sampler=None,
+        flight=None,
+        telemetry_interval_seconds: float = 1.0,
+        monitor_interval_seconds: float = 1.0,
+        worker_flight: bool = False,
     ):
         self.router = ShardRouter(
             num_shards, salt=salt, nat_groups=nat_groups
@@ -123,11 +150,30 @@ class ShardCoordinator:
             "Workers respawned from their per-shard checkpoint.",
             labelnames=("shard",),
         )
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.trace_sampler = trace_sampler
+        self.flight = flight
+        self.telemetry_interval_seconds = float(telemetry_interval_seconds)
+        self.worker_flight = bool(worker_flight)
+        # One stable wire context per sampled client for the whole run:
+        # HeadSampler mints a fresh trace id per start() call, so caching
+        # here is what makes a client's events share a single trace.
+        self._client_traces: dict[str, tuple | None] = {}
+        # Serializes telemetry drains: the monitor thread, admin scrapes
+        # and the dispatch loop may all pull frames; the lock keeps each
+        # shard's frames applied in arrival order.
+        self._telemetry_lock = threading.Lock()
+        self.monitor = FleetMonitor(
+            self, registry, interval_seconds=monitor_interval_seconds
+        )
 
     # -- specs and paths -------------------------------------------------------
 
     def shard_checkpoint_path(self, shard: int) -> Path:
         return self.checkpoint_dir / f"shard-{shard:03d}.json"
+
+    def shard_flight_path(self, shard: int) -> Path:
+        return self.checkpoint_dir / f"shard-{shard:03d}-flight.json"
 
     def _spec(self, shard: int) -> WorkerSpec:
         return WorkerSpec(
@@ -140,7 +186,17 @@ class ShardCoordinator:
             stream_config=self.stream_config,
             tracker_filter=self.tracker_filter,
             checkpoint_every_batches=self.checkpoint_every_batches,
+            telemetry_interval_seconds=self.telemetry_interval_seconds,
+            tracing=self.trace_sampler is not None,
+            flight_path=(
+                str(self.shard_flight_path(shard))
+                if self.worker_flight else None
+            ),
         )
+
+    def _record_worker_event(self, name: str, shard: int, **fields) -> None:
+        if self.flight is not None:
+            self.flight.record("worker", name, shard=shard, **fields)
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -151,6 +207,7 @@ class ShardCoordinator:
         self._started = True
         for shard in range(self.num_shards):
             self._spawn(shard)
+        self.monitor.start()
 
     def _spawn(self, shard: int) -> int:
         """(Re)spawn one worker; returns its reported ``next_seq``.
@@ -164,9 +221,13 @@ class ShardCoordinator:
         self._discard_queues(state)
         state.inbox = self._ctx.Queue()
         state.outbox = self._ctx.Queue()
+        state.telemetry_q = self._ctx.Queue()
         state.process = self._ctx.Process(
             target=_worker_main,
-            args=(self._spec(shard), state.inbox, state.outbox),
+            args=(
+                self._spec(shard), state.inbox, state.outbox,
+                state.telemetry_q,
+            ),
             daemon=True,
             name=f"repro-shard-{shard}",
         )
@@ -184,11 +245,26 @@ class ShardCoordinator:
         # Everything below the checkpoint's cursor is durable — trim it;
         # everything at or above it that we already sent is replayed.
         state.acked_seq = max(state.acked_seq, next_seq)
+        replayed = 0
         for seq in sorted(state.retained):
             if seq < next_seq:
                 del state.retained[seq]
             else:
                 state.inbox.put(("batch", seq, state.retained[seq]))
+                replayed += 1
+        self.monitor.mark_spawned(shard)
+        self._record_worker_event(
+            "shard.spawn" if state.restarts == 0 else "shard.respawn",
+            shard,
+            pid=state.process.pid,
+            next_seq=next_seq,
+            restarts=state.restarts,
+        )
+        if replayed:
+            self._record_worker_event(
+                "shard.replay", shard,
+                batches=replayed, from_seq=next_seq,
+            )
         return next_seq
 
     @staticmethod
@@ -200,12 +276,13 @@ class ShardCoordinator:
         default exit finalizer would join it — hanging the coordinator
         process at shutdown.  ``cancel_join_thread`` severs that tie.
         """
-        for old in (state.inbox, state.outbox):
+        for old in (state.inbox, state.outbox, state.telemetry_q):
             if old is not None:
                 old.cancel_join_thread()
                 old.close()
         state.inbox = None
         state.outbox = None
+        state.telemetry_q = None
 
     def _get(self, shard: int, timeout: float):
         """One message from a worker's outbox, watching for death."""
@@ -231,6 +308,12 @@ class ShardCoordinator:
         state = self._shards[shard]
         if state.process is not None:
             state.process.join(timeout=5)
+        self._record_worker_event(
+            "shard.crash", shard,
+            pid=state.process.pid if state.process is not None else None,
+            sent_seq=state.sent_seq,
+            acked_seq=state.acked_seq,
+        )
         state.restarts += 1
         self._restarts_total.labels(shard=str(shard)).inc()
         self._spawn(shard)
@@ -253,8 +336,16 @@ class ShardCoordinator:
             state.acked_seq = max(state.acked_seq, acked)
             for seq in [s for s in state.retained if s < acked]:
                 del state.retained[seq]
+        elif kind == "telemetry":
+            self._ingest_telemetry(shard, message[2])
         elif kind == "done":
             state.result = message[2]
+            self.monitor.mark_done(shard)
+            self._record_worker_event(
+                "shard.done", shard,
+                events_seen=message[2].get("events_seen"),
+                restarts=state.restarts,
+            )
         elif kind == "error":
             raise ShardWorkerError(
                 f"shard {shard} failed:\n{message[2]}"
@@ -263,6 +354,52 @@ class ShardCoordinator:
             raise RuntimeError(
                 f"shard {shard}: unexpected message {kind!r}"
             )
+
+    def _ingest_telemetry(self, shard: int, frame: dict) -> None:
+        """Fold one worker telemetry frame into the fleet view.
+
+        The latest frame wins (each carries a cumulative registry
+        snapshot, not a delta); exported worker spans are grafted into
+        the coordinator's tracer so ``trace_spans`` — and the admin
+        server's ``/trace/<id>`` — see both sides of the hop.
+        """
+        state = self._shards[shard]
+        state.telemetry = frame
+        state.telemetry_mono = time.monotonic()
+        self.monitor.observe_frame(shard, frame)
+        if self.tracer.null:
+            return
+        for wire in frame.get("spans") or ():
+            try:
+                root = span_from_wire(wire)
+            except Exception:
+                continue   # one malformed span must not poison the run
+            root.tags.setdefault("shard", str(shard))
+            self.tracer.adopt(root)
+
+    def drain_telemetry(self) -> None:
+        """Consume every pending frame from the telemetry queues.
+
+        Safe from any thread — frames travel on their own queue, so
+        draining here can never steal a ``ready``/``done``/``error``
+        message from the control channel the dispatch loop reads.  The
+        fleet monitor calls this on its heartbeat thread (which is what
+        lets a straggler alert *clear* while the dispatch loop is idle);
+        admin scrapes call it for freshness.
+        """
+        with self._telemetry_lock:
+            for shard, state in enumerate(self._shards):
+                channel = state.telemetry_q
+                if channel is None:
+                    continue
+                while True:
+                    try:
+                        message = channel.get_nowait()
+                    except queue_module.Empty:
+                        break
+                    except (OSError, ValueError):
+                        break   # queue torn down mid-respawn
+                    self._ingest_telemetry(shard, message[2])
 
     # -- feeding ----------------------------------------------------------------
 
@@ -273,19 +410,52 @@ class ShardCoordinator:
         wire 4-tuples; each shard's slice preserves the global order of
         its own clients' events, which is all per-client profiling state
         depends on.
+
+        With a head sampler attached, a sampled client's events gain a
+        fifth wire element — ``(trace_id, span_id)`` — parenting the
+        worker's ingest spans under this coordinator's ``shard.route``
+        span for that client.  Unsampled clients keep the 4-tuple form.
         """
         if not self._started:
             raise RuntimeError("coordinator not started")
+        stamping = self.trace_sampler is not None
         slices: dict[int, list[tuple]] = {}
         for event in events:
             wire = (
                 event if isinstance(event, tuple) else event_wire(event)
             )
-            slices.setdefault(
-                self.router.shard_of(wire[0]), []
-            ).append(wire)
+            shard = self.router.shard_of(wire[0])
+            if stamping:
+                ctx_wire = self._trace_wire(wire[0], shard)
+                if ctx_wire is not None:
+                    wire = wire[:4] + (ctx_wire,)
+            slices.setdefault(shard, []).append(wire)
         for shard, shard_events in slices.items():
             self._send(shard, shard_events)
+
+    def _trace_wire(self, client: str, shard: int) -> tuple | None:
+        """The client's cached ``(trace_id, span_id)``, minted on first
+        sighting by asking the head sampler and opening a one-shot
+        coordinator-side ``shard.route`` span the worker's spans will
+        parent to."""
+        try:
+            return self._client_traces[client]
+        except KeyError:
+            pass
+        if len(self._client_traces) > 65536:   # bound the run's cache
+            self._client_traces.clear()
+        ctx = self.trace_sampler.start(client)
+        if ctx is None:
+            self._client_traces[client] = None
+            return None
+        with use_trace(ctx):
+            with self.tracer.span(
+                "shard.route", client=client, shard=str(shard)
+            ) as record:
+                span_id = getattr(record, "span_id", "") or ""
+        wire = (ctx.trace_id, span_id)
+        self._client_traces[client] = wire
+        return wire
 
     def _send(self, shard: int, events: list[tuple]) -> None:
         state = self._shards[shard]
@@ -303,6 +473,12 @@ class ShardCoordinator:
                 state.inbox.put(("batch", seq, events), timeout=0.5)
                 break
             except queue_module.Full:
+                # Blocked on a slow shard: keep consuming every other
+                # shard's acks and telemetry so the rest of the fleet's
+                # view stays live while this one wedges.
+                for other in range(self.num_shards):
+                    if other != shard:
+                        self._drain_acks(other)
                 continue
         self._drain_acks(shard)
 
@@ -321,6 +497,14 @@ class ShardCoordinator:
         for state in self._shards:
             state.process.join(timeout=30)
         self._finished = True
+        # Final telemetry flush first (the frame each worker sent just
+        # before ``done`` carries its last sampled spans), then freeze
+        # fleet gauges at their healthy end-of-run values: every shard
+        # is done, so one last update (all-silent shards excluded) then
+        # stop — a lingering admin server must not see stale alarms.
+        self.drain_telemetry()
+        self.monitor.update()
+        self.monitor.stop()
         per_shard = [
             {
                 "shard_id": state.result["shard_id"],
@@ -391,34 +575,85 @@ class ShardCoordinator:
                 restarted.append(shard)
         return restarted
 
+    def fleet_metrics_snapshot(self) -> dict:
+        """One merged ``repro-metrics-v1`` snapshot for the whole fleet.
+
+        The coordinator's own registry merges with each shard's latest
+        telemetry frame (or its final ``done`` registry once finished),
+        every per-shard series stamped with a ``shard`` label so merged
+        families stay distinguishable.  Backs ``/metrics?scope=fleet``.
+        """
+        self.drain_telemetry()
+        snapshots = [self.registry.snapshot()]
+        for shard, state in enumerate(self._shards):
+            if state.result is not None:
+                shard_metrics = state.result["metrics"]
+            elif state.telemetry is not None:
+                shard_metrics = state.telemetry["metrics"]
+            else:
+                continue
+            snapshots.append(
+                label_snapshot(shard_metrics, shard=str(shard))
+            )
+        return MetricsRegistry.merge_snapshots(snapshots)
+
+    def _shard_status(self, shard: int, state: _ShardState) -> dict:
+        frame = state.telemetry
+        age = None
+        if state.telemetry_mono is not None:
+            age = round(time.monotonic() - state.telemetry_mono, 3)
+        checkpoint_age = None
+        if frame is not None and frame.get("checkpoint_age_seconds") is not None:
+            # The frame reports age at send time; add its time in flight.
+            checkpoint_age = round(
+                frame["checkpoint_age_seconds"] + (age or 0.0), 3
+            )
+        rate = self.monitor.events_per_second(shard)
+        return {
+            "shard_id": shard,
+            "pid": (
+                state.process.pid
+                if state.process is not None else None
+            ),
+            "alive": (
+                state.process is not None
+                and state.process.is_alive()
+            ),
+            "sent_seq": state.sent_seq,
+            "acked_seq": state.acked_seq,
+            "lag_batches": max(0, state.sent_seq - state.acked_seq),
+            "retained_batches": len(state.retained),
+            "restarts": state.restarts,
+            "done": state.result is not None,
+            "checkpoint": str(self.shard_checkpoint_path(shard)),
+            "events_seen": frame["events_seen"] if frame else None,
+            "profiles_emitted": (
+                frame["profiles_emitted"] if frame else None
+            ),
+            "active_clients": frame["active_clients"] if frame else None,
+            "events_per_second": (
+                round(rate, 2) if rate is not None else None
+            ),
+            "heartbeat_age_seconds": age,
+            "checkpoint_age_seconds": checkpoint_age,
+            "last_heartbeat_wall": frame["wall"] if frame else None,
+        }
+
     def status(self) -> dict:
         """Fleet state for the admin server's ``/shards`` route."""
         return {
             "num_shards": self.num_shards,
+            "workers": self.num_shards,
             "started": self._started,
             "finished": self._finished,
             "salt": self.router.salt,
             "nat_groups": len(self.router.nat_groups),
             "model_dir": self.model_dir,
             "restarts": sum(s.restarts for s in self._shards),
+            "telemetry_interval_seconds": self.telemetry_interval_seconds,
+            "fleet": self.monitor.update(),
             "shards": [
-                {
-                    "shard_id": shard,
-                    "pid": (
-                        state.process.pid
-                        if state.process is not None else None
-                    ),
-                    "alive": (
-                        state.process is not None
-                        and state.process.is_alive()
-                    ),
-                    "sent_seq": state.sent_seq,
-                    "acked_seq": state.acked_seq,
-                    "retained_batches": len(state.retained),
-                    "restarts": state.restarts,
-                    "done": state.result is not None,
-                    "checkpoint": str(self.shard_checkpoint_path(shard)),
-                }
+                self._shard_status(shard, state)
                 for shard, state in enumerate(self._shards)
             ],
         }
@@ -427,6 +662,7 @@ class ShardCoordinator:
 
     def terminate(self) -> None:
         """Kill every worker (tests and error paths; not a clean finish)."""
+        self.monitor.stop()
         for state in self._shards:
             if state.process is not None and state.process.is_alive():
                 state.process.terminate()

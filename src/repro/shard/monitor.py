@@ -1,0 +1,245 @@
+"""Fleet monitor: straggler and skew detection over the heartbeat stream.
+
+Every telemetry frame a worker ships doubles as a heartbeat.  This
+module turns that stream into the operator-facing answer to "is any
+shard falling behind": per-shard throughput (events/s over a trailing
+window of frames), replay-buffer lag (batches sent but not durably
+acked), and heartbeat age — plus the fleet-wide aggregates the SLO
+engine alerts on:
+
+==================================  =======================================
+gauge                               meaning
+==================================  =======================================
+``fleet_shard_events_per_second``   per-shard ingest rate (label ``shard``)
+``fleet_shard_lag_batches``         per-shard sent-but-unacked batches
+``fleet_shard_heartbeat_age_seconds``  seconds since the shard's last frame
+``fleet_max_heartbeat_age_seconds``    worst heartbeat age over live shards
+``fleet_max_lag_batches``              worst replay lag over live shards
+``fleet_lag_skew_batches``             max − min lag (a stuck worker grows it)
+``fleet_throughput_skew``              1 − min/max rate (0 balanced, → 1 skewed)
+==================================  =======================================
+
+Workers heartbeat on their dedicated telemetry queue at every interval
+*even when idle*, so a quiet shard stays visibly healthy; a SIGSTOPped
+or wedged worker stops heartbeating and stops acking, so its heartbeat
+age (and, under load, lag) climb; :func:`repro.obs.slo.fleet_slos`
+turns either signal into a firing ``/alerts`` entry, which clears the
+moment the worker resumes (or a respawned replacement starts acking).
+Shards whose final result has arrived are excluded — a finished worker
+is silent by design, not stuck.
+
+The monitor runs on its own daemon thread (started by the coordinator)
+so the gauges stay fresh while the dispatch loop is blocked feeding a
+stalled shard — exactly the moment the alert matters.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+from repro.obs.logging import get_logger
+from repro.obs.metrics import MetricsRegistry
+
+log = get_logger("shard.monitor")
+
+#: Trailing window over which per-shard throughput is computed.
+THROUGHPUT_WINDOW_SECONDS = 30.0
+
+
+class FleetMonitor:
+    """Computes per-shard and fleet-wide health gauges for a coordinator.
+
+    The coordinator calls :meth:`observe_frame` as telemetry frames
+    arrive and :meth:`mark_done` when a shard's final result lands; the
+    background thread (or any caller via :meth:`update`) recomputes the
+    ``fleet_*`` gauges from whatever has been observed so far.
+    """
+
+    def __init__(
+        self,
+        coordinator,
+        registry: MetricsRegistry,
+        interval_seconds: float = 1.0,
+        clock=time.monotonic,
+    ):
+        self._coordinator = coordinator
+        self._clock = clock
+        self.interval_seconds = float(interval_seconds)
+        self._lock = threading.Lock()
+        # shard -> deque[(monotonic instant, cumulative events_seen)]
+        self._samples: dict[int, deque] = {}
+        self._last_frame: dict[int, float] = {}   # shard -> monotonic
+        self._spawned: dict[int, float] = {}      # shard -> monotonic
+        self._done: set[int] = set()
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        m = registry
+        self._frames_total = m.counter(
+            "fleet_telemetry_frames_total",
+            "Telemetry frames received from shard workers.",
+            labelnames=("shard",),
+        )
+        self._rate_gauge = m.gauge(
+            "fleet_shard_events_per_second",
+            "Per-shard ingest rate over the trailing telemetry window.",
+            labelnames=("shard",),
+        )
+        self._lag_gauge = m.gauge(
+            "fleet_shard_lag_batches",
+            "Batches sent to the shard but not yet durably acked.",
+            labelnames=("shard",),
+        )
+        self._heartbeat_gauge = m.gauge(
+            "fleet_shard_heartbeat_age_seconds",
+            "Seconds since the shard's last telemetry frame.",
+            labelnames=("shard",),
+        )
+        self._max_heartbeat_gauge = m.gauge(
+            "fleet_max_heartbeat_age_seconds",
+            "Worst heartbeat age across live (not-done) shards.",
+        )
+        self._max_lag_gauge = m.gauge(
+            "fleet_max_lag_batches",
+            "Worst sent-minus-acked replay lag across live shards.",
+        )
+        self._lag_skew_gauge = m.gauge(
+            "fleet_lag_skew_batches",
+            "Max minus min replay lag across live shards.",
+        )
+        self._throughput_skew_gauge = m.gauge(
+            "fleet_throughput_skew",
+            "1 - min/max per-shard ingest rate (0 balanced, 1 skewed).",
+        )
+
+    # -- observations ----------------------------------------------------------
+
+    def mark_spawned(self, shard: int) -> None:
+        """A worker came up; its silence clock starts now."""
+        with self._lock:
+            self._spawned[shard] = self._clock()
+            self._done.discard(shard)
+
+    def mark_done(self, shard: int) -> None:
+        """The shard's final result arrived; it may go silent in peace."""
+        with self._lock:
+            self._done.add(shard)
+
+    def observe_frame(self, shard: int, frame: dict) -> None:
+        """Fold one telemetry frame into the heartbeat/throughput state."""
+        now = self._clock()
+        with self._lock:
+            self._last_frame[shard] = now
+            samples = self._samples.setdefault(shard, deque())
+            samples.append((now, float(frame.get("events_seen", 0))))
+            horizon = now - THROUGHPUT_WINDOW_SECONDS
+            while len(samples) > 2 and samples[1][0] <= horizon:
+                samples.popleft()
+        self._frames_total.labels(shard=str(shard)).inc()
+
+    # -- derived views -----------------------------------------------------------
+
+    def events_per_second(self, shard: int) -> float | None:
+        """Trailing-window ingest rate; None before two frames arrived."""
+        with self._lock:
+            samples = self._samples.get(shard)
+            if samples is None or len(samples) < 2:
+                return None
+            (t0, e0), (t1, e1) = samples[0], samples[-1]
+        if t1 <= t0:
+            return None
+        return max(0.0, (e1 - e0) / (t1 - t0))
+
+    def heartbeat_age_seconds(self, shard: int) -> float | None:
+        """Seconds of silence; falls back to time-since-spawn, None if
+        the shard never spawned or already delivered its result."""
+        with self._lock:
+            if shard in self._done:
+                return None
+            reference = self._last_frame.get(
+                shard, self._spawned.get(shard)
+            )
+        if reference is None:
+            return None
+        return max(0.0, self._clock() - reference)
+
+    # -- the update pass ---------------------------------------------------------
+
+    def update(self) -> dict:
+        """Recompute every ``fleet_*`` gauge; returns the fleet summary.
+
+        Pulls pending frames off the telemetry queues first — the
+        heartbeat thread is the consumer of record, so ages reflect
+        what workers *sent*, not what a busy dispatch loop got around
+        to reading.
+        """
+        self._coordinator.drain_telemetry()
+        shards = self._coordinator._shards
+        ages: list[float] = []
+        lags: list[int] = []
+        rates: list[float] = []
+        for shard, state in enumerate(shards):
+            lag = max(0, state.sent_seq - state.acked_seq)
+            self._lag_gauge.labels(shard=str(shard)).set(lag)
+            rate = self.events_per_second(shard)
+            if rate is not None:
+                self._rate_gauge.labels(shard=str(shard)).set(rate)
+            age = self.heartbeat_age_seconds(shard)
+            if age is not None:
+                self._heartbeat_gauge.labels(shard=str(shard)).set(age)
+                ages.append(age)
+                lags.append(lag)
+                if rate is not None:
+                    rates.append(rate)
+        max_age = max(ages) if ages else 0.0
+        max_lag = max(lags) if lags else 0
+        lag_skew = (max(lags) - min(lags)) if lags else 0
+        throughput_skew = 0.0
+        if len(rates) >= 2 and max(rates) > 0:
+            throughput_skew = 1.0 - min(rates) / max(rates)
+        self._max_heartbeat_gauge.set(max_age)
+        self._max_lag_gauge.set(max_lag)
+        self._lag_skew_gauge.set(lag_skew)
+        self._throughput_skew_gauge.set(throughput_skew)
+        return {
+            "max_heartbeat_age_seconds": round(max_age, 3),
+            "max_lag_batches": max_lag,
+            "lag_skew_batches": lag_skew,
+            "throughput_skew": round(throughput_skew, 4),
+        }
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start(self) -> "FleetMonitor":
+        """Run :meth:`update` on a daemon thread every ``interval_seconds``.
+
+        The thread — not the dispatch loop — is what keeps straggler
+        gauges honest: when the coordinator blocks feeding a wedged
+        shard, dispatch-driven updates would freeze exactly when the
+        heartbeat age should be climbing.
+        """
+        if self.interval_seconds <= 0 or self._thread is not None:
+            return self
+
+        def run():
+            while not self._stop.wait(self.interval_seconds):
+                try:
+                    self.update()
+                except Exception as error:  # monitoring must not kill feeding
+                    log.error(
+                        "fleet monitor update failed",
+                        error=f"{type(error).__name__}: {error}",
+                    )
+
+        self._thread = threading.Thread(
+            target=run, name="fleet-monitor", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None

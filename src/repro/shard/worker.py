@@ -27,6 +27,8 @@ from __future__ import annotations
 
 import json
 import os
+import queue as queue_module
+import time
 import traceback
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -35,9 +37,16 @@ from repro.core.pipeline import NetworkObserverProfiler, PipelineConfig
 from repro.core.streaming import StreamingConfig, StreamingProfiler
 from repro.netobs.flows import HostnameEvent
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import (
+    NULL_TRACER,
+    TraceContext,
+    Tracer,
+    span_to_wire,
+)
 from repro.shard.router import ShardRouter
 
 SHARD_CHECKPOINT_FORMAT = "repro-shard-checkpoint-v1"
+SHARD_TELEMETRY_FORMAT = "repro-shard-telemetry-v1"
 
 
 @dataclass
@@ -62,6 +71,18 @@ class WorkerSpec:
     # finish (cheapest, but a kill replays the whole shard stream).
     checkpoint_every_batches: int = 1
     mmap_mode: str | None = "r"
+    # Live telemetry: the worker ships a frame (metrics snapshot, newly
+    # completed sampled spans, heartbeat facts) at most this often — the
+    # same cadence doubles as the idle heartbeat when no batches arrive;
+    # 0 disables streaming telemetry (the final ``done`` result still
+    # carries metrics).
+    telemetry_interval_seconds: float = 1.0
+    # Build a real tracer so wire events carrying a TraceContext record
+    # worker-side spans; off by default — tracing costs nothing unless
+    # the coordinator is sampling.
+    tracing: bool = False
+    # Per-shard flight recorder dumped here on finish and on crash.
+    flight_path: str | None = None
 
     def build_router(self) -> ShardRouter:
         spec = dict(self.router) if self.router else {
@@ -83,16 +104,24 @@ class ShardWorker:
         self.shard_id = spec.shard_id
         self.router = spec.build_router()
         self.registry = MetricsRegistry()
+        self.tracer: Tracer = Tracer() if spec.tracing else NULL_TRACER
+        self.flight = None
+        if spec.flight_path:
+            from repro.obs.flight import FlightRecorder
+
+            self.flight = FlightRecorder(registry=self.registry)
         self.checkpoint_path = Path(spec.checkpoint_path)
         self.next_seq = 0
         self.emissions: list[dict] = []
         self.restored = False
+        self.last_checkpoint_wall: float | None = None
         snapshot = self._load_checkpoint()
         if snapshot is not None:
             self.stream = StreamingProfiler.from_snapshot(
                 snapshot["stream"],
                 tracker_filter=spec.tracker_filter,
                 registry=self.registry,
+                tracer=self.tracer,
             )
             self.next_seq = int(snapshot["next_seq"])
             self.emissions = list(snapshot["emissions"])
@@ -102,6 +131,15 @@ class ShardWorker:
                 config=StreamingConfig(**spec.stream_config),
                 tracker_filter=spec.tracker_filter,
                 registry=self.registry,
+                tracer=self.tracer,
+            )
+        if self.flight is not None:
+            self.stream.flight = self.flight
+            self.flight.record(
+                "state",
+                "shard.restore" if self.restored else "shard.fresh",
+                shard=self.shard_id,
+                next_seq=self.next_seq,
             )
         self._attach_model()
 
@@ -115,6 +153,7 @@ class ShardWorker:
             config=PipelineConfig(),
             tracker_filter=self.spec.tracker_filter,
             registry=self.registry,
+            tracer=self.tracer,
         )
         pipeline.load_model_dir(
             self.spec.model_dir, mmap_mode=self.spec.mmap_mode
@@ -164,6 +203,7 @@ class ShardWorker:
         )
         scratch.write_text(json.dumps(payload))
         os.replace(scratch, self.checkpoint_path)
+        self.last_checkpoint_wall = time.time()
 
     # -- ingestion ------------------------------------------------------------
 
@@ -175,6 +215,14 @@ class ShardWorker:
         double-count — making at-least-once delivery exactly-once
         application.  A gap (``seq > next_seq``) means the feed protocol
         broke; failing loudly beats silently dropping a window.
+
+        Wire events are 4-tuples ``(client_ip, timestamp, hostname,
+        source)``; a 5th element, when present, is a serialized
+        :class:`TraceContext` (``(trace_id, span_id)``) stamped by a
+        sampling coordinator — the event joins that trace here, so its
+        ``stream.ingest`` → ``profile.session`` → ``index.search`` spans
+        parent back to the coordinator's dispatch span across the
+        process boundary.
         """
         if seq < self.next_seq:
             return 0
@@ -184,7 +232,11 @@ class ShardWorker:
                 f"{self.next_seq}, got {seq}"
             )
         emitted = 0
-        for client_ip, timestamp, hostname, source in events:
+        for wire in events:
+            client_ip, timestamp, hostname, source = wire[:4]
+            trace = (
+                TraceContext.from_wire(wire[4]) if len(wire) > 4 else None
+            )
             if self.router.shard_of(client_ip) != self.shard_id:
                 raise RuntimeError(
                     f"client {client_ip} routed to shard "
@@ -197,6 +249,7 @@ class ShardWorker:
                     timestamp=timestamp,
                     hostname=hostname,
                     source=source,
+                    trace=trace,
                 )
             )
             if emission is not None:
@@ -209,6 +262,37 @@ class ShardWorker:
                 })
         self.next_seq = seq + 1
         return emitted
+
+    # -- telemetry -------------------------------------------------------------
+
+    def telemetry_frame(self) -> dict:
+        """One live telemetry frame (``repro-shard-telemetry-v1``).
+
+        Everything the coordinator's fleet view needs between acks: the
+        full metrics snapshot (cheap relative to a 4k-event batch), the
+        heartbeat facts the straggler monitor consumes, and every
+        completed sampled span tree — drained, so each span ships
+        exactly once and the worker's memory stays bounded.
+        """
+        now = time.time()
+        return {
+            "format": SHARD_TELEMETRY_FORMAT,
+            "shard_id": self.shard_id,
+            "wall": now,
+            "next_seq": self.next_seq,
+            "events_seen": self.stream.events_seen,
+            "profiles_emitted": self.stream.profiles_emitted,
+            "active_clients": self.stream.active_clients,
+            "checkpoint_age_seconds": (
+                None if self.last_checkpoint_wall is None
+                else max(0.0, now - self.last_checkpoint_wall)
+            ),
+            "metrics": self.registry.snapshot(),
+            "spans": [
+                span_to_wire(root)
+                for root in self.tracer.drain_sampled()
+            ],
+        }
 
     # -- results --------------------------------------------------------------
 
@@ -225,7 +309,7 @@ class ShardWorker:
         }
 
 
-def _worker_main(spec: WorkerSpec, inbox, outbox) -> None:
+def _worker_main(spec: WorkerSpec, inbox, outbox, telemetry=None) -> None:
     """Spawn target: restore, announce readiness, then apply batches.
 
     Protocol (all tuples, picklable):
@@ -237,6 +321,18 @@ def _worker_main(spec: WorkerSpec, inbox, outbox) -> None:
       ``checkpoint_every_batches`` applied batches, checkpoint and send
       ``("ack", shard_id, next_seq)`` (an ack promises durability — the
       coordinator trims its replay buffer below ``next_seq``).
+    * out ``("telemetry", shard_id, frame)`` — a live
+      ``repro-shard-telemetry-v1`` frame (metrics snapshot, completed
+      sampled spans, heartbeat facts), shipped on the dedicated
+      ``telemetry`` queue when one is given (the coordinator always
+      gives one — any of its threads can then drain frames without
+      touching the control channel the dispatch loop owns), else
+      piggybacked on the outbox.  A frame goes out right after
+      ``ready``, after an applied batch at most every
+      ``telemetry_interval_seconds``, after every *idle* interval with
+      no batch (the heartbeat — silence must mean *stuck*, never merely
+      unloaded), and right before ``done``.  Telemetry is advisory: the
+      coordinator caches the latest frame per shard and never acks it.
     * in  ``("finish",)`` — final checkpoint, send
       ``("done", shard_id, result)``, exit.
     * out ``("error", shard_id, traceback)`` on any failure, then exit
@@ -244,10 +340,33 @@ def _worker_main(spec: WorkerSpec, inbox, outbox) -> None:
     """
     try:
         worker = ShardWorker(spec)
+        if worker.flight is not None and spec.flight_path:
+            # The ring survives what the worker process does not.
+            worker.flight.install_crash_hooks(spec.flight_path)
         outbox.put(("ready", worker.shard_id, worker.next_seq))
+        interval = spec.telemetry_interval_seconds
+        sink = telemetry if telemetry is not None else outbox
+
+        def emit_frame() -> None:
+            sink.put(("telemetry", worker.shard_id,
+                      worker.telemetry_frame()))
+
+        if interval > 0:
+            emit_frame()
+        last_telemetry = time.monotonic()
         since_checkpoint = 0
         while True:
-            message = inbox.get()
+            try:
+                message = inbox.get(
+                    timeout=interval if interval > 0 else None
+                )
+            except queue_module.Empty:
+                # Idle heartbeat: no batch arrived within a telemetry
+                # interval.  A SIGSTOPped worker cannot reach this line,
+                # so heartbeat age cleanly separates stuck from idle.
+                emit_frame()
+                last_telemetry = time.monotonic()
+                continue
             kind = message[0]
             if kind == "batch":
                 _, seq, events = message
@@ -260,8 +379,26 @@ def _worker_main(spec: WorkerSpec, inbox, outbox) -> None:
                     worker.checkpoint()
                     since_checkpoint = 0
                     outbox.put(("ack", worker.shard_id, worker.next_seq))
+                if interval > 0 and (
+                    time.monotonic() - last_telemetry >= interval
+                ):
+                    emit_frame()
+                    last_telemetry = time.monotonic()
             elif kind == "finish":
                 worker.checkpoint()
+                if worker.flight is not None and spec.flight_path:
+                    worker.flight.record(
+                        "state", "shard.finish",
+                        shard=worker.shard_id, next_seq=worker.next_seq,
+                    )
+                    try:
+                        worker.flight.dump(spec.flight_path, reason="finish")
+                    except Exception:
+                        pass  # telemetry must not block the done message
+                if interval > 0:
+                    # Flush the final frame so spans completed since the
+                    # last one reach the coordinator before done.
+                    emit_frame()
                 outbox.put(("done", worker.shard_id, worker.result()))
                 return
             else:

@@ -8,7 +8,7 @@ import pytest
 
 from repro.obs.doctor import collect_bundle, read_bundle
 from repro.obs.flight import FlightRecorder
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, label_snapshot
 from repro.obs.server import AdminServer
 from repro.obs.slo import SLOEngine
 from repro.store import DRIFT_REPORT_COMPONENT, ArtifactStore
@@ -43,7 +43,7 @@ class TestLiveBundle:
                 profile_seconds=0.2,
             )
         out = tmp_path / "bundle"
-        assert manifest["format"] == "repro-doctor-v2"
+        assert manifest["format"] == "repro-doctor-v3"
         assert "events_total 5" in (out / "metrics.prom").read_text()
         assert json.loads((out / "healthz.json").read_text()) == {"ok": True}
         generations = json.loads((out / "generations.json").read_text())
@@ -59,9 +59,18 @@ class TestLiveBundle:
         assert captured["format"] == "repro-flight-v1"
         assert captured["events"][0]["name"] == "test-start"
         assert "profile.collapsed" in manifest["collected"]
+        # /trace always answers (empty index without a tracer) ...
+        traces = json.loads((out / "traces.json").read_text())
+        assert traces["count"] == 0
         saved = json.loads((out / "bundle.json").read_text())
         assert saved["collected"] == manifest["collected"]
-        assert manifest["errors"] == {}
+        # ... while the fleet routes 404 on a coordinator-less process
+        # and are recorded explicitly absent, never as scrape failures.
+        assert sorted(manifest["errors"]) == [
+            "/metrics?scope=fleet", "/shards",
+        ]
+        for reason in manifest["errors"].values():
+            assert reason.startswith("absent:")
 
     def test_not_ready_readyz_is_captured_not_an_error(self, tmp_path):
         with AdminServer(MetricsRegistry()) as admin:
@@ -148,11 +157,14 @@ class TestOfflineBundle:
         assert manifest["collected"] == {}
         # Live-only captures are explicitly noted absent, not silently
         # missing: an offline bundle says why there is no SLO state.
-        for route in ("/slo", "/alerts", "/flight", "/profile"):
+        for route in (
+            "/slo", "/alerts", "/flight", "/profile",
+            "/shards", "/metrics?scope=fleet", "/trace",
+        ):
             assert "no live admin endpoint" in manifest["errors"][route]
         assert json.loads(
             (tmp_path / "bundle" / "bundle.json").read_text()
-        )["format"] == "repro-doctor-v2"
+        )["format"] == "repro-doctor-v3"
 
     def test_copies_flight_dump_file(self, tmp_path):
         flight = FlightRecorder(capacity=4)
@@ -168,10 +180,26 @@ class TestOfflineBundle:
 
 
 class TestReadBundle:
-    def test_reads_v2_bundle(self, tmp_path):
+    def test_reads_v3_bundle(self, tmp_path):
         collect_bundle(tmp_path / "bundle")
         manifest = read_bundle(tmp_path / "bundle")
+        assert manifest["format"] == "repro-doctor-v3"
+
+    def test_reads_v2_bundle(self, tmp_path):
+        # A bundle written by the pre-fleet release: no shards.json /
+        # metrics_fleet.prom / traces.json captures.  Must load as-is.
+        out = tmp_path / "v2-bundle"
+        out.mkdir()
+        atomic_write_json(out / "bundle.json", {
+            "format": "repro-doctor-v2",
+            "created_at": time.time(),
+            "admin_url": None,
+            "collected": {"slo.json": "http://127.0.0.1:1/slo"},
+            "errors": {},
+        })
+        manifest = read_bundle(out)
         assert manifest["format"] == "repro-doctor-v2"
+        assert "shards.json" not in manifest["collected"]
 
     def test_reads_v1_bundle(self, tmp_path):
         # A bundle written by the previous release: v1 format marker, no
@@ -195,6 +223,76 @@ class TestReadBundle:
         atomic_write_json(out / "bundle.json", {"format": "repro-doctor-v9"})
         with pytest.raises(ValueError, match="repro-doctor-v2"):
             read_bundle(out)
+
+
+class TestFleetBundle:
+    def test_scrapes_fleet_routes_when_coordinator_attached(self, tmp_path):
+        registry = MetricsRegistry()
+
+        class _Coordinator:
+            @staticmethod
+            def status():
+                return {"num_shards": 2, "workers": 2, "shards": []}
+
+            @staticmethod
+            def fleet_metrics_snapshot():
+                shard = MetricsRegistry()
+                shard.counter("stream_events_total", "Events.").inc(7)
+                return MetricsRegistry.merge_snapshots(
+                    [label_snapshot(shard.snapshot(), shard="0")]
+                )
+
+        with AdminServer(registry) as admin:
+            admin.attach(coordinator=_Coordinator())
+            manifest = collect_bundle(
+                tmp_path / "bundle", admin_url=admin.url(),
+                profile_seconds=0,
+            )
+        out = tmp_path / "bundle"
+        shards = json.loads((out / "shards.json").read_text())
+        assert shards["num_shards"] == 2
+        fleet = (out / "metrics_fleet.prom").read_text()
+        assert 'stream_events_total{shard="0"}' in fleet
+        assert "shards.json" in manifest["collected"]
+        assert "metrics_fleet.prom" in manifest["collected"]
+        assert "/shards" not in manifest["errors"]
+        assert "/metrics?scope=fleet" not in manifest["errors"]
+
+    def test_shard_dir_checkpoints_and_flight_dumps_copied(self, tmp_path):
+        shard_dir = tmp_path / "ckpt"
+        shard_dir.mkdir()
+        (shard_dir / "shard-000.json").write_text(
+            '{"format": "repro-shard-checkpoint-v1"}'
+        )
+        (shard_dir / "shard-000-flight.json").write_text(
+            '{"format": "repro-flight-v1"}'
+        )
+        (shard_dir / "shard-000.json.tmp").write_text("{}")   # scratch
+        manifest = collect_bundle(tmp_path / "bundle", shard_dir=shard_dir)
+        copied = sorted(
+            p.name for p in (tmp_path / "bundle" / "shards").iterdir()
+        )
+        assert copied == ["shard-000-flight.json", "shard-000.json"]
+        assert manifest["collected"]["shards/shard-000.json"] == str(
+            shard_dir / "shard-000.json"
+        )
+
+    def test_missing_shard_dir_recorded(self, tmp_path):
+        manifest = collect_bundle(
+            tmp_path / "bundle", shard_dir=tmp_path / "nope"
+        )
+        assert manifest["errors"][str(tmp_path / "nope")] == (
+            "directory not found"
+        )
+
+    def test_empty_shard_dir_recorded(self, tmp_path):
+        (tmp_path / "ckpt").mkdir()
+        manifest = collect_bundle(
+            tmp_path / "bundle", shard_dir=tmp_path / "ckpt"
+        )
+        assert "no shard-*.json files" in (
+            manifest["errors"][str(tmp_path / "ckpt")]
+        )
 
 
 class TestDriftReportFlow:

@@ -4,6 +4,8 @@ import json
 import threading
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.obs.metrics import (
     LATENCY_BUCKETS_FAST,
@@ -457,3 +459,54 @@ class TestMergeSnapshots:
 
         snapshot = self._worker_registry(1, 0.1).snapshot()
         assert merge_snapshots([snapshot])["format"] == "repro-metrics-v1"
+
+
+class TestMergeSnapshotsProperty:
+    """Merging is exactly addition: N single-observation snapshots merge
+    into the same view one registry holding all N observations reports."""
+
+    _OBSERVATIONS = st.lists(
+        st.tuples(
+            st.sampled_from(("counter", "gauge", "histogram")),
+            st.sampled_from(("alpha", "beta")),
+            st.floats(
+                min_value=0.0, max_value=1e6,
+                allow_nan=False, allow_infinity=False,
+            ),
+        ),
+        min_size=1, max_size=12,
+    )
+
+    @staticmethod
+    def _apply(registry, kind, backend, amount):
+        if kind == "counter":
+            registry.counter(
+                "merged_events_total", "E.", labelnames=("backend",)
+            ).labels(backend=backend).inc(amount)
+        elif kind == "gauge":
+            registry.gauge(
+                "merged_depth", "D.", labelnames=("backend",)
+            ).labels(backend=backend).inc(amount)
+        else:
+            registry.histogram(
+                "merged_seconds", "S.", buckets=(0.5, 100.0),
+                labelnames=("backend",),
+            ).labels(backend=backend).observe(amount)
+
+    @given(observations=_OBSERVATIONS)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_equals_combined_registry(self, observations):
+        combined = MetricsRegistry()
+        singles = []
+        for kind, backend, amount in observations:
+            single = MetricsRegistry()
+            self._apply(single, kind, backend, amount)
+            self._apply(combined, kind, backend, amount)
+            singles.append(single.snapshot())
+        merged = MetricsRegistry.merge_snapshots(singles)
+        # Same series keys, same values — bitwise, not approximately:
+        # per series the merge adds the same floats in the same order
+        # the combined registry did.
+        assert MetricsRegistry.flatten(merged) == (
+            MetricsRegistry.flatten(combined.snapshot())
+        )

@@ -12,8 +12,9 @@ import pytest
 from repro.core.streaming import StreamingConfig, StreamingProfiler
 from repro.netobs.flows import HostnameEvent
 from repro.obs.flight import FlightRecorder
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, label_snapshot
 from repro.obs.profile import SamplingProfiler
+from repro.obs.tracing import TraceContext, Tracer, use_trace
 from repro.obs.server import (
     MAX_QUERY_LENGTH,
     PROMETHEUS_CONTENT_TYPE,
@@ -389,13 +390,154 @@ class TestIntrospectionRoutes:
         assert json.loads(body)["num_shards"] == 4
 
 
+def _fake_coordinator():
+    """Duck-typed shard coordinator: status + merged fleet snapshot."""
+
+    class _Fleet:
+        @staticmethod
+        def status():
+            return {
+                "num_shards": 2, "workers": 2, "salt": "s3",
+                "restarts": 1, "started": True, "finished": False,
+                "shards": [],
+            }
+
+        @staticmethod
+        def fleet_metrics_snapshot():
+            first, second = MetricsRegistry(), MetricsRegistry()
+            first.counter("stream_events_total", "E.").inc(3)
+            second.counter("stream_events_total", "E.").inc(4)
+            return MetricsRegistry.merge_snapshots([
+                label_snapshot(first.snapshot(), shard="0"),
+                label_snapshot(second.snapshot(), shard="1"),
+            ])
+
+    return _Fleet()
+
+
+class TestFleetRoutes:
+    def test_fleet_scope_404_without_coordinator(self, server):
+        status, _, body = _get(server.url("/metrics?scope=fleet"))
+        assert status == 404
+        assert "coordinator" in json.loads(body)["error"]
+
+    def test_fleet_scope_serves_shard_labelled_series(self, server):
+        server.attach(coordinator=_fake_coordinator())
+        status, content_type, body = _get(
+            server.url("/metrics?scope=fleet")
+        )
+        assert status == 200
+        assert content_type == PROMETHEUS_CONTENT_TYPE
+        samples = parse_prometheus(body)
+        assert samples['stream_events_total{shard="0"}'] == 3.0
+        assert samples['stream_events_total{shard="1"}'] == 4.0
+
+    def test_scope_process_is_the_default(self, server, registry):
+        # (Compare one inert sample: the scrape counter itself moves
+        # between the two requests.)
+        registry.counter("x_total", "X.").inc()
+        explicit = parse_prometheus(
+            _get(server.url("/metrics?scope=process"))[2]
+        )
+        default = parse_prometheus(_get(server.url("/metrics"))[2])
+        assert explicit["x_total"] == default["x_total"] == 1.0
+
+    def test_bogus_scope_rejected(self, server):
+        status, _, body = _get(server.url("/metrics?scope=galaxy"))
+        assert status == 400
+        assert "scope" in json.loads(body)["error"]
+
+    def test_fleet_scope_requires_prometheus_format(self, server):
+        server.attach(coordinator=_fake_coordinator())
+        status, _, _ = _get(
+            server.url("/metrics?scope=fleet&format=openmetrics")
+        )
+        assert status == 400
+
+    def test_varz_reports_fleet_facts(self, server):
+        server.attach(coordinator=_fake_coordinator())
+        status, _, body = _get(server.url("/varz"))
+        assert status == 200
+        assert json.loads(body)["fleet"] == {
+            "workers": 2, "num_shards": 2, "salt": "s3",
+            "restarts": 1, "started": True, "finished": False,
+        }
+
+    def test_varz_has_no_fleet_block_without_coordinator(self, server):
+        assert "fleet" not in json.loads(_get(server.url("/varz"))[2])
+
+
+class TestTraceRoutes:
+    @staticmethod
+    def _traced_registry():
+        registry = MetricsRegistry()
+        tracer = Tracer()
+        with use_trace(TraceContext(trace_id="cafe01")):
+            with tracer.span("stream.ingest", shard="0"):
+                with tracer.span("profile.session"):
+                    pass
+        return registry, tracer
+
+    def test_trace_index_empty_without_spans(self, server):
+        status, _, body = _get(server.url("/trace"))
+        assert status == 200
+        assert json.loads(body) == {"count": 0, "traces": []}
+
+    def test_trace_index_lists_completed_traces(self):
+        registry, tracer = self._traced_registry()
+        with AdminServer(registry, tracer=tracer) as admin:
+            status, _, body = _get(admin.url("/trace"))
+        assert status == 200
+        index = json.loads(body)
+        assert index["count"] == 1
+        (entry,) = index["traces"]
+        assert entry["trace_id"] == "cafe01"
+        assert entry["spans"] == 2
+
+    def test_trace_by_id_reassembles_the_tree(self):
+        registry, tracer = self._traced_registry()
+        with AdminServer(registry, tracer=tracer) as admin:
+            status, _, body = _get(admin.url("/trace/cafe01"))
+        assert status == 200
+        tree = json.loads(body)
+        assert tree["trace_id"] == "cafe01"
+        assert tree["span_count"] == 2
+        (root,) = tree["roots"]
+        assert root["name"] == "stream.ingest"
+        assert root["tags"]["shard"] == "0"
+        (child,) = root["children"]
+        assert child["name"] == "profile.session"
+        assert child["parent_span_id"] == root["span_id"]
+
+    def test_unknown_trace_id_is_404(self):
+        registry, tracer = self._traced_registry()
+        with AdminServer(registry, tracer=tracer) as admin:
+            status, _, body = _get(admin.url("/trace/feedface"))
+        assert status == 404
+        assert "feedface" in json.loads(body)["error"]
+
+    def test_malformed_trace_id_rejected(self, server):
+        status, _, _ = _get(server.url("/trace/a/b"))
+        assert status == 400
+
+    def test_trace_ids_never_explode_the_route_label(self, registry):
+        # Every /trace/<id> fetch lands on one bounded "/trace" label.
+        with AdminServer(registry) as admin:
+            for trace_id in ("x1", "x2", "x3"):
+                _get(admin.url(f"/trace/{trace_id}"))
+        requests = registry.counter(
+            "admin_requests_total", labelnames=("route", "status")
+        )
+        assert requests.value_of(route="/trace", status="404") == 3
+
+
 class TestAdversarialParams:
     """Garbage in must mean 4xx out — a scrape can never 500 a route."""
 
     ROUTES = (
         "/metrics", "/healthz", "/readyz", "/varz", "/generations",
         "/drift/latest", "/slo", "/alerts", "/profile", "/flight",
-        "/shards",
+        "/shards", "/trace",
     )
 
     def _assert_client_error(self, server, target):

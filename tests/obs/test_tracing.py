@@ -15,6 +15,8 @@ from repro.obs.tracing import (
     Tracer,
     current_exemplar,
     current_trace,
+    span_from_wire,
+    span_to_wire,
     use_trace,
 )
 
@@ -250,3 +252,79 @@ class TestNullTracer:
     def test_singleton_flags(self):
         assert NULL_TRACER.null
         assert not Tracer().null
+
+
+class TestWireForms:
+    """The picklable shapes that cross the coordinator→worker boundary."""
+
+    def test_trace_context_round_trips(self):
+        ctx = TraceContext(trace_id="t9", span_id="s1")
+        assert TraceContext.from_wire(ctx.wire()) == ctx
+        assert TraceContext.from_wire(None) is None
+        # The sampling bit is implicit: only sampled contexts ship.
+        muted = TraceContext(trace_id="t9", span_id="s1", sampled=False)
+        assert TraceContext.from_wire(muted.wire()).sampled
+
+    def test_span_tree_round_trips(self):
+        tracer = Tracer()
+        with use_trace(TraceContext(trace_id="t10")):
+            with tracer.span("stream.ingest", shard="1"):
+                with tracer.span("profile.session"):
+                    pass
+                with tracer.span("index.search"):
+                    pass
+        (root,) = tracer.spans()
+        rebuilt = span_from_wire(span_to_wire(root))
+        assert [s.name for s in rebuilt.walk()] == [
+            s.name for s in root.walk()
+        ]
+        assert [s.span_id for s in rebuilt.walk()] == [
+            s.span_id for s in root.walk()
+        ]
+        assert rebuilt.tags == root.tags
+        assert rebuilt.children[0].parent_span_id == root.span_id
+        assert rebuilt.trace_id == "t10"
+        # Round-tripping is loss-free: exporting again is identical.
+        assert span_to_wire(rebuilt) == span_to_wire(root)
+
+    def test_wire_without_children_prunes_the_subtree(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        (root,) = tracer.spans()
+        wire = span_to_wire(root, children=False)
+        assert "children" not in wire
+        assert span_from_wire(wire).children == []
+
+
+class TestExportAndAdopt:
+    """drain_sampled (worker side) feeds adopt (coordinator side)."""
+
+    def test_drain_removes_only_sampled_roots(self):
+        tracer = Tracer()
+        with use_trace(TraceContext(trace_id="t11")):
+            with tracer.span("sampled.work"):
+                pass
+        with tracer.span("local.timing"):   # no active trace
+            pass
+        drained = tracer.drain_sampled()
+        assert [s.name for s in drained] == ["sampled.work"]
+        # Local-only roots stay; a second drain ships nothing — the
+        # exactly-once contract for the telemetry exporter.
+        assert [s.name for s in tracer.spans()] == ["local.timing"]
+        assert tracer.drain_sampled() == []
+
+    def test_adopt_grafts_remote_roots_into_trace_spans(self):
+        worker = Tracer()
+        with use_trace(TraceContext(trace_id="t12", span_id="route-1")):
+            with worker.span("stream.ingest"):
+                pass
+        coordinator = Tracer()
+        for root in worker.drain_sampled():
+            root.tags.setdefault("shard", "0")
+            coordinator.adopt(root)
+        spans = coordinator.trace_spans("t12")
+        assert [s.name for s in spans] == ["stream.ingest"]
+        assert spans[0].parent_span_id == "route-1"
+        assert spans[0].tags["shard"] == "0"

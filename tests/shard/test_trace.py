@@ -1,0 +1,108 @@
+"""Cross-process trace reassembly over the coordinator→worker hop.
+
+With a head sampler attached, the coordinator stamps each sampled
+client's wire events with a ``(trace_id, span_id)`` context and opens a
+one-shot ``shard.route`` span; the worker's tracer joins that context,
+so its ``stream.ingest`` spans parent back across the process boundary.
+Workers export completed sampled roots in telemetry frames, and the
+coordinator adopts them — one tracer ends up holding both sides.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs import HeadSampler, MetricsRegistry, Tracer
+from repro.shard import ShardCoordinator
+
+from tests.shard.conftest import STREAM_CONFIG
+
+
+def _events(count: int = 120, users: int = 4) -> list[tuple]:
+    return [
+        (f"10.8.0.{u}", 1000.0 + i * 5, f"site{i % 5}.example.com",
+         "tls-sni")
+        for u in range(users) for i in range(count // users)
+    ]
+
+
+def test_sampled_run_reassembles_both_sides_of_the_hop(tmp_path):
+    tracer = Tracer()
+    coordinator = ShardCoordinator(
+        2,
+        checkpoint_dir=tmp_path / "ckpt",
+        stream_config=STREAM_CONFIG,
+        registry=MetricsRegistry(),
+        tracer=tracer,
+        trace_sampler=HeadSampler(1.0),
+        telemetry_interval_seconds=0.05,
+    )
+    coordinator.start()
+    try:
+        coordinator.dispatch(_events())
+        coordinator.finish()   # final frames flush remaining spans
+    finally:
+        coordinator.terminate()
+
+    # Every client was sampled, so every client has a cached context.
+    assert coordinator._client_traces
+    trace_ids = {
+        wire[0] for wire in coordinator._client_traces.values()
+        if wire is not None
+    }
+    assert trace_ids
+
+    reassembled = 0
+    for trace_id in trace_ids:
+        spans = tracer.trace_spans(trace_id)
+        names = {span.name for span in spans}
+        if "stream.ingest" not in names:
+            continue
+        reassembled += 1
+        # The coordinator side of the hop...
+        assert "shard.route" in names
+        (route,) = [s for s in spans if s.name == "shard.route"]
+        # ...is the parent of every worker-side ingest span.
+        ingests = [s for s in spans if s.name == "stream.ingest"]
+        for ingest in ingests:
+            assert ingest.trace_id == trace_id
+            assert ingest.parent_span_id == route.span_id
+    assert reassembled, "no trace carried worker-side spans"
+
+    # Adopted worker roots are tagged with their shard of origin.
+    shard_tags = {
+        root.tags.get("shard")
+        for root in tracer.spans()
+        if root.name == "stream.ingest"
+    }
+    assert shard_tags <= {"0", "1"}
+    assert shard_tags
+
+
+def test_unsampled_run_ships_no_spans(tmp_path):
+    # No sampler: wire events stay 4-tuples, workers run NULL tracers,
+    # frames carry no spans, the coordinator tracer stays empty.
+    tracer = Tracer()
+    coordinator = ShardCoordinator(
+        2,
+        checkpoint_dir=tmp_path / "ckpt",
+        stream_config=STREAM_CONFIG,
+        registry=MetricsRegistry(),
+        tracer=tracer,
+        telemetry_interval_seconds=0.05,
+    )
+    coordinator.start()
+    try:
+        coordinator.dispatch(_events(count=40))
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            frames = [s.telemetry for s in coordinator._shards]
+            if all(f is not None for f in frames):
+                break
+            time.sleep(0.05)
+        coordinator.finish()
+    finally:
+        coordinator.terminate()
+    for state in coordinator._shards:
+        assert state.telemetry["spans"] == []
+    assert tracer.spans() == []
